@@ -1,0 +1,77 @@
+// Ablation E: durability (MTTDL). Repair locality shortens the window in
+// which additional failures can strike, so the locally repairable codes
+// out-survive Reed-Solomon even before their extra parity is counted.
+// Monte-Carlo uses the real decodability oracle (pattern-sensitive), the
+// Markov column the classic birth-death bound.
+#include "analysis/durability.h"
+#include "bench/common.h"
+#include "codes/carousel.h"
+#include "codes/pyramid.h"
+#include "codes/reed_solomon.h"
+#include "core/all_symbol.h"
+#include "core/galloper.h"
+#include "util/table.h"
+
+namespace galloper {
+namespace {
+
+void run() {
+  bench::print_header("Ablation E", "mean time to data loss (MTTDL)");
+  // Accelerated regime so losses happen in simulable time: MTBF 40 h,
+  // 1 h per helper-block read. Absolute values are not the point — the
+  // ORDER of the codes is.
+  analysis::DurabilityParams params{/*mtbf_hours=*/40.0,
+                                    /*repair_hours_per_block=*/1.0};
+  const size_t trials = 300;
+
+  codes::ReedSolomonCode rs(4, 2);
+  codes::CarouselCode car(4, 2);
+  codes::PyramidCode pyr(4, 2, 1);
+  core::GalloperCode gal(4, 2, 1);
+  core::AllSymbolGalloperCode ext(4, 2, 1);
+
+  struct Row {
+    const codes::ErasureCode* code;
+    const char* note;
+  };
+  Table table({"code", "storage", "tolerance", "MC MTTDL (h)",
+               "failures/loss", "Markov MTTDL (h)", "note"});
+  for (const Row& row : std::initializer_list<Row>{
+           {&rs, "repairs read k=4"},
+           {&car, "RS-equivalent repair"},
+           {&pyr, "local repairs read 2"},
+           {&gal, "local repairs read 2"},
+           {&ext, "globals also local"}}) {
+    const auto& code = *row.code;
+    const auto mc =
+        analysis::mttdl_monte_carlo(code, params, trials, 20180704);
+    // Markov repair rate: inverse of the mean helper count × unit time.
+    double mean_helpers = 0;
+    for (size_t b = 0; b < code.num_blocks(); ++b)
+      mean_helpers += static_cast<double>(code.repair_helpers(b).size());
+    mean_helpers /= static_cast<double>(code.num_blocks());
+    const double markov = analysis::mttdl_markov(
+        code.num_blocks(), code.guaranteed_tolerance(),
+        1.0 / params.mtbf_hours,
+        1.0 / (mean_helpers * params.repair_hours_per_block));
+    table.add_row(
+        {code.name(),
+         Table::num(static_cast<double>(code.num_blocks()) /
+                        static_cast<double>(code.k()),
+                    3) +
+             "x",
+         std::to_string(code.guaranteed_tolerance()), Table::num(mc.mttdl_hours),
+         Table::num(mc.mean_failures, 3), Table::num(markov), row.note});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: Pyramid/Galloper (identical durability profiles) beat "
+      "RS/Carousel thanks to 2-block local repair; the all-symbol extension "
+      "adds a little more by fixing the globals' repair window. MC > Markov "
+      "for the LRCs because many g+2 patterns remain decodable.\n");
+}
+
+}  // namespace
+}  // namespace galloper
+
+int main() { galloper::run(); }

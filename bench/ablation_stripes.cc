@@ -1,0 +1,71 @@
+// Ablation C: stripe-count sensitivity. The weight-quantization resolution
+// drives the stripe count N (the LCM of weight denominators), and N drives
+// construction cost (a kN × kN inversion) and encoder sparsity. This sweep
+// shows why a modest resolution (~10) is the right default.
+#include "bench/common.h"
+#include "core/construction.h"
+#include "core/galloper.h"
+#include "core/weights.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace galloper {
+namespace {
+
+void run() {
+  bench::print_header("Ablation C", "stripe count N vs resolution");
+
+  // A fixed heterogeneous cluster profile.
+  const std::vector<double> perf{1.7, 0.4, 1.3, 0.9, 1.1, 0.6, 1.0};
+  const size_t k = 4, l = 2, g = 1;
+
+  Table table({"resolution", "N", "kN", "construct literal (s)",
+               "construct row-wise (s)", "encode 8MiB (s)",
+               "max weight error"});
+  Rng rng(7);
+  for (int64_t resolution : {2, 4, 6, 8, 12, 16, 24, 32}) {
+    const auto sol = core::assign_weights(k, l, g, perf, resolution);
+    core::GalloperParams params{k, l, g, sol.weights};
+    const size_t n_stripes = core::stripe_count(params);
+
+    const double literal_s = bench::timed(
+        [&] { (void)core::construct_galloper(params, core::Method::kLiteral); });
+    double construct_s = 0;
+    std::unique_ptr<core::GalloperCode> code;
+    construct_s = bench::timed([&] {
+      code = std::make_unique<core::GalloperCode>(k, l, g, sol.weights);
+    });
+
+    const size_t chunk =
+        std::max<size_t>(1, (8u << 20) / n_stripes);
+    const Buffer file =
+        random_buffer(code->engine().num_chunks() * chunk, rng);
+    const double encode_s = bench::timed([&] { (void)code->encode(file); });
+
+    // Weight fidelity: |w_i − ideal_i| where ideal = k·q_i/Σq from the LP.
+    double total_eff = 0;
+    for (double e : sol.effective) total_eff += e;
+    double max_err = 0;
+    for (size_t i = 0; i < perf.size(); ++i) {
+      const double ideal = static_cast<double>(k) * sol.effective[i] / total_eff;
+      max_err = std::max(max_err,
+                         std::abs(sol.weights[i].to_double() - ideal));
+    }
+
+    table.add_row({std::to_string(resolution), std::to_string(n_stripes),
+                   std::to_string(k * n_stripes), Table::num(literal_s),
+                   Table::num(construct_s), Table::num(encode_s),
+                   Table::num(max_err, 3)});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: N grows with resolution while weight error shrinks; "
+      "the literal kN×kN inversion grows ~cubically but the row-wise path "
+      "(the GalloperCode default) stays near-flat, and encode throughput "
+      "is insensitive to N since per-stripe support stays ≤ k.\n");
+}
+
+}  // namespace
+}  // namespace galloper
+
+int main() { galloper::run(); }

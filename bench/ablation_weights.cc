@@ -1,0 +1,98 @@
+// Ablation B: the weight-assignment LP (Sec. IV-C / V-B) vs a naive
+// proportional assignment w_i = k·p_i/Σp that ignores the constraints.
+// Measures how often the naive rule produces infeasible weights and how
+// much map-phase time the LP's capping actually costs/saves.
+#include <numeric>
+
+#include "bench/common.h"
+#include "core/galloper.h"
+#include "core/input_format.h"
+#include "core/weights.h"
+#include "mr/simjob.h"
+#include "mr/wordcount.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace galloper {
+namespace {
+
+// Naive proportional weights, no capping.
+std::vector<Rational> naive_weights(size_t k, const std::vector<double>& perf,
+                                    int64_t resolution) {
+  const double peak = *std::max_element(perf.begin(), perf.end());
+  std::vector<int64_t> units(perf.size());
+  int64_t total = 0;
+  for (size_t i = 0; i < perf.size(); ++i) {
+    units[i] = std::max<int64_t>(
+        1, static_cast<int64_t>(perf[i] / peak * resolution + 0.5));
+    total += units[i];
+  }
+  std::vector<Rational> ws;
+  for (int64_t u : units) ws.emplace_back(static_cast<int64_t>(k) * u, total);
+  return ws;
+}
+
+void run() {
+  bench::print_header("Ablation B", "LP weight assignment vs naive scaling");
+
+  Rng rng(42);
+  const size_t k = 4, l = 2, g = 1, n = 7;
+  size_t naive_infeasible = 0, lp_infeasible = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> perf(n);
+    for (auto& p : perf) p = 0.1 + rng.next_double() * 5.0;
+    if (!core::weights_valid(k, l, g, naive_weights(k, perf, 10)))
+      ++naive_infeasible;
+    if (!core::weights_valid(
+            k, l, g, core::assign_weights(k, l, g, perf, 10).weights))
+      ++lp_infeasible;
+  }
+  Table feas({"method", "feasible", "infeasible", "trials"});
+  feas.add_row({"naive proportional",
+                std::to_string(trials - naive_infeasible),
+                std::to_string(naive_infeasible), std::to_string(trials)});
+  feas.add_row({"LP + rationalization", std::to_string(trials - lp_infeasible),
+                std::to_string(lp_infeasible), std::to_string(trials)});
+  feas.print();
+
+  // Map-phase comparison on a skewed-but-feasible case: LP weights vs
+  // uniform weights (ignoring heterogeneity altogether).
+  std::vector<double> perf{2.0, 0.5, 1.5, 1.0, 1.0, 1.25, 0.75};
+  const auto lp = core::assign_weights(k, l, g, perf, 12);
+  core::GalloperCode lp_code(k, l, g, lp.weights);
+  core::GalloperCode uni_code(k, l, g);
+
+  std::vector<sim::ServerSpec> specs(30, sim::ServerSpec{});
+  for (size_t i = 0; i < n; ++i) specs[i] = specs[i].scaled_cpu(perf[i]);
+  sim::Simulation simulation;
+  sim::Cluster cluster(simulation, specs);
+  mr::JobConfig config;
+  config.max_split_bytes = 1ull << 40;
+  mr::SimulatedJob job(cluster, mr::wordcount_profile(), config);
+
+  const size_t unit = 1 << 18;
+  const size_t block_bytes = lp_code.n_stripes() * uni_code.n_stripes() * unit;
+  core::InputFormat lp_fmt(lp_code, block_bytes);
+  core::InputFormat uni_fmt(uni_code, block_bytes);
+  const auto r_lp = job.run(lp_fmt);
+  const auto r_uni = job.run(uni_fmt);
+
+  std::printf("\nmap phase on a skewed cluster (perf 2.0/0.5/1.5/1.0/1.0/"
+              "1.25/0.75):\n");
+  Table mp({"weights", "map phase end (s)", "Σ d_i (LP objective)"});
+  mp.add_row({"uniform (heterogeneity-blind)", Table::num(r_uni.map_phase_end),
+              "—"});
+  mp.add_row({"LP-assigned", Table::num(r_lp.map_phase_end),
+              Table::num(lp.lp_objective)});
+  mp.print();
+  std::printf(
+      "\nShape check: naive scaling frequently violates the w ≤ 1 and "
+      "group constraints; the LP always lands feasible and shortens the "
+      "map phase on skewed clusters.\n");
+}
+
+}  // namespace
+}  // namespace galloper
+
+int main() { galloper::run(); }

@@ -1,0 +1,65 @@
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Each binary prints the rows/series of one paper table or figure. Scale
+// knobs (so the default `for b in build/bench/*; do $b; done` loop stays
+// fast) come from the environment:
+//   GALLOPER_BENCH_MB    block size in MiB   (default 16; paper used 45)
+//   GALLOPER_BENCH_REPS  repetitions         (default 3;  paper used 20)
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "codes/erasure_code.h"
+#include "util/bytes.h"
+#include "util/stats.h"
+
+namespace galloper::bench {
+
+inline size_t env_size(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (!v) return fallback;
+  const long parsed = std::strtol(v, nullptr, 10);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+inline size_t block_mib() { return env_size("GALLOPER_BENCH_MB", 16); }
+inline size_t reps() { return env_size("GALLOPER_BENCH_REPS", 3); }
+
+// Wall-clock seconds of fn().
+template <typename Fn>
+double timed(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// A file size that encodes into blocks of ≈ the requested MiB for `code`
+// (exact multiple of the code's chunk structure).
+inline size_t file_bytes_for_block(const codes::ErasureCode& code,
+                                   size_t target_block_bytes) {
+  const size_t stripes = code.stripes_per_block();
+  const size_t chunk = (target_block_bytes + stripes - 1) / stripes;
+  return code.engine().num_chunks() * chunk;
+}
+
+inline std::map<size_t, ConstByteSpan> block_view(
+    const std::vector<Buffer>& blocks, const std::vector<size_t>& ids) {
+  std::map<size_t, ConstByteSpan> m;
+  for (size_t id : ids) m.emplace(id, blocks[id]);
+  return m;
+}
+
+inline void print_header(const char* figure, const char* what) {
+  std::printf("==== %s — %s ====\n", figure, what);
+  std::printf("(block %zu MiB, %zu reps; set GALLOPER_BENCH_MB / "
+              "GALLOPER_BENCH_REPS to match the paper's 45 MiB / 20)\n\n",
+              block_mib(), reps());
+}
+
+}  // namespace galloper::bench

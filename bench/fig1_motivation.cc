@@ -1,0 +1,48 @@
+// Reproduces paper Fig. 1 (the motivating example): disk I/O during the
+// reconstruction of one data block under a (4,2) Reed-Solomon code vs the
+// (4,2,1) locally repairable (Pyramid) code, on the simulated storage
+// cluster — including the simulated repair completion time.
+#include "bench/common.h"
+#include "codes/pyramid.h"
+#include "codes/reed_solomon.h"
+#include "sim/storage.h"
+#include "util/table.h"
+
+namespace galloper {
+namespace {
+
+void run() {
+  bench::print_header("Fig. 1", "reconstruction disk I/O, RS vs LRC");
+  const size_t block_bytes = bench::block_mib() << 20;
+
+  codes::ReedSolomonCode rs(4, 2);
+  codes::PyramidCode lrc(4, 2, 1);
+
+  Table table({"code", "blocks read", "disk I/O (MB)", "network (MB)",
+               "sim. repair time (s)", "storage overhead"});
+  for (const codes::ErasureCode* code :
+       std::initializer_list<const codes::ErasureCode*>{&rs, &lrc}) {
+    sim::Simulation sim;
+    sim::Cluster cluster(sim, code->num_blocks() + 1, sim::ServerSpec{});
+    sim::StorageSystem storage(sim, cluster, *code, block_bytes);
+    const auto m = storage.simulate_repair(0, code->num_blocks());
+    table.add_row(
+        {code->name(), std::to_string(m.helpers.size()),
+         Table::num(static_cast<double>(m.disk_bytes_read) / 1e6),
+         Table::num(static_cast<double>(m.network_bytes) / 1e6),
+         Table::num(m.completion_time),
+         Table::num(static_cast<double>(code->num_blocks()) /
+                    static_cast<double>(code->k()), 3) +
+             "x"});
+  }
+  table.print();
+  std::printf(
+      "\nShape check vs paper: the LRC reads 2 blocks instead of 4 — 50%% "
+      "less disk I/O — at the cost of one extra parity block (1.75x vs "
+      "1.5x storage).\n");
+}
+
+}  // namespace
+}  // namespace galloper
+
+int main() { galloper::run(); }

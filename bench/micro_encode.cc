@@ -1,0 +1,94 @@
+// Encoder micro-benchmarks: serial vs multithreaded Galloper encoding, and
+// update/range data paths (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "core/galloper.h"
+#include "util/rng.h"
+
+namespace galloper {
+namespace {
+
+const core::GalloperCode& code() {
+  static const core::GalloperCode c(4, 2, 1);
+  return c;
+}
+
+Buffer test_file(size_t chunk) {
+  Rng rng(1);
+  return random_buffer(code().engine().num_chunks() * chunk, rng);
+}
+
+void BM_EncodeSerial(benchmark::State& state) {
+  const Buffer file = test_file(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto blocks = code().encode(file);
+    benchmark::DoNotOptimize(blocks);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(file.size()));
+}
+BENCHMARK(BM_EncodeSerial)->Arg(64 << 10)->Arg(512 << 10);
+
+void BM_EncodeParallel(benchmark::State& state) {
+  const Buffer file = test_file(512 << 10);
+  const size_t threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto blocks = code().engine().encode_parallel(file, threads);
+    benchmark::DoNotOptimize(blocks);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(file.size()));
+}
+BENCHMARK(BM_EncodeParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_UpdateChunk(benchmark::State& state) {
+  const size_t chunk = 256 << 10;
+  const Buffer file = test_file(chunk);
+  auto blocks = code().encode(file);
+  Rng rng(2);
+  const Buffer new_data = random_buffer(chunk, rng);
+  size_t c = 0;
+  for (auto _ : state) {
+    auto touched = code().engine().update_chunk(
+        blocks, c++ % code().engine().num_chunks(), new_data);
+    benchmark::DoNotOptimize(touched);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(chunk));
+}
+BENCHMARK(BM_UpdateChunk);
+
+void BM_ReadRangeHealthy(benchmark::State& state) {
+  const size_t chunk = 64 << 10;
+  const Buffer file = test_file(chunk);
+  const auto blocks = code().encode(file);
+  std::map<size_t, ConstByteSpan> view;
+  for (size_t b = 0; b < blocks.size(); ++b) view.emplace(b, blocks[b]);
+  for (auto _ : state) {
+    auto out = code().engine().read_range(view, chunk / 2, 4 * chunk);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4 *
+                          static_cast<int64_t>(chunk));
+}
+BENCHMARK(BM_ReadRangeHealthy);
+
+void BM_ReadRangeDegraded(benchmark::State& state) {
+  const size_t chunk = 64 << 10;
+  const Buffer file = test_file(chunk);
+  const auto blocks = code().encode(file);
+  std::map<size_t, ConstByteSpan> view;
+  for (size_t b = 1; b < blocks.size(); ++b) view.emplace(b, blocks[b]);
+  for (auto _ : state) {
+    auto out = code().engine().read_range(view, 0, 4 * chunk);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4 *
+                          static_cast<int64_t>(chunk));
+}
+BENCHMARK(BM_ReadRangeDegraded);
+
+}  // namespace
+}  // namespace galloper
+
+BENCHMARK_MAIN();

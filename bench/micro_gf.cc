@@ -1,0 +1,86 @@
+// Substrate micro-benchmarks (google-benchmark): GF(2^8) region kernels —
+// our stand-in for ISA-L — and the dense-matrix operations behind code
+// construction. These set the throughput context for Figs. 7/8.
+#include <benchmark/benchmark.h>
+
+#include "gf/gf256.h"
+#include "gf/region.h"
+#include "la/builders.h"
+#include "la/solve.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace galloper {
+namespace {
+
+void BM_MulAccRegion(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  const Buffer src = random_buffer(n, rng);
+  Buffer dst = random_buffer(n, rng);
+  for (auto _ : state) {
+    gf::mul_acc_region(dst, 0x57, src);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MulAccRegion)->Range(1 << 10, 1 << 20);
+
+void BM_XorRegion(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  const Buffer src = random_buffer(n, rng);
+  Buffer dst = random_buffer(n, rng);
+  for (auto _ : state) {
+    gf::xor_region(dst, src);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_XorRegion)->Range(1 << 10, 1 << 20);
+
+void BM_MulRegion(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  const Buffer src = random_buffer(n, rng);
+  Buffer dst(n);
+  for (auto _ : state) {
+    gf::mul_region(dst, 0xa3, src);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MulRegion)->Range(1 << 10, 1 << 20);
+
+void BM_MatrixInverse(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  la::Matrix m(n, n);
+  do {
+    for (size_t r = 0; r < n; ++r)
+      for (size_t c = 0; c < n; ++c)
+        m.at(r, c) = static_cast<gf::Elem>(rng.next_below(256));
+  } while (!la::invertible(m));
+  for (auto _ : state) {
+    auto inv = la::inverse(m);
+    benchmark::DoNotOptimize(inv);
+  }
+}
+BENCHMARK(BM_MatrixInverse)->Arg(28)->Arg(64)->Arg(180)->Arg(256);
+
+void BM_SystematicMds(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto g = la::systematic_mds(k, 2);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_SystematicMds)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace
+}  // namespace galloper
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Data-analytics example (the paper's headline use case): run a REAL
+// wordcount over Galloper-encoded blocks, reading only original-data
+// regions via InputFormat — the Hadoop FileInputFormat analogue — and show
+// that the result is byte-identical to running over the plain file, while
+// every server contributes map work.
+//
+//   $ ./analytics_wordcount
+#include <algorithm>
+#include <cstdio>
+
+#include "codes/pyramid.h"
+#include "core/galloper.h"
+#include "core/input_format.h"
+#include "mr/framework.h"
+#include "mr/wordcount.h"
+#include "util/rng.h"
+
+using namespace galloper;
+
+int main() {
+  // 1. Generate a corpus and encode it.
+  core::GalloperCode gal(4, 2, 1);
+  codes::PyramidCode pyr(4, 2, 1);
+  Rng rng(7);
+  const size_t chunk = mr::kWordCountRecordBytes * 64;  // records | chunk
+  const Buffer corpus =
+      mr::generate_text(gal.engine().num_chunks() * chunk, rng);
+  std::printf("corpus: %zu bytes of text\n", corpus.size());
+
+  const auto gal_blocks = gal.encode(corpus);
+  const auto pyr_blocks = pyr.encode(corpus);
+
+  // 2. Run wordcount three ways.
+  mr::WordCountMapper mapper;
+  mr::WordCountReducer reducer;
+  mr::LocalRunner runner(mapper, reducer);
+
+  const auto plain = runner.run_plain(corpus);
+
+  core::InputFormat gal_fmt(gal, gal_blocks[0].size());
+  std::vector<ConstByteSpan> gv(gal_blocks.begin(), gal_blocks.end());
+  const auto over_galloper = runner.run(gal_fmt, gv);
+
+  core::InputFormat pyr_fmt(pyr, pyr_blocks[0].size());
+  std::vector<ConstByteSpan> pv(pyr_blocks.begin(), pyr_blocks.end());
+  const auto over_pyramid = runner.run(pyr_fmt, pv);
+
+  std::printf("results identical (plain vs Galloper): %s\n",
+              plain == over_galloper ? "yes" : "NO");
+  std::printf("results identical (plain vs Pyramid):  %s\n",
+              plain == over_pyramid ? "yes" : "NO");
+
+  // 3. Parallelism: which servers ran map tasks?
+  auto servers_used = [](const core::InputFormat& fmt) {
+    std::vector<size_t> used;
+    for (const auto& s : fmt.splits()) used.push_back(s.block);
+    return used;
+  };
+  std::printf("\nservers with map work (Pyramid): ");
+  for (size_t s : servers_used(pyr_fmt)) std::printf(" %zu", s);
+  std::printf("  ← only the k data blocks\n");
+  std::printf("servers with map work (Galloper):");
+  for (size_t s : servers_used(gal_fmt)) std::printf(" %zu", s);
+  std::printf("  ← all k+l+g blocks\n");
+
+  // 4. Top words.
+  std::printf("\ntop words:\n");
+  auto sorted = plain;
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return std::stoull(a.value) > std::stoull(b.value);
+  });
+  for (size_t i = 0; i < 5 && i < sorted.size(); ++i)
+    std::printf("  %-8s %s\n", sorted[i].key.c_str(),
+                sorted[i].value.c_str());
+
+  return (plain == over_galloper && plain == over_pyramid) ? 0 : 1;
+}

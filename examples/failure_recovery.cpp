@@ -1,0 +1,85 @@
+// Failure-recovery walkthrough on the simulated storage cluster: inject
+// server failures, check durability, repair with real byte movement and
+// verify the rebuilt blocks bit-for-bit, while accounting disk I/O — the
+// operational story behind paper Figs. 1 and 8.
+//
+//   $ ./failure_recovery
+#include <cstdio>
+
+#include "codes/reed_solomon.h"
+#include "core/galloper.h"
+#include "sim/storage.h"
+#include "util/rng.h"
+
+using namespace galloper;
+
+int main() {
+  core::GalloperCode code(4, 2, 1);
+  const size_t chunk = 64 * 1024;
+  Rng rng(99);
+  const Buffer file = random_buffer(code.engine().num_chunks() * chunk, rng);
+  auto blocks = code.encode(file);
+  const size_t block_bytes = blocks[0].size();
+
+  sim::Simulation simulation;
+  sim::Cluster cluster(simulation, 9, sim::ServerSpec{});
+  sim::StorageSystem storage(simulation, cluster, code, block_bytes);
+  std::printf("stored %zu blocks of %zu bytes on servers 0-6 "
+              "(servers 7-8 spare)\n\n",
+              blocks.size(), block_bytes);
+
+  // --- failure 1: a data block — repaired locally -----------------------
+  std::printf("server 2 dies.\n");
+  storage.fail_block(2);
+  std::printf("  data still available? %s\n",
+              storage.data_available() ? "yes" : "no");
+
+  const auto metrics = storage.simulate_repair(2, /*replacement=*/7);
+  std::printf("  simulated repair onto server 7: %.3f s, %.1f MB disk I/O, "
+              "helpers:",
+              metrics.completion_time,
+              static_cast<double>(metrics.disk_bytes_read) / 1e6);
+  for (size_t h : metrics.helpers) std::printf(" %zu", h);
+  std::printf("\n");
+
+  // Real byte-level repair with the same helper set.
+  std::map<size_t, ConstByteSpan> helper_view;
+  for (size_t h : metrics.helpers) helper_view.emplace(h, blocks[h]);
+  const auto rebuilt = code.repair_block(2, helper_view);
+  std::printf("  rebuilt block matches original: %s\n\n",
+              rebuilt && *rebuilt == blocks[2] ? "yes" : "NO");
+  storage.recover_block(2);
+
+  // --- failure 2: two failures at once (the guarantee boundary) ---------
+  std::printf("servers 0 and 1 die together (both data blocks of group 0).\n");
+  storage.fail_block(0);
+  storage.fail_block(1);
+  std::printf("  data still available? %s  (g+1 = 2 tolerated)\n",
+              storage.data_available() ? "yes" : "no");
+  std::printf("  … and the global parity dies too.\n");
+  storage.fail_block(6);
+  std::printf("  data still available? %s  (3 failures can exceed the "
+              "guarantee)\n\n",
+              storage.data_available() ? "yes" : "no");
+  storage.recover_block(6);
+
+  // Recover the two dead blocks for real, from the 5 survivors.
+  std::map<size_t, ConstByteSpan> survivors;
+  for (size_t b = 2; b < 7; ++b) survivors.emplace(b, blocks[b]);
+  const auto decoded = code.decode(survivors);
+  std::printf("decode whole file from survivors: %s\n",
+              decoded && *decoded == file ? "bit-exact" : "FAILED");
+
+  // --- comparison: the same double failure under Reed-Solomon ------------
+  codes::ReedSolomonCode rs(4, 2);
+  sim::Simulation sim2;
+  sim::Cluster cluster2(sim2, 8, sim::ServerSpec{});
+  sim::StorageSystem rs_storage(sim2, cluster2, rs, block_bytes);
+  const auto rs_metrics = rs_storage.simulate_repair(2, 7);
+  std::printf(
+      "\nrepairing one block: Reed-Solomon reads %.1f MB vs Galloper's "
+      "%.1f MB (the Fig. 1 saving)\n",
+      static_cast<double>(rs_metrics.disk_bytes_read) / 1e6,
+      static_cast<double>(metrics.disk_bytes_read) / 1e6);
+  return (decoded && *decoded == file) ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// Recovery storm: a server dies while it holds blocks of MANY files, and
+// the cluster must rebuild all of them. Compares Reed-Solomon against
+// Galloper on recovered bytes, disk I/O, and simulated makespan, then
+// estimates what the repair speed means for durability (MTTDL).
+//
+//   $ ./recovery_storm
+#include <cstdio>
+
+#include "analysis/durability.h"
+#include "codes/reed_solomon.h"
+#include "core/galloper.h"
+#include "store/file_store.h"
+#include "store/recovery.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace galloper;
+
+namespace {
+
+struct Outcome {
+  store::RecoveryReport report;
+  bool verified = false;
+};
+
+Outcome storm(const codes::ErasureCode& code, size_t files,
+              size_t file_bytes, uint64_t seed) {
+  sim::Simulation simulation;
+  sim::Cluster cluster(simulation, code.num_blocks(), sim::ServerSpec{});
+  store::FileStore fs(cluster, code);
+  Rng rng(seed);
+  std::vector<Buffer> originals;
+  for (size_t i = 0; i < files; ++i) {
+    originals.push_back(random_buffer(file_bytes, rng));
+    fs.write(originals.back());
+  }
+  fs.fail_server(0);
+  fs.revive_server(0);
+  store::RecoveryManager mgr(simulation, fs);
+  Outcome out;
+  out.report = mgr.recover_all();
+  out.verified = true;
+  for (size_t i = 0; i < files; ++i)
+    out.verified &= (*fs.read(i) == originals[i]);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  codes::ReedSolomonCode rs(4, 2);
+  core::GalloperCode gal(4, 2, 1);
+
+  const size_t files = 24;
+  const size_t file_bytes = 28 * 4096;  // valid for both codes (28 chunks)
+
+  std::printf("server 0 dies holding one block of each of %zu files "
+              "(%zu bytes each)\n\n",
+              files, file_bytes);
+
+  Table table({"code", "blocks rebuilt", "disk read (MB)", "makespan (s)",
+               "bit-exact"});
+  for (const codes::ErasureCode* code :
+       std::initializer_list<const codes::ErasureCode*>{&rs, &gal}) {
+    const Outcome out = storm(*code, files, file_bytes, 99);
+    table.add_row(
+        {code->name(), std::to_string(out.report.blocks_repaired),
+         Table::num(static_cast<double>(out.report.disk_bytes_read) / 1e6),
+         Table::num(out.report.makespan), out.verified ? "yes" : "NO"});
+  }
+  table.print();
+
+  // What faster repair buys in durability (accelerated failure rates).
+  analysis::DurabilityParams params{/*mtbf_hours=*/40.0,
+                                    /*repair_hours_per_block=*/1.0};
+  const auto d_rs = analysis::mttdl_monte_carlo(rs, params, 200, 1);
+  const auto d_gal = analysis::mttdl_monte_carlo(gal, params, 200, 1);
+  std::printf(
+      "\nMTTDL (accelerated regime, 200 trials): RS %.0f h vs Galloper "
+      "%.0f h — %0.1fx, from halving the repair window.\n",
+      d_rs.mttdl_hours, d_gal.mttdl_hours,
+      d_gal.mttdl_hours / d_rs.mttdl_hours);
+  return 0;
+}

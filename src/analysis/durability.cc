@@ -1,0 +1,121 @@
+#include "analysis/durability.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/check.h"
+
+namespace galloper::analysis {
+
+double mttdl_markov(size_t n, size_t tolerance, double failure_rate,
+                    double repair_rate) {
+  GALLOPER_CHECK(n > tolerance);
+  GALLOPER_CHECK(failure_rate > 0 && repair_rate > 0);
+  // States i = 0..t track concurrently failed blocks; state t+1 absorbs
+  // (data loss). Expected absorption times E_i satisfy
+  //   (λ_i + µ_i) E_i = 1 + µ_i E_{i-1} + λ_i E_{i+1},  E_{t+1} = 0,
+  // with λ_i = (n−i)λ and µ_i = iµ. Solved by Gaussian elimination on the
+  // (t+1)-dimensional tridiagonal system.
+  const size_t t = tolerance;
+  const size_t m = t + 1;  // unknowns E_0..E_t
+  std::vector<std::vector<double>> a(m, std::vector<double>(m, 0.0));
+  std::vector<double> rhs(m, 1.0);
+  for (size_t i = 0; i < m; ++i) {
+    const double lambda = static_cast<double>(n - i) * failure_rate;
+    const double mu = static_cast<double>(i) * repair_rate;
+    a[i][i] = lambda + mu;
+    if (i > 0) a[i][i - 1] = -mu;
+    if (i + 1 < m) a[i][i + 1] = -lambda;
+    // λ_t E_{t+1} term vanishes (absorbing state).
+  }
+  // Forward elimination (the matrix is strictly diagonally dominant).
+  for (size_t i = 1; i < m; ++i) {
+    const double f = a[i][i - 1] / a[i - 1][i - 1];
+    for (size_t j = 0; j < m; ++j) a[i][j] -= f * a[i - 1][j];
+    rhs[i] -= f * rhs[i - 1];
+  }
+  std::vector<double> e(m, 0.0);
+  for (size_t ii = m; ii-- > 0;) {
+    double acc = rhs[ii];
+    for (size_t j = ii + 1; j < m; ++j) acc -= a[ii][j] * e[j];
+    e[ii] = acc / a[ii][ii];
+  }
+  return e[0];
+}
+
+MonteCarloResult mttdl_monte_carlo(const codes::ErasureCode& code,
+                                   const DurabilityParams& params,
+                                   size_t trials, uint64_t seed) {
+  GALLOPER_CHECK(trials > 0);
+  GALLOPER_CHECK(params.mtbf_hours > 0 && params.repair_hours_per_block > 0);
+  const size_t n = code.num_blocks();
+
+  // Per-block repair duration priced by its helper count (the locality).
+  std::vector<double> repair_hours(n);
+  for (size_t b = 0; b < n; ++b)
+    repair_hours[b] = params.repair_hours_per_block *
+                      static_cast<double>(code.repair_helpers(b).size());
+
+  Rng rng(seed);
+  MonteCarloResult result;
+  result.trials = trials;
+  double total_time = 0;
+  double total_failures = 0;
+
+  for (size_t trial = 0; trial < trials; ++trial) {
+    double now = 0;
+    std::map<size_t, double> repairing;  // failed block → completion time
+    size_t failures_this_trial = 0;
+    for (;;) {
+      const size_t alive = n - repairing.size();
+      // Next failure (memoryless → resample after every event).
+      const double fail_at =
+          alive == 0
+              ? std::numeric_limits<double>::infinity()
+              : now + rng.next_exponential(params.mtbf_hours /
+                                           static_cast<double>(alive));
+      // Next repair completion.
+      double repair_at = std::numeric_limits<double>::infinity();
+      size_t repaired_block = SIZE_MAX;
+      for (const auto& [b, done] : repairing) {
+        if (done < repair_at) {
+          repair_at = done;
+          repaired_block = b;
+        }
+      }
+      if (repair_at <= fail_at) {
+        now = repair_at;
+        repairing.erase(repaired_block);
+        continue;
+      }
+      now = fail_at;
+      ++failures_this_trial;
+      // Pick the failing block uniformly among alive ones.
+      size_t idx = static_cast<size_t>(rng.next_below(alive));
+      size_t block = SIZE_MAX;
+      for (size_t b = 0; b < n; ++b) {
+        if (repairing.count(b)) continue;
+        if (idx-- == 0) {
+          block = b;
+          break;
+        }
+      }
+      repairing[block] = now + repair_hours[block];
+      // Data loss when the alive set can no longer decode.
+      std::vector<size_t> alive_blocks;
+      for (size_t b = 0; b < n; ++b)
+        if (!repairing.count(b)) alive_blocks.push_back(b);
+      if (!code.decodable(alive_blocks)) break;
+    }
+    total_time += now;
+    total_failures += static_cast<double>(failures_this_trial);
+  }
+  result.mttdl_hours = total_time / static_cast<double>(trials);
+  result.mean_failures = total_failures / static_cast<double>(trials);
+  return result;
+}
+
+}  // namespace galloper::analysis

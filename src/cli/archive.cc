@@ -1,0 +1,315 @@
+#include "cli/archive.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "core/input_format.h"
+#include "core/weights.h"
+#include "util/check.h"
+#include "util/crc32c.h"
+
+namespace galloper::cli {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Buffer read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  GALLOPER_CHECK_MSG(in.good(), "cannot open " << path.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string s = ss.str();
+  return Buffer(s.begin(), s.end());
+}
+
+void write_file(const fs::path& path, ConstByteSpan data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  GALLOPER_CHECK_MSG(out.good(), "cannot write " << path.string());
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  GALLOPER_CHECK_MSG(out.good(), "short write to " << path.string());
+}
+
+Rational parse_rational(const std::string& s) {
+  const size_t slash = s.find('/');
+  if (slash == std::string::npos) return Rational(std::stoll(s));
+  return Rational(std::stoll(s.substr(0, slash)),
+                  std::stoll(s.substr(slash + 1)));
+}
+
+}  // namespace
+
+std::string Manifest::serialize() const {
+  std::ostringstream os;
+  os << "format=galloper-archive-v1\n";
+  os << "k=" << k << "\n";
+  os << "l=" << l << "\n";
+  os << "g=" << g << "\n";
+  os << "weights=";
+  for (size_t i = 0; i < weights.size(); ++i)
+    os << (i ? "," : "") << weights[i].to_string();
+  os << "\n";
+  os << "block_bytes=" << block_bytes << "\n";
+  os << "original_bytes=" << original_bytes << "\n";
+  if (!block_crcs.empty()) {
+    os << "block_crcs=";
+    for (size_t i = 0; i < block_crcs.size(); ++i) {
+      char hex[16];
+      std::snprintf(hex, sizeof(hex), "%08x", block_crcs[i]);
+      os << (i ? "," : "") << hex;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Manifest Manifest::parse(const std::string& text) {
+  Manifest m;
+  std::istringstream is(text);
+  std::string line;
+  bool format_seen = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    GALLOPER_CHECK_MSG(eq != std::string::npos,
+                       "malformed manifest line: " << line);
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "format") {
+      GALLOPER_CHECK_MSG(value == "galloper-archive-v1",
+                         "unsupported archive format: " << value);
+      format_seen = true;
+    } else if (key == "k") {
+      m.k = std::stoull(value);
+    } else if (key == "l") {
+      m.l = std::stoull(value);
+    } else if (key == "g") {
+      m.g = std::stoull(value);
+    } else if (key == "weights") {
+      size_t start = 0;
+      while (start < value.size()) {
+        size_t comma = value.find(',', start);
+        if (comma == std::string::npos) comma = value.size();
+        m.weights.push_back(parse_rational(value.substr(start, comma - start)));
+        start = comma + 1;
+      }
+    } else if (key == "block_bytes") {
+      m.block_bytes = std::stoull(value);
+    } else if (key == "original_bytes") {
+      m.original_bytes = std::stoull(value);
+    } else if (key == "block_crcs") {
+      size_t start = 0;
+      while (start < value.size()) {
+        size_t comma = value.find(',', start);
+        if (comma == std::string::npos) comma = value.size();
+        m.block_crcs.push_back(static_cast<uint32_t>(
+            std::stoul(value.substr(start, comma - start), nullptr, 16)));
+        start = comma + 1;
+      }
+    } else {
+      // Unknown keys are ignored for forward compatibility.
+    }
+  }
+  GALLOPER_CHECK_MSG(format_seen, "manifest missing format line");
+  GALLOPER_CHECK_MSG(m.k > 0 && !m.weights.empty() && m.block_bytes > 0,
+                     "manifest incomplete");
+  return m;
+}
+
+core::GalloperCode Manifest::make_code() const {
+  return core::GalloperCode(k, l, g, weights);
+}
+
+fs::path block_path(const fs::path& dir, size_t block) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "block_%03zu.bin", block);
+  return dir / name;
+}
+
+Manifest encode_archive(const fs::path& input, const fs::path& dir, size_t k,
+                        size_t l, size_t g, const std::vector<double>& perf,
+                        int64_t resolution) {
+  Buffer data = read_file(input);
+  GALLOPER_CHECK_MSG(!data.empty(), "refusing to encode an empty file");
+
+  Manifest m;
+  m.k = k;
+  m.l = l;
+  m.g = g;
+  m.original_bytes = data.size();
+  m.weights = perf.empty()
+                  ? core::uniform_weights(k, l, g)
+                  : core::assign_weights(k, l, g, perf, resolution).weights;
+
+  core::GalloperCode code(k, l, g, m.weights);
+  // Zero-pad to a whole number of chunks.
+  const size_t chunks = code.engine().num_chunks();
+  const size_t padded = (data.size() + chunks - 1) / chunks * chunks;
+  data.resize(padded, 0);
+  m.block_bytes = padded / chunks * code.n_stripes();
+
+  const auto blocks = code.encode(data);
+  for (const auto& block : blocks) m.block_crcs.push_back(crc32c(block));
+  fs::create_directories(dir);
+  for (size_t b = 0; b < blocks.size(); ++b)
+    write_file(block_path(dir, b), blocks[b]);
+  write_file(dir / "MANIFEST",
+             ConstByteSpan(
+                 reinterpret_cast<const uint8_t*>(m.serialize().data()),
+                 m.serialize().size()));
+  return m;
+}
+
+Manifest read_manifest(const fs::path& dir) {
+  const Buffer raw = read_file(dir / "MANIFEST");
+  return Manifest::parse(std::string(raw.begin(), raw.end()));
+}
+
+std::optional<Buffer> decode_archive(const fs::path& dir) {
+  const Manifest m = read_manifest(dir);
+  const core::GalloperCode code = m.make_code();
+
+  std::vector<Buffer> present(code.num_blocks());
+  std::map<size_t, ConstByteSpan> view;
+  for (size_t b = 0; b < code.num_blocks(); ++b) {
+    const fs::path p = block_path(dir, b);
+    if (!fs::exists(p)) continue;
+    present[b] = read_file(p);
+    GALLOPER_CHECK_MSG(present[b].size() == m.block_bytes,
+                       "block file " << p.string() << " has wrong size");
+    view.emplace(b, present[b]);
+  }
+  auto padded = code.decode(view);
+  if (!padded) return std::nullopt;
+  padded->resize(m.original_bytes);
+  return padded;
+}
+
+std::optional<std::vector<size_t>> repair_archive(const fs::path& dir,
+                                                  size_t block) {
+  const Manifest m = read_manifest(dir);
+  const core::GalloperCode code = m.make_code();
+  GALLOPER_CHECK_MSG(block < code.num_blocks(),
+                     "block " << block << " out of range");
+
+  auto try_helpers = [&](const std::vector<size_t>& helpers)
+      -> std::optional<std::vector<size_t>> {
+    std::vector<Buffer> data(helpers.size());
+    std::map<size_t, ConstByteSpan> view;
+    for (size_t i = 0; i < helpers.size(); ++i) {
+      const fs::path p = block_path(dir, helpers[i]);
+      if (!fs::exists(p)) return std::nullopt;
+      data[i] = read_file(p);
+      view.emplace(helpers[i], data[i]);
+    }
+    auto rebuilt = code.repair_block(block, view);
+    if (!rebuilt) return std::nullopt;
+    write_file(block_path(dir, block), *rebuilt);
+    return helpers;
+  };
+
+  // Local helpers first; fall back to every present block.
+  if (auto done = try_helpers(code.repair_helpers(block))) return done;
+  std::vector<size_t> all;
+  for (size_t b = 0; b < code.num_blocks(); ++b)
+    if (b != block && fs::exists(block_path(dir, b))) all.push_back(b);
+  return try_helpers(all);
+}
+
+std::string describe_archive(const fs::path& dir) {
+  const Manifest m = read_manifest(dir);
+  const core::GalloperCode code = m.make_code();
+  core::InputFormat fmt(code, m.block_bytes);
+
+  std::ostringstream os;
+  os << code.name() << ", N = " << code.n_stripes()
+     << " stripes/block, block = " << m.block_bytes
+     << " bytes, original = " << m.original_bytes << " bytes\n";
+  for (size_t b = 0; b < code.num_blocks(); ++b) {
+    const char* role = b < m.k                ? "data"
+                       : b < m.k + m.l        ? "local parity"
+                                              : "global parity";
+    os << "  block " << b << " [" << role << "] weight "
+       << code.weights()[b].to_string() << " → "
+       << fmt.original_bytes_in_block(b) << " original bytes, "
+       << (fs::exists(block_path(dir, b)) ? "present" : "MISSING") << "\n";
+  }
+  return os.str();
+}
+
+std::vector<size_t> update_archive(const fs::path& dir, size_t offset,
+                                   ConstByteSpan data) {
+  Manifest m = read_manifest(dir);
+  const core::GalloperCode code = m.make_code();
+  const size_t chunk = m.block_bytes / code.n_stripes();
+  GALLOPER_CHECK_MSG(offset % chunk == 0 && data.size() % chunk == 0,
+                     "updates must be chunk-aligned (chunk = " << chunk
+                                                               << " bytes)");
+  GALLOPER_CHECK_MSG(
+      offset + data.size() <= code.engine().num_chunks() * chunk,
+      "update range beyond the encoded file");
+
+  std::vector<Buffer> blocks;
+  blocks.reserve(code.num_blocks());
+  for (size_t b = 0; b < code.num_blocks(); ++b) {
+    const fs::path p = block_path(dir, b);
+    GALLOPER_CHECK_MSG(fs::exists(p),
+                       "block " << b << " missing — repair before updating");
+    blocks.push_back(read_file(p));
+    GALLOPER_CHECK(blocks.back().size() == m.block_bytes);
+  }
+
+  std::vector<size_t> touched;
+  const size_t first = offset / chunk;
+  for (size_t c = 0; c * chunk < data.size(); ++c) {
+    const auto t = code.engine().update_chunk(blocks, first + c,
+                                              data.subspan(c * chunk, chunk));
+    touched.insert(touched.end(), t.begin(), t.end());
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+  for (size_t b : touched) {
+    write_file(block_path(dir, b), blocks[b]);
+    if (m.block_crcs.size() > b) m.block_crcs[b] = crc32c(blocks[b]);
+  }
+  // The original may have grown into previously zero padding; keep the
+  // recorded size monotone.
+  m.original_bytes = std::max(m.original_bytes, offset + data.size());
+  const std::string serialized = m.serialize();
+  write_file(dir / "MANIFEST",
+             ConstByteSpan(
+                 reinterpret_cast<const uint8_t*>(serialized.data()),
+                 serialized.size()));
+  return touched;
+}
+
+VerifyReport verify_archive(const fs::path& dir) {
+  const Manifest m = read_manifest(dir);
+  const core::GalloperCode code = m.make_code();
+  VerifyReport report;
+  std::vector<size_t> usable;
+  for (size_t b = 0; b < code.num_blocks(); ++b) {
+    const fs::path p = block_path(dir, b);
+    if (!fs::exists(p)) {
+      report.missing.push_back(b);
+      continue;
+    }
+    const Buffer data = read_file(p);
+    const bool size_ok = data.size() == m.block_bytes;
+    const bool crc_ok = m.block_crcs.size() <= b  // no CRC recorded: trust
+                            ? size_ok
+                            : size_ok && crc32c(data) == m.block_crcs[b];
+    if (!crc_ok) {
+      report.corrupt.push_back(b);
+      continue;
+    }
+    usable.push_back(b);
+  }
+  report.decodable = code.decodable(usable);
+  return report;
+}
+
+}  // namespace galloper::cli

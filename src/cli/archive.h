@@ -1,0 +1,83 @@
+// On-disk coded archive format used by the `galloper` CLI tool:
+//
+//   <dir>/MANIFEST        — text manifest (key=value lines)
+//   <dir>/block_NNN.bin   — one file per block (may be missing = lost)
+//
+// The manifest records the code parameters, the rational weights, and the
+// original file size (the file is zero-padded up to a whole number of
+// chunks before encoding).
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/galloper.h"
+#include "util/bytes.h"
+#include "util/rational.h"
+
+namespace galloper::cli {
+
+struct Manifest {
+  size_t k = 0;
+  size_t l = 0;
+  size_t g = 0;
+  std::vector<Rational> weights;
+  size_t block_bytes = 0;
+  size_t original_bytes = 0;  // before padding
+  std::vector<uint32_t> block_crcs;  // CRC-32C per block (may be empty in
+                                     // archives from older writers)
+
+  std::string serialize() const;
+  static Manifest parse(const std::string& text);  // throws CheckError
+
+  core::GalloperCode make_code() const;
+};
+
+// Encodes `input` with a (k,l,g) Galloper code (weights from `perf` via the
+// LP when non-empty, uniform otherwise) and writes the archive to `dir`
+// (created if needed). Returns the manifest written.
+Manifest encode_archive(const std::filesystem::path& input,
+                        const std::filesystem::path& dir, size_t k, size_t l,
+                        size_t g, const std::vector<double>& perf = {},
+                        int64_t resolution = 12);
+
+// Reads the manifest of an archive directory.
+Manifest read_manifest(const std::filesystem::path& dir);
+
+// Block file path; exists() tells whether the block is present.
+std::filesystem::path block_path(const std::filesystem::path& dir,
+                                 size_t block);
+
+// Decodes the original file from the blocks present in `dir`.
+// nullopt if the available blocks are insufficient.
+std::optional<Buffer> decode_archive(const std::filesystem::path& dir);
+
+// Rebuilds one missing block file in place. Returns the helper blocks
+// read; nullopt if impossible.
+std::optional<std::vector<size_t>> repair_archive(
+    const std::filesystem::path& dir, size_t block);
+
+// Human-readable description (weights, layout, data/parity split).
+std::string describe_archive(const std::filesystem::path& dir);
+
+// Overwrites the chunk-aligned byte range [offset, offset + data.size())
+// of the ORIGINAL file inside the archive: only the block files touched by
+// the delta-parity patch are rewritten, and their manifest CRCs refreshed.
+// Requires every block file present (repair first on a degraded archive).
+// Returns the blocks rewritten.
+std::vector<size_t> update_archive(const std::filesystem::path& dir,
+                                   size_t offset, ConstByteSpan data);
+
+// Integrity audit against the manifest's CRCs.
+struct VerifyReport {
+  std::vector<size_t> missing;    // block files absent
+  std::vector<size_t> corrupt;    // present but CRC mismatch / wrong size
+  bool decodable = false;         // can the file still be recovered?
+
+  bool clean() const { return missing.empty() && corrupt.empty(); }
+};
+VerifyReport verify_archive(const std::filesystem::path& dir);
+
+}  // namespace galloper::cli

@@ -1,0 +1,75 @@
+#include "codes/block_group.h"
+
+#include "util/check.h"
+
+namespace galloper::codes {
+
+BlockGroupCodec::BlockGroupCodec(const ErasureCode& code,
+                                 size_t group_data_bytes)
+    : code_(code), group_data_bytes_(group_data_bytes) {
+  GALLOPER_CHECK_MSG(
+      group_data_bytes > 0 &&
+          group_data_bytes % code.engine().num_chunks() == 0,
+      "group data size must be a positive multiple of the chunk count "
+          << code.engine().num_chunks());
+}
+
+size_t BlockGroupCodec::block_bytes() const {
+  return group_data_bytes_ / code_.engine().num_chunks() *
+         code_.stripes_per_block();
+}
+
+size_t BlockGroupCodec::num_groups(size_t file_bytes) const {
+  GALLOPER_CHECK(file_bytes > 0);
+  return (file_bytes + group_data_bytes_ - 1) / group_data_bytes_;
+}
+
+BlockGroupCodec::EncodedFile BlockGroupCodec::encode(
+    ConstByteSpan file) const {
+  GALLOPER_CHECK_MSG(!file.empty(), "cannot encode an empty file");
+  EncodedFile out;
+  out.original_bytes = file.size();
+  const size_t groups = num_groups(file.size());
+  out.groups.reserve(groups);
+  Buffer padded;  // reused scratch for the (padded) last group
+  for (size_t g = 0; g < groups; ++g) {
+    const size_t offset = g * group_data_bytes_;
+    const size_t len = std::min(group_data_bytes_, file.size() - offset);
+    if (len == group_data_bytes_) {
+      out.groups.push_back(code_.encode(file.subspan(offset, len)));
+    } else {
+      padded.assign(file.begin() + static_cast<ptrdiff_t>(offset),
+                    file.end());
+      padded.resize(group_data_bytes_, 0);
+      out.groups.push_back(code_.encode(padded));
+    }
+  }
+  return out;
+}
+
+std::optional<Buffer> BlockGroupCodec::decode(
+    size_t original_bytes,
+    const std::vector<std::map<size_t, ConstByteSpan>>& available) const {
+  GALLOPER_CHECK(original_bytes > 0);
+  GALLOPER_CHECK_MSG(available.size() == num_groups(original_bytes),
+                     "expected " << num_groups(original_bytes)
+                                 << " groups, got " << available.size());
+  Buffer file;
+  file.reserve(num_groups(original_bytes) * group_data_bytes_);
+  for (const auto& group : available) {
+    auto data = code_.decode(group);
+    if (!data) return std::nullopt;
+    file.insert(file.end(), data->begin(), data->end());
+  }
+  file.resize(original_bytes);
+  return file;
+}
+
+std::optional<Buffer> BlockGroupCodec::repair(
+    size_t group, size_t block,
+    const std::map<size_t, ConstByteSpan>& helpers) const {
+  (void)group;  // groups are iid; the id only matters to the caller
+  return code_.repair_block(block, helpers);
+}
+
+}  // namespace galloper::codes

@@ -1,0 +1,56 @@
+// BlockGroupCodec: encodes files of arbitrary size as a sequence of
+// independent coded groups, the way HDFS erasure coding and Azure both
+// deploy a fixed (k, l, g) code in practice. Each group is one codeword of
+// the underlying code over `group_data_bytes` of the file; the last group
+// is zero-padded (original size kept so decode returns exact bytes).
+//
+// Group independence keeps repair I/O proportional to the damaged group
+// only, and lets groups be repaired in parallel.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "codes/erasure_code.h"
+
+namespace galloper::codes {
+
+class BlockGroupCodec {
+ public:
+  // `group_data_bytes` must be a positive multiple of the code's chunk
+  // count; `code` must outlive the codec.
+  BlockGroupCodec(const ErasureCode& code, size_t group_data_bytes);
+
+  const ErasureCode& code() const { return code_; }
+  size_t group_data_bytes() const { return group_data_bytes_; }
+  size_t block_bytes() const;  // per-group block size
+
+  // Number of groups a file of `file_bytes` occupies.
+  size_t num_groups(size_t file_bytes) const;
+
+  struct EncodedFile {
+    size_t original_bytes = 0;
+    // groups[g][b] = block b of group g.
+    std::vector<std::vector<Buffer>> groups;
+  };
+
+  EncodedFile encode(ConstByteSpan file) const;
+
+  // Decodes from per-group available blocks; available[g] maps block id to
+  // contents. nullopt if any group is undecodable.
+  std::optional<Buffer> decode(
+      size_t original_bytes,
+      const std::vector<std::map<size_t, ConstByteSpan>>& available) const;
+
+  // Rebuilds one block of one group.
+  std::optional<Buffer> repair(
+      size_t group, size_t block,
+      const std::map<size_t, ConstByteSpan>& helpers) const;
+
+ private:
+  const ErasureCode& code_;
+  size_t group_data_bytes_;
+};
+
+}  // namespace galloper::codes

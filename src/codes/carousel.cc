@@ -1,0 +1,43 @@
+#include "codes/carousel.h"
+
+#include <sstream>
+
+#include "codes/remap.h"
+#include "la/builders.h"
+#include "util/check.h"
+
+namespace galloper::codes {
+
+namespace {
+
+CodecEngine make_engine(size_t k, size_t r) {
+  GALLOPER_CHECK(k >= 1);
+  GALLOPER_CHECK_MSG(k + r <= 256, "k + r must fit in GF(256)");
+  const size_t n = k + r;
+  // Uniform weights k/(k+r): N = k+r stripes per block, k of them data.
+  RemappedCode rc =
+      remap_mds(la::systematic_mds(k, r), n, std::vector<size_t>(n, k));
+  return CodecEngine(std::move(rc.generator), n, n, std::move(rc.chunk_pos));
+}
+
+}  // namespace
+
+CarouselCode::CarouselCode(size_t k, size_t r)
+    : k_(k), r_(r), engine_(make_engine(k, r)) {}
+
+std::string CarouselCode::name() const {
+  std::ostringstream os;
+  os << "(" << k_ << "," << r_ << ") Carousel";
+  return os.str();
+}
+
+std::vector<size_t> CarouselCode::repair_helpers(size_t block) const {
+  GALLOPER_CHECK(block < k_ + r_);
+  // Linearly equivalent to Reed-Solomon: k whole blocks are required.
+  std::vector<size_t> helpers;
+  for (size_t b = 0; b < k_ + r_ && helpers.size() < k_; ++b)
+    if (b != block) helpers.push_back(b);
+  return helpers;
+}
+
+}  // namespace galloper::codes

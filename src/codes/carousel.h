@@ -1,0 +1,34 @@
+// (k, r) Carousel code (Li & Li, ICDCS 2017; Sec. III-C of the paper) —
+// the data-parallelism baseline Galloper codes are compared against.
+//
+// A Carousel code is a Reed-Solomon code symbol-remapped with uniform
+// weights w_i = k/(k+r): each of the k+r blocks is split into N = k+r
+// stripes, k of which hold original data. Data parallelism reaches all
+// blocks, but the code is linearly equivalent to Reed-Solomon, so repair
+// still reads k whole blocks (the disk-I/O drawback Galloper removes), and
+// the uniform spread cannot adapt to heterogeneous servers.
+#pragma once
+
+#include "codes/erasure_code.h"
+
+namespace galloper::codes {
+
+class CarouselCode final : public ErasureCode {
+ public:
+  // Requires k ≥ 1, r ≥ 0, k + r ≤ 256.
+  CarouselCode(size_t k, size_t r);
+
+  std::string name() const override;
+  size_t k() const override { return k_; }
+  size_t r() const { return r_; }
+  std::vector<size_t> repair_helpers(size_t block) const override;
+  size_t guaranteed_tolerance() const override { return r_; }
+  const CodecEngine& engine() const override { return engine_; }
+
+ private:
+  size_t k_;
+  size_t r_;
+  CodecEngine engine_;
+};
+
+}  // namespace galloper::codes

@@ -1,0 +1,398 @@
+#include "codes/engine.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "gf/region.h"
+#include "la/solve.h"
+#include "util/check.h"
+
+namespace galloper::codes {
+
+CodecEngine::CodecEngine(la::Matrix stripe_generator, size_t num_blocks,
+                         size_t stripes_per_block,
+                         std::vector<StripeRef> chunk_pos)
+    : generator_(std::move(stripe_generator)),
+      num_blocks_(num_blocks),
+      stripes_per_block_(stripes_per_block),
+      chunk_pos_(std::move(chunk_pos)) {
+  GALLOPER_CHECK(num_blocks_ > 0 && stripes_per_block_ > 0);
+  GALLOPER_CHECK_MSG(
+      generator_.rows() == num_blocks_ * stripes_per_block_,
+      "generator rows " << generator_.rows() << " != n·N "
+                        << num_blocks_ * stripes_per_block_);
+  GALLOPER_CHECK_MSG(generator_.cols() == chunk_pos_.size(),
+                     "generator cols " << generator_.cols()
+                                       << " != chunk count "
+                                       << chunk_pos_.size());
+  block_chunks_.assign(num_blocks_,
+                       std::vector<size_t>(stripes_per_block_, SIZE_MAX));
+  for (size_t c = 0; c < chunk_pos_.size(); ++c) {
+    const StripeRef ref = chunk_pos_[c];
+    GALLOPER_CHECK(ref.block < num_blocks_ && ref.pos < stripes_per_block_);
+    GALLOPER_CHECK_MSG(block_chunks_[ref.block][ref.pos] == SIZE_MAX,
+                       "two chunks mapped to the same stripe");
+    block_chunks_[ref.block][ref.pos] = c;
+    // The systematic property: chunk c's stripe row must be the unit e_c.
+    const auto row = generator_.row(ref.block * stripes_per_block_ + ref.pos);
+    for (size_t j = 0; j < row.size(); ++j)
+      GALLOPER_CHECK_MSG(row[j] == (j == c ? 1 : 0),
+                         "chunk " << c << " stripe row is not systematic");
+  }
+
+  sparse_rows_.resize(generator_.rows());
+  chunk_consumers_.resize(chunk_pos_.size());
+  for (size_t r = 0; r < generator_.rows(); ++r) {
+    const auto row = generator_.row(r);
+    for (size_t j = 0; j < row.size(); ++j)
+      if (row[j] != 0)
+        sparse_rows_[r].push_back({static_cast<uint32_t>(j), row[j]});
+  }
+  // Column view over PARITY stripes only (the data stripe of a chunk is
+  // updated directly, not via delta).
+  for (size_t b = 0; b < num_blocks_; ++b) {
+    for (size_t p = 0; p < stripes_per_block_; ++p) {
+      if (block_chunks_[b][p] != SIZE_MAX) continue;
+      const size_t r = b * stripes_per_block_ + p;
+      for (const Term& t : sparse_rows_[r])
+        chunk_consumers_[t.col].push_back(
+            {static_cast<uint32_t>(r), t.coeff});
+    }
+  }
+}
+
+size_t CodecEngine::data_stripes_in_block(size_t block) const {
+  GALLOPER_CHECK(block < num_blocks_);
+  size_t n = 0;
+  for (size_t c : block_chunks_[block])
+    if (c != SIZE_MAX) ++n;
+  return n;
+}
+
+const std::vector<size_t>& CodecEngine::chunks_of_block(size_t block) const {
+  GALLOPER_CHECK(block < num_blocks_);
+  return block_chunks_[block];
+}
+
+void CodecEngine::encode_slice(ConstByteSpan file,
+                               std::vector<Buffer>& blocks, size_t chunk,
+                               size_t lo, size_t hi) const {
+  if (lo >= hi) return;
+  const size_t len = hi - lo;
+  for (size_t b = 0; b < num_blocks_; ++b) {
+    for (size_t p = 0; p < stripes_per_block_; ++p) {
+      ByteSpan dst(blocks[b].data() + p * chunk + lo, len);
+      const size_t direct = block_chunks_[b][p];
+      if (direct != SIZE_MAX) {
+        std::copy_n(file.data() + direct * chunk + lo, len, dst.data());
+        continue;
+      }
+      for (const Term& t : sparse_rows_[b * stripes_per_block_ + p]) {
+        gf::mul_acc_region(dst, t.coeff,
+                           file.subspan(t.col * chunk + lo, len));
+      }
+    }
+  }
+}
+
+std::vector<Buffer> CodecEngine::encode(ConstByteSpan file) const {
+  GALLOPER_CHECK_MSG(!file.empty() && file.size() % num_chunks() == 0,
+                     "file size " << file.size()
+                                  << " must be a positive multiple of "
+                                  << num_chunks());
+  const size_t chunk = file.size() / num_chunks();
+  std::vector<Buffer> blocks(num_blocks_,
+                             Buffer(stripes_per_block_ * chunk, 0));
+  encode_slice(file, blocks, chunk, 0, chunk);
+  return blocks;
+}
+
+std::vector<Buffer> CodecEngine::encode_parallel(ConstByteSpan file,
+                                                 size_t threads) const {
+  GALLOPER_CHECK_MSG(threads >= 1, "need at least one thread");
+  GALLOPER_CHECK_MSG(!file.empty() && file.size() % num_chunks() == 0,
+                     "file size " << file.size()
+                                  << " must be a positive multiple of "
+                                  << num_chunks());
+  const size_t chunk = file.size() / num_chunks();
+  std::vector<Buffer> blocks(num_blocks_,
+                             Buffer(stripes_per_block_ * chunk, 0));
+  threads = std::min(threads, chunk);
+  if (threads <= 1) {
+    encode_slice(file, blocks, chunk, 0, chunk);
+    return blocks;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const size_t slice = (chunk + threads - 1) / threads;
+  for (size_t t = 0; t < threads; ++t) {
+    const size_t lo = t * slice;
+    const size_t hi = std::min(chunk, lo + slice);
+    workers.emplace_back([this, file, &blocks, chunk, lo, hi] {
+      encode_slice(file, blocks, chunk, lo, hi);
+    });
+  }
+  for (auto& w : workers) w.join();
+  return blocks;
+}
+
+la::Matrix CodecEngine::rows_of_blocks(
+    const std::vector<size_t>& blocks) const {
+  std::vector<size_t> rows;
+  rows.reserve(blocks.size() * stripes_per_block_);
+  for (size_t b : blocks) {
+    GALLOPER_CHECK(b < num_blocks_);
+    for (size_t p = 0; p < stripes_per_block_; ++p)
+      rows.push_back(b * stripes_per_block_ + p);
+  }
+  return generator_.select_rows(rows);
+}
+
+std::optional<Buffer> CodecEngine::decode(
+    const std::map<size_t, ConstByteSpan>& blocks) const {
+  if (blocks.empty()) return std::nullopt;
+  std::vector<size_t> ids;
+  ids.reserve(blocks.size());
+  size_t block_bytes = SIZE_MAX;
+  for (const auto& [id, data] : blocks) {
+    ids.push_back(id);
+    if (block_bytes == SIZE_MAX) block_bytes = data.size();
+    GALLOPER_CHECK_MSG(data.size() == block_bytes,
+                       "blocks of unequal size in decode");
+  }
+  GALLOPER_CHECK(block_bytes % stripes_per_block_ == 0);
+  const size_t chunk = block_bytes / stripes_per_block_;
+
+  const la::Matrix basis = rows_of_blocks(ids);
+  const auto combo =
+      la::express_in_rowspace(basis, la::Matrix::identity(num_chunks()));
+  if (!combo) return std::nullopt;
+
+  Buffer file(num_chunks() * chunk, 0);
+  for (size_t c = 0; c < num_chunks(); ++c) {
+    ByteSpan dst(file.data() + c * chunk, chunk);
+    const auto row = combo->row(c);
+    for (size_t s = 0; s < row.size(); ++s) {
+      if (row[s] == 0) continue;
+      const size_t which_block = s / stripes_per_block_;
+      const size_t pos = s % stripes_per_block_;
+      gf::mul_acc_region(
+          dst, row[s],
+          blocks.at(ids[which_block]).subspan(pos * chunk, chunk));
+    }
+  }
+  return file;
+}
+
+std::optional<Buffer> CodecEngine::decode_fast(
+    const std::map<size_t, ConstByteSpan>& blocks) const {
+  if (blocks.empty()) return std::nullopt;
+  std::vector<size_t> ids;
+  size_t block_bytes = SIZE_MAX;
+  for (const auto& [id, data] : blocks) {
+    ids.push_back(id);
+    if (block_bytes == SIZE_MAX) block_bytes = data.size();
+    GALLOPER_CHECK_MSG(data.size() == block_bytes,
+                       "blocks of unequal size in decode");
+  }
+  GALLOPER_CHECK(block_bytes % stripes_per_block_ == 0);
+  const size_t chunk = block_bytes / stripes_per_block_;
+
+  Buffer file(num_chunks() * chunk, 0);
+  std::vector<size_t> missing;
+  for (size_t c = 0; c < num_chunks(); ++c) {
+    const StripeRef ref = chunk_pos_[c];
+    const auto it = blocks.find(ref.block);
+    if (it == blocks.end()) {
+      missing.push_back(c);
+      continue;
+    }
+    std::copy_n(it->second.data() + ref.pos * chunk, chunk,
+                file.data() + c * chunk);
+  }
+  if (missing.empty()) return file;
+
+  // Solve only for the chunks we could not copy.
+  la::Matrix targets(missing.size(), num_chunks());
+  for (size_t t = 0; t < missing.size(); ++t)
+    targets.at(t, missing[t]) = 1;
+  const la::Matrix basis = rows_of_blocks(ids);
+  const auto combo = la::express_in_rowspace(basis, targets);
+  if (!combo) return std::nullopt;
+  for (size_t t = 0; t < missing.size(); ++t) {
+    ByteSpan dst(file.data() + missing[t] * chunk, chunk);
+    const auto row = combo->row(t);
+    for (size_t s = 0; s < row.size(); ++s) {
+      if (row[s] == 0) continue;
+      const size_t which_block = s / stripes_per_block_;
+      const size_t pos = s % stripes_per_block_;
+      gf::mul_acc_region(
+          dst, row[s],
+          blocks.at(ids[which_block]).subspan(pos * chunk, chunk));
+    }
+  }
+  return file;
+}
+
+std::optional<Buffer> CodecEngine::repair_block(
+    size_t failed, const std::map<size_t, ConstByteSpan>& helpers) const {
+  GALLOPER_CHECK(failed < num_blocks_);
+  GALLOPER_CHECK_MSG(helpers.find(failed) == helpers.end(),
+                     "failed block offered as its own helper");
+  if (helpers.empty()) return std::nullopt;
+  std::vector<size_t> ids;
+  size_t block_bytes = SIZE_MAX;
+  for (const auto& [id, data] : helpers) {
+    ids.push_back(id);
+    if (block_bytes == SIZE_MAX) block_bytes = data.size();
+    GALLOPER_CHECK_MSG(data.size() == block_bytes,
+                       "blocks of unequal size in repair");
+  }
+  GALLOPER_CHECK(block_bytes % stripes_per_block_ == 0);
+  const size_t chunk = block_bytes / stripes_per_block_;
+
+  const la::Matrix basis = rows_of_blocks(ids);
+  const la::Matrix targets = rows_of_blocks({failed});
+  const auto combo = la::express_in_rowspace(basis, targets);
+  if (!combo) return std::nullopt;
+
+  Buffer out(stripes_per_block_ * chunk, 0);
+  for (size_t p = 0; p < stripes_per_block_; ++p) {
+    ByteSpan dst(out.data() + p * chunk, chunk);
+    const auto row = combo->row(p);
+    for (size_t s = 0; s < row.size(); ++s) {
+      if (row[s] == 0) continue;
+      const size_t which_block = s / stripes_per_block_;
+      const size_t pos = s % stripes_per_block_;
+      gf::mul_acc_region(
+          dst, row[s],
+          helpers.at(ids[which_block]).subspan(pos * chunk, chunk));
+    }
+  }
+  return out;
+}
+
+std::optional<Buffer> CodecEngine::read_range(
+    const std::map<size_t, ConstByteSpan>& blocks, size_t offset,
+    size_t length) const {
+  if (blocks.empty()) return std::nullopt;
+  size_t block_bytes = SIZE_MAX;
+  std::vector<size_t> ids;
+  for (const auto& [id, data] : blocks) {
+    ids.push_back(id);
+    if (block_bytes == SIZE_MAX) block_bytes = data.size();
+    GALLOPER_CHECK(data.size() == block_bytes);
+  }
+  GALLOPER_CHECK(block_bytes % stripes_per_block_ == 0);
+  const size_t chunk = block_bytes / stripes_per_block_;
+  const size_t file_bytes = num_chunks() * chunk;
+  GALLOPER_CHECK_MSG(offset + length <= file_bytes,
+                     "range [" << offset << ", " << offset + length
+                               << ") beyond file size " << file_bytes);
+  if (length == 0) return Buffer{};
+
+  const size_t first_chunk = offset / chunk;
+  const size_t last_chunk = (offset + length - 1) / chunk;
+
+  Buffer range(length, 0);
+  std::vector<size_t> missing;
+  for (size_t c = first_chunk; c <= last_chunk; ++c) {
+    const auto it = blocks.find(chunk_pos_[c].block);
+    if (it == blocks.end()) {
+      missing.push_back(c);
+      continue;
+    }
+    // Overlap of chunk c's file range with the requested range.
+    const size_t lo = std::max(offset, c * chunk);
+    const size_t hi = std::min(offset + length, (c + 1) * chunk);
+    std::copy_n(it->second.data() + chunk_pos_[c].pos * chunk +
+                    (lo - c * chunk),
+                hi - lo, range.data() + (lo - offset));
+  }
+  if (missing.empty()) return range;
+
+  la::Matrix targets(missing.size(), num_chunks());
+  for (size_t t = 0; t < missing.size(); ++t)
+    targets.at(t, missing[t]) = 1;
+  const auto combo = la::express_in_rowspace(rows_of_blocks(ids), targets);
+  if (!combo) return std::nullopt;
+  Buffer scratch(chunk);
+  for (size_t t = 0; t < missing.size(); ++t) {
+    std::fill(scratch.begin(), scratch.end(), uint8_t{0});
+    const auto row = combo->row(t);
+    for (size_t s = 0; s < row.size(); ++s) {
+      if (row[s] == 0) continue;
+      gf::mul_acc_region(scratch, row[s],
+                         blocks.at(ids[s / stripes_per_block_])
+                             .subspan((s % stripes_per_block_) * chunk,
+                                      chunk));
+    }
+    const size_t c = missing[t];
+    const size_t lo = std::max(offset, c * chunk);
+    const size_t hi = std::min(offset + length, (c + 1) * chunk);
+    std::copy_n(scratch.data() + (lo - c * chunk), hi - lo,
+                range.data() + (lo - offset));
+  }
+  return range;
+}
+
+std::vector<size_t> CodecEngine::update_chunk(std::vector<Buffer>& blocks,
+                                              size_t chunk,
+                                              ConstByteSpan new_data) const {
+  GALLOPER_CHECK(chunk < num_chunks());
+  GALLOPER_CHECK_MSG(blocks.size() == num_blocks_,
+                     "update needs all current blocks");
+  const size_t chunk_bytes = blocks[0].size() / stripes_per_block_;
+  for (const auto& b : blocks)
+    GALLOPER_CHECK_MSG(b.size() == stripes_per_block_ * chunk_bytes,
+                       "blocks of unequal size in update");
+  GALLOPER_CHECK_MSG(new_data.size() == chunk_bytes,
+                     "update data must be exactly one chunk: "
+                         << new_data.size() << " vs " << chunk_bytes);
+
+  const StripeRef home = chunk_pos_[chunk];
+  ByteSpan stored(blocks[home.block].data() + home.pos * chunk_bytes,
+                  chunk_bytes);
+  // delta = old ⊕ new, then parity' = parity ⊕ coeff·delta.
+  Buffer delta(new_data.begin(), new_data.end());
+  gf::xor_region(delta, stored);
+  if (std::all_of(delta.begin(), delta.end(),
+                  [](uint8_t b) { return b == 0; }))
+    return {};  // no change, no I/O
+
+  std::vector<size_t> touched{home.block};
+  std::copy(new_data.begin(), new_data.end(), stored.begin());
+  for (const Term& t : chunk_consumers_[chunk]) {
+    const size_t b = t.col / stripes_per_block_;  // Term reused: col = row
+    const size_t p = t.col % stripes_per_block_;
+    gf::mul_acc_region(
+        ByteSpan(blocks[b].data() + p * chunk_bytes, chunk_bytes), t.coeff,
+        delta);
+    touched.push_back(b);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  return touched;
+}
+
+bool CodecEngine::decodable(
+    const std::vector<size_t>& available_blocks) const {
+  if (available_blocks.empty()) return num_chunks() == 0;
+  return la::rank(rows_of_blocks(available_blocks)) == num_chunks();
+}
+
+bool CodecEngine::can_repair(size_t failed,
+                             const std::vector<size_t>& helpers) const {
+  GALLOPER_CHECK(failed < num_blocks_);
+  if (helpers.empty()) return false;
+  const la::Matrix basis = rows_of_blocks(helpers);
+  const la::Matrix targets = rows_of_blocks({failed});
+  return la::express_in_rowspace(basis, targets).has_value();
+}
+
+size_t CodecEngine::row_support(size_t block, size_t pos) const {
+  GALLOPER_CHECK(block < num_blocks_ && pos < stripes_per_block_);
+  return sparse_rows_[block * stripes_per_block_ + pos].size();
+}
+
+}  // namespace galloper::codes

@@ -1,0 +1,132 @@
+// CodecEngine: the generic linear-code execution engine.
+//
+// Every code in this library (Reed-Solomon, Pyramid, Carousel, Galloper) is
+// fully described by
+//   * a stripe-granularity generator matrix  E : (n·N) × (k·N)  over
+//     GF(2^8), whose row (b·N + p) gives the coefficients of physical
+//     stripe p of block b over the k·N original data chunks, and
+//   * the systematic positions: for each data chunk, the stripe that stores
+//     it verbatim (E has a unit row there).
+//
+// Given that description the engine implements encoding, whole-file
+// decoding from any sufficient subset of blocks, single-block repair from
+// an arbitrary helper set, and the decodability/repairability oracles the
+// tests use to verify the paper's failure-tolerance claims. Code classes
+// only *construct* matrices; they never reimplement data paths.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "codes/layout.h"
+#include "la/matrix.h"
+#include "util/bytes.h"
+
+namespace galloper::codes {
+
+class CodecEngine {
+ public:
+  // `chunk_pos[c]` is the stripe holding data chunk c; the corresponding row
+  // of `stripe_generator` must be the unit vector e_c (checked).
+  CodecEngine(la::Matrix stripe_generator, size_t num_blocks,
+              size_t stripes_per_block, std::vector<StripeRef> chunk_pos);
+
+  size_t num_blocks() const { return num_blocks_; }
+  size_t stripes_per_block() const { return stripes_per_block_; }
+  size_t num_chunks() const { return chunk_pos_.size(); }
+  const la::Matrix& generator() const { return generator_; }
+  const std::vector<StripeRef>& chunk_positions() const { return chunk_pos_; }
+
+  // Number of data (original) stripes in a block.
+  size_t data_stripes_in_block(size_t block) const;
+
+  // For each physical position in `block`: the chunk index stored there, or
+  // SIZE_MAX for a parity stripe.
+  const std::vector<size_t>& chunks_of_block(size_t block) const;
+
+  // ---- Data paths -------------------------------------------------------
+
+  // Encodes a file of size num_chunks·c (any c ≥ 1) into num_blocks blocks
+  // of stripes_per_block·c bytes each.
+  std::vector<Buffer> encode(ConstByteSpan file) const;
+
+  // Same result with `threads` worker threads. Encoding is independent per
+  // byte position (every output byte at chunk offset i depends only on
+  // input bytes at offset i), so threads own disjoint byte slices of every
+  // stripe — no locks, no false sharing beyond slice edges.
+  std::vector<Buffer> encode_parallel(ConstByteSpan file,
+                                      size_t threads) const;
+
+  // Recovers the original file from the given blocks (block id → contents).
+  // nullopt if the available set is insufficient. Every chunk — even one
+  // sitting verbatim in an available block — is computed as a linear
+  // combination, mirroring the decode the paper measures in Fig. 7b.
+  std::optional<Buffer> decode(
+      const std::map<size_t, ConstByteSpan>& blocks) const;
+
+  // Bit-identical to decode(), but copies verbatim every chunk whose
+  // systematic stripe is available and solves only for the missing ones —
+  // the optimization the paper hints at in Sec. VII-A ("we can expect a
+  // lower completion time…"). With striped codes most chunks are direct
+  // copies, so this touches far fewer bytes.
+  std::optional<Buffer> decode_fast(
+      const std::map<size_t, ConstByteSpan>& blocks) const;
+
+  // Rebuilds the contents of `failed` from helper blocks.
+  // nullopt if the helper set cannot determine the block.
+  std::optional<Buffer> repair_block(
+      size_t failed, const std::map<size_t, ConstByteSpan>& helpers) const;
+
+  // Reads bytes [offset, offset+length) of the original file from the
+  // given blocks without a full decode: available chunks are copied,
+  // missing ones reconstructed individually. nullopt if some needed chunk
+  // is not recoverable from the provided blocks.
+  std::optional<Buffer> read_range(
+      const std::map<size_t, ConstByteSpan>& blocks, size_t offset,
+      size_t length) const;
+
+  // Overwrites data chunk `chunk` with `new_data` (one chunk's worth of
+  // bytes) and patches every parity stripe that depends on it via the
+  // delta: parity' = parity ⊕ coeff·(old ⊕ new). `blocks` must hold ALL
+  // current blocks (they are modified in place). Returns the ids of the
+  // blocks that were touched — the write I/O set of a systematic in-place
+  // update.
+  std::vector<size_t> update_chunk(std::vector<Buffer>& blocks, size_t chunk,
+                                   ConstByteSpan new_data) const;
+
+  // ---- Oracles (structure only, no data) --------------------------------
+
+  bool decodable(const std::vector<size_t>& available_blocks) const;
+  bool can_repair(size_t failed, const std::vector<size_t>& helpers) const;
+
+  // Per-stripe nonzero coefficient count (sparsity diagnostic; parity
+  // stripes of an LRC touch few chunks).
+  size_t row_support(size_t block, size_t pos) const;
+
+ private:
+  la::Matrix rows_of_blocks(const std::vector<size_t>& blocks) const;
+
+  // Encodes byte positions [lo, hi) of every chunk into the blocks.
+  void encode_slice(ConstByteSpan file, std::vector<Buffer>& blocks,
+                    size_t chunk, size_t lo, size_t hi) const;
+
+  la::Matrix generator_;
+  size_t num_blocks_;
+  size_t stripes_per_block_;
+  std::vector<StripeRef> chunk_pos_;
+  // block → physical pos → chunk id (SIZE_MAX if parity).
+  std::vector<std::vector<size_t>> block_chunks_;
+  // Sparse form of generator rows (col, coeff), for the encoder.
+  struct Term {
+    uint32_t col;
+    gf::Elem coeff;
+  };
+  std::vector<std::vector<Term>> sparse_rows_;
+  // Transposed sparsity: for each chunk, the parity stripes touching it
+  // (row index + coefficient) — drives update_chunk().
+  std::vector<std::vector<Term>> chunk_consumers_;
+};
+
+}  // namespace galloper::codes

@@ -1,0 +1,32 @@
+#include "codes/erasure_code.h"
+
+#include "util/check.h"
+
+namespace galloper::codes {
+
+size_t ErasureCode::original_bytes_in_block(size_t block,
+                                            size_t block_bytes) const {
+  const auto& e = engine();
+  GALLOPER_CHECK(block_bytes % e.stripes_per_block() == 0);
+  const size_t chunk = block_bytes / e.stripes_per_block();
+  return e.data_stripes_in_block(block) * chunk;
+}
+
+bool ErasureCode::verify_tolerance() const {
+  const size_t n = num_blocks();
+  const size_t t = guaranteed_tolerance();
+  GALLOPER_CHECK_MSG(n <= 24, "verify_tolerance is exponential in n");
+  // Decodability is monotone in the available set (rank never drops when
+  // rows are added), so checking exactly the (n−t)-subsets suffices.
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    const size_t live = static_cast<size_t>(__builtin_popcountll(mask));
+    if (live != n - t) continue;
+    std::vector<size_t> available;
+    for (size_t b = 0; b < n; ++b)
+      if (mask & (uint64_t{1} << b)) available.push_back(b);
+    if (!decodable(available)) return false;
+  }
+  return true;
+}
+
+}  // namespace galloper::codes

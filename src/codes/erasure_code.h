@@ -1,0 +1,70 @@
+// The public interface every code in this library implements.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "codes/engine.h"
+#include "util/bytes.h"
+
+namespace galloper::codes {
+
+class ErasureCode {
+ public:
+  virtual ~ErasureCode() = default;
+
+  // Human-readable, e.g. "(4,2) Reed-Solomon" or "(4,2,1) Galloper".
+  virtual std::string name() const = 0;
+
+  // Number of data blocks of the underlying code (the `k` parameter).
+  virtual size_t k() const = 0;
+
+  // Total number of blocks produced by encode().
+  size_t num_blocks() const { return engine().num_blocks(); }
+
+  // Stripes per block (1 for unstriped codes like plain RS / Pyramid).
+  size_t stripes_per_block() const { return engine().stripes_per_block(); }
+
+  // The preferred (cheapest) helper set to rebuild `block` when it is the
+  // only missing block. Its size is the paper's notion of repair locality:
+  // k for RS, k/l for the locally repairable blocks of Pyramid/Galloper.
+  virtual std::vector<size_t> repair_helpers(size_t block) const = 0;
+
+  // Number of simultaneous block failures that are ALWAYS tolerable
+  // (r for RS; g+1 for Pyramid/Galloper).
+  virtual size_t guaranteed_tolerance() const = 0;
+
+  // The execution engine (generator matrix + systematic layout).
+  virtual const CodecEngine& engine() const = 0;
+
+  // ---- Conveniences forwarding to the engine ----------------------------
+
+  std::vector<Buffer> encode(ConstByteSpan file) const {
+    return engine().encode(file);
+  }
+  std::optional<Buffer> decode(
+      const std::map<size_t, ConstByteSpan>& blocks) const {
+    return engine().decode(blocks);
+  }
+  std::optional<Buffer> repair_block(
+      size_t failed, const std::map<size_t, ConstByteSpan>& helpers) const {
+    return engine().repair_block(failed, helpers);
+  }
+  bool decodable(const std::vector<size_t>& available) const {
+    return engine().decodable(available);
+  }
+
+  // Original-data bytes stored in `block` when each block is `block_bytes`
+  // long. This is what a data-parallel job can mapped over locally.
+  size_t original_bytes_in_block(size_t block, size_t block_bytes) const;
+
+  // Exhaustively verifies that every failure pattern of size
+  // ≤ guaranteed_tolerance() is decodable. Used by tests; exponential in
+  // num_blocks, so only call on small codes.
+  bool verify_tolerance() const;
+};
+
+}  // namespace galloper::codes

@@ -1,0 +1,19 @@
+// Stripe-level layout descriptions shared by all codes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace galloper::codes {
+
+// Identifies one stripe: `pos` is the physical position (0 = top) inside
+// block `block`. Blocks are written to servers top-down, so original data
+// rotated to the top of a block is sequentially readable.
+struct StripeRef {
+  size_t block = 0;
+  size_t pos = 0;
+
+  bool operator==(const StripeRef&) const = default;
+};
+
+}  // namespace galloper::codes

@@ -1,0 +1,96 @@
+#include "codes/pyramid.h"
+
+#include <sstream>
+
+#include "la/builders.h"
+#include "util/check.h"
+
+namespace galloper::codes {
+
+la::Matrix pyramid_generator(size_t k, size_t l, size_t g, size_t variant) {
+  GALLOPER_CHECK(k >= 1);
+  GALLOPER_CHECK_MSG(l == 0 || k % l == 0, "l must divide k");
+  GALLOPER_CHECK_MSG(k + g + 1 + variant <= 256,
+                     "k + g + 1 + variant must fit in GF(256)");
+  const size_t n = k + l + g;
+
+  if (l == 0) {
+    // Degenerates to a (k, g) Reed-Solomon code.
+    return la::systematic_mds(k, g, variant);
+  }
+
+  // (k, g+1) MDS base: g rows become globals, the last row is split.
+  const la::Matrix rs = la::systematic_mds(k, g + 1, variant);
+
+  la::Matrix gen(n, k);
+  // Data rows: identity.
+  for (size_t i = 0; i < k; ++i) gen.at(i, i) = 1;
+  // Local parity rows: the split row restricted to each group.
+  const size_t group = k / l;
+  for (size_t j = 0; j < l; ++j)
+    for (size_t m = 0; m < group; ++m) {
+      const size_t col = j * group + m;
+      gen.at(k + j, col) = rs.at(k + g, col);
+    }
+  // Global parity rows from the MDS base.
+  for (size_t j = 0; j < g; ++j)
+    for (size_t m = 0; m < k; ++m) gen.at(k + l + j, m) = rs.at(k + j, m);
+  return gen;
+}
+
+namespace {
+
+CodecEngine make_engine(size_t k, size_t l, size_t g) {
+  la::Matrix gen = pyramid_generator(k, l, g);
+  std::vector<StripeRef> chunk_pos(k);
+  for (size_t i = 0; i < k; ++i) chunk_pos[i] = {i, 0};
+  return CodecEngine(std::move(gen), k + l + g, /*stripes=*/1,
+                     std::move(chunk_pos));
+}
+
+}  // namespace
+
+PyramidCode::PyramidCode(size_t k, size_t l, size_t g)
+    : k_(k), l_(l), g_(g), engine_(make_engine(k, l, g)) {}
+
+std::string PyramidCode::name() const {
+  std::ostringstream os;
+  os << "(" << k_ << "," << l_ << "," << g_ << ") Pyramid";
+  return os.str();
+}
+
+size_t PyramidCode::group_of(size_t block) const {
+  GALLOPER_CHECK(block < num_blocks());
+  if (block < k_) return l_ > 0 ? block / (k_ / l_) : SIZE_MAX;
+  if (block < k_ + l_) return block - k_;
+  return SIZE_MAX;
+}
+
+std::vector<size_t> PyramidCode::group_blocks(size_t group) const {
+  GALLOPER_CHECK(l_ > 0 && group < l_);
+  const size_t size = k_ / l_;
+  std::vector<size_t> blocks;
+  for (size_t m = 0; m < size; ++m) blocks.push_back(group * size + m);
+  blocks.push_back(k_ + group);
+  return blocks;
+}
+
+std::vector<size_t> PyramidCode::repair_helpers(size_t block) const {
+  GALLOPER_CHECK(block < num_blocks());
+  const size_t group = group_of(block);
+  if (group != SIZE_MAX) {
+    // Locally repairable: the other k/l blocks of the group.
+    std::vector<size_t> helpers;
+    for (size_t b : group_blocks(group))
+      if (b != block) helpers.push_back(b);
+    return helpers;
+  }
+  // Global parity (or any block when l = 0): needs k blocks; canonically
+  // the k lowest-indexed surviving blocks.
+  std::vector<size_t> helpers;
+  for (size_t b = 0; b < num_blocks() && helpers.size() < k_; ++b)
+    if (b != block) helpers.push_back(b);
+  return helpers;
+}
+
+}  // namespace galloper::codes

@@ -1,0 +1,67 @@
+// (k, l, g) Pyramid code (Huang et al.; Sec. III-B of the paper) — the
+// locally repairable baseline Galloper codes are constructed from.
+//
+// Block order: k data blocks, then l local parity blocks, then g global
+// parity blocks. l must divide k; local group j contains data blocks
+// [j·k/l, (j+1)·k/l) and local parity block k+j, whose content is the XOR
+// of its group (a (k/l, 1) Reed-Solomon parity). Global parities are rows
+// of a systematic (k, g) MDS generator over all data blocks.
+//
+// Properties (asserted in tests):
+//  * any g+1 block failures are tolerable (information locality);
+//  * each of the first k+l blocks is repairable from its k/l group peers;
+//  * the g global parities need k blocks to repair.
+#pragma once
+
+#include "codes/erasure_code.h"
+
+namespace galloper::codes {
+
+// Block-level (k+l+g) × k generator of the (k, l, g) Pyramid code, built by
+// the classic construction: take a systematic (k, g+1) MDS code, keep its
+// first g parity rows as global parities, and split its last parity row
+// into the l local parities (each restricted to one group's columns).
+// Splitting — rather than inventing independent local rows — is what
+// guarantees the g+1 failure tolerance. Shared with the Galloper
+// construction, which must mimic exactly this dependency structure.
+//
+// `variant` selects alternative (equally valid) MDS coefficients; the
+// Galloper construction iterates it when a coefficient set interacts
+// degenerately with its stripe rotations. Every variant yields a Pyramid
+// code with identical decodable-pattern structure.
+la::Matrix pyramid_generator(size_t k, size_t l, size_t g,
+                             size_t variant = 0);
+
+class PyramidCode final : public ErasureCode {
+ public:
+  // Requires k ≥ 1, l ≥ 0, l | k (l = 0 degenerates to Reed-Solomon),
+  // k + g ≤ 256.
+  PyramidCode(size_t k, size_t l, size_t g);
+
+  std::string name() const override;
+  size_t k() const override { return k_; }
+  size_t l() const { return l_; }
+  size_t g() const { return g_; }
+  std::vector<size_t> repair_helpers(size_t block) const override;
+  // g+1 when local groups exist; the l = 0 degenerate case is a (k, g)
+  // Reed-Solomon code and tolerates exactly g.
+  size_t guaranteed_tolerance() const override {
+    return l_ > 0 ? g_ + 1 : g_;
+  }
+  const CodecEngine& engine() const override { return engine_; }
+
+  // Group id of a data or local-parity block (SIZE_MAX for globals).
+  size_t group_of(size_t block) const;
+
+  // Blocks of local group j: the k/l data blocks followed by the local
+  // parity block.
+  std::vector<size_t> group_blocks(size_t group) const;
+
+ private:
+  size_t k_;
+  size_t l_;
+  size_t g_;
+  CodecEngine engine_;
+};
+
+}  // namespace galloper::codes

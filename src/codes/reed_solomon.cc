@@ -1,0 +1,40 @@
+#include "codes/reed_solomon.h"
+
+#include <sstream>
+
+#include "la/builders.h"
+#include "util/check.h"
+
+namespace galloper::codes {
+
+namespace {
+
+CodecEngine make_engine(size_t k, size_t r) {
+  std::vector<StripeRef> chunk_pos(k);
+  for (size_t i = 0; i < k; ++i) chunk_pos[i] = {i, 0};
+  return CodecEngine(la::systematic_mds(k, r), k + r, /*stripes=*/1,
+                     std::move(chunk_pos));
+}
+
+}  // namespace
+
+ReedSolomonCode::ReedSolomonCode(size_t k, size_t r)
+    : k_(k), r_(r), engine_(make_engine(k, r)) {}
+
+std::string ReedSolomonCode::name() const {
+  std::ostringstream os;
+  os << "(" << k_ << "," << r_ << ") Reed-Solomon";
+  return os.str();
+}
+
+std::vector<size_t> ReedSolomonCode::repair_helpers(size_t block) const {
+  GALLOPER_CHECK(block < k_ + r_);
+  // Any k surviving blocks work; the canonical plan takes the k
+  // lowest-indexed survivors.
+  std::vector<size_t> helpers;
+  for (size_t b = 0; b < k_ + r_ && helpers.size() < k_; ++b)
+    if (b != block) helpers.push_back(b);
+  return helpers;
+}
+
+}  // namespace galloper::codes

@@ -1,0 +1,30 @@
+// Systematic (k, r) Reed-Solomon code (Sec. III-A of the paper).
+//
+// k data blocks, r parity blocks; any k of the k+r blocks decode the
+// original data (MDS). Repairing any single block reads k whole blocks —
+// the disk-I/O cost the paper's locally repairable codes attack.
+#pragma once
+
+#include "codes/erasure_code.h"
+
+namespace galloper::codes {
+
+class ReedSolomonCode final : public ErasureCode {
+ public:
+  // Requires k ≥ 1, r ≥ 0, k + r ≤ 256.
+  ReedSolomonCode(size_t k, size_t r);
+
+  std::string name() const override;
+  size_t k() const override { return k_; }
+  size_t r() const { return r_; }
+  std::vector<size_t> repair_helpers(size_t block) const override;
+  size_t guaranteed_tolerance() const override { return r_; }
+  const CodecEngine& engine() const override { return engine_; }
+
+ private:
+  size_t k_;
+  size_t r_;
+  CodecEngine engine_;
+};
+
+}  // namespace galloper::codes

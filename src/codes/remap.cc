@@ -1,0 +1,116 @@
+#include "codes/remap.h"
+
+#include <numeric>
+
+#include "la/solve.h"
+#include "util/check.h"
+
+namespace galloper::codes {
+
+la::Matrix expand_generator(const la::Matrix& g, size_t n_stripes) {
+  GALLOPER_CHECK(n_stripes > 0);
+  la::Matrix out(g.rows() * n_stripes, g.cols() * n_stripes);
+  for (size_t b = 0; b < g.rows(); ++b)
+    for (size_t m = 0; m < g.cols(); ++m) {
+      const gf::Elem coeff = g.at(b, m);
+      if (coeff == 0) continue;
+      for (size_t p = 0; p < n_stripes; ++p)
+        out.at(b * n_stripes + p, m * n_stripes + p) = coeff;
+    }
+  return out;
+}
+
+Selection sequential_selection(const std::vector<size_t>& blocks,
+                               const std::vector<size_t>& counts,
+                               size_t window) {
+  GALLOPER_CHECK(blocks.size() == counts.size());
+  GALLOPER_CHECK(window > 0);
+  const size_t total = std::accumulate(counts.begin(), counts.end(), size_t{0});
+  GALLOPER_CHECK_MSG(total % window == 0,
+                     "selection total " << total
+                                        << " must be a multiple of window "
+                                        << window);
+  Selection sel;
+  sel.refs.reserve(total);
+  sel.run_start.resize(blocks.size());
+  sel.count = counts;
+  size_t cursor = 0;
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    GALLOPER_CHECK_MSG(counts[i] <= window,
+                       "block weight exceeds the selection window");
+    sel.run_start[i] = cursor % window;
+    for (size_t c = 0; c < counts[i]; ++c) {
+      sel.refs.push_back({blocks[i], cursor % window});
+      ++cursor;
+    }
+  }
+  return sel;
+}
+
+la::Matrix remap_to_selection(const la::Matrix& e,
+                              const std::vector<StripeRef>& selection,
+                              size_t n_stripes) {
+  GALLOPER_CHECK_MSG(selection.size() == e.cols(),
+                     "selection size " << selection.size()
+                                       << " != generator cols " << e.cols());
+  std::vector<size_t> rows(selection.size());
+  for (size_t i = 0; i < selection.size(); ++i)
+    rows[i] = selection[i].block * n_stripes + selection[i].pos;
+  const la::Matrix chosen = e.select_rows(rows);
+  const auto inv = la::inverse(chosen);
+  GALLOPER_CHECK_MSG(inv.has_value(),
+                     "selected stripes do not form a basis — invalid "
+                     "selection for symbol remapping");
+  return e * *inv;
+}
+
+void rotate_block_rows(la::Matrix& e, size_t block, size_t n_stripes,
+                       size_t window, size_t shift) {
+  GALLOPER_CHECK(window <= n_stripes);
+  if (window == 0 || shift % window == 0) return;
+  shift %= window;
+  // Copy out the window, write back rotated.
+  std::vector<std::vector<gf::Elem>> saved(window);
+  for (size_t p = 0; p < window; ++p) {
+    auto row = e.row(block * n_stripes + p);
+    saved[p].assign(row.begin(), row.end());
+  }
+  for (size_t p = 0; p < window; ++p) {
+    auto dst = e.row(block * n_stripes + p);
+    const auto& src = saved[(p + shift) % window];
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+}
+
+void rotate_refs(std::vector<StripeRef>& refs, size_t block, size_t window,
+                 size_t shift) {
+  if (window == 0) return;
+  shift %= window;
+  for (auto& ref : refs) {
+    if (ref.block != block || ref.pos >= window) continue;
+    // Row (p + shift) % window moved to p, i.e. p moved to
+    // (p - shift) mod window.
+    ref.pos = (ref.pos + window - shift) % window;
+  }
+}
+
+RemappedCode remap_mds(const la::Matrix& base, size_t n_stripes,
+                       const std::vector<size_t>& counts) {
+  GALLOPER_CHECK(base.rows() == counts.size());
+  const la::Matrix expanded = expand_generator(base, n_stripes);
+  std::vector<size_t> blocks(base.rows());
+  std::iota(blocks.begin(), blocks.end(), size_t{0});
+  const Selection sel = sequential_selection(blocks, counts, n_stripes);
+
+  RemappedCode out;
+  out.generator = remap_to_selection(expanded, sel.refs, n_stripes);
+  out.chunk_pos = sel.refs;
+  for (size_t b = 0; b < base.rows(); ++b) {
+    rotate_block_rows(out.generator, b, n_stripes, n_stripes,
+                      sel.run_start[b]);
+    rotate_refs(out.chunk_pos, b, n_stripes, sel.run_start[b]);
+  }
+  return out;
+}
+
+}  // namespace galloper::codes

@@ -1,0 +1,72 @@
+// Symbol remapping (Sec. III-C / IV-B of the paper): the change-of-basis
+// machinery that "moves" original data from data blocks into all blocks.
+//
+// These primitives are shared by the Carousel baseline (uniform weights over
+// a Reed-Solomon base) and by both steps of the Galloper construction
+// (weighted step over the RS base, then per-local-group steps).
+#pragma once
+
+#include <vector>
+
+#include "codes/layout.h"
+#include "la/matrix.h"
+
+namespace galloper::codes {
+
+// Expands a block-level generator G (n × k) to stripe granularity with N
+// stripes per block. Rows are block-major ((b, p) → b·N + p); the entry at
+// row (b, p), column (m, p) is G[b][m] — i.e. each stripe row p is encoded
+// independently by G across blocks.
+la::Matrix expand_generator(const la::Matrix& g, size_t n_stripes);
+
+// Result of the sequential stripe choice of Sec. IV-B.
+struct Selection {
+  // Chosen stripes in choice order. This order defines the chunk order of
+  // the remapped code (chunk i lives at refs[i]).
+  std::vector<StripeRef> refs;
+  // For each block, the row at which its run of choices starts (the rotation
+  // shift that brings its chosen stripes to the top), and the count chosen.
+  std::vector<size_t> run_start;
+  std::vector<size_t> count;
+};
+
+// Sweeps the given blocks in order, choosing counts[i] consecutive rows from
+// block blocks[i] starting where the previous block's run ended, wrapping
+// modulo `window` (rows are restricted to [0, window)). A shared row cursor
+// guarantees each row in the window is chosen exactly (Σ counts) / window
+// times. Requires counts[i] ≤ window and window | Σ counts.
+Selection sequential_selection(const std::vector<size_t>& blocks,
+                               const std::vector<size_t>& counts,
+                               size_t window);
+
+// Change of basis: returns E' = E · (E restricted to the selected rows)⁻¹.
+// The resulting code is linearly equivalent to E (same dependency structure
+// between stripes) and systematic exactly on the selection, in selection
+// order. Throws CheckError if the selected rows do not form a basis — which
+// by the paper's row-counting argument cannot happen for a valid selection.
+la::Matrix remap_to_selection(const la::Matrix& e,
+                              const std::vector<StripeRef>& selection,
+                              size_t n_stripes);
+
+// Cyclically rotates the rows of `block` inside positions [0, window) so
+// that the physical position p now holds what was at (p + shift) % window
+// ("rotate stripes upwards"). Rows at positions ≥ window are untouched.
+void rotate_block_rows(la::Matrix& e, size_t block, size_t n_stripes,
+                       size_t window, size_t shift);
+
+// Applies the same rotation to any stripe refs that point into the window.
+void rotate_refs(std::vector<StripeRef>& refs, size_t block, size_t window,
+                 size_t shift);
+
+// Convenience bundle: remap an (n × k) systematic MDS base to stripe
+// granularity with the given per-block data-stripe counts (Σ = k·N), then
+// rotate every block's data to the top. Used by Carousel (uniform counts)
+// and the l = 0 Galloper construction (weighted counts).
+struct RemappedCode {
+  la::Matrix generator;             // (n·N) × (k·N), rotated
+  std::vector<StripeRef> chunk_pos;  // chunk order = choice order
+};
+RemappedCode remap_mds(const la::Matrix& base, size_t n_stripes,
+                       const std::vector<size_t>& counts);
+
+}  // namespace galloper::codes

@@ -1,0 +1,189 @@
+#include "codes/wide_rs.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace galloper::codes {
+
+namespace {
+
+using gf16::Elem;
+
+std::vector<Elem> to_symbols(ConstByteSpan bytes) {
+  GALLOPER_CHECK_MSG(bytes.size() % 2 == 0,
+                     "GF(2^16) data must be an even number of bytes");
+  std::vector<Elem> out(bytes.size() / 2);
+  std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+Buffer to_bytes(const std::vector<Elem>& symbols) {
+  Buffer out(symbols.size() * 2);
+  std::memcpy(out.data(), symbols.data(), out.size());
+  return out;
+}
+
+}  // namespace
+
+WideReedSolomonCode::WideReedSolomonCode(size_t k, size_t r) : k_(k), r_(r) {
+  GALLOPER_CHECK(k >= 1);
+  GALLOPER_CHECK_MSG(k + r <= 65536, "k + r must fit in GF(2^16)");
+}
+
+std::string WideReedSolomonCode::name() const {
+  std::ostringstream os;
+  os << "(" << k_ << "," << r_ << ") wide Reed-Solomon [GF(2^16)]";
+  return os.str();
+}
+
+gf16::Elem WideReedSolomonCode::coefficient(size_t block, size_t j) const {
+  GALLOPER_CHECK(block < k_ + r_ && j < k_);
+  if (block < k_) return block == j ? 1 : 0;
+  // Cauchy points: x_i = k + i for parity rows, y_j = j for data columns.
+  const Elem x = static_cast<Elem>(block);
+  const Elem y = static_cast<Elem>(j);
+  return gf16::inv(gf16::add(x, y));
+}
+
+std::vector<Buffer> WideReedSolomonCode::encode(ConstByteSpan file) const {
+  GALLOPER_CHECK_MSG(!file.empty() && file.size() % (2 * k_) == 0,
+                     "file size must be a positive multiple of 2k bytes");
+  const size_t symbols = file.size() / 2 / k_;
+  const std::vector<Elem> data = to_symbols(file);
+
+  std::vector<Buffer> blocks;
+  blocks.reserve(k_ + r_);
+  for (size_t i = 0; i < k_; ++i)
+    blocks.emplace_back(file.begin() + static_cast<ptrdiff_t>(i * symbols * 2),
+                        file.begin() +
+                            static_cast<ptrdiff_t>((i + 1) * symbols * 2));
+  for (size_t i = 0; i < r_; ++i) {
+    std::vector<Elem> parity(symbols, 0);
+    for (size_t j = 0; j < k_; ++j) {
+      gf16::mul_acc_region(
+          parity, coefficient(k_ + i, j),
+          std::span<const Elem>(data.data() + j * symbols, symbols));
+    }
+    blocks.push_back(to_bytes(parity));
+  }
+  return blocks;
+}
+
+std::optional<std::vector<std::vector<gf16::Elem>>>
+WideReedSolomonCode::decode_rows(const std::vector<size_t>& ids) const {
+  if (ids.size() < k_) return std::nullopt;
+  // Select k independent rows by Gaussian elimination with row tracking,
+  // then invert the selected k×k submatrix.
+  const size_t m = ids.size();
+  std::vector<std::vector<Elem>> work(m, std::vector<Elem>(k_));
+  for (size_t t = 0; t < m; ++t)
+    for (size_t j = 0; j < k_; ++j) work[t][j] = coefficient(ids[t], j);
+
+  std::vector<size_t> selected;  // indices into ids
+  std::vector<bool> used(m, false);
+  for (size_t col = 0; col < k_; ++col) {
+    size_t pivot = SIZE_MAX;
+    for (size_t t = 0; t < m; ++t) {
+      if (!used[t] && work[t][col] != 0) {
+        pivot = t;
+        break;
+      }
+    }
+    if (pivot == SIZE_MAX) return std::nullopt;
+    used[pivot] = true;
+    selected.push_back(pivot);
+    const Elem pi = gf16::inv(work[pivot][col]);
+    for (size_t j = col; j < k_; ++j)
+      work[pivot][j] = gf16::mul(work[pivot][j], pi);
+    for (size_t t = 0; t < m; ++t) {
+      if (t == pivot || work[t][col] == 0) continue;
+      const Elem f = work[t][col];
+      for (size_t j = col; j < k_; ++j)
+        work[t][j] = gf16::add(work[t][j], gf16::mul(f, work[pivot][j]));
+    }
+  }
+
+  // Invert the selected submatrix (k×k Gauss-Jordan with identity).
+  std::vector<std::vector<Elem>> a(k_, std::vector<Elem>(k_));
+  std::vector<std::vector<Elem>> inv(k_, std::vector<Elem>(k_, 0));
+  for (size_t t = 0; t < k_; ++t) {
+    inv[t][t] = 1;
+    for (size_t j = 0; j < k_; ++j)
+      a[t][j] = coefficient(ids[selected[t]], j);
+  }
+  for (size_t col = 0; col < k_; ++col) {
+    size_t pivot = col;
+    while (pivot < k_ && a[pivot][col] == 0) ++pivot;
+    if (pivot == k_) return std::nullopt;  // cannot happen post-selection
+    std::swap(a[pivot], a[col]);
+    std::swap(inv[pivot], inv[col]);
+    const Elem pi = gf16::inv(a[col][col]);
+    for (size_t j = 0; j < k_; ++j) {
+      a[col][j] = gf16::mul(a[col][j], pi);
+      inv[col][j] = gf16::mul(inv[col][j], pi);
+    }
+    for (size_t t = 0; t < k_; ++t) {
+      if (t == col || a[t][col] == 0) continue;
+      const Elem f = a[t][col];
+      for (size_t j = 0; j < k_; ++j) {
+        a[t][j] = gf16::add(a[t][j], gf16::mul(f, a[col][j]));
+        inv[t][j] = gf16::add(inv[t][j], gf16::mul(f, inv[col][j]));
+      }
+    }
+  }
+
+  // Data row j = Σ_t inv[j][t] · blocks[selected[t]], expanded to the full
+  // id list (zeros elsewhere).
+  std::vector<std::vector<Elem>> rows(k_, std::vector<Elem>(m, 0));
+  for (size_t j = 0; j < k_; ++j)
+    for (size_t t = 0; t < k_; ++t) rows[j][selected[t]] = inv[j][t];
+  return rows;
+}
+
+std::optional<Buffer> WideReedSolomonCode::decode(
+    const std::map<size_t, ConstByteSpan>& blocks) const {
+  if (blocks.size() < k_) return std::nullopt;
+  std::vector<size_t> ids;
+  size_t block_bytes = SIZE_MAX;
+  for (const auto& [id, data] : blocks) {
+    GALLOPER_CHECK(id < k_ + r_);
+    ids.push_back(id);
+    if (block_bytes == SIZE_MAX) block_bytes = data.size();
+    GALLOPER_CHECK(data.size() == block_bytes);
+  }
+  const auto rows = decode_rows(ids);
+  if (!rows) return std::nullopt;
+
+  const size_t symbols = block_bytes / 2;
+  std::vector<std::vector<Elem>> block_symbols;
+  block_symbols.reserve(ids.size());
+  for (size_t id : ids) block_symbols.push_back(to_symbols(blocks.at(id)));
+
+  std::vector<Elem> file(k_ * symbols, 0);
+  for (size_t j = 0; j < k_; ++j) {
+    std::span<Elem> dst(file.data() + j * symbols, symbols);
+    for (size_t t = 0; t < ids.size(); ++t)
+      gf16::mul_acc_region(dst, (*rows)[j][t], block_symbols[t]);
+  }
+  return to_bytes(file);
+}
+
+std::optional<Buffer> WideReedSolomonCode::repair_block(
+    size_t failed, const std::map<size_t, ConstByteSpan>& helpers) const {
+  GALLOPER_CHECK(failed < k_ + r_);
+  GALLOPER_CHECK(helpers.find(failed) == helpers.end());
+  const auto file = decode(helpers);
+  if (!file) return std::nullopt;
+  if (failed < k_) {
+    const size_t block_bytes = file->size() / k_;
+    return Buffer(file->begin() + static_cast<ptrdiff_t>(failed * block_bytes),
+                  file->begin() +
+                      static_cast<ptrdiff_t>((failed + 1) * block_bytes));
+  }
+  auto blocks = encode(*file);
+  return std::move(blocks[failed]);
+}
+
+}  // namespace galloper::codes

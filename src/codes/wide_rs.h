@@ -1,0 +1,58 @@
+// WideReedSolomonCode: a systematic (k, r) Reed-Solomon code over GF(2^16),
+// for deployments wider than the 256-block limit of GF(2^8) (the paper's
+// Sec. VI remark: "For larger values of k, l, g, we can also increase the
+// size of the finite field").
+//
+// Built on a Cauchy matrix (any square submatrix of a Cauchy matrix is
+// invertible, so [I; C] is MDS without needing a kN×kN systematization
+// step). Data are interpreted as 16-bit symbols, so all sizes are in whole
+// symbols (block bytes must be even).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gf/gf65536.h"
+#include "util/bytes.h"
+
+namespace galloper::codes {
+
+class WideReedSolomonCode {
+ public:
+  // Requires k ≥ 1, k + r ≤ 65536.
+  WideReedSolomonCode(size_t k, size_t r);
+
+  std::string name() const;
+  size_t k() const { return k_; }
+  size_t r() const { return r_; }
+  size_t num_blocks() const { return k_ + r_; }
+  size_t guaranteed_tolerance() const { return r_; }
+
+  // File size must be a positive multiple of 2k bytes.
+  std::vector<Buffer> encode(ConstByteSpan file) const;
+
+  // Decode from any ≥ k blocks.
+  std::optional<Buffer> decode(
+      const std::map<size_t, ConstByteSpan>& blocks) const;
+
+  // Rebuild one block from any ≥ k helpers.
+  std::optional<Buffer> repair_block(
+      size_t failed, const std::map<size_t, ConstByteSpan>& helpers) const;
+
+  // Coefficient of data block j in block i's contents (identity rows for
+  // i < k, Cauchy rows otherwise). Exposed for tests.
+  gf16::Elem coefficient(size_t block, size_t j) const;
+
+ private:
+  // Solves for the k data symbol-vectors from the given blocks; returns
+  // per-data-block coefficient rows over the provided block order.
+  std::optional<std::vector<std::vector<gf16::Elem>>> decode_rows(
+      const std::vector<size_t>& ids) const;
+
+  size_t k_;
+  size_t r_;
+};
+
+}  // namespace galloper::codes

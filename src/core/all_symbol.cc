@@ -1,0 +1,92 @@
+#include "core/all_symbol.h"
+
+#include <sstream>
+
+#include "core/weights.h"
+#include "util/check.h"
+
+namespace galloper::core {
+
+namespace {
+
+codes::CodecEngine make_engine(const GalloperParams& params) {
+  GALLOPER_CHECK_MSG(params.g >= 1,
+                     "all-symbol extension needs at least one global parity");
+  Construction c = construct_galloper(params);
+  const size_t n = params.k + params.l + params.g;
+  const size_t N = c.n_stripes;
+
+  // Append one block: stripe p = XOR of the global blocks' stripes p.
+  la::Matrix extra(N, c.generator.cols());
+  for (size_t m = 0; m < params.g; ++m) {
+    const size_t gb = params.k + params.l + m;
+    for (size_t p = 0; p < N; ++p) {
+      auto dst = extra.row(p);
+      const auto src = c.generator.row(gb * N + p);
+      for (size_t j = 0; j < src.size(); ++j) dst[j] ^= src[j];
+    }
+  }
+  la::Matrix gen = c.generator.vstack(extra);
+  return codes::CodecEngine(std::move(gen), n + 1, N,
+                            std::move(c.chunk_pos));
+}
+
+}  // namespace
+
+AllSymbolGalloperCode::AllSymbolGalloperCode(GalloperParams params)
+    : k_(params.k),
+      l_(params.l),
+      g_(params.g),
+      weights_(params.weights),
+      engine_(make_engine(params)) {}
+
+AllSymbolGalloperCode::AllSymbolGalloperCode(size_t k, size_t l, size_t g)
+    : AllSymbolGalloperCode(
+          GalloperParams{k, l, g, uniform_weights(k, l, g)}) {}
+
+AllSymbolGalloperCode::AllSymbolGalloperCode(size_t k, size_t l, size_t g,
+                                             std::vector<Rational> weights)
+    : AllSymbolGalloperCode(GalloperParams{k, l, g, std::move(weights)}) {}
+
+std::string AllSymbolGalloperCode::name() const {
+  std::ostringstream os;
+  os << "(" << k_ << "," << l_ << "," << g_ << ") all-symbol Galloper";
+  return os.str();
+}
+
+size_t AllSymbolGalloperCode::all_symbol_locality() const {
+  const size_t data_locality = l_ > 0 ? k_ / l_ : k_;
+  return std::max(data_locality, g_);
+}
+
+std::vector<size_t> AllSymbolGalloperCode::repair_helpers(
+    size_t block) const {
+  GALLOPER_CHECK(block < num_blocks());
+  const size_t first_global = k_ + l_;
+  const size_t extra = k_ + l_ + g_;
+  if (block >= first_global) {
+    // A global (or the extra block): the other blocks of the global group.
+    std::vector<size_t> helpers;
+    for (size_t b = first_global; b <= extra; ++b)
+      if (b != block) helpers.push_back(b);
+    return helpers;
+  }
+  if (l_ > 0) {
+    const size_t group = block < k_ ? block / (k_ / l_) : block - k_;
+    std::vector<size_t> helpers;
+    const size_t size = k_ / l_;
+    for (size_t m = 0; m < size; ++m) {
+      const size_t b = group * size + m;
+      if (b != block) helpers.push_back(b);
+    }
+    if (block != k_ + group) helpers.push_back(k_ + group);
+    return helpers;
+  }
+  // l = 0: Reed-Solomon-like data blocks need k survivors.
+  std::vector<size_t> helpers;
+  for (size_t b = 0; b < num_blocks() && helpers.size() < k_; ++b)
+    if (b != block) helpers.push_back(b);
+  return helpers;
+}
+
+}  // namespace galloper::core

@@ -1,0 +1,57 @@
+// AllSymbolGalloperCode — the paper's future-work direction implemented
+// (Sec. VII-A: "We will study how to achieve all-symbol locality in our
+// future work").
+//
+// A plain (k, l, g) Galloper code achieves information locality: the first
+// k+l blocks repair from k/l peers, but a global parity block needs k
+// blocks. This extension appends one extra parity block holding the XOR of
+// the g global parity blocks, which closes the gap: every global block now
+// repairs from the other g−1 globals plus the extra block (g reads), and
+// the extra block repairs from the g globals. All-symbol locality becomes
+// max(k/l, g) at the cost of one more block of storage ((k+l+g+1)/k ×).
+//
+// The extra block is pure parity (weight 0) — the paper's own advice to
+// "place the global parity blocks on servers with lower performance"
+// applies to it doubly.
+#pragma once
+
+#include "codes/erasure_code.h"
+#include "core/galloper.h"
+
+namespace galloper::core {
+
+class AllSymbolGalloperCode final : public codes::ErasureCode {
+ public:
+  // Requires g ≥ 1 (with no globals there is nothing to fix).
+  AllSymbolGalloperCode(size_t k, size_t l, size_t g);
+  AllSymbolGalloperCode(size_t k, size_t l, size_t g,
+                        std::vector<Rational> weights);
+
+  std::string name() const override;
+  size_t k() const override { return k_; }
+  size_t l() const { return l_; }
+  size_t g() const { return g_; }
+  const std::vector<Rational>& weights() const { return weights_; }
+  size_t n_stripes() const { return engine_.stripes_per_block(); }
+
+  std::vector<size_t> repair_helpers(size_t block) const override;
+  size_t guaranteed_tolerance() const override {
+    return l_ > 0 ? g_ + 1 : g_;
+  }
+  const codes::CodecEngine& engine() const override { return engine_; }
+
+  // Locality of every block class: data/local k/l (k when l = 0),
+  // globals and the extra block g.
+  size_t all_symbol_locality() const;
+
+ private:
+  AllSymbolGalloperCode(GalloperParams params);
+
+  size_t k_;
+  size_t l_;
+  size_t g_;
+  std::vector<Rational> weights_;
+  codes::CodecEngine engine_;
+};
+
+}  // namespace galloper::core

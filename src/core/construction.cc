@@ -1,0 +1,433 @@
+#include "core/construction.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "codes/pyramid.h"
+#include "codes/remap.h"
+#include "core/weights.h"
+#include "la/solve.h"
+#include "util/check.h"
+
+namespace galloper::core {
+
+namespace {
+
+size_t group_size(const GalloperParams& p) { return p.k / p.l; }
+
+// Data blocks of local group j (final block ids).
+std::vector<size_t> group_data_blocks(const GalloperParams& p, size_t j) {
+  std::vector<size_t> blocks;
+  for (size_t m = 0; m < group_size(p); ++m)
+    blocks.push_back(j * group_size(p) + m);
+  return blocks;
+}
+
+// Step-1 group weight w_g of group j: (Σ_{group j} w) · l / k.
+Rational group_window_weight(const GalloperParams& p, size_t j) {
+  Rational grp;
+  for (size_t i : group_data_blocks(p, j)) grp = grp + p.weights[i];
+  grp = grp + p.weights[p.k + j];  // the local parity block
+  return grp * Rational(static_cast<int64_t>(p.l),
+                        static_cast<int64_t>(p.k));
+}
+
+int64_t times_n(const Rational& w, size_t n_stripes) {
+  const Rational scaled = w * Rational(static_cast<int64_t>(n_stripes));
+  GALLOPER_CHECK_MSG(scaled.den() == 1,
+                     "weight " << w.to_string() << " · N=" << n_stripes
+                               << " is not integral");
+  return scaled.num();
+}
+
+void validate(const GalloperParams& p) {
+  GALLOPER_CHECK(p.k >= 1);
+  GALLOPER_CHECK_MSG(p.l == 0 || p.k % p.l == 0, "l must divide k");
+  GALLOPER_CHECK_MSG(weights_valid(p.k, p.l, p.g, p.weights),
+                     "invalid Galloper weights (see weights_valid)");
+}
+
+// Everything both construction methods share: the base matrices, the
+// step-1 stripe counts and selection, and the per-group step-2 selections.
+struct Plan {
+  size_t k, l, g, n, N;
+  la::Matrix pyr;   // (k+l+g) × k Pyramid generator
+  la::Matrix base;  // (k+g) × k step-1 base (data + global rows)
+  std::vector<size_t> counts1;  // step-1 data-stripe counts per base block
+  codes::Selection sel1;        // step-1 selection (base block ids 0..k+g)
+
+  struct GroupPlan {
+    size_t window = 0;            // w_g · N
+    std::vector<size_t> blocks;   // group data blocks + local parity (final)
+    codes::Selection sel;         // step-2 selection within the window
+  };
+  std::vector<GroupPlan> groups;  // empty when l == 0
+};
+
+Plan make_plan(const GalloperParams& p, size_t variant) {
+  Plan plan;
+  plan.k = p.k;
+  plan.l = p.l;
+  plan.g = p.g;
+  plan.n = p.k + p.l + p.g;
+  plan.N = stripe_count(p);
+  plan.pyr = codes::pyramid_generator(p.k, p.l, p.g, variant);
+  {
+    std::vector<size_t> rows;
+    for (size_t i = 0; i < p.k; ++i) rows.push_back(i);
+    for (size_t m = 0; m < p.g; ++m) rows.push_back(p.k + p.l + m);
+    plan.base = plan.pyr.select_rows(rows);
+  }
+
+  plan.counts1.resize(p.k + p.g);
+  for (size_t i = 0; i < p.k; ++i) {
+    const Rational w = p.l == 0
+                           ? p.weights[i]
+                           : group_window_weight(p, i / group_size(p));
+    plan.counts1[i] = static_cast<size_t>(times_n(w, plan.N));
+  }
+  for (size_t m = 0; m < p.g; ++m)
+    plan.counts1[p.k + m] =
+        static_cast<size_t>(times_n(p.weights[p.k + p.l + m], plan.N));
+
+  std::vector<size_t> base_blocks(p.k + p.g);
+  std::iota(base_blocks.begin(), base_blocks.end(), size_t{0});
+  plan.sel1 = codes::sequential_selection(base_blocks, plan.counts1, plan.N);
+
+  for (size_t j = 0; j < p.l; ++j) {
+    Plan::GroupPlan gp;
+    gp.window =
+        static_cast<size_t>(times_n(group_window_weight(p, j), plan.N));
+    gp.blocks = group_data_blocks(p, j);
+    gp.blocks.push_back(p.k + j);
+    if (gp.window > 0) {
+      std::vector<size_t> counts;
+      for (size_t b : gp.blocks)
+        counts.push_back(static_cast<size_t>(times_n(p.weights[b], plan.N)));
+      gp.sel = codes::sequential_selection(gp.blocks, counts, gp.window);
+    } else {
+      for (size_t b : gp.blocks)
+        GALLOPER_CHECK(times_n(p.weights[b], plan.N) == 0);
+    }
+    plan.groups.push_back(std::move(gp));
+  }
+  return plan;
+}
+
+// ---- shared step-2 assembly helpers --------------------------------------
+
+// Inserts local parity rows: Ĝ in final block order from the rotated
+// step-1 generator (whose blocks are 0..k-1 data, k..k+g-1 global).
+la::Matrix assemble_ghat(const Plan& plan, const la::Matrix& step1_rotated) {
+  const size_t N = plan.N;
+  la::Matrix ghat(plan.n * N, plan.k * N);
+  auto copy_block_rows = [&](size_t from_block, size_t to_block) {
+    for (size_t p = 0; p < N; ++p) {
+      const auto src = step1_rotated.row(from_block * N + p);
+      std::copy(src.begin(), src.end(), ghat.row(to_block * N + p).begin());
+    }
+  };
+  for (size_t i = 0; i < plan.k; ++i) copy_block_rows(i, i);
+  for (size_t m = 0; m < plan.g; ++m)
+    copy_block_rows(plan.k + m, plan.k + plan.l + m);
+  for (size_t j = 0; j < plan.l; ++j) {
+    // Local parity stripe p = Σ_i c_i · (stripe p of group data block i),
+    // with c_i the Pyramid split-row coefficients.
+    for (size_t p = 0; p < N; ++p) {
+      auto dst = ghat.row((plan.k + j) * N + p);
+      for (size_t m = 0; m < plan.k / plan.l; ++m) {
+        const size_t i = j * (plan.k / plan.l) + m;
+        const gf::Elem c = plan.pyr.at(plan.k + j, i);
+        GALLOPER_CHECK_MSG(c != 0, "split-row coefficient must be nonzero");
+        const auto src = step1_rotated.row(i * N + p);
+        for (size_t col = 0; col < src.size(); ++col)
+          dst[col] = gf::add(dst[col], gf::mul(c, src[col]));
+      }
+    }
+  }
+  return ghat;
+}
+
+// The final chunk order: per-group step-2 selections, then the global
+// blocks' step-1 data stripes (with block ids mapped to final ids).
+std::vector<codes::StripeRef> final_selection(
+    const Plan& plan, const std::vector<codes::StripeRef>& refs1_final) {
+  std::vector<codes::StripeRef> full;
+  full.reserve(plan.k * plan.N);
+  for (const auto& gp : plan.groups)
+    full.insert(full.end(), gp.sel.refs.begin(), gp.sel.refs.end());
+  for (const auto& ref : refs1_final)
+    if (ref.block >= plan.k + plan.l) full.push_back(ref);
+  return full;
+}
+
+struct Rotation {
+  size_t block;
+  size_t window;
+  size_t shift;
+};
+
+std::vector<Rotation> step2_rotations(const Plan& plan) {
+  std::vector<Rotation> rotations;
+  for (const auto& gp : plan.groups) {
+    if (gp.window == 0) continue;
+    for (size_t i = 0; i < gp.blocks.size(); ++i)
+      rotations.push_back({gp.blocks[i], gp.window, gp.sel.run_start[i]});
+  }
+  return rotations;
+}
+
+// ---- literal method (the paper's Sec. VI matrix path) --------------------
+
+Construction construct_literal(const GalloperParams& params,
+                               const Plan& plan) {
+  codes::RemappedCode rc1 =
+      codes::remap_mds(plan.base, plan.N, plan.counts1);
+
+  if (params.l == 0)
+    return {std::move(rc1.generator), std::move(rc1.chunk_pos), plan.N};
+
+  la::Matrix ghat = assemble_ghat(plan, rc1.generator);
+
+  // Map step-1 chunk refs to final block ids (globals shift by l).
+  for (auto& ref : rc1.chunk_pos)
+    if (ref.block >= plan.k) ref.block += plan.l;
+
+  std::vector<codes::StripeRef> full_sel =
+      final_selection(plan, rc1.chunk_pos);
+  la::Matrix gen = codes::remap_to_selection(ghat, full_sel, plan.N);
+  for (const auto& rot : step2_rotations(plan)) {
+    codes::rotate_block_rows(gen, rot.block, plan.N, rot.window, rot.shift);
+    codes::rotate_refs(full_sel, rot.block, rot.window, rot.shift);
+  }
+  return {std::move(gen), std::move(full_sel), plan.N};
+}
+
+// ---- row-wise method ------------------------------------------------------
+
+// Step 1, exploiting that stripes of different rows never mix: for each row
+// p the chosen k stripes give a k×k submatrix of the BLOCK-level base, and
+// the row's generator is base · inv(that submatrix).
+struct Step1 {
+  la::Matrix generator;                    // rotated, base block ids
+  std::vector<codes::StripeRef> chunk_pos;  // rotated refs, base block ids
+};
+
+Step1 rowwise_step1(const Plan& plan) {
+  const size_t N = plan.N;
+  const size_t nb = plan.base.rows();  // k + g blocks
+  Step1 out;
+  out.generator = la::Matrix(nb * N, plan.k * N);
+
+  // Chosen (block, chunk index) per row, in selection (= chunk) order.
+  std::vector<std::vector<std::pair<size_t, size_t>>> by_row(N);
+  for (size_t c = 0; c < plan.sel1.refs.size(); ++c)
+    by_row[plan.sel1.refs[c].pos].push_back({plan.sel1.refs[c].block, c});
+
+  for (size_t p = 0; p < N; ++p) {
+    const auto& chosen = by_row[p];
+    GALLOPER_CHECK(chosen.size() == plan.k);
+    std::vector<size_t> rows(plan.k);
+    for (size_t j = 0; j < plan.k; ++j) rows[j] = chosen[j].first;
+    const auto inv = la::inverse(plan.base.select_rows(rows));
+    GALLOPER_CHECK_MSG(inv.has_value(),
+                       "row submatrix of an MDS base must be invertible");
+    const la::Matrix gp = plan.base * *inv;  // (k+g) × k
+    for (size_t b = 0; b < nb; ++b)
+      for (size_t j = 0; j < plan.k; ++j)
+        out.generator.at(b * N + p, chosen[j].second) = gp.at(b, j);
+  }
+
+  out.chunk_pos = plan.sel1.refs;
+  for (size_t b = 0; b < nb; ++b) {
+    codes::rotate_block_rows(out.generator, b, N, N, plan.sel1.run_start[b]);
+    codes::rotate_refs(out.chunk_pos, b, N, plan.sel1.run_start[b]);
+  }
+  return out;
+}
+
+Construction construct_rowwise(const GalloperParams& params,
+                               const Plan& plan) {
+  Step1 s1 = rowwise_step1(plan);
+  if (params.l == 0)
+    return {std::move(s1.generator), std::move(s1.chunk_pos), plan.N};
+
+  const size_t N = plan.N;
+  la::Matrix ghat = assemble_ghat(plan, s1.generator);
+
+  // Step-1 chunk refs in final block ids; also an index (block, pos) → old
+  // chunk id for locating the columns of each (group, row) class.
+  std::vector<codes::StripeRef> refs1 = s1.chunk_pos;
+  for (auto& ref : refs1)
+    if (ref.block >= plan.k) ref.block += plan.l;
+  std::unordered_map<uint64_t, size_t> old_chunk_at;
+  old_chunk_at.reserve(refs1.size());
+  for (size_t c = 0; c < refs1.size(); ++c)
+    old_chunk_at[refs1[c].block * (N + 1) + refs1[c].pos] = c;
+
+  const std::vector<codes::StripeRef> full_sel =
+      final_selection(plan, refs1);
+  std::unordered_map<uint64_t, size_t> new_chunk_at;
+  new_chunk_at.reserve(full_sel.size());
+  for (size_t c = 0; c < full_sel.size(); ++c)
+    new_chunk_at[full_sel[c].block * (N + 1) + full_sel[c].pos] = c;
+
+  // T = Ĝ_S2⁻¹ in sparse form: for each old chunk, its expansion over new
+  // chunks. Global chunks map to themselves; each (group, row) class is a
+  // tiny (k/l)×(k/l) inverse.
+  struct Term {
+    size_t new_chunk;
+    gf::Elem coeff;
+  };
+  std::vector<std::vector<Term>> t_rows(plan.k * N);
+  for (const auto& ref : refs1)
+    if (ref.block >= plan.k + plan.l) {
+      const size_t oc = old_chunk_at.at(ref.block * (N + 1) + ref.pos);
+      const size_t nc = new_chunk_at.at(ref.block * (N + 1) + ref.pos);
+      t_rows[oc].push_back({nc, 1});
+    }
+
+  const size_t gsz = plan.k / plan.l;
+  for (size_t j = 0; j < plan.l; ++j) {
+    const auto& gp = plan.groups[j];
+    if (gp.window == 0) continue;
+    // Chosen refs of this group, bucketed by row.
+    std::vector<std::vector<codes::StripeRef>> chosen_by_row(gp.window);
+    for (const auto& ref : gp.sel.refs) chosen_by_row[ref.pos].push_back(ref);
+
+    for (size_t p = 0; p < gp.window; ++p) {
+      const auto& chosen = chosen_by_row[p];
+      GALLOPER_CHECK(chosen.size() == gsz);
+      // Columns of this class: the group data blocks' old chunks at row p.
+      std::vector<size_t> cols(gsz);
+      for (size_t m = 0; m < gsz; ++m) {
+        const size_t data_block = j * gsz + m;
+        cols[m] = old_chunk_at.at(data_block * (N + 1) + p);
+      }
+      // B[r][m]: coefficient of old chunk cols[m] in chosen stripe r.
+      la::Matrix b(gsz, gsz);
+      for (size_t r = 0; r < gsz; ++r) {
+        const size_t blk = chosen[r].block;
+        if (blk < plan.k) {
+          b.at(r, blk % gsz) = 1;  // data stripe: unit row
+        } else {
+          for (size_t m = 0; m < gsz; ++m)
+            b.at(r, m) = plan.pyr.at(plan.k + j, j * gsz + m);
+        }
+      }
+      const auto binv = la::inverse(b);
+      GALLOPER_CHECK_MSG(binv.has_value(),
+                         "step-2 class submatrix must be invertible");
+      for (size_t m = 0; m < gsz; ++m) {
+        auto& row = t_rows[cols[m]];
+        for (size_t r = 0; r < gsz; ++r) {
+          const gf::Elem v = binv->at(m, r);
+          if (v == 0) continue;
+          const size_t nc = new_chunk_at.at(
+              chosen[r].block * (N + 1) + chosen[r].pos);
+          row.push_back({nc, v});
+        }
+      }
+    }
+  }
+  for (const auto& row : t_rows)
+    GALLOPER_CHECK_MSG(!row.empty(), "basis-change row left empty");
+
+  // E2 = Ĝ · T, exploiting Ĝ's ≤k-sparse rows and T's ≤k/l-sparse rows.
+  la::Matrix gen(plan.n * N, plan.k * N);
+  for (size_t r = 0; r < ghat.rows(); ++r) {
+    const auto src = ghat.row(r);
+    auto dst = gen.row(r);
+    for (size_t oc = 0; oc < src.size(); ++oc) {
+      const gf::Elem a = src[oc];
+      if (a == 0) continue;
+      for (const Term& t : t_rows[oc])
+        dst[t.new_chunk] = gf::add(dst[t.new_chunk], gf::mul(a, t.coeff));
+    }
+  }
+
+  std::vector<codes::StripeRef> refs = full_sel;
+  for (const auto& rot : step2_rotations(plan)) {
+    codes::rotate_block_rows(gen, rot.block, N, rot.window, rot.shift);
+    codes::rotate_refs(refs, rot.block, rot.window, rot.shift);
+  }
+  return {std::move(gen), std::move(refs), N};
+}
+
+}  // namespace
+
+// True if the construction tolerates EVERY erasure of `tolerance` blocks:
+// for each pattern, the surviving stripe rows must span all kN chunks.
+// Exhaustive over (n choose tolerance) patterns; decodability is monotone
+// in the available set, so exactly-`tolerance` erasures suffice.
+bool tolerates_all(const Construction& c, size_t n, size_t tolerance) {
+  const size_t N = c.n_stripes;
+  std::vector<size_t> erased(tolerance);
+  for (size_t i = 0; i < tolerance; ++i) erased[i] = i;
+  if (tolerance == 0 || tolerance > n) return true;
+  for (;;) {
+    std::vector<size_t> rows;
+    rows.reserve((n - tolerance) * N);
+    for (size_t b = 0; b < n; ++b) {
+      if (std::find(erased.begin(), erased.end(), b) != erased.end())
+        continue;
+      for (size_t p = 0; p < N; ++p) rows.push_back(b * N + p);
+    }
+    if (la::rank(c.generator.select_rows(rows)) != c.generator.cols())
+      return false;
+    // Next combination.
+    size_t i = tolerance;
+    while (i > 0 && erased[i - 1] == n - tolerance + i - 1) --i;
+    if (i == 0) return true;
+    ++erased[i - 1];
+    for (size_t j = i; j < tolerance; ++j) erased[j] = erased[j - 1] + 1;
+  }
+}
+
+size_t stripe_count(const GalloperParams& params) {
+  validate(params);
+  std::vector<Rational> all = params.weights;
+  for (size_t j = 0; j < params.l; ++j)
+    all.push_back(group_window_weight(params, j));
+  return static_cast<size_t>(common_denominator(all));
+}
+
+Construction construct_galloper(const GalloperParams& params, Method method) {
+  validate(params);
+
+  // With l = 0 the result is a row-permuted symbol remapping of the
+  // expanded Reed-Solomon code — exactly MDS, no validation needed.
+  if (params.l == 0) {
+    const Plan plan = make_plan(params, 0);
+    return method == Method::kLiteral ? construct_literal(params, plan)
+                                      : construct_rowwise(params, plan);
+  }
+
+  // With l > 0 the per-step stripe rotations de-align the local-parity
+  // relations from the global-parity relations, and for unlucky MDS
+  // coefficient sets a specific two-in-one-group erasure can become
+  // undecodable (a multiplicative-order degeneracy along the rotation
+  // cycle — e.g. the uniform (12,2,1) code with the default Vandermonde
+  // base loses pattern {6,7}). The paper's construction implicitly assumes
+  // a generic basis; we make that assumption explicit: build, verify every
+  // (g+1)-erasure pattern exhaustively against the generator, and retry
+  // with the next MDS base variant until the check passes. Deterministic,
+  // and in practice the first or second variant succeeds.
+  const size_t tolerance = params.g + 1;
+  const size_t max_variants = 16;
+  for (size_t variant = 0; variant < max_variants; ++variant) {
+    if (params.k + params.g + 1 + variant > 256) break;
+    const Plan plan = make_plan(params, variant);
+    Construction c = construct_rowwise(params, plan);
+    if (!tolerates_all(c, plan.n, tolerance)) continue;
+    if (method == Method::kRowwise) return c;
+    return construct_literal(params, plan);
+  }
+  GALLOPER_CHECK_MSG(false,
+                     "no MDS base variant yields the required g+1 "
+                     "tolerance — please report these parameters");
+  return {};
+}
+
+}  // namespace galloper::core

@@ -1,0 +1,72 @@
+// The Galloper code construction (Sec. IV-B and Sec. V-A of the paper).
+//
+// Special case l = 0: expand the systematic (k, g) Reed-Solomon generator
+// to N stripes per block, choose the w_i·N data stripes of each block by a
+// sequential sweep with wrap-around (each stripe row ends up with exactly k
+// chosen stripes, so the chosen set is a basis), symbol-remap onto that
+// basis, and rotate every block's data stripes to the top.
+//
+// General case l > 0 (two steps):
+//  1. Build a (k, 0, g) Galloper code with inflated data-block weights
+//     w_ig = (group weight sum) / (k/l) — the data destined for a local
+//     parity block is parked in its group's data blocks — and the global
+//     blocks' final weights.
+//  2. Append each local parity block as the Pyramid split-row combination
+//     of its group's (rotated) step-1 blocks, then symbol-remap again
+//     inside each group: choose w_i·N stripes per group block sequentially
+//     within the window of the first w_g·N rows (where all group data
+//     stripes live after rotation), wrap-around within the window. Global
+//     blocks keep their step-1 data stripes as basis members. Rotate group
+//     blocks and done.
+//
+// The generator produced here uses exactly the paper's literal matrix
+// path: expand → select submatrix → invert → remultiply (Sec. VI).
+#pragma once
+
+#include <vector>
+
+#include "codes/layout.h"
+#include "la/matrix.h"
+#include "util/rational.h"
+
+namespace galloper::core {
+
+struct GalloperParams {
+  size_t k = 0;
+  size_t l = 0;
+  size_t g = 0;
+  // One weight per block in PyramidCode block order (k data blocks, l local
+  // parity blocks, g global parity blocks); Σ = k, each in [0, 1], and the
+  // Sec. V-B group conditions when l > 0 (see weights_valid()).
+  std::vector<Rational> weights;
+};
+
+struct Construction {
+  la::Matrix generator;                    // (n·N) × (k·N), rotated
+  std::vector<codes::StripeRef> chunk_pos;  // chunk order (file order)
+  size_t n_stripes = 0;                    // N
+};
+
+// Smallest stripe count N making every w_i·N and group-window w_g·N
+// integral (the LCM of the weight denominators of both steps).
+size_t stripe_count(const GalloperParams& params);
+
+enum class Method {
+  // The paper's Sec. VI matrix path: expand the generator to kN × kN,
+  // select the chosen-stripe submatrix, invert it whole, remultiply.
+  // O((kN)³) — kept as the executable specification.
+  kLiteral,
+  // Exploits the construction's row decomposition: every basis change
+  // couples only stripes of one row (step 1) or one (group, row) class
+  // (step 2), so the big inverse splits into N k×k (resp. k/l × k/l)
+  // inverses. O(N·k³). Produces bit-identical generators to kLiteral
+  // (asserted in tests); the default for GalloperCode.
+  kRowwise,
+};
+
+// Builds the stripe generator and layout. Throws CheckError on invalid
+// parameters (weights_valid() must hold).
+Construction construct_galloper(const GalloperParams& params,
+                                Method method = Method::kRowwise);
+
+}  // namespace galloper::core

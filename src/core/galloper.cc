@@ -1,0 +1,81 @@
+#include "core/galloper.h"
+
+#include <sstream>
+
+#include "core/weights.h"
+#include "util/check.h"
+
+namespace galloper::core {
+
+namespace {
+
+codes::CodecEngine make_engine(const GalloperParams& params) {
+  Construction c = construct_galloper(params);
+  const size_t n = params.k + params.l + params.g;
+  return codes::CodecEngine(std::move(c.generator), n, c.n_stripes,
+                            std::move(c.chunk_pos));
+}
+
+}  // namespace
+
+GalloperCode::GalloperCode(GalloperParams params)
+    : k_(params.k),
+      l_(params.l),
+      g_(params.g),
+      weights_(params.weights),
+      engine_(make_engine(params)) {}
+
+GalloperCode::GalloperCode(size_t k, size_t l, size_t g)
+    : GalloperCode(GalloperParams{k, l, g, uniform_weights(k, l, g)}) {}
+
+GalloperCode::GalloperCode(size_t k, size_t l, size_t g,
+                           std::vector<Rational> weights)
+    : GalloperCode(GalloperParams{k, l, g, std::move(weights)}) {}
+
+GalloperCode GalloperCode::for_performance(
+    size_t k, size_t l, size_t g, const std::vector<double>& performance,
+    int64_t resolution) {
+  WeightSolution sol = assign_weights(k, l, g, performance, resolution);
+  return GalloperCode(k, l, g, std::move(sol.weights));
+}
+
+std::string GalloperCode::name() const {
+  std::ostringstream os;
+  os << "(" << k_ << "," << l_ << "," << g_ << ") Galloper";
+  return os.str();
+}
+
+size_t GalloperCode::group_of(size_t block) const {
+  GALLOPER_CHECK(block < num_blocks());
+  if (block < k_) return l_ > 0 ? block / (k_ / l_) : SIZE_MAX;
+  if (block < k_ + l_) return block - k_;
+  return SIZE_MAX;
+}
+
+std::vector<size_t> GalloperCode::group_blocks(size_t group) const {
+  GALLOPER_CHECK(l_ > 0 && group < l_);
+  const size_t size = k_ / l_;
+  std::vector<size_t> blocks;
+  for (size_t m = 0; m < size; ++m) blocks.push_back(group * size + m);
+  blocks.push_back(k_ + group);
+  return blocks;
+}
+
+std::vector<size_t> GalloperCode::repair_helpers(size_t block) const {
+  GALLOPER_CHECK(block < num_blocks());
+  const size_t group = group_of(block);
+  if (group != SIZE_MAX) {
+    std::vector<size_t> helpers;
+    for (size_t b : group_blocks(group))
+      if (b != block) helpers.push_back(b);
+    return helpers;
+  }
+  // Global parity (or any block when l = 0): k lowest-indexed survivors,
+  // exactly as PyramidCode.
+  std::vector<size_t> helpers;
+  for (size_t b = 0; b < num_blocks() && helpers.size() < k_; ++b)
+    if (b != block) helpers.push_back(b);
+  return helpers;
+}
+
+}  // namespace galloper::core

@@ -1,0 +1,61 @@
+// GalloperCode — the paper's contribution as a ready-to-use erasure code.
+//
+// A (k, l, g) Galloper code has the failure tolerance and repair locality
+// of the (k, l, g) Pyramid code, but original data are embedded in ALL
+// k+l+g blocks (proportionally to per-block weights), so data-parallel
+// jobs can run on every server. See core/construction.h for the algorithm
+// and core/weights.h for performance-aware weight assignment.
+#pragma once
+
+#include <vector>
+
+#include "codes/erasure_code.h"
+#include "core/construction.h"
+#include "util/rational.h"
+
+namespace galloper::core {
+
+class GalloperCode final : public codes::ErasureCode {
+ public:
+  // Homogeneous servers: uniform weights w_i = k/(k+l+g).
+  GalloperCode(size_t k, size_t l, size_t g);
+
+  // Explicit weights (must satisfy weights_valid()).
+  GalloperCode(size_t k, size_t l, size_t g, std::vector<Rational> weights);
+
+  // Heterogeneous servers: derives weights from per-server performance via
+  // the Sec. IV-C / V-B linear program (see assign_weights()).
+  static GalloperCode for_performance(size_t k, size_t l, size_t g,
+                                      const std::vector<double>& performance,
+                                      int64_t resolution = 12);
+
+  std::string name() const override;
+  size_t k() const override { return k_; }
+  size_t l() const { return l_; }
+  size_t g() const { return g_; }
+  const std::vector<Rational>& weights() const { return weights_; }
+  size_t n_stripes() const { return engine_.stripes_per_block(); }
+
+  // Same helper sets as the Pyramid code it is built from: group peers for
+  // the first k+l blocks, the k "data" blocks for global parity blocks.
+  std::vector<size_t> repair_helpers(size_t block) const override;
+  size_t guaranteed_tolerance() const override {
+    return l_ > 0 ? g_ + 1 : g_;
+  }
+  const codes::CodecEngine& engine() const override { return engine_; }
+
+  // Group id of a data/local-parity block, SIZE_MAX for globals.
+  size_t group_of(size_t block) const;
+  std::vector<size_t> group_blocks(size_t group) const;
+
+ private:
+  GalloperCode(GalloperParams params);
+
+  size_t k_;
+  size_t l_;
+  size_t g_;
+  std::vector<Rational> weights_;
+  codes::CodecEngine engine_;
+};
+
+}  // namespace galloper::core

@@ -1,0 +1,53 @@
+// InputFormat — the analogue of the paper's custom Hadoop FileInputFormat
+// (Sec. VI): it tells an analytics framework where the ORIGINAL data live
+// inside each encoded block, so map tasks can be scheduled on every server
+// and read only original bytes (never parity).
+#pragma once
+
+#include <vector>
+
+#include "codes/erasure_code.h"
+#include "util/bytes.h"
+
+namespace galloper::core {
+
+class InputFormat {
+ public:
+  // `block_bytes` must be a multiple of the code's stripes_per_block().
+  InputFormat(const codes::ErasureCode& code, size_t block_bytes);
+
+  // One maximal contiguous run of original data per block (blocks whose
+  // weight is zero contribute nothing). Original data are rotated to the
+  // top of each block, so block_offset is 0 for every split this library
+  // produces — kept explicit because consumers must not assume it.
+  struct Split {
+    size_t block = 0;         // block (= server) holding the bytes
+    size_t block_offset = 0;  // where the run starts inside the block
+    size_t file_offset = 0;   // where the run belongs in the original file
+    size_t length = 0;        // bytes of original data
+  };
+
+  const std::vector<Split>& splits() const { return splits_; }
+
+  size_t block_bytes() const { return block_bytes_; }
+  size_t chunk_bytes() const { return chunk_bytes_; }
+
+  // Total original bytes across all blocks (= the original file size).
+  size_t total_original_bytes() const;
+
+  // Original bytes stored in one block.
+  size_t original_bytes_in_block(size_t block) const;
+
+  // Reassembles the original file by concatenating the data regions of all
+  // blocks — no decoding, pure byte movement. Requires every block that
+  // holds original data (blocks[i] must be block i's contents).
+  Buffer gather(const std::vector<ConstByteSpan>& blocks) const;
+
+ private:
+  size_t num_blocks_;
+  size_t block_bytes_;
+  size_t chunk_bytes_;
+  std::vector<Split> splits_;
+};
+
+}  // namespace galloper::core

@@ -1,0 +1,241 @@
+#include "core/weights.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "lp/simplex.h"
+#include "util/check.h"
+
+namespace galloper::core {
+
+namespace {
+
+struct Shape {
+  size_t k, l, g, n;
+  size_t group_size() const { return k / l; }  // data blocks per group
+
+  // Blocks of local group j: k/l data blocks plus the local parity block.
+  std::vector<size_t> group(size_t j) const {
+    std::vector<size_t> blocks;
+    for (size_t m = 0; m < group_size(); ++m)
+      blocks.push_back(j * group_size() + m);
+    blocks.push_back(k + j);
+    return blocks;
+  }
+};
+
+Shape make_shape(size_t k, size_t l, size_t g) {
+  GALLOPER_CHECK(k >= 1);
+  GALLOPER_CHECK_MSG(l == 0 || k % l == 0, "l must divide k");
+  return {k, l, g, k + l + g};
+}
+
+// Builds and solves the paper's LP; returns effective performances p − d.
+std::vector<double> solve_lp(const Shape& s, const std::vector<double>& perf) {
+  const double total_p = std::accumulate(perf.begin(), perf.end(), 0.0);
+
+  lp::LinearProgram prog(s.n);
+  for (size_t i = 0; i < s.n; ++i) prog.objective[i] = 1.0;  // min Σ d
+
+  // k (p_i − d_i) ≤ Σ (p − d)   ⟺   −k·d_i + Σ d ≤ Σ p − k·p_i
+  for (size_t i = 0; i < s.n; ++i) {
+    std::vector<double> row(s.n, 1.0);
+    row[i] += -static_cast<double>(s.k);
+    prog.add_constraint(std::move(row), lp::Relation::kLessEqual,
+                        total_p - static_cast<double>(s.k) * perf[i]);
+  }
+  if (s.l > 0) {
+    for (size_t j = 0; j < s.l; ++j) {
+      const auto grp = s.group(j);
+      double group_p = 0;
+      for (size_t i : grp) group_p += perf[i];
+      // l · Σ_grp (p − d) ≤ Σ (p − d) ⟺ −l·Σ_grp d + Σ d ≤ Σ p − l·Σ_grp p
+      {
+        std::vector<double> row(s.n, 1.0);
+        for (size_t i : grp) row[i] += -static_cast<double>(s.l);
+        prog.add_constraint(std::move(row), lp::Relation::kLessEqual,
+                            total_p - static_cast<double>(s.l) * group_p);
+      }
+      // (k/l)(p_i − d_i) ≤ Σ_grp (p − d), for each i in the group
+      const double m = static_cast<double>(s.group_size());
+      for (size_t i : grp) {
+        std::vector<double> row(s.n, 0.0);
+        for (size_t q : grp) row[q] = 1.0;
+        row[i] += -m;
+        prog.add_constraint(std::move(row), lp::Relation::kLessEqual,
+                            group_p - m * perf[i]);
+      }
+    }
+  }
+  for (size_t i = 0; i < s.n; ++i) prog.add_upper_bound(i, perf[i]);
+
+  const lp::LpSolution sol = lp::solve(prog);
+  GALLOPER_CHECK_MSG(sol.optimal(),
+                     "weight LP not optimal: " << lp::to_string(sol.status));
+  std::vector<double> effective(s.n);
+  for (size_t i = 0; i < s.n; ++i)
+    effective[i] = std::max(0.0, perf[i] - sol.x[i]);
+  return effective;
+}
+
+// Quantizes effective performances onto an integer grid and repairs rounding
+// violations so the integer units satisfy the (exact) constraint system:
+//   k·c_i ≤ Σc;   (k/l)·c_i ≤ C_grp;   l·C_grp ≤ Σc.
+std::vector<int64_t> quantize(const Shape& s,
+                              const std::vector<double>& effective,
+                              int64_t resolution) {
+  GALLOPER_CHECK(resolution >= 1);
+  const double peak = *std::max_element(effective.begin(), effective.end());
+  std::vector<int64_t> units(s.n, 1);
+  if (peak > 0) {
+    for (size_t i = 0; i < s.n; ++i) {
+      // Round up, as the paper does; the repair loop below restores any
+      // constraint the rounding broke.
+      units[i] = static_cast<int64_t>(
+          std::ceil(effective[i] * static_cast<double>(resolution) / peak));
+      units[i] = std::max<int64_t>(units[i], 0);
+    }
+  }
+  if (std::accumulate(units.begin(), units.end(), int64_t{0}) == 0)
+    std::fill(units.begin(), units.end(), int64_t{1});
+
+  auto total = [&] {
+    return std::accumulate(units.begin(), units.end(), int64_t{0});
+  };
+  auto group_total = [&](size_t j) {
+    int64_t t = 0;
+    for (size_t i : s.group(j)) t += units[i];
+    return t;
+  };
+
+  // Each pass decrements one violating unit; Σ units strictly decreases, so
+  // the loop terminates (and all-equal units are always feasible).
+  for (bool changed = true; changed;) {
+    changed = false;
+    const int64_t sum = total();
+    for (size_t i = 0; i < s.n; ++i) {
+      if (static_cast<int64_t>(s.k) * units[i] > sum && units[i] > 0) {
+        --units[i];
+        changed = true;
+        break;
+      }
+    }
+    if (changed || s.l == 0) continue;
+    const int64_t m = static_cast<int64_t>(s.group_size());
+    for (size_t j = 0; j < s.l && !changed; ++j) {
+      const int64_t grp = group_total(j);
+      if (static_cast<int64_t>(s.l) * grp > sum) {
+        // Shrink the biggest member of the over-heavy group.
+        size_t arg = s.group(j).front();
+        for (size_t i : s.group(j))
+          if (units[i] > units[arg]) arg = i;
+        if (units[arg] > 0) {
+          --units[arg];
+          changed = true;
+          break;
+        }
+      }
+      for (size_t i : s.group(j)) {
+        if (m * units[i] > grp && units[i] > 0) {
+          --units[i];
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  GALLOPER_CHECK(total() > 0);
+  return units;
+}
+
+}  // namespace
+
+std::vector<double> waterfill_effective(const std::vector<double>& perf,
+                                        size_t k) {
+  GALLOPER_CHECK(perf.size() >= k && k >= 1);
+  for (double p : perf) GALLOPER_CHECK_MSG(p > 0, "performance must be > 0");
+  // f(T) = Σ min(p_i, T) − k·T is piecewise linear and concave with
+  // f(0) = 0; the optimum is its largest nonnegative point. Scan the
+  // breakpoints (sorted p values) for the segment where f crosses zero.
+  std::vector<double> sorted(perf);
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  double below_sum = 0;  // Σ of p_i below the current segment
+  double best_t = 0;
+  for (size_t idx = 0; idx < n; ++idx) {
+    const double lo = idx == 0 ? 0.0 : sorted[idx - 1];
+    const double hi = sorted[idx];
+    if (idx > 0) below_sum += sorted[idx - 1];
+    // On [lo, hi]: f(T) = below_sum + (n − idx − k)·T.
+    const double slope = static_cast<double>(n - idx) - static_cast<double>(k);
+    const double value_lo = below_sum + slope * lo;
+    const double value_hi = below_sum + slope * hi;
+    if (value_hi >= 0) {
+      best_t = hi;  // f still nonnegative at the segment end; keep going
+      continue;
+    }
+    if (value_lo >= 0 && slope < 0) best_t = lo + value_lo / -slope;
+    break;
+  }
+  std::vector<double> q(perf.size());
+  for (size_t i = 0; i < perf.size(); ++i) q[i] = std::min(perf[i], best_t);
+  return q;
+}
+
+std::vector<Rational> uniform_weights(size_t k, size_t l, size_t g) {
+  const Shape s = make_shape(k, l, g);
+  return std::vector<Rational>(
+      s.n, Rational(static_cast<int64_t>(k), static_cast<int64_t>(s.n)));
+}
+
+bool weights_valid(size_t k, size_t l, size_t g,
+                   const std::vector<Rational>& weights) {
+  const Shape s = make_shape(k, l, g);
+  if (weights.size() != s.n) return false;
+  const Rational total = sum(weights);
+  if (total != Rational(static_cast<int64_t>(k))) return false;
+  for (const auto& w : weights)
+    if (w < Rational(0) || w > Rational(1)) return false;
+  if (l == 0) return true;
+  const Rational ratio_lk(static_cast<int64_t>(l), static_cast<int64_t>(k));
+  for (size_t j = 0; j < l; ++j) {
+    std::vector<Rational> grp_ws;
+    for (size_t i : s.group(j)) grp_ws.push_back(weights[i]);
+    const Rational grp = sum(grp_ws);
+    const Rational wg = grp * ratio_lk;  // step-1 weight of the group
+    if (wg > Rational(1)) return false;
+    for (const auto& w : grp_ws)
+      if (w > wg) return false;
+  }
+  return true;
+}
+
+WeightSolution assign_weights(size_t k, size_t l, size_t g,
+                              const std::vector<double>& perf,
+                              int64_t resolution) {
+  const Shape s = make_shape(k, l, g);
+  GALLOPER_CHECK_MSG(perf.size() == s.n,
+                     "need one performance value per block: "
+                         << perf.size() << " given, " << s.n << " expected");
+  for (double p : perf) GALLOPER_CHECK_MSG(p > 0, "performance must be > 0");
+
+  WeightSolution out;
+  out.effective = solve_lp(s, perf);
+  double d_sum = 0;
+  for (size_t i = 0; i < s.n; ++i) d_sum += perf[i] - out.effective[i];
+  out.lp_objective = d_sum;
+
+  out.units = quantize(s, out.effective, resolution);
+  const int64_t total =
+      std::accumulate(out.units.begin(), out.units.end(), int64_t{0});
+  out.weights.reserve(s.n);
+  for (size_t i = 0; i < s.n; ++i)
+    out.weights.emplace_back(static_cast<int64_t>(k) * out.units[i], total);
+  GALLOPER_CHECK_MSG(weights_valid(k, l, g, out.weights),
+                     "internal error: rationalized weights violate "
+                     "constraints");
+  return out;
+}
+
+}  // namespace galloper::core

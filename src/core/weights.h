@@ -1,0 +1,61 @@
+// Performance-aware weight assignment (Sec. IV-C and V-B of the paper).
+//
+// Given the measured performance p_i of the server that will store block i,
+// the weight w_i ∈ [0, 1] is the fraction of block i that holds original
+// data, with Σ w_i = k. Overqualified servers are "limited" by slack d_i so
+// that no weight exceeds 1 (and, when l > 0, so that each local group can
+// absorb its members' data): minimize Σ d_i subject to
+//
+//   k (p_i − d_i) ≤ Σ (p − d)                          (w_i ≤ 1)
+//   (k/l)(p_i − d_i) ≤ Σ_{group(i)} (p − d)            (w_i ≤ w_g, l > 0)
+//   l · Σ_{group j} (p − d) ≤ Σ (p − d)                (w_g ≤ 1, l > 0)
+//   0 ≤ d_i ≤ p_i.
+//
+// Block order matches PyramidCode / GalloperCode: k data blocks, l local
+// parity blocks, g global parity blocks; local group j = data blocks
+// [j·k/l, (j+1)·k/l) plus local parity block k+j.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rational.h"
+
+namespace galloper::core {
+
+struct WeightSolution {
+  std::vector<Rational> weights;   // final rational w_i, Σ = k
+  std::vector<double> effective;   // p_i − d_i from the LP (pre-rounding)
+  std::vector<int64_t> units;      // integer performance grid c_i
+  double lp_objective = 0.0;       // Σ d_i
+};
+
+// Solves the LP with the simplex solver and rationalizes the result onto an
+// integer grid of `resolution` units (the paper's "round up p_i − d_i"),
+// then repairs any rounding-induced constraint violation so the final
+// rational weights satisfy every constraint exactly.
+//
+// Requires perf.size() == k + l + g, every p_i > 0, and l | k when l > 0.
+// `resolution` trades weight fidelity against the stripe count N (which is
+// the LCM of the weight denominators); 10–20 is plenty in practice.
+WeightSolution assign_weights(size_t k, size_t l, size_t g,
+                              const std::vector<double>& perf,
+                              int64_t resolution = 12);
+
+// Closed-form water-filling solution of the l = 0 problem: returns the
+// effective performances q_i = p_i − d_i maximizing Σ q subject to
+// k·q_i ≤ Σ q and 0 ≤ q_i ≤ p_i (q_i = min(p_i, T) at the largest fixed
+// point T of T = Σ min(p_i, T) / k). Cross-checked against the simplex
+// path in tests.
+std::vector<double> waterfill_effective(const std::vector<double>& perf,
+                                        size_t k);
+
+// Homogeneous weights w_i = k / (k + l + g).
+std::vector<Rational> uniform_weights(size_t k, size_t l, size_t g);
+
+// True if `weights` satisfies all Galloper constraints exactly
+// (Σ = k, 0 ≤ w ≤ 1, and the group conditions when l > 0).
+bool weights_valid(size_t k, size_t l, size_t g,
+                   const std::vector<Rational>& weights);
+
+}  // namespace galloper::core

@@ -1,0 +1,29 @@
+#include "gf/gf256.h"
+
+#include "util/check.h"
+
+namespace galloper::gf {
+
+namespace detail {
+const Tables kTables = build_tables();
+}  // namespace detail
+
+Elem inv(Elem a) {
+  GALLOPER_CHECK_MSG(a != 0, "inverse of zero in GF(256)");
+  return detail::kTables.inv[a];
+}
+
+Elem div(Elem a, Elem b) {
+  GALLOPER_CHECK_MSG(b != 0, "division by zero in GF(256)");
+  return mul(a, detail::kTables.inv[b]);
+}
+
+Elem pow(Elem a, uint64_t e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  // log-based: a^e = g^(log(a)·e mod 255)
+  const uint64_t la = detail::kTables.log[a];
+  return detail::kTables.exp[(la * (e % 255)) % 255];
+}
+
+}  // namespace galloper::gf

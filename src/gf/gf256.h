@@ -1,0 +1,98 @@
+// Arithmetic over GF(2^8), the finite field used by all codes in this
+// library (the paper's implementation uses the same field via Intel ISA-L;
+// we implement it directly — see DESIGN.md "Substitutions").
+//
+// Field construction: polynomial basis over the AES-standard primitive
+// polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d). Addition is XOR;
+// multiplication uses compile-time log/exp tables plus a full 64 KiB
+// product table for the hot paths.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace galloper::gf {
+
+using Elem = uint8_t;
+
+inline constexpr unsigned kFieldSize = 256;
+inline constexpr unsigned kPoly = 0x11d;  // primitive polynomial
+inline constexpr Elem kGenerator = 2;     // multiplicative generator
+
+namespace detail {
+
+// Slow bitwise ("Russian peasant") multiply used to build the tables and as
+// the reference implementation for tests.
+constexpr Elem slow_mul(Elem a, Elem b) {
+  unsigned acc = 0;
+  unsigned aa = a;
+  unsigned bb = b;
+  while (bb != 0) {
+    if (bb & 1) acc ^= aa;
+    aa <<= 1;
+    if (aa & 0x100) aa ^= kPoly;
+    bb >>= 1;
+  }
+  return static_cast<Elem>(acc);
+}
+
+struct Tables {
+  std::array<Elem, 256> exp{};       // exp[i] = g^i, exp[255] = exp[0] = 1
+  std::array<uint16_t, 256> log{};   // log[exp[i]] = i; log[0] = 512 sentinel
+  std::array<Elem, 256 * 256> mul{};  // mul[a * 256 + b] = a · b
+  std::array<Elem, 256> inv{};       // inv[a] = a^-1; inv[0] = 0 sentinel
+};
+
+constexpr Tables build_tables() {
+  Tables t{};
+  Elem x = 1;
+  for (unsigned i = 0; i < 255; ++i) {
+    t.exp[i] = x;
+    t.log[x] = static_cast<uint16_t>(i);
+    x = slow_mul(x, kGenerator);
+  }
+  t.exp[255] = 1;  // wraparound convenience
+  t.log[0] = 512;  // sentinel; never a valid exponent sum
+  for (unsigned a = 0; a < 256; ++a)
+    for (unsigned b = 0; b < 256; ++b)
+      t.mul[a * 256 + b] =
+          slow_mul(static_cast<Elem>(a), static_cast<Elem>(b));
+  t.inv[0] = 0;
+  for (unsigned a = 1; a < 256; ++a)
+    t.inv[a] = t.exp[(255 - t.log[a]) % 255];
+  return t;
+}
+
+// Built once at program startup (too large for comfortable constexpr
+// evaluation of the 64 KiB product table on every TU; defined in gf256.cc).
+extern const Tables kTables;
+
+}  // namespace detail
+
+// a + b and a - b coincide in characteristic 2.
+inline Elem add(Elem a, Elem b) { return a ^ b; }
+inline Elem sub(Elem a, Elem b) { return a ^ b; }
+
+inline Elem mul(Elem a, Elem b) {
+  return detail::kTables.mul[static_cast<unsigned>(a) * 256 + b];
+}
+
+// Multiplicative inverse; a must be nonzero.
+Elem inv(Elem a);
+
+// a / b; b must be nonzero.
+Elem div(Elem a, Elem b);
+
+// a^e with a in the field and e a non-negative integer exponent.
+Elem pow(Elem a, uint64_t e);
+
+// Pointer to the 256-entry product row { c·0, c·1, …, c·255 } — the kernel
+// tables use this to multiply a whole region by the constant c.
+inline const Elem* mul_row(Elem c) {
+  return detail::kTables.mul.data() + static_cast<unsigned>(c) * 256;
+}
+
+// Reference (table-free) multiply, exposed for tests.
+inline Elem slow_mul(Elem a, Elem b) { return detail::slow_mul(a, b); }
+
+}  // namespace galloper::gf

@@ -1,0 +1,121 @@
+#include "gf/gf65536.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace galloper::gf16 {
+
+Elem slow_mul(Elem a, Elem b) {
+  uint32_t acc = 0;
+  uint32_t aa = a;
+  uint32_t bb = b;
+  while (bb != 0) {
+    if (bb & 1) acc ^= aa;
+    aa <<= 1;
+    if (aa & 0x10000) aa ^= kPoly;
+    bb >>= 1;
+  }
+  return static_cast<Elem>(acc);
+}
+
+namespace {
+
+struct Tables {
+  std::vector<Elem> exp;       // size 2^16, exp[i] = g^i (period 65535)
+  std::vector<uint32_t> log;   // log[exp[i]] = i; log[0] sentinel
+
+  Tables() : exp(kFieldSize), log(kFieldSize) {
+    Elem x = 1;
+    for (unsigned i = 0; i < kFieldSize - 1; ++i) {
+      exp[i] = x;
+      log[x] = i;
+      x = slow_mul(x, kGenerator);
+    }
+    exp[kFieldSize - 1] = 1;
+    log[0] = 2 * kFieldSize;  // sentinel, never a valid exponent sum
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+constexpr unsigned kOrder = kFieldSize - 1;  // 65535
+
+}  // namespace
+
+Elem mul(Elem a, Elem b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = tables();
+  const uint32_t s = t.log[a] + t.log[b];
+  return t.exp[s >= kOrder ? s - kOrder : s];
+}
+
+Elem inv(Elem a) {
+  GALLOPER_CHECK_MSG(a != 0, "inverse of zero in GF(2^16)");
+  const auto& t = tables();
+  return t.exp[(kOrder - t.log[a]) % kOrder];
+}
+
+Elem div(Elem a, Elem b) {
+  GALLOPER_CHECK_MSG(b != 0, "division by zero in GF(2^16)");
+  return mul(a, inv(b));
+}
+
+Elem pow(Elem a, uint64_t e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = tables();
+  return t.exp[(static_cast<uint64_t>(t.log[a]) * (e % kOrder)) % kOrder];
+}
+
+void xor_region(std::span<Elem> dst, std::span<const Elem> src) {
+  GALLOPER_CHECK(dst.size() == src.size());
+  for (size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+}
+
+namespace {
+
+// Split tables: c·x = c·low(x) ^ c·(high(x)·256), each a 256-entry lookup.
+struct SplitTable {
+  Elem lo[256];
+  Elem hi[256];
+  explicit SplitTable(Elem c) {
+    for (unsigned b = 0; b < 256; ++b) {
+      lo[b] = mul(c, static_cast<Elem>(b));
+      hi[b] = mul(c, static_cast<Elem>(b << 8));
+    }
+  }
+  Elem apply(Elem x) const { return lo[x & 0xff] ^ hi[x >> 8]; }
+};
+
+}  // namespace
+
+void mul_region(std::span<Elem> dst, Elem c, std::span<const Elem> src) {
+  GALLOPER_CHECK(dst.size() == src.size());
+  if (c == 0) {
+    std::fill(dst.begin(), dst.end(), Elem{0});
+    return;
+  }
+  if (c == 1) {
+    std::copy(src.begin(), src.end(), dst.begin());
+    return;
+  }
+  const SplitTable t(c);
+  for (size_t i = 0; i < dst.size(); ++i) dst[i] = t.apply(src[i]);
+}
+
+void mul_acc_region(std::span<Elem> dst, Elem c, std::span<const Elem> src) {
+  GALLOPER_CHECK(dst.size() == src.size());
+  if (c == 0) return;
+  if (c == 1) {
+    xor_region(dst, src);
+    return;
+  }
+  const SplitTable t(c);
+  for (size_t i = 0; i < dst.size(); ++i) dst[i] ^= t.apply(src[i]);
+}
+
+}  // namespace galloper::gf16

@@ -1,0 +1,42 @@
+// Arithmetic over GF(2^16) — the larger field the paper prescribes when
+// k + l + g exceeds 256 (Sec. VI). Log/exp tables (384 KiB) drive scalar
+// ops; region kernels use per-constant split tables (low/high byte) so the
+// hot loop stays two lookups + one XOR per symbol.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace galloper::gf16 {
+
+using Elem = uint16_t;
+
+inline constexpr unsigned kFieldSize = 65536;
+// Standard primitive polynomial x^16 + x^12 + x^3 + x + 1.
+inline constexpr uint32_t kPoly = 0x1100b;
+inline constexpr Elem kGenerator = 2;
+
+// Reference bitwise multiply (tests, table construction).
+Elem slow_mul(Elem a, Elem b);
+
+inline Elem add(Elem a, Elem b) { return a ^ b; }
+inline Elem sub(Elem a, Elem b) { return a ^ b; }
+
+Elem mul(Elem a, Elem b);
+Elem inv(Elem a);   // a != 0
+Elem div(Elem a, Elem b);  // b != 0
+Elem pow(Elem a, uint64_t e);
+
+// ---- region kernels over arrays of 16-bit symbols ----
+
+// dst ^= src
+void xor_region(std::span<Elem> dst, std::span<const Elem> src);
+
+// dst = c · src
+void mul_region(std::span<Elem> dst, Elem c, std::span<const Elem> src);
+
+// dst ^= c · src
+void mul_acc_region(std::span<Elem> dst, Elem c, std::span<const Elem> src);
+
+}  // namespace galloper::gf16

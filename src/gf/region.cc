@@ -1,0 +1,66 @@
+#include "gf/region.h"
+
+#include "util/check.h"
+
+namespace galloper::gf {
+
+void xor_region(std::span<uint8_t> dst, std::span<const uint8_t> src) {
+  GALLOPER_CHECK(dst.size() == src.size());
+  size_t i = 0;
+  // Word-at-a-time XOR; memcpy-based loads keep this UB-free under strict
+  // aliasing while compiling to single 64-bit ops.
+  for (; i + 8 <= dst.size(); i += 8) {
+    uint64_t a, b;
+    __builtin_memcpy(&a, dst.data() + i, 8);
+    __builtin_memcpy(&b, src.data() + i, 8);
+    a ^= b;
+    __builtin_memcpy(dst.data() + i, &a, 8);
+  }
+  for (; i < dst.size(); ++i) dst[i] ^= src[i];
+}
+
+void mul_region(std::span<uint8_t> dst, Elem c,
+                std::span<const uint8_t> src) {
+  GALLOPER_CHECK(dst.size() == src.size());
+  if (c == 0) {
+    std::fill(dst.begin(), dst.end(), uint8_t{0});
+    return;
+  }
+  if (c == 1) {
+    std::copy(src.begin(), src.end(), dst.begin());
+    return;
+  }
+  const Elem* row = mul_row(c);
+  for (size_t i = 0; i < dst.size(); ++i) dst[i] = row[src[i]];
+}
+
+void mul_acc_region(std::span<uint8_t> dst, Elem c,
+                    std::span<const uint8_t> src) {
+  GALLOPER_CHECK(dst.size() == src.size());
+  if (c == 0) return;
+  if (c == 1) {
+    xor_region(dst, src);
+    return;
+  }
+  const Elem* row = mul_row(c);
+  for (size_t i = 0; i < dst.size(); ++i) dst[i] ^= row[src[i]];
+}
+
+void scale_region(std::span<uint8_t> dst, Elem c) {
+  if (c == 1) return;
+  if (c == 0) {
+    std::fill(dst.begin(), dst.end(), uint8_t{0});
+    return;
+  }
+  const Elem* row = mul_row(c);
+  for (auto& b : dst) b = row[b];
+}
+
+Elem dot(std::span<const Elem> a, std::span<const Elem> b) {
+  GALLOPER_CHECK(a.size() == b.size());
+  Elem acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) acc ^= mul(a[i], b[i]);
+  return acc;
+}
+
+}  // namespace galloper::gf

@@ -1,0 +1,29 @@
+// Bulk (region) kernels over GF(2^8): the operations an erasure-code encoder
+// spends its time in. Equivalent to ISA-L's gf_vect_mul / gf_vect_mad.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "gf/gf256.h"
+
+namespace galloper::gf {
+
+// dst ^= src (vector add in GF(2^8)). Sizes must match.
+void xor_region(std::span<uint8_t> dst, std::span<const uint8_t> src);
+
+// dst = c · src.
+void mul_region(std::span<uint8_t> dst, Elem c, std::span<const uint8_t> src);
+
+// dst ^= c · src  (multiply-accumulate — the encoder inner loop).
+void mul_acc_region(std::span<uint8_t> dst, Elem c,
+                    std::span<const uint8_t> src);
+
+// In-place dst = c · dst.
+void scale_region(std::span<uint8_t> dst, Elem c);
+
+// Σ_i a[i]·b[i] over the field (both length n).
+Elem dot(std::span<const Elem> a, std::span<const Elem> b);
+
+}  // namespace galloper::gf

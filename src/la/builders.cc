@@ -1,0 +1,64 @@
+#include "la/builders.h"
+
+#include "la/solve.h"
+#include "util/check.h"
+
+namespace galloper::la {
+
+Matrix vandermonde(size_t rows, size_t cols, size_t offset) {
+  GALLOPER_CHECK_MSG(rows + offset <= 256,
+                     "Vandermonde needs distinct field points");
+  GALLOPER_CHECK(cols > 0);
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    const gf::Elem x = static_cast<gf::Elem>(i + offset);
+    gf::Elem p = 1;
+    for (size_t j = 0; j < cols; ++j) {
+      m.at(i, j) = p;
+      p = gf::mul(p, x);
+    }
+  }
+  return m;
+}
+
+Matrix cauchy(size_t rows, size_t cols) {
+  GALLOPER_CHECK_MSG(rows + cols <= 256,
+                     "Cauchy needs rows + cols distinct field points");
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    const gf::Elem xi = static_cast<gf::Elem>(i);
+    for (size_t j = 0; j < cols; ++j) {
+      const gf::Elem yj = static_cast<gf::Elem>(rows + j);
+      m.at(i, j) = gf::inv(gf::add(xi, yj));
+    }
+  }
+  return m;
+}
+
+Matrix systematic_mds(size_t k, size_t r, size_t variant) {
+  GALLOPER_CHECK(k > 0);
+  GALLOPER_CHECK_MSG(k + r + variant <= 256,
+                     "k + r + variant must be ≤ field size");
+  if (r == 1) {
+    // Single-parity MDS: the canonical XOR (all-ones) parity row. Any k of
+    // the k+1 rows are invertible, and this matches the RAID-5 / paper
+    // Fig. 3 convention.
+    Matrix g = Matrix::identity(k).vstack(Matrix(1, k));
+    for (size_t j = 0; j < k; ++j) g.at(k, j) = 1;
+    return g;
+  }
+  const Matrix v = vandermonde(k + r, k, variant);
+  std::vector<size_t> top(k);
+  for (size_t i = 0; i < k; ++i) top[i] = i;
+  const auto top_inv = inverse(v.select_rows(top));
+  GALLOPER_CHECK_MSG(top_inv.has_value(),
+                     "Vandermonde top block must be invertible");
+  Matrix g = v * *top_inv;
+  // The top block is exactly the identity; snap any representation noise.
+  for (size_t i = 0; i < k; ++i)
+    for (size_t j = 0; j < k; ++j)
+      GALLOPER_CHECK(g.at(i, j) == (i == j ? 1 : 0));
+  return g;
+}
+
+}  // namespace galloper::la

@@ -1,0 +1,30 @@
+// Constructors for the classical generator matrices the codes are built on.
+#pragma once
+
+#include "la/matrix.h"
+
+namespace galloper::la {
+
+// (rows × cols) Vandermonde matrix V[i][j] = x_i^j with distinct
+// x_i = i + offset. Any `cols` rows of it are linearly independent.
+// Requires rows + offset ≤ 256.
+Matrix vandermonde(size_t rows, size_t cols, size_t offset = 0);
+
+// (rows × cols) Cauchy matrix C[i][j] = 1 / (x_i + y_j) with the x's and
+// y's distinct. Any square submatrix is invertible.
+// Requires rows + cols ≤ 256.
+Matrix cauchy(size_t rows, size_t cols);
+
+// Systematic MDS generator for a (k, r) code: a (k+r) × k matrix whose top
+// k×k block is the identity and in which ANY k rows are invertible. Built by
+// column-transforming a Vandermonde matrix (G = V · V_top⁻¹), which
+// preserves the any-k-rows property. Requires k + r + variant ≤ 256.
+//
+// `variant` selects a different (still MDS) coefficient set by shifting the
+// Vandermonde evaluation points — used by the Galloper construction to
+// sidestep rare degenerate interactions between parity coefficients and
+// stripe rotations (see core/construction.cc). Ignored for r = 1 (the XOR
+// parity is canonical and variant-proof).
+Matrix systematic_mds(size_t k, size_t r, size_t variant = 0);
+
+}  // namespace galloper::la

@@ -1,0 +1,120 @@
+#include "la/matrix.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace galloper::la {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+Matrix::Matrix(size_t rows, size_t cols,
+               std::initializer_list<unsigned> values)
+    : Matrix(rows, cols) {
+  GALLOPER_CHECK_MSG(values.size() == rows * cols,
+                     "initializer size " << values.size() << " != "
+                                         << rows * cols);
+  size_t i = 0;
+  for (unsigned v : values) {
+    GALLOPER_CHECK(v < 256);
+    data_[i++] = static_cast<gf::Elem>(v);
+  }
+}
+
+Matrix Matrix::identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+gf::Elem Matrix::at(size_t r, size_t c) const {
+  GALLOPER_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+gf::Elem& Matrix::at(size_t r, size_t c) {
+  GALLOPER_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+std::span<const gf::Elem> Matrix::row(size_t r) const {
+  GALLOPER_CHECK(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<gf::Elem> Matrix::row(size_t r) {
+  GALLOPER_CHECK(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+Matrix Matrix::operator*(const Matrix& o) const {
+  GALLOPER_CHECK_MSG(cols_ == o.rows_, "matrix product shape mismatch: "
+                                           << rows_ << "x" << cols_ << " · "
+                                           << o.rows_ << "x" << o.cols_);
+  Matrix out(rows_, o.cols_);
+  // i-k-j loop order with a row-product table per (i,k) — cache friendly and
+  // avoids per-entry table lookups in the inner loop.
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const gf::Elem a = data_[i * cols_ + k];
+      if (a == 0) continue;
+      const gf::Elem* mrow = gf::mul_row(a);
+      const gf::Elem* src = &o.data_[k * o.cols_];
+      gf::Elem* dst = &out.data_[i * o.cols_];
+      for (size_t j = 0; j < o.cols_; ++j) dst[j] ^= mrow[src[j]];
+    }
+  }
+  return out;
+}
+
+bool Matrix::operator==(const Matrix& o) const {
+  return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+}
+
+Matrix Matrix::select_rows(std::span<const size_t> indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    GALLOPER_CHECK(indices[i] < rows_);
+    auto src = row(indices[i]);
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+Matrix Matrix::vstack(const Matrix& below) const {
+  GALLOPER_CHECK(cols_ == below.cols_ || rows_ == 0 || below.rows_ == 0);
+  if (rows_ == 0) return below;
+  if (below.rows_ == 0) return *this;
+  Matrix out(rows_ + below.rows_, cols_);
+  std::copy(data_.begin(), data_.end(), out.data_.begin());
+  std::copy(below.data_.begin(), below.data_.end(),
+            out.data_.begin() + static_cast<ptrdiff_t>(data_.size()));
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  return out;
+}
+
+bool Matrix::is_zero() const {
+  for (gf::Elem e : data_)
+    if (e != 0) return false;
+  return true;
+}
+
+std::string Matrix::to_string() const {
+  std::ostringstream os;
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      os << static_cast<unsigned>(at(r, c));
+      os << (c + 1 == cols_ ? '\n' : ' ');
+    }
+  }
+  return os.str();
+}
+
+}  // namespace galloper::la

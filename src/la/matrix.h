@@ -1,0 +1,57 @@
+// Dense matrices over GF(2^8).
+//
+// These carry the generator matrices of every code in the library. They are
+// small (at most a few thousand rows) — clarity over blocking optimizations.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gf/gf256.h"
+
+namespace galloper::la {
+
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols);  // zero-filled
+  Matrix(size_t rows, size_t cols, std::initializer_list<unsigned> values);
+
+  static Matrix identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  gf::Elem at(size_t r, size_t c) const;
+  gf::Elem& at(size_t r, size_t c);
+
+  std::span<const gf::Elem> row(size_t r) const;
+  std::span<gf::Elem> row(size_t r);
+
+  Matrix operator*(const Matrix& o) const;
+  bool operator==(const Matrix& o) const;
+  bool operator!=(const Matrix& o) const { return !(*this == o); }
+
+  // New matrix formed from the given rows of this one, in order.
+  Matrix select_rows(std::span<const size_t> indices) const;
+
+  // Stacks `below` underneath this matrix (column counts must match).
+  Matrix vstack(const Matrix& below) const;
+
+  Matrix transpose() const;
+
+  // True if every entry is zero.
+  bool is_zero() const;
+
+  std::string to_string() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<gf::Elem> data_;
+};
+
+}  // namespace galloper::la

@@ -1,0 +1,135 @@
+#include "la/solve.h"
+
+#include <vector>
+
+#include "gf/region.h"
+#include "util/check.h"
+
+namespace galloper::la {
+
+namespace {
+
+// Reduces `a` to row echelon form in place, applying the same row operations
+// to `aug` (which may have zero columns). Returns the pivot column of each
+// eliminated row, in order.
+std::vector<size_t> echelonize(Matrix& a, Matrix& aug) {
+  const bool has_aug = aug.rows() > 0;
+  if (has_aug) GALLOPER_CHECK(aug.rows() == a.rows());
+  std::vector<size_t> pivots;
+  size_t next_row = 0;
+  for (size_t col = 0; col < a.cols() && next_row < a.rows(); ++col) {
+    // Find a pivot at or below next_row.
+    size_t pivot = next_row;
+    while (pivot < a.rows() && a.at(pivot, col) == 0) ++pivot;
+    if (pivot == a.rows()) continue;
+    if (pivot != next_row) {
+      std::swap_ranges(a.row(pivot).begin(), a.row(pivot).end(),
+                       a.row(next_row).begin());
+      if (has_aug)
+        std::swap_ranges(aug.row(pivot).begin(), aug.row(pivot).end(),
+                         aug.row(next_row).begin());
+    }
+    // Normalize the pivot row to a leading 1.
+    const gf::Elem p = a.at(next_row, col);
+    if (p != 1) {
+      const gf::Elem pi = gf::inv(p);
+      gf::scale_region(
+          {reinterpret_cast<uint8_t*>(a.row(next_row).data()), a.cols()}, pi);
+      if (has_aug)
+        gf::scale_region({reinterpret_cast<uint8_t*>(aug.row(next_row).data()),
+                          aug.cols()},
+                         pi);
+    }
+    // Eliminate the column everywhere else (Gauss-Jordan — full reduction).
+    for (size_t r = 0; r < a.rows(); ++r) {
+      if (r == next_row) continue;
+      const gf::Elem f = a.at(r, col);
+      if (f == 0) continue;
+      gf::mul_acc_region(
+          {reinterpret_cast<uint8_t*>(a.row(r).data()), a.cols()}, f,
+          {reinterpret_cast<const uint8_t*>(a.row(next_row).data()),
+           a.cols()});
+      if (has_aug)
+        gf::mul_acc_region(
+            {reinterpret_cast<uint8_t*>(aug.row(r).data()), aug.cols()}, f,
+            {reinterpret_cast<const uint8_t*>(aug.row(next_row).data()),
+             aug.cols()});
+    }
+    pivots.push_back(col);
+    ++next_row;
+  }
+  return pivots;
+}
+
+}  // namespace
+
+size_t rank(const Matrix& m) {
+  Matrix a = m;
+  Matrix no_aug;
+  return echelonize(a, no_aug).size();
+}
+
+bool invertible(const Matrix& m) {
+  return m.rows() == m.cols() && rank(m) == m.rows();
+}
+
+std::optional<Matrix> inverse(const Matrix& m) {
+  GALLOPER_CHECK_MSG(m.rows() == m.cols(), "inverse of non-square matrix");
+  Matrix a = m;
+  Matrix aug = Matrix::identity(m.rows());
+  const auto pivots = echelonize(a, aug);
+  if (pivots.size() != m.rows()) return std::nullopt;
+  return aug;
+}
+
+std::optional<Matrix> solve(const Matrix& a_in, const Matrix& b) {
+  GALLOPER_CHECK(a_in.rows() == b.rows());
+  GALLOPER_CHECK_MSG(a_in.rows() == a_in.cols(), "solve needs square A");
+  Matrix a = a_in;
+  Matrix aug = b;
+  const auto pivots = echelonize(a, aug);
+  if (pivots.size() != a.rows()) return std::nullopt;
+  return aug;
+}
+
+std::optional<Matrix> express_in_rowspace(const Matrix& basis,
+                                          const Matrix& targets) {
+  GALLOPER_CHECK(basis.cols() == targets.cols());
+  // Echelonize basis while tracking the row operations in `ops` so that
+  // echelon = ops · basis. Then for each target row t, eliminate it against
+  // the echelon rows; if it reduces to zero, the accumulated coefficients
+  // (mapped back through ops) express t over the original basis rows.
+  Matrix ech = basis;
+  Matrix ops = Matrix::identity(basis.rows());
+  const auto pivots = echelonize(ech, ops);
+
+  Matrix out(targets.rows(), basis.rows());
+  for (size_t t = 0; t < targets.rows(); ++t) {
+    // Work on a copy of the target row; coeffs accumulates the combination
+    // of echelon rows used.
+    std::vector<gf::Elem> work(targets.row(t).begin(), targets.row(t).end());
+    std::vector<gf::Elem> coeffs(pivots.size(), 0);
+    for (size_t i = 0; i < pivots.size(); ++i) {
+      const gf::Elem f = work[pivots[i]];
+      if (f == 0) continue;
+      coeffs[i] = f;  // echelon rows have a leading 1 at their pivot
+      gf::mul_acc_region(
+          {work.data(), work.size()}, f,
+          {reinterpret_cast<const uint8_t*>(ech.row(i).data()), ech.cols()});
+    }
+    for (gf::Elem e : work)
+      if (e != 0) return std::nullopt;  // outside the row space
+    // Map combination of echelon rows back to original rows:
+    // target = Σ coeffs[i] · ech[i] = Σ coeffs[i] · (ops[i] · basis).
+    for (size_t i = 0; i < pivots.size(); ++i) {
+      if (coeffs[i] == 0) continue;
+      gf::mul_acc_region(
+          {reinterpret_cast<uint8_t*>(out.row(t).data()), out.cols()},
+          coeffs[i],
+          {reinterpret_cast<const uint8_t*>(ops.row(i).data()), ops.cols()});
+    }
+  }
+  return out;
+}
+
+}  // namespace galloper::la

@@ -1,0 +1,33 @@
+// Gaussian elimination over GF(2^8): rank, inversion, linear solves, and the
+// row-combination solver behind the generic repair planner.
+#pragma once
+
+#include <optional>
+
+#include "la/matrix.h"
+
+namespace galloper::la {
+
+// Rank of `m` (row echelon form over the field).
+size_t rank(const Matrix& m);
+
+// True if the square matrix is invertible.
+bool invertible(const Matrix& m);
+
+// Inverse of a square matrix; nullopt if singular.
+std::optional<Matrix> inverse(const Matrix& m);
+
+// Solves A · X = B for X (A square). nullopt if A is singular.
+std::optional<Matrix> solve(const Matrix& a, const Matrix& b);
+
+// Expresses each row of `targets` as a linear combination of the rows of
+// `basis`: finds C with C · basis = targets. `basis` may be rectangular and
+// rank-deficient; nullopt if any target row lies outside the row space.
+//
+// This is the workhorse of erasure repair: `basis` holds the generator rows
+// of the surviving stripes, `targets` the rows of the lost stripes, and C
+// gives the coefficients to rebuild the lost data from survivors.
+std::optional<Matrix> express_in_rowspace(const Matrix& basis,
+                                          const Matrix& targets);
+
+}  // namespace galloper::la

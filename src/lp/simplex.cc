@@ -1,0 +1,264 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace galloper::lp {
+
+void LinearProgram::add_constraint(std::vector<double> coeffs, Relation rel,
+                                   double rhs) {
+  GALLOPER_CHECK_MSG(coeffs.size() == num_vars,
+                     "constraint width " << coeffs.size() << " != num_vars "
+                                         << num_vars);
+  constraints.push_back({std::move(coeffs), rel, rhs});
+}
+
+void LinearProgram::add_upper_bound(size_t var, double bound) {
+  GALLOPER_CHECK(var < num_vars);
+  std::vector<double> row(num_vars, 0.0);
+  row[var] = 1.0;
+  add_constraint(std::move(row), Relation::kLessEqual, bound);
+}
+
+std::string to_string(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal:
+      return "optimal";
+    case LpStatus::kInfeasible:
+      return "infeasible";
+    case LpStatus::kUnbounded:
+      return "unbounded";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Dense simplex tableau.
+//
+// Layout: m constraint rows, one objective row at the bottom. Columns are
+// the structural variables, then slack/surplus variables, then artificial
+// variables, then the RHS column. basis_[r] holds the column currently basic
+// in row r.
+class Tableau {
+ public:
+  Tableau(const LinearProgram& p, double eps) : eps_(eps) {
+    const size_t m = p.constraints.size();
+    num_struct_ = p.num_vars;
+
+    // Count auxiliary columns.
+    size_t slack = 0;
+    size_t artificial = 0;
+    for (const auto& c : p.constraints) {
+      // After sign normalization (rhs ≥ 0):
+      //   ≤ : slack (+1) enters the basis directly.
+      //   ≥ : surplus (−1) plus an artificial.
+      //   = : artificial only.
+      if (c.relation != Relation::kEqual) ++slack;
+      if (c.relation != Relation::kLessEqual) ++artificial;
+    }
+    // A "≤" with negative rhs flips to "≥" during normalization (and vice
+    // versa), so the exact split is recomputed below; reserve the max.
+    num_cols_ = num_struct_ + m /* slack upper bound */ + m /* artificial */ +
+                1 /* rhs */;
+    rows_.assign(m + 1, std::vector<double>(num_cols_, 0.0));
+    basis_.assign(m, SIZE_MAX);
+
+    size_t next_aux = num_struct_;
+    first_artificial_ = SIZE_MAX;
+    std::vector<size_t> artificial_rows;
+
+    for (size_t r = 0; r < m; ++r) {
+      const auto& c = p.constraints[r];
+      double rhs = c.rhs;
+      double sign = 1.0;
+      Relation rel = c.relation;
+      if (rhs < 0) {
+        sign = -1.0;
+        rhs = -rhs;
+        if (rel == Relation::kLessEqual)
+          rel = Relation::kGreaterEqual;
+        else if (rel == Relation::kGreaterEqual)
+          rel = Relation::kLessEqual;
+      }
+      for (size_t j = 0; j < num_struct_; ++j)
+        rows_[r][j] = sign * c.coeffs[j];
+      rows_[r][num_cols_ - 1] = rhs;
+
+      if (rel == Relation::kLessEqual) {
+        rows_[r][next_aux] = 1.0;
+        basis_[r] = next_aux;
+        ++next_aux;
+      } else if (rel == Relation::kGreaterEqual) {
+        rows_[r][next_aux] = -1.0;  // surplus
+        ++next_aux;
+        artificial_rows.push_back(r);
+      } else {
+        artificial_rows.push_back(r);
+      }
+    }
+    // Artificial columns after all slack/surplus columns.
+    first_artificial_ = next_aux;
+    for (size_t r : artificial_rows) {
+      rows_[r][next_aux] = 1.0;
+      basis_[r] = next_aux;
+      ++next_aux;
+    }
+    used_cols_ = next_aux;  // structural + aux columns actually in use
+
+    // Phase-1 objective: minimize the sum of artificial variables. The
+    // objective row holds reduced costs; start with Σ (artificial rows)
+    // negated so that basic artificial columns have zero reduced cost.
+    auto& obj = rows_[m];
+    for (size_t j = first_artificial_; j < used_cols_; ++j) obj[j] = 1.0;
+    for (size_t r : artificial_rows) price_out(r);
+  }
+
+  // Runs phase 1 + phase 2; fills `solution`.
+  void run(const LinearProgram& p, LpSolution& solution) {
+    const size_t m = rows_.size() - 1;
+    if (first_artificial_ < used_cols_) {
+      if (!iterate()) {
+        // Phase-1 objective is bounded below by 0, so "unbounded" here can
+        // only mean numerical trouble; report infeasible.
+        solution.status = LpStatus::kInfeasible;
+        return;
+      }
+      // The objective row's RHS holds the NEGATED phase-1 objective value.
+      if (-rows_[m][num_cols_ - 1] > eps_) {
+        solution.status = LpStatus::kInfeasible;
+        return;
+      }
+      // Drive any lingering artificial variables out of the basis.
+      for (size_t r = 0; r < m; ++r) {
+        if (basis_[r] < first_artificial_) continue;
+        size_t entering = SIZE_MAX;
+        for (size_t j = 0; j < first_artificial_; ++j) {
+          if (std::fabs(rows_[r][j]) > eps_) {
+            entering = j;
+            break;
+          }
+        }
+        if (entering == SIZE_MAX) {
+          // Redundant row; leave the artificial basic at value zero and
+          // freeze the row by zeroing it (it constrains nothing).
+          continue;
+        }
+        pivot(r, entering);
+      }
+    }
+
+    // Phase 2: install the real objective (artificial columns barred).
+    phase2_ = true;
+    auto& obj = rows_[m];
+    std::fill(obj.begin(), obj.end(), 0.0);
+    for (size_t j = 0; j < num_struct_; ++j) obj[j] = p.objective[j];
+    for (size_t r = 0; r < m; ++r)
+      if (basis_[r] != SIZE_MAX && std::fabs(obj[basis_[r]]) > 0) price_out(r);
+
+    if (!iterate()) {
+      solution.status = LpStatus::kUnbounded;
+      return;
+    }
+
+    solution.status = LpStatus::kOptimal;
+    solution.x.assign(num_struct_, 0.0);
+    for (size_t r = 0; r < m; ++r)
+      if (basis_[r] < num_struct_)
+        solution.x[basis_[r]] = rows_[r][num_cols_ - 1];
+    solution.objective = 0.0;
+    for (size_t j = 0; j < num_struct_; ++j)
+      solution.objective += p.objective[j] * solution.x[j];
+  }
+
+ private:
+  // Subtracts multiples of row r from the objective row so the basic column
+  // of row r gets zero reduced cost.
+  void price_out(size_t r) {
+    auto& obj = rows_.back();
+    const size_t col = basis_[r];
+    const double f = obj[col];
+    if (f == 0.0) return;
+    for (size_t j = 0; j < num_cols_; ++j) obj[j] -= f * rows_[r][j];
+  }
+
+  void pivot(size_t row, size_t col) {
+    auto& prow = rows_[row];
+    const double p = prow[col];
+    GALLOPER_CHECK_MSG(std::fabs(p) > eps_, "pivot on ~zero element");
+    const double inv = 1.0 / p;
+    for (auto& v : prow) v *= inv;
+    prow[col] = 1.0;  // exact
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      if (r == row) continue;
+      const double f = rows_[r][col];
+      if (f == 0.0) continue;
+      for (size_t j = 0; j < num_cols_; ++j) rows_[r][j] -= f * prow[j];
+      rows_[r][col] = 0.0;  // exact
+    }
+    basis_[row] = col;
+  }
+
+  // Simplex iterations with Bland's rule. Returns false on unboundedness.
+  bool iterate() {
+    const size_t m = rows_.size() - 1;
+    const auto& obj = rows_[m];
+    // In phase 2 artificial columns must not re-enter; barring them in
+    // phase 1 is harmless because they start basic with reduced cost 0.
+    for (;;) {
+      // Bland: entering column = smallest index with negative reduced cost.
+      size_t entering = SIZE_MAX;
+      const size_t limit = in_phase1() ? used_cols_ : first_artificial_;
+      for (size_t j = 0; j < limit; ++j) {
+        if (obj[j] < -eps_) {
+          entering = j;
+          break;
+        }
+      }
+      if (entering == SIZE_MAX) return true;  // optimal
+
+      // Bland: leaving row = min ratio, ties by smallest basis column.
+      size_t leaving = SIZE_MAX;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (size_t r = 0; r < m; ++r) {
+        const double a = rows_[r][entering];
+        if (a <= eps_) continue;
+        const double ratio = rows_[r][num_cols_ - 1] / a;
+        if (ratio < best_ratio - eps_ ||
+            (ratio < best_ratio + eps_ && leaving != SIZE_MAX &&
+             basis_[r] < basis_[leaving])) {
+          best_ratio = ratio;
+          leaving = r;
+        }
+      }
+      if (leaving == SIZE_MAX) return false;  // unbounded
+      pivot(leaving, entering);
+    }
+  }
+
+  bool in_phase1() const { return !phase2_; }
+
+  double eps_;
+  size_t num_struct_ = 0;
+  size_t num_cols_ = 0;
+  size_t used_cols_ = 0;
+  size_t first_artificial_ = 0;
+  std::vector<std::vector<double>> rows_;
+  std::vector<size_t> basis_;
+  bool phase2_ = false;
+};
+
+}  // namespace
+
+LpSolution solve(const LinearProgram& program, double eps) {
+  GALLOPER_CHECK(program.objective.size() == program.num_vars);
+  LpSolution solution;
+  Tableau t(program, eps);
+  t.run(program, solution);
+  return solution;
+}
+
+}  // namespace galloper::lp

@@ -1,0 +1,54 @@
+// A small dense linear-programming solver (two-phase primal simplex with
+// Bland's anti-cycling rule).
+//
+// The Galloper weight-assignment problems (Sec. IV-C and V-B of the paper)
+// have a handful of variables and constraints, so a textbook tableau solver
+// is the right tool: exactness of structure over sparse-scale performance.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace galloper::lp {
+
+enum class Relation { kLessEqual, kEqual, kGreaterEqual };
+
+struct Constraint {
+  std::vector<double> coeffs;  // length = num_vars
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+// min objective·x  subject to the constraints and x ≥ 0 elementwise.
+// (Variables with upper bounds are modeled with explicit ≤ rows.)
+struct LinearProgram {
+  size_t num_vars = 0;
+  std::vector<double> objective;  // length = num_vars
+  std::vector<Constraint> constraints;
+
+  explicit LinearProgram(size_t n) : num_vars(n), objective(n, 0.0) {}
+
+  // Adds `coeffs · x (rel) rhs`; coeffs must have num_vars entries.
+  void add_constraint(std::vector<double> coeffs, Relation rel, double rhs);
+
+  // Adds x_i ≤ bound.
+  void add_upper_bound(size_t var, double bound);
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  std::vector<double> x;      // valid when kOptimal
+  double objective = 0.0;     // valid when kOptimal
+
+  bool optimal() const { return status == LpStatus::kOptimal; }
+};
+
+// Solves the program. `eps` is the feasibility / pivot tolerance.
+LpSolution solve(const LinearProgram& program, double eps = 1e-9);
+
+std::string to_string(LpStatus status);
+
+}  // namespace galloper::lp

@@ -1,0 +1,51 @@
+#include "mr/framework.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace galloper::mr {
+
+std::vector<KeyValue> LocalRunner::reduce_all(
+    std::vector<KeyValue> intermediate) const {
+  // Group by key (the shuffle), then reduce each group.
+  std::sort(intermediate.begin(), intermediate.end());
+  std::vector<KeyValue> out;
+  size_t i = 0;
+  while (i < intermediate.size()) {
+    size_t j = i;
+    std::vector<std::string> values;
+    while (j < intermediate.size() &&
+           intermediate[j].key == intermediate[i].key)
+      values.push_back(intermediate[j++].value);
+    reducer_.reduce(intermediate[i].key, values, out);
+    i = j;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<KeyValue> LocalRunner::run(
+    const core::InputFormat& fmt,
+    const std::vector<ConstByteSpan>& blocks) const {
+  GALLOPER_CHECK(blocks.size() >= 1);
+  std::vector<KeyValue> intermediate;
+  // One map task per split; a task sees only its split's original bytes.
+  for (const auto& split : fmt.splits()) {
+    GALLOPER_CHECK(split.block < blocks.size());
+    GALLOPER_CHECK(split.block_offset + split.length <=
+                   blocks[split.block].size());
+    mapper_.map(
+        blocks[split.block].subspan(split.block_offset, split.length),
+        intermediate);
+  }
+  return reduce_all(std::move(intermediate));
+}
+
+std::vector<KeyValue> LocalRunner::run_plain(ConstByteSpan file) const {
+  std::vector<KeyValue> intermediate;
+  mapper_.map(file, intermediate);
+  return reduce_all(std::move(intermediate));
+}
+
+}  // namespace galloper::mr

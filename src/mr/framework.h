@@ -1,0 +1,83 @@
+// A miniature MapReduce framework (the Hadoop stand-in, Sec. VI/VII).
+//
+// Two execution paths share the same job definition:
+//  * LocalRunner (this file): really executes map and reduce functions over
+//    the bytes of encoded blocks, reading ONLY original-data regions via
+//    core::InputFormat — the correctness path proving that jobs over
+//    Galloper-coded data produce byte-identical results to jobs over the
+//    plain file.
+//  * SimulatedJob (simjob.h): replays the same split structure on the
+//    discrete-event cluster to measure completion times (Figs. 9/10).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/input_format.h"
+#include "util/bytes.h"
+
+namespace galloper::mr {
+
+struct KeyValue {
+  std::string key;
+  std::string value;
+
+  bool operator==(const KeyValue&) const = default;
+  bool operator<(const KeyValue& o) const {
+    return key != o.key ? key < o.key : value < o.value;
+  }
+};
+
+// User-provided map function: consumes one split's bytes, emits pairs.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  virtual void map(ConstByteSpan input,
+                   std::vector<KeyValue>& out) const = 0;
+};
+
+// User-provided reduce function: consumes one key's values.
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual void reduce(const std::string& key,
+                      const std::vector<std::string>& values,
+                      std::vector<KeyValue>& out) const = 0;
+};
+
+// Workload profile for the simulated path: how expensive map/reduce are and
+// how much intermediate data the shuffle moves. Derived from the real
+// functions' character (wordcount: map-heavy, tiny shuffle; terasort:
+// pass-through shuffle).
+struct WorkloadProfile {
+  std::string name;
+  double map_bytes_per_cpu_unit = 50e6;  // map throughput per CPU unit
+  double shuffle_ratio = 1.0;            // map-output bytes / input bytes
+  double reduce_bytes_per_cpu_unit = 80e6;
+};
+
+// Deterministic single-process execution over encoded blocks.
+class LocalRunner {
+ public:
+  LocalRunner(const Mapper& mapper, const Reducer& reducer)
+      : mapper_(mapper), reducer_(reducer) {}
+
+  // Runs over the original-data regions of `blocks` described by `fmt` —
+  // one map task per split, reading parity bytes never. Results are sorted
+  // by (key, value) for determinism.
+  std::vector<KeyValue> run(const core::InputFormat& fmt,
+                            const std::vector<ConstByteSpan>& blocks) const;
+
+  // Reference path: runs over the plain file as a single split.
+  std::vector<KeyValue> run_plain(ConstByteSpan file) const;
+
+ private:
+  std::vector<KeyValue> reduce_all(std::vector<KeyValue> intermediate) const;
+
+  const Mapper& mapper_;
+  const Reducer& reducer_;
+};
+
+}  // namespace galloper::mr

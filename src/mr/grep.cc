@@ -1,0 +1,56 @@
+#include "mr/grep.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace galloper::mr {
+
+GrepMapper::GrepMapper(std::string needle) : needle_(std::move(needle)) {
+  GALLOPER_CHECK_MSG(!needle_.empty(), "empty grep needle");
+}
+
+void GrepMapper::map(ConstByteSpan input, std::vector<KeyValue>& out) const {
+  // Emits one ("match", "1") per occurrence. (Counts, not offsets: split
+  // execution sees split-relative positions, so only counts are
+  // layout-independent.)
+  const char* begin = reinterpret_cast<const char*>(input.data());
+  const char* end = begin + input.size();
+  for (const char* it = begin;;) {
+    it = std::search(it, end, needle_.begin(), needle_.end());
+    if (it == end) break;
+    out.push_back({"match", "1"});
+    ++it;  // overlapping matches count
+  }
+}
+
+void GrepReducer::reduce(const std::string& key,
+                         const std::vector<std::string>& values,
+                         std::vector<KeyValue>& out) const {
+  out.push_back({key, std::to_string(values.size())});
+}
+
+size_t count_occurrences(ConstByteSpan haystack, std::string_view needle) {
+  GALLOPER_CHECK(!needle.empty());
+  const char* begin = reinterpret_cast<const char*>(haystack.data());
+  const char* end = begin + haystack.size();
+  size_t count = 0;
+  for (const char* it = begin;;) {
+    it = std::search(it, end, needle.begin(), needle.end());
+    if (it == end) break;
+    ++count;
+    ++it;
+  }
+  return count;
+}
+
+WorkloadProfile grep_profile() {
+  WorkloadProfile p;
+  p.name = "grep";
+  p.map_bytes_per_cpu_unit = 150e6;  // memcmp-speed scan: disk-bound
+  p.shuffle_ratio = 0.001;           // only the matches move
+  p.reduce_bytes_per_cpu_unit = 100e6;
+  return p;
+}
+
+}  // namespace galloper::mr

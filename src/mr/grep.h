@@ -1,0 +1,34 @@
+// Grep — a third representative workload: scan-heavy map (substring
+// search), near-zero shuffle. The I/O-bound end of the spectrum, where
+// Galloper's extra parallel readers matter most.
+#pragma once
+
+#include "mr/framework.h"
+#include "util/rng.h"
+
+namespace galloper::mr {
+
+// Scans for a fixed needle; emits one ("match", "1") per occurrence.
+class GrepMapper final : public Mapper {
+ public:
+  explicit GrepMapper(std::string needle);
+  void map(ConstByteSpan input, std::vector<KeyValue>& out) const override;
+
+ private:
+  std::string needle_;
+};
+
+// Counts matches: ("match", ["1"...]) → ("match", count).
+class GrepReducer final : public Reducer {
+ public:
+  void reduce(const std::string& key, const std::vector<std::string>& values,
+              std::vector<KeyValue>& out) const override;
+};
+
+// Counts needle occurrences in a plain buffer (the reference oracle).
+size_t count_occurrences(ConstByteSpan haystack, std::string_view needle);
+
+// Timing profile: disk-rate map scan, ~no shuffle.
+WorkloadProfile grep_profile();
+
+}  // namespace galloper::mr

@@ -1,0 +1,210 @@
+#include "mr/simjob.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace galloper::mr {
+
+double JobResult::avg_map_time() const {
+  GALLOPER_CHECK(!map_tasks.empty());
+  double s = 0;
+  for (const auto& t : map_tasks) s += t.duration();
+  return s / static_cast<double>(map_tasks.size());
+}
+
+double JobResult::avg_reduce_time() const {
+  if (reduce_tasks.empty()) return 0;
+  double s = 0;
+  for (const auto& t : reduce_tasks) s += t.duration();
+  return s / static_cast<double>(reduce_tasks.size());
+}
+
+double JobResult::avg_map_time_on(const std::vector<size_t>& servers) const {
+  double s = 0;
+  size_t n = 0;
+  for (const auto& t : map_tasks) {
+    if (std::find(servers.begin(), servers.end(), t.server) ==
+        servers.end())
+      continue;
+    s += t.duration();
+    ++n;
+  }
+  GALLOPER_CHECK_MSG(n > 0, "no map tasks on the given servers");
+  return s / static_cast<double>(n);
+}
+
+size_t JobResult::servers_running_maps() const {
+  std::set<size_t> servers;
+  for (const auto& t : map_tasks) servers.insert(t.server);
+  return servers.size();
+}
+
+SimulatedJob::SimulatedJob(const sim::Cluster& cluster,
+                           const WorkloadProfile& profile,
+                           const JobConfig& config)
+    : cluster_(cluster), profile_(profile), config_(config) {
+  GALLOPER_CHECK(config.reduce_tasks >= 1);
+  GALLOPER_CHECK(config.map_slots_per_server >= 1);
+  GALLOPER_CHECK(config.reduce_slots_per_server >= 1);
+  GALLOPER_CHECK(config.max_split_bytes >= 1);
+}
+
+JobResult SimulatedJob::run(const core::InputFormat& fmt) const {
+  return run_degraded(fmt, DegradedSpec{});
+}
+
+JobResult SimulatedJob::run_degraded(const core::InputFormat& fmt,
+                                     const DegradedSpec& degraded) const {
+  JobResult result;
+
+  auto is_dead = [&](size_t server) {
+    return std::find(degraded.dead.begin(), degraded.dead.end(), server) !=
+           degraded.dead.end();
+  };
+  // Degraded tasks land on alive servers, round-robin.
+  size_t next_fallback = 0;
+  auto fallback_server = [&]() {
+    for (size_t probe = 0; probe < cluster_.size(); ++probe) {
+      const size_t s = (next_fallback + probe) % cluster_.size();
+      if (!is_dead(s)) {
+        next_fallback = s + 1;
+        return s;
+      }
+    }
+    GALLOPER_CHECK_MSG(false, "every server is dead");
+    return size_t{0};
+  };
+
+  // ---- Map phase: data-local tasks, per-server FIFO slots ---------------
+  struct PendingTask {
+    size_t server;
+    size_t bytes;
+    double extra_seconds;  // degraded reconstruction before mapping
+  };
+  std::vector<PendingTask> pending;
+  for (const auto& split : fmt.splits()) {
+    GALLOPER_CHECK_MSG(split.block < cluster_.size(),
+                       "split on block " << split.block
+                                         << " but cluster has only "
+                                         << cluster_.size() << " servers");
+    size_t server = split.block;
+    double extra = 0;
+    if (is_dead(server)) {
+      GALLOPER_CHECK_MSG(degraded.helper_blocks > 0 &&
+                             degraded.block_bytes > 0,
+                         "degraded run needs helper_blocks and block_bytes");
+      server = fallback_server();
+      const auto& spec = cluster_.server(server).spec();
+      // Reconstruct the lost block first: helper disks read in parallel
+      // (one block each), the transfers serialize on this server's NIC.
+      extra = static_cast<double>(degraded.block_bytes) / spec.disk_bw +
+              static_cast<double>(degraded.helper_blocks) *
+                  static_cast<double>(degraded.block_bytes) / spec.net_bw;
+    }
+    size_t remaining = split.length;
+    bool first_piece = true;
+    while (remaining > 0) {
+      const size_t piece = std::min(remaining, config_.max_split_bytes);
+      pending.push_back({server, piece, first_piece ? extra : 0.0});
+      first_piece = false;
+      remaining -= piece;
+    }
+  }
+  GALLOPER_CHECK_MSG(!pending.empty(), "job has no input");
+
+  std::vector<std::vector<sim::Time>> map_slots(
+      cluster_.size(),
+      std::vector<sim::Time>(config_.map_slots_per_server, 0.0));
+  double shuffle_bytes = 0;
+  for (const auto& task : pending) {
+    const auto& spec = cluster_.server(task.server).spec();
+    auto& slots = map_slots[task.server];
+    auto slot = std::min_element(slots.begin(), slots.end());
+    const double bytes = static_cast<double>(task.bytes);
+    const double duration = config_.task_overhead_s + task.extra_seconds +
+                            bytes / spec.disk_bw +
+                            bytes /
+                                (spec.cpu * profile_.map_bytes_per_cpu_unit);
+    const sim::Time start = *slot;
+    const sim::Time finish = start + duration;
+    *slot = finish;
+    result.map_tasks.push_back({task.server, start, finish, task.bytes});
+    result.map_phase_end = std::max(result.map_phase_end, finish);
+    shuffle_bytes += bytes * profile_.shuffle_ratio;
+  }
+
+  // ---- Speculative execution (backup copies for map stragglers) ---------
+  if (config_.speculative_execution && result.map_tasks.size() > 1) {
+    std::vector<double> durations;
+    for (const auto& t : result.map_tasks) durations.push_back(t.duration());
+    std::nth_element(durations.begin(),
+                     durations.begin() + durations.size() / 2,
+                     durations.end());
+    const double median = durations[durations.size() / 2];
+    for (auto& task : result.map_tasks) {
+      if (task.duration() <= config_.speculation_threshold * median)
+        continue;
+      // Backup launches once the original has run for `median` and a slot
+      // frees somewhere else.
+      size_t backup_server = SIZE_MAX;
+      sim::Time backup_slot_free = 0;
+      for (size_t s = 0; s < cluster_.size(); ++s) {
+        if (s == task.server || is_dead(s)) continue;
+        const auto slot = std::min_element(map_slots[s].begin(),
+                                           map_slots[s].end());
+        if (backup_server == SIZE_MAX || *slot < backup_slot_free) {
+          backup_server = s;
+          backup_slot_free = *slot;
+        }
+      }
+      if (backup_server == SIZE_MAX) continue;
+      const auto& spec = cluster_.server(backup_server).spec();
+      const double bytes = static_cast<double>(task.bytes);
+      const sim::Time start =
+          std::max(backup_slot_free, task.start + median);
+      const sim::Time finish =
+          start + config_.task_overhead_s + bytes / spec.disk_bw +
+          bytes / (spec.cpu * profile_.map_bytes_per_cpu_unit);
+      ++result.speculative_copies;
+      if (finish < task.finish) {
+        // The backup wins; it occupies the backup slot until it finishes.
+        *std::min_element(map_slots[backup_server].begin(),
+                          map_slots[backup_server].end()) = finish;
+        task.finish = finish;
+        task.server = backup_server;
+        ++result.speculative_wins;
+      }
+    }
+    result.map_phase_end = 0;
+    for (const auto& t : result.map_tasks)
+      result.map_phase_end = std::max(result.map_phase_end, t.finish);
+  }
+
+  // ---- Reduce phase (starts after the last map task) --------------------
+  const double bytes_per_reduce =
+      shuffle_bytes / static_cast<double>(config_.reduce_tasks);
+  std::vector<std::vector<sim::Time>> reduce_slots(
+      cluster_.size(), std::vector<sim::Time>(config_.reduce_slots_per_server,
+                                              result.map_phase_end));
+  for (size_t r = 0; r < config_.reduce_tasks; ++r) {
+    size_t server = r % cluster_.size();
+    while (is_dead(server)) server = (server + 1) % cluster_.size();
+    const auto& spec = cluster_.server(server).spec();
+    auto& slots = reduce_slots[server];
+    auto slot = std::min_element(slots.begin(), slots.end());
+    const double duration =
+        config_.task_overhead_s + bytes_per_reduce / spec.net_bw +
+        bytes_per_reduce / (spec.cpu * profile_.reduce_bytes_per_cpu_unit);
+    const sim::Time start = *slot;
+    const sim::Time finish = start + duration;
+    *slot = finish;
+    result.reduce_tasks.push_back(
+        {server, start, finish, static_cast<size_t>(bytes_per_reduce)});
+    result.job_end = std::max(result.job_end, finish);
+  }
+  return result;
+}
+
+}  // namespace galloper::mr

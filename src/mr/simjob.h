@@ -1,0 +1,96 @@
+// Simulated MapReduce job execution on a Cluster (the Figs. 9/10 harness).
+//
+// Model (a deterministic slot scheduler, the standard Hadoop abstraction):
+//  * map tasks are data-local: one task per InputFormat split (optionally
+//    subdivided), pinned to the server storing the split — exactly the
+//    paper's premise that map tasks run where original data are;
+//  * each server runs up to `map_slots` tasks concurrently; queued tasks
+//    wait for a free slot (FIFO);
+//  * a map task takes overhead + bytes/disk_bw + bytes/(cpu · map_rate);
+//  * the shuffle moves map-output bytes (input × shuffle_ratio) to reduce
+//    tasks, which start after the map phase (no overlap — conservative);
+//  * reduce tasks are placed round-robin over all servers and take
+//    overhead + bytes/nic_bw + bytes/(cpu · reduce_rate).
+#pragma once
+
+#include <vector>
+
+#include "core/input_format.h"
+#include "mr/framework.h"
+#include "sim/cluster.h"
+
+namespace galloper::mr {
+
+struct JobConfig {
+  size_t reduce_tasks = 8;
+  size_t map_slots_per_server = 2;
+  size_t reduce_slots_per_server = 2;
+  double task_overhead_s = 1.0;      // container startup / scheduling
+  size_t max_split_bytes = 128ull << 20;  // HDFS-style split cap
+
+  // Hadoop-style speculative execution: once a map task has run for the
+  // median task duration and is predicted to finish later than
+  // speculation_threshold × median, a backup copy launches on the
+  // earliest-available other server; the task finishes at whichever copy
+  // completes first. The scheduling-side answer to stragglers that the
+  // paper's weight adaptation addresses at the data layout (related work
+  // [35]); ablation_speculation compares the two.
+  bool speculative_execution = false;
+  double speculation_threshold = 1.5;
+};
+
+struct TaskStat {
+  size_t server = 0;
+  sim::Time start = 0;
+  sim::Time finish = 0;
+  size_t bytes = 0;
+
+  double duration() const { return finish - start; }
+};
+
+struct JobResult {
+  std::vector<TaskStat> map_tasks;
+  std::vector<TaskStat> reduce_tasks;
+  sim::Time map_phase_end = 0;
+  sim::Time job_end = 0;
+  size_t speculative_copies = 0;  // backup map tasks launched
+  size_t speculative_wins = 0;    // backups that beat the original
+
+  double avg_map_time() const;
+  double avg_reduce_time() const;
+  // Average map-task duration restricted to the given servers (Fig. 10's
+  // per-server-class bars).
+  double avg_map_time_on(const std::vector<size_t>& servers) const;
+  size_t servers_running_maps() const;  // Fig. 2's parallelism measure
+};
+
+// Degraded execution: servers in `dead` are down, so their splits cannot
+// run data-locally. Each such split becomes a degraded task on the first
+// alive helper server, which must first reconstruct the lost block by
+// reading `helper_blocks` whole blocks of `block_bytes` each (disk + NIC)
+// before mapping — the locality of the code directly prices this.
+struct DegradedSpec {
+  std::vector<size_t> dead;
+  size_t helper_blocks = 0;  // blocks read to reconstruct one lost block
+  size_t block_bytes = 0;
+};
+
+class SimulatedJob {
+ public:
+  SimulatedJob(const sim::Cluster& cluster, const WorkloadProfile& profile,
+               const JobConfig& config);
+
+  // Runs the job over the original-data layout described by `fmt`.
+  JobResult run(const core::InputFormat& fmt) const;
+
+  // Runs with some servers dead (splits on them execute degraded).
+  JobResult run_degraded(const core::InputFormat& fmt,
+                         const DegradedSpec& degraded) const;
+
+ private:
+  const sim::Cluster& cluster_;
+  WorkloadProfile profile_;
+  JobConfig config_;
+};
+
+}  // namespace galloper::mr

@@ -1,0 +1,37 @@
+// Wordcount — one of the paper's two representative Hadoop benchmarks
+// (Sec. VII-B). Real map/reduce functions plus a synthetic text generator.
+//
+// Text is generated as fixed-size records (kRecordBytes) of space-separated
+// words drawn from a Zipf-like distribution, so any split boundary that is
+// a multiple of the record size never cuts a word (the same trick
+// fixed-record Hadoop inputs use).
+#pragma once
+
+#include "mr/framework.h"
+#include "util/rng.h"
+
+namespace galloper::mr {
+
+inline constexpr size_t kWordCountRecordBytes = 50;
+
+// Generates `bytes` of text (must be a multiple of kWordCountRecordBytes).
+Buffer generate_text(size_t bytes, Rng& rng);
+
+// map: (text) → (word, "1") per word occurrence.
+class WordCountMapper final : public Mapper {
+ public:
+  void map(ConstByteSpan input, std::vector<KeyValue>& out) const override;
+};
+
+// reduce: (word, ["1"...]) → (word, count).
+class WordCountReducer final : public Reducer {
+ public:
+  void reduce(const std::string& key, const std::vector<std::string>& values,
+              std::vector<KeyValue>& out) const override;
+};
+
+// Timing profile for the simulated path: map-heavy (tokenizing), small
+// shuffle (per-mapper partial counts), cheap reduce.
+WorkloadProfile wordcount_profile();
+
+}  // namespace galloper::mr

@@ -1,0 +1,110 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+
+#include "core/input_format.h"
+#include "mr/grep.h"
+#include "mr/terasort.h"
+#include "mr/wordcount.h"
+#include "store/file_store.h"
+#include "store/recovery.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace galloper::scenario {
+
+ScenarioResult run_scenario(const codes::ErasureCode& code,
+                            const ScenarioConfig& config) {
+  GALLOPER_CHECK(config.cluster_servers >= code.num_blocks());
+  GALLOPER_CHECK(config.num_files > 0 && config.num_jobs > 0);
+
+  sim::Simulation simulation;
+  sim::Cluster cluster(simulation, config.cluster_servers, sim::ServerSpec{});
+  store::FileStore fs(cluster, code);
+  Rng rng(config.seed);
+
+  // Write the dataset (file size rounded up to whole chunks).
+  const size_t chunks = code.engine().num_chunks();
+  const size_t file_bytes = (config.file_bytes + chunks - 1) / chunks * chunks;
+  std::vector<Buffer> originals;
+  for (size_t i = 0; i < config.num_files; ++i) {
+    originals.push_back(random_buffer(file_bytes, rng));
+    fs.write(originals.back());
+  }
+  const size_t block_bytes = fs.block_bytes(0);
+  core::InputFormat fmt(code, block_bytes);
+
+  ScenarioResult result;
+  const mr::WorkloadProfile profiles[3] = {
+      mr::wordcount_profile(), mr::terasort_profile(), mr::grep_profile()};
+
+  std::vector<size_t> dead;  // dead servers (block-holding only)
+  for (size_t j = 0; j < config.num_jobs; ++j) {
+    // Maybe a server dies.
+    if (rng.next_double() < config.failure_prob_per_job) {
+      std::vector<size_t> candidates;
+      for (size_t s = 0; s < code.num_blocks(); ++s)
+        if (std::find(dead.begin(), dead.end(), s) == dead.end())
+          candidates.push_back(s);
+      if (!candidates.empty()) {
+        const size_t victim =
+            candidates[rng.next_below(candidates.size())];
+        fs.fail_server(victim);
+        dead.push_back(victim);
+        ++result.failures_injected;
+        if (!fs.all_recoverable()) ++result.data_loss_events;
+      }
+    }
+
+    // Run the job (degraded when data-holding servers are down). One job
+    // reads every file's layout once — files share the placement, so one
+    // InputFormat stands for all of them, scaled by the file count.
+    mr::SimulatedJob job(cluster, profiles[j % 3], config.job_config);
+    bool degraded = false;
+    for (size_t s : dead) degraded |= fmt.original_bytes_in_block(s) > 0;
+    mr::JobResult jr;
+    if (degraded) {
+      // Helper count of the worst dead block prices reconstruction.
+      size_t helper_blocks = 0;
+      for (size_t s : dead)
+        helper_blocks =
+            std::max(helper_blocks, code.repair_helpers(s).size());
+      jr = job.run_degraded(fmt, {dead, helper_blocks, block_bytes});
+      ++result.degraded_jobs;
+    } else {
+      jr = job.run(fmt);
+    }
+    result.total_job_seconds +=
+        jr.job_end * static_cast<double>(config.num_files);
+    ++result.jobs_run;
+
+    // Maybe operations rebuild everything before the next job.
+    if (!dead.empty() && rng.next_double() < config.recover_prob_per_job) {
+      for (size_t s : dead) fs.revive_server(s);
+      dead.clear();
+      store::RecoveryManager mgr(simulation, fs);
+      const auto report = mgr.recover_all();
+      result.blocks_repaired += report.blocks_repaired;
+      result.repair_disk_bytes += report.disk_bytes_read;
+      result.total_repair_seconds += report.makespan;
+    }
+  }
+
+  // Final heal + integrity audit.
+  for (size_t s : dead) fs.revive_server(s);
+  if (!dead.empty()) {
+    store::RecoveryManager mgr(simulation, fs);
+    const auto report = mgr.recover_all();
+    result.blocks_repaired += report.blocks_repaired;
+    result.repair_disk_bytes += report.disk_bytes_read;
+    result.total_repair_seconds += report.makespan;
+  }
+  result.all_files_intact = true;
+  for (size_t i = 0; i < config.num_files; ++i) {
+    const auto back = fs.read(i);
+    result.all_files_intact &= back.has_value() && *back == originals[i];
+  }
+  return result;
+}
+
+}  // namespace galloper::scenario

@@ -1,0 +1,50 @@
+// Trace-driven "day in the life" scenario: a stream of analytics jobs runs
+// over erasure-coded files while servers fail and recover underneath. This
+// is the end-to-end harness where all of a code's properties meet:
+//   * data spread  → healthy job speed (map parallelism),
+//   * repair locality → recovery I/O/makespan and degraded-job penalty,
+//   * failure tolerance → whether data survive at all.
+//
+// Everything is deterministic in the seed; the same trace of failures hits
+// every code compared.
+#pragma once
+
+#include <cstdint>
+
+#include "codes/erasure_code.h"
+#include "mr/framework.h"
+#include "mr/simjob.h"
+
+namespace galloper::scenario {
+
+struct ScenarioConfig {
+  size_t cluster_servers = 30;
+  size_t num_files = 6;
+  // Target file size; rounded UP per code to a whole number of chunks so
+  // different codes see (nearly) the same bytes — comparisons stay fair.
+  size_t file_bytes = 1 << 20;
+  size_t num_jobs = 12;
+  double failure_prob_per_job = 0.4;  // P(a server dies before a job)
+  double recover_prob_per_job = 0.8;  // P(ops rebuilds before next job)
+  uint64_t seed = 1;
+  mr::JobConfig job_config;
+};
+
+struct ScenarioResult {
+  double total_job_seconds = 0;     // Σ simulated job completion times
+  double total_repair_seconds = 0;  // Σ recovery makespans
+  size_t jobs_run = 0;
+  size_t degraded_jobs = 0;         // jobs that ran with dead data servers
+  size_t failures_injected = 0;
+  size_t blocks_repaired = 0;
+  size_t repair_disk_bytes = 0;
+  size_t data_loss_events = 0;      // files that became undecodable
+  bool all_files_intact = false;    // bit-exact check at the end
+};
+
+// Runs the scenario for `code`. Jobs alternate wordcount / terasort
+// profiles. Returns aggregate metrics.
+ScenarioResult run_scenario(const codes::ErasureCode& code,
+                            const ScenarioConfig& config);
+
+}  // namespace galloper::scenario

@@ -1,0 +1,47 @@
+#include "sim/cluster.h"
+
+#include "util/check.h"
+
+namespace galloper::sim {
+
+namespace {
+std::string res_name(size_t id, const char* kind) {
+  return "server" + std::to_string(id) + "/" + kind;
+}
+}  // namespace
+
+Server::Server(Simulation& sim, size_t id, const ServerSpec& spec)
+    : id_(id),
+      spec_(spec),
+      disk_(sim, res_name(id, "disk"), spec.disk_bw),
+      nic_(sim, res_name(id, "nic"), spec.net_bw),
+      cpu_(sim, res_name(id, "cpu"), spec.cpu) {}
+
+Cluster::Cluster(Simulation& sim, const std::vector<ServerSpec>& specs) {
+  GALLOPER_CHECK(!specs.empty());
+  servers_.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i)
+    servers_.push_back(std::make_unique<Server>(sim, i, specs[i]));
+}
+
+Cluster::Cluster(Simulation& sim, size_t n, const ServerSpec& spec)
+    : Cluster(sim, std::vector<ServerSpec>(n, spec)) {}
+
+Server& Cluster::server(size_t i) {
+  GALLOPER_CHECK(i < servers_.size());
+  return *servers_[i];
+}
+
+const Server& Cluster::server(size_t i) const {
+  GALLOPER_CHECK(i < servers_.size());
+  return *servers_[i];
+}
+
+std::vector<size_t> Cluster::alive_servers() const {
+  std::vector<size_t> out;
+  for (const auto& s : servers_)
+    if (s->alive()) out.push_back(s->id());
+  return out;
+}
+
+}  // namespace galloper::sim

@@ -1,0 +1,71 @@
+// Simulated storage/compute cluster: the stand-in for the paper's EC2
+// fleets (c4.4xlarge for coding experiments, 30 × r3.large for Hadoop).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/des.h"
+
+namespace galloper::sim {
+
+struct ServerSpec {
+  double disk_bw = 100e6;  // sequential disk bandwidth, bytes/s
+  double net_bw = 1e9 / 8;  // NIC bandwidth, bytes/s (1 Gb/s default)
+  double cpu = 1.0;         // relative compute rate, work-units/s
+
+  // The r3.large-ish defaults above can be scaled, e.g. spec.scaled(0.4)
+  // models the paper's "40% performance" CPU-limited servers.
+  ServerSpec scaled_cpu(double factor) const {
+    ServerSpec s = *this;
+    s.cpu *= factor;
+    return s;
+  }
+};
+
+class Server {
+ public:
+  Server(Simulation& sim, size_t id, const ServerSpec& spec);
+
+  size_t id() const { return id_; }
+  const ServerSpec& spec() const { return spec_; }
+
+  Resource& disk() { return disk_; }
+  Resource& nic() { return nic_; }
+  Resource& cpu() { return cpu_; }
+  const Resource& disk() const { return disk_; }
+  const Resource& nic() const { return nic_; }
+  const Resource& cpu() const { return cpu_; }
+
+  bool alive() const { return alive_; }
+  void fail() { alive_ = false; }
+  void recover() { alive_ = true; }
+
+ private:
+  size_t id_;
+  ServerSpec spec_;
+  Resource disk_;
+  Resource nic_;
+  Resource cpu_;
+  bool alive_ = true;
+};
+
+class Cluster {
+ public:
+  Cluster(Simulation& sim, const std::vector<ServerSpec>& specs);
+
+  // Homogeneous cluster of `n` servers.
+  Cluster(Simulation& sim, size_t n, const ServerSpec& spec);
+
+  size_t size() const { return servers_.size(); }
+  Server& server(size_t i);
+  const Server& server(size_t i) const;
+
+  std::vector<size_t> alive_servers() const;
+
+ private:
+  std::vector<std::unique_ptr<Server>> servers_;
+};
+
+}  // namespace galloper::sim

@@ -1,0 +1,65 @@
+#include "sim/des.h"
+
+#include <algorithm>
+
+namespace galloper::sim {
+
+void Simulation::schedule_at(Time t, std::function<void()> fn) {
+  GALLOPER_CHECK_MSG(t >= now_, "cannot schedule in the past: t=" << t
+                                                                  << " now="
+                                                                  << now_);
+  GALLOPER_CHECK(fn != nullptr);
+  queue_.push({t, next_seq_++, std::move(fn)});
+}
+
+void Simulation::schedule_after(Time dt, std::function<void()> fn) {
+  GALLOPER_CHECK_MSG(dt >= 0, "negative delay " << dt);
+  schedule_at(now_ + dt, std::move(fn));
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  // Moving out of the priority queue requires a const_cast because top()
+  // is const; the pop immediately follows, so the moved-from state is
+  // never observed.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+void Simulation::run_until(Time t) {
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  now_ = std::max(now_, t);
+}
+
+Resource::Resource(Simulation& sim, std::string name, double rate)
+    : sim_(sim), name_(std::move(name)), rate_(rate) {
+  GALLOPER_CHECK_MSG(rate > 0, "resource rate must be positive");
+}
+
+Time Resource::submit(double amount, std::function<void()> done) {
+  GALLOPER_CHECK_MSG(amount >= 0, "negative work amount");
+  const Time start = std::max(sim_.now(), available_at_);
+  const Time finish = start + amount / rate_;
+  available_at_ = finish;
+  total_units_ += amount;
+  busy_time_ += amount / rate_;
+  if (done) sim_.schedule_at(finish, std::move(done));
+  return finish;
+}
+
+double Resource::utilization() const {
+  const Time elapsed = sim_.now();
+  if (elapsed <= 0) return 0;
+  return std::min(1.0, busy_time_ / elapsed);
+}
+
+}  // namespace galloper::sim

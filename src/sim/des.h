@@ -1,0 +1,95 @@
+// A small discrete-event simulation kernel.
+//
+// This substrate replaces the paper's EC2 testbed: servers, disks, NICs and
+// CPUs become rate-limited FIFO resources, and experiments measure simulated
+// completion times instead of wall-clock times (see DESIGN.md,
+// "Substitutions"). Deterministic: identical inputs give identical
+// schedules.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace galloper::sim {
+
+using Time = double;  // simulated seconds
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules `fn` at absolute time t ≥ now().
+  void schedule_at(Time t, std::function<void()> fn);
+
+  // Schedules `fn` after a delay dt ≥ 0.
+  void schedule_after(Time dt, std::function<void()> fn);
+
+  // Runs events in time order until none remain. Events scheduled at equal
+  // times run in insertion order.
+  void run();
+
+  // Runs until the queue empties or the next event is later than `t`.
+  void run_until(Time t);
+
+  size_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    Time time;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  bool step();  // pops and runs one event; false if empty
+
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  size_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+// A device that serves work FIFO at a fixed rate (a disk at bytes/s, a NIC
+// at bytes/s, a CPU at work-units/s). submit() models queueing: work starts
+// when all previously submitted work has drained.
+class Resource {
+ public:
+  Resource(Simulation& sim, std::string name, double rate);
+
+  const std::string& name() const { return name_; }
+  double rate() const { return rate_; }
+
+  // Enqueues `amount` units; `done` fires when this work completes.
+  // Returns the completion time.
+  Time submit(double amount, std::function<void()> done = {});
+
+  // Time at which the device becomes idle given current queue.
+  Time available_at() const { return available_at_; }
+
+  // Total units ever submitted (e.g. total bytes read from this disk).
+  double total_units() const { return total_units_; }
+
+  // Busy time / elapsed time, evaluated at sim.now().
+  double utilization() const;
+
+ private:
+  Simulation& sim_;
+  std::string name_;
+  double rate_;
+  Time available_at_ = 0;
+  double total_units_ = 0;
+  double busy_time_ = 0;
+};
+
+}  // namespace galloper::sim

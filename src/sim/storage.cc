@@ -1,0 +1,126 @@
+#include "sim/storage.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace galloper::sim {
+
+StorageSystem::StorageSystem(Simulation& sim, Cluster& cluster,
+                             const codes::ErasureCode& code,
+                             size_t block_bytes)
+    : sim_(sim), cluster_(cluster), code_(code), block_bytes_(block_bytes) {
+  GALLOPER_CHECK_MSG(cluster.size() >= code.num_blocks(),
+                     "cluster too small: " << cluster.size() << " servers, "
+                                           << code.num_blocks() << " blocks");
+  GALLOPER_CHECK(block_bytes > 0);
+}
+
+size_t StorageSystem::server_of_block(size_t block) const {
+  GALLOPER_CHECK(block < code_.num_blocks());
+  return block;  // identity placement
+}
+
+void StorageSystem::fail_block(size_t block) {
+  cluster_.server(server_of_block(block)).fail();
+}
+
+void StorageSystem::recover_block(size_t block) {
+  cluster_.server(server_of_block(block)).recover();
+}
+
+std::vector<size_t> StorageSystem::alive_blocks() const {
+  std::vector<size_t> out;
+  for (size_t b = 0; b < code_.num_blocks(); ++b)
+    if (cluster_.server(server_of_block(b)).alive()) out.push_back(b);
+  return out;
+}
+
+bool StorageSystem::data_available() const {
+  return code_.decodable(alive_blocks());
+}
+
+RepairMetrics StorageSystem::simulate_repair(size_t failed,
+                                             size_t replacement_server) {
+  return simulate_repair(failed, replacement_server,
+                         code_.repair_helpers(failed));
+}
+
+RepairMetrics StorageSystem::simulate_repair(
+    size_t failed, size_t replacement_server,
+    const std::vector<size_t>& helpers) {
+  GALLOPER_CHECK(failed < code_.num_blocks());
+  GALLOPER_CHECK(replacement_server < cluster_.size());
+  GALLOPER_CHECK_MSG(code_.engine().can_repair(failed, helpers),
+                     "helper set cannot repair block " << failed);
+
+  RepairMetrics metrics;
+  metrics.helpers = helpers;
+  Server& target = cluster_.server(replacement_server);
+
+  const Time start = sim_.now();
+  size_t pending = helpers.size();
+  Time finish = start;
+  const double bytes = static_cast<double>(block_bytes_);
+
+  Server* target_ptr = &target;
+  for (size_t h : helpers) {
+    // Pointer (not reference) captures: the callbacks outlive this loop
+    // iteration and run inside sim_.run() below.
+    Server* helper = &cluster_.server(server_of_block(h));
+    GALLOPER_CHECK_MSG(helper->alive(), "helper block " << h << " is dead");
+    metrics.disk_bytes_read += block_bytes_;
+    metrics.network_bytes += block_bytes_;
+    // Disk read, then store-and-forward through both NICs, then (once every
+    // helper block arrived) the GF combination on the target CPU.
+    helper->disk().submit(bytes, [this, helper, target_ptr, bytes, &pending,
+                                  &finish, helpers_count = helpers.size()] {
+      helper->nic().submit(bytes, [this, target_ptr, bytes, &pending, &finish,
+                                   helpers_count] {
+        target_ptr->nic().submit(bytes, [this, target_ptr, bytes, &pending,
+                                         &finish, helpers_count] {
+          if (--pending == 0) {
+            const double work =
+                bytes * static_cast<double>(helpers_count) /
+                StorageSystem::kGfBytesPerCpuUnit;
+            target_ptr->cpu().submit(work,
+                                     [this, &finish] { finish = sim_.now(); });
+          }
+        });
+      });
+    });
+  }
+  sim_.run();
+  metrics.completion_time = finish - start;
+  return metrics;
+}
+
+RepairMetrics StorageSystem::simulate_read(size_t block) {
+  GALLOPER_CHECK(block < code_.num_blocks());
+  Server& owner = cluster_.server(server_of_block(block));
+  if (owner.alive()) {
+    RepairMetrics metrics;
+    const Time start = sim_.now();
+    Time finish = start;
+    const double bytes = static_cast<double>(block_bytes_);
+    metrics.disk_bytes_read = block_bytes_;
+    metrics.network_bytes = block_bytes_;
+    owner.disk().submit(bytes, [&owner, bytes, &finish, this] {
+      owner.nic().submit(bytes, [&finish, this] { finish = sim_.now(); });
+    });
+    sim_.run();
+    metrics.completion_time = finish - start;
+    return metrics;
+  }
+  // Degraded read: same data movement as a repair, reconstructed on the
+  // least-loaded alive server.
+  std::vector<size_t> helpers;
+  for (size_t h : code_.repair_helpers(block)) {
+    GALLOPER_CHECK_MSG(cluster_.server(server_of_block(h)).alive(),
+                       "degraded read: helper " << h << " also dead");
+    helpers.push_back(h);
+  }
+  return simulate_repair(block, helpers.front(), helpers);
+}
+
+}  // namespace galloper::sim

@@ -1,0 +1,69 @@
+// Simulated erasure-coded storage system: blocks placed one-per-server on a
+// Cluster, with failure injection, repair simulation, and disk/network byte
+// accounting — the measurement harness behind the reconstruction
+// experiments (paper Fig. 1 and Fig. 8b) and the failure-recovery example.
+#pragma once
+
+#include <vector>
+
+#include "codes/erasure_code.h"
+#include "sim/cluster.h"
+
+namespace galloper::sim {
+
+struct RepairMetrics {
+  Time completion_time = 0;     // simulated seconds for the whole repair
+  size_t disk_bytes_read = 0;   // Σ bytes read from helper disks (Fig. 8b)
+  size_t network_bytes = 0;     // bytes shipped to the rebuilding server
+  std::vector<size_t> helpers;  // helper blocks used
+};
+
+class StorageSystem {
+ public:
+  // Places block b of `code` on cluster server b (the cluster may be
+  // larger; extra servers are spare capacity / replacement targets).
+  StorageSystem(Simulation& sim, Cluster& cluster,
+                const codes::ErasureCode& code, size_t block_bytes);
+
+  size_t block_bytes() const { return block_bytes_; }
+  const codes::ErasureCode& code() const { return code_; }
+
+  // Which server stores block b.
+  size_t server_of_block(size_t block) const;
+
+  // Marks the server of `block` failed.
+  void fail_block(size_t block);
+  void recover_block(size_t block);
+
+  // Blocks whose servers are alive.
+  std::vector<size_t> alive_blocks() const;
+
+  // True if the original data can still be decoded from alive blocks.
+  bool data_available() const;
+
+  // Simulates rebuilding `failed` onto `replacement_server` from the code's
+  // preferred helper set (skipping dead helpers is the caller's job — a
+  // CheckError is raised if a helper is dead). The model: each helper reads
+  // its whole block from disk, ships it store-and-forward through its NIC
+  // and the replacement's NIC, and the replacement then runs the GF
+  // combination on its CPU.
+  RepairMetrics simulate_repair(size_t failed, size_t replacement_server);
+  RepairMetrics simulate_repair(size_t failed, size_t replacement_server,
+                                const std::vector<size_t>& helpers);
+
+  // Simulates a client read of one block: a plain disk+NIC read if its
+  // server is alive, otherwise a degraded read that contacts the helper
+  // set like a repair.
+  RepairMetrics simulate_read(size_t block);
+
+  // GF-combination throughput of one CPU unit, bytes/s per helper block.
+  static constexpr double kGfBytesPerCpuUnit = 500e6;
+
+ private:
+  Simulation& sim_;
+  Cluster& cluster_;
+  const codes::ErasureCode& code_;
+  size_t block_bytes_;
+};
+
+}  // namespace galloper::sim

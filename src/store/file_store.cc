@@ -1,0 +1,188 @@
+#include "store/file_store.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/crc32c.h"
+
+namespace galloper::store {
+
+FileStore::FileStore(sim::Cluster& cluster, const codes::ErasureCode& code)
+    : cluster_(cluster), code_(code) {
+  GALLOPER_CHECK_MSG(cluster.size() >= code.num_blocks(),
+                     "cluster smaller than the code's block count");
+}
+
+FileId FileStore::write(ConstByteSpan file) {
+  auto blocks = code_.encode(file);
+  std::vector<std::optional<Buffer>> stored;
+  std::vector<uint32_t> crcs;
+  stored.reserve(blocks.size());
+  crcs.reserve(blocks.size());
+  for (auto& b : blocks) {
+    crcs.push_back(crc32c(b));
+    stored.emplace_back(std::move(b));
+  }
+  file_block_bytes_.push_back(stored[0]->size());
+  files_.push_back(std::move(stored));
+  checksums_.push_back(std::move(crcs));
+  return files_.size() - 1;
+}
+
+size_t FileStore::block_bytes(FileId id) const {
+  GALLOPER_CHECK(id < files_.size());
+  return file_block_bytes_[id];
+}
+
+std::optional<ConstByteSpan> FileStore::block(FileId id, size_t b) const {
+  GALLOPER_CHECK(id < files_.size());
+  GALLOPER_CHECK(b < code_.num_blocks());
+  if (!cluster_.server(b).alive() || !files_[id][b].has_value())
+    return std::nullopt;
+  return ConstByteSpan(*files_[id][b]);
+}
+
+bool FileStore::block_available(FileId id, size_t b) const {
+  return block(id, b).has_value();
+}
+
+void FileStore::fail_server(size_t server) {
+  GALLOPER_CHECK(server < cluster_.size());
+  cluster_.server(server).fail();
+  if (server >= code_.num_blocks()) return;
+  for (auto& file : files_) file[server].reset();
+}
+
+void FileStore::revive_server(size_t server) {
+  GALLOPER_CHECK(server < cluster_.size());
+  cluster_.server(server).recover();
+}
+
+std::vector<size_t> FileStore::available_blocks(FileId id) const {
+  std::vector<size_t> out;
+  for (size_t b = 0; b < code_.num_blocks(); ++b)
+    if (block_available(id, b)) out.push_back(b);
+  return out;
+}
+
+std::vector<size_t> FileStore::lost_blocks(FileId id) const {
+  GALLOPER_CHECK(id < files_.size());
+  std::vector<size_t> out;
+  for (size_t b = 0; b < code_.num_blocks(); ++b)
+    if (!files_[id][b].has_value()) out.push_back(b);
+  return out;
+}
+
+bool FileStore::all_recoverable() const {
+  for (FileId id = 0; id < files_.size(); ++id)
+    if (!code_.decodable(available_blocks(id))) return false;
+  return true;
+}
+
+std::optional<Buffer> FileStore::read(FileId id) const {
+  GALLOPER_CHECK(id < files_.size());
+  std::map<size_t, ConstByteSpan> view;
+  for (size_t b : available_blocks(id)) view.emplace(b, *block(id, b));
+  return code_.decode(view);
+}
+
+std::optional<Buffer> FileStore::read_original_only(FileId id) const {
+  GALLOPER_CHECK(id < files_.size());
+  core::InputFormat fmt(code_, file_block_bytes_[id]);
+  // gather() wants one span per block; an unavailable block is fine only
+  // if it holds no original bytes, in which case a zero dummy stands in.
+  const Buffer dummy(file_block_bytes_[id], 0);
+  std::vector<ConstByteSpan> blocks;
+  for (size_t b = 0; b < code_.num_blocks(); ++b) {
+    const auto data = block(id, b);
+    if (data) {
+      blocks.push_back(*data);
+      continue;
+    }
+    if (fmt.original_bytes_in_block(b) > 0) return std::nullopt;
+    blocks.push_back(ConstByteSpan(dummy));
+  }
+  return fmt.gather(blocks);
+}
+
+std::vector<size_t> FileStore::update_range(FileId id, size_t offset,
+                                            ConstByteSpan data) {
+  GALLOPER_CHECK(id < files_.size());
+  const size_t chunk = file_block_bytes_[id] / code_.engine().stripes_per_block();
+  GALLOPER_CHECK_MSG(offset % chunk == 0 && data.size() % chunk == 0,
+                     "updates must be chunk-aligned (chunk = " << chunk
+                                                               << " bytes)");
+  const size_t first = offset / chunk;
+  const size_t count = data.size() / chunk;
+  GALLOPER_CHECK(first + count <= code_.engine().num_chunks());
+  for (size_t b = 0; b < code_.num_blocks(); ++b)
+    GALLOPER_CHECK_MSG(block_available(id, b),
+                       "in-place update on a degraded stripe: repair block "
+                           << b << " first");
+
+  // Materialize the blocks vector for the engine, update, write back.
+  std::vector<Buffer> blocks;
+  blocks.reserve(code_.num_blocks());
+  for (size_t b = 0; b < code_.num_blocks(); ++b)
+    blocks.push_back(std::move(*files_[id][b]));
+  std::vector<size_t> touched;
+  for (size_t c = 0; c < count; ++c) {
+    const auto t = code_.engine().update_chunk(
+        blocks, first + c, data.subspan(c * chunk, chunk));
+    touched.insert(touched.end(), t.begin(), t.end());
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (size_t b = 0; b < code_.num_blocks(); ++b) {
+    checksums_[id][b] = crc32c(blocks[b]);
+    files_[id][b] = std::move(blocks[b]);
+  }
+  return touched;
+}
+
+void FileStore::corrupt_block(FileId id, size_t block, size_t offset) {
+  GALLOPER_CHECK(id < files_.size());
+  GALLOPER_CHECK(block < code_.num_blocks());
+  GALLOPER_CHECK_MSG(files_[id][block].has_value(),
+                     "cannot corrupt a lost block");
+  auto& data = *files_[id][block];
+  GALLOPER_CHECK(offset < data.size());
+  data[offset] ^= 0x01;
+}
+
+std::vector<FileStore::CorruptBlock> FileStore::scrub(bool quarantine) {
+  std::vector<CorruptBlock> corrupt;
+  for (FileId id = 0; id < files_.size(); ++id) {
+    for (size_t b = 0; b < code_.num_blocks(); ++b) {
+      if (!files_[id][b].has_value()) continue;
+      if (crc32c(*files_[id][b]) == checksums_[id][b]) continue;
+      corrupt.push_back({id, b});
+      if (quarantine) files_[id][b].reset();
+    }
+  }
+  return corrupt;
+}
+
+std::optional<std::vector<size_t>> FileStore::repair(FileId id,
+                                                     size_t block_id) {
+  GALLOPER_CHECK(id < files_.size());
+  GALLOPER_CHECK(block_id < code_.num_blocks());
+  GALLOPER_CHECK_MSG(cluster_.server(block_id).alive(),
+                     "revive the target server before repairing onto it");
+  if (files_[id][block_id].has_value()) return std::vector<size_t>{};
+
+  // Preferred (local) helpers first; generic fallback to all available.
+  std::vector<size_t> helpers = code_.repair_helpers(block_id);
+  bool helpers_ok = true;
+  for (size_t h : helpers) helpers_ok &= block_available(id, h);
+  if (!helpers_ok) helpers = available_blocks(id);
+
+  std::map<size_t, ConstByteSpan> view;
+  for (size_t h : helpers) view.emplace(h, *block(id, h));
+  auto rebuilt = code_.repair_block(block_id, view);
+  if (!rebuilt) return std::nullopt;
+  files_[id][block_id] = std::move(*rebuilt);
+  return helpers;
+}
+
+}  // namespace galloper::store

@@ -1,0 +1,105 @@
+// FileStore: a miniature erasure-coded "distributed file system" over the
+// simulated cluster. It stores REAL bytes (every repair and read is
+// bit-exact and verified in tests) while the cluster's DES resources
+// account simulated time and disk/network I/O — the same split the paper
+// has between its C++ coding library and the Hadoop/HDFS deployment.
+//
+// Placement: file blocks go on servers [0, num_blocks); extra cluster
+// servers act as replacement targets for recovery.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "codes/erasure_code.h"
+#include "core/input_format.h"
+#include "sim/cluster.h"
+
+namespace galloper::store {
+
+using FileId = size_t;
+
+class FileStore {
+ public:
+  // `code` must outlive the store.
+  FileStore(sim::Cluster& cluster, const codes::ErasureCode& code);
+
+  const codes::ErasureCode& code() const { return code_; }
+  sim::Cluster& cluster() { return cluster_; }
+
+  // Encodes and stores a file. Size must be a positive multiple of the
+  // code's chunk count.
+  FileId write(ConstByteSpan file);
+
+  size_t num_files() const { return files_.size(); }
+  size_t block_bytes(FileId id) const;
+
+  // The block contents as stored (nullopt if its server is dead or the
+  // block was lost). Block b of every file lives on server b.
+  std::optional<ConstByteSpan> block(FileId id, size_t block) const;
+
+  // Whether the server holding `block` is alive and still has the bytes.
+  bool block_available(FileId id, size_t block) const;
+
+  // Kills a server: all blocks stored on it are lost.
+  void fail_server(size_t server);
+
+  // Brings a server back EMPTY (its blocks stay lost until repaired).
+  void revive_server(size_t server);
+
+  // True if every file is still decodable from available blocks.
+  bool all_recoverable() const;
+
+  // Reads one file, decoding around missing blocks if needed.
+  std::optional<Buffer> read(FileId id) const;
+
+  // Reads one file's original bytes without decoding (requires every
+  // data-holding block available) — the analytics fast path.
+  std::optional<Buffer> read_original_only(FileId id) const;
+
+  // Overwrites the chunk-aligned range [offset, offset + data.size()) of
+  // the original file in place, patching parity via deltas and refreshing
+  // the stored checksums. All blocks must be available (in-place update
+  // on a degraded stripe is refused — repair first). Returns the blocks
+  // written. offset and size must be multiples of the chunk size
+  // (block_bytes / stripes_per_block).
+  std::vector<size_t> update_range(FileId id, size_t offset,
+                                   ConstByteSpan data);
+
+  // Restores one lost block from the available blocks (preferred helpers
+  // when alive, any sufficient subset otherwise). Returns the blocks read
+  // (the disk I/O set); nullopt if unrecoverable. The rebuilt bytes are
+  // stored back (the server must be alive again, or a spare —
+  // block-to-server mapping stays identity, so revive first).
+  std::optional<std::vector<size_t>> repair(FileId id, size_t block);
+
+  // Blocks of `id` that are currently lost.
+  std::vector<size_t> lost_blocks(FileId id) const;
+
+  // ---- Scrubbing (silent-corruption defense) ----------------------------
+
+  // Fault injection: flips one byte inside a stored block.
+  void corrupt_block(FileId id, size_t block, size_t offset);
+
+  struct CorruptBlock {
+    FileId file;
+    size_t block;
+  };
+  // Recomputes every stored block's CRC-32C against the checksum recorded
+  // at write time. Mismatching blocks are reported and (when `quarantine`)
+  // dropped, so a subsequent RecoveryManager pass rebuilds them.
+  std::vector<CorruptBlock> scrub(bool quarantine = true);
+
+ private:
+  std::vector<size_t> available_blocks(FileId id) const;
+
+  sim::Cluster& cluster_;
+  const codes::ErasureCode& code_;
+  // files_[id][block] — nullopt once lost.
+  std::vector<std::vector<std::optional<Buffer>>> files_;
+  std::vector<std::vector<uint32_t>> checksums_;  // CRC-32C at write time
+  std::vector<size_t> file_block_bytes_;
+};
+
+}  // namespace galloper::store

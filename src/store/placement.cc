@@ -1,0 +1,116 @@
+#include "store/placement.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace galloper::store {
+
+std::vector<std::vector<size_t>> repair_groups(
+    const codes::ErasureCode& code) {
+  const size_t n = code.num_blocks();
+  // Union-find over {block} ∪ helpers(block).
+  std::vector<size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), size_t{0});
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (size_t b = 0; b < n; ++b) {
+    const auto helpers = code.repair_helpers(b);
+    // Only LOCAL repair relations define a group: a block whose repair
+    // needs ≥ k helpers (globals, or everything under plain RS) is not
+    // locally repairable and stays a singleton — packing it with anything
+    // buys no rack-internal repairs.
+    if (helpers.size() >= code.k()) continue;
+    for (size_t h : helpers) parent[find(h)] = find(b);
+  }
+
+  std::vector<std::vector<size_t>> groups;
+  std::vector<size_t> group_of(n, SIZE_MAX);
+  for (size_t b = 0; b < n; ++b) {
+    const size_t root = find(b);
+    if (group_of[root] == SIZE_MAX) {
+      group_of[root] = groups.size();
+      groups.emplace_back();
+    }
+    groups[group_of[root]].push_back(b);
+  }
+  return groups;
+}
+
+std::vector<size_t> place_blocks(const codes::ErasureCode& code,
+                                 const Topology& topology,
+                                 PlacementPolicy policy) {
+  const size_t n = code.num_blocks();
+  GALLOPER_CHECK_MSG(topology.servers() >= n,
+                     "topology too small: " << topology.servers()
+                                            << " servers for " << n
+                                            << " blocks");
+  std::vector<size_t> placement(n, SIZE_MAX);
+
+  if (policy == PlacementPolicy::kSpread) {
+    // Block b → rack (b mod racks), next free slot in that rack.
+    std::vector<size_t> used(topology.racks, 0);
+    for (size_t b = 0; b < n; ++b) {
+      const size_t rack = b % topology.racks;
+      GALLOPER_CHECK_MSG(used[rack] < topology.servers_per_rack,
+                         "rack " << rack << " overflows under kSpread");
+      placement[b] = rack * topology.servers_per_rack + used[rack]++;
+    }
+    return placement;
+  }
+
+  // kGroupPerRack: pack each repair group into its own rack (wrapping onto
+  // further racks only when a rack fills up across groups).
+  const auto groups = repair_groups(code);
+  size_t rack = 0;
+  std::vector<size_t> used(topology.racks, 0);
+  for (const auto& group : groups) {
+    // Find a rack with room for the whole group.
+    size_t target = SIZE_MAX;
+    for (size_t r = 0; r < topology.racks; ++r) {
+      const size_t candidate = (rack + r) % topology.racks;
+      if (topology.servers_per_rack - used[candidate] >= group.size()) {
+        target = candidate;
+        break;
+      }
+    }
+    GALLOPER_CHECK_MSG(target != SIZE_MAX,
+                       "no rack fits a repair group of " << group.size());
+    for (size_t b : group)
+      placement[b] = target * topology.servers_per_rack + used[target]++;
+    rack = (target + 1) % topology.racks;
+  }
+  return placement;
+}
+
+size_t cross_rack_repair_bytes(const codes::ErasureCode& code,
+                               const std::vector<size_t>& placement,
+                               const Topology& topology, size_t failed,
+                               size_t block_bytes) {
+  GALLOPER_CHECK(placement.size() == code.num_blocks());
+  GALLOPER_CHECK(failed < code.num_blocks());
+  const size_t home = topology.rack_of(placement[failed]);
+  size_t bytes = 0;
+  for (size_t h : code.repair_helpers(failed))
+    if (topology.rack_of(placement[h]) != home) bytes += block_bytes;
+  return bytes;
+}
+
+bool survives_any_single_rack_failure(const codes::ErasureCode& code,
+                                      const std::vector<size_t>& placement,
+                                      const Topology& topology) {
+  GALLOPER_CHECK(placement.size() == code.num_blocks());
+  for (size_t rack = 0; rack < topology.racks; ++rack) {
+    std::vector<size_t> alive;
+    for (size_t b = 0; b < code.num_blocks(); ++b)
+      if (topology.rack_of(placement[b]) != rack) alive.push_back(b);
+    if (!code.decodable(alive)) return false;
+  }
+  return true;
+}
+
+}  // namespace galloper::store

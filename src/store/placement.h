@@ -1,0 +1,58 @@
+// Rack-aware block placement — the deployment decision that interacts
+// directly with repair locality. Two extremes:
+//
+//  * kSpread: blocks round-robin across racks. Whole-rack failures erase
+//    at most ⌈n/racks⌉ blocks (best fault isolation), but a local repair's
+//    helpers usually live in OTHER racks, so repair traffic crosses the
+//    aggregation switches.
+//  * kGroupPerRack: each local repair group (a block plus its preferred
+//    helpers) is packed into one rack. Local repairs become rack-internal
+//    (cheap), but losing the rack loses a whole group at once.
+//
+// This module computes placements, prices repair traffic against a
+// topology, and checks rack-failure survivability via the decodability
+// oracle — the quantified version of the paper's remark that global
+// parities should sit on weaker servers.
+#pragma once
+
+#include <vector>
+
+#include "codes/erasure_code.h"
+
+namespace galloper::store {
+
+struct Topology {
+  size_t racks = 1;
+  size_t servers_per_rack = 1;
+
+  size_t servers() const { return racks * servers_per_rack; }
+  size_t rack_of(size_t server) const { return server / servers_per_rack; }
+};
+
+enum class PlacementPolicy { kSpread, kGroupPerRack };
+
+// The repair groups of a code, inferred from its preferred helper sets:
+// blocks whose helper sets interlink form one group (for Pyramid/Galloper:
+// each local group; the global parities form the tail group).
+std::vector<std::vector<size_t>> repair_groups(const codes::ErasureCode& code);
+
+// block → server assignment under the policy. Requires
+// topology.servers() ≥ code.num_blocks(), and for kGroupPerRack that each
+// repair group fits in a rack. No two blocks share a server.
+std::vector<size_t> place_blocks(const codes::ErasureCode& code,
+                                 const Topology& topology,
+                                 PlacementPolicy policy);
+
+// Bytes that cross rack boundaries when `failed` is rebuilt in place from
+// its preferred helpers, each shipping one whole block.
+size_t cross_rack_repair_bytes(const codes::ErasureCode& code,
+                               const std::vector<size_t>& placement,
+                               const Topology& topology, size_t failed,
+                               size_t block_bytes);
+
+// True if data survive the failure of ANY single whole rack.
+bool survives_any_single_rack_failure(const codes::ErasureCode& code,
+                                      const std::vector<size_t>& placement,
+                                      const Topology& topology);
+
+}  // namespace galloper::store

@@ -1,0 +1,91 @@
+#include "store/recovery.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace galloper::store {
+
+RecoveryManager::RecoveryManager(sim::Simulation& sim, FileStore& store,
+                                 RecoveryConfig config)
+    : sim_(sim), store_(store), config_(config) {
+  GALLOPER_CHECK_MSG(
+      config.bandwidth_fraction > 0 && config.bandwidth_fraction <= 1.0,
+      "bandwidth fraction must be in (0, 1]");
+  GALLOPER_CHECK(config.max_parallel_repairs >= 1);
+}
+
+RecoveryReport RecoveryManager::recover_all() {
+  RecoveryReport report;
+  sim::Cluster& cluster = store_.cluster();
+  const sim::Time start = sim_.now();
+  sim::Time finish = start;
+
+  // Collect the work list first (real, bit-exact repairs happen here; the
+  // DES below replays the transfers for timing).
+  struct RepairJob {
+    size_t block;
+    size_t bytes;
+    std::vector<size_t> helpers;
+  };
+  std::vector<RepairJob> jobs;
+  for (FileId id = 0; id < store_.num_files(); ++id) {
+    const size_t bytes = store_.block_bytes(id);
+    for (size_t b : store_.lost_blocks(id)) {
+      const auto helpers = store_.repair(id, b);
+      if (!helpers) {
+        ++report.blocks_unrecoverable;
+        continue;
+      }
+      ++report.blocks_repaired;
+      jobs.push_back({b, bytes, *helpers});
+    }
+  }
+
+  // Throttling: a device at fraction f of its rate ⟺ f⁻¹× the work.
+  const double inflate = 1.0 / config_.bandwidth_fraction;
+
+  // Waves of at most max_parallel_repairs concurrent block rebuilds.
+  sim::Time* finish_ptr = &finish;
+  sim::Simulation* sim_ptr = &sim_;
+  for (size_t wave_start = 0; wave_start < jobs.size();
+       wave_start += config_.max_parallel_repairs) {
+    const size_t wave_end = std::min(
+        jobs.size(), wave_start + config_.max_parallel_repairs);
+    for (size_t j = wave_start; j < wave_end; ++j) {
+      const RepairJob& job = jobs[j];
+      sim::Server* target = &cluster.server(job.block);
+      auto pending = std::make_shared<size_t>(job.helpers.size());
+      for (size_t h : job.helpers) {
+        report.disk_bytes_read += job.bytes;
+        report.network_bytes += job.bytes;
+        sim::Server* helper = &cluster.server(h);
+        const double fb = static_cast<double>(job.bytes) * inflate;
+        const size_t n_helpers = job.helpers.size();
+        helper->disk().submit(
+            fb, [helper, target, fb, pending, n_helpers, finish_ptr,
+                 sim_ptr] {
+              helper->nic().submit(fb, [target, fb, pending, n_helpers,
+                                        finish_ptr, sim_ptr] {
+                target->nic().submit(fb, [target, fb, pending, n_helpers,
+                                          finish_ptr, sim_ptr] {
+                  if (--*pending == 0) {
+                    const double work =
+                        fb * static_cast<double>(n_helpers) / 500e6;
+                    target->cpu().submit(work, [finish_ptr, sim_ptr] {
+                      *finish_ptr = std::max(*finish_ptr, sim_ptr->now());
+                    });
+                  }
+                });
+              });
+            });
+      }
+    }
+    // Wave barrier: drain the event queue before launching the next wave.
+    sim_.run();
+  }
+  report.makespan = finish - start;
+  return report;
+}
+
+}  // namespace galloper::store

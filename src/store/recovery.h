@@ -1,0 +1,50 @@
+// RecoveryManager: orchestrates the rebuild of everything lost to server
+// failures — the "recovery storm" path where locally repairable codes earn
+// their keep (low disk I/O per repair means more parallel repairs per unit
+// of cluster bandwidth).
+//
+// Repairs move real bytes through the FileStore (bit-exact) and replay the
+// same transfers on the DES cluster to measure makespan and per-server I/O.
+#pragma once
+
+#include "sim/des.h"
+#include "store/file_store.h"
+
+namespace galloper::store {
+
+struct RecoveryReport {
+  size_t blocks_repaired = 0;
+  size_t blocks_unrecoverable = 0;
+  size_t disk_bytes_read = 0;     // Σ helper-block bytes read
+  size_t network_bytes = 0;       // bytes shipped to rebuilding servers
+  sim::Time makespan = 0;         // simulated time until the last repair
+};
+
+struct RecoveryConfig {
+  // Fraction of each disk/NIC devoted to recovery traffic — production
+  // systems throttle repairs so foreground I/O keeps headroom. 1.0 = flat
+  // out; 0.25 = quarter speed (4× the transfer time).
+  double bandwidth_fraction = 1.0;
+  // Repairs in flight at once; further repairs wait for a wave to finish.
+  size_t max_parallel_repairs = SIZE_MAX;
+};
+
+class RecoveryManager {
+ public:
+  RecoveryManager(sim::Simulation& sim, FileStore& store,
+                  RecoveryConfig config = {});
+
+  // Repairs every lost block of every file (the failed servers must have
+  // been revived, so rebuilt blocks have a home). Repairs are issued
+  // concurrently up to max_parallel_repairs; helper disks and NICs
+  // serialize contended work in the DES, which is what creates the
+  // RS-vs-LRC makespan gap.
+  RecoveryReport recover_all();
+
+ private:
+  sim::Simulation& sim_;
+  FileStore& store_;
+  RecoveryConfig config_;
+};
+
+}  // namespace galloper::store

@@ -1,0 +1,57 @@
+#include "util/bytes.h"
+
+#include "util/check.h"
+
+namespace galloper {
+
+Buffer random_buffer(size_t size, Rng& rng) {
+  Buffer b(size);
+  rng.fill_bytes(b);
+  return b;
+}
+
+std::string hex_dump(ConstByteSpan data, size_t max_bytes) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  const size_t n = std::min(data.size(), max_bytes);
+  out.reserve(n * 3);
+  for (size_t i = 0; i < n; ++i) {
+    if (i) out.push_back(i % 16 == 0 ? '\n' : ' ');
+    out.push_back(kHex[data[i] >> 4]);
+    out.push_back(kHex[data[i] & 0xf]);
+  }
+  if (data.size() > max_bytes) out += " …";
+  return out;
+}
+
+std::vector<ConstByteSpan> split_even(ConstByteSpan data, size_t parts) {
+  GALLOPER_CHECK(parts > 0);
+  GALLOPER_CHECK_MSG(data.size() % parts == 0,
+                     "size " << data.size() << " not divisible by " << parts);
+  const size_t piece = data.size() / parts;
+  std::vector<ConstByteSpan> out;
+  out.reserve(parts);
+  for (size_t i = 0; i < parts; ++i)
+    out.push_back(data.subspan(i * piece, piece));
+  return out;
+}
+
+Buffer concat(const std::vector<ConstByteSpan>& pieces) {
+  size_t total = 0;
+  for (const auto& p : pieces) total += p.size();
+  Buffer out;
+  out.reserve(total);
+  for (const auto& p : pieces) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+uint64_t fingerprint(ConstByteSpan data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace galloper

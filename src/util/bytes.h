@@ -1,0 +1,34 @@
+// Byte-buffer helpers shared across the coding and simulation layers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace galloper {
+
+using Buffer = std::vector<uint8_t>;
+
+// A non-owning view pair used by coding kernels.
+using ByteSpan = std::span<uint8_t>;
+using ConstByteSpan = std::span<const uint8_t>;
+
+// Returns a buffer of `size` deterministic pseudo-random bytes.
+Buffer random_buffer(size_t size, Rng& rng);
+
+// Hex dump of at most `max_bytes` (for diagnostics and examples).
+std::string hex_dump(ConstByteSpan data, size_t max_bytes = 64);
+
+// Splits `data` into `parts` contiguous equal pieces; size must divide evenly.
+std::vector<ConstByteSpan> split_even(ConstByteSpan data, size_t parts);
+
+// Concatenates spans into one buffer.
+Buffer concat(const std::vector<ConstByteSpan>& pieces);
+
+// FNV-1a 64-bit hash, used to fingerprint buffers in tests and examples.
+uint64_t fingerprint(ConstByteSpan data);
+
+}  // namespace galloper

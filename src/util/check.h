@@ -1,0 +1,46 @@
+// Lightweight precondition / invariant checking.
+//
+// GALLOPER_CHECK is always on (including release builds): the library deals
+// with user-supplied code parameters and erasure patterns, and a violated
+// precondition must surface as a recoverable exception rather than UB.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace galloper {
+
+// Thrown when an argument or state check fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace galloper
+
+#define GALLOPER_CHECK(expr)                                              \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::galloper::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define GALLOPER_CHECK_MSG(expr, msg)                                     \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream os_;                                             \
+      os_ << msg;                                                         \
+      ::galloper::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                       os_.str());                        \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,36 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace galloper {
+
+namespace {
+
+constexpr uint32_t kPolyReflected = 0x82f63b78u;  // 0x1EDC6F41 reflected
+
+constexpr std::array<uint32_t, 256> build_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1) ? kPolyReflected : 0);
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = build_table();
+
+}  // namespace
+
+uint32_t crc32c_extend(uint32_t state, ConstByteSpan data) {
+  for (uint8_t b : data)
+    state = kTable[(state ^ b) & 0xff] ^ (state >> 8);
+  return state;
+}
+
+uint32_t crc32c(ConstByteSpan data) {
+  return crc32c_finish(crc32c_extend(kCrc32cInit, data));
+}
+
+}  // namespace galloper

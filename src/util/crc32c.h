@@ -1,0 +1,22 @@
+// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected), the checksum used
+// by most storage systems (HDFS, iSCSI, ext4). Table-driven software
+// implementation; used by the FileStore scrubber to detect silent block
+// corruption before repair.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace galloper {
+
+// One-shot CRC of a buffer.
+uint32_t crc32c(ConstByteSpan data);
+
+// Incremental form: crc32c_extend(crc32c_extend(kCrc32cInit, a), b)
+// finalized with crc32c_finish equals crc32c(a ‖ b).
+inline constexpr uint32_t kCrc32cInit = 0xffffffffu;
+uint32_t crc32c_extend(uint32_t state, ConstByteSpan data);
+inline uint32_t crc32c_finish(uint32_t state) { return state ^ 0xffffffffu; }
+
+}  // namespace galloper

@@ -1,0 +1,38 @@
+// Minimal command-line flag parsing for the CLI tool.
+// Supports --name=value, --name value, boolean --name, and positionals;
+// "--" ends flag parsing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace galloper {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);  // argv[0] is skipped
+  explicit Flags(const std::vector<std::string>& args);  // no program name
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& name) const;
+  std::optional<std::string> get(const std::string& name) const;
+  std::string get_or(const std::string& name,
+                     const std::string& fallback) const;
+  int64_t get_int(const std::string& name, int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+  // Comma-separated doubles, e.g. --perf=1,0.4,1 → {1, 0.4, 1}.
+  std::vector<double> get_doubles(const std::string& name) const;
+
+ private:
+  void parse(const std::vector<std::string>& args);
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace galloper

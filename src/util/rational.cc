@@ -1,0 +1,89 @@
+#include "util/rational.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace galloper {
+
+int64_t gcd64(int64_t a, int64_t b) {
+  a = std::abs(a);
+  b = std::abs(b);
+  while (b != 0) {
+    int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+int64_t lcm64(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  const int64_t g = gcd64(a, b);
+  const int64_t q = a / g;
+  GALLOPER_CHECK_MSG(q <= INT64_MAX / std::abs(b), "lcm overflow");
+  return std::abs(q * b);
+}
+
+Rational::Rational(int64_t num, int64_t den) : num_(num), den_(den) {
+  GALLOPER_CHECK_MSG(den != 0, "rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_ == 0) {
+    den_ = 1;
+    return;
+  }
+  const int64_t g = gcd64(num_, den_);
+  num_ /= g;
+  den_ /= g;
+}
+
+std::string Rational::to_string() const {
+  std::ostringstream os;
+  os << num_;
+  if (den_ != 1) os << '/' << den_;
+  return os.str();
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return Rational(num_ * o.den_ + o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  return Rational(num_ * o.den_ - o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return Rational(num_ * o.num_, den_ * o.den_);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  GALLOPER_CHECK_MSG(o.num_ != 0, "division by zero rational");
+  return Rational(num_ * o.den_, den_ * o.num_);
+}
+
+bool Rational::operator<(const Rational& o) const {
+  // Denominators are positive after normalization.
+  return num_ * o.den_ < o.num_ * den_;
+}
+
+int64_t common_denominator(const std::vector<Rational>& ws) {
+  int64_t n = 1;
+  for (const auto& w : ws) n = lcm64(n, w.den());
+  return n;
+}
+
+Rational sum(const std::vector<Rational>& ws) {
+  Rational s;
+  for (const auto& w : ws) s = s + w;
+  return s;
+}
+
+}  // namespace galloper

@@ -1,0 +1,57 @@
+// Exact rational arithmetic for block weights.
+//
+// Galloper weights w_i are rationals whose common denominator determines the
+// stripe count N (Sec. IV-B of the paper), so the weight pipeline must be
+// exact; floating point would make N ill-defined.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace galloper {
+
+int64_t gcd64(int64_t a, int64_t b);
+int64_t lcm64(int64_t a, int64_t b);
+
+class Rational {
+ public:
+  Rational() : num_(0), den_(1) {}
+  Rational(int64_t num, int64_t den);
+  Rational(int64_t whole) : num_(whole), den_(1) {}  // NOLINT(implicit)
+
+  int64_t num() const { return num_; }
+  int64_t den() const { return den_; }
+
+  double to_double() const { return static_cast<double>(num_) / den_; }
+  std::string to_string() const;
+
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+
+  bool operator==(const Rational& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+  bool operator<(const Rational& o) const;
+  bool operator<=(const Rational& o) const { return *this < o || *this == o; }
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator>=(const Rational& o) const { return o <= *this; }
+
+ private:
+  void normalize();
+
+  int64_t num_;
+  int64_t den_;  // always > 0
+};
+
+// Least common multiple of the denominators, i.e. the smallest N such that
+// w * N is an integer for every w. Throws if the result overflows.
+int64_t common_denominator(const std::vector<Rational>& ws);
+
+// Sum of a vector of rationals.
+Rational sum(const std::vector<Rational>& ws);
+
+}  // namespace galloper

@@ -1,0 +1,103 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace galloper {
+
+namespace {
+
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64, used to expand a single seed into xoshiro state.
+inline uint64_t splitmix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::next_below(uint64_t bound) {
+  GALLOPER_CHECK(bound > 0);
+  // Rejection sampling over the largest multiple of `bound` that fits.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+int64_t Rng::next_int(int64_t lo, int64_t hi) {
+  GALLOPER_CHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(next_u64());  // full range
+  return lo + static_cast<int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+  // 53 high bits → [0, 1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_exponential(double mean) {
+  GALLOPER_CHECK(mean > 0);
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+void Rng::fill_bytes(std::span<uint8_t> out) {
+  size_t i = 0;
+  while (i + 8 <= out.size()) {
+    uint64_t v = next_u64();
+    for (int b = 0; b < 8; ++b) out[i++] = static_cast<uint8_t>(v >> (8 * b));
+  }
+  if (i < out.size()) {
+    uint64_t v = next_u64();
+    for (; i < out.size(); ++i) {
+      out[i] = static_cast<uint8_t>(v);
+      v >>= 8;
+    }
+  }
+}
+
+std::vector<size_t> Rng::sample_indices(size_t n, size_t count) {
+  GALLOPER_CHECK(count <= n);
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = i;
+  // Partial Fisher-Yates: the first `count` entries become the sample.
+  for (size_t i = 0; i < count; ++i) {
+    size_t j = i + static_cast<size_t>(next_below(n - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(count);
+  return all;
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace galloper

@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Every stochastic component in the library (workload generators, failure
+// injection, property tests) takes an explicit Rng so that runs are
+// reproducible from a printed seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace galloper {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform over the full 64-bit range.
+  uint64_t next_u64();
+
+  // Uniform in [0, bound), bound > 0. Uses rejection sampling (unbiased).
+  uint64_t next_below(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t next_int(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Exponentially distributed with the given mean (> 0).
+  double next_exponential(double mean);
+
+  // Fills `out` with uniform random bytes.
+  void fill_bytes(std::span<uint8_t> out);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Chooses `count` distinct indices from [0, n) in random order.
+  std::vector<size_t> sample_indices(size_t n, size_t count);
+
+  // Forks an independent stream (for parallel components) derived from this
+  // generator's state; advancing one stream does not perturb the other.
+  Rng fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace galloper

@@ -1,0 +1,74 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace galloper {
+
+void Stats::add(double v) {
+  values_.push_back(v);
+  sorted_ = false;
+}
+
+void Stats::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Stats::sum() const {
+  double s = 0;
+  for (double v : values_) s += v;
+  return s;
+}
+
+double Stats::mean() const {
+  GALLOPER_CHECK(!values_.empty());
+  return sum() / static_cast<double>(values_.size());
+}
+
+double Stats::min() const {
+  GALLOPER_CHECK(!values_.empty());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Stats::max() const {
+  GALLOPER_CHECK(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Stats::stddev() const {
+  GALLOPER_CHECK(!values_.empty());
+  if (values_.size() == 1) return 0.0;
+  const double m = mean();
+  double acc = 0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Stats::percentile(double p) const {
+  GALLOPER_CHECK(!values_.empty());
+  GALLOPER_CHECK(p >= 0.0 && p <= 100.0);
+  ensure_sorted();
+  if (values_.size() == 1) return values_[0];
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+std::string Stats::summary() const {
+  std::ostringstream os;
+  if (values_.empty()) return "(no samples)";
+  os.precision(4);
+  os << mean() << " ± " << stddev() << " [" << min() << ", " << max() << "] ("
+     << values_.size() << ")";
+  return os.str();
+}
+
+}  // namespace galloper

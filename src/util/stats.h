@@ -1,0 +1,34 @@
+// Small summary-statistics helper used by benches and the simulators.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace galloper {
+
+class Stats {
+ public:
+  void add(double v);
+
+  size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double sum() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;            // sample standard deviation
+  double percentile(double p) const;  // p in [0, 100], linear interpolation
+
+  // "mean ± stddev [min, max] (n)" — for bench output.
+  std::string summary() const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+  void ensure_sorted() const;
+};
+
+}  // namespace galloper

@@ -1,0 +1,30 @@
+// ASCII table printer. Benches use this to print paper-style rows
+// (one table/figure per bench binary).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace galloper {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with `precision` significant digits.
+  static std::string num(double v, int precision = 4);
+
+  // Renders with column alignment and a header rule.
+  std::string to_string() const;
+
+  // Prints to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace galloper

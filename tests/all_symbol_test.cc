@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/all_symbol.h"
+#include "core/galloper.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace galloper::core {
+namespace {
+
+using galloper::Buffer;
+using galloper::CheckError;
+using galloper::ConstByteSpan;
+using galloper::Rational;
+using galloper::Rng;
+using galloper::random_buffer;
+
+std::map<size_t, ConstByteSpan> view(const std::vector<Buffer>& blocks,
+                                     const std::vector<size_t>& ids) {
+  std::map<size_t, ConstByteSpan> m;
+  for (size_t id : ids) m.emplace(id, blocks[id]);
+  return m;
+}
+
+struct Shape {
+  size_t k, l, g;
+};
+
+class AllSymbolShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(AllSymbolShapes, ToleranceAtLeastGPlusOne) {
+  const auto [k, l, g] = GetParam();
+  AllSymbolGalloperCode code(k, l, g);
+  EXPECT_TRUE(code.verify_tolerance()) << code.name();
+}
+
+TEST_P(AllSymbolShapes, EveryBlockRepairsFromItsSmallHelperSet) {
+  const auto [k, l, g] = GetParam();
+  AllSymbolGalloperCode code(k, l, g);
+  Rng rng(100 + k + g);
+  const Buffer file = random_buffer(code.engine().num_chunks() * 8, rng);
+  const auto blocks = code.encode(file);
+  ASSERT_EQ(blocks.size(), k + l + g + 1);
+  for (size_t failed = 0; failed < code.num_blocks(); ++failed) {
+    const auto helpers = code.repair_helpers(failed);
+    const auto rebuilt = code.repair_block(failed, view(blocks, helpers));
+    ASSERT_TRUE(rebuilt.has_value())
+        << code.name() << " block " << failed;
+    EXPECT_EQ(*rebuilt, blocks[failed]);
+  }
+}
+
+TEST_P(AllSymbolShapes, GlobalLocalityIsGNotK) {
+  const auto [k, l, g] = GetParam();
+  AllSymbolGalloperCode ext(k, l, g);
+  GalloperCode plain(k, l, g);
+  for (size_t b = k + l; b < k + l + g; ++b) {
+    EXPECT_EQ(ext.repair_helpers(b).size(), g) << "extended global locality";
+    EXPECT_EQ(plain.repair_helpers(b).size(), k) << "plain global locality";
+  }
+  // The extra block itself repairs from the g globals.
+  EXPECT_EQ(ext.repair_helpers(k + l + g).size(), g);
+}
+
+TEST_P(AllSymbolShapes, DataLayoutIdenticalToPlainGalloper) {
+  const auto [k, l, g] = GetParam();
+  AllSymbolGalloperCode ext(k, l, g);
+  GalloperCode plain(k, l, g);
+  // Same chunk placement in the shared blocks; extra block is pure parity.
+  EXPECT_EQ(ext.engine().chunk_positions(), plain.engine().chunk_positions());
+  EXPECT_EQ(ext.engine().data_stripes_in_block(k + l + g), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, AllSymbolShapes,
+                         ::testing::Values(Shape{4, 2, 1}, Shape{4, 2, 2},
+                                           Shape{6, 2, 2}, Shape{6, 3, 2},
+                                           Shape{4, 0, 2}, Shape{8, 2, 3}));
+
+TEST(AllSymbol, ExtraBlockIsXorOfGlobals) {
+  AllSymbolGalloperCode code(4, 2, 2);
+  Rng rng(1);
+  const Buffer file = random_buffer(code.engine().num_chunks() * 16, rng);
+  const auto blocks = code.encode(file);
+  const size_t n = code.num_blocks();
+  Buffer expect(blocks[0].size(), 0);
+  for (size_t m = 0; m < 2; ++m)
+    for (size_t i = 0; i < expect.size(); ++i)
+      expect[i] ^= blocks[4 + 2 + m][i];
+  EXPECT_EQ(blocks[n - 1], expect);
+}
+
+TEST(AllSymbol, DecodabilityIsSupersetOfPlain) {
+  AllSymbolGalloperCode ext(4, 2, 2);
+  GalloperCode plain(4, 2, 2);
+  const size_t n_plain = plain.num_blocks();
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    // A random subset of the shared blocks: if plain decodes, ext must too.
+    const size_t count = 1 + rng.next_below(n_plain);
+    const auto subset = rng.sample_indices(n_plain, count);
+    if (plain.decodable(subset)) {
+      EXPECT_TRUE(ext.decodable(subset));
+    }
+  }
+}
+
+TEST(AllSymbol, StorageOverheadOneExtraBlock) {
+  AllSymbolGalloperCode code(4, 2, 1);
+  EXPECT_EQ(code.num_blocks(), 8u);
+  EXPECT_EQ(code.all_symbol_locality(), 2u);  // max(k/l = 2, g = 1)
+}
+
+TEST(AllSymbol, HeterogeneousWeightsSupported) {
+  AllSymbolGalloperCode code(
+      4, 2, 1,
+      {Rational(1, 2), Rational(1, 2), Rational(3, 4), Rational(5, 8),
+       Rational(1, 2), Rational(5, 8), Rational(1, 2)});
+  Rng rng(3);
+  const Buffer file = random_buffer(code.engine().num_chunks() * 8, rng);
+  const auto blocks = code.encode(file);
+  std::vector<size_t> all(code.num_blocks());
+  std::iota(all.begin(), all.end(), size_t{0});
+  const auto decoded = code.decode(view(blocks, all));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, file);
+}
+
+TEST(AllSymbol, RequiresAtLeastOneGlobal) {
+  EXPECT_THROW(AllSymbolGalloperCode(4, 2, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace galloper::core

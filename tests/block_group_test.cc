@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "codes/block_group.h"
+#include "codes/reed_solomon.h"
+#include "core/galloper.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace galloper::codes {
+namespace {
+
+using galloper::Buffer;
+using galloper::CheckError;
+using galloper::ConstByteSpan;
+using galloper::Rng;
+using galloper::random_buffer;
+
+std::vector<std::map<size_t, ConstByteSpan>> all_blocks(
+    const BlockGroupCodec::EncodedFile& enc) {
+  std::vector<std::map<size_t, ConstByteSpan>> out(enc.groups.size());
+  for (size_t g = 0; g < enc.groups.size(); ++g)
+    for (size_t b = 0; b < enc.groups[g].size(); ++b)
+      out[g].emplace(b, enc.groups[g][b]);
+  return out;
+}
+
+class BlockGroupTest : public ::testing::Test {
+ protected:
+  core::GalloperCode code{4, 2, 1};
+  // 28 chunks × 16 bytes per group.
+  BlockGroupCodec codec{code, 28 * 16};
+  Rng rng{42};
+};
+
+TEST_F(BlockGroupTest, MultiGroupRoundTripExactSize) {
+  const Buffer file = random_buffer(3 * codec.group_data_bytes(), rng);
+  const auto enc = codec.encode(file);
+  EXPECT_EQ(enc.groups.size(), 3u);
+  EXPECT_EQ(codec.num_groups(file.size()), 3u);
+  const auto decoded = codec.decode(file.size(), all_blocks(enc));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, file);
+}
+
+TEST_F(BlockGroupTest, PaddedTailGroupRoundTrip) {
+  // 2.5 groups → 3 groups with a padded tail; exact size restored.
+  const Buffer file =
+      random_buffer(2 * codec.group_data_bytes() + 117, rng);
+  const auto enc = codec.encode(file);
+  EXPECT_EQ(enc.groups.size(), 3u);
+  const auto decoded = codec.decode(file.size(), all_blocks(enc));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, file);
+}
+
+TEST_F(BlockGroupTest, TinyFileSingleGroup) {
+  const Buffer file = random_buffer(10, rng);
+  const auto enc = codec.encode(file);
+  EXPECT_EQ(enc.groups.size(), 1u);
+  const auto decoded = codec.decode(file.size(), all_blocks(enc));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, file);
+}
+
+TEST_F(BlockGroupTest, DecodesAroundPerGroupFailures) {
+  const Buffer file = random_buffer(2 * codec.group_data_bytes(), rng);
+  const auto enc = codec.encode(file);
+  auto avail = all_blocks(enc);
+  // Different failures in different groups — independence means each group
+  // only needs to handle its own.
+  avail[0].erase(0);
+  avail[0].erase(6);
+  avail[1].erase(3);
+  avail[1].erase(4);
+  const auto decoded = codec.decode(file.size(), avail);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, file);
+}
+
+TEST_F(BlockGroupTest, UndecodableGroupFailsWholeDecode) {
+  const Buffer file = random_buffer(2 * codec.group_data_bytes(), rng);
+  const auto enc = codec.encode(file);
+  auto avail = all_blocks(enc);
+  avail[1].erase(0);
+  avail[1].erase(1);
+  avail[1].erase(6);  // group 0's wipeout pattern in group 1
+  EXPECT_FALSE(codec.decode(file.size(), avail).has_value());
+}
+
+TEST_F(BlockGroupTest, RepairWithinOneGroup) {
+  const Buffer file = random_buffer(2 * codec.group_data_bytes(), rng);
+  const auto enc = codec.encode(file);
+  const auto helpers = code.repair_helpers(1);
+  std::map<size_t, ConstByteSpan> view;
+  for (size_t h : helpers) view.emplace(h, enc.groups[1][h]);
+  const auto rebuilt = codec.repair(1, 1, view);
+  ASSERT_TRUE(rebuilt.has_value());
+  EXPECT_EQ(*rebuilt, enc.groups[1][1]);
+}
+
+TEST_F(BlockGroupTest, BlockBytesConsistent) {
+  EXPECT_EQ(codec.block_bytes(), 16u * 7);  // chunk 16 × N 7
+  const auto enc = codec.encode(random_buffer(100, rng));
+  EXPECT_EQ(enc.groups[0][0].size(), codec.block_bytes());
+}
+
+TEST(BlockGroup, WorksWithReedSolomonToo) {
+  ReedSolomonCode rs(4, 2);
+  BlockGroupCodec codec(rs, 4 * 100);
+  Rng rng(1);
+  const Buffer file = random_buffer(950, rng);
+  const auto enc = codec.encode(file);
+  EXPECT_EQ(enc.groups.size(), 3u);
+  std::vector<std::map<size_t, ConstByteSpan>> avail(3);
+  for (size_t g = 0; g < 3; ++g)
+    for (size_t b = 2; b < 6; ++b)  // lose blocks 0 and 1 everywhere
+      avail[g].emplace(b, enc.groups[g][b]);
+  const auto decoded = codec.decode(file.size(), avail);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, file);
+}
+
+TEST(BlockGroup, RejectsBadParameters) {
+  ReedSolomonCode rs(4, 2);
+  EXPECT_THROW(BlockGroupCodec(rs, 0), CheckError);
+  EXPECT_THROW(BlockGroupCodec(rs, 6), CheckError);  // not multiple of 4
+  BlockGroupCodec codec(rs, 400);
+  EXPECT_THROW(codec.encode(Buffer{}), CheckError);
+  const Buffer file(500);
+  const auto enc = codec.encode(file);
+  std::vector<std::map<size_t, ConstByteSpan>> wrong(1);
+  EXPECT_THROW(codec.decode(file.size(), wrong), CheckError);
+}
+
+}  // namespace
+}  // namespace galloper::codes

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "codes/carousel.h"
+#include "codes/reed_solomon.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace galloper::codes {
+namespace {
+
+using galloper::Buffer;
+using galloper::ConstByteSpan;
+using galloper::Rng;
+using galloper::random_buffer;
+
+std::map<size_t, ConstByteSpan> view(const std::vector<Buffer>& blocks,
+                                     const std::vector<size_t>& ids) {
+  std::map<size_t, ConstByteSpan> m;
+  for (size_t id : ids) m.emplace(id, blocks[id]);
+  return m;
+}
+
+struct Shape {
+  size_t k, r;
+};
+
+class CarouselShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(CarouselShapes, OriginalDataSpreadEvenlyOverAllBlocks) {
+  const auto [k, r] = GetParam();
+  CarouselCode code(k, r);
+  EXPECT_EQ(code.stripes_per_block(), k + r);
+  for (size_t b = 0; b < k + r; ++b)
+    EXPECT_EQ(code.engine().data_stripes_in_block(b), k)
+        << "every block holds k/(k+r) original data";
+}
+
+TEST_P(CarouselShapes, SameToleranceAsReedSolomon) {
+  const auto [k, r] = GetParam();
+  CarouselCode code(k, r);
+  EXPECT_EQ(code.guaranteed_tolerance(), r);
+  EXPECT_TRUE(code.verify_tolerance());
+}
+
+TEST_P(CarouselShapes, DecodeFromAnyKBlocks) {
+  const auto [k, r] = GetParam();
+  CarouselCode code(k, r);
+  Rng rng(900 + k);
+  const Buffer file = random_buffer(k * (k + r) * 8, rng);
+  const auto blocks = code.encode(file);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto ids = rng.sample_indices(k + r, k);
+    const auto decoded = code.decode(view(blocks, ids));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, file);
+  }
+}
+
+TEST_P(CarouselShapes, RepairNeedsKBlocksLikeReedSolomon) {
+  const auto [k, r] = GetParam();
+  if (k < 2) return;
+  CarouselCode code(k, r);
+  Rng rng(950 + k);
+  const Buffer file = random_buffer(k * (k + r) * 4, rng);
+  const auto blocks = code.encode(file);
+  // The preferred plan reads k blocks and works...
+  const auto helpers = code.repair_helpers(0);
+  EXPECT_EQ(helpers.size(), k);
+  const auto rebuilt = code.repair_block(0, view(blocks, helpers));
+  ASSERT_TRUE(rebuilt.has_value());
+  EXPECT_EQ(*rebuilt, blocks[0]);
+  // ...and k−1 blocks never suffice (the Carousel disk-I/O drawback).
+  std::vector<size_t> fewer(helpers.begin(), helpers.end() - 1);
+  EXPECT_FALSE(code.engine().can_repair(0, fewer));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CarouselShapes,
+                         ::testing::Values(Shape{2, 1}, Shape{4, 1},
+                                           Shape{4, 2}, Shape{5, 3},
+                                           Shape{6, 2}));
+
+TEST(Carousel, DataChunksAreFileBytesVerbatim) {
+  CarouselCode code(4, 2);
+  Rng rng(3);
+  const size_t chunk = 8;
+  const Buffer file = random_buffer(4 * 6 * chunk, rng);
+  const auto blocks = code.encode(file);
+  const auto& e = code.engine();
+  for (size_t b = 0; b < 6; ++b) {
+    const auto& chunks = e.chunks_of_block(b);
+    for (size_t p = 0; p < chunks.size(); ++p) {
+      if (chunks[p] == SIZE_MAX) continue;
+      const Buffer expect(file.begin() + chunks[p] * chunk,
+                          file.begin() + (chunks[p] + 1) * chunk);
+      const Buffer got(blocks[b].begin() + p * chunk,
+                       blocks[b].begin() + (p + 1) * chunk);
+      EXPECT_EQ(got, expect) << "block " << b << " pos " << p;
+    }
+  }
+}
+
+TEST(Carousel, DataStripesAtTopOfEachBlock) {
+  CarouselCode code(4, 2);
+  const auto& e = code.engine();
+  for (size_t b = 0; b < 6; ++b) {
+    const auto& chunks = e.chunks_of_block(b);
+    for (size_t p = 0; p < 4; ++p) EXPECT_NE(chunks[p], SIZE_MAX);
+    for (size_t p = 4; p < 6; ++p) EXPECT_EQ(chunks[p], SIZE_MAX);
+  }
+}
+
+TEST(Carousel, OriginalBytesPerBlockUniform) {
+  CarouselCode code(4, 2);
+  const size_t block_bytes = 6 * 100;
+  for (size_t b = 0; b < 6; ++b)
+    EXPECT_EQ(code.original_bytes_in_block(b, block_bytes), 400u);
+}
+
+}  // namespace
+}  // namespace galloper::codes

@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "cli/archive.h"
+#include "util/check.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+namespace galloper {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------- Flags ----------
+
+TEST(Flags, ParsesEqualsForm) {
+  Flags f({"--k=4", "--name=hello", "input.bin"});
+  EXPECT_EQ(f.get_int("k", 0), 4);
+  EXPECT_EQ(*f.get("name"), "hello");
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "input.bin");
+}
+
+TEST(Flags, ParsesSpaceForm) {
+  Flags f({"--k", "7", "pos"});
+  EXPECT_EQ(f.get_int("k", 0), 7);
+  EXPECT_EQ(f.positional(), (std::vector<std::string>{"pos"}));
+}
+
+TEST(Flags, BooleanFlag) {
+  Flags f({"--verbose", "--k=2"});
+  EXPECT_TRUE(f.has("verbose"));
+  EXPECT_EQ(*f.get("verbose"), "true");
+}
+
+TEST(Flags, DoubleDashEndsFlags) {
+  Flags f({"--a=1", "--", "--not-a-flag"});
+  EXPECT_TRUE(f.has("a"));
+  EXPECT_EQ(f.positional(), (std::vector<std::string>{"--not-a-flag"}));
+}
+
+TEST(Flags, MissingReturnsFallback) {
+  Flags f({});
+  EXPECT_EQ(f.get_int("k", 42), 42);
+  EXPECT_EQ(f.get_or("s", "dflt"), "dflt");
+  EXPECT_FALSE(f.get("x").has_value());
+  EXPECT_DOUBLE_EQ(f.get_double("d", 1.5), 1.5);
+}
+
+TEST(Flags, DoublesList) {
+  Flags f({"--perf=1,0.4,2.5"});
+  const auto v = f.get_doubles("perf");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.4);
+  EXPECT_DOUBLE_EQ(v[2], 2.5);
+  EXPECT_TRUE(f.get_doubles("absent").empty());
+}
+
+TEST(Flags, BadNumberThrows) {
+  Flags f({"--k=four", "--perf=1,x"});
+  EXPECT_THROW(f.get_int("k", 0), CheckError);
+  EXPECT_THROW(f.get_doubles("perf"), CheckError);
+}
+
+TEST(Flags, ArgcArgvConstructorSkipsProgramName) {
+  const char* argv[] = {"prog", "--k=3", "file"};
+  Flags f(3, argv);
+  EXPECT_EQ(f.get_int("k", 0), 3);
+  EXPECT_EQ(f.positional().size(), 1u);
+}
+
+// ---------- Manifest ----------
+
+TEST(Manifest, SerializeParseRoundTrip) {
+  cli::Manifest m;
+  m.k = 4;
+  m.l = 2;
+  m.g = 1;
+  m.weights = {Rational(4, 7), Rational(4, 7), Rational(4, 7),
+               Rational(4, 7), Rational(4, 7), Rational(4, 7),
+               Rational(4, 7)};
+  m.block_bytes = 7168;
+  m.original_bytes = 28001;
+  const cli::Manifest parsed = cli::Manifest::parse(m.serialize());
+  EXPECT_EQ(parsed.k, 4u);
+  EXPECT_EQ(parsed.l, 2u);
+  EXPECT_EQ(parsed.g, 1u);
+  EXPECT_EQ(parsed.weights, m.weights);
+  EXPECT_EQ(parsed.block_bytes, 7168u);
+  EXPECT_EQ(parsed.original_bytes, 28001u);
+}
+
+TEST(Manifest, RejectsGarbage) {
+  EXPECT_THROW(cli::Manifest::parse("hello world"), CheckError);
+  EXPECT_THROW(cli::Manifest::parse("format=other-format\nk=4\n"),
+               CheckError);
+  EXPECT_THROW(cli::Manifest::parse("format=galloper-archive-v1\n"),
+               CheckError);
+}
+
+// ---------- Archive round trips on a temp dir ----------
+
+class ArchiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("galloper_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path write_input(size_t bytes, uint64_t seed = 5) {
+    Rng rng(seed);
+    const Buffer data = random_buffer(bytes, rng);
+    const fs::path p = dir_ / "input.bin";
+    std::ofstream out(p, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    input_ = data;
+    return p;
+  }
+
+  Buffer read_back(const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string s = ss.str();
+    return Buffer(s.begin(), s.end());
+  }
+
+  fs::path dir_;
+  Buffer input_;
+};
+
+TEST_F(ArchiveTest, EncodeDecodeRoundTripWithPadding) {
+  // 10000 bytes is NOT a multiple of the 28-chunk structure → padding.
+  const fs::path in = write_input(10000);
+  const auto m = cli::encode_archive(in, dir_ / "arch", 4, 2, 1);
+  EXPECT_EQ(m.original_bytes, 10000u);
+  const auto decoded = cli::decode_archive(dir_ / "arch");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, input_);
+}
+
+TEST_F(ArchiveTest, DecodeSurvivesTwoMissingBlocks) {
+  const fs::path in = write_input(5000);
+  cli::encode_archive(in, dir_ / "arch", 4, 2, 1);
+  fs::remove(cli::block_path(dir_ / "arch", 1));
+  fs::remove(cli::block_path(dir_ / "arch", 6));
+  const auto decoded = cli::decode_archive(dir_ / "arch");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, input_);
+}
+
+TEST_F(ArchiveTest, DecodeFailsBeyondTolerance) {
+  const fs::path in = write_input(3000);
+  cli::encode_archive(in, dir_ / "arch", 4, 2, 1);
+  for (size_t b : {0u, 1u, 6u}) fs::remove(cli::block_path(dir_ / "arch", b));
+  EXPECT_FALSE(cli::decode_archive(dir_ / "arch").has_value());
+}
+
+TEST_F(ArchiveTest, RepairRestoresLocalBlockFromGroupPeers) {
+  const fs::path in = write_input(7000);
+  cli::encode_archive(in, dir_ / "arch", 4, 2, 1);
+  const Buffer original_block =
+      read_back(cli::block_path(dir_ / "arch", 2));
+  fs::remove(cli::block_path(dir_ / "arch", 2));
+  const auto helpers = cli::repair_archive(dir_ / "arch", 2);
+  ASSERT_TRUE(helpers.has_value());
+  EXPECT_EQ(*helpers, (std::vector<size_t>{3, 5})) << "group peers only";
+  EXPECT_EQ(read_back(cli::block_path(dir_ / "arch", 2)), original_block);
+}
+
+TEST_F(ArchiveTest, RepairFallsBackWhenPeerMissing) {
+  const fs::path in = write_input(7000);
+  cli::encode_archive(in, dir_ / "arch", 4, 2, 1);
+  const Buffer original_block =
+      read_back(cli::block_path(dir_ / "arch", 2));
+  fs::remove(cli::block_path(dir_ / "arch", 2));
+  fs::remove(cli::block_path(dir_ / "arch", 3));  // its group peer
+  const auto helpers = cli::repair_archive(dir_ / "arch", 2);
+  ASSERT_TRUE(helpers.has_value());
+  EXPECT_GT(helpers->size(), 2u);
+  EXPECT_EQ(read_back(cli::block_path(dir_ / "arch", 2)), original_block);
+}
+
+TEST_F(ArchiveTest, HeterogeneousPerfFlagChangesWeights) {
+  const fs::path in = write_input(4000);
+  const auto m = cli::encode_archive(in, dir_ / "arch", 4, 2, 1,
+                                     {1.0, 0.4, 1.0, 0.4, 1.0, 0.4, 1.0}, 10);
+  EXPECT_NE(m.weights[0], m.weights[1]) << "faster server gets more data";
+  const auto decoded = cli::decode_archive(dir_ / "arch");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, input_);
+}
+
+TEST_F(ArchiveTest, DescribeListsEveryBlock) {
+  const fs::path in = write_input(2000);
+  cli::encode_archive(in, dir_ / "arch", 4, 2, 1);
+  fs::remove(cli::block_path(dir_ / "arch", 4));
+  const std::string desc = cli::describe_archive(dir_ / "arch");
+  EXPECT_NE(desc.find("(4,2,1) Galloper"), std::string::npos);
+  EXPECT_NE(desc.find("block 4 [local parity]"), std::string::npos);
+  EXPECT_NE(desc.find("MISSING"), std::string::npos);
+  EXPECT_NE(desc.find("block 6 [global parity]"), std::string::npos);
+}
+
+TEST_F(ArchiveTest, ManifestCarriesBlockCrcs) {
+  const fs::path in = write_input(3000);
+  const auto m = cli::encode_archive(in, dir_ / "arch", 4, 2, 1);
+  EXPECT_EQ(m.block_crcs.size(), 7u);
+  const auto parsed = cli::read_manifest(dir_ / "arch");
+  EXPECT_EQ(parsed.block_crcs, m.block_crcs);
+}
+
+TEST_F(ArchiveTest, VerifyCleanArchive) {
+  const fs::path in = write_input(3000);
+  cli::encode_archive(in, dir_ / "arch", 4, 2, 1);
+  const auto report = cli::verify_archive(dir_ / "arch");
+  EXPECT_TRUE(report.clean());
+  EXPECT_TRUE(report.decodable);
+}
+
+TEST_F(ArchiveTest, VerifyDetectsMissingAndCorrupt) {
+  const fs::path in = write_input(3000);
+  cli::encode_archive(in, dir_ / "arch", 4, 2, 1);
+  fs::remove(cli::block_path(dir_ / "arch", 2));
+  // Flip a byte in block 5.
+  {
+    std::fstream f(cli::block_path(dir_ / "arch", 5),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(10);
+    char c;
+    f.seekg(10);
+    f.get(c);
+    f.seekp(10);
+    f.put(static_cast<char>(c ^ 1));
+  }
+  const auto report = cli::verify_archive(dir_ / "arch");
+  EXPECT_EQ(report.missing, (std::vector<size_t>{2}));
+  EXPECT_EQ(report.corrupt, (std::vector<size_t>{5}));
+  EXPECT_TRUE(report.decodable) << "2 bad blocks ≤ tolerance";
+  // After also corrupting a third critical set, recovery dies.
+  fs::remove(cli::block_path(dir_ / "arch", 3));
+  fs::remove(cli::block_path(dir_ / "arch", 6));
+  const auto worse = cli::verify_archive(dir_ / "arch");
+  EXPECT_FALSE(worse.decodable);
+}
+
+TEST_F(ArchiveTest, VerifyThenRepairRestoresClean) {
+  const fs::path in = write_input(4000);
+  cli::encode_archive(in, dir_ / "arch", 4, 2, 1);
+  fs::remove(cli::block_path(dir_ / "arch", 1));
+  ASSERT_FALSE(cli::verify_archive(dir_ / "arch").clean());
+  ASSERT_TRUE(cli::repair_archive(dir_ / "arch", 1).has_value());
+  EXPECT_TRUE(cli::verify_archive(dir_ / "arch").clean())
+      << "repaired block must match the manifest CRC bit-for-bit";
+}
+
+TEST_F(ArchiveTest, UpdateArchivePatchesInPlace) {
+  // File size chosen as a whole number of chunks: 28 chunks × 100 bytes.
+  const fs::path in = write_input(2800);
+  cli::encode_archive(in, dir_ / "arch", 4, 2, 1);
+  const auto m = cli::read_manifest(dir_ / "arch");
+  const size_t chunk = m.block_bytes / 7;  // N = 7
+  ASSERT_EQ(chunk, 100u);
+
+  Rng rng(77);
+  const Buffer fresh = random_buffer(2 * chunk, rng);
+  const auto touched =
+      cli::update_archive(dir_ / "arch", 3 * chunk, fresh);
+  EXPECT_FALSE(touched.empty());
+  EXPECT_LT(touched.size(), 7u) << "delta update must not rewrite all";
+
+  // Archive stays CRC-clean and decodes to the edited file.
+  EXPECT_TRUE(cli::verify_archive(dir_ / "arch").clean());
+  Buffer expect = input_;
+  std::copy(fresh.begin(), fresh.end(),
+            expect.begin() + static_cast<ptrdiff_t>(3 * chunk));
+  const auto decoded = cli::decode_archive(dir_ / "arch");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, expect);
+}
+
+TEST_F(ArchiveTest, UpdateRejectsUnalignedOrDegraded) {
+  const fs::path in = write_input(2800);
+  cli::encode_archive(in, dir_ / "arch", 4, 2, 1);
+  EXPECT_THROW(cli::update_archive(dir_ / "arch", 1, Buffer(100)),
+               CheckError);
+  fs::remove(cli::block_path(dir_ / "arch", 4));
+  EXPECT_THROW(cli::update_archive(dir_ / "arch", 0, Buffer(100)),
+               CheckError);
+}
+
+TEST_F(ArchiveTest, EmptyInputRejected) {
+  const fs::path p = dir_ / "empty.bin";
+  std::ofstream(p).close();
+  EXPECT_THROW(cli::encode_archive(p, dir_ / "arch", 4, 2, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace galloper

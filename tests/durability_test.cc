@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "analysis/durability.h"
+#include "codes/pyramid.h"
+#include "codes/reed_solomon.h"
+#include "core/galloper.h"
+#include "util/check.h"
+
+namespace galloper::analysis {
+namespace {
+
+using galloper::CheckError;
+
+TEST(MttdlMarkov, ZeroToleranceIsFirstFailureTime) {
+  // n blocks, any failure loses data: MTTDL = 1/(nλ).
+  EXPECT_NEAR(mttdl_markov(10, 0, 0.01, 1.0), 1.0 / (10 * 0.01), 1e-9);
+}
+
+TEST(MttdlMarkov, ToleranceRaisesMttdl) {
+  const double t0 = mttdl_markov(6, 0, 0.001, 0.5);
+  const double t1 = mttdl_markov(6, 1, 0.001, 0.5);
+  const double t2 = mttdl_markov(6, 2, 0.001, 0.5);
+  EXPECT_GT(t1, t0 * 10);
+  EXPECT_GT(t2, t1 * 10);
+}
+
+TEST(MttdlMarkov, FasterRepairRaisesMttdl) {
+  const double slow = mttdl_markov(7, 2, 0.001, 0.1);
+  const double fast = mttdl_markov(7, 2, 0.001, 1.0);
+  EXPECT_GT(fast, slow * 10);
+}
+
+TEST(MttdlMarkov, MatchesClosedFormForToleranceOne) {
+  // For t = 1: MTTDL = (λ_0 + λ_1 + µ_1) / (λ_0 λ_1) with λ_i = (n−i)λ,
+  // µ_1 = µ (classic RAID-1 formula).
+  const size_t n = 4;
+  const double lambda = 0.002, mu = 0.7;
+  const double l0 = n * lambda, l1 = (n - 1) * lambda;
+  const double expect = (l0 + l1 + mu) / (l0 * l1);
+  EXPECT_NEAR(mttdl_markov(n, 1, lambda, mu), expect, expect * 1e-9);
+}
+
+TEST(MttdlMarkov, RejectsBadArguments) {
+  EXPECT_THROW(mttdl_markov(2, 2, 0.1, 1.0), CheckError);
+  EXPECT_THROW(mttdl_markov(5, 1, 0.0, 1.0), CheckError);
+}
+
+TEST(MttdlMonteCarlo, DeterministicInSeed) {
+  codes::ReedSolomonCode rs(4, 2);
+  DurabilityParams p{/*mtbf=*/50.0, /*repair=*/1.0};
+  const auto a = mttdl_monte_carlo(rs, p, 50, 7);
+  const auto b = mttdl_monte_carlo(rs, p, 50, 7);
+  EXPECT_DOUBLE_EQ(a.mttdl_hours, b.mttdl_hours);
+  EXPECT_DOUBLE_EQ(a.mean_failures, b.mean_failures);
+}
+
+TEST(MttdlMonteCarlo, AtLeastTolerancePlusOneFailuresPerLoss) {
+  core::GalloperCode gal(4, 2, 1);
+  DurabilityParams p{/*mtbf=*/20.0, /*repair=*/1.0};
+  const auto r = mttdl_monte_carlo(gal, p, 100, 11);
+  EXPECT_GE(r.mean_failures, gal.guaranteed_tolerance() + 1);
+}
+
+TEST(MttdlMonteCarlo, LocalityBeatsReedSolomonUnderEqualTolerance) {
+  // (6,2) RS and (4,2,1)... different shapes; compare RS(4,2) (tolerance 2,
+  // repairs read 4 blocks) against Galloper(4,2,1) (tolerance 2 via g+1,
+  // repairs mostly read 2 blocks). With repair time ∝ blocks read, the
+  // locally repairable code shrinks the re-failure window.
+  codes::ReedSolomonCode rs(4, 2);
+  core::GalloperCode gal(4, 2, 1);
+  DurabilityParams p{/*mtbf=*/40.0, /*repair=*/1.0};
+  const auto r_rs = mttdl_monte_carlo(rs, p, 400, 13);
+  const auto r_gal = mttdl_monte_carlo(gal, p, 400, 13);
+  EXPECT_GT(r_gal.mttdl_hours, r_rs.mttdl_hours)
+      << "faster (local) repair must win at these rates";
+}
+
+TEST(MttdlMonteCarlo, MarkovAgreesForMdsCode) {
+  // For an MDS code the Markov chain's "any t+1 concurrent failures lose
+  // data" assumption is exact; the Monte-Carlo estimate should be in the
+  // same ballpark (loose factor-two band — 400 trials).
+  codes::ReedSolomonCode rs(4, 2);
+  const double mtbf = 30.0, repair = 1.0;
+  DurabilityParams p{mtbf, repair};
+  // Markov rates: per-block failure rate 1/mtbf; repair rate = 1/(4·1h)
+  // since an RS repair reads 4 blocks.
+  const double markov = mttdl_markov(6, 2, 1.0 / mtbf, 1.0 / (4 * repair));
+  const auto mc = mttdl_monte_carlo(rs, p, 400, 17);
+  EXPECT_GT(mc.mttdl_hours, markov * 0.5);
+  EXPECT_LT(mc.mttdl_hours, markov * 2.0);
+}
+
+TEST(MttdlMonteCarlo, RejectsBadParams) {
+  codes::ReedSolomonCode rs(2, 1);
+  EXPECT_THROW(mttdl_monte_carlo(rs, DurabilityParams{0, 1}, 10, 1),
+               CheckError);
+  EXPECT_THROW(mttdl_monte_carlo(rs, DurabilityParams{1, 1}, 0, 1),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace galloper::analysis

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "gf/gf65536.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace galloper::gf16 {
+namespace {
+
+using galloper::CheckError;
+using galloper::Rng;
+
+TEST(Gf65536, MulMatchesReferenceSampled) {
+  Rng rng(1);
+  for (int i = 0; i < 50000; ++i) {
+    const Elem a = static_cast<Elem>(rng.next_below(65536));
+    const Elem b = static_cast<Elem>(rng.next_below(65536));
+    ASSERT_EQ(mul(a, b), slow_mul(a, b)) << a << "·" << b;
+  }
+}
+
+TEST(Gf65536, MulCommutesAndDistributesSampled) {
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const Elem a = static_cast<Elem>(rng.next_below(65536));
+    const Elem b = static_cast<Elem>(rng.next_below(65536));
+    const Elem c = static_cast<Elem>(rng.next_below(65536));
+    ASSERT_EQ(mul(a, b), mul(b, a));
+    ASSERT_EQ(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+    ASSERT_EQ(mul(mul(a, b), c), mul(a, mul(b, c)));
+  }
+}
+
+TEST(Gf65536, IdentityAndZero) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const Elem a = static_cast<Elem>(rng.next_below(65536));
+    ASSERT_EQ(mul(a, 1), a);
+    ASSERT_EQ(mul(a, 0), 0);
+  }
+}
+
+TEST(Gf65536, InverseSampled) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const Elem a = static_cast<Elem>(1 + rng.next_below(65535));
+    ASSERT_EQ(mul(a, inv(a)), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf65536, InverseOfZeroThrows) { EXPECT_THROW(inv(0), CheckError); }
+
+TEST(Gf65536, DivisionRoundTrip) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const Elem a = static_cast<Elem>(rng.next_below(65536));
+    const Elem b = static_cast<Elem>(1 + rng.next_below(65535));
+    ASSERT_EQ(div(mul(a, b), b), a);
+  }
+  EXPECT_THROW(div(3, 0), CheckError);
+}
+
+TEST(Gf65536, GeneratorHasFullOrder) {
+  EXPECT_EQ(pow(kGenerator, 65535), 1);
+  // 65535 = 3 · 5 · 17 · 257: check all maximal proper divisors.
+  for (uint64_t m : {65535 / 3, 65535 / 5, 65535 / 17, 65535 / 257})
+    EXPECT_NE(pow(kGenerator, m), 1) << "order divides " << m;
+}
+
+TEST(Gf65536, PowMatchesIteratedMul) {
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const Elem a = static_cast<Elem>(rng.next_below(65536));
+    Elem acc = 1;
+    for (uint64_t e = 0; e < 8; ++e) {
+      ASSERT_EQ(pow(a, e), acc);
+      acc = mul(acc, a);
+    }
+  }
+}
+
+class Gf16Region : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Gf16Region, MulAccMatchesScalar) {
+  const size_t n = GetParam();
+  Rng rng(7);
+  std::vector<Elem> src(n), base(n);
+  for (auto& v : src) v = static_cast<Elem>(rng.next_below(65536));
+  for (auto& v : base) v = static_cast<Elem>(rng.next_below(65536));
+  for (Elem c : {Elem{0}, Elem{1}, Elem{0x1234}, Elem{0xffff}}) {
+    auto dst = base;
+    mul_acc_region(dst, c, src);
+    for (size_t i = 0; i < n; ++i)
+      ASSERT_EQ(dst[i], add(base[i], mul(c, src[i])));
+  }
+}
+
+TEST_P(Gf16Region, MulRegionMatchesScalar) {
+  const size_t n = GetParam();
+  Rng rng(8);
+  std::vector<Elem> src(n), dst(n, 0xAAAA);
+  for (auto& v : src) v = static_cast<Elem>(rng.next_below(65536));
+  for (Elem c : {Elem{0}, Elem{1}, Elem{0xbeef}}) {
+    mul_region(dst, c, src);
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(dst[i], mul(c, src[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Gf16Region,
+                         ::testing::Values(0, 1, 5, 64, 1000));
+
+TEST(Gf16Region, SizeMismatchThrows) {
+  std::vector<Elem> a(4), b(5);
+  EXPECT_THROW(xor_region(a, b), CheckError);
+  EXPECT_THROW(mul_acc_region(a, 2, b), CheckError);
+}
+
+}  // namespace
+}  // namespace galloper::gf16

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "gf/gf256.h"
+#include "gf/region.h"
+#include "util/bytes.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace galloper::gf {
+namespace {
+
+using galloper::Buffer;
+using galloper::CheckError;
+using galloper::Rng;
+using galloper::random_buffer;
+
+// ---------- field axioms (exhaustive or sampled over the whole field) ----
+
+TEST(Gf256, TableMatchesReferenceMultiply) {
+  for (unsigned a = 0; a < 256; ++a)
+    for (unsigned b = 0; b < 256; ++b)
+      ASSERT_EQ(mul(a, b), slow_mul(static_cast<Elem>(a),
+                                    static_cast<Elem>(b)));
+}
+
+TEST(Gf256, AdditionIsXor) {
+  EXPECT_EQ(add(0x0f, 0xf0), 0xff);
+  EXPECT_EQ(add(0xab, 0xab), 0x00);  // characteristic 2
+  EXPECT_EQ(sub(0x13, 0x37), add(0x13, 0x37));
+}
+
+TEST(Gf256, MultiplicationCommutative) {
+  for (unsigned a = 0; a < 256; ++a)
+    for (unsigned b = a; b < 256; ++b) ASSERT_EQ(mul(a, b), mul(b, a));
+}
+
+TEST(Gf256, MultiplicationAssociativeSampled) {
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const Elem a = static_cast<Elem>(rng.next_below(256));
+    const Elem b = static_cast<Elem>(rng.next_below(256));
+    const Elem c = static_cast<Elem>(rng.next_below(256));
+    ASSERT_EQ(mul(mul(a, b), c), mul(a, mul(b, c)));
+  }
+}
+
+TEST(Gf256, DistributiveSampled) {
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const Elem a = static_cast<Elem>(rng.next_below(256));
+    const Elem b = static_cast<Elem>(rng.next_below(256));
+    const Elem c = static_cast<Elem>(rng.next_below(256));
+    ASSERT_EQ(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+  }
+}
+
+TEST(Gf256, OneIsMultiplicativeIdentity) {
+  for (unsigned a = 0; a < 256; ++a) ASSERT_EQ(mul(a, 1), a);
+}
+
+TEST(Gf256, ZeroAnnihilates) {
+  for (unsigned a = 0; a < 256; ++a) ASSERT_EQ(mul(a, 0), 0);
+}
+
+TEST(Gf256, InverseExhaustive) {
+  for (unsigned a = 1; a < 256; ++a)
+    ASSERT_EQ(mul(a, inv(static_cast<Elem>(a))), 1) << "a=" << a;
+}
+
+TEST(Gf256, InverseOfZeroThrows) { EXPECT_THROW(inv(0), CheckError); }
+
+TEST(Gf256, DivisionInvertsMultiplication) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const Elem a = static_cast<Elem>(rng.next_below(256));
+    const Elem b = static_cast<Elem>(1 + rng.next_below(255));
+    ASSERT_EQ(div(mul(a, b), b), a);
+  }
+}
+
+TEST(Gf256, DivisionByZeroThrows) { EXPECT_THROW(div(5, 0), CheckError); }
+
+TEST(Gf256, PowMatchesRepeatedMultiplication) {
+  for (unsigned a = 0; a < 256; ++a) {
+    Elem acc = 1;
+    for (uint64_t e = 0; e < 10; ++e) {
+      ASSERT_EQ(pow(static_cast<Elem>(a), e), acc) << "a=" << a << " e=" << e;
+      acc = mul(acc, static_cast<Elem>(a));
+    }
+  }
+}
+
+TEST(Gf256, GeneratorHasFullOrder) {
+  // g = 2 generates the multiplicative group: 2^255 = 1 and 2^m ≠ 1 for
+  // any proper divisor m of 255.
+  EXPECT_EQ(pow(kGenerator, 255), 1);
+  for (uint64_t m : {1, 3, 5, 15, 17, 51, 85})
+    EXPECT_NE(pow(kGenerator, m), 1) << "order divides " << m;
+}
+
+TEST(Gf256, FrobeniusSquareIsLinear) {
+  // In characteristic 2, (a+b)^2 = a^2 + b^2.
+  for (unsigned a = 0; a < 256; ++a)
+    for (unsigned b = 0; b < 256; b += 7)
+      ASSERT_EQ(pow(add(a, b), 2), add(pow(a, 2), pow(b, 2)));
+}
+
+// ---------- region kernels ----------
+
+class RegionTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RegionTest, XorRegionMatchesScalar) {
+  const size_t n = GetParam();
+  Rng rng(42);
+  Buffer a = random_buffer(n, rng), b = random_buffer(n, rng);
+  Buffer expect(n);
+  for (size_t i = 0; i < n; ++i) expect[i] = a[i] ^ b[i];
+  xor_region(a, b);
+  EXPECT_EQ(a, expect);
+}
+
+TEST_P(RegionTest, MulRegionMatchesScalar) {
+  const size_t n = GetParam();
+  Rng rng(43);
+  const Buffer src = random_buffer(n, rng);
+  for (Elem c : {Elem{0}, Elem{1}, Elem{2}, Elem{0x53}, Elem{0xff}}) {
+    Buffer dst(n, 0xEE);
+    mul_region(dst, c, src);
+    for (size_t i = 0; i < n; ++i)
+      ASSERT_EQ(dst[i], mul(c, src[i])) << "c=" << unsigned(c) << " i=" << i;
+  }
+}
+
+TEST_P(RegionTest, MulAccRegionMatchesScalar) {
+  const size_t n = GetParam();
+  Rng rng(44);
+  const Buffer src = random_buffer(n, rng);
+  const Buffer base = random_buffer(n, rng);
+  for (Elem c : {Elem{0}, Elem{1}, Elem{7}, Elem{0x80}}) {
+    Buffer dst = base;
+    mul_acc_region(dst, c, src);
+    for (size_t i = 0; i < n; ++i)
+      ASSERT_EQ(dst[i], add(base[i], mul(c, src[i])));
+  }
+}
+
+TEST_P(RegionTest, ScaleRegionMatchesScalar) {
+  const size_t n = GetParam();
+  Rng rng(45);
+  const Buffer orig = random_buffer(n, rng);
+  for (Elem c : {Elem{0}, Elem{1}, Elem{3}, Elem{0xa5}}) {
+    Buffer dst = orig;
+    scale_region(dst, c);
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(dst[i], mul(c, orig[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RegionTest,
+                         ::testing::Values(0, 1, 7, 8, 9, 63, 64, 65, 1000,
+                                           4096));
+
+TEST(Region, SizeMismatchThrows) {
+  Buffer a(8), b(9);
+  EXPECT_THROW(xor_region(a, b), CheckError);
+  EXPECT_THROW(mul_region(a, 3, b), CheckError);
+  EXPECT_THROW(mul_acc_region(a, 3, b), CheckError);
+}
+
+TEST(Region, DotProduct) {
+  const std::vector<Elem> a{1, 2, 3};
+  const std::vector<Elem> b{4, 5, 6};
+  Elem expect = 0;
+  for (size_t i = 0; i < 3; ++i) expect = add(expect, mul(a[i], b[i]));
+  EXPECT_EQ(dot(a, b), expect);
+}
+
+TEST(Region, DotOfOrthogonalVectorsIsZero) {
+  const std::vector<Elem> a{1, 1};
+  const std::vector<Elem> b{5, 5};  // a·b = 5 + 5 = 0
+  EXPECT_EQ(dot(a, b), 0);
+}
+
+// Linearity of the full region pipeline: encoding twice and XORing equals
+// encoding the XOR — the property erasure codes rely on.
+TEST(Region, MulAccIsLinearOverInputs) {
+  Rng rng(46);
+  const size_t n = 512;
+  const Buffer x = random_buffer(n, rng), y = random_buffer(n, rng);
+  Buffer xy(n);
+  for (size_t i = 0; i < n; ++i) xy[i] = x[i] ^ y[i];
+
+  const Elem c = 0x37;
+  Buffer ax(n, 0), ay(n, 0), axy(n, 0);
+  mul_acc_region(ax, c, x);
+  mul_acc_region(ay, c, y);
+  mul_acc_region(axy, c, xy);
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(axy[i], ax[i] ^ ay[i]);
+}
+
+}  // namespace
+}  // namespace galloper::gf

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "la/builders.h"
+#include "la/matrix.h"
+#include "la/solve.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace galloper::la {
+namespace {
+
+Matrix random_matrix(size_t r, size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (size_t i = 0; i < r; ++i)
+    for (size_t j = 0; j < c; ++j)
+      m.at(i, j) = static_cast<gf::Elem>(rng.next_below(256));
+  return m;
+}
+
+// ---------- Matrix basics ----------
+
+TEST(Matrix, IdentityProperties) {
+  const Matrix i = Matrix::identity(5);
+  Rng rng(1);
+  const Matrix m = random_matrix(5, 7, rng);
+  EXPECT_EQ(i * m, m);
+}
+
+TEST(Matrix, InitializerListAndAt) {
+  const Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m.at(0, 0), 1);
+  EXPECT_EQ(m.at(1, 2), 6);
+  EXPECT_THROW(m.at(2, 0), CheckError);
+}
+
+TEST(Matrix, InitializerListWrongSizeThrows) {
+  EXPECT_THROW(Matrix(2, 2, {1, 2, 3}), CheckError);
+}
+
+TEST(Matrix, MultiplyAssociative) {
+  Rng rng(2);
+  const Matrix a = random_matrix(4, 5, rng);
+  const Matrix b = random_matrix(5, 6, rng);
+  const Matrix c = random_matrix(6, 3, rng);
+  EXPECT_EQ((a * b) * c, a * (b * c));
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  const Matrix a(2, 3), b(4, 2);
+  EXPECT_THROW(a * b, CheckError);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Rng rng(3);
+  const Matrix m = random_matrix(4, 7, rng);
+  EXPECT_EQ(m.transpose().transpose(), m);
+}
+
+TEST(Matrix, SelectRows) {
+  const Matrix m(3, 2, {1, 2, 3, 4, 5, 6});
+  const std::vector<size_t> idx{2, 0};
+  const Matrix s = m.select_rows(idx);
+  EXPECT_EQ(s, Matrix(2, 2, {5, 6, 1, 2}));
+}
+
+TEST(Matrix, VStack) {
+  const Matrix a(1, 2, {1, 2});
+  const Matrix b(2, 2, {3, 4, 5, 6});
+  EXPECT_EQ(a.vstack(b), Matrix(3, 2, {1, 2, 3, 4, 5, 6}));
+}
+
+TEST(Matrix, IsZero) {
+  EXPECT_TRUE(Matrix(3, 3).is_zero());
+  EXPECT_FALSE(Matrix::identity(3).is_zero());
+}
+
+// ---------- solve ----------
+
+TEST(Solve, RankOfIdentity) { EXPECT_EQ(rank(Matrix::identity(6)), 6u); }
+
+TEST(Solve, RankOfZero) { EXPECT_EQ(rank(Matrix(4, 4)), 0u); }
+
+TEST(Solve, RankDetectsDuplicateRows) {
+  Matrix m(3, 3, {1, 2, 3, 1, 2, 3, 0, 0, 1});
+  EXPECT_EQ(rank(m), 2u);
+}
+
+TEST(Solve, RankDetectsScaledRows) {
+  // Row 1 = 2 · row 0 in GF(256).
+  Matrix m(2, 3);
+  for (size_t j = 0; j < 3; ++j) {
+    m.at(0, j) = static_cast<gf::Elem>(j + 1);
+    m.at(1, j) = gf::mul(2, static_cast<gf::Elem>(j + 1));
+  }
+  EXPECT_EQ(rank(m), 1u);
+}
+
+TEST(Solve, InverseRoundTripRandom) {
+  Rng rng(4);
+  int invertible_count = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const Matrix m = random_matrix(8, 8, rng);
+    const auto mi = inverse(m);
+    if (!mi) continue;
+    ++invertible_count;
+    EXPECT_EQ(m * *mi, Matrix::identity(8));
+    EXPECT_EQ(*mi * m, Matrix::identity(8));
+  }
+  // Random GF(256) matrices are invertible with probability ≈ 0.996.
+  EXPECT_GT(invertible_count, 40);
+}
+
+TEST(Solve, InverseOfSingularIsNullopt) {
+  Matrix m(2, 2, {1, 2, 1, 2});
+  EXPECT_FALSE(inverse(m).has_value());
+}
+
+TEST(Solve, InverseNonSquareThrows) {
+  EXPECT_THROW(inverse(Matrix(2, 3)), CheckError);
+}
+
+TEST(Solve, SolveRecoversX) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Matrix a = random_matrix(6, 6, rng);
+    if (!invertible(a)) continue;
+    const Matrix x = random_matrix(6, 4, rng);
+    const Matrix b = a * x;
+    const auto solved = solve(a, b);
+    ASSERT_TRUE(solved.has_value());
+    EXPECT_EQ(*solved, x);
+  }
+}
+
+TEST(Solve, ExpressInRowspaceExact) {
+  Rng rng(6);
+  const Matrix basis = random_matrix(5, 8, rng);
+  // Targets constructed as known combinations of the basis rows.
+  const Matrix combo = random_matrix(3, 5, rng);
+  const Matrix targets = combo * basis;
+  const auto found = express_in_rowspace(basis, targets);
+  ASSERT_TRUE(found.has_value());
+  // The found coefficients must reproduce the targets (they need not equal
+  // `combo` if the basis is rank-deficient).
+  EXPECT_EQ(*found * basis, targets);
+}
+
+TEST(Solve, ExpressInRowspaceRejectsOutside) {
+  Matrix basis(2, 3, {1, 0, 0, 0, 1, 0});
+  Matrix target(1, 3, {0, 0, 1});
+  EXPECT_FALSE(express_in_rowspace(basis, target).has_value());
+}
+
+TEST(Solve, ExpressInRowspaceHandlesRankDeficientBasis) {
+  // Basis rows: e0, e1, e0+e1 (rank 2).
+  Matrix basis(3, 3, {1, 0, 0, 0, 1, 0, 1, 1, 0});
+  Matrix target(1, 3, {1, 1, 0});
+  const auto found = express_in_rowspace(basis, target);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found * basis, target);
+}
+
+TEST(Solve, ExpressEmptyTargetSucceeds) {
+  Matrix basis(2, 3, {1, 0, 0, 0, 1, 0});
+  Matrix target(0, 3);
+  EXPECT_TRUE(express_in_rowspace(basis, target).has_value());
+}
+
+// ---------- builders ----------
+
+TEST(Builders, VandermondeAnyKRowsInvertible) {
+  const size_t k = 4, n = 8;
+  const Matrix v = vandermonde(n, k);
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto rows = rng.sample_indices(n, k);
+    EXPECT_TRUE(invertible(v.select_rows(rows)));
+  }
+}
+
+TEST(Builders, CauchyAnySquareSubmatrixInvertible) {
+  const Matrix c = cauchy(6, 6);
+  Rng rng(8);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t s = 1 + rng.next_below(6);
+    auto rows = rng.sample_indices(6, s);
+    auto cols = rng.sample_indices(6, s);
+    Matrix sub(s, s);
+    for (size_t i = 0; i < s; ++i)
+      for (size_t j = 0; j < s; ++j) sub.at(i, j) = c.at(rows[i], cols[j]);
+    EXPECT_TRUE(invertible(sub));
+  }
+}
+
+class SystematicMdsTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(SystematicMdsTest, TopIsIdentity) {
+  const auto [k, r] = GetParam();
+  const Matrix g = systematic_mds(k, r);
+  ASSERT_EQ(g.rows(), k + r);
+  ASSERT_EQ(g.cols(), k);
+  for (size_t i = 0; i < k; ++i)
+    for (size_t j = 0; j < k; ++j)
+      EXPECT_EQ(g.at(i, j), (i == j ? 1 : 0));
+}
+
+TEST_P(SystematicMdsTest, AnyKRowsInvertible) {
+  const auto [k, r] = GetParam();
+  const Matrix g = systematic_mds(k, r);
+  const size_t n = k + r;
+  // Exhaust all k-subsets for small n (≤ 12 blocks here).
+  std::vector<size_t> subset(k);
+  std::iota(subset.begin(), subset.end(), size_t{0});
+  size_t checked = 0;
+  for (;;) {
+    EXPECT_TRUE(invertible(g.select_rows(subset)))
+        << "k=" << k << " r=" << r;
+    ++checked;
+    // Next combination.
+    size_t i = k;
+    while (i > 0 && subset[i - 1] == n - k + i - 1) --i;
+    if (i == 0) break;
+    ++subset[i - 1];
+    for (size_t j = i; j < k; ++j) subset[j] = subset[j - 1] + 1;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_P(SystematicMdsTest, ParityRowsHaveFullSupport) {
+  // A zero entry in a parity row would break the MDS property.
+  const auto [k, r] = GetParam();
+  const Matrix g = systematic_mds(k, r);
+  for (size_t i = k; i < k + r; ++i)
+    for (size_t j = 0; j < k; ++j)
+      EXPECT_NE(g.at(i, j), 0) << "row " << i << " col " << j;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SystematicMdsTest,
+    ::testing::Values(std::pair<size_t, size_t>{2, 1},
+                      std::pair<size_t, size_t>{4, 1},
+                      std::pair<size_t, size_t>{4, 2},
+                      std::pair<size_t, size_t>{4, 3},
+                      std::pair<size_t, size_t>{6, 3},
+                      std::pair<size_t, size_t>{8, 4},
+                      std::pair<size_t, size_t>{10, 2},
+                      std::pair<size_t, size_t>{12, 2}));
+
+TEST(Builders, SingleParityIsXorRow) {
+  const Matrix g = systematic_mds(5, 1);
+  for (size_t j = 0; j < 5; ++j) EXPECT_EQ(g.at(5, j), 1);
+}
+
+TEST(Builders, RejectsOversizedField) {
+  EXPECT_THROW(systematic_mds(200, 100), CheckError);
+  EXPECT_THROW(vandermonde(300, 4), CheckError);
+  EXPECT_THROW(cauchy(200, 100), CheckError);
+}
+
+}  // namespace
+}  // namespace galloper::la

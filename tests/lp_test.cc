@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/simplex.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace galloper::lp {
+namespace {
+
+constexpr double kTol = 1e-7;
+
+TEST(Simplex, SimpleMaximizationAsMinimization) {
+  // max 3x + 2y s.t. x + y ≤ 4, x ≤ 2  →  min −3x − 2y.
+  LinearProgram p(2);
+  p.objective = {-3, -2};
+  p.add_constraint({1, 1}, Relation::kLessEqual, 4);
+  p.add_upper_bound(0, 2);
+  const auto s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[0], 2, kTol);
+  EXPECT_NEAR(s.x[1], 2, kTol);
+  EXPECT_NEAR(s.objective, -10, kTol);
+}
+
+TEST(Simplex, TrivialMinimumAtZero) {
+  LinearProgram p(3);
+  p.objective = {1, 1, 1};
+  p.add_constraint({1, 1, 1}, Relation::kLessEqual, 10);
+  const auto s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 0, kTol);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + 2y s.t. x + y = 5, x ≤ 3.
+  LinearProgram p(2);
+  p.objective = {1, 2};
+  p.add_constraint({1, 1}, Relation::kEqual, 5);
+  p.add_upper_bound(0, 3);
+  const auto s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[0], 3, kTol);
+  EXPECT_NEAR(s.x[1], 2, kTol);
+  EXPECT_NEAR(s.objective, 7, kTol);
+}
+
+TEST(Simplex, GreaterEqualConstraint) {
+  // min 2x + y s.t. x + y ≥ 4, y ≤ 1  →  x = 3, y = 1.
+  LinearProgram p(2);
+  p.objective = {2, 1};
+  p.add_constraint({1, 1}, Relation::kGreaterEqual, 4);
+  p.add_upper_bound(1, 1);
+  const auto s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[0], 3, kTol);
+  EXPECT_NEAR(s.x[1], 1, kTol);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x ≥ 5 and x ≤ 2.
+  LinearProgram p(1);
+  p.objective = {1};
+  p.add_constraint({1}, Relation::kGreaterEqual, 5);
+  p.add_upper_bound(0, 2);
+  EXPECT_EQ(solve(p).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  // min −x with only x ≥ 0 (and one irrelevant constraint).
+  LinearProgram p(1);
+  p.objective = {-1};
+  p.add_constraint({-1}, Relation::kLessEqual, 0);  // always true for x ≥ 0
+  EXPECT_EQ(solve(p).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // −x ≤ −3 means x ≥ 3; min x → 3.
+  LinearProgram p(1);
+  p.objective = {1};
+  p.add_constraint({-1}, Relation::kLessEqual, -3);
+  const auto s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[0], 3, kTol);
+}
+
+TEST(Simplex, DegenerateVertexTerminates) {
+  // Multiple constraints meeting at the same vertex (degeneracy) must not
+  // cycle thanks to Bland's rule.
+  LinearProgram p(2);
+  p.objective = {-1, -1};
+  p.add_constraint({1, 0}, Relation::kLessEqual, 1);
+  p.add_constraint({0, 1}, Relation::kLessEqual, 1);
+  p.add_constraint({1, 1}, Relation::kLessEqual, 2);
+  p.add_constraint({2, 1}, Relation::kLessEqual, 3);
+  const auto s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, -2, kTol);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  // The same equality twice: phase 1 leaves an artificial basic at zero.
+  LinearProgram p(2);
+  p.objective = {1, 1};
+  p.add_constraint({1, 1}, Relation::kEqual, 2);
+  p.add_constraint({1, 1}, Relation::kEqual, 2);
+  const auto s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[0] + s.x[1], 2, kTol);
+}
+
+TEST(Simplex, WrongWidthThrows) {
+  LinearProgram p(2);
+  EXPECT_THROW(p.add_constraint({1.0}, Relation::kLessEqual, 1),
+               galloper::CheckError);
+}
+
+// Brute-force cross-check on random small LPs: enumerate basic feasible
+// solutions by solving all constraint-pair intersections and compare.
+TEST(Simplex, MatchesBruteForceOnRandom2DLps) {
+  Rng rng(99);
+  int compared = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    LinearProgram p(2);
+    p.objective = {rng.next_double() * 4 - 2, rng.next_double() * 4 - 2};
+    const int m = 3 + static_cast<int>(rng.next_below(3));
+    struct Row {
+      double a, b, c;
+    };
+    std::vector<Row> rows;
+    for (int i = 0; i < m; ++i) {
+      Row r{rng.next_double() * 2 - 0.5, rng.next_double() * 2 - 0.5,
+            rng.next_double() * 5 + 0.5};
+      rows.push_back(r);
+      p.add_constraint({r.a, r.b}, Relation::kLessEqual, r.c);
+    }
+    const auto s = solve(p);
+    if (s.status == LpStatus::kUnbounded) continue;
+    ASSERT_TRUE(s.optimal());  // origin is feasible (c > 0)
+
+    // Brute force: candidate vertices = origin, axis intercepts, and all
+    // pairwise intersections; keep feasible ones, take the best objective.
+    std::vector<std::pair<double, double>> cand{{0, 0}};
+    for (const auto& r : rows) {
+      if (std::fabs(r.a) > 1e-12) cand.push_back({r.c / r.a, 0});
+      if (std::fabs(r.b) > 1e-12) cand.push_back({0, r.c / r.b});
+    }
+    for (int i = 0; i < m; ++i)
+      for (int j = i + 1; j < m; ++j) {
+        const double det = rows[i].a * rows[j].b - rows[j].a * rows[i].b;
+        if (std::fabs(det) < 1e-9) continue;
+        const double x =
+            (rows[i].c * rows[j].b - rows[j].c * rows[i].b) / det;
+        const double y =
+            (rows[i].a * rows[j].c - rows[j].a * rows[i].c) / det;
+        cand.push_back({x, y});
+      }
+    double best = 0;  // objective at origin
+    for (auto [x, y] : cand) {
+      if (x < -1e-9 || y < -1e-9) continue;
+      bool ok = true;
+      for (const auto& r : rows)
+        ok &= (r.a * x + r.b * y <= r.c + 1e-7);
+      if (!ok) continue;
+      best = std::min(best, p.objective[0] * x + p.objective[1] * y);
+    }
+    EXPECT_NEAR(s.objective, best, 1e-5) << "trial " << trial;
+    ++compared;
+  }
+  EXPECT_GT(compared, 100);
+}
+
+}  // namespace
+}  // namespace galloper::lp

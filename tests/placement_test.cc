@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "codes/pyramid.h"
+#include "codes/reed_solomon.h"
+#include "core/galloper.h"
+#include "store/placement.h"
+#include "util/check.h"
+
+namespace galloper::store {
+namespace {
+
+using galloper::CheckError;
+
+TEST(RepairGroups, GalloperLocalGroupsPlusSingletonGlobal) {
+  core::GalloperCode code(4, 2, 1);
+  auto groups = repair_groups(code);
+  for (auto& g : groups) std::sort(g.begin(), g.end());
+  std::sort(groups.begin(), groups.end());
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], (std::vector<size_t>{0, 1, 4}));
+  EXPECT_EQ(groups[1], (std::vector<size_t>{2, 3, 5}));
+  EXPECT_EQ(groups[2], (std::vector<size_t>{6}));
+}
+
+TEST(RepairGroups, ReedSolomonIsAllSingletons) {
+  codes::ReedSolomonCode rs(4, 2);
+  const auto groups = repair_groups(rs);
+  EXPECT_EQ(groups.size(), 6u);
+  for (const auto& g : groups) EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(RepairGroups, PyramidMatchesGalloper) {
+  codes::PyramidCode pyr(6, 3, 2);
+  const auto groups = repair_groups(pyr);
+  // 3 local groups of (2 data + 1 local parity) + 2 singleton globals.
+  EXPECT_EQ(groups.size(), 5u);
+  size_t triples = 0, singles = 0;
+  for (const auto& g : groups) {
+    if (g.size() == 3) ++triples;
+    if (g.size() == 1) ++singles;
+  }
+  EXPECT_EQ(triples, 3u);
+  EXPECT_EQ(singles, 2u);
+}
+
+TEST(Placement, SpreadPutsBlocksOnDistinctServersAcrossRacks) {
+  core::GalloperCode code(4, 2, 1);
+  const Topology topo{4, 2};
+  const auto placement = place_blocks(code, topo, PlacementPolicy::kSpread);
+  std::set<size_t> servers(placement.begin(), placement.end());
+  EXPECT_EQ(servers.size(), 7u) << "one server per block";
+  std::vector<size_t> per_rack(4, 0);
+  for (size_t s : placement) ++per_rack[topo.rack_of(s)];
+  for (size_t c : per_rack) EXPECT_LE(c, 2u);
+}
+
+TEST(Placement, SpreadSurvivesSingleRackFailure) {
+  core::GalloperCode code(4, 2, 1);
+  const Topology topo{7, 1};  // one block per rack
+  const auto placement = place_blocks(code, topo, PlacementPolicy::kSpread);
+  EXPECT_TRUE(survives_any_single_rack_failure(code, placement, topo));
+}
+
+TEST(Placement, GroupPerRackMakesLocalRepairRackInternal) {
+  core::GalloperCode code(4, 2, 1);
+  const Topology topo{3, 4};
+  const auto placement =
+      place_blocks(code, topo, PlacementPolicy::kGroupPerRack);
+  std::set<size_t> servers(placement.begin(), placement.end());
+  EXPECT_EQ(servers.size(), 7u);
+  // Every locally repairable block's helpers share its rack → zero
+  // cross-rack repair traffic for blocks 0–5.
+  for (size_t b = 0; b < 6; ++b)
+    EXPECT_EQ(cross_rack_repair_bytes(code, placement, topo, b, 1000), 0u)
+        << "block " << b;
+  // But a whole-rack loss now takes out a full group + tolerance breaks.
+  EXPECT_FALSE(survives_any_single_rack_failure(code, placement, topo));
+}
+
+TEST(Placement, GroupPerRackNeedsRoomForAGroup) {
+  core::GalloperCode code(4, 2, 1);
+  const Topology tight{4, 2};  // groups of 3 cannot fit a rack of 2
+  EXPECT_THROW(place_blocks(code, tight, PlacementPolicy::kGroupPerRack),
+               CheckError);
+}
+
+TEST(Placement, CrossRackRepairBytes) {
+  core::GalloperCode code(4, 2, 1);
+  const size_t bb = 1000;
+  // One rack per block: every helper is remote.
+  const Topology spread_topo{7, 1};
+  const auto spread =
+      place_blocks(code, spread_topo, PlacementPolicy::kSpread);
+  EXPECT_EQ(cross_rack_repair_bytes(code, spread, spread_topo, 0, bb),
+            2 * bb);
+  EXPECT_EQ(cross_rack_repair_bytes(code, spread, spread_topo, 6, bb),
+            4 * bb);
+
+  // Everything in one big rack: all repairs rack-internal.
+  const Topology one_rack{1, 7};
+  const auto local = place_blocks(code, one_rack, PlacementPolicy::kSpread);
+  for (size_t b = 0; b < 7; ++b)
+    EXPECT_EQ(cross_rack_repair_bytes(code, local, one_rack, b, bb), 0u);
+}
+
+TEST(Placement, TooSmallTopologyThrows) {
+  core::GalloperCode code(4, 2, 1);
+  EXPECT_THROW(place_blocks(code, Topology{2, 2}, PlacementPolicy::kSpread),
+               CheckError);
+  EXPECT_THROW(place_blocks(code, Topology{3, 2}, PlacementPolicy::kSpread),
+               CheckError)
+      << "7 blocks over 3 racks needs ≥ 3 per rack";
+}
+
+TEST(Placement, SpreadToleratesRackOfTwo) {
+  // 4 racks × 2 servers: ≤ 2 blocks per rack and tolerance 2 → survives.
+  core::GalloperCode code(4, 2, 1);
+  const Topology topo{4, 2};
+  const auto spread = place_blocks(code, topo, PlacementPolicy::kSpread);
+  EXPECT_TRUE(survives_any_single_rack_failure(code, spread, topo));
+}
+
+}  // namespace
+}  // namespace galloper::store

@@ -1,0 +1,186 @@
+// Randomized end-to-end property tests: random shapes, random valid
+// weights (generated directly, not via the LP), random erasures, random
+// chunk sizes. Complements the deterministic battery in galloper_test.cc
+// with breadth. All seeds fixed — failures reproduce.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "codes/pyramid.h"
+#include "core/galloper.h"
+#include "core/weights.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace galloper::core {
+namespace {
+
+using galloper::Buffer;
+using galloper::ConstByteSpan;
+using galloper::Rational;
+using galloper::Rng;
+using galloper::random_buffer;
+
+std::map<size_t, ConstByteSpan> view(const std::vector<Buffer>& blocks,
+                                     const std::vector<size_t>& ids) {
+  std::map<size_t, ConstByteSpan> m;
+  for (size_t id : ids) m.emplace(id, blocks[id]);
+  return m;
+}
+
+// Draws random integer "performance units" and repairs them into a valid
+// weight vector exactly like assign_weights' quantizer, but from arbitrary
+// random inputs (hits corners the LP never produces).
+std::vector<Rational> random_valid_weights(size_t k, size_t l, size_t g,
+                                           Rng& rng) {
+  const size_t n = k + l + g;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::vector<int64_t> units(n);
+    for (auto& u : units) u = 1 + static_cast<int64_t>(rng.next_below(6));
+    // Repair loop (same constraint system as core/weights.cc).
+    auto total = [&] {
+      return std::accumulate(units.begin(), units.end(), int64_t{0});
+    };
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      const int64_t sum = total();
+      for (size_t i = 0; i < n && !changed; ++i)
+        if (static_cast<int64_t>(k) * units[i] > sum && units[i] > 0) {
+          --units[i];
+          changed = true;
+        }
+      if (changed || l == 0) continue;
+      const int64_t m = static_cast<int64_t>(k / l);
+      for (size_t j = 0; j < l && !changed; ++j) {
+        int64_t grp = 0;
+        std::vector<size_t> members;
+        for (size_t q = 0; q < k / l; ++q)
+          members.push_back(j * (k / l) + q);
+        members.push_back(k + j);
+        for (size_t i : members) grp += units[i];
+        if (static_cast<int64_t>(l) * grp > sum) {
+          size_t arg = members.front();
+          for (size_t i : members)
+            if (units[i] > units[arg]) arg = i;
+          if (units[arg] > 0) {
+            --units[arg];
+            changed = true;
+            break;
+          }
+        }
+        for (size_t i : members)
+          if (m * units[i] > grp && units[i] > 0) {
+            --units[i];
+            changed = true;
+            break;
+          }
+      }
+    }
+    const int64_t sum = total();
+    if (sum <= 0) continue;
+    std::vector<Rational> ws;
+    for (int64_t u : units) ws.emplace_back(static_cast<int64_t>(k) * u, sum);
+    if (weights_valid(k, l, g, ws)) return ws;
+  }
+  return uniform_weights(k, l, g);  // fallback (always valid)
+}
+
+TEST(GalloperProperty, RandomShapesAndWeightsSurviveEverything) {
+  Rng rng(20260704);
+  struct Shape {
+    size_t k, l, g;
+  };
+  const Shape shapes[] = {{4, 2, 1}, {4, 2, 2}, {6, 2, 1}, {6, 3, 1},
+                          {4, 4, 1}, {8, 2, 1}, {4, 1, 2}, {6, 1, 1}};
+  int built = 0;
+  for (const auto& s : shapes) {
+    for (int trial = 0; trial < 3; ++trial) {
+      const auto weights = random_valid_weights(s.k, s.l, s.g, rng);
+      GalloperCode code(s.k, s.l, s.g, weights);
+      ++built;
+      const size_t n = code.num_blocks();
+
+      // 1. Exhaustive tolerance.
+      ASSERT_TRUE(code.verify_tolerance())
+          << code.name() << " trial " << trial;
+
+      // 2. Round-trip with a random chunk size.
+      const size_t chunk = 1 + rng.next_below(40);
+      const Buffer file =
+          random_buffer(code.engine().num_chunks() * chunk, rng);
+      const auto blocks = code.encode(file);
+
+      // 3. Random tolerable erasure pattern → decode.
+      const size_t losses = code.guaranteed_tolerance();
+      auto dead = rng.sample_indices(n, losses);
+      std::vector<size_t> alive;
+      for (size_t b = 0; b < n; ++b)
+        if (std::find(dead.begin(), dead.end(), b) == dead.end())
+          alive.push_back(b);
+      const auto decoded = code.decode(view(blocks, alive));
+      ASSERT_TRUE(decoded.has_value()) << code.name();
+      EXPECT_EQ(*decoded, file);
+
+      // 4. Repair a random block from its preferred helpers.
+      const size_t failed = rng.next_below(n);
+      const auto rebuilt =
+          code.repair_block(failed, view(blocks, code.repair_helpers(failed)));
+      ASSERT_TRUE(rebuilt.has_value());
+      EXPECT_EQ(*rebuilt, blocks[failed]);
+
+      // 5. Decodability equivalence with Pyramid on sampled patterns.
+      codes::PyramidCode pyr(s.k, s.l, s.g);
+      for (int p = 0; p < 10; ++p) {
+        const size_t count = 1 + rng.next_below(n);
+        const auto subset = rng.sample_indices(n, count);
+        ASSERT_EQ(code.decodable(subset), pyr.decodable(subset))
+            << code.name() << " subset size " << count;
+      }
+    }
+  }
+  EXPECT_EQ(built, 24);
+}
+
+TEST(GalloperProperty, UpdateThenDecodeConsistentOnRandomWeights) {
+  Rng rng(99887);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto weights = random_valid_weights(4, 2, 1, rng);
+    GalloperCode code(4, 2, 1, weights);
+    const size_t chunk = 16;
+    Buffer file = random_buffer(code.engine().num_chunks() * chunk, rng);
+    auto blocks = code.encode(file);
+    // A few random chunk updates.
+    for (int u = 0; u < 4; ++u) {
+      const size_t c = rng.next_below(code.engine().num_chunks());
+      const Buffer fresh = random_buffer(chunk, rng);
+      std::copy(fresh.begin(), fresh.end(),
+                file.begin() + static_cast<ptrdiff_t>(c * chunk));
+      code.engine().update_chunk(blocks, c, fresh);
+    }
+    EXPECT_EQ(blocks, code.encode(file)) << "trial " << trial;
+    // And a degraded decode still returns the updated file.
+    std::vector<size_t> alive;
+    for (size_t b = 1; b < code.num_blocks(); ++b) alive.push_back(b);
+    const auto decoded = code.decode(view(blocks, alive));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, file);
+  }
+}
+
+TEST(GalloperProperty, ConstructionMethodsAgreeOnRandomWeights) {
+  Rng rng(5511);
+  for (int trial = 0; trial < 8; ++trial) {
+    const size_t k = 4 + 2 * rng.next_below(2);  // 4 or 6
+    const size_t l = 2;
+    const size_t g = 1 + rng.next_below(2);
+    GalloperParams params{k, l, g, random_valid_weights(k, l, g, rng)};
+    const auto lit = construct_galloper(params, Method::kLiteral);
+    const auto row = construct_galloper(params, Method::kRowwise);
+    ASSERT_EQ(lit.generator, row.generator) << "trial " << trial;
+    ASSERT_TRUE(lit.chunk_pos == row.chunk_pos);
+  }
+}
+
+}  // namespace
+}  // namespace galloper::core

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "codes/pyramid.h"
+#include "codes/reed_solomon.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace galloper::codes {
+namespace {
+
+using galloper::Buffer;
+using galloper::CheckError;
+using galloper::ConstByteSpan;
+using galloper::Rng;
+using galloper::random_buffer;
+
+std::map<size_t, ConstByteSpan> view(const std::vector<Buffer>& blocks,
+                                     const std::vector<size_t>& ids) {
+  std::map<size_t, ConstByteSpan> m;
+  for (size_t id : ids) m.emplace(id, blocks[id]);
+  return m;
+}
+
+struct Shape {
+  size_t k, l, g;
+};
+
+class PyramidShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(PyramidShapes, ToleratesAnyGPlusOneFailures) {
+  const auto [k, l, g] = GetParam();
+  PyramidCode code(k, l, g);
+  EXPECT_TRUE(code.verify_tolerance()) << code.name();
+}
+
+TEST_P(PyramidShapes, EncodeDecodeRoundTripAfterWorstTolerableFailure) {
+  const auto [k, l, g] = GetParam();
+  PyramidCode code(k, l, g);
+  Rng rng(500 + k + l + g);
+  const Buffer file = random_buffer(k * 24, rng);
+  const auto blocks = code.encode(file);
+  // Remove the last guaranteed_tolerance() blocks, decode from the rest.
+  std::vector<size_t> available;
+  for (size_t b = 0; b < code.num_blocks() - code.guaranteed_tolerance(); ++b)
+    available.push_back(b);
+  const auto decoded = code.decode(view(blocks, available));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, file);
+}
+
+TEST_P(PyramidShapes, LocalBlocksRepairFromGroupPeersOnly) {
+  const auto [k, l, g] = GetParam();
+  if (l == 0) return;
+  PyramidCode code(k, l, g);
+  Rng rng(600 + k);
+  const Buffer file = random_buffer(k * 24, rng);
+  const auto blocks = code.encode(file);
+  for (size_t failed = 0; failed < k + l; ++failed) {
+    const auto helpers = code.repair_helpers(failed);
+    EXPECT_EQ(helpers.size(), k / l) << "locality must be k/l";
+    const auto rebuilt = code.repair_block(failed, view(blocks, helpers));
+    ASSERT_TRUE(rebuilt.has_value()) << code.name() << " block " << failed;
+    EXPECT_EQ(*rebuilt, blocks[failed]);
+  }
+}
+
+TEST_P(PyramidShapes, GlobalBlocksNeedKBlocks) {
+  const auto [k, l, g] = GetParam();
+  PyramidCode code(k, l, g);
+  Rng rng(700 + k);
+  const Buffer file = random_buffer(k * 24, rng);
+  const auto blocks = code.encode(file);
+  for (size_t failed = k + l; failed < code.num_blocks(); ++failed) {
+    const auto helpers = code.repair_helpers(failed);
+    EXPECT_EQ(helpers.size(), k);
+    const auto rebuilt = code.repair_block(failed, view(blocks, helpers));
+    ASSERT_TRUE(rebuilt.has_value());
+    EXPECT_EQ(*rebuilt, blocks[failed]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PyramidShapes,
+                         ::testing::Values(Shape{4, 2, 1}, Shape{4, 2, 2},
+                                           Shape{4, 4, 1}, Shape{6, 2, 1},
+                                           Shape{6, 3, 2}, Shape{8, 2, 1},
+                                           Shape{8, 4, 2}, Shape{12, 2, 1},
+                                           Shape{12, 3, 2}, Shape{4, 1, 1}));
+
+TEST(Pyramid, DegeneratesToReedSolomonWhenLZero) {
+  PyramidCode pyr(4, 0, 2);
+  ReedSolomonCode rs(4, 2);
+  EXPECT_EQ(pyr.num_blocks(), rs.num_blocks());
+  EXPECT_EQ(pyr.guaranteed_tolerance(), rs.guaranteed_tolerance());
+  Rng rng(1);
+  const Buffer file = random_buffer(4 * 16, rng);
+  EXPECT_EQ(pyr.encode(file), rs.encode(file));
+}
+
+TEST(Pyramid, PaperCounterexamplePatternUndecodable) {
+  // Sec. III-B: with (4,2,1), losing both members of one local group plus
+  // the global parity is NOT decodable (tolerance is g+1 = 2, not 3).
+  PyramidCode code(4, 2, 1);
+  // Lose data blocks 0, 1 (group 0) and global parity block 6.
+  EXPECT_FALSE(code.decodable({2, 3, 4, 5}));
+  // ...but losing one per group plus the global IS decodable.
+  EXPECT_TRUE(code.decodable({1, 3, 4, 5}));
+}
+
+TEST(Pyramid, SomePatternsBeyondGuaranteeStillDecodable) {
+  // "It is also possible to tolerate more than g+1 failures but not all
+  // combinations of such failures."
+  PyramidCode code(4, 2, 1);
+  // Lose 3 blocks: one data block from each group + one local parity.
+  EXPECT_TRUE(code.decodable({1, 3, 5, 6}));
+}
+
+TEST(Pyramid, LocalParityIsGroupCombination) {
+  // Local parity row depends exactly on its own group's chunks.
+  PyramidCode code(4, 2, 1);
+  EXPECT_EQ(code.engine().row_support(4, 0), 2u);
+  EXPECT_EQ(code.engine().row_support(5, 0), 2u);
+  EXPECT_EQ(code.engine().row_support(6, 0), 4u);  // global touches all
+}
+
+TEST(Pyramid, GroupBookkeeping) {
+  PyramidCode code(4, 2, 1);
+  EXPECT_EQ(code.group_of(0), 0u);
+  EXPECT_EQ(code.group_of(1), 0u);
+  EXPECT_EQ(code.group_of(2), 1u);
+  EXPECT_EQ(code.group_of(4), 0u);
+  EXPECT_EQ(code.group_of(5), 1u);
+  EXPECT_EQ(code.group_of(6), SIZE_MAX);
+  EXPECT_EQ(code.group_blocks(0), (std::vector<size_t>{0, 1, 4}));
+  EXPECT_EQ(code.group_blocks(1), (std::vector<size_t>{2, 3, 5}));
+}
+
+TEST(Pyramid, RejectsBadParameters) {
+  EXPECT_THROW(PyramidCode(4, 3, 1), CheckError);  // 3 does not divide 4
+  EXPECT_THROW(PyramidCode(0, 0, 1), CheckError);
+}
+
+TEST(Pyramid, StorageOverheadMatchesPaper) {
+  // (k+l+g)/k × storage; for (4,2,1) that is 7/4 = 1.75×.
+  PyramidCode code(4, 2, 1);
+  EXPECT_EQ(code.num_blocks(), 7u);
+  EXPECT_DOUBLE_EQ(static_cast<double>(code.num_blocks()) / code.k(), 1.75);
+}
+
+TEST(Pyramid, Fig1DiskIoComparison) {
+  // The paper's Fig. 1: reconstructing a data block reads 4 blocks with
+  // (4,2) RS but only 2 with the locally repairable code.
+  ReedSolomonCode rs(4, 2);
+  PyramidCode lrc(4, 2, 1);
+  EXPECT_EQ(rs.repair_helpers(0).size(), 4u);
+  EXPECT_EQ(lrc.repair_helpers(0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace galloper::codes

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <utility>
+
+#include "codes/remap.h"
+#include "la/builders.h"
+#include "la/solve.h"
+#include "util/check.h"
+
+namespace galloper::codes {
+namespace {
+
+using galloper::CheckError;
+
+TEST(ExpandGenerator, ShapeAndEntries) {
+  const la::Matrix g = la::systematic_mds(2, 1);
+  const la::Matrix e = expand_generator(g, 3);
+  ASSERT_EQ(e.rows(), 9u);
+  ASSERT_EQ(e.cols(), 6u);
+  // Stripe (b, p) row has G[b][m] at column (m, p) and zero elsewhere.
+  for (size_t b = 0; b < 3; ++b)
+    for (size_t p = 0; p < 3; ++p)
+      for (size_t m = 0; m < 2; ++m)
+        for (size_t q = 0; q < 3; ++q)
+          EXPECT_EQ(e.at(b * 3 + p, m * 3 + q), p == q ? g.at(b, m) : 0);
+}
+
+TEST(ExpandGenerator, PreservesRank) {
+  const la::Matrix g = la::systematic_mds(4, 2);
+  EXPECT_EQ(la::rank(expand_generator(g, 5)), 20u);
+}
+
+TEST(SequentialSelection, PaperToyExample) {
+  // Fig. 4: k=4, g=1, N=7, counts (6,6,6,6,4). Block 0 takes rows 0–5,
+  // block 1 takes 6 then wraps to 0–4, etc.
+  std::vector<size_t> blocks{0, 1, 2, 3, 4};
+  const Selection sel = sequential_selection(blocks, {6, 6, 6, 6, 4}, 7);
+  ASSERT_EQ(sel.refs.size(), 28u);
+  EXPECT_EQ(sel.refs[0], (StripeRef{0, 0}));
+  EXPECT_EQ(sel.refs[5], (StripeRef{0, 5}));
+  EXPECT_EQ(sel.refs[6], (StripeRef{1, 6}));
+  EXPECT_EQ(sel.refs[7], (StripeRef{1, 0}));
+  EXPECT_EQ(sel.refs[27], (StripeRef{4, 6}));
+  EXPECT_EQ(sel.run_start, (std::vector<size_t>{0, 6, 5, 4, 3}));
+}
+
+TEST(SequentialSelection, EachRowChosenExactlyKTimes) {
+  const std::vector<size_t> counts{6, 6, 6, 6, 4};
+  std::vector<size_t> blocks{0, 1, 2, 3, 4};
+  const Selection sel = sequential_selection(blocks, counts, 7);
+  std::vector<size_t> per_row(7, 0);
+  for (const auto& ref : sel.refs) ++per_row[ref.pos];
+  for (size_t p = 0; p < 7; ++p) EXPECT_EQ(per_row[p], 4u);
+}
+
+TEST(SequentialSelection, NoDuplicateStripeWithinBlock) {
+  std::vector<size_t> blocks{0, 1, 2};
+  const Selection sel = sequential_selection(blocks, {5, 5, 5}, 5);
+  std::set<std::pair<size_t, size_t>> seen;
+  for (const auto& ref : sel.refs)
+    EXPECT_TRUE(seen.insert({ref.block, ref.pos}).second);
+}
+
+TEST(SequentialSelection, RejectsOverweightBlock) {
+  std::vector<size_t> blocks{0, 1};
+  EXPECT_THROW(sequential_selection(blocks, {8, 6}, 7), CheckError);
+}
+
+TEST(SequentialSelection, RejectsNonMultipleTotal) {
+  std::vector<size_t> blocks{0, 1};
+  EXPECT_THROW(sequential_selection(blocks, {3, 3}, 7), CheckError);
+}
+
+TEST(RemapToSelection, SelectionBecomesSystematic) {
+  const la::Matrix base = la::systematic_mds(4, 1);
+  const la::Matrix e = expand_generator(base, 7);
+  std::vector<size_t> blocks{0, 1, 2, 3, 4};
+  const Selection sel = sequential_selection(blocks, {6, 6, 6, 6, 4}, 7);
+  const la::Matrix remapped = remap_to_selection(e, sel.refs, 7);
+  for (size_t c = 0; c < sel.refs.size(); ++c) {
+    const auto row = remapped.row(sel.refs[c].block * 7 + sel.refs[c].pos);
+    for (size_t j = 0; j < row.size(); ++j)
+      ASSERT_EQ(row[j], j == c ? 1 : 0) << "chunk " << c;
+  }
+}
+
+TEST(RemapToSelection, LinearEquivalencePreservesDependencies) {
+  // Any linear relation among stripe rows of E must carry over to E'.
+  // Spot-check the (4,1) row relation: parity stripe = Σ data stripes in
+  // the same row.
+  const la::Matrix base = la::systematic_mds(4, 1);
+  const la::Matrix e = expand_generator(base, 7);
+  std::vector<size_t> blocks{0, 1, 2, 3, 4};
+  const Selection sel = sequential_selection(blocks, {6, 6, 6, 6, 4}, 7);
+  const la::Matrix remapped = remap_to_selection(e, sel.refs, 7);
+  for (size_t p = 0; p < 7; ++p) {
+    std::vector<gf::Elem> acc(remapped.cols(), 0);
+    for (size_t b = 0; b < 5; ++b) {
+      const auto row = remapped.row(b * 7 + p);
+      for (size_t j = 0; j < row.size(); ++j) acc[j] ^= row[j];
+    }
+    for (gf::Elem v : acc) ASSERT_EQ(v, 0) << "row " << p;
+  }
+}
+
+TEST(RemapToSelection, RejectsNonBasis) {
+  // Selecting the same row index k+? times... choose all stripes from one
+  // row region so they cannot span: take both stripes of one block twice
+  // via two blocks but same rows such that a row has k+1 picks and another
+  // has k-1 → dependent.
+  const la::Matrix base = la::systematic_mds(2, 1);
+  const la::Matrix e = expand_generator(base, 2);
+  // kN = 4 stripes needed. Take all stripes of blocks 0 and 1 minus one,
+  // plus a stripe from block 2 in a row already fully covered.
+  std::vector<StripeRef> bad{{0, 0}, {1, 0}, {2, 0}, {0, 1}};
+  // Row 0 has 3 picks (only 2 independent), row 1 has 1 → singular.
+  EXPECT_THROW(remap_to_selection(e, bad, 2), CheckError);
+}
+
+TEST(RotateBlockRows, RotatesWithinWindow) {
+  la::Matrix m(4, 2);
+  for (size_t r = 0; r < 4; ++r) m.at(r, 0) = static_cast<gf::Elem>(r + 1);
+  // Single block of 4 stripes; rotate first 3 rows by shift 2.
+  rotate_block_rows(m, 0, 4, 3, 2);
+  EXPECT_EQ(m.at(0, 0), 3);
+  EXPECT_EQ(m.at(1, 0), 1);
+  EXPECT_EQ(m.at(2, 0), 2);
+  EXPECT_EQ(m.at(3, 0), 4);  // outside window untouched
+}
+
+TEST(RotateRefs, MatchesRowRotation) {
+  std::vector<StripeRef> refs{{0, 0}, {0, 2}, {1, 1}, {0, 3}};
+  rotate_refs(refs, 0, 3, 2);
+  EXPECT_EQ(refs[0], (StripeRef{0, 1}));  // 0 → (0+3−2)%3 = 1
+  EXPECT_EQ(refs[1], (StripeRef{0, 0}));  // 2 → 0
+  EXPECT_EQ(refs[2], (StripeRef{1, 1}));  // other block untouched
+  EXPECT_EQ(refs[3], (StripeRef{0, 3}));  // outside window untouched
+}
+
+TEST(RotateConsistency, RowAndRefRotationsAgree) {
+  // Rotating rows and refs together must keep ref → unit-row pointing at
+  // the same chunk.
+  const la::Matrix base = la::systematic_mds(4, 1);
+  const la::Matrix e = expand_generator(base, 7);
+  std::vector<size_t> blocks{0, 1, 2, 3, 4};
+  const Selection sel = sequential_selection(blocks, {6, 6, 6, 6, 4}, 7);
+  la::Matrix remapped = remap_to_selection(e, sel.refs, 7);
+  std::vector<StripeRef> refs = sel.refs;
+  for (size_t b = 0; b < 5; ++b) {
+    rotate_block_rows(remapped, b, 7, 7, sel.run_start[b]);
+    rotate_refs(refs, b, 7, sel.run_start[b]);
+  }
+  for (size_t c = 0; c < refs.size(); ++c) {
+    const auto row = remapped.row(refs[c].block * 7 + refs[c].pos);
+    for (size_t j = 0; j < row.size(); ++j)
+      ASSERT_EQ(row[j], j == c ? 1 : 0);
+  }
+}
+
+TEST(RemapMds, DataAtTopOfEveryBlock) {
+  const auto rc = remap_mds(la::systematic_mds(4, 1), 7, {6, 6, 6, 6, 4});
+  // chunk_pos: block b's chunks occupy positions 0..count−1.
+  std::vector<std::vector<size_t>> by_block(5);
+  for (const auto& ref : rc.chunk_pos) by_block[ref.block].push_back(ref.pos);
+  const std::vector<size_t> counts{6, 6, 6, 6, 4};
+  for (size_t b = 0; b < 5; ++b) {
+    ASSERT_EQ(by_block[b].size(), counts[b]);
+    for (size_t i = 0; i < by_block[b].size(); ++i)
+      EXPECT_EQ(by_block[b][i], i) << "block " << b;
+  }
+}
+
+}  // namespace
+}  // namespace galloper::codes

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "codes/reed_solomon.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace galloper::codes {
+namespace {
+
+using galloper::Buffer;
+using galloper::CheckError;
+using galloper::ConstByteSpan;
+using galloper::Rng;
+using galloper::random_buffer;
+
+std::map<size_t, ConstByteSpan> view(const std::vector<Buffer>& blocks,
+                                     const std::vector<size_t>& ids) {
+  std::map<size_t, ConstByteSpan> m;
+  for (size_t id : ids) m.emplace(id, blocks[id]);
+  return m;
+}
+
+class RsRoundTrip
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(RsRoundTrip, EncodeThenDecodeFromEveryKSubset) {
+  const auto [k, r] = GetParam();
+  ReedSolomonCode code(k, r);
+  Rng rng(1000 + k * 10 + r);
+  const Buffer file = random_buffer(k * 64, rng);
+  const auto blocks = code.encode(file);
+  ASSERT_EQ(blocks.size(), k + r);
+
+  // Every k-subset of blocks must decode to the original file.
+  std::vector<size_t> subset(k);
+  for (size_t i = 0; i < k; ++i) subset[i] = i;
+  for (;;) {
+    const auto decoded = code.decode(view(blocks, subset));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, file);
+    size_t i = k;
+    while (i > 0 && subset[i - 1] == k + r - k + i - 1) --i;
+    if (i == 0) break;
+    ++subset[i - 1];
+    for (size_t j = i; j < k; ++j) subset[j] = subset[j - 1] + 1;
+  }
+}
+
+TEST_P(RsRoundTrip, TooFewBlocksFailToDecode) {
+  const auto [k, r] = GetParam();
+  if (k < 2) return;
+  ReedSolomonCode code(k, r);
+  Rng rng(77);
+  const Buffer file = random_buffer(k * 16, rng);
+  const auto blocks = code.encode(file);
+  std::vector<size_t> subset(k - 1);
+  for (size_t i = 0; i < k - 1; ++i) subset[i] = i;
+  EXPECT_FALSE(code.decode(view(blocks, subset)).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RsRoundTrip,
+    ::testing::Values(std::pair<size_t, size_t>{1, 1},
+                      std::pair<size_t, size_t>{2, 2},
+                      std::pair<size_t, size_t>{4, 1},
+                      std::pair<size_t, size_t>{4, 2},
+                      std::pair<size_t, size_t>{6, 3},
+                      std::pair<size_t, size_t>{8, 2}));
+
+TEST(ReedSolomon, SystematicDataBlocksHoldFileVerbatim) {
+  ReedSolomonCode code(4, 2);
+  Rng rng(7);
+  const Buffer file = random_buffer(4 * 32, rng);
+  const auto blocks = code.encode(file);
+  for (size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(Buffer(file.begin() + i * 32, file.begin() + (i + 1) * 32),
+              blocks[i]);
+}
+
+TEST(ReedSolomon, RepairEveryBlockFromPreferredHelpers) {
+  ReedSolomonCode code(4, 2);
+  Rng rng(8);
+  const Buffer file = random_buffer(4 * 32, rng);
+  const auto blocks = code.encode(file);
+  for (size_t failed = 0; failed < 6; ++failed) {
+    const auto helpers = code.repair_helpers(failed);
+    EXPECT_EQ(helpers.size(), 4u) << "RS repair reads k blocks";
+    const auto rebuilt = code.repair_block(failed, view(blocks, helpers));
+    ASSERT_TRUE(rebuilt.has_value()) << "block " << failed;
+    EXPECT_EQ(*rebuilt, blocks[failed]);
+  }
+}
+
+TEST(ReedSolomon, RepairFromFewerThanKFails) {
+  ReedSolomonCode code(4, 2);
+  Rng rng(9);
+  const auto blocks = code.encode(random_buffer(4 * 8, rng));
+  EXPECT_FALSE(code.repair_block(0, view(blocks, {1, 2, 3})).has_value());
+}
+
+TEST(ReedSolomon, ToleranceIsExactlyR) {
+  for (auto [k, r] : {std::pair<size_t, size_t>{4, 2},
+                      std::pair<size_t, size_t>{6, 3}}) {
+    ReedSolomonCode code(k, r);
+    EXPECT_EQ(code.guaranteed_tolerance(), r);
+    EXPECT_TRUE(code.verify_tolerance());
+    // And r+1 failures always lose data (MDS is tight).
+    std::vector<size_t> available;
+    for (size_t b = r + 1; b < k + r; ++b) available.push_back(b);
+    EXPECT_FALSE(code.decodable(available));
+  }
+}
+
+TEST(ReedSolomon, OriginalBytesOnlyInDataBlocks) {
+  ReedSolomonCode code(4, 2);
+  for (size_t b = 0; b < 4; ++b)
+    EXPECT_EQ(code.original_bytes_in_block(b, 1024), 1024u);
+  for (size_t b = 4; b < 6; ++b)
+    EXPECT_EQ(code.original_bytes_in_block(b, 1024), 0u);
+}
+
+TEST(ReedSolomon, EncodeRejectsBadFileSize) {
+  ReedSolomonCode code(4, 2);
+  Buffer file(6);  // not a multiple of k = 4
+  EXPECT_THROW(code.encode(file), CheckError);
+  EXPECT_THROW(code.encode(Buffer{}), CheckError);
+}
+
+TEST(ReedSolomon, ParityRowsDenseInChunks) {
+  ReedSolomonCode code(4, 2);
+  for (size_t b = 4; b < 6; ++b)
+    EXPECT_EQ(code.engine().row_support(b, 0), 4u);
+}
+
+TEST(ReedSolomon, NameAndShape) {
+  ReedSolomonCode code(4, 2);
+  EXPECT_EQ(code.name(), "(4,2) Reed-Solomon");
+  EXPECT_EQ(code.k(), 4u);
+  EXPECT_EQ(code.num_blocks(), 6u);
+  EXPECT_EQ(code.stripes_per_block(), 1u);
+}
+
+TEST(ReedSolomon, DecodeWithMoreThanKBlocksWorks) {
+  ReedSolomonCode code(4, 2);
+  Rng rng(10);
+  const Buffer file = random_buffer(4 * 16, rng);
+  const auto blocks = code.encode(file);
+  const auto decoded = code.decode(view(blocks, {0, 1, 2, 3, 4, 5}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, file);
+}
+
+TEST(ReedSolomon, RepairRejectsSelfHelper) {
+  ReedSolomonCode code(4, 2);
+  Rng rng(11);
+  const auto blocks = code.encode(random_buffer(4 * 8, rng));
+  EXPECT_THROW(code.repair_block(0, view(blocks, {0, 1, 2, 3})), CheckError);
+}
+
+}  // namespace
+}  // namespace galloper::codes

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "codes/pyramid.h"
+#include "codes/reed_solomon.h"
+#include "core/galloper.h"
+#include "sim/cluster.h"
+#include "sim/des.h"
+#include "sim/storage.h"
+#include "util/check.h"
+
+namespace galloper::sim {
+namespace {
+
+using galloper::CheckError;
+
+// ---------- DES kernel ----------
+
+TEST(Des, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Des, TiesRunInInsertionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Des, EventsCanScheduleMoreEvents) {
+  Simulation sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) sim.schedule_after(1.0, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  sim.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(sim.now(), 9.0);
+}
+
+TEST(Des, SchedulingInThePastThrows) {
+  Simulation sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), CheckError);
+  EXPECT_THROW(sim.schedule_after(-1.0, [] {}), CheckError);
+}
+
+TEST(Des, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(5.0, [&] { ++fired; });
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+// ---------- Resource ----------
+
+TEST(Resource, SingleJobTakesAmountOverRate) {
+  Simulation sim;
+  Resource disk(sim, "disk", 100.0);
+  Time done_at = -1;
+  disk.submit(250.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done_at, 2.5);
+}
+
+TEST(Resource, FifoQueueing) {
+  Simulation sim;
+  Resource disk(sim, "disk", 100.0);
+  std::vector<Time> finishes;
+  disk.submit(100.0, [&] { finishes.push_back(sim.now()); });
+  disk.submit(100.0, [&] { finishes.push_back(sim.now()); });
+  disk.submit(50.0, [&] { finishes.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(finishes, (std::vector<Time>{1.0, 2.0, 2.5}));
+}
+
+TEST(Resource, TracksTotalUnits) {
+  Simulation sim;
+  Resource r(sim, "nic", 10.0);
+  r.submit(30.0);
+  r.submit(20.0);
+  sim.run();
+  EXPECT_DOUBLE_EQ(r.total_units(), 50.0);
+}
+
+TEST(Resource, RejectsNonPositiveRate) {
+  Simulation sim;
+  EXPECT_THROW(Resource(sim, "bad", 0.0), CheckError);
+  EXPECT_THROW(Resource(sim, "bad", -1.0), CheckError);
+}
+
+TEST(Resource, UtilizationFraction) {
+  Simulation sim;
+  Resource r(sim, "cpu", 1.0);
+  r.submit(2.0);
+  sim.schedule_at(4.0, [] {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(r.utilization(), 0.5);
+}
+
+// ---------- Cluster ----------
+
+TEST(Cluster, HomogeneousConstruction) {
+  Simulation sim;
+  Cluster cluster(sim, 5, ServerSpec{});
+  EXPECT_EQ(cluster.size(), 5u);
+  EXPECT_EQ(cluster.alive_servers().size(), 5u);
+}
+
+TEST(Cluster, FailAndRecover) {
+  Simulation sim;
+  Cluster cluster(sim, 3, ServerSpec{});
+  cluster.server(1).fail();
+  EXPECT_EQ(cluster.alive_servers(), (std::vector<size_t>{0, 2}));
+  cluster.server(1).recover();
+  EXPECT_EQ(cluster.alive_servers().size(), 3u);
+}
+
+TEST(Cluster, ScaledCpuSpec) {
+  const ServerSpec slow = ServerSpec{}.scaled_cpu(0.4);
+  EXPECT_DOUBLE_EQ(slow.cpu, 0.4);
+  EXPECT_DOUBLE_EQ(slow.disk_bw, ServerSpec{}.disk_bw);
+}
+
+// ---------- StorageSystem ----------
+
+class StorageFixture : public ::testing::Test {
+ protected:
+  Simulation sim;
+  Cluster cluster{sim, 8, ServerSpec{}};
+};
+
+TEST_F(StorageFixture, RsRepairReadsKBlocks) {
+  codes::ReedSolomonCode rs(4, 2);
+  StorageSystem storage(sim, cluster, rs, 45 << 20);
+  const auto m = storage.simulate_repair(0, 7);
+  EXPECT_EQ(m.helpers.size(), 4u);
+  EXPECT_EQ(m.disk_bytes_read, 4u * (45 << 20));
+  EXPECT_GT(m.completion_time, 0.0);
+}
+
+TEST_F(StorageFixture, PyramidLocalRepairReadsHalfTheBytes) {
+  codes::ReedSolomonCode rs(4, 2);
+  codes::PyramidCode pyr(4, 2, 1);
+  StorageSystem srs(sim, cluster, rs, 45 << 20);
+  Simulation sim2;
+  Cluster cluster2(sim2, 8, ServerSpec{});
+  StorageSystem spyr(sim2, cluster2, pyr, 45 << 20);
+  const auto mrs = srs.simulate_repair(0, 7);
+  const auto mpyr = spyr.simulate_repair(0, 7);
+  EXPECT_EQ(mpyr.disk_bytes_read * 2, mrs.disk_bytes_read)
+      << "Fig. 1: the LRC halves reconstruction disk I/O";
+  EXPECT_LT(mpyr.completion_time, mrs.completion_time);
+}
+
+TEST_F(StorageFixture, GalloperRepairMatchesPyramidBytes) {
+  codes::PyramidCode pyr(4, 2, 1);
+  core::GalloperCode gal(4, 2, 1);
+  const size_t bytes = 7 * (1 << 20);
+  Simulation s1, s2;
+  Cluster c1(s1, 8, ServerSpec{}), c2(s2, 8, ServerSpec{});
+  StorageSystem sp(s1, c1, pyr, bytes), sg(s2, c2, gal, bytes);
+  for (size_t b = 0; b < 7; ++b) {
+    const auto mp = sp.simulate_repair(b, 7);
+    const auto mg = sg.simulate_repair(b, 7);
+    EXPECT_EQ(mp.disk_bytes_read, mg.disk_bytes_read) << "block " << b;
+    EXPECT_EQ(mp.helpers, mg.helpers) << "block " << b;
+  }
+}
+
+TEST_F(StorageFixture, DataAvailabilityTracksFailures) {
+  codes::PyramidCode pyr(4, 2, 1);
+  StorageSystem storage(sim, cluster, pyr, 1 << 20);
+  EXPECT_TRUE(storage.data_available());
+  storage.fail_block(0);
+  EXPECT_TRUE(storage.data_available());
+  storage.fail_block(1);
+  EXPECT_TRUE(storage.data_available()) << "g+1 = 2 failures tolerated";
+  // Both data blocks of group 0 plus the global parity: the paper's
+  // Sec. III-B counterexample — unrecoverable.
+  storage.fail_block(6);
+  EXPECT_FALSE(storage.data_available());
+  storage.recover_block(6);
+  EXPECT_TRUE(storage.data_available());
+}
+
+TEST_F(StorageFixture, RepairWithDeadHelperThrows) {
+  codes::PyramidCode pyr(4, 2, 1);
+  StorageSystem storage(sim, cluster, pyr, 1 << 20);
+  storage.fail_block(1);  // helper of block 0
+  EXPECT_THROW(storage.simulate_repair(0, 7), CheckError);
+}
+
+TEST_F(StorageFixture, DegradedReadCostsMoreThanPlainRead) {
+  codes::PyramidCode pyr(4, 2, 1);
+  StorageSystem storage(sim, cluster, pyr, 8 << 20);
+  const auto plain = storage.simulate_read(0);
+  EXPECT_EQ(plain.disk_bytes_read, 8u << 20);
+  storage.fail_block(0);
+  const auto degraded = storage.simulate_read(0);
+  EXPECT_EQ(degraded.disk_bytes_read, 2u * (8 << 20));
+  EXPECT_GT(degraded.completion_time, plain.completion_time);
+}
+
+TEST_F(StorageFixture, InvalidHelperSetThrows) {
+  codes::ReedSolomonCode rs(4, 2);
+  StorageSystem storage(sim, cluster, rs, 1 << 20);
+  EXPECT_THROW(storage.simulate_repair(0, 7, {1, 2, 3}), CheckError);
+}
+
+TEST(Storage, ClusterTooSmallThrows) {
+  Simulation sim;
+  Cluster cluster(sim, 3, ServerSpec{});
+  codes::ReedSolomonCode rs(4, 2);
+  EXPECT_THROW(StorageSystem(sim, cluster, rs, 1024), CheckError);
+}
+
+TEST(Storage, SlowerDiskSlowsRepair) {
+  codes::ReedSolomonCode rs(4, 2);
+  Simulation s1;
+  Cluster fast(s1, 8, ServerSpec{});
+  StorageSystem sys_fast(s1, fast, rs, 32 << 20);
+  const auto m_fast = sys_fast.simulate_repair(0, 7);
+
+  Simulation s2;
+  ServerSpec slow_spec;
+  slow_spec.disk_bw /= 4;
+  Cluster slow(s2, 8, slow_spec);
+  StorageSystem sys_slow(s2, slow, rs, 32 << 20);
+  const auto m_slow = sys_slow.simulate_repair(0, 7);
+  EXPECT_GT(m_slow.completion_time, m_fast.completion_time);
+}
+
+}  // namespace
+}  // namespace galloper::sim

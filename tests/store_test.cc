@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include "codes/reed_solomon.h"
+#include "core/galloper.h"
+#include "store/file_store.h"
+#include "store/recovery.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace galloper::store {
+namespace {
+
+using galloper::Buffer;
+using galloper::CheckError;
+using galloper::Rng;
+using galloper::random_buffer;
+
+class FileStoreTest : public ::testing::Test {
+ protected:
+  sim::Simulation simulation;
+  sim::Cluster cluster{simulation, 9, sim::ServerSpec{}};
+  core::GalloperCode code{4, 2, 1};
+  FileStore fs{cluster, code};
+  Rng rng{123};
+
+  Buffer make_file(size_t chunk = 128) {
+    return random_buffer(code.engine().num_chunks() * chunk, rng);
+  }
+};
+
+TEST_F(FileStoreTest, WriteThenReadRoundTrip) {
+  const Buffer file = make_file();
+  const FileId id = fs.write(file);
+  const auto back = fs.read(id);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, file);
+}
+
+TEST_F(FileStoreTest, ReadOriginalOnlyFastPath) {
+  const Buffer file = make_file();
+  const FileId id = fs.write(file);
+  const auto back = fs.read_original_only(id);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, file);
+}
+
+TEST_F(FileStoreTest, MultipleFilesIndependent) {
+  const Buffer f1 = make_file(64), f2 = make_file(256);
+  const FileId id1 = fs.write(f1);
+  const FileId id2 = fs.write(f2);
+  EXPECT_EQ(*fs.read(id1), f1);
+  EXPECT_EQ(*fs.read(id2), f2);
+  EXPECT_NE(fs.block_bytes(id1), fs.block_bytes(id2));
+}
+
+TEST_F(FileStoreTest, FailureHidesBlocksButReadStillWorks) {
+  const Buffer file = make_file();
+  const FileId id = fs.write(file);
+  fs.fail_server(0);
+  fs.fail_server(5);
+  EXPECT_FALSE(fs.block_available(id, 0));
+  EXPECT_FALSE(fs.block_available(id, 5));
+  EXPECT_TRUE(fs.all_recoverable());
+  const auto back = fs.read(id);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, file);
+}
+
+TEST_F(FileStoreTest, OriginalOnlyReadFailsWhenDataBlockDead) {
+  const Buffer file = make_file();
+  const FileId id = fs.write(file);
+  fs.fail_server(3);  // every Galloper block holds original data
+  EXPECT_FALSE(fs.read_original_only(id).has_value());
+  EXPECT_TRUE(fs.read(id).has_value()) << "decoding path still works";
+}
+
+TEST_F(FileStoreTest, RepairUsesLocalHelpersWhenAlive) {
+  const Buffer file = make_file();
+  const FileId id = fs.write(file);
+  fs.fail_server(2);
+  fs.revive_server(2);
+  const auto helpers = fs.repair(id, 2);
+  ASSERT_TRUE(helpers.has_value());
+  EXPECT_EQ(*helpers, code.repair_helpers(2)) << "k/l group peers";
+  EXPECT_EQ(Buffer(fs.block(id, 2)->begin(), fs.block(id, 2)->end()),
+            Buffer(code.encode(file)[2]));
+}
+
+TEST_F(FileStoreTest, RepairFallsBackWhenLocalHelperDead) {
+  const Buffer file = make_file();
+  const FileId id = fs.write(file);
+  // Kill block 2 and one of its group peers (block 3): local repair of 2
+  // is impossible, the generic path must kick in.
+  fs.fail_server(2);
+  fs.fail_server(3);
+  fs.revive_server(2);
+  const auto helpers = fs.repair(id, 2);
+  ASSERT_TRUE(helpers.has_value());
+  EXPECT_GT(helpers->size(), code.repair_helpers(2).size());
+  EXPECT_EQ(*fs.read(id), file);
+}
+
+TEST_F(FileStoreTest, UnrecoverableAfterTooManyFailures) {
+  const Buffer file = make_file();
+  const FileId id = fs.write(file);
+  fs.fail_server(0);
+  fs.fail_server(1);
+  fs.fail_server(6);  // group 0 wiped + global parity: gone for good
+  EXPECT_FALSE(fs.all_recoverable());
+  EXPECT_FALSE(fs.read(id).has_value());
+  fs.revive_server(0);
+  EXPECT_FALSE(fs.repair(id, 0).has_value());
+}
+
+TEST_F(FileStoreTest, RepairOntoDeadServerThrows) {
+  const Buffer file = make_file();
+  const FileId id = fs.write(file);
+  fs.fail_server(1);
+  EXPECT_THROW(fs.repair(id, 1), CheckError);
+}
+
+TEST_F(FileStoreTest, RepairOfHealthyBlockIsNoop) {
+  const FileId id = fs.write(make_file());
+  const auto helpers = fs.repair(id, 0);
+  ASSERT_TRUE(helpers.has_value());
+  EXPECT_TRUE(helpers->empty());
+}
+
+// ---------- in-place updates ----------
+
+TEST_F(FileStoreTest, UpdateRangeChangesFileAndKeepsConsistency) {
+  const size_t chunk = 128;
+  Buffer file = make_file(chunk);
+  const FileId id = fs.write(file);
+  // Overwrite chunks 3..5.
+  Rng r2(9);
+  const Buffer fresh = random_buffer(3 * chunk, r2);
+  const auto touched = fs.update_range(id, 3 * chunk, fresh);
+  EXPECT_FALSE(touched.empty());
+  std::copy(fresh.begin(), fresh.end(),
+            file.begin() + static_cast<ptrdiff_t>(3 * chunk));
+  EXPECT_EQ(*fs.read_original_only(id), file);
+  EXPECT_EQ(*fs.read(id), file) << "parity patched consistently";
+  EXPECT_TRUE(fs.scrub().empty()) << "checksums refreshed";
+}
+
+TEST_F(FileStoreTest, UpdateThenDegradedReadSeesNewData) {
+  const size_t chunk = 64;
+  Buffer file = make_file(chunk);
+  const FileId id = fs.write(file);
+  Rng r2(10);
+  const Buffer fresh = random_buffer(chunk, r2);
+  fs.update_range(id, 0, fresh);
+  std::copy(fresh.begin(), fresh.end(), file.begin());
+  fs.fail_server(0);  // chunk 0 lives in block 0
+  const auto degraded = fs.read(id);
+  ASSERT_TRUE(degraded.has_value());
+  EXPECT_EQ(*degraded, file);
+}
+
+TEST_F(FileStoreTest, UpdateRejectsUnalignedOrDegraded) {
+  const size_t chunk = 128;
+  const FileId id = fs.write(make_file(chunk));
+  EXPECT_THROW(fs.update_range(id, 1, Buffer(chunk)), CheckError);
+  EXPECT_THROW(fs.update_range(id, 0, Buffer(chunk - 1)), CheckError);
+  fs.fail_server(3);
+  EXPECT_THROW(fs.update_range(id, 0, Buffer(chunk)), CheckError);
+}
+
+// ---------- scrubbing ----------
+
+TEST_F(FileStoreTest, ScrubFindsNothingWhenClean) {
+  fs.write(make_file());
+  EXPECT_TRUE(fs.scrub().empty());
+}
+
+TEST_F(FileStoreTest, ScrubDetectsAndQuarantinesCorruption) {
+  const Buffer file = make_file();
+  const FileId id = fs.write(file);
+  fs.corrupt_block(id, 3, 17);
+  const auto corrupt = fs.scrub();
+  ASSERT_EQ(corrupt.size(), 1u);
+  EXPECT_EQ(corrupt[0].file, id);
+  EXPECT_EQ(corrupt[0].block, 3u);
+  EXPECT_FALSE(fs.block_available(id, 3)) << "quarantined";
+  // Repair restores the block bit-exactly and a re-scrub is clean.
+  ASSERT_TRUE(fs.repair(id, 3).has_value());
+  EXPECT_TRUE(fs.scrub().empty());
+  EXPECT_EQ(*fs.read_original_only(id), file);
+}
+
+TEST_F(FileStoreTest, ScrubWithoutQuarantineLeavesBlock) {
+  const FileId id = fs.write(make_file());
+  fs.corrupt_block(id, 0, 0);
+  const auto corrupt = fs.scrub(/*quarantine=*/false);
+  ASSERT_EQ(corrupt.size(), 1u);
+  EXPECT_TRUE(fs.block_available(id, 0));
+}
+
+TEST_F(FileStoreTest, CorruptionInParityAlsoCaught) {
+  const FileId id = fs.write(make_file());
+  // Byte beyond the data region of the global parity block (weight 4/7 →
+  // bottom 3/7 of block 6 is parity).
+  fs.corrupt_block(id, 6, fs.block_bytes(id) - 1);
+  const auto corrupt = fs.scrub();
+  ASSERT_EQ(corrupt.size(), 1u);
+  EXPECT_EQ(corrupt[0].block, 6u);
+}
+
+TEST_F(FileStoreTest, CorruptingLostBlockThrows) {
+  const FileId id = fs.write(make_file());
+  fs.fail_server(1);
+  EXPECT_THROW(fs.corrupt_block(id, 1, 0), CheckError);
+}
+
+// ---------- RecoveryManager ----------
+
+TEST(Recovery, RebuildsEverythingBitExact) {
+  sim::Simulation simulation;
+  sim::Cluster cluster(simulation, 8, sim::ServerSpec{});
+  core::GalloperCode code(4, 2, 1);
+  FileStore fs(cluster, code);
+  Rng rng(7);
+  std::vector<Buffer> files;
+  std::vector<FileId> ids;
+  for (int i = 0; i < 3; ++i) {
+    files.push_back(random_buffer(code.engine().num_chunks() * 64, rng));
+    ids.push_back(fs.write(files.back()));
+  }
+  fs.fail_server(1);
+  fs.fail_server(4);
+  fs.revive_server(1);
+  fs.revive_server(4);
+
+  RecoveryManager mgr(simulation, fs);
+  const auto report = mgr.recover_all();
+  EXPECT_EQ(report.blocks_repaired, 6u);  // 2 blocks × 3 files
+  EXPECT_EQ(report.blocks_unrecoverable, 0u);
+  EXPECT_GT(report.makespan, 0.0);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t b = 0; b < code.num_blocks(); ++b)
+      EXPECT_TRUE(fs.block_available(ids[i], b));
+    EXPECT_EQ(*fs.read_original_only(ids[i]), files[i]);
+  }
+}
+
+TEST(Recovery, LrcReadsFewerBytesThanRsAndFinishesFaster) {
+  Rng rng(8);
+  // One file size that both codes accept (28 = lcm of 4 and 28 chunks), so
+  // blocks are equally large and byte counts are comparable.
+  auto run = [&](const codes::ErasureCode& code) {
+    sim::Simulation simulation;
+    sim::Cluster cluster(simulation, code.num_blocks(), sim::ServerSpec{});
+    FileStore fs(cluster, code);
+    Buffer file(28 * 512);
+    rng.fill_bytes(file);
+    for (int i = 0; i < 4; ++i) fs.write(file);
+    fs.fail_server(0);
+    fs.revive_server(0);
+    RecoveryManager mgr(simulation, fs);
+    return mgr.recover_all();
+  };
+  codes::ReedSolomonCode rs(4, 2);
+  core::GalloperCode gal(4, 2, 1);
+  const auto r_rs = run(rs);
+  const auto r_gal = run(gal);
+  EXPECT_EQ(r_rs.blocks_repaired, 4u);
+  EXPECT_EQ(r_gal.blocks_repaired, 4u);
+  EXPECT_LT(r_gal.disk_bytes_read, r_rs.disk_bytes_read);
+  EXPECT_LT(r_gal.makespan, r_rs.makespan);
+}
+
+TEST(Recovery, ThrottlingStretchesMakespanOnly) {
+  auto run = [](RecoveryConfig config) {
+    sim::Simulation simulation;
+    sim::Cluster cluster(simulation, 7, sim::ServerSpec{});
+    core::GalloperCode code(4, 2, 1);
+    FileStore fs(cluster, code);
+    Rng rng(21);
+    for (int i = 0; i < 4; ++i)
+      fs.write(random_buffer(code.engine().num_chunks() * 256, rng));
+    fs.fail_server(2);
+    fs.revive_server(2);
+    RecoveryManager mgr(simulation, fs, config);
+    return mgr.recover_all();
+  };
+  const auto full = run({1.0, SIZE_MAX});
+  const auto quarter = run({0.25, SIZE_MAX});
+  EXPECT_EQ(full.blocks_repaired, quarter.blocks_repaired);
+  EXPECT_EQ(full.disk_bytes_read, quarter.disk_bytes_read)
+      << "throttling changes time, not bytes";
+  EXPECT_GT(quarter.makespan, full.makespan * 2.0);
+}
+
+TEST(Recovery, WaveLimitSerializesRepairs) {
+  auto run = [](size_t max_parallel) {
+    sim::Simulation simulation;
+    sim::Cluster cluster(simulation, 7, sim::ServerSpec{});
+    core::GalloperCode code(4, 2, 1);
+    FileStore fs(cluster, code);
+    Rng rng(22);
+    for (int i = 0; i < 6; ++i)
+      fs.write(random_buffer(code.engine().num_chunks() * 512, rng));
+    fs.fail_server(1);
+    fs.revive_server(1);
+    RecoveryManager mgr(simulation, fs, {1.0, max_parallel});
+    return mgr.recover_all();
+  };
+  const auto serial = run(1);
+  const auto parallel = run(SIZE_MAX);
+  EXPECT_EQ(serial.blocks_repaired, parallel.blocks_repaired);
+  EXPECT_GE(serial.makespan, parallel.makespan);
+}
+
+TEST(Recovery, RejectsBadConfig) {
+  sim::Simulation simulation;
+  sim::Cluster cluster(simulation, 7, sim::ServerSpec{});
+  core::GalloperCode code(4, 2, 1);
+  FileStore fs(cluster, code);
+  EXPECT_THROW(RecoveryManager(simulation, fs, {0.0, 1}), CheckError);
+  EXPECT_THROW(RecoveryManager(simulation, fs, {1.5, 1}), CheckError);
+  EXPECT_THROW(RecoveryManager(simulation, fs, {1.0, 0}), CheckError);
+}
+
+TEST(Recovery, ReportsUnrecoverableBlocks) {
+  sim::Simulation simulation;
+  sim::Cluster cluster(simulation, 7, sim::ServerSpec{});
+  core::GalloperCode code(4, 2, 1);
+  FileStore fs(cluster, code);
+  Rng rng(9);
+  fs.write(random_buffer(code.engine().num_chunks() * 16, rng));
+  for (size_t s : {0u, 1u, 6u}) fs.fail_server(s);
+  for (size_t s : {0u, 1u, 6u}) fs.revive_server(s);
+  RecoveryManager mgr(simulation, fs);
+  const auto report = mgr.recover_all();
+  EXPECT_EQ(report.blocks_repaired, 0u);
+  EXPECT_EQ(report.blocks_unrecoverable, 3u);
+}
+
+}  // namespace
+}  // namespace galloper::store

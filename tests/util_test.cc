@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bytes.h"
+#include "util/check.h"
+#include "util/crc32c.h"
+#include "util/rational.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace galloper {
+namespace {
+
+// ---------- check ----------
+
+TEST(Check, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(GALLOPER_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(GALLOPER_CHECK(1 + 1 == 3), CheckError);
+}
+
+TEST(Check, MessageIsIncluded) {
+  try {
+    GALLOPER_CHECK_MSG(false, "custom detail " << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom detail 42"),
+              std::string::npos);
+  }
+}
+
+// ---------- rng ----------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.next_u64() != b.next_u64());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRoughlyRightMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.2);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(17);
+  const auto sample = rng.sample_indices(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<size_t> set(sample.begin(), sample.end());
+  EXPECT_EQ(set.size(), 20u);
+  for (size_t v : sample) EXPECT_LT(v, 50u);
+}
+
+TEST(Rng, SampleAllIsPermutation) {
+  Rng rng(19);
+  const auto sample = rng.sample_indices(10, 10);
+  std::set<size_t> set(sample.begin(), sample.end());
+  EXPECT_EQ(set.size(), 10u);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, FillBytesChangesBuffer) {
+  Rng rng(29);
+  Buffer b(33, 0);
+  rng.fill_bytes(b);
+  size_t nonzero = 0;
+  for (uint8_t x : b) nonzero += (x != 0);
+  EXPECT_GT(nonzero, 20u);  // overwhelmingly likely
+}
+
+// ---------- bytes ----------
+
+TEST(Bytes, SplitEvenShapes) {
+  Rng rng(1);
+  Buffer b = random_buffer(12, rng);
+  const auto parts = split_even(b, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  for (const auto& p : parts) EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(concat(parts), b);
+}
+
+TEST(Bytes, SplitEvenRejectsIndivisible) {
+  Buffer b(10);
+  EXPECT_THROW(split_even(b, 3), CheckError);
+}
+
+TEST(Bytes, FingerprintDetectsChange) {
+  Rng rng(2);
+  Buffer b = random_buffer(100, rng);
+  const uint64_t f0 = fingerprint(b);
+  b[50] ^= 1;
+  EXPECT_NE(fingerprint(b), f0);
+}
+
+TEST(Bytes, HexDumpTruncates) {
+  Buffer b(100, 0xab);
+  const std::string s = hex_dump(b, 4);
+  EXPECT_NE(s.find("ab ab ab ab"), std::string::npos);
+  EXPECT_NE(s.find("…"), std::string::npos);
+}
+
+// ---------- crc32c ----------
+
+TEST(Crc32c, KnownVectors) {
+  // Standard CRC-32C check value for "123456789".
+  const std::string check = "123456789";
+  EXPECT_EQ(crc32c(ConstByteSpan(
+                reinterpret_cast<const uint8_t*>(check.data()), check.size())),
+            0xE3069283u);
+  EXPECT_EQ(crc32c(ConstByteSpan{}), 0x00000000u);
+  // 32 zero bytes (iSCSI test vector).
+  Buffer zeros(32, 0);
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+  // 32 0xff bytes.
+  Buffer ones(32, 0xff);
+  EXPECT_EQ(crc32c(ones), 0x62A8AB43u);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  Rng rng(55);
+  const Buffer data = random_buffer(1000, rng);
+  const ConstByteSpan span(data);
+  uint32_t state = kCrc32cInit;
+  state = crc32c_extend(state, span.subspan(0, 137));
+  state = crc32c_extend(state, span.subspan(137, 600));
+  state = crc32c_extend(state, span.subspan(737));
+  EXPECT_EQ(crc32c_finish(state), crc32c(data));
+}
+
+TEST(Crc32c, DetectsSingleBitFlip) {
+  Rng rng(56);
+  Buffer data = random_buffer(256, rng);
+  const uint32_t before = crc32c(data);
+  data[100] ^= 0x10;
+  EXPECT_NE(crc32c(data), before);
+}
+
+// ---------- rational ----------
+
+TEST(Rational, NormalizesSignsAndGcd) {
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(-2, -4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, -4), Rational(-1, 2));
+  EXPECT_EQ(Rational(0, 7), Rational(0, 1));
+}
+
+TEST(Rational, Arithmetic) {
+  const Rational a(1, 2), b(1, 3);
+  EXPECT_EQ(a + b, Rational(5, 6));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 6));
+  EXPECT_EQ(a / b, Rational(3, 2));
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(7, 8), Rational(3, 4));
+  EXPECT_GE(Rational(1), Rational(1));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1, 0), CheckError);
+  EXPECT_THROW(Rational(1, 2) / Rational(0), CheckError);
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational(4, 7).to_string(), "4/7");
+  EXPECT_EQ(Rational(3).to_string(), "3");
+  EXPECT_EQ(Rational(-1, 2).to_string(), "-1/2");
+}
+
+TEST(Rational, CommonDenominator) {
+  EXPECT_EQ(common_denominator({Rational(6, 7), Rational(4, 7)}), 7);
+  EXPECT_EQ(common_denominator({Rational(1, 2), Rational(1, 3)}), 6);
+  EXPECT_EQ(common_denominator({Rational(2)}), 1);
+}
+
+TEST(Rational, SumExact) {
+  // 4 · 6/7 + 4/7 = 4 — exactly (the paper's toy weights).
+  const std::vector<Rational> ws{Rational(6, 7), Rational(6, 7),
+                                 Rational(6, 7), Rational(6, 7),
+                                 Rational(4, 7)};
+  EXPECT_EQ(sum(ws), Rational(4));
+}
+
+TEST(Rational, GcdLcm) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(7, 13), 91);
+}
+
+// ---------- stats ----------
+
+TEST(Stats, BasicMoments) {
+  Stats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.2909944, 1e-6);
+}
+
+TEST(Stats, Percentiles) {
+  Stats s;
+  for (int i = 0; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(99), 99.0, 1e-9);
+}
+
+TEST(Stats, EmptyThrows) {
+  Stats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.mean(), CheckError);
+  EXPECT_THROW(s.percentile(50), CheckError);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  Stats s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 2.5);
+}
+
+// ---------- table ----------
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("| long-name"), std::string::npos);
+  // All lines equally wide.
+  size_t first_len = s.find('\n');
+  size_t pos = 0;
+  for (size_t nl = s.find('\n'); nl != std::string::npos;
+       nl = s.find('\n', pos)) {
+    EXPECT_EQ(nl - pos, first_len);
+    pos = nl + 1;
+  }
+}
+
+TEST(Table, RejectsWrongWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 3), "3.14");
+  EXPECT_EQ(Table::num(42.0), "42");
+}
+
+}  // namespace
+}  // namespace galloper

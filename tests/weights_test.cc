@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/weights.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace galloper::core {
+namespace {
+
+using galloper::CheckError;
+using galloper::Rational;
+using galloper::Rng;
+
+TEST(UniformWeights, SumToKAndEqual) {
+  const auto ws = uniform_weights(4, 2, 1);
+  ASSERT_EQ(ws.size(), 7u);
+  for (const auto& w : ws) EXPECT_EQ(w, Rational(4, 7));
+  EXPECT_EQ(sum(ws), Rational(4));
+  EXPECT_TRUE(weights_valid(4, 2, 1, ws));
+}
+
+TEST(WeightsValid, DetectsViolations) {
+  // Sum mismatch.
+  EXPECT_FALSE(weights_valid(4, 0, 1, std::vector<Rational>(5, Rational(1))));
+  // Over-one weight.
+  EXPECT_FALSE(weights_valid(
+      2, 0, 1, {Rational(3, 2), Rational(1, 4), Rational(1, 4)}));
+  // Valid l = 0 case.
+  EXPECT_TRUE(weights_valid(
+      2, 0, 1, {Rational(1), Rational(1, 2), Rational(1, 2)}));
+}
+
+TEST(AssignWeights, HomogeneousGivesUniform) {
+  const auto sol = assign_weights(4, 2, 1, std::vector<double>(7, 2.0));
+  EXPECT_NEAR(sol.lp_objective, 0.0, 1e-7) << "no capping needed";
+  for (const auto& w : sol.weights) EXPECT_EQ(w, Rational(4, 7));
+}
+
+TEST(AssignWeights, OneVeryFastServerIsCapped) {
+  // l = 0: one server 100× faster must be capped so w ≤ 1.
+  std::vector<double> perf{100, 1, 1, 1, 1};
+  const auto sol = assign_weights(4, 0, 1, perf);
+  EXPECT_TRUE(weights_valid(4, 0, 1, sol.weights));
+  EXPECT_EQ(sol.weights[0], Rational(1)) << "fast server saturates at w=1";
+  EXPECT_GT(sol.lp_objective, 90.0) << "most of its surplus is discarded";
+}
+
+TEST(AssignWeights, MatchesWaterfillForLZero) {
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> perf(6);
+    for (auto& p : perf) p = 0.5 + rng.next_double() * 9.5;
+    const auto lp = assign_weights(4, 0, 2, perf, /*resolution=*/1000);
+    const auto wf = waterfill_effective(perf, 4);
+    const double lp_total =
+        std::accumulate(lp.effective.begin(), lp.effective.end(), 0.0);
+    const double wf_total = std::accumulate(wf.begin(), wf.end(), 0.0);
+    EXPECT_NEAR(lp_total, wf_total, 1e-5 * wf_total) << "trial " << trial;
+  }
+}
+
+TEST(Waterfill, HomogeneousNoCapping) {
+  const auto q = waterfill_effective({2, 2, 2, 2, 2}, 4);
+  for (double v : q) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(Waterfill, CapsOnlyTheOutlier) {
+  const auto q = waterfill_effective({10, 1, 1, 1, 1}, 4);
+  // Constraint k·q_i ≤ Σq: 4·q0 ≤ q0 + 4 → q0 = 4/3.
+  EXPECT_NEAR(q[0], 4.0 / 3.0, 1e-9);
+  for (size_t i = 1; i < 5; ++i) EXPECT_DOUBLE_EQ(q[i], 1.0);
+}
+
+TEST(Waterfill, KEqualsNForcesEqualValues) {
+  // g = 0: all effective values must equal the minimum.
+  const auto q = waterfill_effective({5, 3, 7, 3}, 4);
+  for (double v : q) EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST(AssignWeights, GroupConstraintLimitsHotGroup) {
+  // l = 2, k = 4: group 0 = blocks {0,1,4}. Make that whole group fast;
+  // the w_g ≤ 1 constraint must cap it.
+  std::vector<double> perf{10, 10, 1, 1, 10, 1, 1};
+  const auto sol = assign_weights(4, 2, 1, perf);
+  EXPECT_TRUE(weights_valid(4, 2, 1, sol.weights));
+  // Group 0 weight sum ≤ k/l = 2 exactly.
+  const Rational group0 =
+      sol.weights[0] + sol.weights[1] + sol.weights[4];
+  EXPECT_LE(group0.to_double(), 2.0 + 1e-9);
+  EXPECT_GT(sol.lp_objective, 0.0);
+}
+
+TEST(AssignWeights, MemberConstraintWithinGroup) {
+  // One member much faster than its group peers: capped at w_g.
+  std::vector<double> perf{10, 1, 1, 1, 1, 1, 1};
+  const auto sol = assign_weights(4, 2, 1, perf);
+  EXPECT_TRUE(weights_valid(4, 2, 1, sol.weights));
+  const Rational group0 =
+      sol.weights[0] + sol.weights[1] + sol.weights[4];
+  const Rational wg = group0 * Rational(2, 4);
+  EXPECT_LE(sol.weights[0].to_double(), wg.to_double() + 1e-9);
+}
+
+TEST(AssignWeights, PaperHeterogeneousScenario) {
+  // Fig. 10 scenario: some servers limited to 40% CPU. Weights should give
+  // the slow servers ~40% of the fast servers' data.
+  std::vector<double> perf{1.0, 0.4, 1.0, 0.4, 1.0, 0.4, 1.0};
+  const auto sol = assign_weights(4, 2, 1, perf, /*resolution=*/10);
+  EXPECT_TRUE(weights_valid(4, 2, 1, sol.weights));
+  // Slow/fast ratio preserved where no capping occurred.
+  const double r01 = sol.weights[1].to_double() / sol.weights[0].to_double();
+  EXPECT_NEAR(r01, 0.4, 0.08);
+}
+
+TEST(AssignWeights, ResolutionBoundsDenominator) {
+  Rng rng(5);
+  std::vector<double> perf(7);
+  for (auto& p : perf) p = 0.3 + rng.next_double() * 3;
+  const auto sol = assign_weights(4, 2, 1, perf, /*resolution=*/8);
+  // Units are ≤ resolution each, so the denominator (Σ units) stays small.
+  const int64_t total =
+      std::accumulate(sol.units.begin(), sol.units.end(), int64_t{0});
+  EXPECT_LE(total, 8 * 7);
+  for (const auto& w : sol.weights) EXPECT_LE(w.den(), total);
+}
+
+TEST(AssignWeights, RandomizedAlwaysValid) {
+  Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t k = 4, l = 2, g = 1;
+    std::vector<double> perf(k + l + g);
+    for (auto& p : perf) p = 0.1 + rng.next_double() * 20.0;
+    const auto sol = assign_weights(k, l, g, perf, 6);
+    EXPECT_TRUE(weights_valid(k, l, g, sol.weights)) << "trial " << trial;
+  }
+}
+
+TEST(AssignWeights, RandomizedValidForVariousShapes) {
+  Rng rng(100);
+  struct Shape {
+    size_t k, l, g;
+  };
+  for (const auto& s : {Shape{6, 2, 1}, Shape{6, 3, 2}, Shape{8, 4, 1},
+                        Shape{4, 0, 2}, Shape{12, 2, 2}}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<double> perf(s.k + s.l + s.g);
+      for (auto& p : perf) p = 0.1 + rng.next_double() * 8.0;
+      const auto sol = assign_weights(s.k, s.l, s.g, perf, 6);
+      EXPECT_TRUE(weights_valid(s.k, s.l, s.g, sol.weights))
+          << s.k << "," << s.l << "," << s.g << " trial " << trial;
+    }
+  }
+}
+
+TEST(AssignWeights, RejectsBadInput) {
+  EXPECT_THROW(assign_weights(4, 2, 1, {1, 2, 3}), CheckError);  // wrong size
+  EXPECT_THROW(assign_weights(4, 2, 1, std::vector<double>(7, -1.0)),
+               CheckError);
+  EXPECT_THROW(assign_weights(4, 3, 1, std::vector<double>(8, 1.0)),
+               CheckError);  // l does not divide k
+}
+
+TEST(AssignWeights, FasterServersNeverGetLessData) {
+  // Monotonicity within the same group role: sort-preserving.
+  std::vector<double> perf{3.0, 1.0, 2.0, 4.0, 1.5, 2.5, 1.0};
+  const auto sol = assign_weights(4, 2, 1, perf, 20);
+  // Compare blocks within the same group (0 vs 1, 2 vs 3).
+  EXPECT_GE(sol.weights[0].to_double(), sol.weights[1].to_double());
+  EXPECT_GE(sol.weights[3].to_double(), sol.weights[2].to_double());
+}
+
+}  // namespace
+}  // namespace galloper::core

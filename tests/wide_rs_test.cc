@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "codes/wide_rs.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace galloper::codes {
+namespace {
+
+using galloper::Buffer;
+using galloper::CheckError;
+using galloper::ConstByteSpan;
+using galloper::Rng;
+using galloper::random_buffer;
+
+std::map<size_t, ConstByteSpan> view(const std::vector<Buffer>& blocks,
+                                     const std::vector<size_t>& ids) {
+  std::map<size_t, ConstByteSpan> m;
+  for (size_t id : ids) m.emplace(id, blocks[id]);
+  return m;
+}
+
+TEST(WideRs, SystematicAndRoundTrip) {
+  WideReedSolomonCode code(6, 3);
+  Rng rng(1);
+  const Buffer file = random_buffer(6 * 2 * 32, rng);
+  const auto blocks = code.encode(file);
+  ASSERT_EQ(blocks.size(), 9u);
+  for (size_t i = 0; i < 6; ++i)
+    EXPECT_EQ(Buffer(file.begin() + i * 64, file.begin() + (i + 1) * 64),
+              blocks[i]);
+  // Decode from random 6-subsets.
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto ids = rng.sample_indices(9, 6);
+    const auto decoded = code.decode(view(blocks, ids));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, file);
+  }
+}
+
+TEST(WideRs, ExhaustiveKSubsetsSmall) {
+  WideReedSolomonCode code(3, 3);
+  Rng rng(2);
+  const Buffer file = random_buffer(3 * 2 * 8, rng);
+  const auto blocks = code.encode(file);
+  // All C(6,3) = 20 subsets decode.
+  for (size_t a = 0; a < 6; ++a)
+    for (size_t b = a + 1; b < 6; ++b)
+      for (size_t c = b + 1; c < 6; ++c) {
+        const auto decoded = code.decode(view(blocks, {a, b, c}));
+        ASSERT_TRUE(decoded.has_value()) << a << b << c;
+        EXPECT_EQ(*decoded, file);
+      }
+}
+
+TEST(WideRs, TooFewBlocksFail) {
+  WideReedSolomonCode code(4, 2);
+  Rng rng(3);
+  const auto blocks = code.encode(random_buffer(4 * 2 * 4, rng));
+  EXPECT_FALSE(code.decode(view(blocks, {0, 1, 2})).has_value());
+}
+
+TEST(WideRs, RepairEveryBlock) {
+  WideReedSolomonCode code(4, 2);
+  Rng rng(4);
+  const Buffer file = random_buffer(4 * 2 * 16, rng);
+  const auto blocks = code.encode(file);
+  for (size_t failed = 0; failed < 6; ++failed) {
+    std::vector<size_t> helpers;
+    for (size_t b = 0; b < 6 && helpers.size() < 4; ++b)
+      if (b != failed) helpers.push_back(b);
+    const auto rebuilt = code.repair_block(failed, view(blocks, helpers));
+    ASSERT_TRUE(rebuilt.has_value()) << failed;
+    EXPECT_EQ(*rebuilt, blocks[failed]);
+  }
+}
+
+TEST(WideRs, BeyondGf256BlockCount) {
+  // The whole point: more than 256 blocks. k = 300 data blocks.
+  const size_t k = 300, r = 4;
+  WideReedSolomonCode code(k, r);
+  Rng rng(5);
+  const Buffer file = random_buffer(k * 2 * 2, rng);  // 2 symbols per block
+  const auto blocks = code.encode(file);
+  ASSERT_EQ(blocks.size(), k + r);
+
+  // Lose r arbitrary blocks, decode from the rest.
+  std::map<size_t, ConstByteSpan> survivors;
+  const std::vector<size_t> dead{7, 123, 299, 301};
+  for (size_t b = 0; b < k + r; ++b)
+    if (std::find(dead.begin(), dead.end(), b) == dead.end())
+      survivors.emplace(b, blocks[b]);
+  const auto decoded = code.decode(survivors);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, file);
+}
+
+TEST(WideRs, CoefficientStructure) {
+  WideReedSolomonCode code(5, 2);
+  for (size_t i = 0; i < 5; ++i)
+    for (size_t j = 0; j < 5; ++j)
+      EXPECT_EQ(code.coefficient(i, j), i == j ? 1 : 0);
+  for (size_t i = 5; i < 7; ++i)
+    for (size_t j = 0; j < 5; ++j)
+      EXPECT_NE(code.coefficient(i, j), 0) << "Cauchy rows are dense";
+}
+
+TEST(WideRs, RejectsInvalidInput) {
+  EXPECT_THROW(WideReedSolomonCode(0, 1), CheckError);
+  EXPECT_THROW(WideReedSolomonCode(65530, 10), CheckError);
+  WideReedSolomonCode code(4, 2);
+  EXPECT_THROW(code.encode(Buffer(7)), CheckError);  // odd / not 2k multiple
+  EXPECT_THROW(code.encode(Buffer{}), CheckError);
+}
+
+TEST(WideRs, DecodeWithExtraBlocksUsesIndependentSubset) {
+  WideReedSolomonCode code(2, 3);
+  Rng rng(6);
+  const Buffer file = random_buffer(2 * 2 * 8, rng);
+  const auto blocks = code.encode(file);
+  const auto decoded =
+      code.decode(view(blocks, {0, 1, 2, 3, 4}));  // all 5 blocks
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, file);
+}
+
+}  // namespace
+}  // namespace galloper::codes

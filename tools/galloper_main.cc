@@ -1,0 +1,126 @@
+// The `galloper` command-line tool: encode/decode/repair/inspect coded
+// archives on the local filesystem.
+//
+//   galloper encode --k=4 --l=2 --g=1 [--perf=1,0.4,...] <file> <dir>
+//   galloper decode <dir> <output-file>
+//   galloper repair <dir> --block=N
+//   galloper inspect <dir>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/archive.h"
+#include "util/check.h"
+#include "util/flags.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  galloper encode --k=K --l=L --g=G [--perf=p0,p1,...]\n"
+      "                  [--resolution=R] <input-file> <archive-dir>\n"
+      "  galloper decode <archive-dir> <output-file>\n"
+      "  galloper repair <archive-dir> --block=N\n"
+      "  galloper inspect <archive-dir>\n"
+      "  galloper verify <archive-dir>\n"
+      "  galloper update <archive-dir> <bytes-file> --offset=N\n"
+      "          (offset and size must be chunk-aligned; see inspect)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using galloper::Flags;
+  namespace cli = galloper::cli;
+  try {
+    Flags flags(argc, argv);
+    const auto& pos = flags.positional();
+    if (pos.empty()) return usage();
+    const std::string& command = pos[0];
+
+    if (command == "encode") {
+      if (pos.size() != 3) return usage();
+      const auto m = cli::encode_archive(
+          pos[1], pos[2], static_cast<size_t>(flags.get_int("k", 4)),
+          static_cast<size_t>(flags.get_int("l", 2)),
+          static_cast<size_t>(flags.get_int("g", 1)), flags.get_doubles("perf"),
+          flags.get_int("resolution", 12));
+      std::printf("encoded %zu bytes into %zu blocks of %zu bytes in %s\n",
+                  m.original_bytes, m.k + m.l + m.g, m.block_bytes,
+                  pos[2].c_str());
+      return 0;
+    }
+    if (command == "decode") {
+      if (pos.size() != 3) return usage();
+      const auto file = cli::decode_archive(pos[1]);
+      if (!file) {
+        std::fprintf(stderr, "decode failed: not enough blocks present\n");
+        return 1;
+      }
+      std::ofstream out(pos[2], std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(file->data()),
+                static_cast<std::streamsize>(file->size()));
+      GALLOPER_CHECK_MSG(out.good(), "cannot write " << pos[2]);
+      std::printf("decoded %zu bytes to %s\n", file->size(), pos[2].c_str());
+      return 0;
+    }
+    if (command == "repair") {
+      if (pos.size() != 2 || !flags.has("block")) return usage();
+      const auto helpers = cli::repair_archive(
+          pos[1], static_cast<size_t>(flags.get_int("block", 0)));
+      if (!helpers) {
+        std::fprintf(stderr, "repair failed: insufficient blocks present\n");
+        return 1;
+      }
+      std::printf("repaired block %lld reading blocks:",
+                  static_cast<long long>(flags.get_int("block", 0)));
+      for (size_t h : *helpers) std::printf(" %zu", h);
+      std::printf("\n");
+      return 0;
+    }
+    if (command == "inspect") {
+      if (pos.size() != 2) return usage();
+      std::fputs(cli::describe_archive(pos[1]).c_str(), stdout);
+      return 0;
+    }
+    if (command == "update") {
+      if (pos.size() != 3 || !flags.has("offset")) return usage();
+      std::ifstream in(pos[2], std::ios::binary);
+      if (!in.good()) {
+        std::fprintf(stderr, "cannot open %s\n", pos[2].c_str());
+        return 1;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      const std::string bytes = ss.str();
+      const auto touched = cli::update_archive(
+          pos[1], static_cast<size_t>(flags.get_int("offset", 0)),
+          galloper::ConstByteSpan(
+              reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size()));
+      std::printf("updated %zu bytes; rewrote blocks:", bytes.size());
+      for (size_t b : touched) std::printf(" %zu", b);
+      std::printf("\n");
+      return 0;
+    }
+    if (command == "verify") {
+      if (pos.size() != 2) return usage();
+      const auto report = cli::verify_archive(pos[1]);
+      if (report.clean()) {
+        std::printf("all blocks present and CRC-clean\n");
+        return 0;
+      }
+      for (size_t b : report.missing) std::printf("block %zu: MISSING\n", b);
+      for (size_t b : report.corrupt) std::printf("block %zu: CORRUPT\n", b);
+      std::printf("file %s recoverable from the clean blocks\n",
+                  report.decodable ? "IS" : "is NOT");
+      return report.decodable ? 1 : 2;
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
