@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_allsymbol.dir/ablation_allsymbol.cc.o"
+  "CMakeFiles/ablation_allsymbol.dir/ablation_allsymbol.cc.o.d"
+  "ablation_allsymbol"
+  "ablation_allsymbol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_allsymbol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

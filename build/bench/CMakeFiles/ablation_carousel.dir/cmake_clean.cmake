@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_carousel.dir/ablation_carousel.cc.o"
+  "CMakeFiles/ablation_carousel.dir/ablation_carousel.cc.o.d"
+  "ablation_carousel"
+  "ablation_carousel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_carousel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

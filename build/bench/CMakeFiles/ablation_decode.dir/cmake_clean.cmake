@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_decode.dir/ablation_decode.cc.o"
+  "CMakeFiles/ablation_decode.dir/ablation_decode.cc.o.d"
+  "ablation_decode"
+  "ablation_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stripes.dir/ablation_stripes.cc.o"
+  "CMakeFiles/ablation_stripes.dir/ablation_stripes.cc.o.d"
+  "ablation_stripes"
+  "ablation_stripes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stripes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

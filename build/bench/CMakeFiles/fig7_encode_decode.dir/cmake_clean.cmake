@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_encode_decode.dir/fig7_encode_decode.cc.o"
+  "CMakeFiles/fig7_encode_decode.dir/fig7_encode_decode.cc.o.d"
+  "fig7_encode_decode"
+  "fig7_encode_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_encode_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_reconstruction.dir/fig8_reconstruction.cc.o"
+  "CMakeFiles/fig8_reconstruction.dir/fig8_reconstruction.cc.o.d"
+  "fig8_reconstruction"
+  "fig8_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_hadoop_jobs.dir/fig9_hadoop_jobs.cc.o"
+  "CMakeFiles/fig9_hadoop_jobs.dir/fig9_hadoop_jobs.cc.o.d"
+  "fig9_hadoop_jobs"
+  "fig9_hadoop_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_hadoop_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

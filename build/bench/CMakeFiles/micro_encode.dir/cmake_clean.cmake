@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_encode.dir/micro_encode.cc.o"
+  "CMakeFiles/micro_encode.dir/micro_encode.cc.o.d"
+  "micro_encode"
+  "micro_encode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

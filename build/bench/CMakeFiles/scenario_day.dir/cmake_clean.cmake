@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_day.dir/scenario_day.cc.o"
+  "CMakeFiles/scenario_day.dir/scenario_day.cc.o.d"
+  "scenario_day"
+  "scenario_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_wordcount.dir/analytics_wordcount.cpp.o"
+  "CMakeFiles/analytics_wordcount.dir/analytics_wordcount.cpp.o.d"
+  "analytics_wordcount"
+  "analytics_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/online_updates.cpp" "examples/CMakeFiles/online_updates.dir/online_updates.cpp.o" "gcc" "examples/CMakeFiles/online_updates.dir/online_updates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/store/CMakeFiles/galloper_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/galloper_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/galloper_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/galloper_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/galloper_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/galloper_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/galloper_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/galloper_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_cluster.dir/wide_cluster.cpp.o"
+  "CMakeFiles/wide_cluster.dir/wide_cluster.cpp.o.d"
+  "wide_cluster"
+  "wide_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

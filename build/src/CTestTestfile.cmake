@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("gf")
+subdirs("la")
+subdirs("lp")
+subdirs("codes")
+subdirs("core")
+subdirs("sim")
+subdirs("store")
+subdirs("cli")
+subdirs("analysis")
+subdirs("mr")
+subdirs("scenario")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/durability.cc" "src/analysis/CMakeFiles/galloper_analysis.dir/durability.cc.o" "gcc" "src/analysis/CMakeFiles/galloper_analysis.dir/durability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codes/CMakeFiles/galloper_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/galloper_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/galloper_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/galloper_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galloper_analysis.dir/durability.cc.o"
+  "CMakeFiles/galloper_analysis.dir/durability.cc.o.d"
+  "libgalloper_analysis.a"
+  "libgalloper_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galloper_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

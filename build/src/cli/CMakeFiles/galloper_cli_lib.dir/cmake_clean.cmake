@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galloper_cli_lib.dir/archive.cc.o"
+  "CMakeFiles/galloper_cli_lib.dir/archive.cc.o.d"
+  "libgalloper_cli_lib.a"
+  "libgalloper_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galloper_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgalloper_cli_lib.a"
+)

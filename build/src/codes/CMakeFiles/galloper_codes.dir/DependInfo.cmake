@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codes/block_group.cc" "src/codes/CMakeFiles/galloper_codes.dir/block_group.cc.o" "gcc" "src/codes/CMakeFiles/galloper_codes.dir/block_group.cc.o.d"
+  "/root/repo/src/codes/carousel.cc" "src/codes/CMakeFiles/galloper_codes.dir/carousel.cc.o" "gcc" "src/codes/CMakeFiles/galloper_codes.dir/carousel.cc.o.d"
+  "/root/repo/src/codes/engine.cc" "src/codes/CMakeFiles/galloper_codes.dir/engine.cc.o" "gcc" "src/codes/CMakeFiles/galloper_codes.dir/engine.cc.o.d"
+  "/root/repo/src/codes/erasure_code.cc" "src/codes/CMakeFiles/galloper_codes.dir/erasure_code.cc.o" "gcc" "src/codes/CMakeFiles/galloper_codes.dir/erasure_code.cc.o.d"
+  "/root/repo/src/codes/pyramid.cc" "src/codes/CMakeFiles/galloper_codes.dir/pyramid.cc.o" "gcc" "src/codes/CMakeFiles/galloper_codes.dir/pyramid.cc.o.d"
+  "/root/repo/src/codes/reed_solomon.cc" "src/codes/CMakeFiles/galloper_codes.dir/reed_solomon.cc.o" "gcc" "src/codes/CMakeFiles/galloper_codes.dir/reed_solomon.cc.o.d"
+  "/root/repo/src/codes/remap.cc" "src/codes/CMakeFiles/galloper_codes.dir/remap.cc.o" "gcc" "src/codes/CMakeFiles/galloper_codes.dir/remap.cc.o.d"
+  "/root/repo/src/codes/wide_rs.cc" "src/codes/CMakeFiles/galloper_codes.dir/wide_rs.cc.o" "gcc" "src/codes/CMakeFiles/galloper_codes.dir/wide_rs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/galloper_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/galloper_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/galloper_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

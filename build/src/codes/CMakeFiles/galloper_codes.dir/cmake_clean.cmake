@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galloper_codes.dir/block_group.cc.o"
+  "CMakeFiles/galloper_codes.dir/block_group.cc.o.d"
+  "CMakeFiles/galloper_codes.dir/carousel.cc.o"
+  "CMakeFiles/galloper_codes.dir/carousel.cc.o.d"
+  "CMakeFiles/galloper_codes.dir/engine.cc.o"
+  "CMakeFiles/galloper_codes.dir/engine.cc.o.d"
+  "CMakeFiles/galloper_codes.dir/erasure_code.cc.o"
+  "CMakeFiles/galloper_codes.dir/erasure_code.cc.o.d"
+  "CMakeFiles/galloper_codes.dir/pyramid.cc.o"
+  "CMakeFiles/galloper_codes.dir/pyramid.cc.o.d"
+  "CMakeFiles/galloper_codes.dir/reed_solomon.cc.o"
+  "CMakeFiles/galloper_codes.dir/reed_solomon.cc.o.d"
+  "CMakeFiles/galloper_codes.dir/remap.cc.o"
+  "CMakeFiles/galloper_codes.dir/remap.cc.o.d"
+  "CMakeFiles/galloper_codes.dir/wide_rs.cc.o"
+  "CMakeFiles/galloper_codes.dir/wide_rs.cc.o.d"
+  "libgalloper_codes.a"
+  "libgalloper_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galloper_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/all_symbol.cc" "src/core/CMakeFiles/galloper_core.dir/all_symbol.cc.o" "gcc" "src/core/CMakeFiles/galloper_core.dir/all_symbol.cc.o.d"
+  "/root/repo/src/core/construction.cc" "src/core/CMakeFiles/galloper_core.dir/construction.cc.o" "gcc" "src/core/CMakeFiles/galloper_core.dir/construction.cc.o.d"
+  "/root/repo/src/core/galloper.cc" "src/core/CMakeFiles/galloper_core.dir/galloper.cc.o" "gcc" "src/core/CMakeFiles/galloper_core.dir/galloper.cc.o.d"
+  "/root/repo/src/core/input_format.cc" "src/core/CMakeFiles/galloper_core.dir/input_format.cc.o" "gcc" "src/core/CMakeFiles/galloper_core.dir/input_format.cc.o.d"
+  "/root/repo/src/core/weights.cc" "src/core/CMakeFiles/galloper_core.dir/weights.cc.o" "gcc" "src/core/CMakeFiles/galloper_core.dir/weights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codes/CMakeFiles/galloper_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/galloper_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/galloper_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/galloper_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/galloper_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

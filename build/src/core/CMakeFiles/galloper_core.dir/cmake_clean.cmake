@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galloper_core.dir/all_symbol.cc.o"
+  "CMakeFiles/galloper_core.dir/all_symbol.cc.o.d"
+  "CMakeFiles/galloper_core.dir/construction.cc.o"
+  "CMakeFiles/galloper_core.dir/construction.cc.o.d"
+  "CMakeFiles/galloper_core.dir/galloper.cc.o"
+  "CMakeFiles/galloper_core.dir/galloper.cc.o.d"
+  "CMakeFiles/galloper_core.dir/input_format.cc.o"
+  "CMakeFiles/galloper_core.dir/input_format.cc.o.d"
+  "CMakeFiles/galloper_core.dir/weights.cc.o"
+  "CMakeFiles/galloper_core.dir/weights.cc.o.d"
+  "libgalloper_core.a"
+  "libgalloper_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galloper_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galloper_gf.dir/gf256.cc.o"
+  "CMakeFiles/galloper_gf.dir/gf256.cc.o.d"
+  "CMakeFiles/galloper_gf.dir/gf65536.cc.o"
+  "CMakeFiles/galloper_gf.dir/gf65536.cc.o.d"
+  "CMakeFiles/galloper_gf.dir/region.cc.o"
+  "CMakeFiles/galloper_gf.dir/region.cc.o.d"
+  "libgalloper_gf.a"
+  "libgalloper_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galloper_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galloper_la.dir/builders.cc.o"
+  "CMakeFiles/galloper_la.dir/builders.cc.o.d"
+  "CMakeFiles/galloper_la.dir/matrix.cc.o"
+  "CMakeFiles/galloper_la.dir/matrix.cc.o.d"
+  "CMakeFiles/galloper_la.dir/solve.cc.o"
+  "CMakeFiles/galloper_la.dir/solve.cc.o.d"
+  "libgalloper_la.a"
+  "libgalloper_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galloper_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

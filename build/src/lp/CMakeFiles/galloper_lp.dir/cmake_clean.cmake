@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galloper_lp.dir/simplex.cc.o"
+  "CMakeFiles/galloper_lp.dir/simplex.cc.o.d"
+  "libgalloper_lp.a"
+  "libgalloper_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galloper_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

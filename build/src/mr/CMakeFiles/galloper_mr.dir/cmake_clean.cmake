@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galloper_mr.dir/framework.cc.o"
+  "CMakeFiles/galloper_mr.dir/framework.cc.o.d"
+  "CMakeFiles/galloper_mr.dir/grep.cc.o"
+  "CMakeFiles/galloper_mr.dir/grep.cc.o.d"
+  "CMakeFiles/galloper_mr.dir/simjob.cc.o"
+  "CMakeFiles/galloper_mr.dir/simjob.cc.o.d"
+  "CMakeFiles/galloper_mr.dir/terasort.cc.o"
+  "CMakeFiles/galloper_mr.dir/terasort.cc.o.d"
+  "CMakeFiles/galloper_mr.dir/wordcount.cc.o"
+  "CMakeFiles/galloper_mr.dir/wordcount.cc.o.d"
+  "libgalloper_mr.a"
+  "libgalloper_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galloper_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galloper_scenario.dir/scenario.cc.o"
+  "CMakeFiles/galloper_scenario.dir/scenario.cc.o.d"
+  "libgalloper_scenario.a"
+  "libgalloper_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galloper_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galloper_sim.dir/cluster.cc.o"
+  "CMakeFiles/galloper_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/galloper_sim.dir/des.cc.o"
+  "CMakeFiles/galloper_sim.dir/des.cc.o.d"
+  "CMakeFiles/galloper_sim.dir/storage.cc.o"
+  "CMakeFiles/galloper_sim.dir/storage.cc.o.d"
+  "libgalloper_sim.a"
+  "libgalloper_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galloper_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

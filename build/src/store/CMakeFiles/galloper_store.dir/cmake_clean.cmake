@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galloper_store.dir/file_store.cc.o"
+  "CMakeFiles/galloper_store.dir/file_store.cc.o.d"
+  "CMakeFiles/galloper_store.dir/placement.cc.o"
+  "CMakeFiles/galloper_store.dir/placement.cc.o.d"
+  "CMakeFiles/galloper_store.dir/recovery.cc.o"
+  "CMakeFiles/galloper_store.dir/recovery.cc.o.d"
+  "libgalloper_store.a"
+  "libgalloper_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galloper_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

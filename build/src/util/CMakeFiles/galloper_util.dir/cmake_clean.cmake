@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galloper_util.dir/bytes.cc.o"
+  "CMakeFiles/galloper_util.dir/bytes.cc.o.d"
+  "CMakeFiles/galloper_util.dir/crc32c.cc.o"
+  "CMakeFiles/galloper_util.dir/crc32c.cc.o.d"
+  "CMakeFiles/galloper_util.dir/flags.cc.o"
+  "CMakeFiles/galloper_util.dir/flags.cc.o.d"
+  "CMakeFiles/galloper_util.dir/rational.cc.o"
+  "CMakeFiles/galloper_util.dir/rational.cc.o.d"
+  "CMakeFiles/galloper_util.dir/rng.cc.o"
+  "CMakeFiles/galloper_util.dir/rng.cc.o.d"
+  "CMakeFiles/galloper_util.dir/stats.cc.o"
+  "CMakeFiles/galloper_util.dir/stats.cc.o.d"
+  "CMakeFiles/galloper_util.dir/table.cc.o"
+  "CMakeFiles/galloper_util.dir/table.cc.o.d"
+  "libgalloper_util.a"
+  "libgalloper_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galloper_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

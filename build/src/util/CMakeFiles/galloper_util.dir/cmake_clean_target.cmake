@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgalloper_util.a"
+)

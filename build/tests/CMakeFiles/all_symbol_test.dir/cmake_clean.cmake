@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/all_symbol_test.dir/all_symbol_test.cc.o"
+  "CMakeFiles/all_symbol_test.dir/all_symbol_test.cc.o.d"
+  "all_symbol_test"
+  "all_symbol_test.pdb"
+  "all_symbol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/all_symbol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_group_test.dir/block_group_test.cc.o"
+  "CMakeFiles/block_group_test.dir/block_group_test.cc.o.d"
+  "block_group_test"
+  "block_group_test.pdb"
+  "block_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

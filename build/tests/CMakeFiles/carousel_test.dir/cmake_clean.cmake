@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carousel_test.dir/carousel_test.cc.o"
+  "CMakeFiles/carousel_test.dir/carousel_test.cc.o.d"
+  "carousel_test"
+  "carousel_test.pdb"
+  "carousel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carousel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galloper_test.dir/galloper_test.cc.o"
+  "CMakeFiles/galloper_test.dir/galloper_test.cc.o.d"
+  "galloper_test"
+  "galloper_test.pdb"
+  "galloper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galloper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

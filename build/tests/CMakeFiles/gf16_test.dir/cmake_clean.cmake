@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf16_test.dir/gf16_test.cc.o"
+  "CMakeFiles/gf16_test.dir/gf16_test.cc.o.d"
+  "gf16_test"
+  "gf16_test.pdb"
+  "gf16_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf16_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

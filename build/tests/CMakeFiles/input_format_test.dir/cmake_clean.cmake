@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/input_format_test.dir/input_format_test.cc.o"
+  "CMakeFiles/input_format_test.dir/input_format_test.cc.o.d"
+  "input_format_test"
+  "input_format_test.pdb"
+  "input_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/input_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

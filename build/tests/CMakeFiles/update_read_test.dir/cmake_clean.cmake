@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_read_test.dir/update_read_test.cc.o"
+  "CMakeFiles/update_read_test.dir/update_read_test.cc.o.d"
+  "update_read_test"
+  "update_read_test.pdb"
+  "update_read_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_read_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

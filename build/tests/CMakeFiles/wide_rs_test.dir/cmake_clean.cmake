@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_rs_test.dir/wide_rs_test.cc.o"
+  "CMakeFiles/wide_rs_test.dir/wide_rs_test.cc.o.d"
+  "wide_rs_test"
+  "wide_rs_test.pdb"
+  "wide_rs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_rs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

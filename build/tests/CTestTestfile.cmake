@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/gf_test[1]_include.cmake")
+include("/root/repo/build/tests/la_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_test[1]_include.cmake")
+include("/root/repo/build/tests/gf16_test[1]_include.cmake")
+include("/root/repo/build/tests/rs_test[1]_include.cmake")
+include("/root/repo/build/tests/wide_rs_test[1]_include.cmake")
+include("/root/repo/build/tests/block_group_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/update_read_test[1]_include.cmake")
+include("/root/repo/build/tests/pyramid_test[1]_include.cmake")
+include("/root/repo/build/tests/carousel_test[1]_include.cmake")
+include("/root/repo/build/tests/remap_test[1]_include.cmake")
+include("/root/repo/build/tests/weights_test[1]_include.cmake")
+include("/root/repo/build/tests/galloper_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/input_format_test[1]_include.cmake")
+include("/root/repo/build/tests/all_symbol_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/store_test[1]_include.cmake")
+include("/root/repo/build/tests/placement_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/durability_test[1]_include.cmake")
+include("/root/repo/build/tests/mr_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galloper.dir/galloper_main.cc.o"
+  "CMakeFiles/galloper.dir/galloper_main.cc.o.d"
+  "galloper"
+  "galloper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galloper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
