@@ -12,6 +12,7 @@
 #include "codes/pyramid.h"
 #include "codes/reed_solomon.h"
 #include "core/galloper.h"
+#include "gf/region_dispatch.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -30,6 +31,9 @@ void run() {
   const size_t n_reps = bench::reps();
 
   bench::print_header("Fig. 7", "encoding/decoding completion time (s)");
+  std::printf("GF region kernel backend: %s (force with GALLOPER_GF_ISA="
+              "scalar|ssse3|avx2)\n\n",
+              gf::isa_name(gf::active_isa()));
   Table enc({"k", "(k,2) RS", "(k,2,1) Pyramid", "(k,2,1) Galloper"});
   Table dec({"k", "(k,2) RS", "(k,2,1) Pyramid", "(k,2,1) Galloper"});
 

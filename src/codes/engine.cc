@@ -9,6 +9,33 @@
 
 namespace galloper::codes {
 
+namespace {
+
+// Cache-tile granularity for delta-propagation in update_chunk; matches the
+// fused kernels' internal tiling so a delta tile stays in L1 while every
+// dependent parity tile is patched.
+constexpr size_t kUpdateTile = 32 * 1024;
+
+// dst ^= Σ_s row[s]·stripe(s) for the nonzero entries of a dense
+// combination row, batched through the fused multi-source kernel so dst is
+// read/written once per group of up to four terms instead of once per term.
+template <typename StripeFn>
+void apply_combo_row(ByteSpan dst, std::span<const gf::Elem> row,
+                     StripeFn stripe) {
+  thread_local std::vector<gf::Elem> coeffs;
+  thread_local std::vector<ConstByteSpan> srcs;
+  coeffs.clear();
+  srcs.clear();
+  for (size_t s = 0; s < row.size(); ++s) {
+    if (row[s] == 0) continue;
+    coeffs.push_back(row[s]);
+    srcs.push_back(stripe(s));
+  }
+  gf::mul_acc_region_multi(dst, coeffs, srcs.data(), srcs.size());
+}
+
+}  // namespace
+
 CodecEngine::CodecEngine(la::Matrix stripe_generator, size_t num_blocks,
                          size_t stripes_per_block,
                          std::vector<StripeRef> chunk_pos)
@@ -79,6 +106,8 @@ void CodecEngine::encode_slice(ConstByteSpan file,
                                size_t lo, size_t hi) const {
   if (lo >= hi) return;
   const size_t len = hi - lo;
+  std::vector<gf::Elem> coeffs;
+  std::vector<ConstByteSpan> srcs;
   for (size_t b = 0; b < num_blocks_; ++b) {
     for (size_t p = 0; p < stripes_per_block_; ++p) {
       ByteSpan dst(blocks[b].data() + p * chunk + lo, len);
@@ -87,10 +116,16 @@ void CodecEngine::encode_slice(ConstByteSpan file,
         std::copy_n(file.data() + direct * chunk + lo, len, dst.data());
         continue;
       }
+      // All of the stripe's generator terms in one fused, tiled pass: the
+      // parity stripe is streamed once per group of ≤4 sources rather than
+      // once per source.
+      coeffs.clear();
+      srcs.clear();
       for (const Term& t : sparse_rows_[b * stripes_per_block_ + p]) {
-        gf::mul_acc_region(dst, t.coeff,
-                           file.subspan(t.col * chunk + lo, len));
+        coeffs.push_back(t.coeff);
+        srcs.push_back(file.subspan(t.col * chunk + lo, len));
       }
+      gf::mul_acc_region_multi(dst, coeffs, srcs.data(), srcs.size());
     }
   }
 }
@@ -170,16 +205,11 @@ std::optional<Buffer> CodecEngine::decode(
 
   Buffer file(num_chunks() * chunk, 0);
   for (size_t c = 0; c < num_chunks(); ++c) {
-    ByteSpan dst(file.data() + c * chunk, chunk);
-    const auto row = combo->row(c);
-    for (size_t s = 0; s < row.size(); ++s) {
-      if (row[s] == 0) continue;
-      const size_t which_block = s / stripes_per_block_;
-      const size_t pos = s % stripes_per_block_;
-      gf::mul_acc_region(
-          dst, row[s],
-          blocks.at(ids[which_block]).subspan(pos * chunk, chunk));
-    }
+    apply_combo_row(ByteSpan(file.data() + c * chunk, chunk), combo->row(c),
+                    [&](size_t s) {
+                      return blocks.at(ids[s / stripes_per_block_])
+                          .subspan((s % stripes_per_block_) * chunk, chunk);
+                    });
   }
   return file;
 }
@@ -220,16 +250,11 @@ std::optional<Buffer> CodecEngine::decode_fast(
   const auto combo = la::express_in_rowspace(basis, targets);
   if (!combo) return std::nullopt;
   for (size_t t = 0; t < missing.size(); ++t) {
-    ByteSpan dst(file.data() + missing[t] * chunk, chunk);
-    const auto row = combo->row(t);
-    for (size_t s = 0; s < row.size(); ++s) {
-      if (row[s] == 0) continue;
-      const size_t which_block = s / stripes_per_block_;
-      const size_t pos = s % stripes_per_block_;
-      gf::mul_acc_region(
-          dst, row[s],
-          blocks.at(ids[which_block]).subspan(pos * chunk, chunk));
-    }
+    apply_combo_row(ByteSpan(file.data() + missing[t] * chunk, chunk),
+                    combo->row(t), [&](size_t s) {
+                      return blocks.at(ids[s / stripes_per_block_])
+                          .subspan((s % stripes_per_block_) * chunk, chunk);
+                    });
   }
   return file;
 }
@@ -258,16 +283,11 @@ std::optional<Buffer> CodecEngine::repair_block(
 
   Buffer out(stripes_per_block_ * chunk, 0);
   for (size_t p = 0; p < stripes_per_block_; ++p) {
-    ByteSpan dst(out.data() + p * chunk, chunk);
-    const auto row = combo->row(p);
-    for (size_t s = 0; s < row.size(); ++s) {
-      if (row[s] == 0) continue;
-      const size_t which_block = s / stripes_per_block_;
-      const size_t pos = s % stripes_per_block_;
-      gf::mul_acc_region(
-          dst, row[s],
-          helpers.at(ids[which_block]).subspan(pos * chunk, chunk));
-    }
+    apply_combo_row(ByteSpan(out.data() + p * chunk, chunk), combo->row(p),
+                    [&](size_t s) {
+                      return helpers.at(ids[s / stripes_per_block_])
+                          .subspan((s % stripes_per_block_) * chunk, chunk);
+                    });
   }
   return out;
 }
@@ -319,14 +339,10 @@ std::optional<Buffer> CodecEngine::read_range(
   Buffer scratch(chunk);
   for (size_t t = 0; t < missing.size(); ++t) {
     std::fill(scratch.begin(), scratch.end(), uint8_t{0});
-    const auto row = combo->row(t);
-    for (size_t s = 0; s < row.size(); ++s) {
-      if (row[s] == 0) continue;
-      gf::mul_acc_region(scratch, row[s],
-                         blocks.at(ids[s / stripes_per_block_])
-                             .subspan((s % stripes_per_block_) * chunk,
-                                      chunk));
-    }
+    apply_combo_row(scratch, combo->row(t), [&](size_t s) {
+      return blocks.at(ids[s / stripes_per_block_])
+          .subspan((s % stripes_per_block_) * chunk, chunk);
+    });
     const size_t c = missing[t];
     const size_t lo = std::max(offset, c * chunk);
     const size_t hi = std::min(offset + length, (c + 1) * chunk);
@@ -362,13 +378,20 @@ std::vector<size_t> CodecEngine::update_chunk(std::vector<Buffer>& blocks,
 
   std::vector<size_t> touched{home.block};
   std::copy(new_data.begin(), new_data.end(), stored.begin());
-  for (const Term& t : chunk_consumers_[chunk]) {
-    const size_t b = t.col / stripes_per_block_;  // Term reused: col = row
-    const size_t p = t.col % stripes_per_block_;
-    gf::mul_acc_region(
-        ByteSpan(blocks[b].data() + p * chunk_bytes, chunk_bytes), t.coeff,
-        delta);
-    touched.push_back(b);
+  for (const Term& t : chunk_consumers_[chunk])
+    touched.push_back(t.col / stripes_per_block_);  // Term reused: col = row
+  // Tile the delta propagation so one L1-resident slice of delta patches
+  // every dependent parity stripe before moving on.
+  for (size_t off = 0; off < chunk_bytes; off += kUpdateTile) {
+    const size_t len = std::min(kUpdateTile, chunk_bytes - off);
+    const ConstByteSpan dslice(delta.data() + off, len);
+    for (const Term& t : chunk_consumers_[chunk]) {
+      const size_t b = t.col / stripes_per_block_;
+      const size_t p = t.col % stripes_per_block_;
+      gf::mul_acc_region(
+          ByteSpan(blocks[b].data() + p * chunk_bytes + off, len), t.coeff,
+          dslice);
+    }
   }
   std::sort(touched.begin(), touched.end());
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());

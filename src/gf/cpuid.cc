@@ -1,0 +1,17 @@
+#include "gf/cpuid.h"
+
+namespace galloper::gf {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+bool cpu_has_ssse3() { return __builtin_cpu_supports("ssse3"); }
+bool cpu_has_avx2() { return __builtin_cpu_supports("avx2"); }
+
+#else
+
+bool cpu_has_ssse3() { return false; }
+bool cpu_has_avx2() { return false; }
+
+#endif
+
+}  // namespace galloper::gf

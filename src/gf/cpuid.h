@@ -1,0 +1,14 @@
+// Runtime CPU feature detection for the SIMD GF(2^8) kernels.
+//
+// Thin wrapper over the compiler's cpuid support so the dispatch layer
+// (region_dispatch.h) never touches compiler builtins directly. On non-x86
+// targets every query returns false and the scalar kernels are used.
+#pragma once
+
+namespace galloper::gf {
+
+// True iff the running CPU supports the given instruction set.
+bool cpu_has_ssse3();
+bool cpu_has_avx2();
+
+}  // namespace galloper::gf

@@ -6,6 +6,21 @@ namespace galloper::gf {
 
 namespace detail {
 const Tables kTables = build_tables();
+
+namespace {
+std::array<NibbleTab, 256> build_nibble_tabs() {
+  std::array<NibbleTab, 256> tabs{};
+  for (unsigned c = 0; c < 256; ++c) {
+    for (unsigned i = 0; i < 16; ++i) {
+      tabs[c].lo[i] = kTables.mul[c * 256 + i];
+      tabs[c].hi[i] = kTables.mul[c * 256 + (i << 4)];
+    }
+  }
+  return tabs;
+}
+}  // namespace
+
+const std::array<NibbleTab, 256> kNibbleTabs = build_nibble_tabs();
 }  // namespace detail
 
 Elem inv(Elem a) {

@@ -69,6 +69,24 @@ extern const Tables kTables;
 
 }  // namespace detail
 
+// Split-nibble product tables, the PSHUFB technique ISA-L uses: any byte b
+// factors as (b & 0x0f) ⊕ (b & 0xf0), and multiplication by a constant c is
+// linear, so c·b = lo[b & 0x0f] ⊕ hi[b >> 4]. Both halves fit a 16-entry
+// table — exactly one SSSE3/AVX2 shuffle register each — turning a 64 KiB
+// table walk into two in-register shuffles per 16/32 bytes.
+struct NibbleTab {
+  alignas(16) Elem lo[16];  // lo[i] = c·i
+  alignas(16) Elem hi[16];  // hi[i] = c·(i << 4)
+};
+
+namespace detail {
+// One NibbleTab per constant c (8 KiB total), built at startup.
+extern const std::array<NibbleTab, 256> kNibbleTabs;
+}  // namespace detail
+
+// The split-nibble table pair for multiplication by c.
+inline const NibbleTab& nibble_tab(Elem c) { return detail::kNibbleTabs[c]; }
+
 // a + b and a - b coincide in characteristic 2.
 inline Elem add(Elem a, Elem b) { return a ^ b; }
 inline Elem sub(Elem a, Elem b) { return a ^ b; }

@@ -1,27 +1,227 @@
 #include "gf/region.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "gf/cpuid.h"
+#include "gf/region_dispatch.h"
+#include "gf/region_impl.h"
 #include "util/check.h"
 
 namespace galloper::gf {
 
-void xor_region(std::span<uint8_t> dst, std::span<const uint8_t> src) {
-  GALLOPER_CHECK(dst.size() == src.size());
+// ---- Scalar reference backend -------------------------------------------
+
+namespace detail {
+namespace {
+
+void scalar_xor(uint8_t* dst, const uint8_t* src, size_t n) {
   size_t i = 0;
   // Word-at-a-time XOR; memcpy-based loads keep this UB-free under strict
   // aliasing while compiling to single 64-bit ops.
-  for (; i + 8 <= dst.size(); i += 8) {
+  for (; i + 8 <= n; i += 8) {
     uint64_t a, b;
-    __builtin_memcpy(&a, dst.data() + i, 8);
-    __builtin_memcpy(&b, src.data() + i, 8);
+    __builtin_memcpy(&a, dst + i, 8);
+    __builtin_memcpy(&b, src + i, 8);
     a ^= b;
-    __builtin_memcpy(dst.data() + i, &a, 8);
+    __builtin_memcpy(dst + i, &a, 8);
   }
-  for (; i < dst.size(); ++i) dst[i] ^= src[i];
+  xor_tail(dst + i, src + i, n - i);
+}
+
+void scalar_mul(uint8_t* dst, uint8_t c, const uint8_t* src, size_t n) {
+  mul_tail(dst, mul_row(c), src, n);
+}
+
+void scalar_mad(uint8_t* dst, uint8_t c, const uint8_t* src, size_t n) {
+  mad_tail(dst, mul_row(c), src, n);
+}
+
+// Fused forms: one pass over dst with all rows in hand. Even without SIMD
+// this halves dst traffic versus N separate mad calls.
+void scalar_mad2(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+                 size_t n) {
+  const Elem* r0 = mul_row(c[0]);
+  const Elem* r1 = mul_row(c[1]);
+  for (size_t i = 0; i < n; ++i) dst[i] ^= r0[src[0][i]] ^ r1[src[1][i]];
+}
+
+void scalar_mad3(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+                 size_t n) {
+  const Elem* r0 = mul_row(c[0]);
+  const Elem* r1 = mul_row(c[1]);
+  const Elem* r2 = mul_row(c[2]);
+  for (size_t i = 0; i < n; ++i)
+    dst[i] ^= r0[src[0][i]] ^ r1[src[1][i]] ^ r2[src[2][i]];
+}
+
+void scalar_mad4(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+                 size_t n) {
+  const Elem* r0 = mul_row(c[0]);
+  const Elem* r1 = mul_row(c[1]);
+  const Elem* r2 = mul_row(c[2]);
+  const Elem* r3 = mul_row(c[3]);
+  for (size_t i = 0; i < n; ++i)
+    dst[i] ^= r0[src[0][i]] ^ r1[src[1][i]] ^ r2[src[2][i]] ^ r3[src[3][i]];
+}
+
+constexpr RegionKernels kScalarKernels = {
+    scalar_xor, scalar_mul, scalar_mad, scalar_mad2, scalar_mad3,
+    scalar_mad4,
+};
+
+}  // namespace
+
+const RegionKernels& scalar_kernels() { return kScalarKernels; }
+
+}  // namespace detail
+
+// ---- Dispatch -----------------------------------------------------------
+
+namespace {
+
+const detail::RegionKernels* kernels_for(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return &detail::scalar_kernels();
+#ifdef GALLOPER_SIMD
+    case Isa::kSsse3:
+      return detail::ssse3_kernels();
+    case Isa::kAvx2:
+      return detail::avx2_kernels();
+#else
+    default:
+      break;
+#endif
+  }
+  return nullptr;
+}
+
+// Requested backend from GALLOPER_GF_ISA, or nullopt when unset/unparseable
+// (unparseable values get a one-time stderr note).
+bool parse_isa_env(Isa* out) {
+  const char* v = std::getenv("GALLOPER_GF_ISA");
+  if (v == nullptr || *v == '\0') return false;
+  if (std::strcmp(v, "scalar") == 0) {
+    *out = Isa::kScalar;
+  } else if (std::strcmp(v, "ssse3") == 0) {
+    *out = Isa::kSsse3;
+  } else if (std::strcmp(v, "avx2") == 0) {
+    *out = Isa::kAvx2;
+  } else {
+    std::fprintf(stderr,
+                 "galloper: GALLOPER_GF_ISA=%s not recognised "
+                 "(scalar|ssse3|avx2); using auto-detection\n",
+                 v);
+    return false;
+  }
+  return true;
+}
+
+std::atomic<const detail::RegionKernels*> g_kernels{nullptr};
+std::atomic<Isa> g_isa{Isa::kScalar};
+
+Isa resolve_isa() {
+  Isa want;
+  if (parse_isa_env(&want)) {
+    if (isa_available(want)) return want;
+    std::fprintf(stderr,
+                 "galloper: GALLOPER_GF_ISA=%s unavailable on this "
+                 "build/CPU; using %s\n",
+                 isa_name(want), isa_name(best_available_isa()));
+  }
+  return best_available_isa();
+}
+
+const detail::RegionKernels* resolve_kernels() {
+  const Isa isa = resolve_isa();
+  const detail::RegionKernels* k = kernels_for(isa);
+  g_isa.store(isa, std::memory_order_relaxed);
+  g_kernels.store(k, std::memory_order_release);
+  return k;
+}
+
+}  // namespace
+
+namespace detail {
+const RegionKernels& kernels() {
+  const RegionKernels* k = g_kernels.load(std::memory_order_acquire);
+  if (k == nullptr) k = resolve_kernels();
+  return *k;
+}
+}  // namespace detail
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSsse3:
+      return "ssse3";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool isa_available(Isa isa) {
+  if (isa == Isa::kScalar) return true;
+  if (kernels_for(isa) == nullptr) return false;  // compiled out
+  switch (isa) {
+    case Isa::kSsse3:
+      return cpu_has_ssse3();
+    case Isa::kAvx2:
+      return cpu_has_avx2();
+    default:
+      return false;
+  }
+}
+
+Isa best_available_isa() {
+  if (isa_available(Isa::kAvx2)) return Isa::kAvx2;
+  if (isa_available(Isa::kSsse3)) return Isa::kSsse3;
+  return Isa::kScalar;
+}
+
+std::vector<Isa> available_isas() {
+  std::vector<Isa> out{Isa::kScalar};
+  if (isa_available(Isa::kSsse3)) out.push_back(Isa::kSsse3);
+  if (isa_available(Isa::kAvx2)) out.push_back(Isa::kAvx2);
+  return out;
+}
+
+Isa active_isa() {
+  detail::kernels();  // ensure resolved
+  return g_isa.load(std::memory_order_relaxed);
+}
+
+void force_isa(Isa isa) {
+  GALLOPER_CHECK_MSG(isa_available(isa),
+                     "GF backend " << isa_name(isa)
+                                   << " unavailable on this build/CPU");
+  g_isa.store(isa, std::memory_order_relaxed);
+  g_kernels.store(kernels_for(isa), std::memory_order_release);
+}
+
+// ---- Public kernels -----------------------------------------------------
+
+namespace {
+// Tile size for the fused multi-source kernel: the destination tile is
+// revisited once per group of up to four sources, so keep it comfortably
+// inside L1d alongside the in-flight source lines.
+constexpr size_t kMultiTile = 32 * 1024;
+}  // namespace
+
+void xor_region(std::span<uint8_t> dst, std::span<const uint8_t> src) {
+  GALLOPER_DCHECK(dst.size() == src.size());
+  detail::kernels().xor_r(dst.data(), src.data(), dst.size());
 }
 
 void mul_region(std::span<uint8_t> dst, Elem c,
                 std::span<const uint8_t> src) {
-  GALLOPER_CHECK(dst.size() == src.size());
+  GALLOPER_DCHECK(dst.size() == src.size());
   if (c == 0) {
     std::fill(dst.begin(), dst.end(), uint8_t{0});
     return;
@@ -30,20 +230,68 @@ void mul_region(std::span<uint8_t> dst, Elem c,
     std::copy(src.begin(), src.end(), dst.begin());
     return;
   }
-  const Elem* row = mul_row(c);
-  for (size_t i = 0; i < dst.size(); ++i) dst[i] = row[src[i]];
+  detail::kernels().mul_r(dst.data(), c, src.data(), dst.size());
 }
 
 void mul_acc_region(std::span<uint8_t> dst, Elem c,
                     std::span<const uint8_t> src) {
-  GALLOPER_CHECK(dst.size() == src.size());
+  GALLOPER_DCHECK(dst.size() == src.size());
   if (c == 0) return;
   if (c == 1) {
     xor_region(dst, src);
     return;
   }
-  const Elem* row = mul_row(c);
-  for (size_t i = 0; i < dst.size(); ++i) dst[i] ^= row[src[i]];
+  detail::kernels().mad_r(dst.data(), c, src.data(), dst.size());
+}
+
+void mul_acc_region_multi(std::span<uint8_t> dst,
+                          std::span<const Elem> coeffs,
+                          const std::span<const uint8_t>* srcs,
+                          size_t nsrc) {
+  GALLOPER_DCHECK(coeffs.size() == nsrc);
+#ifndef NDEBUG
+  for (size_t i = 0; i < nsrc; ++i)
+    GALLOPER_DCHECK(srcs[i].size() == dst.size());
+#endif
+  const auto& k = detail::kernels();
+  for (size_t off = 0; off < dst.size(); off += kMultiTile) {
+    const size_t len = std::min(kMultiTile, dst.size() - off);
+    uint8_t* d = dst.data() + off;
+    size_t i = 0;
+    while (i < nsrc) {
+      uint8_t c[4];
+      const uint8_t* s[4];
+      unsigned g = 0;
+      while (i < nsrc && g < 4) {
+        if (coeffs[i] != 0) {
+          c[g] = coeffs[i];
+          s[g] = srcs[i].data() + off;
+          ++g;
+        }
+        ++i;
+      }
+      switch (g) {
+        case 4:
+          k.mad4(d, c, s, len);
+          break;
+        case 3:
+          k.mad3(d, c, s, len);
+          break;
+        case 2:
+          k.mad2(d, c, s, len);
+          break;
+        case 1:
+          if (c[0] == 1) {
+            k.xor_r(d, s[0], len);
+          } else {
+            k.mad_r(d, c[0], s[0], len);
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
 }
 
 void scale_region(std::span<uint8_t> dst, Elem c) {
@@ -52,8 +300,9 @@ void scale_region(std::span<uint8_t> dst, Elem c) {
     std::fill(dst.begin(), dst.end(), uint8_t{0});
     return;
   }
-  const Elem* row = mul_row(c);
-  for (auto& b : dst) b = row[b];
+  // In-place multiply: the kernels are elementwise (load before store), so
+  // dst == src aliasing is fine for every backend.
+  detail::kernels().mul_r(dst.data(), c, dst.data(), dst.size());
 }
 
 Elem dot(std::span<const Elem> a, std::span<const Elem> b) {

@@ -1,5 +1,9 @@
 // Bulk (region) kernels over GF(2^8): the operations an erasure-code encoder
 // spends its time in. Equivalent to ISA-L's gf_vect_mul / gf_vect_mad.
+//
+// Every kernel is backed by runtime-dispatched implementations (scalar
+// reference, SSSE3, AVX2 — see region_dispatch.h); all backends are
+// bit-identical, so callers never care which one runs.
 #pragma once
 
 #include <cstddef>
@@ -19,6 +23,16 @@ void mul_region(std::span<uint8_t> dst, Elem c, std::span<const uint8_t> src);
 // dst ^= c · src  (multiply-accumulate — the encoder inner loop).
 void mul_acc_region(std::span<uint8_t> dst, Elem c,
                     std::span<const uint8_t> src);
+
+// dst ^= Σ_{i<nsrc} coeffs[i] · srcs[i]  (fused multi-source
+// multiply-accumulate, ISA-L's gf_Nvect_mad shape). Each srcs[i] must be
+// dst-sized; zero coefficients are skipped. Sources are consumed in groups
+// of up to four per pass over dst and the work is tiled to cache-sized
+// chunks, so dst is read/written once per group of terms instead of once
+// per term — the encoder's main memory-traffic saving.
+void mul_acc_region_multi(std::span<uint8_t> dst,
+                          std::span<const Elem> coeffs,
+                          const std::span<const uint8_t>* srcs, size_t nsrc);
 
 // In-place dst = c · dst.
 void scale_region(std::span<uint8_t> dst, Elem c);

@@ -1,0 +1,48 @@
+// Runtime backend selection for the GF(2^8) region kernels.
+//
+// The kernels in region.h are implemented several times — a portable scalar
+// reference and SSSE3/AVX2 split-nibble (PSHUFB) versions — and routed
+// through a function-pointer table resolved once, on first use:
+//
+//   1. If the environment variable GALLOPER_GF_ISA is set to one of
+//      "scalar", "ssse3", "avx2", that backend is requested. A request the
+//      build or CPU cannot satisfy is clamped down to the best available
+//      backend (with a one-time stderr note), so forced test runs stay
+//      portable across machines.
+//   2. Otherwise the best backend the CPU supports is picked via cpuid.
+//
+// All backends produce bit-identical output (tests/gf_region_simd_test.cc
+// asserts this); selection only affects throughput.
+#pragma once
+
+#include <vector>
+
+namespace galloper::gf {
+
+// Instruction-set levels, in increasing preference order. kScalar is always
+// available; the SIMD levels require both compile-time support
+// (GALLOPER_SIMD, x86) and the matching CPU feature at runtime.
+enum class Isa { kScalar = 0, kSsse3 = 1, kAvx2 = 2 };
+
+// Human-readable backend name ("scalar", "ssse3", "avx2").
+const char* isa_name(Isa isa);
+
+// Whether the backend can be selected in this build on this CPU.
+bool isa_available(Isa isa);
+
+// The highest-preference available backend.
+Isa best_available_isa();
+
+// All available backends, scalar first.
+std::vector<Isa> available_isas();
+
+// The backend the region kernels are currently routed to.
+Isa active_isa();
+
+// Re-routes the kernels to `isa` (tests and benchmarks use this to compare
+// backends). Throws CheckError if the backend is unavailable. Not
+// thread-safe against concurrent kernel calls — switch only at quiescent
+// points.
+void force_isa(Isa isa);
+
+}  // namespace galloper::gf

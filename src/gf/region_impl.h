@@ -1,0 +1,64 @@
+// Internal plumbing shared by the region-kernel backends (region.cc,
+// region_simd.cc). Not part of the public API — include region.h and
+// region_dispatch.h instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gf/gf256.h"
+
+namespace galloper::gf::detail {
+
+// One backend's kernel set. Raw-pointer signatures: span bounds are checked
+// once at the public API layer, and the fused entries take parallel arrays
+// of coefficients/sources (nsrc fixed per entry point).
+struct RegionKernels {
+  void (*xor_r)(uint8_t* dst, const uint8_t* src, size_t n);
+  // dst = c·src; c ∉ {0, 1} (the public layer peels those).
+  void (*mul_r)(uint8_t* dst, uint8_t c, const uint8_t* src, size_t n);
+  // dst ^= c·src; c != 0.
+  void (*mad_r)(uint8_t* dst, uint8_t c, const uint8_t* src, size_t n);
+  // dst ^= Σ_{i<N} c[i]·src[i]; all c[i] != 0. The fused forms read and
+  // write dst once per group instead of once per source.
+  void (*mad2)(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+               size_t n);
+  void (*mad3)(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+               size_t n);
+  void (*mad4)(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+               size_t n);
+};
+
+// The portable reference backend (always compiled).
+const RegionKernels& scalar_kernels();
+
+#ifdef GALLOPER_SIMD
+// SIMD backends from region_simd.cc; nullptr when the target architecture
+// has no implementation (non-x86 builds with GALLOPER_SIMD still on).
+const RegionKernels* ssse3_kernels();
+const RegionKernels* avx2_kernels();
+#endif
+
+// The currently dispatched backend (resolved on first use; see
+// region_dispatch.h for the policy).
+const RegionKernels& kernels();
+
+// ---- Shared scalar tails ------------------------------------------------
+// Every backend finishes the last n mod W bytes through these, so tail
+// behaviour is identical (and tested) across ISAs. `row` is mul_row(c).
+
+inline void mul_tail(uint8_t* dst, const Elem* row, const uint8_t* src,
+                     size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+}
+
+inline void mad_tail(uint8_t* dst, const Elem* row, const uint8_t* src,
+                     size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+inline void xor_tail(uint8_t* dst, const uint8_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+}
+
+}  // namespace galloper::gf::detail

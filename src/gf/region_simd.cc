@@ -1,0 +1,373 @@
+// SSSE3 / AVX2 split-nibble GF(2^8) region kernels.
+//
+// Technique (ISA-L's): a byte splits as b = (b & 0x0f) ⊕ (b & 0xf0), and
+// multiplication by a constant is GF-linear, so c·b = lo[b & 0x0f] ⊕
+// hi[b >> 4] with two 16-entry tables (gf256.h NibbleTab). Each table fits
+// one shuffle register, so PSHUFB/VPSHUFB computes 16/32 products per
+// instruction pair. The fused mad2/3/4 kernels keep 2–4 table pairs
+// register-resident and read/write the destination once per group.
+//
+// Every function carries a per-function target attribute, so this file
+// builds with the default machine flags and nothing here executes unless
+// the dispatcher (region.cc) verified CPU support. Tails fall through to
+// the shared scalar helpers in region_impl.h so every backend is
+// bit-identical (and byte-identical in tail behaviour) to the reference.
+#include "gf/region_impl.h"
+
+#ifdef GALLOPER_SIMD
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace galloper::gf::detail {
+namespace {
+
+#define GALLOPER_TARGET_SSSE3 __attribute__((target("ssse3")))
+#define GALLOPER_TARGET_AVX2 __attribute__((target("avx2")))
+
+// ---- SSSE3 --------------------------------------------------------------
+
+GALLOPER_TARGET_SSSE3
+void ssse3_xor(uint8_t* dst, const uint8_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(a, b));
+  }
+  xor_tail(dst + i, src + i, n - i);
+}
+
+GALLOPER_TARGET_SSSE3
+void ssse3_mul(uint8_t* dst, uint8_t c, const uint8_t* src, size_t n) {
+  const NibbleTab& t = nibble_tab(c);
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i l = _mm_shuffle_epi8(lo, _mm_and_si128(v, mask));
+    const __m128i h =
+        _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(v, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(l, h));
+  }
+  mul_tail(dst + i, mul_row(c), src + i, n - i);
+}
+
+GALLOPER_TARGET_SSSE3
+void ssse3_mad(uint8_t* dst, uint8_t c, const uint8_t* src, size_t n) {
+  const NibbleTab& t = nibble_tab(c);
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i l = _mm_shuffle_epi8(lo, _mm_and_si128(v, mask));
+    const __m128i h =
+        _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(v, 4), mask));
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, _mm_xor_si128(l, h)));
+  }
+  mad_tail(dst + i, mul_row(c), src + i, n - i);
+}
+
+// One 16-byte product for source j inside the fused loops.
+#define GALLOPER_SSSE3_TERM(j)                                             \
+  do {                                                                     \
+    const __m128i v =                                                      \
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src[j] + i));     \
+    acc = _mm_xor_si128(                                                   \
+        acc, _mm_xor_si128(                                                \
+                 _mm_shuffle_epi8(lo[j], _mm_and_si128(v, mask)),          \
+                 _mm_shuffle_epi8(                                         \
+                     hi[j], _mm_and_si128(_mm_srli_epi64(v, 4), mask)))); \
+  } while (0)
+
+GALLOPER_TARGET_SSSE3
+void ssse3_mad2(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+                size_t n) {
+  __m128i lo[2], hi[2];
+  for (unsigned j = 0; j < 2; ++j) {
+    const NibbleTab& t = nibble_tab(c[j]);
+    lo[j] = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo));
+    hi[j] = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi));
+  }
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i acc = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    GALLOPER_SSSE3_TERM(0);
+    GALLOPER_SSSE3_TERM(1);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), acc);
+  }
+  for (unsigned j = 0; j < 2; ++j)
+    mad_tail(dst + i, mul_row(c[j]), src[j] + i, n - i);
+}
+
+GALLOPER_TARGET_SSSE3
+void ssse3_mad3(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+                size_t n) {
+  __m128i lo[3], hi[3];
+  for (unsigned j = 0; j < 3; ++j) {
+    const NibbleTab& t = nibble_tab(c[j]);
+    lo[j] = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo));
+    hi[j] = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi));
+  }
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i acc = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    GALLOPER_SSSE3_TERM(0);
+    GALLOPER_SSSE3_TERM(1);
+    GALLOPER_SSSE3_TERM(2);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), acc);
+  }
+  for (unsigned j = 0; j < 3; ++j)
+    mad_tail(dst + i, mul_row(c[j]), src[j] + i, n - i);
+}
+
+GALLOPER_TARGET_SSSE3
+void ssse3_mad4(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+                size_t n) {
+  __m128i lo[4], hi[4];
+  for (unsigned j = 0; j < 4; ++j) {
+    const NibbleTab& t = nibble_tab(c[j]);
+    lo[j] = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo));
+    hi[j] = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi));
+  }
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i acc = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    GALLOPER_SSSE3_TERM(0);
+    GALLOPER_SSSE3_TERM(1);
+    GALLOPER_SSSE3_TERM(2);
+    GALLOPER_SSSE3_TERM(3);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), acc);
+  }
+  for (unsigned j = 0; j < 4; ++j)
+    mad_tail(dst + i, mul_row(c[j]), src[j] + i, n - i);
+}
+
+#undef GALLOPER_SSSE3_TERM
+
+// ---- AVX2 ---------------------------------------------------------------
+
+GALLOPER_TARGET_AVX2
+void avx2_xor(uint8_t* dst, const uint8_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i a0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i a1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    const __m256i b0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(a0, b0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32),
+                        _mm256_xor_si256(a1, b1));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(a, b));
+  }
+  xor_tail(dst + i, src + i, n - i);
+}
+
+// Loads a NibbleTab half into both 128-bit lanes (VPSHUFB shuffles within
+// lanes, so the table must be duplicated).
+GALLOPER_TARGET_AVX2
+inline __m256i load_tab256(const Elem* half) {
+  return _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(half)));
+}
+
+// 32 product bytes for (v, lo, hi).
+#define GALLOPER_AVX2_PROD(v, lo, hi)                                  \
+  _mm256_xor_si256(                                                    \
+      _mm256_shuffle_epi8((lo), _mm256_and_si256((v), mask)),          \
+      _mm256_shuffle_epi8(                                             \
+          (hi), _mm256_and_si256(_mm256_srli_epi64((v), 4), mask)))
+
+GALLOPER_TARGET_AVX2
+void avx2_mul(uint8_t* dst, uint8_t c, const uint8_t* src, size_t n) {
+  const NibbleTab& t = nibble_tab(c);
+  const __m256i lo = load_tab256(t.lo);
+  const __m256i hi = load_tab256(t.hi);
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        GALLOPER_AVX2_PROD(v0, lo, hi));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32),
+                        GALLOPER_AVX2_PROD(v1, lo, hi));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        GALLOPER_AVX2_PROD(v, lo, hi));
+  }
+  mul_tail(dst + i, mul_row(c), src + i, n - i);
+}
+
+GALLOPER_TARGET_AVX2
+void avx2_mad(uint8_t* dst, uint8_t c, const uint8_t* src, size_t n) {
+  const NibbleTab& t = nibble_tab(c);
+  const __m256i lo = load_tab256(t.lo);
+  const __m256i hi = load_tab256(t.hi);
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    const __m256i d0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i d1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_xor_si256(d0, GALLOPER_AVX2_PROD(v0, lo, hi)));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i + 32),
+        _mm256_xor_si256(d1, GALLOPER_AVX2_PROD(v1, lo, hi)));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, GALLOPER_AVX2_PROD(v, lo, hi)));
+  }
+  mad_tail(dst + i, mul_row(c), src + i, n - i);
+}
+
+#define GALLOPER_AVX2_TERM(j)                                          \
+  do {                                                                 \
+    const __m256i v =                                                  \
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src[j] + i)); \
+    acc = _mm256_xor_si256(acc, GALLOPER_AVX2_PROD(v, lo[j], hi[j]));  \
+  } while (0)
+
+GALLOPER_TARGET_AVX2
+void avx2_mad2(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+               size_t n) {
+  __m256i lo[2], hi[2];
+  for (unsigned j = 0; j < 2; ++j) {
+    const NibbleTab& t = nibble_tab(c[j]);
+    lo[j] = load_tab256(t.lo);
+    hi[j] = load_tab256(t.hi);
+  }
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i acc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    GALLOPER_AVX2_TERM(0);
+    GALLOPER_AVX2_TERM(1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), acc);
+  }
+  for (unsigned j = 0; j < 2; ++j)
+    mad_tail(dst + i, mul_row(c[j]), src[j] + i, n - i);
+}
+
+GALLOPER_TARGET_AVX2
+void avx2_mad3(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+               size_t n) {
+  __m256i lo[3], hi[3];
+  for (unsigned j = 0; j < 3; ++j) {
+    const NibbleTab& t = nibble_tab(c[j]);
+    lo[j] = load_tab256(t.lo);
+    hi[j] = load_tab256(t.hi);
+  }
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i acc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    GALLOPER_AVX2_TERM(0);
+    GALLOPER_AVX2_TERM(1);
+    GALLOPER_AVX2_TERM(2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), acc);
+  }
+  for (unsigned j = 0; j < 3; ++j)
+    mad_tail(dst + i, mul_row(c[j]), src[j] + i, n - i);
+}
+
+GALLOPER_TARGET_AVX2
+void avx2_mad4(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+               size_t n) {
+  __m256i lo[4], hi[4];
+  for (unsigned j = 0; j < 4; ++j) {
+    const NibbleTab& t = nibble_tab(c[j]);
+    lo[j] = load_tab256(t.lo);
+    hi[j] = load_tab256(t.hi);
+  }
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i acc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    GALLOPER_AVX2_TERM(0);
+    GALLOPER_AVX2_TERM(1);
+    GALLOPER_AVX2_TERM(2);
+    GALLOPER_AVX2_TERM(3);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), acc);
+  }
+  for (unsigned j = 0; j < 4; ++j)
+    mad_tail(dst + i, mul_row(c[j]), src[j] + i, n - i);
+}
+
+#undef GALLOPER_AVX2_TERM
+#undef GALLOPER_AVX2_PROD
+
+constexpr RegionKernels kSsse3Kernels = {
+    ssse3_xor, ssse3_mul, ssse3_mad, ssse3_mad2, ssse3_mad3, ssse3_mad4,
+};
+
+constexpr RegionKernels kAvx2Kernels = {
+    avx2_xor, avx2_mul, avx2_mad, avx2_mad2, avx2_mad3, avx2_mad4,
+};
+
+}  // namespace
+
+const RegionKernels* ssse3_kernels() { return &kSsse3Kernels; }
+const RegionKernels* avx2_kernels() { return &kAvx2Kernels; }
+
+}  // namespace galloper::gf::detail
+
+#else  // non-x86: SIMD requested but no implementation for this target.
+
+namespace galloper::gf::detail {
+const RegionKernels* ssse3_kernels() { return nullptr; }
+const RegionKernels* avx2_kernels() { return nullptr; }
+}  // namespace galloper::gf::detail
+
+#endif  // architecture
+
+#endif  // GALLOPER_SIMD

@@ -44,3 +44,16 @@ namespace detail {
                                        os_.str());                        \
     }                                                                     \
   } while (0)
+
+// Debug-only variant for per-call preconditions on hot kernels (the GF
+// region ops are called millions of times per encode). Active in debug
+// builds; compiles to nothing under NDEBUG so release kernels pay no
+// branch per call.
+#ifdef NDEBUG
+#define GALLOPER_DCHECK(expr) \
+  do {                        \
+    (void)sizeof(expr);       \
+  } while (0)
+#else
+#define GALLOPER_DCHECK(expr) GALLOPER_CHECK(expr)
+#endif
