@@ -5,14 +5,19 @@
 // fast) come from the environment:
 //   GALLOPER_BENCH_MB    block size in MiB   (default 16; paper used 45)
 //   GALLOPER_BENCH_REPS  repetitions         (default 3;  paper used 20)
+//   GALLOPER_BENCH_JSON  when set to a path, binaries that support it also
+//                        write machine-readable results there (JsonWriter)
 #pragma once
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include "util/check.h"
 
 #include "codes/erasure_code.h"
 #include "util/bytes.h"
@@ -53,6 +58,84 @@ inline std::map<size_t, ConstByteSpan> block_view(
   std::map<size_t, ConstByteSpan> m;
   for (size_t id : ids) m.emplace(id, blocks[id]);
   return m;
+}
+
+// Path for machine-readable output, or nullptr when not requested.
+inline const char* bench_json_path() {
+  return std::getenv("GALLOPER_BENCH_JSON");
+}
+
+// Minimal streaming JSON emitter for bench results: objects/arrays with
+// automatic comma placement (a stack tracks whether the current container
+// already has a member). No escaping beyond what bench keys need — keys and
+// string values must not contain quotes or backslashes.
+class JsonWriter {
+ public:
+  std::string str() const { return out_.str(); }
+
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  // Key for the next value (objects only).
+  JsonWriter& key(const std::string& k) {
+    comma();
+    out_ << '"' << k << "\":";
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(const std::string& v) { return emit('"' + v + '"'); }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v) {
+    std::ostringstream ss;
+    ss << v;
+    return emit(ss.str());
+  }
+  JsonWriter& value(size_t v) { return emit(std::to_string(v)); }
+  JsonWriter& value(int v) { return emit(std::to_string(v)); }
+
+ private:
+  JsonWriter& open(char c) {
+    comma();
+    out_ << c;
+    pending_key_ = false;
+    had_member_.push_back(false);
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    GALLOPER_CHECK(!had_member_.empty());
+    had_member_.pop_back();
+    out_ << c;
+    return *this;
+  }
+  JsonWriter& emit(const std::string& text) {
+    comma();
+    out_ << text;
+    pending_key_ = false;
+    return *this;
+  }
+  void comma() {
+    if (pending_key_) return;  // value completing a "key": pair
+    if (!had_member_.empty()) {
+      if (had_member_.back()) out_ << ',';
+      had_member_.back() = true;
+    }
+  }
+
+  std::ostringstream out_;
+  std::vector<bool> had_member_;
+  bool pending_key_ = false;
+};
+
+inline void write_json_file(const char* path, const JsonWriter& json) {
+  std::FILE* f = std::fopen(path, "w");
+  GALLOPER_CHECK_MSG(f != nullptr, "cannot write " << path);
+  const std::string s = json.str();
+  std::fwrite(s.data(), 1, s.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
 }
 
 inline void print_header(const char* figure, const char* what) {

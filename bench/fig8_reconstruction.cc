@@ -11,6 +11,7 @@
 #include "codes/pyramid.h"
 #include "codes/reed_solomon.h"
 #include "core/galloper.h"
+#include "rt/pool.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -42,9 +43,18 @@ void run() {
       {"failed block", "(4,2) RS", "(4,2,1) Pyramid", "(4,2,1) Galloper"});
   Table io_table({"failed block", "(4,2) RS (MB)", "(4,2,1) Pyramid (MB)",
                   "(4,2,1) Galloper (MB)"});
+  const size_t pool_threads = rt::ThreadPool::default_threads();
+  Table pool_table({"failed block", "Galloper serial", "Galloper pool",
+                    "speedup"});
+  bench::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("fig8_pool_scaling");
+  json.key("pool_threads").value(pool_threads);
+  json.key("rows").begin_array();
 
   for (size_t failed = 0; failed < 7; ++failed) {
     std::string cells_t[3], cells_io[3];
+    double galloper_serial_s = 0;
     for (int v = 0; v < 3; ++v) {
       const auto& code = *variants[v];
       if (failed >= code.num_blocks()) {  // RS has only 6 blocks
@@ -69,20 +79,55 @@ void run() {
                         1e6;
       cells_t[v] = Table::num(t.mean());
       cells_io[v] = Table::num(mb);
+      if (v == 2) galloper_serial_s = t.mean();
     }
     const std::string label = "block " + std::to_string(failed + 1);
     time_table.add_row({label, cells_t[0], cells_t[1], cells_t[2]});
     io_table.add_row({label, cells_io[0], cells_io[1], cells_io[2]});
+
+    // Same Galloper repair through the pool with all hardware threads.
+    {
+      const auto helpers = gal.repair_helpers(failed);
+      const auto view = block_view(blocks_by_code[2], helpers);
+      Stats t;
+      for (size_t rep = 0; rep < n_reps; ++rep) {
+        std::optional<Buffer> out;
+        t.add(bench::timed([&] {
+          out = gal.engine().repair_block_parallel(failed, view,
+                                                   pool_threads);
+        }));
+        if (!out || *out != blocks_by_code[2][failed]) {
+          std::fprintf(stderr, "POOL REPAIR MISMATCH block %zu\n", failed);
+          std::exit(1);
+        }
+      }
+      pool_table.add_row({label, Table::num(galloper_serial_s),
+                          Table::num(t.mean()),
+                          Table::num(galloper_serial_s / t.mean())});
+      json.begin_object();
+      json.key("failed_block").value(failed);
+      json.key("repair_serial_s").value(galloper_serial_s);
+      json.key("repair_pool_s").value(t.mean());
+      json.end_object();
+    }
   }
+  json.end_array();
+  json.end_object();
 
   std::printf("(a) completion time (s)\n");
   time_table.print();
   std::printf("\n(b) disk I/O: data read from existing blocks\n");
   io_table.print();
+  std::printf("\n(c) Galloper repair through the work-stealing pool "
+              "(%zu threads)\n",
+              pool_threads);
+  pool_table.print();
   std::printf(
       "\nShape check vs paper: Pyramid and Galloper repair blocks 1-6 from "
       "2 blocks (half the RS I/O); the global parity (block 7) reads k=4 "
       "blocks like RS.\n");
+  if (const char* path = bench::bench_json_path())
+    bench::write_json_file(path, json);
 }
 
 }  // namespace

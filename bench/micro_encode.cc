@@ -1,8 +1,18 @@
-// Encoder micro-benchmarks: serial vs multithreaded Galloper encoding, and
-// update/range data paths (google-benchmark).
+// Encoder micro-benchmarks: serial vs pool-parallel Galloper data paths
+// (google-benchmark), plus a machine-readable sweep mode.
+//
+// When GALLOPER_BENCH_JSON=<path> is set the binary skips google-benchmark
+// and instead times every data path over a threads × chunk-size grid,
+// writing the results as JSON to <path> (consumed into BENCH_parallel.json;
+// see EXPERIMENTS.md).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.h"
 #include "core/galloper.h"
+#include "rt/pool.h"
 #include "util/rng.h"
 
 namespace galloper {
@@ -40,6 +50,36 @@ void BM_EncodeParallel(benchmark::State& state) {
                           static_cast<int64_t>(file.size()));
 }
 BENCHMARK(BM_EncodeParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DecodeParallel(benchmark::State& state) {
+  const Buffer file = test_file(512 << 10);
+  const auto blocks = code().encode(file);
+  std::map<size_t, ConstByteSpan> view;  // block 0 missing: a real solve
+  for (size_t b = 1; b < blocks.size(); ++b) view.emplace(b, blocks[b]);
+  const size_t threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto out = code().engine().decode_parallel(view, threads);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(file.size()));
+}
+BENCHMARK(BM_DecodeParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_RepairParallel(benchmark::State& state) {
+  const Buffer file = test_file(512 << 10);
+  const auto blocks = code().encode(file);
+  std::map<size_t, ConstByteSpan> helpers;
+  for (size_t h : code().repair_helpers(0)) helpers.emplace(h, blocks[h]);
+  const size_t threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto out = code().engine().repair_block_parallel(0, helpers, threads);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(blocks[0].size()));
+}
+BENCHMARK(BM_RepairParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_UpdateChunk(benchmark::State& state) {
   const size_t chunk = 256 << 10;
@@ -88,7 +128,92 @@ void BM_ReadRangeDegraded(benchmark::State& state) {
 }
 BENCHMARK(BM_ReadRangeDegraded);
 
+// ---- machine-readable sweep (GALLOPER_BENCH_JSON) -----------------------
+
+// Best-of-reps seconds for one (path, chunk, threads) cell.
+template <typename Fn>
+double best_seconds(Fn&& fn) {
+  double best = 1e300;
+  for (size_t r = 0; r < bench::reps(); ++r)
+    best = std::min(best, bench::timed(fn));
+  return best;
+}
+
+int run_json_sweep(const char* path) {
+  const auto& engine = code().engine();
+  const size_t thread_grid[] = {1, 2, 4, 8};
+  const size_t chunk_grid[] = {64 << 10, 256 << 10, 1 << 20};
+
+  bench::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("micro_encode_sweep");
+  json.key("code").value(code().name());
+  json.key("hardware_threads").value(rt::ThreadPool::default_threads());
+  json.key("reps").value(bench::reps());
+  json.key("cells").begin_array();
+
+  for (size_t chunk : chunk_grid) {
+    const Buffer file = test_file(chunk);
+    const auto blocks = engine.encode(file);
+    std::map<size_t, ConstByteSpan> degraded;
+    for (size_t b = 1; b < blocks.size(); ++b)
+      degraded.emplace(b, blocks[b]);
+    std::map<size_t, ConstByteSpan> helpers;
+    for (size_t h : code().repair_helpers(0)) helpers.emplace(h, blocks[h]);
+
+    for (size_t threads : thread_grid) {
+      struct Cell {
+        const char* path;
+        double seconds;
+        size_t bytes;
+      };
+      const Cell cells[] = {
+          {"encode", best_seconds([&] {
+             benchmark::DoNotOptimize(engine.encode_parallel(file, threads));
+           }),
+           file.size()},
+          {"decode", best_seconds([&] {
+             benchmark::DoNotOptimize(
+                 engine.decode_parallel(degraded, threads));
+           }),
+           file.size()},
+          {"repair", best_seconds([&] {
+             benchmark::DoNotOptimize(
+                 engine.repair_block_parallel(0, helpers, threads));
+           }),
+           blocks[0].size()},
+      };
+      for (const Cell& c : cells) {
+        json.begin_object();
+        json.key("path").value(c.path);
+        json.key("chunk_bytes").value(chunk);
+        json.key("threads").value(threads);
+        json.key("seconds").value(c.seconds);
+        json.key("mib_per_s").value(
+            static_cast<double>(c.bytes) / (1 << 20) / c.seconds);
+        json.end_object();
+        std::printf("%-6s chunk=%7zu threads=%zu  %8.1f MiB/s\n", c.path,
+                    chunk, threads,
+                    static_cast<double>(c.bytes) / (1 << 20) / c.seconds);
+      }
+    }
+  }
+  json.end_array();
+  json.end_object();
+  bench::write_json_file(path, json);
+  std::printf("wrote %s\n", path);
+  return 0;
+}
+
 }  // namespace
 }  // namespace galloper
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (const char* path = galloper::bench::bench_json_path())
+    return galloper::run_json_sweep(path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -130,7 +130,7 @@ fs::path block_path(const fs::path& dir, size_t block) {
 
 Manifest encode_archive(const fs::path& input, const fs::path& dir, size_t k,
                         size_t l, size_t g, const std::vector<double>& perf,
-                        int64_t resolution) {
+                        int64_t resolution, size_t threads) {
   Buffer data = read_file(input);
   GALLOPER_CHECK_MSG(!data.empty(), "refusing to encode an empty file");
 
@@ -150,7 +150,7 @@ Manifest encode_archive(const fs::path& input, const fs::path& dir, size_t k,
   data.resize(padded, 0);
   m.block_bytes = padded / chunks * code.n_stripes();
 
-  const auto blocks = code.encode(data);
+  const auto blocks = code.engine().encode_parallel(data, threads);
   for (const auto& block : blocks) m.block_crcs.push_back(crc32c(block));
   fs::create_directories(dir);
   for (size_t b = 0; b < blocks.size(); ++b)
@@ -167,7 +167,7 @@ Manifest read_manifest(const fs::path& dir) {
   return Manifest::parse(std::string(raw.begin(), raw.end()));
 }
 
-std::optional<Buffer> decode_archive(const fs::path& dir) {
+std::optional<Buffer> decode_archive(const fs::path& dir, size_t threads) {
   const Manifest m = read_manifest(dir);
   const core::GalloperCode code = m.make_code();
 
@@ -181,14 +181,15 @@ std::optional<Buffer> decode_archive(const fs::path& dir) {
                        "block file " << p.string() << " has wrong size");
     view.emplace(b, present[b]);
   }
-  auto padded = code.decode(view);
+  auto padded = code.engine().decode_parallel(view, threads);
   if (!padded) return std::nullopt;
   padded->resize(m.original_bytes);
   return padded;
 }
 
 std::optional<std::vector<size_t>> repair_archive(const fs::path& dir,
-                                                  size_t block) {
+                                                  size_t block,
+                                                  size_t threads) {
   const Manifest m = read_manifest(dir);
   const core::GalloperCode code = m.make_code();
   GALLOPER_CHECK_MSG(block < code.num_blocks(),
@@ -204,7 +205,7 @@ std::optional<std::vector<size_t>> repair_archive(const fs::path& dir,
       data[i] = read_file(p);
       view.emplace(helpers[i], data[i]);
     }
-    auto rebuilt = code.repair_block(block, view);
+    auto rebuilt = code.engine().repair_block_parallel(block, view, threads);
     if (!rebuilt) return std::nullopt;
     write_file(block_path(dir, block), *rebuilt);
     return helpers;
@@ -240,7 +241,7 @@ std::string describe_archive(const fs::path& dir) {
 }
 
 std::vector<size_t> update_archive(const fs::path& dir, size_t offset,
-                                   ConstByteSpan data) {
+                                   ConstByteSpan data, size_t threads) {
   Manifest m = read_manifest(dir);
   const core::GalloperCode code = m.make_code();
   const size_t chunk = m.block_bytes / code.n_stripes();
@@ -264,8 +265,8 @@ std::vector<size_t> update_archive(const fs::path& dir, size_t offset,
   std::vector<size_t> touched;
   const size_t first = offset / chunk;
   for (size_t c = 0; c * chunk < data.size(); ++c) {
-    const auto t = code.engine().update_chunk(blocks, first + c,
-                                              data.subspan(c * chunk, chunk));
+    const auto t = code.engine().update_chunk_parallel(
+        blocks, first + c, data.subspan(c * chunk, chunk), threads);
     touched.insert(touched.end(), t.begin(), t.end());
   }
   std::sort(touched.begin(), touched.end());

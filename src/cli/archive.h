@@ -37,11 +37,13 @@ struct Manifest {
 
 // Encodes `input` with a (k,l,g) Galloper code (weights from `perf` via the
 // LP when non-empty, uniform otherwise) and writes the archive to `dir`
-// (created if needed). Returns the manifest written.
+// (created if needed). Returns the manifest written. `threads` ≥ 1 selects
+// how many pool runners the coding data path uses (1 = serial; results are
+// bit-identical for any value).
 Manifest encode_archive(const std::filesystem::path& input,
                         const std::filesystem::path& dir, size_t k, size_t l,
                         size_t g, const std::vector<double>& perf = {},
-                        int64_t resolution = 12);
+                        int64_t resolution = 12, size_t threads = 1);
 
 // Reads the manifest of an archive directory.
 Manifest read_manifest(const std::filesystem::path& dir);
@@ -52,12 +54,13 @@ std::filesystem::path block_path(const std::filesystem::path& dir,
 
 // Decodes the original file from the blocks present in `dir`.
 // nullopt if the available blocks are insufficient.
-std::optional<Buffer> decode_archive(const std::filesystem::path& dir);
+std::optional<Buffer> decode_archive(const std::filesystem::path& dir,
+                                     size_t threads = 1);
 
 // Rebuilds one missing block file in place. Returns the helper blocks
 // read; nullopt if impossible.
 std::optional<std::vector<size_t>> repair_archive(
-    const std::filesystem::path& dir, size_t block);
+    const std::filesystem::path& dir, size_t block, size_t threads = 1);
 
 // Human-readable description (weights, layout, data/parity split).
 std::string describe_archive(const std::filesystem::path& dir);
@@ -68,7 +71,8 @@ std::string describe_archive(const std::filesystem::path& dir);
 // Requires every block file present (repair first on a degraded archive).
 // Returns the blocks rewritten.
 std::vector<size_t> update_archive(const std::filesystem::path& dir,
-                                   size_t offset, ConstByteSpan data);
+                                   size_t offset, ConstByteSpan data,
+                                   size_t threads = 1);
 
 // Integrity audit against the manifest's CRCs.
 struct VerifyReport {

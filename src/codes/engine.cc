@@ -1,10 +1,12 @@
 #include "codes/engine.h"
 
 #include <algorithm>
-#include <thread>
+#include <functional>
 
 #include "gf/region.h"
 #include "la/solve.h"
+#include "rt/pool.h"
+#include "rt/slicer.h"
 #include "util/check.h"
 
 namespace galloper::codes {
@@ -16,9 +18,10 @@ namespace {
 // dependent parity tile is patched.
 constexpr size_t kUpdateTile = 32 * 1024;
 
-// dst ^= Σ_s row[s]·stripe(s) for the nonzero entries of a dense
-// combination row, batched through the fused multi-source kernel so dst is
-// read/written once per group of up to four terms instead of once per term.
+// dst = Σ_s row[s]·stripe(s) for the nonzero entries of a dense combination
+// row, batched through the overwrite-mode fused multi-source kernel: dst is
+// written once per group of up to four terms without ever being read, so
+// output buffers need no prior zero-fill. An all-zero row zeroes dst.
 template <typename StripeFn>
 void apply_combo_row(ByteSpan dst, std::span<const gf::Elem> row,
                      StripeFn stripe) {
@@ -31,7 +34,25 @@ void apply_combo_row(ByteSpan dst, std::span<const gf::Elem> row,
     coeffs.push_back(row[s]);
     srcs.push_back(stripe(s));
   }
-  gf::mul_acc_region_multi(dst, coeffs, srcs.data(), srcs.size());
+  gf::mul_region_multi(dst, coeffs, srcs.data(), srcs.size());
+}
+
+// Fans body(row, lo, hi) over `threads` pool runners: `rows` output rows ×
+// cache-line-aligned byte slices of [0, chunk). With rows >= threads each
+// row is one unit (no intra-row split needed); otherwise every row splits
+// into enough slices to feed all runners. threads == 1 degrades to a plain
+// nested loop over the same units, so serial and parallel results are
+// byte-identical by construction.
+void for_rows_sliced(size_t rows, size_t chunk, size_t threads,
+                     const std::function<void(size_t, size_t, size_t)>& body) {
+  if (rows == 0 || chunk == 0) return;
+  const size_t per_row = rows >= threads ? 1 : (threads + rows - 1) / rows;
+  const auto slices = rt::slice_ranges(chunk, per_row, rt::kCacheLine);
+  rt::parallel_for(rt::ThreadPool::global(), rows * slices.size(), threads,
+                   [&](size_t unit) {
+                     const rt::SliceRange& s = slices[unit % slices.size()];
+                     body(unit / slices.size(), s.lo, s.hi);
+                   });
 }
 
 }  // namespace
@@ -118,57 +139,52 @@ void CodecEngine::encode_slice(ConstByteSpan file,
       }
       // All of the stripe's generator terms in one fused, tiled pass: the
       // parity stripe is streamed once per group of ≤4 sources rather than
-      // once per source.
+      // once per source, and written in overwrite mode — the buffer was
+      // never zero-filled.
       coeffs.clear();
       srcs.clear();
       for (const Term& t : sparse_rows_[b * stripes_per_block_ + p]) {
         coeffs.push_back(t.coeff);
         srcs.push_back(file.subspan(t.col * chunk + lo, len));
       }
-      gf::mul_acc_region_multi(dst, coeffs, srcs.data(), srcs.size());
+      gf::mul_region_multi(dst, coeffs, srcs.data(), srcs.size());
     }
   }
 }
 
-std::vector<Buffer> CodecEngine::encode(ConstByteSpan file) const {
+std::vector<Buffer> CodecEngine::encode_impl(ConstByteSpan file,
+                                             size_t threads) const {
   GALLOPER_CHECK_MSG(!file.empty() && file.size() % num_chunks() == 0,
                      "file size " << file.size()
                                   << " must be a positive multiple of "
                                   << num_chunks());
   const size_t chunk = file.size() / num_chunks();
-  std::vector<Buffer> blocks(num_blocks_,
-                             Buffer(stripes_per_block_ * chunk, 0));
-  encode_slice(file, blocks, chunk, 0, chunk);
+  // Uninitialized output: encode_slice writes every byte exactly once
+  // (data stripes copied, parity stripes via the overwrite-mode kernel).
+  std::vector<Buffer> blocks;
+  blocks.reserve(num_blocks_);
+  for (size_t b = 0; b < num_blocks_; ++b)
+    blocks.emplace_back(stripes_per_block_ * chunk);
+  // Balanced cache-line-aligned slices: boundaries are 64-byte multiples
+  // (no two runners share a line) and sizes differ by at most one line —
+  // the old ceil(chunk/threads) split left the last worker a short or
+  // empty tail.
+  const auto slices = rt::slice_ranges(chunk, threads, rt::kCacheLine);
+  rt::parallel_for(
+      rt::ThreadPool::global(), slices.size(), threads, [&](size_t s) {
+        encode_slice(file, blocks, chunk, slices[s].lo, slices[s].hi);
+      });
   return blocks;
+}
+
+std::vector<Buffer> CodecEngine::encode(ConstByteSpan file) const {
+  return encode_impl(file, 1);
 }
 
 std::vector<Buffer> CodecEngine::encode_parallel(ConstByteSpan file,
                                                  size_t threads) const {
   GALLOPER_CHECK_MSG(threads >= 1, "need at least one thread");
-  GALLOPER_CHECK_MSG(!file.empty() && file.size() % num_chunks() == 0,
-                     "file size " << file.size()
-                                  << " must be a positive multiple of "
-                                  << num_chunks());
-  const size_t chunk = file.size() / num_chunks();
-  std::vector<Buffer> blocks(num_blocks_,
-                             Buffer(stripes_per_block_ * chunk, 0));
-  threads = std::min(threads, chunk);
-  if (threads <= 1) {
-    encode_slice(file, blocks, chunk, 0, chunk);
-    return blocks;
-  }
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  const size_t slice = (chunk + threads - 1) / threads;
-  for (size_t t = 0; t < threads; ++t) {
-    const size_t lo = t * slice;
-    const size_t hi = std::min(chunk, lo + slice);
-    workers.emplace_back([this, file, &blocks, chunk, lo, hi] {
-      encode_slice(file, blocks, chunk, lo, hi);
-    });
-  }
-  for (auto& w : workers) w.join();
-  return blocks;
+  return encode_impl(file, threads);
 }
 
 la::Matrix CodecEngine::rows_of_blocks(
@@ -183,8 +199,8 @@ la::Matrix CodecEngine::rows_of_blocks(
   return generator_.select_rows(rows);
 }
 
-std::optional<Buffer> CodecEngine::decode(
-    const std::map<size_t, ConstByteSpan>& blocks) const {
+std::optional<Buffer> CodecEngine::decode_impl(
+    const std::map<size_t, ConstByteSpan>& blocks, size_t threads) const {
   if (blocks.empty()) return std::nullopt;
   std::vector<size_t> ids;
   ids.reserve(blocks.size());
@@ -203,19 +219,32 @@ std::optional<Buffer> CodecEngine::decode(
       la::express_in_rowspace(basis, la::Matrix::identity(num_chunks()));
   if (!combo) return std::nullopt;
 
-  Buffer file(num_chunks() * chunk, 0);
-  for (size_t c = 0; c < num_chunks(); ++c) {
-    apply_combo_row(ByteSpan(file.data() + c * chunk, chunk), combo->row(c),
-                    [&](size_t s) {
-                      return blocks.at(ids[s / stripes_per_block_])
-                          .subspan((s % stripes_per_block_) * chunk, chunk);
-                    });
-  }
+  Buffer file(num_chunks() * chunk);  // every row written below
+  for_rows_sliced(
+      num_chunks(), chunk, threads, [&](size_t c, size_t lo, size_t hi) {
+        apply_combo_row(
+            ByteSpan(file.data() + c * chunk + lo, hi - lo), combo->row(c),
+            [&](size_t s) {
+              return blocks.at(ids[s / stripes_per_block_])
+                  .subspan((s % stripes_per_block_) * chunk + lo, hi - lo);
+            });
+      });
   return file;
 }
 
-std::optional<Buffer> CodecEngine::decode_fast(
+std::optional<Buffer> CodecEngine::decode(
     const std::map<size_t, ConstByteSpan>& blocks) const {
+  return decode_impl(blocks, 1);
+}
+
+std::optional<Buffer> CodecEngine::decode_parallel(
+    const std::map<size_t, ConstByteSpan>& blocks, size_t threads) const {
+  GALLOPER_CHECK_MSG(threads >= 1, "need at least one thread");
+  return decode_impl(blocks, threads);
+}
+
+std::optional<Buffer> CodecEngine::decode_fast_impl(
+    const std::map<size_t, ConstByteSpan>& blocks, size_t threads) const {
   if (blocks.empty()) return std::nullopt;
   std::vector<size_t> ids;
   size_t block_bytes = SIZE_MAX;
@@ -228,39 +257,62 @@ std::optional<Buffer> CodecEngine::decode_fast(
   GALLOPER_CHECK(block_bytes % stripes_per_block_ == 0);
   const size_t chunk = block_bytes / stripes_per_block_;
 
-  Buffer file(num_chunks() * chunk, 0);
+  // Solve for the chunks whose systematic stripe is unavailable BEFORE
+  // touching the (uninitialized) output, so an undecodable set returns
+  // nullopt without wasted copying.
   std::vector<size_t> missing;
-  for (size_t c = 0; c < num_chunks(); ++c) {
-    const StripeRef ref = chunk_pos_[c];
-    const auto it = blocks.find(ref.block);
-    if (it == blocks.end()) {
+  for (size_t c = 0; c < num_chunks(); ++c)
+    if (blocks.find(chunk_pos_[c].block) == blocks.end())
       missing.push_back(c);
-      continue;
-    }
-    std::copy_n(it->second.data() + ref.pos * chunk, chunk,
-                file.data() + c * chunk);
+  std::optional<la::Matrix> combo;
+  if (!missing.empty()) {
+    la::Matrix targets(missing.size(), num_chunks());
+    for (size_t t = 0; t < missing.size(); ++t)
+      targets.at(t, missing[t]) = 1;
+    combo = la::express_in_rowspace(rows_of_blocks(ids), targets);
+    if (!combo) return std::nullopt;
   }
+
+  // Verbatim copies dominate (most chunks sit in an available block), so
+  // they are fanned out too — the copy path is memory-bandwidth-bound and
+  // still gains on multi-socket parts.
+  Buffer file(num_chunks() * chunk);
+  for_rows_sliced(num_chunks(), chunk, threads,
+                  [&](size_t c, size_t lo, size_t hi) {
+                    const StripeRef ref = chunk_pos_[c];
+                    const auto it = blocks.find(ref.block);
+                    if (it == blocks.end()) return;  // solved below
+                    std::copy_n(it->second.data() + ref.pos * chunk + lo,
+                                hi - lo, file.data() + c * chunk + lo);
+                  });
   if (missing.empty()) return file;
 
-  // Solve only for the chunks we could not copy.
-  la::Matrix targets(missing.size(), num_chunks());
-  for (size_t t = 0; t < missing.size(); ++t)
-    targets.at(t, missing[t]) = 1;
-  const la::Matrix basis = rows_of_blocks(ids);
-  const auto combo = la::express_in_rowspace(basis, targets);
-  if (!combo) return std::nullopt;
-  for (size_t t = 0; t < missing.size(); ++t) {
-    apply_combo_row(ByteSpan(file.data() + missing[t] * chunk, chunk),
-                    combo->row(t), [&](size_t s) {
-                      return blocks.at(ids[s / stripes_per_block_])
-                          .subspan((s % stripes_per_block_) * chunk, chunk);
-                    });
-  }
+  for_rows_sliced(
+      missing.size(), chunk, threads, [&](size_t t, size_t lo, size_t hi) {
+        apply_combo_row(
+            ByteSpan(file.data() + missing[t] * chunk + lo, hi - lo),
+            combo->row(t), [&](size_t s) {
+              return blocks.at(ids[s / stripes_per_block_])
+                  .subspan((s % stripes_per_block_) * chunk + lo, hi - lo);
+            });
+      });
   return file;
 }
 
-std::optional<Buffer> CodecEngine::repair_block(
-    size_t failed, const std::map<size_t, ConstByteSpan>& helpers) const {
+std::optional<Buffer> CodecEngine::decode_fast(
+    const std::map<size_t, ConstByteSpan>& blocks) const {
+  return decode_fast_impl(blocks, 1);
+}
+
+std::optional<Buffer> CodecEngine::decode_fast_parallel(
+    const std::map<size_t, ConstByteSpan>& blocks, size_t threads) const {
+  GALLOPER_CHECK_MSG(threads >= 1, "need at least one thread");
+  return decode_fast_impl(blocks, threads);
+}
+
+std::optional<Buffer> CodecEngine::repair_block_impl(
+    size_t failed, const std::map<size_t, ConstByteSpan>& helpers,
+    size_t threads) const {
   GALLOPER_CHECK(failed < num_blocks_);
   GALLOPER_CHECK_MSG(helpers.find(failed) == helpers.end(),
                      "failed block offered as its own helper");
@@ -281,20 +333,35 @@ std::optional<Buffer> CodecEngine::repair_block(
   const auto combo = la::express_in_rowspace(basis, targets);
   if (!combo) return std::nullopt;
 
-  Buffer out(stripes_per_block_ * chunk, 0);
-  for (size_t p = 0; p < stripes_per_block_; ++p) {
-    apply_combo_row(ByteSpan(out.data() + p * chunk, chunk), combo->row(p),
-                    [&](size_t s) {
-                      return helpers.at(ids[s / stripes_per_block_])
-                          .subspan((s % stripes_per_block_) * chunk, chunk);
-                    });
-  }
+  Buffer out(stripes_per_block_ * chunk);  // every stripe written below
+  for_rows_sliced(
+      stripes_per_block_, chunk, threads, [&](size_t p, size_t lo,
+                                              size_t hi) {
+        apply_combo_row(
+            ByteSpan(out.data() + p * chunk + lo, hi - lo), combo->row(p),
+            [&](size_t s) {
+              return helpers.at(ids[s / stripes_per_block_])
+                  .subspan((s % stripes_per_block_) * chunk + lo, hi - lo);
+            });
+      });
   return out;
 }
 
-std::optional<Buffer> CodecEngine::read_range(
+std::optional<Buffer> CodecEngine::repair_block(
+    size_t failed, const std::map<size_t, ConstByteSpan>& helpers) const {
+  return repair_block_impl(failed, helpers, 1);
+}
+
+std::optional<Buffer> CodecEngine::repair_block_parallel(
+    size_t failed, const std::map<size_t, ConstByteSpan>& helpers,
+    size_t threads) const {
+  GALLOPER_CHECK_MSG(threads >= 1, "need at least one thread");
+  return repair_block_impl(failed, helpers, threads);
+}
+
+std::optional<Buffer> CodecEngine::read_range_impl(
     const std::map<size_t, ConstByteSpan>& blocks, size_t offset,
-    size_t length) const {
+    size_t length, size_t threads) const {
   if (blocks.empty()) return std::nullopt;
   size_t block_bytes = SIZE_MAX;
   std::vector<size_t> ids;
@@ -314,47 +381,74 @@ std::optional<Buffer> CodecEngine::read_range(
   const size_t first_chunk = offset / chunk;
   const size_t last_chunk = (offset + length - 1) / chunk;
 
-  Buffer range(length, 0);
+  // Index of each missing chunk in the combination matrix (SIZE_MAX for
+  // chunks copied verbatim); the solve happens before any byte moves so an
+  // unrecoverable range returns nullopt without wasted work.
   std::vector<size_t> missing;
+  std::vector<size_t> combo_row_of(last_chunk - first_chunk + 1, SIZE_MAX);
   for (size_t c = first_chunk; c <= last_chunk; ++c) {
-    const auto it = blocks.find(chunk_pos_[c].block);
-    if (it == blocks.end()) {
-      missing.push_back(c);
-      continue;
-    }
-    // Overlap of chunk c's file range with the requested range.
-    const size_t lo = std::max(offset, c * chunk);
-    const size_t hi = std::min(offset + length, (c + 1) * chunk);
-    std::copy_n(it->second.data() + chunk_pos_[c].pos * chunk +
-                    (lo - c * chunk),
-                hi - lo, range.data() + (lo - offset));
+    if (blocks.find(chunk_pos_[c].block) != blocks.end()) continue;
+    combo_row_of[c - first_chunk] = missing.size();
+    missing.push_back(c);
   }
-  if (missing.empty()) return range;
+  std::optional<la::Matrix> combo;
+  if (!missing.empty()) {
+    la::Matrix targets(missing.size(), num_chunks());
+    for (size_t t = 0; t < missing.size(); ++t)
+      targets.at(t, missing[t]) = 1;
+    combo = la::express_in_rowspace(rows_of_blocks(ids), targets);
+    if (!combo) return std::nullopt;
+  }
 
-  la::Matrix targets(missing.size(), num_chunks());
-  for (size_t t = 0; t < missing.size(); ++t)
-    targets.at(t, missing[t]) = 1;
-  const auto combo = la::express_in_rowspace(rows_of_blocks(ids), targets);
-  if (!combo) return std::nullopt;
-  Buffer scratch(chunk);
-  for (size_t t = 0; t < missing.size(); ++t) {
-    std::fill(scratch.begin(), scratch.end(), uint8_t{0});
-    apply_combo_row(scratch, combo->row(t), [&](size_t s) {
-      return blocks.at(ids[s / stripes_per_block_])
-          .subspan((s % stripes_per_block_) * chunk, chunk);
-    });
-    const size_t c = missing[t];
-    const size_t lo = std::max(offset, c * chunk);
-    const size_t hi = std::min(offset + length, (c + 1) * chunk);
-    std::copy_n(scratch.data() + (lo - c * chunk), hi - lo,
-                range.data() + (lo - offset));
-  }
+  // One pass over the covered chunks: available ones copy their overlap
+  // with the request, missing ones reconstruct ONLY the overlapping bytes
+  // straight into the output (no full-chunk scratch buffer).
+  Buffer range(length);  // every byte covered by exactly one chunk overlap
+  for_rows_sliced(
+      last_chunk - first_chunk + 1, chunk, threads,
+      [&](size_t row, size_t slo, size_t shi) {
+        const size_t c = first_chunk + row;
+        // Intersection of this byte slice with the requested range, in
+        // file coordinates.
+        const size_t lo = std::max(offset, c * chunk + slo);
+        const size_t hi = std::min(offset + length, c * chunk + shi);
+        if (lo >= hi) return;
+        const size_t in_chunk = lo - c * chunk;
+        ByteSpan dst(range.data() + (lo - offset), hi - lo);
+        const auto it = blocks.find(chunk_pos_[c].block);
+        if (it != blocks.end()) {
+          std::copy_n(it->second.data() + chunk_pos_[c].pos * chunk +
+                          in_chunk,
+                      dst.size(), dst.data());
+          return;
+        }
+        const size_t t = combo_row_of[row];
+        apply_combo_row(dst, combo->row(t), [&](size_t s) {
+          return blocks.at(ids[s / stripes_per_block_])
+              .subspan((s % stripes_per_block_) * chunk + in_chunk,
+                       dst.size());
+        });
+      });
   return range;
 }
 
-std::vector<size_t> CodecEngine::update_chunk(std::vector<Buffer>& blocks,
-                                              size_t chunk,
-                                              ConstByteSpan new_data) const {
+std::optional<Buffer> CodecEngine::read_range(
+    const std::map<size_t, ConstByteSpan>& blocks, size_t offset,
+    size_t length) const {
+  return read_range_impl(blocks, offset, length, 1);
+}
+
+std::optional<Buffer> CodecEngine::read_range_parallel(
+    const std::map<size_t, ConstByteSpan>& blocks, size_t offset,
+    size_t length, size_t threads) const {
+  GALLOPER_CHECK_MSG(threads >= 1, "need at least one thread");
+  return read_range_impl(blocks, offset, length, threads);
+}
+
+std::vector<size_t> CodecEngine::update_chunk_impl(std::vector<Buffer>& blocks,
+                                                   size_t chunk,
+                                                   ConstByteSpan new_data,
+                                                   size_t threads) const {
   GALLOPER_CHECK(chunk < num_chunks());
   GALLOPER_CHECK_MSG(blocks.size() == num_blocks_,
                      "update needs all current blocks");
@@ -380,22 +474,43 @@ std::vector<size_t> CodecEngine::update_chunk(std::vector<Buffer>& blocks,
   std::copy(new_data.begin(), new_data.end(), stored.begin());
   for (const Term& t : chunk_consumers_[chunk])
     touched.push_back(t.col / stripes_per_block_);  // Term reused: col = row
-  // Tile the delta propagation so one L1-resident slice of delta patches
-  // every dependent parity stripe before moving on.
-  for (size_t off = 0; off < chunk_bytes; off += kUpdateTile) {
-    const size_t len = std::min(kUpdateTile, chunk_bytes - off);
-    const ConstByteSpan dslice(delta.data() + off, len);
-    for (const Term& t : chunk_consumers_[chunk]) {
-      const size_t b = t.col / stripes_per_block_;
-      const size_t p = t.col % stripes_per_block_;
-      gf::mul_acc_region(
-          ByteSpan(blocks[b].data() + p * chunk_bytes + off, len), t.coeff,
-          dslice);
-    }
-  }
+  // Each runner owns a cache-line-aligned byte slice of the chunk and
+  // patches EVERY dependent parity stripe within it (same-offset bytes of
+  // different stripes never overlap, so slices are the only partition
+  // needed). Inside a slice the delta propagation is tiled so one
+  // L1-resident piece of delta patches all dependents before moving on.
+  const auto slices = rt::slice_ranges(chunk_bytes, threads, rt::kCacheLine);
+  rt::parallel_for(
+      rt::ThreadPool::global(), slices.size(), threads, [&](size_t si) {
+        const rt::SliceRange& s = slices[si];
+        for (size_t off = s.lo; off < s.hi; off += kUpdateTile) {
+          const size_t len = std::min(kUpdateTile, s.hi - off);
+          const ConstByteSpan dslice(delta.data() + off, len);
+          for (const Term& t : chunk_consumers_[chunk]) {
+            const size_t b = t.col / stripes_per_block_;
+            const size_t p = t.col % stripes_per_block_;
+            gf::mul_acc_region(
+                ByteSpan(blocks[b].data() + p * chunk_bytes + off, len),
+                t.coeff, dslice);
+          }
+        }
+      });
   std::sort(touched.begin(), touched.end());
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
   return touched;
+}
+
+std::vector<size_t> CodecEngine::update_chunk(std::vector<Buffer>& blocks,
+                                              size_t chunk,
+                                              ConstByteSpan new_data) const {
+  return update_chunk_impl(blocks, chunk, new_data, 1);
+}
+
+std::vector<size_t> CodecEngine::update_chunk_parallel(
+    std::vector<Buffer>& blocks, size_t chunk, ConstByteSpan new_data,
+    size_t threads) const {
+  GALLOPER_CHECK_MSG(threads >= 1, "need at least one thread");
+  return update_chunk_impl(blocks, chunk, new_data, threads);
 }
 
 bool CodecEngine::decodable(

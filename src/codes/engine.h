@@ -48,14 +48,20 @@ class CodecEngine {
 
   // ---- Data paths -------------------------------------------------------
 
-  // Encodes a file of size num_chunks·c (any c ≥ 1) into num_blocks blocks
-  // of stripes_per_block·c bytes each.
-  std::vector<Buffer> encode(ConstByteSpan file) const;
+  // Every data path below comes in a serial form and a `_parallel(...,
+  // threads)` form. The parallel forms run on the process-wide persistent
+  // work-stealing pool (rt::ThreadPool::global()): work splits across
+  // output rows and cache-line-aligned byte slices (every output byte at
+  // chunk offset i depends only on input bytes at offset i), so runners own
+  // disjoint 64-byte-granular regions — no locks, no false sharing. All
+  // parallel results are bit-identical to their serial counterpart for any
+  // thread count; threads must be ≥ 1 (CheckError otherwise).
 
-  // Same result with `threads` worker threads. Encoding is independent per
-  // byte position (every output byte at chunk offset i depends only on
-  // input bytes at offset i), so threads own disjoint byte slices of every
-  // stripe — no locks, no false sharing beyond slice edges.
+  // Encodes a file of size num_chunks·c (any c ≥ 1) into num_blocks blocks
+  // of stripes_per_block·c bytes each. Output buffers are never zero-filled:
+  // data stripes are copied and parity stripes written by the
+  // overwrite-mode fused kernel, so output memory is touched exactly once.
+  std::vector<Buffer> encode(ConstByteSpan file) const;
   std::vector<Buffer> encode_parallel(ConstByteSpan file,
                                       size_t threads) const;
 
@@ -65,6 +71,8 @@ class CodecEngine {
   // combination, mirroring the decode the paper measures in Fig. 7b.
   std::optional<Buffer> decode(
       const std::map<size_t, ConstByteSpan>& blocks) const;
+  std::optional<Buffer> decode_parallel(
+      const std::map<size_t, ConstByteSpan>& blocks, size_t threads) const;
 
   // Bit-identical to decode(), but copies verbatim every chunk whose
   // systematic stripe is available and solves only for the missing ones —
@@ -73,19 +81,28 @@ class CodecEngine {
   // copies, so this touches far fewer bytes.
   std::optional<Buffer> decode_fast(
       const std::map<size_t, ConstByteSpan>& blocks) const;
+  std::optional<Buffer> decode_fast_parallel(
+      const std::map<size_t, ConstByteSpan>& blocks, size_t threads) const;
 
   // Rebuilds the contents of `failed` from helper blocks.
   // nullopt if the helper set cannot determine the block.
   std::optional<Buffer> repair_block(
       size_t failed, const std::map<size_t, ConstByteSpan>& helpers) const;
+  std::optional<Buffer> repair_block_parallel(
+      size_t failed, const std::map<size_t, ConstByteSpan>& helpers,
+      size_t threads) const;
 
   // Reads bytes [offset, offset+length) of the original file from the
   // given blocks without a full decode: available chunks are copied,
-  // missing ones reconstructed individually. nullopt if some needed chunk
-  // is not recoverable from the provided blocks.
+  // missing ones reconstructed individually (only the overlapping bytes —
+  // never a full scratch chunk). nullopt if some needed chunk is not
+  // recoverable from the provided blocks.
   std::optional<Buffer> read_range(
       const std::map<size_t, ConstByteSpan>& blocks, size_t offset,
       size_t length) const;
+  std::optional<Buffer> read_range_parallel(
+      const std::map<size_t, ConstByteSpan>& blocks, size_t offset,
+      size_t length, size_t threads) const;
 
   // Overwrites data chunk `chunk` with `new_data` (one chunk's worth of
   // bytes) and patches every parity stripe that depends on it via the
@@ -95,6 +112,10 @@ class CodecEngine {
   // update.
   std::vector<size_t> update_chunk(std::vector<Buffer>& blocks, size_t chunk,
                                    ConstByteSpan new_data) const;
+  std::vector<size_t> update_chunk_parallel(std::vector<Buffer>& blocks,
+                                            size_t chunk,
+                                            ConstByteSpan new_data,
+                                            size_t threads) const;
 
   // ---- Oracles (structure only, no data) --------------------------------
 
@@ -111,6 +132,23 @@ class CodecEngine {
   // Encodes byte positions [lo, hi) of every chunk into the blocks.
   void encode_slice(ConstByteSpan file, std::vector<Buffer>& blocks,
                     size_t chunk, size_t lo, size_t hi) const;
+
+  // Shared serial/parallel implementations (threads == 1 is the serial
+  // path: no pool dispatch, plain loops).
+  std::vector<Buffer> encode_impl(ConstByteSpan file, size_t threads) const;
+  std::optional<Buffer> decode_impl(
+      const std::map<size_t, ConstByteSpan>& blocks, size_t threads) const;
+  std::optional<Buffer> decode_fast_impl(
+      const std::map<size_t, ConstByteSpan>& blocks, size_t threads) const;
+  std::optional<Buffer> repair_block_impl(
+      size_t failed, const std::map<size_t, ConstByteSpan>& helpers,
+      size_t threads) const;
+  std::optional<Buffer> read_range_impl(
+      const std::map<size_t, ConstByteSpan>& blocks, size_t offset,
+      size_t length, size_t threads) const;
+  std::vector<size_t> update_chunk_impl(std::vector<Buffer>& blocks,
+                                        size_t chunk, ConstByteSpan new_data,
+                                        size_t threads) const;
 
   la::Matrix generator_;
   size_t num_blocks_;

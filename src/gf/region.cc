@@ -68,9 +68,38 @@ void scalar_mad4(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
     dst[i] ^= r0[src[0][i]] ^ r1[src[1][i]] ^ r2[src[2][i]] ^ r3[src[3][i]];
 }
 
+// Overwrite-mode fused forms: dst is assigned, not accumulated into, so the
+// destination is never read — a fresh (uninitialized) parity buffer needs
+// no zero-fill before the first group of sources lands.
+void scalar_mul2(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+                 size_t n) {
+  const Elem* r0 = mul_row(c[0]);
+  const Elem* r1 = mul_row(c[1]);
+  for (size_t i = 0; i < n; ++i) dst[i] = r0[src[0][i]] ^ r1[src[1][i]];
+}
+
+void scalar_mul3(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+                 size_t n) {
+  const Elem* r0 = mul_row(c[0]);
+  const Elem* r1 = mul_row(c[1]);
+  const Elem* r2 = mul_row(c[2]);
+  for (size_t i = 0; i < n; ++i)
+    dst[i] = r0[src[0][i]] ^ r1[src[1][i]] ^ r2[src[2][i]];
+}
+
+void scalar_mul4(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+                 size_t n) {
+  const Elem* r0 = mul_row(c[0]);
+  const Elem* r1 = mul_row(c[1]);
+  const Elem* r2 = mul_row(c[2]);
+  const Elem* r3 = mul_row(c[3]);
+  for (size_t i = 0; i < n; ++i)
+    dst[i] = r0[src[0][i]] ^ r1[src[1][i]] ^ r2[src[2][i]] ^ r3[src[3][i]];
+}
+
 constexpr RegionKernels kScalarKernels = {
-    scalar_xor, scalar_mul, scalar_mad, scalar_mad2, scalar_mad3,
-    scalar_mad4,
+    scalar_xor,  scalar_mul,  scalar_mad,  scalar_mad2, scalar_mad3,
+    scalar_mad4, scalar_mul2, scalar_mul3, scalar_mul4,
 };
 
 }  // namespace
@@ -244,10 +273,16 @@ void mul_acc_region(std::span<uint8_t> dst, Elem c,
   detail::kernels().mad_r(dst.data(), c, src.data(), dst.size());
 }
 
-void mul_acc_region_multi(std::span<uint8_t> dst,
-                          std::span<const Elem> coeffs,
-                          const std::span<const uint8_t>* srcs,
-                          size_t nsrc) {
+namespace {
+
+// Shared tiled group loop behind both multi-source entry points. In
+// overwrite mode the first nonzero group of each tile is dispatched to the
+// write-mode kernels (dst assigned, never read) and later groups
+// accumulate; with no nonzero term at all the tile is zeroed, preserving
+// "dst = Σ of an empty sum".
+void region_multi(std::span<uint8_t> dst, std::span<const Elem> coeffs,
+                  const std::span<const uint8_t>* srcs, size_t nsrc,
+                  bool overwrite) {
   GALLOPER_DCHECK(coeffs.size() == nsrc);
 #ifndef NDEBUG
   for (size_t i = 0; i < nsrc; ++i)
@@ -257,6 +292,7 @@ void mul_acc_region_multi(std::span<uint8_t> dst,
   for (size_t off = 0; off < dst.size(); off += kMultiTile) {
     const size_t len = std::min(kMultiTile, dst.size() - off);
     uint8_t* d = dst.data() + off;
+    bool first = overwrite;
     size_t i = 0;
     while (i < nsrc) {
       uint8_t c[4];
@@ -269,6 +305,29 @@ void mul_acc_region_multi(std::span<uint8_t> dst,
           ++g;
         }
         ++i;
+      }
+      if (g == 0) break;
+      if (first) {
+        switch (g) {
+          case 4:
+            k.mul4(d, c, s, len);
+            break;
+          case 3:
+            k.mul3(d, c, s, len);
+            break;
+          case 2:
+            k.mul2(d, c, s, len);
+            break;
+          case 1:
+            if (c[0] == 1) {
+              std::copy_n(s[0], len, d);
+            } else {
+              k.mul_r(d, c[0], s[0], len);
+            }
+            break;
+        }
+        first = false;
+        continue;
       }
       switch (g) {
         case 4:
@@ -287,11 +346,24 @@ void mul_acc_region_multi(std::span<uint8_t> dst,
             k.mad_r(d, c[0], s[0], len);
           }
           break;
-        default:
-          break;
       }
     }
+    if (first) std::fill_n(d, len, uint8_t{0});  // empty sum
   }
+}
+
+}  // namespace
+
+void mul_acc_region_multi(std::span<uint8_t> dst,
+                          std::span<const Elem> coeffs,
+                          const std::span<const uint8_t>* srcs,
+                          size_t nsrc) {
+  region_multi(dst, coeffs, srcs, nsrc, /*overwrite=*/false);
+}
+
+void mul_region_multi(std::span<uint8_t> dst, std::span<const Elem> coeffs,
+                      const std::span<const uint8_t>* srcs, size_t nsrc) {
+  region_multi(dst, coeffs, srcs, nsrc, /*overwrite=*/true);
 }
 
 void scale_region(std::span<uint8_t> dst, Elem c) {

@@ -34,6 +34,14 @@ void mul_acc_region_multi(std::span<uint8_t> dst,
                           std::span<const Elem> coeffs,
                           const std::span<const uint8_t>* srcs, size_t nsrc);
 
+// dst = Σ_{i<nsrc} coeffs[i] · srcs[i]  (overwrite mode: the first group of
+// sources is written into dst without reading it, later groups accumulate;
+// an all-zero coefficient set zeroes dst). Lets encode/repair emit parity
+// into freshly allocated buffers without a prior zero-fill pass — output
+// memory is touched exactly once.
+void mul_region_multi(std::span<uint8_t> dst, std::span<const Elem> coeffs,
+                      const std::span<const uint8_t>* srcs, size_t nsrc);
+
 // In-place dst = c · dst.
 void scale_region(std::span<uint8_t> dst, Elem c);
 

@@ -27,6 +27,15 @@ struct RegionKernels {
                size_t n);
   void (*mad4)(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
                size_t n);
+  // dst = Σ_{i<N} c[i]·src[i]; all c[i] != 0. Overwrite-mode siblings of
+  // mad2/3/4: dst is written without being read, so freshly allocated
+  // parity buffers need no prior zero-fill.
+  void (*mul2)(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+               size_t n);
+  void (*mul3)(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+               size_t n);
+  void (*mul4)(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+               size_t n);
 };
 
 // The portable reference backend (always compiled).

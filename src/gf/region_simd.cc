@@ -160,6 +160,78 @@ void ssse3_mad4(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
     mad_tail(dst + i, mul_row(c[j]), src[j] + i, n - i);
 }
 
+// Overwrite-mode fused kernels: identical to the mad forms except the
+// accumulator starts at zero instead of the current dst, and the scalar
+// tail writes the first source's products (mul) before accumulating the
+// rest (mad) — so dst is never read.
+GALLOPER_TARGET_SSSE3
+void ssse3_mul2(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+                size_t n) {
+  __m128i lo[2], hi[2];
+  for (unsigned j = 0; j < 2; ++j) {
+    const NibbleTab& t = nibble_tab(c[j]);
+    lo[j] = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo));
+    hi[j] = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi));
+  }
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i acc = _mm_setzero_si128();
+    GALLOPER_SSSE3_TERM(0);
+    GALLOPER_SSSE3_TERM(1);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), acc);
+  }
+  mul_tail(dst + i, mul_row(c[0]), src[0] + i, n - i);
+  mad_tail(dst + i, mul_row(c[1]), src[1] + i, n - i);
+}
+
+GALLOPER_TARGET_SSSE3
+void ssse3_mul3(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+                size_t n) {
+  __m128i lo[3], hi[3];
+  for (unsigned j = 0; j < 3; ++j) {
+    const NibbleTab& t = nibble_tab(c[j]);
+    lo[j] = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo));
+    hi[j] = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi));
+  }
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i acc = _mm_setzero_si128();
+    GALLOPER_SSSE3_TERM(0);
+    GALLOPER_SSSE3_TERM(1);
+    GALLOPER_SSSE3_TERM(2);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), acc);
+  }
+  mul_tail(dst + i, mul_row(c[0]), src[0] + i, n - i);
+  for (unsigned j = 1; j < 3; ++j)
+    mad_tail(dst + i, mul_row(c[j]), src[j] + i, n - i);
+}
+
+GALLOPER_TARGET_SSSE3
+void ssse3_mul4(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+                size_t n) {
+  __m128i lo[4], hi[4];
+  for (unsigned j = 0; j < 4; ++j) {
+    const NibbleTab& t = nibble_tab(c[j]);
+    lo[j] = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo));
+    hi[j] = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi));
+  }
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i acc = _mm_setzero_si128();
+    GALLOPER_SSSE3_TERM(0);
+    GALLOPER_SSSE3_TERM(1);
+    GALLOPER_SSSE3_TERM(2);
+    GALLOPER_SSSE3_TERM(3);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), acc);
+  }
+  mul_tail(dst + i, mul_row(c[0]), src[0] + i, n - i);
+  for (unsigned j = 1; j < 4; ++j)
+    mad_tail(dst + i, mul_row(c[j]), src[j] + i, n - i);
+}
+
 #undef GALLOPER_SSSE3_TERM
 
 // ---- AVX2 ---------------------------------------------------------------
@@ -343,15 +415,85 @@ void avx2_mad4(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
     mad_tail(dst + i, mul_row(c[j]), src[j] + i, n - i);
 }
 
+GALLOPER_TARGET_AVX2
+void avx2_mul2(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+               size_t n) {
+  __m256i lo[2], hi[2];
+  for (unsigned j = 0; j < 2; ++j) {
+    const NibbleTab& t = nibble_tab(c[j]);
+    lo[j] = load_tab256(t.lo);
+    hi[j] = load_tab256(t.hi);
+  }
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i acc = _mm256_setzero_si256();
+    GALLOPER_AVX2_TERM(0);
+    GALLOPER_AVX2_TERM(1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), acc);
+  }
+  mul_tail(dst + i, mul_row(c[0]), src[0] + i, n - i);
+  mad_tail(dst + i, mul_row(c[1]), src[1] + i, n - i);
+}
+
+GALLOPER_TARGET_AVX2
+void avx2_mul3(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+               size_t n) {
+  __m256i lo[3], hi[3];
+  for (unsigned j = 0; j < 3; ++j) {
+    const NibbleTab& t = nibble_tab(c[j]);
+    lo[j] = load_tab256(t.lo);
+    hi[j] = load_tab256(t.hi);
+  }
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i acc = _mm256_setzero_si256();
+    GALLOPER_AVX2_TERM(0);
+    GALLOPER_AVX2_TERM(1);
+    GALLOPER_AVX2_TERM(2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), acc);
+  }
+  mul_tail(dst + i, mul_row(c[0]), src[0] + i, n - i);
+  for (unsigned j = 1; j < 3; ++j)
+    mad_tail(dst + i, mul_row(c[j]), src[j] + i, n - i);
+}
+
+GALLOPER_TARGET_AVX2
+void avx2_mul4(uint8_t* dst, const uint8_t* c, const uint8_t* const* src,
+               size_t n) {
+  __m256i lo[4], hi[4];
+  for (unsigned j = 0; j < 4; ++j) {
+    const NibbleTab& t = nibble_tab(c[j]);
+    lo[j] = load_tab256(t.lo);
+    hi[j] = load_tab256(t.hi);
+  }
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i acc = _mm256_setzero_si256();
+    GALLOPER_AVX2_TERM(0);
+    GALLOPER_AVX2_TERM(1);
+    GALLOPER_AVX2_TERM(2);
+    GALLOPER_AVX2_TERM(3);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), acc);
+  }
+  mul_tail(dst + i, mul_row(c[0]), src[0] + i, n - i);
+  for (unsigned j = 1; j < 4; ++j)
+    mad_tail(dst + i, mul_row(c[j]), src[j] + i, n - i);
+}
+
 #undef GALLOPER_AVX2_TERM
 #undef GALLOPER_AVX2_PROD
 
 constexpr RegionKernels kSsse3Kernels = {
-    ssse3_xor, ssse3_mul, ssse3_mad, ssse3_mad2, ssse3_mad3, ssse3_mad4,
+    ssse3_xor,  ssse3_mul,  ssse3_mad,  ssse3_mad2, ssse3_mad3,
+    ssse3_mad4, ssse3_mul2, ssse3_mul3, ssse3_mul4,
 };
 
 constexpr RegionKernels kAvx2Kernels = {
-    avx2_xor, avx2_mul, avx2_mad, avx2_mad2, avx2_mad3, avx2_mad4,
+    avx2_xor,  avx2_mul,  avx2_mad,  avx2_mad2, avx2_mad3,
+    avx2_mad4, avx2_mul2, avx2_mul3, avx2_mul4,
 };
 
 }  // namespace

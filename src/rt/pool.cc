@@ -1,0 +1,182 @@
+#include "rt/pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+
+namespace galloper::rt {
+
+// One worker's task deque. The owner pops from the back (LIFO, cache-warm);
+// thieves pop from the front (FIFO). A plain mutex per deque is plenty here:
+// the codec paths enqueue a handful of long-running drain tasks per call,
+// not thousands of micro-tasks, so the lock is uncontended in practice and
+// stays trivially TSan-clean.
+struct ThreadPool::Deque {
+  std::mutex mu;
+  std::deque<Task> tasks;
+};
+
+// Wake-up plumbing shared by all workers. pending counts tasks that sit in
+// some deque but have not been claimed yet; it is only mutated under mu so
+// the condition-variable predicate cannot miss a wake.
+struct ThreadPool::Sync {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t pending = 0;
+  bool stop = false;
+};
+
+ThreadPool::ThreadPool(size_t workers) : sync_(std::make_unique<Sync>()) {
+  deques_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i)
+    deques_.push_back(std::make_unique<Deque>());
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(sync_->mu);
+    sync_->stop = true;
+  }
+  sync_->cv.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(Task task) {
+  if (deques_.empty()) {  // serial pool: run inline
+    task();
+    return;
+  }
+  static std::atomic<size_t> rr{0};
+  const size_t target = rr.fetch_add(1, std::memory_order_relaxed) %
+                        deques_.size();
+  {
+    std::lock_guard<std::mutex> lk(deques_[target]->mu);
+    deques_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lk(sync_->mu);
+    ++sync_->pending;
+  }
+  sync_->cv.notify_one();
+}
+
+// Claims one task — own deque back first, then steal from the others' front
+// — and runs it. Returns false when every deque is empty.
+bool ThreadPool::try_run_one(size_t self) {
+  Task task;
+  const size_t n = deques_.size();
+  for (size_t probe = 0; probe < n; ++probe) {
+    const size_t q = (self + probe) % n;
+    std::lock_guard<std::mutex> lk(deques_[q]->mu);
+    if (deques_[q]->tasks.empty()) continue;
+    if (probe == 0) {
+      task = std::move(deques_[q]->tasks.back());
+      deques_[q]->tasks.pop_back();
+    } else {
+      task = std::move(deques_[q]->tasks.front());
+      deques_[q]->tasks.pop_front();
+    }
+    break;
+  }
+  if (!task) return false;
+  {
+    std::lock_guard<std::mutex> lk(sync_->mu);
+    --sync_->pending;
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop(size_t self) {
+  for (;;) {
+    if (try_run_one(self)) continue;
+    std::unique_lock<std::mutex> lk(sync_->mu);
+    sync_->cv.wait(lk, [&] { return sync_->stop || sync_->pending > 0; });
+    if (sync_->stop && sync_->pending == 0) return;
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  // Intentionally leaked (never destroyed): engines may run parallel calls
+  // from static-destructor-ordered contexts, and joining at exit buys
+  // nothing for a process that is terminating anyway.
+  static ThreadPool* pool = new ThreadPool(default_threads());
+  return *pool;
+}
+
+size_t ThreadPool::default_threads() {
+  if (const char* v = std::getenv("GALLOPER_THREADS")) {
+    const long parsed = std::strtol(v, nullptr, 10);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+namespace {
+
+// Shared state of one parallel_for call. Owned by shared_ptr so drain tasks
+// that wake after the caller already returned (all indices claimed) still
+// have a live object to inspect.
+struct ForState {
+  size_t count;
+  const std::function<void(size_t)>* body;
+  std::atomic<size_t> next{0};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t finished = 0;
+  std::exception_ptr first_error;
+
+  // Claims and runs indices until none remain. Every claimed index is
+  // executed by its claimer, so completion of all runners implies
+  // completion of all indices.
+  void drain() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        (*body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lk(mu);
+      if (++finished == count) done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void parallel_for(ThreadPool& pool, size_t count, size_t parallelism,
+                  const std::function<void(size_t)>& body) {
+  if (count == 0) return;
+  parallelism = std::min(parallelism, count);
+  if (parallelism <= 1 || pool.workers() == 0) {
+    for (size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->count = count;
+  state->body = &body;
+
+  const size_t helpers = std::min(parallelism - 1, pool.workers());
+  for (size_t h = 0; h < helpers; ++h)
+    pool.submit([state] { state->drain(); });
+  state->drain();
+
+  std::unique_lock<std::mutex> lk(state->mu);
+  state->done_cv.wait(lk, [&] { return state->finished == state->count; });
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+}  // namespace galloper::rt

@@ -1,0 +1,53 @@
+// Byte-range slicing for the parallel codec data paths.
+//
+// Workers own contiguous, disjoint sub-ranges of every output stripe. Slice
+// boundaries are rounded to cache-line multiples so two workers never write
+// the same 64-byte line (no false sharing between adjacent slices), and the
+// ranges are balanced to within one alignment unit — the naive
+// ceil(n/threads) split hands the last worker a short or empty tail slice
+// while the others carry a full one.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace galloper::rt {
+
+// Destructive-interference granularity for slice boundaries. 64 bytes covers
+// every x86 and most ARM parts; a too-large value only costs slicing
+// granularity, never correctness.
+inline constexpr size_t kCacheLine = 64;
+
+struct SliceRange {
+  size_t lo;
+  size_t hi;  // exclusive
+
+  bool operator==(const SliceRange&) const = default;
+};
+
+// Splits [0, n) into at most max_slices non-empty contiguous ranges. Every
+// boundary except the final hi = n is a multiple of `align`, and slice sizes
+// differ by at most one `align` unit. Returns fewer than max_slices ranges
+// when n has fewer than max_slices alignment units (never an empty slice).
+inline std::vector<SliceRange> slice_ranges(size_t n, size_t max_slices,
+                                            size_t align = kCacheLine) {
+  std::vector<SliceRange> out;
+  if (n == 0 || max_slices == 0) return out;
+  if (align == 0) align = 1;
+  const size_t units = (n + align - 1) / align;
+  const size_t slices = std::min(max_slices, units);
+  const size_t base = units / slices;
+  const size_t extra = units % slices;  // first `extra` slices get one more
+  out.reserve(slices);
+  size_t lo = 0;
+  for (size_t s = 0; s < slices; ++s) {
+    const size_t slice_units = base + (s < extra ? 1 : 0);
+    const size_t hi = std::min(n, lo + slice_units * align);
+    out.push_back({lo, hi});
+    lo = hi;
+  }
+  return out;
+}
+
+}  // namespace galloper::rt

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -10,7 +11,44 @@
 
 namespace galloper {
 
-using Buffer = std::vector<uint8_t>;
+namespace detail {
+
+// Allocator whose unparameterized construct() default-initializes instead of
+// value-initializing, so growing a Buffer leaves the new bytes indeterminate
+// rather than zero-filling them. The codec data paths overwrite every output
+// byte exactly once (encode/decode/repair write parity regions with
+// overwrite-mode kernels), so the zero-fill would be a second full pass over
+// output memory. Buffer(n, 0) / resize(n, 0) still zero-fill explicitly.
+template <typename T, typename A = std::allocator<T>>
+class DefaultInitAllocator : public A {
+  using Traits = std::allocator_traits<A>;
+
+ public:
+  template <typename U>
+  struct rebind {
+    using other =
+        DefaultInitAllocator<U, typename Traits::template rebind_alloc<U>>;
+  };
+
+  using A::A;
+
+  template <typename U>
+  void construct(U* ptr) noexcept(
+      std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    Traits::construct(static_cast<A&>(*this), ptr,
+                      std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace detail
+
+// NOTE: Buffer(n) and resize(n) leave the bytes INDETERMINATE (see
+// DefaultInitAllocator above); use Buffer(n, 0) when zeroed contents matter.
+using Buffer = std::vector<uint8_t, detail::DefaultInitAllocator<uint8_t>>;
 
 // A non-owning view pair used by coding kernels.
 using ByteSpan = std::span<uint8_t>;

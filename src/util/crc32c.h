@@ -1,7 +1,11 @@
 // CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected), the checksum used
-// by most storage systems (HDFS, iSCSI, ext4). Table-driven software
-// implementation; used by the FileStore scrubber to detect silent block
-// corruption before repair.
+// by most storage systems (HDFS, iSCSI, ext4). Used by the FileStore
+// scrubber to detect silent block corruption before repair.
+//
+// Two backends selected once at startup: the SSE4.2 CRC32 instruction
+// (8 bytes/insn) when the CPU has it, else the table-driven software loop.
+// Both produce identical values for every input; GALLOPER_CRC32C=scalar
+// forces the software path.
 #pragma once
 
 #include <cstdint>
@@ -18,5 +22,8 @@ uint32_t crc32c(ConstByteSpan data);
 inline constexpr uint32_t kCrc32cInit = 0xffffffffu;
 uint32_t crc32c_extend(uint32_t state, ConstByteSpan data);
 inline uint32_t crc32c_finish(uint32_t state) { return state ^ 0xffffffffu; }
+
+// Name of the backend in use: "sse4.2" or "scalar".
+const char* crc32c_backend();
 
 }  // namespace galloper

@@ -180,6 +180,53 @@ TEST_F(RegionSimdTest, MulAccMultiMatchesTermByTerm) {
   }
 }
 
+// The overwrite-mode fused kernel: dst = Σ c_j·src_j into a buffer of
+// garbage, never read. Same group-size/coefficient coverage as the
+// accumulate form, plus the all-zero-coefficient and nsrc = 0 edge cases
+// (both must ZERO dst, the only time overwrite mode writes zeros).
+TEST_F(RegionSimdTest, MulMultiOverwritesWithoutReadingDst) {
+  Rng rng(107);
+  for (Isa isa : available_isas()) {
+    force_isa(isa);
+    for (size_t nsrc = 0; nsrc <= 9; ++nsrc) {
+      for (int trial = 0; trial < 12; ++trial) {
+        const size_t n = rng.next_below(4097);
+        const size_t off = rng.next_below(48);
+        std::vector<Buffer> srcs;
+        std::vector<std::span<const uint8_t>> views;
+        std::vector<Elem> coeffs;
+        for (size_t j = 0; j < nsrc; ++j) {
+          srcs.push_back(random_buffer(off + n, rng));
+          const unsigned pick = rng.next_below(8);
+          // trial 0: every coefficient zero (dst must still be zeroed).
+          coeffs.push_back(trial == 0  ? Elem{0}
+                           : pick == 0 ? Elem{0}
+                           : pick == 1 ? Elem{1}
+                                       : static_cast<Elem>(
+                                             rng.next_below(256)));
+        }
+        for (const Buffer& s : srcs)
+          views.push_back(std::span<const uint8_t>(s).subspan(off));
+
+        Buffer expect(off + n, 0);
+        for (size_t j = 0; j < nsrc; ++j)
+          for (size_t i = 0; i < n; ++i)
+            expect[off + i] ^= mul(coeffs[j], srcs[j][off + i]);
+
+        // dst starts as garbage; bytes before `off` must stay untouched.
+        Buffer dst = random_buffer(off + n, rng);
+        std::copy(dst.begin(),
+                  dst.begin() + static_cast<ptrdiff_t>(off), expect.begin());
+        mul_region_multi(std::span(dst).subspan(off), coeffs, views.data(),
+                         views.size());
+        ASSERT_EQ(dst, expect)
+            << isa_name(isa) << " nsrc=" << nsrc << " n=" << n
+            << " off=" << off;
+      }
+    }
+  }
+}
+
 // Cross-backend bit-identity on one large awkwardly-sized buffer: whatever
 // the scalar kernels produce, the SIMD kernels must reproduce exactly.
 TEST_F(RegionSimdTest, BackendsAreBitIdentical) {

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "cli/archive.h"
+#include "rt/pool.h"
 #include "util/check.h"
 #include "util/flags.h"
 
@@ -26,8 +27,21 @@ int usage() {
       "  galloper inspect <archive-dir>\n"
       "  galloper verify <archive-dir>\n"
       "  galloper update <archive-dir> <bytes-file> --offset=N\n"
-      "          (offset and size must be chunk-aligned; see inspect)\n");
+      "          (offset and size must be chunk-aligned; see inspect)\n"
+      "\n"
+      "  encode/decode/repair/update accept --threads=N (default: CPU\n"
+      "  count, or GALLOPER_THREADS); results are identical for any N.\n");
   return 2;
+}
+
+// --threads=N; defaults to the pool's size (GALLOPER_THREADS env or the
+// hardware thread count).
+size_t threads_flag(const galloper::Flags& flags) {
+  const int64_t n = flags.get_int(
+      "threads",
+      static_cast<int64_t>(galloper::rt::ThreadPool::default_threads()));
+  GALLOPER_CHECK_MSG(n >= 1, "--threads must be >= 1");
+  return static_cast<size_t>(n);
 }
 
 }  // namespace
@@ -47,7 +61,7 @@ int main(int argc, char** argv) {
           pos[1], pos[2], static_cast<size_t>(flags.get_int("k", 4)),
           static_cast<size_t>(flags.get_int("l", 2)),
           static_cast<size_t>(flags.get_int("g", 1)), flags.get_doubles("perf"),
-          flags.get_int("resolution", 12));
+          flags.get_int("resolution", 12), threads_flag(flags));
       std::printf("encoded %zu bytes into %zu blocks of %zu bytes in %s\n",
                   m.original_bytes, m.k + m.l + m.g, m.block_bytes,
                   pos[2].c_str());
@@ -55,7 +69,7 @@ int main(int argc, char** argv) {
     }
     if (command == "decode") {
       if (pos.size() != 3) return usage();
-      const auto file = cli::decode_archive(pos[1]);
+      const auto file = cli::decode_archive(pos[1], threads_flag(flags));
       if (!file) {
         std::fprintf(stderr, "decode failed: not enough blocks present\n");
         return 1;
@@ -70,7 +84,8 @@ int main(int argc, char** argv) {
     if (command == "repair") {
       if (pos.size() != 2 || !flags.has("block")) return usage();
       const auto helpers = cli::repair_archive(
-          pos[1], static_cast<size_t>(flags.get_int("block", 0)));
+          pos[1], static_cast<size_t>(flags.get_int("block", 0)),
+          threads_flag(flags));
       if (!helpers) {
         std::fprintf(stderr, "repair failed: insufficient blocks present\n");
         return 1;
@@ -99,7 +114,8 @@ int main(int argc, char** argv) {
       const auto touched = cli::update_archive(
           pos[1], static_cast<size_t>(flags.get_int("offset", 0)),
           galloper::ConstByteSpan(
-              reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size()));
+              reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size()),
+          threads_flag(flags));
       std::printf("updated %zu bytes; rewrote blocks:", bytes.size());
       for (size_t b : touched) std::printf(" %zu", b);
       std::printf("\n");
