@@ -15,11 +15,15 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/check.h"
 
 #include "codes/erasure_code.h"
+#include "codes/plan.h"
+#include "gf/region_dispatch.h"
+#include "rt/pool.h"
 #include "util/bytes.h"
 #include "util/stats.h"
 
@@ -128,6 +132,21 @@ class JsonWriter {
   std::vector<bool> had_member_;
   bool pending_key_ = false;
 };
+
+// Emits the hardware/runtime context every JSON result should carry — a
+// number without the machine it ran on is not reproducible. Written as a
+// "context" object member; call between begin_object() and the results.
+inline void write_context(JsonWriter& json) {
+  json.key("context").begin_object();
+  json.key("hardware_threads")
+      .value(static_cast<size_t>(std::thread::hardware_concurrency()));
+  json.key("pool_threads").value(rt::ThreadPool::default_threads());
+  json.key("gf_isa").value(gf::isa_name(gf::active_isa()));
+  json.key("plan_cache_entries").value(codes::PlanCache::global().capacity());
+  json.key("bench_mb").value(block_mib());
+  json.key("bench_reps").value(reps());
+  json.end_object();
+}
 
 inline void write_json_file(const char* path, const JsonWriter& json) {
   std::FILE* f = std::fopen(path, "w");

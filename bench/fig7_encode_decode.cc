@@ -44,6 +44,7 @@ void run() {
   json.begin_object();
   json.key("bench").value("fig7_pool_scaling");
   json.key("pool_threads").value(pool_threads);
+  bench::write_context(json);
   json.key("rows").begin_array();
 
   Rng rng(20180701);

@@ -50,6 +50,7 @@ void run() {
   json.begin_object();
   json.key("bench").value("fig8_pool_scaling");
   json.key("pool_threads").value(pool_threads);
+  bench::write_context(json);
   json.key("rows").begin_array();
 
   for (size_t failed = 0; failed < 7; ++failed) {

@@ -148,7 +148,7 @@ int run_json_sweep(const char* path) {
   json.begin_object();
   json.key("bench").value("micro_encode_sweep");
   json.key("code").value(code().name());
-  json.key("hardware_threads").value(rt::ThreadPool::default_threads());
+  bench::write_context(json);
   json.key("reps").value(bench::reps());
   json.key("cells").begin_array();
 

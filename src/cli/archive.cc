@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "codes/plan.h"
 #include "core/input_format.h"
 #include "core/weights.h"
 #include "util/check.h"
@@ -311,6 +312,43 @@ VerifyReport verify_archive(const fs::path& dir) {
   }
   report.decodable = code.decodable(usable);
   return report;
+}
+
+std::string format_plan_stats() {
+  std::ostringstream out;
+  const codes::PlanCacheStats cs = codes::PlanCache::global().stats();
+  out << "plan cache: ";
+  if (cs.capacity == 0) {
+    out << "disabled (GALLOPER_PLAN_CACHE=off)\n";
+  } else {
+    const uint64_t lookups = cs.hits + cs.misses;
+    out << cs.entries << "/" << cs.capacity << " entries, " << cs.hits
+        << " hits / " << cs.misses << " misses";
+    if (lookups > 0)
+      out << " (" << static_cast<int>(100.0 * static_cast<double>(cs.hits) /
+                                      static_cast<double>(lookups))
+          << "% hit rate)";
+    out << ", " << cs.evictions << " evictions\n";
+  }
+  for (size_t i = 0; i < codes::kNumPlanOps; ++i) {
+    const auto op = static_cast<codes::PlanOp>(i);
+    const codes::PlanOpStats st = codes::plan_op_stats(op);
+    if (st.plans == 0 && st.execs == 0) continue;
+    out << "  " << codes::plan_op_name(op) << ": " << st.plans
+        << " plans, " << st.execs << " executions";
+    if (st.plans > 0)
+      out << ", mean plan "
+          << static_cast<double>(st.plan_ns) /
+                 static_cast<double>(st.plans) * 1e-3
+          << " us";
+    if (st.execs > 0)
+      out << ", mean execute "
+          << static_cast<double>(st.exec_ns) /
+                 static_cast<double>(st.execs) * 1e-3
+          << " us";
+    out << "\n";
+  }
+  return out.str();
 }
 
 }  // namespace galloper::cli

@@ -84,4 +84,10 @@ struct VerifyReport {
 };
 VerifyReport verify_archive(const std::filesystem::path& dir);
 
+// Human-readable snapshot of the process-wide plan-cache counters and the
+// per-path plan-vs-execute timing — what the CLI prints under --stats.
+// Covers the work done so far in THIS process (hit rate, evictions, mean
+// plan and execute times per data path).
+std::string format_plan_stats();
+
 }  // namespace galloper::cli

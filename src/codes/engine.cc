@@ -1,6 +1,8 @@
 #include "codes/engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <functional>
 
 #include "gf/region.h"
@@ -18,24 +20,29 @@ namespace {
 // dependent parity tile is patched.
 constexpr size_t kUpdateTile = 32 * 1024;
 
-// dst = Σ_s row[s]·stripe(s) for the nonzero entries of a dense combination
-// row, batched through the overwrite-mode fused multi-source kernel: dst is
-// written once per group of up to four terms without ever being read, so
-// output buffers need no prior zero-fill. An all-zero row zeroes dst.
-template <typename StripeFn>
-void apply_combo_row(ByteSpan dst, std::span<const gf::Elem> row,
-                     StripeFn stripe) {
-  thread_local std::vector<gf::Elem> coeffs;
-  thread_local std::vector<ConstByteSpan> srcs;
-  coeffs.clear();
-  srcs.clear();
-  for (size_t s = 0; s < row.size(); ++s) {
-    if (row[s] == 0) continue;
-    coeffs.push_back(row[s]);
-    srcs.push_back(stripe(s));
-  }
-  gf::mul_region_multi(dst, coeffs, srcs.data(), srcs.size());
+// Plan-cache keys carry the engine's identity, assigned once per
+// construction (copies share it: same immutable generator, same plans).
+std::atomic<uint64_t> g_next_engine_id{1};
+
+uint64_t now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
+
+// Records the byte-moving phase of a data path into the per-op counters on
+// scope exit. Constructed AFTER planning/solvability checks so plan and
+// execute time never mix.
+class ExecTimer {
+ public:
+  explicit ExecTimer(PlanOp op) : op_(op), t0_(now_ns()) {}
+  ~ExecTimer() { record_exec_time(op_, now_ns() - t0_); }
+
+ private:
+  PlanOp op_;
+  uint64_t t0_;
+};
 
 // Fans body(row, lo, hi) over `threads` pool runners: `rows` output rows ×
 // cache-line-aligned byte slices of [0, chunk). With rows >= threads each
@@ -55,6 +62,21 @@ void for_rows_sliced(size_t rows, size_t chunk, size_t threads,
                    });
 }
 
+// Base-pointer table for a pattern plan: one entry per source block, in
+// source_blocks() order. The only per-call setup execution needs.
+std::vector<const uint8_t*> bases_of(
+    const CodecPlan& plan, const std::map<size_t, ConstByteSpan>& blocks) {
+  std::vector<const uint8_t*> bases;
+  bases.reserve(plan.source_blocks().size());
+  for (size_t b : plan.source_blocks()) {
+    const auto it = blocks.find(b);
+    GALLOPER_CHECK_MSG(it != blocks.end(),
+                       "plan needs block " << b << " which is not provided");
+    bases.push_back(it->second.data());
+  }
+  return bases;
+}
+
 }  // namespace
 
 CodecEngine::CodecEngine(la::Matrix stripe_generator, size_t num_blocks,
@@ -63,6 +85,7 @@ CodecEngine::CodecEngine(la::Matrix stripe_generator, size_t num_blocks,
     : generator_(std::move(stripe_generator)),
       num_blocks_(num_blocks),
       stripes_per_block_(stripes_per_block),
+      engine_id_(g_next_engine_id.fetch_add(1, std::memory_order_relaxed)),
       chunk_pos_(std::move(chunk_pos)) {
   GALLOPER_CHECK(num_blocks_ > 0 && stripes_per_block_ > 0);
   GALLOPER_CHECK_MSG(
@@ -107,6 +130,35 @@ CodecEngine::CodecEngine(la::Matrix stripe_generator, size_t num_blocks,
             {static_cast<uint32_t>(r), t.coeff});
     }
   }
+
+  // Compile the encode schedule once: sources address the file as slot 0
+  // with pos = chunk index, so execution is the same run_row dispatch every
+  // other path uses.
+  const uint64_t t0 = now_ns();
+  auto plan = std::make_shared<CodecPlan>();
+  plan->rows_.reserve(generator_.rows());
+  for (size_t r = 0; r < generator_.rows(); ++r) {
+    CodecPlan::Row row;
+    row.out = static_cast<uint32_t>(r);
+    const size_t direct =
+        block_chunks_[r / stripes_per_block_][r % stripes_per_block_];
+    if (direct != SIZE_MAX) {
+      row.copy_slot = 0;
+      row.copy_pos = static_cast<uint32_t>(direct);
+    } else {
+      row.begin = static_cast<uint32_t>(plan->srcs_.size());
+      for (const Term& t : sparse_rows_[r]) {
+        plan->coeffs_.push_back(t.coeff);
+        plan->srcs_.push_back({0, t.col});
+      }
+      row.end = static_cast<uint32_t>(plan->srcs_.size());
+    }
+    plan->rows_.push_back(row);
+  }
+  const uint64_t ns = now_ns() - t0;
+  plan->plan_seconds_ = static_cast<double>(ns) * 1e-9;
+  record_plan_time(PlanOp::kEncode, ns);
+  encode_plan_ = std::move(plan);
 }
 
 size_t CodecEngine::data_stripes_in_block(size_t block) const {
@@ -122,35 +174,174 @@ const std::vector<size_t>& CodecEngine::chunks_of_block(size_t block) const {
   return block_chunks_[block];
 }
 
-void CodecEngine::encode_slice(ConstByteSpan file,
-                               std::vector<Buffer>& blocks, size_t chunk,
-                               size_t lo, size_t hi) const {
-  if (lo >= hi) return;
-  const size_t len = hi - lo;
-  std::vector<gf::Elem> coeffs;
-  std::vector<ConstByteSpan> srcs;
-  for (size_t b = 0; b < num_blocks_; ++b) {
-    for (size_t p = 0; p < stripes_per_block_; ++p) {
-      ByteSpan dst(blocks[b].data() + p * chunk + lo, len);
-      const size_t direct = block_chunks_[b][p];
-      if (direct != SIZE_MAX) {
-        std::copy_n(file.data() + direct * chunk + lo, len, dst.data());
-        continue;
-      }
-      // All of the stripe's generator terms in one fused, tiled pass: the
-      // parity stripe is streamed once per group of ≤4 sources rather than
-      // once per source, and written in overwrite mode — the buffer was
-      // never zero-filled.
-      coeffs.clear();
-      srcs.clear();
-      for (const Term& t : sparse_rows_[b * stripes_per_block_ + p]) {
-        coeffs.push_back(t.coeff);
-        srcs.push_back(file.subspan(t.col * chunk + lo, len));
-      }
-      gf::mul_region_multi(dst, coeffs, srcs.data(), srcs.size());
-    }
+// ---- Plan compilation -----------------------------------------------------
+
+la::Matrix CodecEngine::rows_of_blocks(
+    const std::vector<size_t>& blocks) const {
+  std::vector<size_t> rows;
+  rows.reserve(blocks.size() * stripes_per_block_);
+  for (size_t b : blocks) {
+    GALLOPER_CHECK(b < num_blocks_);
+    for (size_t p = 0; p < stripes_per_block_; ++p)
+      rows.push_back(b * stripes_per_block_ + p);
   }
+  return generator_.select_rows(rows);
 }
+
+PlanKey CodecEngine::make_key(PlanOp op, const std::vector<size_t>& ids,
+                              size_t failed) const {
+  PlanKey key;
+  key.engine_id = engine_id_;
+  key.op = op;
+  key.failed = failed == SIZE_MAX ? UINT64_MAX : static_cast<uint64_t>(failed);
+  key.available.assign((num_blocks_ + 63) / 64, 0);
+  for (size_t b : ids) key.available[b >> 6] |= uint64_t{1} << (b & 63);
+  return key;
+}
+
+std::shared_ptr<const CodecPlan> CodecEngine::compile_plan(
+    PlanOp op, const std::vector<size_t>& ids, size_t failed) const {
+  const uint64_t t0 = now_ns();
+  auto plan = std::make_shared<CodecPlan>();
+  plan->src_blocks_ = ids;
+  // Slot of each available block in the bases table (== its index in ids;
+  // basis rows are laid out in the same order, so combination index s maps
+  // to slot s / N directly).
+  std::vector<uint32_t> slot(num_blocks_, UINT32_MAX);
+  for (size_t i = 0; i < ids.size(); ++i)
+    slot[ids[i]] = static_cast<uint32_t>(i);
+
+  // The one Gaussian elimination of the pattern; every output row below is
+  // a cheap back-substitution query against it.
+  const la::RowspaceSolver solver(rows_of_blocks(ids));
+
+  const auto add_combo = [&](uint32_t out, std::span<const gf::Elem> target) {
+    CodecPlan::Row row;
+    row.out = out;
+    row.begin = row.end = static_cast<uint32_t>(plan->srcs_.size());
+    if (const auto coeffs = solver.express(target)) {
+      for (size_t s = 0; s < coeffs->size(); ++s) {
+        if ((*coeffs)[s] == 0) continue;
+        plan->coeffs_.push_back((*coeffs)[s]);
+        plan->srcs_.push_back(
+            {static_cast<uint32_t>(s / stripes_per_block_),
+             static_cast<uint32_t>(s % stripes_per_block_)});
+      }
+      row.end = static_cast<uint32_t>(plan->srcs_.size());
+    } else {
+      row.solvable = false;
+      ++plan->unsolvable_;
+    }
+    plan->rows_.push_back(row);
+  };
+
+  switch (op) {
+    case PlanOp::kDecode: {
+      // Every chunk is a combination — even one sitting verbatim in an
+      // available block — mirroring the full decode the paper measures.
+      std::vector<gf::Elem> unit(num_chunks(), 0);
+      for (size_t c = 0; c < num_chunks(); ++c) {
+        unit[c] = 1;
+        add_combo(static_cast<uint32_t>(c), unit);
+        unit[c] = 0;
+      }
+      break;
+    }
+    case PlanOp::kDecodeFast: {
+      // Copy when the chunk's systematic stripe is available, solve
+      // otherwise. Solvability is tracked per row so read_range can serve
+      // a recoverable range even when some other chunk of the pattern is
+      // not recoverable.
+      std::vector<gf::Elem> unit(num_chunks(), 0);
+      for (size_t c = 0; c < num_chunks(); ++c) {
+        const StripeRef ref = chunk_pos_[c];
+        if (slot[ref.block] != UINT32_MAX) {
+          CodecPlan::Row row;
+          row.out = static_cast<uint32_t>(c);
+          row.copy_slot = static_cast<int32_t>(slot[ref.block]);
+          row.copy_pos = static_cast<uint32_t>(ref.pos);
+          plan->rows_.push_back(row);
+          continue;
+        }
+        unit[c] = 1;
+        add_combo(static_cast<uint32_t>(c), unit);
+        unit[c] = 0;
+      }
+      break;
+    }
+    case PlanOp::kRepair: {
+      for (size_t p = 0; p < stripes_per_block_; ++p)
+        add_combo(static_cast<uint32_t>(p),
+                  generator_.row(failed * stripes_per_block_ + p));
+      break;
+    }
+    default:
+      GALLOPER_CHECK_MSG(false, "not a pattern-compiled op");
+  }
+
+  const uint64_t ns = now_ns() - t0;
+  plan->plan_seconds_ = static_cast<double>(ns) * 1e-9;
+  record_plan_time(op, ns);
+  return plan;
+}
+
+std::shared_ptr<const CodecPlan> CodecEngine::pattern_plan(
+    PlanOp op, const std::vector<size_t>& ids, size_t failed) const {
+  PlanCache& cache = PlanCache::global();
+  if (!cache.enabled()) return compile_plan(op, ids, failed);
+  const PlanKey key = make_key(op, ids, failed);
+  if (auto hit = cache.get(key)) return hit;
+  auto plan = compile_plan(op, ids, failed);
+  cache.put(key, plan);
+  return plan;
+}
+
+std::vector<size_t> CodecEngine::validate_blocks(
+    const std::map<size_t, ConstByteSpan>& blocks, size_t* chunk) const {
+  std::vector<size_t> ids;
+  ids.reserve(blocks.size());
+  size_t block_bytes = SIZE_MAX;
+  for (const auto& [id, data] : blocks) {
+    GALLOPER_CHECK(id < num_blocks_);
+    ids.push_back(id);
+    if (block_bytes == SIZE_MAX) block_bytes = data.size();
+    GALLOPER_CHECK_MSG(data.size() == block_bytes,
+                       "blocks of unequal size");
+  }
+  GALLOPER_CHECK(block_bytes % stripes_per_block_ == 0);
+  *chunk = block_bytes / stripes_per_block_;
+  return ids;  // std::map keys: already sorted
+}
+
+std::shared_ptr<const CodecPlan> CodecEngine::plan_decode(
+    const std::vector<size_t>& available) const {
+  std::vector<size_t> ids = available;
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return pattern_plan(PlanOp::kDecode, ids, SIZE_MAX);
+}
+
+std::shared_ptr<const CodecPlan> CodecEngine::plan_decode_fast(
+    const std::vector<size_t>& available) const {
+  std::vector<size_t> ids = available;
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return pattern_plan(PlanOp::kDecodeFast, ids, SIZE_MAX);
+}
+
+std::shared_ptr<const CodecPlan> CodecEngine::plan_repair(
+    size_t failed, const std::vector<size_t>& helpers) const {
+  GALLOPER_CHECK(failed < num_blocks_);
+  std::vector<size_t> ids = helpers;
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  GALLOPER_CHECK_MSG(
+      !std::binary_search(ids.begin(), ids.end(), failed),
+      "failed block offered as its own helper");
+  return pattern_plan(PlanOp::kRepair, ids, failed);
+}
+
+// ---- Encode ---------------------------------------------------------------
 
 std::vector<Buffer> CodecEngine::encode_impl(ConstByteSpan file,
                                              size_t threads) const {
@@ -159,20 +350,22 @@ std::vector<Buffer> CodecEngine::encode_impl(ConstByteSpan file,
                                   << " must be a positive multiple of "
                                   << num_chunks());
   const size_t chunk = file.size() / num_chunks();
-  // Uninitialized output: encode_slice writes every byte exactly once
+  // Uninitialized output: every plan row writes its bytes exactly once
   // (data stripes copied, parity stripes via the overwrite-mode kernel).
   std::vector<Buffer> blocks;
   blocks.reserve(num_blocks_);
   for (size_t b = 0; b < num_blocks_; ++b)
     blocks.emplace_back(stripes_per_block_ * chunk);
-  // Balanced cache-line-aligned slices: boundaries are 64-byte multiples
-  // (no two runners share a line) and sizes differ by at most one line —
-  // the old ceil(chunk/threads) split left the last worker a short or
-  // empty tail.
-  const auto slices = rt::slice_ranges(chunk, threads, rt::kCacheLine);
-  rt::parallel_for(
-      rt::ThreadPool::global(), slices.size(), threads, [&](size_t s) {
-        encode_slice(file, blocks, chunk, slices[s].lo, slices[s].hi);
+
+  const CodecPlan& plan = *encode_plan_;
+  const uint8_t* const bases[1] = {file.data()};
+  const ExecTimer timer(PlanOp::kEncode);
+  for_rows_sliced(
+      plan.num_rows(), chunk, threads, [&](size_t r, size_t lo, size_t hi) {
+        const CodecPlan::Row& row = plan.row(r);
+        uint8_t* dst = blocks[row.out / stripes_per_block_].data() +
+                       (row.out % stripes_per_block_) * chunk + lo;
+        plan.run_row(row, dst, bases, chunk, lo, hi - lo);
       });
   return blocks;
 }
@@ -187,47 +380,25 @@ std::vector<Buffer> CodecEngine::encode_parallel(ConstByteSpan file,
   return encode_impl(file, threads);
 }
 
-la::Matrix CodecEngine::rows_of_blocks(
-    const std::vector<size_t>& blocks) const {
-  std::vector<size_t> rows;
-  rows.reserve(blocks.size() * stripes_per_block_);
-  for (size_t b : blocks) {
-    GALLOPER_CHECK(b < num_blocks_);
-    for (size_t p = 0; p < stripes_per_block_; ++p)
-      rows.push_back(b * stripes_per_block_ + p);
-  }
-  return generator_.select_rows(rows);
-}
+// ---- Decode ---------------------------------------------------------------
 
 std::optional<Buffer> CodecEngine::decode_impl(
     const std::map<size_t, ConstByteSpan>& blocks, size_t threads) const {
   if (blocks.empty()) return std::nullopt;
-  std::vector<size_t> ids;
-  ids.reserve(blocks.size());
-  size_t block_bytes = SIZE_MAX;
-  for (const auto& [id, data] : blocks) {
-    ids.push_back(id);
-    if (block_bytes == SIZE_MAX) block_bytes = data.size();
-    GALLOPER_CHECK_MSG(data.size() == block_bytes,
-                       "blocks of unequal size in decode");
-  }
-  GALLOPER_CHECK(block_bytes % stripes_per_block_ == 0);
-  const size_t chunk = block_bytes / stripes_per_block_;
+  size_t chunk = 0;
+  const std::vector<size_t> ids = validate_blocks(blocks, &chunk);
 
-  const la::Matrix basis = rows_of_blocks(ids);
-  const auto combo =
-      la::express_in_rowspace(basis, la::Matrix::identity(num_chunks()));
-  if (!combo) return std::nullopt;
+  const auto plan = pattern_plan(PlanOp::kDecode, ids, SIZE_MAX);
+  if (!plan->fully_solvable()) return std::nullopt;
 
+  const auto bases = bases_of(*plan, blocks);
   Buffer file(num_chunks() * chunk);  // every row written below
+  const ExecTimer timer(PlanOp::kDecode);
   for_rows_sliced(
-      num_chunks(), chunk, threads, [&](size_t c, size_t lo, size_t hi) {
-        apply_combo_row(
-            ByteSpan(file.data() + c * chunk + lo, hi - lo), combo->row(c),
-            [&](size_t s) {
-              return blocks.at(ids[s / stripes_per_block_])
-                  .subspan((s % stripes_per_block_) * chunk + lo, hi - lo);
-            });
+      plan->num_rows(), chunk, threads, [&](size_t r, size_t lo, size_t hi) {
+        const CodecPlan::Row& row = plan->row(r);
+        plan->run_row(row, file.data() + row.out * chunk + lo, bases.data(),
+                      chunk, lo, hi - lo);
       });
   return file;
 }
@@ -246,55 +417,25 @@ std::optional<Buffer> CodecEngine::decode_parallel(
 std::optional<Buffer> CodecEngine::decode_fast_impl(
     const std::map<size_t, ConstByteSpan>& blocks, size_t threads) const {
   if (blocks.empty()) return std::nullopt;
-  std::vector<size_t> ids;
-  size_t block_bytes = SIZE_MAX;
-  for (const auto& [id, data] : blocks) {
-    ids.push_back(id);
-    if (block_bytes == SIZE_MAX) block_bytes = data.size();
-    GALLOPER_CHECK_MSG(data.size() == block_bytes,
-                       "blocks of unequal size in decode");
-  }
-  GALLOPER_CHECK(block_bytes % stripes_per_block_ == 0);
-  const size_t chunk = block_bytes / stripes_per_block_;
+  size_t chunk = 0;
+  const std::vector<size_t> ids = validate_blocks(blocks, &chunk);
 
-  // Solve for the chunks whose systematic stripe is unavailable BEFORE
-  // touching the (uninitialized) output, so an undecodable set returns
-  // nullopt without wasted copying.
-  std::vector<size_t> missing;
-  for (size_t c = 0; c < num_chunks(); ++c)
-    if (blocks.find(chunk_pos_[c].block) == blocks.end())
-      missing.push_back(c);
-  std::optional<la::Matrix> combo;
-  if (!missing.empty()) {
-    la::Matrix targets(missing.size(), num_chunks());
-    for (size_t t = 0; t < missing.size(); ++t)
-      targets.at(t, missing[t]) = 1;
-    combo = la::express_in_rowspace(rows_of_blocks(ids), targets);
-    if (!combo) return std::nullopt;
-  }
+  // The plan resolves solvability BEFORE the (uninitialized) output is
+  // touched, so an undecodable set returns nullopt without wasted copying.
+  const auto plan = pattern_plan(PlanOp::kDecodeFast, ids, SIZE_MAX);
+  if (!plan->fully_solvable()) return std::nullopt;
 
-  // Verbatim copies dominate (most chunks sit in an available block), so
-  // they are fanned out too — the copy path is memory-bandwidth-bound and
-  // still gains on multi-socket parts.
+  // One pass over all chunks: verbatim copies (which dominate — the copy
+  // path is memory-bandwidth-bound and still gains on multi-socket parts)
+  // and solved combinations execute in the same row fan-out.
+  const auto bases = bases_of(*plan, blocks);
   Buffer file(num_chunks() * chunk);
-  for_rows_sliced(num_chunks(), chunk, threads,
-                  [&](size_t c, size_t lo, size_t hi) {
-                    const StripeRef ref = chunk_pos_[c];
-                    const auto it = blocks.find(ref.block);
-                    if (it == blocks.end()) return;  // solved below
-                    std::copy_n(it->second.data() + ref.pos * chunk + lo,
-                                hi - lo, file.data() + c * chunk + lo);
-                  });
-  if (missing.empty()) return file;
-
+  const ExecTimer timer(PlanOp::kDecodeFast);
   for_rows_sliced(
-      missing.size(), chunk, threads, [&](size_t t, size_t lo, size_t hi) {
-        apply_combo_row(
-            ByteSpan(file.data() + missing[t] * chunk + lo, hi - lo),
-            combo->row(t), [&](size_t s) {
-              return blocks.at(ids[s / stripes_per_block_])
-                  .subspan((s % stripes_per_block_) * chunk + lo, hi - lo);
-            });
+      plan->num_rows(), chunk, threads, [&](size_t r, size_t lo, size_t hi) {
+        const CodecPlan::Row& row = plan->row(r);
+        plan->run_row(row, file.data() + row.out * chunk + lo, bases.data(),
+                      chunk, lo, hi - lo);
       });
   return file;
 }
@@ -310,6 +451,24 @@ std::optional<Buffer> CodecEngine::decode_fast_parallel(
   return decode_fast_impl(blocks, threads);
 }
 
+// ---- Repair ---------------------------------------------------------------
+
+std::optional<Buffer> CodecEngine::repair_execute(
+    const CodecPlan& plan, const std::map<size_t, ConstByteSpan>& helpers,
+    size_t chunk, size_t threads) const {
+  if (!plan.fully_solvable()) return std::nullopt;
+  const auto bases = bases_of(plan, helpers);
+  Buffer out(stripes_per_block_ * chunk);  // every stripe written below
+  const ExecTimer timer(PlanOp::kRepair);
+  for_rows_sliced(
+      plan.num_rows(), chunk, threads, [&](size_t r, size_t lo, size_t hi) {
+        const CodecPlan::Row& row = plan.row(r);
+        plan.run_row(row, out.data() + row.out * chunk + lo, bases.data(),
+                     chunk, lo, hi - lo);
+      });
+  return out;
+}
+
 std::optional<Buffer> CodecEngine::repair_block_impl(
     size_t failed, const std::map<size_t, ConstByteSpan>& helpers,
     size_t threads) const {
@@ -317,34 +476,10 @@ std::optional<Buffer> CodecEngine::repair_block_impl(
   GALLOPER_CHECK_MSG(helpers.find(failed) == helpers.end(),
                      "failed block offered as its own helper");
   if (helpers.empty()) return std::nullopt;
-  std::vector<size_t> ids;
-  size_t block_bytes = SIZE_MAX;
-  for (const auto& [id, data] : helpers) {
-    ids.push_back(id);
-    if (block_bytes == SIZE_MAX) block_bytes = data.size();
-    GALLOPER_CHECK_MSG(data.size() == block_bytes,
-                       "blocks of unequal size in repair");
-  }
-  GALLOPER_CHECK(block_bytes % stripes_per_block_ == 0);
-  const size_t chunk = block_bytes / stripes_per_block_;
-
-  const la::Matrix basis = rows_of_blocks(ids);
-  const la::Matrix targets = rows_of_blocks({failed});
-  const auto combo = la::express_in_rowspace(basis, targets);
-  if (!combo) return std::nullopt;
-
-  Buffer out(stripes_per_block_ * chunk);  // every stripe written below
-  for_rows_sliced(
-      stripes_per_block_, chunk, threads, [&](size_t p, size_t lo,
-                                              size_t hi) {
-        apply_combo_row(
-            ByteSpan(out.data() + p * chunk + lo, hi - lo), combo->row(p),
-            [&](size_t s) {
-              return helpers.at(ids[s / stripes_per_block_])
-                  .subspan((s % stripes_per_block_) * chunk + lo, hi - lo);
-            });
-      });
-  return out;
+  size_t chunk = 0;
+  const std::vector<size_t> ids = validate_blocks(helpers, &chunk);
+  const auto plan = pattern_plan(PlanOp::kRepair, ids, failed);
+  return repair_execute(*plan, helpers, chunk, threads);
 }
 
 std::optional<Buffer> CodecEngine::repair_block(
@@ -359,19 +494,24 @@ std::optional<Buffer> CodecEngine::repair_block_parallel(
   return repair_block_impl(failed, helpers, threads);
 }
 
+std::optional<Buffer> CodecEngine::repair_block_with_plan(
+    const CodecPlan& plan, const std::map<size_t, ConstByteSpan>& helpers,
+    size_t threads) const {
+  GALLOPER_CHECK_MSG(threads >= 1, "need at least one thread");
+  if (helpers.empty()) return std::nullopt;
+  size_t chunk = 0;
+  (void)validate_blocks(helpers, &chunk);
+  return repair_execute(plan, helpers, chunk, threads);
+}
+
+// ---- Ranged read ----------------------------------------------------------
+
 std::optional<Buffer> CodecEngine::read_range_impl(
     const std::map<size_t, ConstByteSpan>& blocks, size_t offset,
     size_t length, size_t threads) const {
   if (blocks.empty()) return std::nullopt;
-  size_t block_bytes = SIZE_MAX;
-  std::vector<size_t> ids;
-  for (const auto& [id, data] : blocks) {
-    ids.push_back(id);
-    if (block_bytes == SIZE_MAX) block_bytes = data.size();
-    GALLOPER_CHECK(data.size() == block_bytes);
-  }
-  GALLOPER_CHECK(block_bytes % stripes_per_block_ == 0);
-  const size_t chunk = block_bytes / stripes_per_block_;
+  size_t chunk = 0;
+  const std::vector<size_t> ids = validate_blocks(blocks, &chunk);
   const size_t file_bytes = num_chunks() * chunk;
   GALLOPER_CHECK_MSG(offset + length <= file_bytes,
                      "range [" << offset << ", " << offset + length
@@ -381,53 +521,30 @@ std::optional<Buffer> CodecEngine::read_range_impl(
   const size_t first_chunk = offset / chunk;
   const size_t last_chunk = (offset + length - 1) / chunk;
 
-  // Index of each missing chunk in the combination matrix (SIZE_MAX for
-  // chunks copied verbatim); the solve happens before any byte moves so an
-  // unrecoverable range returns nullopt without wasted work.
-  std::vector<size_t> missing;
-  std::vector<size_t> combo_row_of(last_chunk - first_chunk + 1, SIZE_MAX);
-  for (size_t c = first_chunk; c <= last_chunk; ++c) {
-    if (blocks.find(chunk_pos_[c].block) != blocks.end()) continue;
-    combo_row_of[c - first_chunk] = missing.size();
-    missing.push_back(c);
-  }
-  std::optional<la::Matrix> combo;
-  if (!missing.empty()) {
-    la::Matrix targets(missing.size(), num_chunks());
-    for (size_t t = 0; t < missing.size(); ++t)
-      targets.at(t, missing[t]) = 1;
-    combo = la::express_in_rowspace(rows_of_blocks(ids), targets);
-    if (!combo) return std::nullopt;
-  }
+  // Shares the decode_fast plan (identical per-chunk schedule). Solvability
+  // is per row, so only the chunks OVERLAPPING the request gate the read —
+  // an unrecoverable chunk elsewhere in the file is irrelevant.
+  const auto plan = pattern_plan(PlanOp::kDecodeFast, ids, SIZE_MAX);
+  for (size_t c = first_chunk; c <= last_chunk; ++c)
+    if (!plan->row(c).solvable) return std::nullopt;
 
   // One pass over the covered chunks: available ones copy their overlap
   // with the request, missing ones reconstruct ONLY the overlapping bytes
   // straight into the output (no full-chunk scratch buffer).
+  const auto bases = bases_of(*plan, blocks);
   Buffer range(length);  // every byte covered by exactly one chunk overlap
+  const ExecTimer timer(PlanOp::kDecodeFast);
   for_rows_sliced(
       last_chunk - first_chunk + 1, chunk, threads,
-      [&](size_t row, size_t slo, size_t shi) {
-        const size_t c = first_chunk + row;
+      [&](size_t r, size_t slo, size_t shi) {
+        const size_t c = first_chunk + r;
         // Intersection of this byte slice with the requested range, in
         // file coordinates.
         const size_t lo = std::max(offset, c * chunk + slo);
         const size_t hi = std::min(offset + length, c * chunk + shi);
         if (lo >= hi) return;
-        const size_t in_chunk = lo - c * chunk;
-        ByteSpan dst(range.data() + (lo - offset), hi - lo);
-        const auto it = blocks.find(chunk_pos_[c].block);
-        if (it != blocks.end()) {
-          std::copy_n(it->second.data() + chunk_pos_[c].pos * chunk +
-                          in_chunk,
-                      dst.size(), dst.data());
-          return;
-        }
-        const size_t t = combo_row_of[row];
-        apply_combo_row(dst, combo->row(t), [&](size_t s) {
-          return blocks.at(ids[s / stripes_per_block_])
-              .subspan((s % stripes_per_block_) * chunk + in_chunk,
-                       dst.size());
-        });
+        plan->run_row(plan->row(c), range.data() + (lo - offset),
+                      bases.data(), chunk, lo - c * chunk, hi - lo);
       });
   return range;
 }
@@ -444,6 +561,8 @@ std::optional<Buffer> CodecEngine::read_range_parallel(
   GALLOPER_CHECK_MSG(threads >= 1, "need at least one thread");
   return read_range_impl(blocks, offset, length, threads);
 }
+
+// ---- In-place update ------------------------------------------------------
 
 std::vector<size_t> CodecEngine::update_chunk_impl(std::vector<Buffer>& blocks,
                                                    size_t chunk,
@@ -463,7 +582,9 @@ std::vector<size_t> CodecEngine::update_chunk_impl(std::vector<Buffer>& blocks,
   const StripeRef home = chunk_pos_[chunk];
   ByteSpan stored(blocks[home.block].data() + home.pos * chunk_bytes,
                   chunk_bytes);
-  // delta = old ⊕ new, then parity' = parity ⊕ coeff·delta.
+  // delta = old ⊕ new, then parity' = parity ⊕ coeff·delta. The schedule —
+  // which parity stripes consume this chunk, with which coefficients — is
+  // chunk_consumers_, compiled at engine construction.
   Buffer delta(new_data.begin(), new_data.end());
   gf::xor_region(delta, stored);
   if (std::all_of(delta.begin(), delta.end(),
@@ -479,6 +600,7 @@ std::vector<size_t> CodecEngine::update_chunk_impl(std::vector<Buffer>& blocks,
   // different stripes never overlap, so slices are the only partition
   // needed). Inside a slice the delta propagation is tiled so one
   // L1-resident piece of delta patches all dependents before moving on.
+  const ExecTimer timer(PlanOp::kUpdate);
   const auto slices = rt::slice_ranges(chunk_bytes, threads, rt::kCacheLine);
   rt::parallel_for(
       rt::ThreadPool::global(), slices.size(), threads, [&](size_t si) {
@@ -512,6 +634,8 @@ std::vector<size_t> CodecEngine::update_chunk_parallel(
   GALLOPER_CHECK_MSG(threads >= 1, "need at least one thread");
   return update_chunk_impl(blocks, chunk, new_data, threads);
 }
+
+// ---- Oracles --------------------------------------------------------------
 
 bool CodecEngine::decodable(
     const std::vector<size_t>& available_blocks) const {

@@ -17,10 +17,12 @@
 
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "codes/layout.h"
+#include "codes/plan.h"
 #include "la/matrix.h"
 #include "util/bytes.h"
 
@@ -117,6 +119,43 @@ class CodecEngine {
                                             ConstByteSpan new_data,
                                             size_t threads) const;
 
+  // ---- Plans (pattern-compiled schedules) -------------------------------
+
+  // Every data path above runs in two phases: PLAN (Gaussian elimination +
+  // kernel-batch layout, byte-independent) and EXECUTE (pure kernel
+  // dispatch). Plans are memoized in the process-wide PlanCache keyed by
+  // (engine, op, available set, failed block) — a recovery storm or a
+  // degraded-read workload that hits one erasure pattern thousands of times
+  // pays the elimination once. The methods below expose the plan objects so
+  // callers with a long-lived pattern (FileStore repairs, storm waves) can
+  // pin one shared_ptr and stay immune to cache eviction or
+  // GALLOPER_PLAN_CACHE=off.
+  //
+  // A returned plan is immutable and valid as long as the shared_ptr lives,
+  // even after eviction. Plans encode solvability: decode/repair plans with
+  // !fully_solvable() make the corresponding call return nullopt.
+
+  // Plan for decode()/decode_parallel() from exactly the blocks `available`.
+  std::shared_ptr<const CodecPlan> plan_decode(
+      const std::vector<size_t>& available) const;
+  // Plan for decode_fast() AND read_range() (they share one schedule: per
+  // chunk, copy-from-systematic-stripe or solved combination).
+  std::shared_ptr<const CodecPlan> plan_decode_fast(
+      const std::vector<size_t>& available) const;
+  // Plan for repair_block() of `failed` from exactly `helpers`.
+  std::shared_ptr<const CodecPlan> plan_repair(
+      size_t failed, const std::vector<size_t>& helpers) const;
+  // The encode schedule, compiled once at engine construction.
+  const CodecPlan& encode_plan() const { return *encode_plan_; }
+
+  // Executes a pinned repair plan. `helpers` must cover the plan's
+  // source_blocks() with equal-sized blocks; the plan must come from
+  // plan_repair(failed, ...) on this engine (same pattern — checked via the
+  // source set). Bit-identical to repair_block(failed, helpers).
+  std::optional<Buffer> repair_block_with_plan(
+      const CodecPlan& plan, const std::map<size_t, ConstByteSpan>& helpers,
+      size_t threads = 1) const;
+
   // ---- Oracles (structure only, no data) --------------------------------
 
   bool decodable(const std::vector<size_t>& available_blocks) const;
@@ -129,9 +168,26 @@ class CodecEngine {
  private:
   la::Matrix rows_of_blocks(const std::vector<size_t>& blocks) const;
 
-  // Encodes byte positions [lo, hi) of every chunk into the blocks.
-  void encode_slice(ConstByteSpan file, std::vector<Buffer>& blocks,
-                    size_t chunk, size_t lo, size_t hi) const;
+  // Cache key for a pattern plan on this engine.
+  PlanKey make_key(PlanOp op, const std::vector<size_t>& ids,
+                   size_t failed) const;
+  // Compiles a pattern plan (no cache involvement). ids must be sorted.
+  std::shared_ptr<const CodecPlan> compile_plan(PlanOp op,
+                                                const std::vector<size_t>& ids,
+                                                size_t failed) const;
+  // Cache-through plan lookup: global PlanCache hit, else compile + insert.
+  std::shared_ptr<const CodecPlan> pattern_plan(PlanOp op,
+                                                const std::vector<size_t>& ids,
+                                                size_t failed) const;
+  // Validates a block map (equal sizes, multiple of N) and returns the
+  // sorted ids + chunk size.
+  std::vector<size_t> validate_blocks(
+      const std::map<size_t, ConstByteSpan>& blocks, size_t* chunk) const;
+  // Executes plan rows r in [0, plan.num_rows()) with for_rows_sliced;
+  // dst_of(row) gives the output base pointer for a row's chunk.
+  std::optional<Buffer> repair_execute(
+      const CodecPlan& plan, const std::map<size_t, ConstByteSpan>& helpers,
+      size_t chunk, size_t threads) const;
 
   // Shared serial/parallel implementations (threads == 1 is the serial
   // path: no pool dispatch, plain loops).
@@ -153,6 +209,9 @@ class CodecEngine {
   la::Matrix generator_;
   size_t num_blocks_;
   size_t stripes_per_block_;
+  // Process-unique id for plan-cache keying. Copies share the id — they
+  // carry the same (immutable) generator, so their plans are interchangeable.
+  uint64_t engine_id_;
   std::vector<StripeRef> chunk_pos_;
   // block → physical pos → chunk id (SIZE_MAX if parity).
   std::vector<std::vector<size_t>> block_chunks_;
@@ -165,6 +224,10 @@ class CodecEngine {
   // Transposed sparsity: for each chunk, the parity stripes touching it
   // (row index + coefficient) — drives update_chunk().
   std::vector<std::vector<Term>> chunk_consumers_;
+  // The encode schedule, compiled once here instead of re-derived per call:
+  // one row per output stripe, sources addressed as (slot 0 = the file,
+  // pos = chunk index).
+  std::shared_ptr<const CodecPlan> encode_plan_;
 };
 
 }  // namespace galloper::codes

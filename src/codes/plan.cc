@@ -1,0 +1,227 @@
+#include "codes/plan.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+
+#include "gf/region.h"
+#include "util/check.h"
+
+namespace galloper::codes {
+
+const char* plan_op_name(PlanOp op) {
+  switch (op) {
+    case PlanOp::kEncode:
+      return "encode";
+    case PlanOp::kDecode:
+      return "decode";
+    case PlanOp::kDecodeFast:
+      return "decode_fast";
+    case PlanOp::kRepair:
+      return "repair";
+    case PlanOp::kUpdate:
+      return "update";
+  }
+  return "?";
+}
+
+size_t PlanKeyHash::operator()(const PlanKey& k) const {
+  // FNV-1a over the key fields; the bitset words carry most of the entropy.
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(k.engine_id);
+  mix(static_cast<uint64_t>(k.op));
+  mix(k.failed);
+  for (uint64_t w : k.available) mix(w);
+  return static_cast<size_t>(h);
+}
+
+void CodecPlan::run_row(const Row& row, uint8_t* dst,
+                        const uint8_t* const* bases, size_t chunk,
+                        size_t src_off, size_t len) const {
+  if (len == 0) return;
+  if (row.copy_slot >= 0) {
+    std::copy_n(bases[row.copy_slot] + row.copy_pos * chunk + src_off, len,
+                dst);
+    return;
+  }
+  GALLOPER_DCHECK(row.solvable);
+  // Materialize the row's source spans for the fused kernel. The terms were
+  // filtered to nonzero coefficients at plan time, so there is no per-call
+  // scan of a dense combination row; the scratch is thread-local and grows
+  // to the widest row once, then never allocates again.
+  thread_local std::vector<ConstByteSpan> srcs;
+  const size_t nterms = row.end - row.begin;
+  srcs.clear();
+  for (uint32_t t = row.begin; t < row.end; ++t) {
+    const Source& s = srcs_[t];
+    srcs.emplace_back(bases[s.slot] + size_t{s.pos} * chunk + src_off, len);
+  }
+  gf::mul_region_multi(
+      ByteSpan(dst, len),
+      std::span<const gf::Elem>(coeffs_.data() + row.begin, nterms),
+      srcs.data(), nterms);
+}
+
+// ---- PlanCache ------------------------------------------------------------
+
+struct PlanCache::Shard {
+  std::mutex mu;
+  // Front = most recently used. The map holds iterators into the list.
+  std::list<std::pair<PlanKey, std::shared_ptr<const CodecPlan>>> lru;
+  std::unordered_map<PlanKey, decltype(lru)::iterator, PlanKeyHash> index;
+};
+
+PlanCache::PlanCache(size_t capacity, size_t shards) : capacity_(capacity) {
+  GALLOPER_CHECK(shards >= 1);
+  shards_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s)
+    shards_.push_back(std::make_unique<Shard>());
+  per_shard_ = (capacity_ + shards - 1) / shards;
+}
+
+PlanCache::~PlanCache() = default;
+
+PlanCache::Shard& PlanCache::shard_of(const PlanKey& key) {
+  return *shards_[PlanKeyHash{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const CodecPlan> PlanCache::get(const PlanKey& key) {
+  if (!enabled()) return nullptr;
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // promote to MRU
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void PlanCache::put(const PlanKey& key, std::shared_ptr<const CodecPlan> plan) {
+  if (!enabled()) return;
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    // A racing builder got here first; keep its entry (the plans are
+    // identical — same key, immutable generator) and just refresh recency.
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  s.lru.emplace_front(key, std::move(plan));
+  s.index.emplace(key, s.lru.begin());
+  while (s.lru.size() > per_shard_) {
+    s.index.erase(s.lru.back().first);
+    s.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats st;
+  st.hits = hits_.load(std::memory_order_relaxed);
+  st.misses = misses_.load(std::memory_order_relaxed);
+  st.evictions = evictions_.load(std::memory_order_relaxed);
+  st.capacity = capacity_;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    st.entries += s->lru.size();
+  }
+  return st;
+}
+
+void PlanCache::reset(size_t capacity) {
+  // Lock every shard so a concurrent get/put sees either the old or the
+  // new configuration, never a partial one.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& s : shards_) locks.emplace_back(s->mu);
+  for (auto& s : shards_) {
+    s->lru.clear();
+    s->index.clear();
+  }
+  capacity_ = capacity;
+  per_shard_ = (capacity_ + shards_.size() - 1) / shards_.size();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+PlanCache& PlanCache::global() {
+  static PlanCache* cache = [] {
+    size_t capacity = 1024;
+    if (const char* env = std::getenv("GALLOPER_PLAN_CACHE")) {
+      const std::string v(env);
+      if (v == "off" || v == "OFF" || v == "0") {
+        capacity = 0;
+      } else {
+        char* end = nullptr;
+        const long parsed = std::strtol(env, &end, 10);
+        GALLOPER_CHECK_MSG(end && *end == '\0' && parsed >= 0,
+                           "GALLOPER_PLAN_CACHE must be 'off' or a "
+                           "non-negative entry count, got: "
+                               << v);
+        capacity = static_cast<size_t>(parsed);
+      }
+    }
+    return new PlanCache(capacity);  // leaked: lives for the process
+  }();
+  return *cache;
+}
+
+// ---- Per-op timing counters ----------------------------------------------
+
+namespace {
+
+struct OpCounters {
+  std::atomic<uint64_t> plan_ns{0};
+  std::atomic<uint64_t> plans{0};
+  std::atomic<uint64_t> exec_ns{0};
+  std::atomic<uint64_t> execs{0};
+};
+
+std::array<OpCounters, kNumPlanOps>& op_counters() {
+  static std::array<OpCounters, kNumPlanOps> counters;
+  return counters;
+}
+
+}  // namespace
+
+PlanOpStats plan_op_stats(PlanOp op) {
+  const OpCounters& c = op_counters()[static_cast<size_t>(op)];
+  PlanOpStats st;
+  st.plan_ns = c.plan_ns.load(std::memory_order_relaxed);
+  st.plans = c.plans.load(std::memory_order_relaxed);
+  st.exec_ns = c.exec_ns.load(std::memory_order_relaxed);
+  st.execs = c.execs.load(std::memory_order_relaxed);
+  return st;
+}
+
+void record_plan_time(PlanOp op, uint64_t ns) {
+  OpCounters& c = op_counters()[static_cast<size_t>(op)];
+  c.plan_ns.fetch_add(ns, std::memory_order_relaxed);
+  c.plans.fetch_add(1, std::memory_order_relaxed);
+}
+
+void record_exec_time(PlanOp op, uint64_t ns) {
+  OpCounters& c = op_counters()[static_cast<size_t>(op)];
+  c.exec_ns.fetch_add(ns, std::memory_order_relaxed);
+  c.execs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void reset_plan_op_stats() {
+  for (auto& c : op_counters()) {
+    c.plan_ns.store(0, std::memory_order_relaxed);
+    c.plans.store(0, std::memory_order_relaxed);
+    c.exec_ns.store(0, std::memory_order_relaxed);
+    c.execs.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace galloper::codes

@@ -1,0 +1,198 @@
+// Compiled codec plans and the process-wide plan cache.
+//
+// A CodecPlan is everything byte-INDEPENDENT about one engine data path for
+// one erasure pattern, computed once: the Gaussian-elimination solve of the
+// combination matrix, the per-output-row source lists pre-filtered down to
+// nonzero terms (ready for the fused mul_region_multi kernel), and the
+// verbatim copy map. Executing a plan is pure kernel dispatch — no linear
+// algebra, no submatrix materialization, no per-row coefficient scans.
+//
+// Why it matters: a degraded read or a recovery storm hits the SAME erasure
+// pattern thousands of times (every stripe of every file lost with a
+// server), and at small chunk sizes the ~O((kN)³) elimination dominates the
+// O(kN·chunk) byte work. Plans live in a sharded, thread-safe LRU keyed by
+// engine × op × available-block set × failed block; generator matrices are
+// immutable after engine construction, so cached plans never need
+// invalidation.
+//
+// GALLOPER_PLAN_CACHE sizes the cache: unset → 1024 entries, an integer →
+// that many entries, "off"/"0" → caching disabled (every call plans
+// fresh — the pre-PR-3 behavior, kept reachable for benchmarking).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gf/gf256.h"
+#include "util/bytes.h"
+
+namespace galloper::codes {
+
+// The data paths a plan can compile. kDecodeFast doubles as the read_range
+// plan (same per-chunk copy-or-solve schedule; read_range just executes the
+// rows overlapping the request). kUpdate never hits the pattern cache (its
+// schedule — the per-chunk parity consumer list — is built at engine
+// construction); it exists so the per-op timing counters cover all paths.
+enum class PlanOp : uint8_t {
+  kEncode = 0,
+  kDecode = 1,
+  kDecodeFast = 2,
+  kRepair = 3,
+  kUpdate = 4,
+};
+inline constexpr size_t kNumPlanOps = 5;
+
+const char* plan_op_name(PlanOp op);
+
+// Cache key: which engine (identity, not parameters — generators are
+// immutable, so identity implies content), which path, which blocks were
+// available, and — for repair — which block is being rebuilt.
+struct PlanKey {
+  uint64_t engine_id = 0;
+  PlanOp op = PlanOp::kDecode;
+  uint64_t failed = UINT64_MAX;     // repair target; UINT64_MAX when n/a
+  std::vector<uint64_t> available;  // block-id bitset, 64 ids per word
+
+  bool operator==(const PlanKey&) const = default;
+};
+
+struct PlanKeyHash {
+  size_t operator()(const PlanKey& k) const;
+};
+
+// One compiled schedule. Rows are outputs (chunks for decode paths, stripe
+// positions for repair, n·N stripes for encode); each is either a verbatim
+// copy or a run of (coefficient, source) terms into the fused kernel.
+// Sources address as bases[slot] + pos·chunk + offset, where `bases` is the
+// per-call table of block base pointers (for encode: one slot, the file,
+// with pos = chunk index). Plans are immutable once built — execution is
+// lock-free and allocation-free (a thread-local span scratch aside).
+class CodecPlan {
+ public:
+  struct Source {
+    uint32_t slot;  // index into source_blocks() / the bases table
+    uint32_t pos;   // stripe position within the block (chunk id for encode)
+  };
+  struct Row {
+    uint32_t out = 0;          // output row index (chunk id or stripe pos)
+    int32_t copy_slot = -1;    // ≥ 0: verbatim copy from (copy_slot, copy_pos)
+    uint32_t copy_pos = 0;
+    uint32_t begin = 0;        // combo terms [begin, end) when copy_slot < 0
+    uint32_t end = 0;
+    bool solvable = true;      // false: this output is outside the row space
+  };
+
+  CodecPlan() = default;
+
+  size_t num_rows() const { return rows_.size(); }
+  const Row& row(size_t r) const { return rows_[r]; }
+  // True when every output row is solvable; decode/repair require this,
+  // read_range only needs the rows overlapping the request.
+  bool fully_solvable() const { return unsolvable_ == 0; }
+  // Block ids whose bytes execution reads, in bases-table order. For the
+  // engine-owned encode plan this is empty (the single source is the file).
+  const std::vector<size_t>& source_blocks() const { return src_blocks_; }
+  // Wall-clock seconds spent compiling (solve + layout), for the counters.
+  double plan_seconds() const { return plan_seconds_; }
+
+  // Executes one row over `len` bytes: reads sources at chunk offset
+  // `src_off`, writes dst[0, len). The copy/combo branch and the zero-term
+  // zeroing case match the uncached path byte-for-byte.
+  void run_row(const Row& row, uint8_t* dst, const uint8_t* const* bases,
+               size_t chunk, size_t src_off, size_t len) const;
+
+ private:
+  friend class CodecEngine;  // sole builder
+
+  std::vector<Row> rows_;
+  std::vector<gf::Elem> coeffs_;  // flattened terms, parallel to srcs_
+  std::vector<Source> srcs_;
+  std::vector<size_t> src_blocks_;
+  size_t unsolvable_ = 0;
+  double plan_seconds_ = 0;
+};
+
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;       // lookups that had to compile (cache enabled)
+  uint64_t evictions = 0;
+  uint64_t entries = 0;      // currently resident plans
+  uint64_t capacity = 0;     // 0 = caching disabled
+};
+
+// Sharded, thread-safe LRU over shared_ptr<const CodecPlan>. Shards cut
+// lock contention when many threads decode concurrently (a recovery storm
+// on the pool); within a shard, a plain mutex + intrusive list LRU.
+// Entries pin nothing: callers hold shared_ptrs, so an evicted plan stays
+// valid for in-flight executions and is freed when the last user drops it.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity, size_t shards = 8);
+  ~PlanCache();
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  bool enabled() const { return capacity_ > 0; }
+  size_t capacity() const { return capacity_; }
+
+  // The cached plan, or nullptr (also when disabled). Promotes to MRU.
+  std::shared_ptr<const CodecPlan> get(const PlanKey& key);
+
+  // Inserts (or replaces) a plan, evicting LRU entries past capacity.
+  // No-op when disabled.
+  void put(const PlanKey& key, std::shared_ptr<const CodecPlan> plan);
+
+  PlanCacheStats stats() const;
+
+  // Drops every entry and zeroes the counters; with `capacity` ≥ 0 also
+  // resizes (0 disables). Tests and benchmarks use this to compare cached
+  // vs uncached planning within one process; not safe against concurrent
+  // get/put on the same instance mid-resize… it locks all shards, so it is
+  // safe, just not meaningful while a storm is running.
+  void reset(size_t capacity);
+  void clear() { reset(capacity_); }
+
+  // Process-wide cache shared by every engine. First use reads
+  // GALLOPER_PLAN_CACHE ("off"/"0" disables, integer sets the entry
+  // capacity, default 1024).
+  static PlanCache& global();
+
+ private:
+  struct Shard;
+  Shard& shard_of(const PlanKey& key);
+
+  size_t capacity_;            // total entries across shards
+  size_t per_shard_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+// Per-op plan-vs-execute accounting (process-wide, monotone): how long was
+// spent compiling plans vs moving bytes on each path. The CLI --stats flag
+// and the benches read these; engines record into them unconditionally —
+// two steady_clock reads per call, noise next to the byte work.
+struct PlanOpStats {
+  uint64_t plan_ns = 0;
+  uint64_t plans = 0;   // plans compiled (cache misses + uncached builds)
+  uint64_t exec_ns = 0;
+  uint64_t execs = 0;   // data-path executions
+};
+
+PlanOpStats plan_op_stats(PlanOp op);
+void record_plan_time(PlanOp op, uint64_t ns);
+void record_exec_time(PlanOp op, uint64_t ns);
+void reset_plan_op_stats();
+
+}  // namespace galloper::codes

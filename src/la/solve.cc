@@ -92,42 +92,52 @@ std::optional<Matrix> solve(const Matrix& a_in, const Matrix& b) {
   return aug;
 }
 
+RowspaceSolver::RowspaceSolver(const Matrix& basis)
+    : ech_(basis), ops_(Matrix::identity(basis.rows())) {
+  // Echelonize the basis while tracking the row operations in ops_ so that
+  // ech_ = ops_ · basis; express() maps echelon-row combinations back
+  // through ops_ to coefficients over the original basis rows.
+  pivots_ = echelonize(ech_, ops_);
+}
+
+std::optional<std::vector<gf::Elem>> RowspaceSolver::express(
+    std::span<const gf::Elem> target) const {
+  GALLOPER_CHECK(target.size() == ech_.cols());
+  // Eliminate the target against the echelon rows; if it reduces to zero,
+  // the accumulated coefficients (mapped back through ops_) express it
+  // over the original basis rows.
+  std::vector<gf::Elem> work(target.begin(), target.end());
+  std::vector<gf::Elem> coeffs(pivots_.size(), 0);
+  for (size_t i = 0; i < pivots_.size(); ++i) {
+    const gf::Elem f = work[pivots_[i]];
+    if (f == 0) continue;
+    coeffs[i] = f;  // echelon rows have a leading 1 at their pivot
+    gf::mul_acc_region(
+        {work.data(), work.size()}, f,
+        {reinterpret_cast<const uint8_t*>(ech_.row(i).data()), ech_.cols()});
+  }
+  for (gf::Elem e : work)
+    if (e != 0) return std::nullopt;  // outside the row space
+  // target = Σ coeffs[i] · ech_[i] = Σ coeffs[i] · (ops_[i] · basis).
+  std::vector<gf::Elem> out(ops_.cols(), 0);
+  for (size_t i = 0; i < pivots_.size(); ++i) {
+    if (coeffs[i] == 0) continue;
+    gf::mul_acc_region(
+        {out.data(), out.size()}, coeffs[i],
+        {reinterpret_cast<const uint8_t*>(ops_.row(i).data()), ops_.cols()});
+  }
+  return out;
+}
+
 std::optional<Matrix> express_in_rowspace(const Matrix& basis,
                                           const Matrix& targets) {
   GALLOPER_CHECK(basis.cols() == targets.cols());
-  // Echelonize basis while tracking the row operations in `ops` so that
-  // echelon = ops · basis. Then for each target row t, eliminate it against
-  // the echelon rows; if it reduces to zero, the accumulated coefficients
-  // (mapped back through ops) express t over the original basis rows.
-  Matrix ech = basis;
-  Matrix ops = Matrix::identity(basis.rows());
-  const auto pivots = echelonize(ech, ops);
-
+  const RowspaceSolver solver(basis);
   Matrix out(targets.rows(), basis.rows());
   for (size_t t = 0; t < targets.rows(); ++t) {
-    // Work on a copy of the target row; coeffs accumulates the combination
-    // of echelon rows used.
-    std::vector<gf::Elem> work(targets.row(t).begin(), targets.row(t).end());
-    std::vector<gf::Elem> coeffs(pivots.size(), 0);
-    for (size_t i = 0; i < pivots.size(); ++i) {
-      const gf::Elem f = work[pivots[i]];
-      if (f == 0) continue;
-      coeffs[i] = f;  // echelon rows have a leading 1 at their pivot
-      gf::mul_acc_region(
-          {work.data(), work.size()}, f,
-          {reinterpret_cast<const uint8_t*>(ech.row(i).data()), ech.cols()});
-    }
-    for (gf::Elem e : work)
-      if (e != 0) return std::nullopt;  // outside the row space
-    // Map combination of echelon rows back to original rows:
-    // target = Σ coeffs[i] · ech[i] = Σ coeffs[i] · (ops[i] · basis).
-    for (size_t i = 0; i < pivots.size(); ++i) {
-      if (coeffs[i] == 0) continue;
-      gf::mul_acc_region(
-          {reinterpret_cast<uint8_t*>(out.row(t).data()), out.cols()},
-          coeffs[i],
-          {reinterpret_cast<const uint8_t*>(ops.row(i).data()), ops.cols()});
-    }
+    const auto coeffs = solver.express(targets.row(t));
+    if (!coeffs) return std::nullopt;
+    std::copy(coeffs->begin(), coeffs->end(), out.row(t).begin());
   }
   return out;
 }

@@ -3,6 +3,8 @@
 #pragma once
 
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "la/matrix.h"
 
@@ -29,5 +31,33 @@ std::optional<Matrix> solve(const Matrix& a, const Matrix& b);
 // gives the coefficients to rebuild the lost data from survivors.
 std::optional<Matrix> express_in_rowspace(const Matrix& basis,
                                           const Matrix& targets);
+
+// The incremental form of express_in_rowspace: pays the Gaussian
+// elimination of `basis` exactly once at construction, then answers any
+// number of single-row queries against the echelonized form. This is what
+// plan compilation uses — one erasure pattern fixes the basis, and every
+// output chunk/stripe is one express() call — and it reports solvability
+// PER TARGET ROW, which an all-or-nothing batched solve cannot (read_range
+// must serve chunks that are recoverable even when some other chunk of the
+// same pattern is not).
+class RowspaceSolver {
+ public:
+  explicit RowspaceSolver(const Matrix& basis);
+
+  size_t basis_rows() const { return ops_.cols(); }
+  size_t cols() const { return ech_.cols(); }
+  size_t rank() const { return pivots_.size(); }
+
+  // Coefficients c (length basis_rows()) with c · basis = target, or
+  // nullopt if target lies outside the row space. Identical coefficients to
+  // express_in_rowspace on the same basis.
+  std::optional<std::vector<gf::Elem>> express(
+      std::span<const gf::Elem> target) const;
+
+ private:
+  Matrix ech_;   // row echelon form of the basis (leading 1 per pivot)
+  Matrix ops_;   // row-operation tracker: ech_ = ops_ · basis
+  std::vector<size_t> pivots_;
+};
 
 }  // namespace galloper::la

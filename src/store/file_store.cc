@@ -177,9 +177,17 @@ std::optional<std::vector<size_t>> FileStore::repair(FileId id,
   for (size_t h : helpers) helpers_ok &= block_available(id, h);
   if (!helpers_ok) helpers = available_blocks(id);
 
+  // One compiled plan per (failed, helper-set) pattern, pinned in the
+  // store: the Gaussian elimination runs once for the whole storm, and the
+  // remaining files' repairs are pure kernel execution.
+  std::vector<size_t> pattern = helpers;
+  std::sort(pattern.begin(), pattern.end());
+  auto& plan = repair_plans_[{block_id, std::move(pattern)}];
+  if (!plan) plan = code_.engine().plan_repair(block_id, helpers);
+
   std::map<size_t, ConstByteSpan> view;
   for (size_t h : helpers) view.emplace(h, *block(id, h));
-  auto rebuilt = code_.repair_block(block_id, view);
+  auto rebuilt = code_.engine().repair_block_with_plan(*plan, view);
   if (!rebuilt) return std::nullopt;
   files_[id][block_id] = std::move(*rebuilt);
   return helpers;

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "codes/erasure_code.h"
@@ -74,6 +76,12 @@ class FileStore {
   // block-to-server mapping stays identity, so revive first).
   std::optional<std::vector<size_t>> repair(FileId id, size_t block);
 
+  // Distinct (failed block, helper set) repair patterns this store has
+  // compiled so far. Every file of the store shares one code, so a storm
+  // that loses a server repairs the same pattern once per file — plan
+  // count stays flat while repair count grows.
+  size_t repair_plan_count() const { return repair_plans_.size(); }
+
   // Blocks of `id` that are currently lost.
   std::vector<size_t> lost_blocks(FileId id) const;
 
@@ -96,6 +104,12 @@ class FileStore {
 
   sim::Cluster& cluster_;
   const codes::ErasureCode& code_;
+  // Pinned repair plans keyed by (failed block, sorted helper set). Held by
+  // shared_ptr for the store's lifetime, so storm waves never replan even
+  // with GALLOPER_PLAN_CACHE=off or after global-cache eviction.
+  std::map<std::pair<size_t, std::vector<size_t>>,
+           std::shared_ptr<const codes::CodecPlan>>
+      repair_plans_;
   // files_[id][block] — nullopt once lost.
   std::vector<std::vector<std::optional<Buffer>>> files_;
   std::vector<std::vector<uint32_t>> checksums_;  // CRC-32C at write time

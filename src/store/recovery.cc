@@ -29,6 +29,7 @@ RecoveryReport RecoveryManager::recover_all() {
     std::vector<size_t> helpers;
   };
   std::vector<RepairJob> jobs;
+  const size_t plans_before = store_.repair_plan_count();
   for (FileId id = 0; id < store_.num_files(); ++id) {
     const size_t bytes = store_.block_bytes(id);
     for (size_t b : store_.lost_blocks(id)) {
@@ -41,6 +42,7 @@ RecoveryReport RecoveryManager::recover_all() {
       jobs.push_back({b, bytes, *helpers});
     }
   }
+  report.plans_compiled = store_.repair_plan_count() - plans_before;
 
   // Throttling: a device at fraction f of its rate ⟺ f⁻¹× the work.
   const double inflate = 1.0 / config_.bandwidth_fraction;

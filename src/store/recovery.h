@@ -18,6 +18,11 @@ struct RecoveryReport {
   size_t disk_bytes_read = 0;     // Σ helper-block bytes read
   size_t network_bytes = 0;       // bytes shipped to rebuilding servers
   sim::Time makespan = 0;         // simulated time until the last repair
+  // Repair plans compiled during this pass: one Gaussian elimination per
+  // distinct (failed block, helper set) pattern; every other repair of the
+  // storm reuses a pinned plan. blocks_repaired / plans_compiled is the
+  // storm's plan-reuse factor.
+  size_t plans_compiled = 0;
 };
 
 struct RecoveryConfig {

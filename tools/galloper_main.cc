@@ -30,7 +30,10 @@ int usage() {
       "          (offset and size must be chunk-aligned; see inspect)\n"
       "\n"
       "  encode/decode/repair/update accept --threads=N (default: CPU\n"
-      "  count, or GALLOPER_THREADS); results are identical for any N.\n");
+      "  count, or GALLOPER_THREADS); results are identical for any N.\n"
+      "  any command accepts --stats to print plan-cache and plan-vs-\n"
+      "  execute timing counters on exit (cache sized/disabled via\n"
+      "  GALLOPER_PLAN_CACHE=off|<entries>, default 1024).\n");
   return 2;
 }
 
@@ -44,6 +47,8 @@ size_t threads_flag(const galloper::Flags& flags) {
   return static_cast<size_t>(n);
 }
 
+int run(const galloper::Flags& flags);
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -51,6 +56,23 @@ int main(int argc, char** argv) {
   namespace cli = galloper::cli;
   try {
     Flags flags(argc, argv);
+    const int rc = run(flags);
+    // --stats: plan-cache hit rate + per-path plan/execute timing, after
+    // the command's own output so scripts can keep parsing stdout.
+    if (flags.has("stats"))
+      std::fputs(cli::format_plan_stats().c_str(), stdout);
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+namespace {
+
+int run(const galloper::Flags& flags) {
+  namespace cli = galloper::cli;
+  {
     const auto& pos = flags.positional();
     if (pos.empty()) return usage();
     const std::string& command = pos[0];
@@ -135,8 +157,7 @@ int main(int argc, char** argv) {
       return report.decodable ? 1 : 2;
     }
     return usage();
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
   }
 }
+
+}  // namespace
