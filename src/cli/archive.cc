@@ -1,12 +1,20 @@
 #include "cli/archive.h"
 
 #include <algorithm>
+#include <exception>
 #include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
 #include <sstream>
+#include <thread>
+#include <utility>
 
 #include "codes/plan.h"
 #include "core/input_format.h"
 #include "core/weights.h"
+#include "rt/queue.h"
+#include "util/buffer_pool.h"
 #include "util/check.h"
 #include "util/crc32c.h"
 
@@ -16,21 +24,69 @@ namespace fs = std::filesystem;
 
 namespace {
 
+// Piece size for streaming whole-file CRC passes (verify, update's CRC
+// refresh): big enough to amortize syscalls, small enough to stay pooled.
+constexpr size_t kIoPiece = size_t{4} << 20;
+
+// ---- Hardened file I/O ----------------------------------------------------
+//
+// Every read checks the stream state AND the byte count, every write checks
+// the stream state; a truncated block file or a full disk fails loudly with
+// the path and the counts instead of silently coding over garbage.
+
+void read_exact(std::istream& in, const fs::path& path, uint8_t* dst,
+                size_t n) {
+  in.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
+  GALLOPER_CHECK_MSG(!in.fail() && static_cast<size_t>(in.gcount()) == n,
+                     "short read from " << path.string() << " (wanted " << n
+                                        << " bytes, got " << in.gcount()
+                                        << ")");
+}
+
+void write_exact(std::ostream& out, const fs::path& path, ConstByteSpan data) {
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  GALLOPER_CHECK_MSG(out.good(), "write error on " << path.string());
+}
+
 Buffer read_file(const fs::path& path) {
   std::ifstream in(path, std::ios::binary);
   GALLOPER_CHECK_MSG(in.good(), "cannot open " << path.string());
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  const std::string s = ss.str();
-  return Buffer(s.begin(), s.end());
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  GALLOPER_CHECK_MSG(size >= 0 && in.good(), "cannot stat " << path.string());
+  in.seekg(0, std::ios::beg);
+  Buffer data(static_cast<size_t>(size));
+  if (size > 0) read_exact(in, path, data.data(), data.size());
+  return data;
 }
 
 void write_file(const fs::path& path, ConstByteSpan data) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   GALLOPER_CHECK_MSG(out.good(), "cannot write " << path.string());
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size()));
-  GALLOPER_CHECK_MSG(out.good(), "short write to " << path.string());
+  write_exact(out, path, data);
+  out.flush();
+  GALLOPER_CHECK_MSG(out.good(), "write error on " << path.string());
+}
+
+// Streaming CRC of a whole file in kIoPiece pieces — verify and the
+// update-path CRC refresh never hold more than one piece in memory.
+uint32_t file_crc32c(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  GALLOPER_CHECK_MSG(in.good(), "cannot open " << path.string());
+  uint32_t state = kCrc32cInit;
+  Buffer piece(kIoPiece);
+  while (true) {
+    in.read(reinterpret_cast<char*>(piece.data()),
+            static_cast<std::streamsize>(piece.size()));
+    const size_t got = static_cast<size_t>(in.gcount());
+    if (got > 0) state = crc32c_extend(state, ConstByteSpan(piece.data(), got));
+    if (!in) {
+      GALLOPER_CHECK_MSG(in.eof(), "read error on " << path.string());
+      break;
+    }
+  }
+  return crc32c_finish(state);
 }
 
 Rational parse_rational(const std::string& s) {
@@ -40,11 +96,44 @@ Rational parse_rational(const std::string& s) {
                   std::stoll(s.substr(slash + 1)));
 }
 
+// ---- Pipeline stages ------------------------------------------------------
+
+// One pipeline stage on a dedicated thread (see rt/queue.h for why stages
+// never run as pool tasks). A throwing stage records its exception and
+// runs `abort` — which closes the pipeline's queues so every peer
+// unblocks — and the driver rethrows after joining.
+class StageThread {
+ public:
+  template <typename Fn>
+  StageThread(Fn fn, std::function<void()> abort)
+      : thread_([this, fn = std::move(fn), abort = std::move(abort)] {
+          try {
+            fn();
+          } catch (...) {
+            error_ = std::current_exception();
+            abort();
+          }
+        }) {}
+
+  ~StageThread() { join(); }
+
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+  void rethrow() {
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  std::exception_ptr error_;
+  std::thread thread_;
+};
+
 }  // namespace
 
 std::string Manifest::serialize() const {
   std::ostringstream os;
-  os << "format=galloper-archive-v1\n";
+  os << "format=galloper-archive-v" << (chunk_bytes > 0 ? 2 : 1) << "\n";
   os << "k=" << k << "\n";
   os << "l=" << l << "\n";
   os << "g=" << g << "\n";
@@ -54,6 +143,7 @@ std::string Manifest::serialize() const {
   os << "\n";
   os << "block_bytes=" << block_bytes << "\n";
   os << "original_bytes=" << original_bytes << "\n";
+  if (chunk_bytes > 0) os << "chunk_bytes=" << chunk_bytes << "\n";
   if (!block_crcs.empty()) {
     os << "block_crcs=";
     for (size_t i = 0; i < block_crcs.size(); ++i) {
@@ -71,6 +161,7 @@ Manifest Manifest::parse(const std::string& text) {
   std::istringstream is(text);
   std::string line;
   bool format_seen = false;
+  bool v2 = false;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     const size_t eq = line.find('=');
@@ -79,8 +170,10 @@ Manifest Manifest::parse(const std::string& text) {
     const std::string key = line.substr(0, eq);
     const std::string value = line.substr(eq + 1);
     if (key == "format") {
-      GALLOPER_CHECK_MSG(value == "galloper-archive-v1",
+      GALLOPER_CHECK_MSG(value == "galloper-archive-v1" ||
+                             value == "galloper-archive-v2",
                          "unsupported archive format: " << value);
+      v2 = value == "galloper-archive-v2";
       format_seen = true;
     } else if (key == "k") {
       m.k = std::stoull(value);
@@ -100,6 +193,8 @@ Manifest Manifest::parse(const std::string& text) {
       m.block_bytes = std::stoull(value);
     } else if (key == "original_bytes") {
       m.original_bytes = std::stoull(value);
+    } else if (key == "chunk_bytes") {
+      m.chunk_bytes = std::stoull(value);
     } else if (key == "block_crcs") {
       size_t start = 0;
       while (start < value.size()) {
@@ -116,11 +211,48 @@ Manifest Manifest::parse(const std::string& text) {
   GALLOPER_CHECK_MSG(format_seen, "manifest missing format line");
   GALLOPER_CHECK_MSG(m.k > 0 && !m.weights.empty() && m.block_bytes > 0,
                      "manifest incomplete");
+  GALLOPER_CHECK_MSG(v2 == (m.chunk_bytes > 0),
+                     "manifest format/chunk_bytes mismatch");
   return m;
 }
 
 core::GalloperCode Manifest::make_code() const {
   return core::GalloperCode(k, l, g, weights);
+}
+
+std::vector<Segment> archive_segments(const Manifest& m, size_t num_chunks,
+                                      size_t stripes_per_block) {
+  GALLOPER_CHECK_MSG(m.block_bytes % stripes_per_block == 0,
+                     "block_bytes " << m.block_bytes
+                                    << " not a whole number of stripes");
+  std::vector<Segment> segs;
+  if (m.chunk_bytes == 0) {
+    // v1: the whole block is one codeword.
+    const size_t chunk = m.block_bytes / stripes_per_block;
+    segs.push_back({0, chunk, 0, m.block_bytes, 0, num_chunks * chunk});
+    return segs;
+  }
+  const size_t full_piece = stripes_per_block * m.chunk_bytes;
+  const size_t nfull = m.block_bytes / full_piece;
+  const size_t tail = m.block_bytes % full_piece;
+  GALLOPER_CHECK_MSG(tail % stripes_per_block == 0,
+                     "tail piece " << tail
+                                   << " not a whole number of stripes");
+  segs.reserve(nfull + (tail > 0));
+  size_t boff = 0;
+  size_t foff = 0;
+  for (size_t s = 0; s < nfull; ++s) {
+    segs.push_back({s, m.chunk_bytes, boff, full_piece, foff,
+                    num_chunks * m.chunk_bytes});
+    boff += full_piece;
+    foff += num_chunks * m.chunk_bytes;
+  }
+  if (tail > 0) {
+    const size_t chunk = tail / stripes_per_block;
+    segs.push_back({nfull, chunk, boff, tail, foff, num_chunks * chunk});
+  }
+  GALLOPER_CHECK_MSG(!segs.empty(), "archive has no segments");
+  return segs;
 }
 
 fs::path block_path(const fs::path& dir, size_t block) {
@@ -131,35 +263,135 @@ fs::path block_path(const fs::path& dir, size_t block) {
 
 Manifest encode_archive(const fs::path& input, const fs::path& dir, size_t k,
                         size_t l, size_t g, const std::vector<double>& perf,
-                        int64_t resolution, size_t threads) {
-  Buffer data = read_file(input);
-  GALLOPER_CHECK_MSG(!data.empty(), "refusing to encode an empty file");
+                        int64_t resolution, size_t threads,
+                        size_t chunk_bytes) {
+  GALLOPER_CHECK_MSG(threads >= 1, "need at least one thread");
+  std::ifstream in(input, std::ios::binary);
+  GALLOPER_CHECK_MSG(in.good(), "cannot open " << input.string());
+  in.seekg(0, std::ios::end);
+  const std::streamoff end = in.tellg();
+  GALLOPER_CHECK_MSG(end >= 0 && in.good(), "cannot stat " << input.string());
+  in.seekg(0, std::ios::beg);
+  const size_t original = static_cast<size_t>(end);
+  GALLOPER_CHECK_MSG(original > 0, "refusing to encode an empty file");
 
   Manifest m;
   m.k = k;
   m.l = l;
   m.g = g;
-  m.original_bytes = data.size();
+  m.original_bytes = original;
   m.weights = perf.empty()
                   ? core::uniform_weights(k, l, g)
                   : core::assign_weights(k, l, g, perf, resolution).weights;
 
-  core::GalloperCode code(k, l, g, m.weights);
-  // Zero-pad to a whole number of chunks.
-  const size_t chunks = code.engine().num_chunks();
-  const size_t padded = (data.size() + chunks - 1) / chunks * chunks;
-  data.resize(padded, 0);
-  m.block_bytes = padded / chunks * code.n_stripes();
+  const core::GalloperCode code(k, l, g, m.weights);
+  const codes::CodecEngine& engine = code.engine();
+  const size_t chunks = engine.num_chunks();
+  const size_t nstripes = engine.stripes_per_block();
+  const size_t nblocks = code.num_blocks();
 
-  const auto blocks = code.engine().encode_parallel(data, threads);
-  for (const auto& block : blocks) m.block_crcs.push_back(crc32c(block));
+  // Segment geometry: full segments of chunk `c`, plus a tail segment whose
+  // chunk covers the remainder (zero-padded up to whole chunks). A file
+  // that fits one segment keeps the v1 monolithic layout — byte-identical
+  // to older writers.
+  const size_t c = chunk_bytes > 0 ? chunk_bytes : kDefaultChunkBytes;
+  const size_t seg_data = chunks * c;
+  const size_t nfull = original / seg_data;
+  const size_t rem = original % seg_data;
+  const size_t tail_chunk = rem > 0 ? (rem + chunks - 1) / chunks : 0;
+  const size_t nsegs = nfull + (rem > 0 ? 1 : 0);
+  m.block_bytes = (nfull * c + tail_chunk) * nstripes;
+  m.chunk_bytes = nsegs > 1 ? c : 0;
+  const std::vector<Segment> segments =
+      archive_segments(m, chunks, nstripes);
+
+  // The pipeline: reader thread → in_q → codec (this thread, fanning out on
+  // the rt pool) → out_q → writer thread. Queue capacity 2 double-buffers
+  // each stage, so at most ~2 segments of input and ~2 segments of blocks
+  // are ever live.
+  struct SegData {
+    size_t index;
+    Buffer data;
+  };
+  struct SegBlocks {
+    size_t index;
+    std::vector<Buffer> blocks;
+  };
+  rt::BoundedQueue<SegData> in_q(2);
+  rt::BoundedQueue<SegBlocks> out_q(2);
+  const auto abort_all = [&] {
+    in_q.close();
+    out_q.close();
+  };
+
+  // Outputs open before any stage thread starts: a failed open must throw
+  // while no stage can be parked on a queue.
   fs::create_directories(dir);
-  for (size_t b = 0; b < blocks.size(); ++b)
-    write_file(block_path(dir, b), blocks[b]);
+  std::vector<std::ofstream> outs;
+  outs.reserve(nblocks);
+  for (size_t b = 0; b < nblocks; ++b) {
+    outs.emplace_back(block_path(dir, b), std::ios::binary | std::ios::trunc);
+    GALLOPER_CHECK_MSG(outs.back().good(),
+                       "cannot write " << block_path(dir, b).string());
+  }
+  std::vector<uint32_t> crcs(nblocks, kCrc32cInit);
+
+  StageThread reader(
+      [&] {
+        for (const Segment& seg : segments) {
+          Buffer data(seg.data_len);
+          const size_t want =
+              std::min(seg.data_len, original - seg.file_offset);
+          read_exact(in, input, data.data(), want);
+          std::fill(data.begin() + static_cast<std::ptrdiff_t>(want),
+                    data.end(), 0);
+          if (!in_q.push({seg.index, std::move(data)})) return;
+        }
+        in_q.close();
+      },
+      abort_all);
+  StageThread writer(
+      [&] {
+        size_t expect = 0;
+        while (auto item = out_q.pop()) {
+          GALLOPER_CHECK(item->index == expect++ &&
+                         item->blocks.size() == nblocks);
+          for (size_t b = 0; b < nblocks; ++b) {
+            write_exact(outs[b], block_path(dir, b), item->blocks[b]);
+            crcs[b] = crc32c_extend(crcs[b], item->blocks[b]);
+          }
+        }
+      },
+      abort_all);
+
+  std::exception_ptr codec_error;
+  try {
+    while (auto item = in_q.pop()) {
+      auto blocks = engine.encode_parallel(item->data, threads);
+      if (!out_q.push({item->index, std::move(blocks)})) break;
+    }
+  } catch (...) {
+    codec_error = std::current_exception();
+    abort_all();
+  }
+  out_q.close();
+  reader.join();
+  writer.join();
+  if (codec_error) std::rethrow_exception(codec_error);
+  reader.rethrow();
+  writer.rethrow();
+
+  for (size_t b = 0; b < nblocks; ++b) {
+    outs[b].flush();
+    GALLOPER_CHECK_MSG(outs[b].good(),
+                       "write error on " << block_path(dir, b).string());
+    m.block_crcs.push_back(crc32c_finish(crcs[b]));
+  }
+  const std::string serialized = m.serialize();
   write_file(dir / "MANIFEST",
              ConstByteSpan(
-                 reinterpret_cast<const uint8_t*>(m.serialize().data()),
-                 m.serialize().size()));
+                 reinterpret_cast<const uint8_t*>(serialized.data()),
+                 serialized.size()));
   return m;
 }
 
@@ -168,24 +400,135 @@ Manifest read_manifest(const fs::path& dir) {
   return Manifest::parse(std::string(raw.begin(), raw.end()));
 }
 
-std::optional<Buffer> decode_archive(const fs::path& dir, size_t threads) {
+namespace {
+
+// The streaming decode core: a reader thread feeds each segment's piece of
+// every present block through a bounded queue; the calling thread decodes
+// (on the rt pool) and hands the decoded file bytes — clipped to
+// original_bytes — to `emit(file_offset, data)` in file order. Returns
+// false, before reading any block bytes, when the present set cannot
+// decode.
+bool decode_archive_stream(const fs::path& dir, size_t threads,
+                           const std::function<void(size_t, Buffer&&)>& emit) {
   const Manifest m = read_manifest(dir);
   const core::GalloperCode code = m.make_code();
+  const codes::CodecEngine& engine = code.engine();
+  const std::vector<Segment> segments = archive_segments(
+      m, engine.num_chunks(), engine.stripes_per_block());
 
-  std::vector<Buffer> present(code.num_blocks());
-  std::map<size_t, ConstByteSpan> view;
+  std::vector<size_t> ids;
+  std::vector<std::unique_ptr<std::ifstream>> ins;  // parallel to ids
   for (size_t b = 0; b < code.num_blocks(); ++b) {
     const fs::path p = block_path(dir, b);
     if (!fs::exists(p)) continue;
-    present[b] = read_file(p);
-    GALLOPER_CHECK_MSG(present[b].size() == m.block_bytes,
+    GALLOPER_CHECK_MSG(fs::file_size(p) == m.block_bytes,
                        "block file " << p.string() << " has wrong size");
-    view.emplace(b, present[b]);
+    auto in = std::make_unique<std::ifstream>(p, std::ios::binary);
+    GALLOPER_CHECK_MSG(in->good(), "cannot open " << p.string());
+    ids.push_back(b);
+    ins.push_back(std::move(in));
   }
-  auto padded = code.engine().decode_parallel(view, threads);
-  if (!padded) return std::nullopt;
-  padded->resize(m.original_bytes);
-  return padded;
+  if (ids.empty()) return false;
+  // Solvability is a property of the erasure pattern, not the bytes: gate
+  // here, before a single block byte is read.
+  if (!engine.plan_decode(ids)->fully_solvable()) return false;
+
+  struct SegPieces {
+    size_t index;
+    std::vector<Buffer> pieces;  // parallel to ids
+  };
+  rt::BoundedQueue<SegPieces> q(2);
+  StageThread reader(
+      [&] {
+        for (const Segment& seg : segments) {
+          std::vector<Buffer> pieces;
+          pieces.reserve(ids.size());
+          for (size_t i = 0; i < ids.size(); ++i) {
+            Buffer piece(seg.block_len);
+            read_exact(*ins[i], block_path(dir, ids[i]), piece.data(),
+                       piece.size());
+            pieces.push_back(std::move(piece));
+          }
+          if (!q.push({seg.index, std::move(pieces)})) return;
+        }
+        q.close();
+      },
+      [&] { q.close(); });
+
+  std::exception_ptr codec_error;
+  try {
+    while (auto item = q.pop()) {
+      const Segment& seg = segments[item->index];
+      std::map<size_t, ConstByteSpan> view;
+      for (size_t i = 0; i < ids.size(); ++i)
+        view.emplace(ids[i], item->pieces[i]);
+      auto decoded = engine.decode_parallel(view, threads);
+      GALLOPER_CHECK(decoded.has_value());  // solvability gated above
+      if (seg.file_offset >= m.original_bytes) continue;  // pure padding
+      decoded->resize(
+          std::min(decoded->size(), m.original_bytes - seg.file_offset));
+      emit(seg.file_offset, std::move(*decoded));
+    }
+  } catch (...) {
+    codec_error = std::current_exception();
+    q.close();
+  }
+  reader.join();
+  if (codec_error) std::rethrow_exception(codec_error);
+  reader.rethrow();
+  return true;
+}
+
+}  // namespace
+
+std::optional<Buffer> decode_archive(const fs::path& dir, size_t threads) {
+  const Manifest m = read_manifest(dir);
+  Buffer file(m.original_bytes);  // emits cover [0, original_bytes) exactly
+  if (!decode_archive_stream(dir, threads, [&](size_t off, Buffer&& data) {
+        std::copy(data.begin(), data.end(),
+                  file.begin() + static_cast<std::ptrdiff_t>(off));
+      }))
+    return std::nullopt;
+  return file;
+}
+
+bool decode_archive_to(const fs::path& dir, const fs::path& output,
+                       size_t threads) {
+  std::ofstream out(output, std::ios::binary | std::ios::trunc);
+  GALLOPER_CHECK_MSG(out.good(), "cannot write " << output.string());
+
+  // Third stage: decoded segments append on a writer thread, so disk writes
+  // overlap the next segment's decode.
+  rt::BoundedQueue<Buffer> q(2);
+  StageThread writer(
+      [&] {
+        while (auto data = q.pop()) write_exact(out, output, *data);
+      },
+      [&] { q.close(); });
+
+  bool ok = false;
+  std::exception_ptr err;
+  try {
+    // Emits arrive in file order, so appending preserves offsets.
+    ok = decode_archive_stream(dir, threads, [&](size_t, Buffer&& data) {
+      GALLOPER_CHECK_MSG(q.push(std::move(data)),
+                         "write stage failed for " << output.string());
+    });
+  } catch (...) {
+    err = std::current_exception();
+  }
+  q.close();
+  writer.join();
+  if (err) std::rethrow_exception(err);
+  writer.rethrow();
+
+  out.flush();
+  GALLOPER_CHECK_MSG(out.good(), "write error on " << output.string());
+  if (!ok) {
+    out.close();
+    fs::remove(output);
+  }
+  return ok;
 }
 
 std::optional<std::vector<size_t>> repair_archive(const fs::path& dir,
@@ -193,22 +536,119 @@ std::optional<std::vector<size_t>> repair_archive(const fs::path& dir,
                                                   size_t threads) {
   const Manifest m = read_manifest(dir);
   const core::GalloperCode code = m.make_code();
+  const codes::CodecEngine& engine = code.engine();
   GALLOPER_CHECK_MSG(block < code.num_blocks(),
                      "block " << block << " out of range");
+  const std::vector<Segment> segments = archive_segments(
+      m, engine.num_chunks(), engine.stripes_per_block());
+
+  const auto usable = [&](size_t b) {
+    const fs::path p = block_path(dir, b);
+    return fs::exists(p) && fs::file_size(p) == m.block_bytes;
+  };
 
   auto try_helpers = [&](const std::vector<size_t>& helpers)
       -> std::optional<std::vector<size_t>> {
-    std::vector<Buffer> data(helpers.size());
-    std::map<size_t, ConstByteSpan> view;
-    for (size_t i = 0; i < helpers.size(); ++i) {
-      const fs::path p = block_path(dir, helpers[i]);
-      if (!fs::exists(p)) return std::nullopt;
-      data[i] = read_file(p);
-      view.emplace(helpers[i], data[i]);
+    if (helpers.empty()) return std::nullopt;
+    for (size_t h : helpers)
+      if (!usable(h)) return std::nullopt;
+    // Pin the repair plan once for every segment (same pattern throughout)
+    // and gate on solvability BEFORE any helper bytes are read.
+    const auto plan = engine.plan_repair(block, helpers);
+    if (!plan->fully_solvable()) return std::nullopt;
+
+    std::vector<std::unique_ptr<std::ifstream>> ins;
+    ins.reserve(helpers.size());
+    for (size_t h : helpers) {
+      auto in = std::make_unique<std::ifstream>(block_path(dir, h),
+                                                std::ios::binary);
+      GALLOPER_CHECK_MSG(in->good(),
+                         "cannot open " << block_path(dir, h).string());
+      ins.push_back(std::move(in));
     }
-    auto rebuilt = code.engine().repair_block_parallel(block, view, threads);
-    if (!rebuilt) return std::nullopt;
-    write_file(block_path(dir, block), *rebuilt);
+
+    // Rebuild into block_NNN.bin.tmp and rename over the target only once
+    // every segment landed and the CRC matches — an interrupted or
+    // corrupt-helper repair never leaves a half-written block behind.
+    const fs::path final_path = block_path(dir, block);
+    fs::path tmp_path = final_path;
+    tmp_path += ".tmp";
+    try {
+      std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+      GALLOPER_CHECK_MSG(out.good(), "cannot write " << tmp_path.string());
+
+      struct SegPieces {
+        size_t index;
+        std::vector<Buffer> pieces;  // parallel to helpers
+      };
+      rt::BoundedQueue<SegPieces> in_q(2);
+      rt::BoundedQueue<Buffer> out_q(2);
+      const auto abort_all = [&] {
+        in_q.close();
+        out_q.close();
+      };
+      StageThread reader(
+          [&] {
+            for (const Segment& seg : segments) {
+              std::vector<Buffer> pieces;
+              pieces.reserve(helpers.size());
+              for (size_t i = 0; i < helpers.size(); ++i) {
+                Buffer piece(seg.block_len);
+                read_exact(*ins[i], block_path(dir, helpers[i]), piece.data(),
+                           piece.size());
+                pieces.push_back(std::move(piece));
+              }
+              if (!in_q.push({seg.index, std::move(pieces)})) return;
+            }
+            in_q.close();
+          },
+          abort_all);
+      uint32_t crc = kCrc32cInit;
+      StageThread writer(
+          [&] {
+            while (auto data = out_q.pop()) {
+              write_exact(out, tmp_path, *data);
+              crc = crc32c_extend(crc, *data);
+            }
+          },
+          abort_all);
+
+      std::exception_ptr codec_error;
+      try {
+        while (auto item = in_q.pop()) {
+          std::map<size_t, ConstByteSpan> view;
+          for (size_t i = 0; i < helpers.size(); ++i)
+            view.emplace(helpers[i], item->pieces[i]);
+          auto rebuilt = engine.repair_block_with_plan(*plan, view, threads);
+          GALLOPER_CHECK(rebuilt.has_value());  // solvability gated above
+          if (!out_q.push(std::move(*rebuilt))) break;
+        }
+      } catch (...) {
+        codec_error = std::current_exception();
+        abort_all();
+      }
+      out_q.close();
+      reader.join();
+      writer.join();
+      if (codec_error) std::rethrow_exception(codec_error);
+      reader.rethrow();
+      writer.rethrow();
+
+      out.flush();
+      GALLOPER_CHECK_MSG(out.good(), "write error on " << tmp_path.string());
+      out.close();
+      if (m.block_crcs.size() > block)
+        GALLOPER_CHECK_MSG(
+            crc32c_finish(crc) == m.block_crcs[block],
+            "repaired block " << block
+                              << " fails its manifest CRC — helper data is "
+                                 "corrupt");
+      fs::rename(tmp_path, final_path);
+    } catch (...) {
+      std::error_code ec;
+      fs::remove(tmp_path, ec);  // best effort; the original is untouched
+      throw;
+    }
     return helpers;
   };
 
@@ -216,7 +656,7 @@ std::optional<std::vector<size_t>> repair_archive(const fs::path& dir,
   if (auto done = try_helpers(code.repair_helpers(block))) return done;
   std::vector<size_t> all;
   for (size_t b = 0; b < code.num_blocks(); ++b)
-    if (b != block && fs::exists(block_path(dir, b))) all.push_back(b);
+    if (b != block && usable(b)) all.push_back(b);
   return try_helpers(all);
 }
 
@@ -224,11 +664,17 @@ std::string describe_archive(const fs::path& dir) {
   const Manifest m = read_manifest(dir);
   const core::GalloperCode code = m.make_code();
   core::InputFormat fmt(code, m.block_bytes);
+  const std::vector<Segment> segments = archive_segments(
+      m, code.engine().num_chunks(), code.engine().stripes_per_block());
 
   std::ostringstream os;
   os << code.name() << ", N = " << code.n_stripes()
      << " stripes/block, block = " << m.block_bytes
-     << " bytes, original = " << m.original_bytes << " bytes\n";
+     << " bytes, original = " << m.original_bytes << " bytes";
+  if (m.chunk_bytes > 0)
+    os << ", " << segments.size() << " segments (chunk " << m.chunk_bytes
+       << " bytes, tail " << segments.back().chunk << ")";
+  os << "\n";
   for (size_t b = 0; b < code.num_blocks(); ++b) {
     const char* role = b < m.k                ? "data"
                        : b < m.k + m.l        ? "local parity"
@@ -245,38 +691,82 @@ std::vector<size_t> update_archive(const fs::path& dir, size_t offset,
                                    ConstByteSpan data, size_t threads) {
   Manifest m = read_manifest(dir);
   const core::GalloperCode code = m.make_code();
-  const size_t chunk = m.block_bytes / code.n_stripes();
-  GALLOPER_CHECK_MSG(offset % chunk == 0 && data.size() % chunk == 0,
-                     "updates must be chunk-aligned (chunk = " << chunk
-                                                               << " bytes)");
-  GALLOPER_CHECK_MSG(
-      offset + data.size() <= code.engine().num_chunks() * chunk,
-      "update range beyond the encoded file");
+  const codes::CodecEngine& engine = code.engine();
+  const size_t nstripes = engine.stripes_per_block();
+  const std::vector<Segment> segments =
+      archive_segments(m, engine.num_chunks(), nstripes);
+  const size_t padded_bytes =
+      segments.back().file_offset + segments.back().data_len;
+  GALLOPER_CHECK_MSG(offset + data.size() <= padded_bytes,
+                     "update range beyond the encoded file");
+  if (data.empty()) return {};
 
-  std::vector<Buffer> blocks;
-  blocks.reserve(code.num_blocks());
-  for (size_t b = 0; b < code.num_blocks(); ++b) {
-    const fs::path p = block_path(dir, b);
-    GALLOPER_CHECK_MSG(fs::exists(p),
+  for (size_t b = 0; b < code.num_blocks(); ++b)
+    GALLOPER_CHECK_MSG(fs::exists(block_path(dir, b)),
                        "block " << b << " missing — repair before updating");
-    blocks.push_back(read_file(p));
-    GALLOPER_CHECK(blocks.back().size() == m.block_bytes);
-  }
 
+  // Segment-aware: load, patch, and write back ONLY the segment pieces the
+  // range overlaps — an update against a large archive touches O(affected
+  // segments) bytes per block, never whole block files.
   std::vector<size_t> touched;
-  const size_t first = offset / chunk;
-  for (size_t c = 0; c * chunk < data.size(); ++c) {
-    const auto t = code.engine().update_chunk_parallel(
-        blocks, first + c, data.subspan(c * chunk, chunk), threads);
-    touched.insert(touched.end(), t.begin(), t.end());
+  for (const Segment& seg : segments) {
+    const size_t lo = std::max(offset, seg.file_offset);
+    const size_t hi =
+        std::min(offset + data.size(), seg.file_offset + seg.data_len);
+    if (lo >= hi) continue;
+    GALLOPER_CHECK_MSG(
+        (lo - seg.file_offset) % seg.chunk == 0 &&
+            (hi - seg.file_offset) % seg.chunk == 0,
+        "updates must be chunk-aligned (chunk = " << seg.chunk
+                                                  << " bytes in segment "
+                                                  << seg.index << ")");
+
+    std::vector<Buffer> pieces;
+    pieces.reserve(code.num_blocks());
+    for (size_t b = 0; b < code.num_blocks(); ++b) {
+      const fs::path p = block_path(dir, b);
+      GALLOPER_CHECK_MSG(fs::file_size(p) == m.block_bytes,
+                         "block file " << p.string() << " has wrong size");
+      std::ifstream in(p, std::ios::binary);
+      GALLOPER_CHECK_MSG(in.good(), "cannot open " << p.string());
+      in.seekg(static_cast<std::streamoff>(seg.block_offset));
+      Buffer piece(seg.block_len);
+      read_exact(in, p, piece.data(), piece.size());
+      pieces.push_back(std::move(piece));
+    }
+
+    std::vector<size_t> seg_touched;
+    const size_t first_chunk = (lo - seg.file_offset) / seg.chunk;
+    for (size_t c = 0; first_chunk * seg.chunk + c * seg.chunk < hi - seg.file_offset;
+         ++c) {
+      const auto t = engine.update_chunk_parallel(
+          pieces, first_chunk + c,
+          data.subspan(lo - offset + c * seg.chunk, seg.chunk), threads);
+      seg_touched.insert(seg_touched.end(), t.begin(), t.end());
+    }
+    std::sort(seg_touched.begin(), seg_touched.end());
+    seg_touched.erase(std::unique(seg_touched.begin(), seg_touched.end()),
+                      seg_touched.end());
+
+    for (size_t b : seg_touched) {
+      const fs::path p = block_path(dir, b);
+      std::fstream out(p, std::ios::binary | std::ios::in | std::ios::out);
+      GALLOPER_CHECK_MSG(out.good(), "cannot write " << p.string());
+      out.seekp(static_cast<std::streamoff>(seg.block_offset));
+      write_exact(out, p, pieces[b]);
+      out.flush();
+      GALLOPER_CHECK_MSG(out.good(), "write error on " << p.string());
+    }
+    touched.insert(touched.end(), seg_touched.begin(), seg_touched.end());
   }
   std::sort(touched.begin(), touched.end());
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
 
-  for (size_t b : touched) {
-    write_file(block_path(dir, b), blocks[b]);
-    if (m.block_crcs.size() > b) m.block_crcs[b] = crc32c(blocks[b]);
-  }
+  // Refresh the CRCs of rewritten blocks with a streaming pass (a block may
+  // be far larger than the piece that changed).
+  for (size_t b : touched)
+    if (m.block_crcs.size() > b)
+      m.block_crcs[b] = file_crc32c(block_path(dir, b));
   // The original may have grown into previously zero padding; keep the
   // recorded size monotone.
   m.original_bytes = std::max(m.original_bytes, offset + data.size());
@@ -299,11 +789,12 @@ VerifyReport verify_archive(const fs::path& dir) {
       report.missing.push_back(b);
       continue;
     }
-    const Buffer data = read_file(p);
-    const bool size_ok = data.size() == m.block_bytes;
+    // Streamed CRC: verification of an arbitrarily large block holds one
+    // kIoPiece buffer, never the block.
+    const bool size_ok = fs::file_size(p) == m.block_bytes;
     const bool crc_ok = m.block_crcs.size() <= b  // no CRC recorded: trust
                             ? size_ok
-                            : size_ok && crc32c(data) == m.block_crcs[b];
+                            : size_ok && file_crc32c(p) == m.block_crcs[b];
     if (!crc_ok) {
       report.corrupt.push_back(b);
       continue;
@@ -348,6 +839,27 @@ std::string format_plan_stats() {
           << " us";
     out << "\n";
   }
+  const codes::BatchExecStats bs = codes::batch_exec_stats();
+  if (bs.calls > 0) {
+    out << "batched executor: " << bs.calls << " dispatches, " << bs.rows
+        << " rows, " << static_cast<double>(bs.bytes) * 1e-6 << " MB";
+    if (bs.ns > 0)
+      out << ", " << static_cast<double>(bs.bytes) /
+                         static_cast<double>(bs.ns)
+          << " GB/s";
+    out << "\n";
+  }
+  const util::BufferPool& pool = util::BufferPool::global();
+  const util::BufferPoolStats ps = pool.stats();
+  out << "buffer pool: ";
+  if (!pool.enabled()) out << "recycling disabled (GALLOPER_BUFFER_POOL=off), ";
+  out << ps.hits << " hits / " << ps.misses << " misses";
+  if (ps.hits + ps.misses > 0)
+    out << " (" << static_cast<int>(100.0 * ps.hit_rate()) << "% hit rate)";
+  out << ", " << ps.bypass << " bypass, peak "
+      << static_cast<double>(ps.peak_outstanding_bytes) * 1e-6
+      << " MB outstanding, "
+      << static_cast<double>(ps.cached_bytes) * 1e-6 << " MB cached\n";
   return out.str();
 }
 

@@ -6,6 +6,22 @@
 // The manifest records the code parameters, the rational weights, and the
 // original file size (the file is zero-padded up to a whole number of
 // chunks before encoding).
+//
+// Two layouts share the block files:
+//   v1 (format=galloper-archive-v1): the whole file is ONE codeword with
+//     chunk = block_bytes / N — fine for small files, but coding it means
+//     holding the entire file and all blocks in memory at once.
+//   v2 (format=galloper-archive-v2, chunk_bytes=c): each block is a
+//     concatenation of SEGMENT pieces. Segment s is an independent codeword
+//     over chunk-size c (the last segment's chunk shrinks to cover the
+//     remainder), and its piece sits at the same offset in every block.
+//     Segments stream through the encode/decode/repair pipelines one at a
+//     time, so memory stays O(segment) regardless of file size, and each
+//     segment's codec call hands the batched plan executor c-wide cells.
+// Geometry derives from block_bytes and chunk_bytes only (never from
+// original_bytes, which update_archive may grow into the padding).
+// Writers emit v1 whenever the file fits in one segment, so small archives
+// are byte-identical to older writers; readers accept both.
 #pragma once
 
 #include <filesystem>
@@ -26,6 +42,7 @@ struct Manifest {
   std::vector<Rational> weights;
   size_t block_bytes = 0;
   size_t original_bytes = 0;  // before padding
+  size_t chunk_bytes = 0;     // v2 segment chunk size; 0 = v1 (monolithic)
   std::vector<uint32_t> block_crcs;  // CRC-32C per block (may be empty in
                                      // archives from older writers)
 
@@ -35,15 +52,45 @@ struct Manifest {
   core::GalloperCode make_code() const;
 };
 
+// One independent codeword of the archive. v1 archives have exactly one
+// segment spanning everything; v2 archives have full segments of
+// chunk_bytes plus an optional smaller tail segment.
+struct Segment {
+  size_t index = 0;
+  size_t chunk = 0;         // per-stripe chunk bytes in this segment
+  size_t block_offset = 0;  // offset of this segment's piece in every block
+  size_t block_len = 0;     // stripes_per_block · chunk
+  size_t file_offset = 0;   // offset in the (padded) original file
+  size_t data_len = 0;      // num_chunks · chunk
+};
+
+// The segment layout of an archive, derived purely from block_bytes and
+// chunk_bytes. Throws CheckError on inconsistent geometry.
+std::vector<Segment> archive_segments(const Manifest& m, size_t num_chunks,
+                                      size_t stripes_per_block);
+
+// Default v2 segment chunk: segments of num_chunks·256 KiB of file data —
+// big enough that the batched executor runs the SIMD kernels in their wide
+// sweet spot, small enough that a pipeline holds only a few MB.
+inline constexpr size_t kDefaultChunkBytes = size_t{256} << 10;
+
 // Encodes `input` with a (k,l,g) Galloper code (weights from `perf` via the
 // LP when non-empty, uniform otherwise) and writes the archive to `dir`
 // (created if needed). Returns the manifest written. `threads` ≥ 1 selects
 // how many pool runners the coding data path uses (1 = serial; results are
 // bit-identical for any value).
+//
+// The encode is a streaming pipeline — a reader thread fills segment
+// buffers from `input`, the calling thread encodes them (on the rt pool),
+// and a writer thread appends the block pieces and folds the CRCs — so
+// memory stays O(segment) for any file size. `chunk_bytes` sets the v2
+// segment chunk (0 → kDefaultChunkBytes); files that fit one segment are
+// written in the v1 monolithic layout.
 Manifest encode_archive(const std::filesystem::path& input,
                         const std::filesystem::path& dir, size_t k, size_t l,
                         size_t g, const std::vector<double>& perf = {},
-                        int64_t resolution = 12, size_t threads = 1);
+                        int64_t resolution = 12, size_t threads = 1,
+                        size_t chunk_bytes = 0);
 
 // Reads the manifest of an archive directory.
 Manifest read_manifest(const std::filesystem::path& dir);
@@ -57,8 +104,21 @@ std::filesystem::path block_path(const std::filesystem::path& dir,
 std::optional<Buffer> decode_archive(const std::filesystem::path& dir,
                                      size_t threads = 1);
 
-// Rebuilds one missing block file in place. Returns the helper blocks
-// read; nullopt if impossible.
+// Streaming decode straight to `output` (truncated/created): segments flow
+// reader → codec → writer through bounded queues, so the decode of a
+// multi-GB archive holds O(segment) memory. Returns false (removing the
+// partial output) when the present blocks are insufficient. Bit-identical
+// to writing decode_archive()'s buffer.
+bool decode_archive_to(const std::filesystem::path& dir,
+                       const std::filesystem::path& output,
+                       size_t threads = 1);
+
+// Rebuilds one missing block file. Returns the helper blocks read; nullopt
+// if impossible. Streams segment by segment (pinning the repair plan once,
+// after checking solvability but before reading any helper bytes), writes
+// into block_NNN.bin.tmp, and renames over the target only after the
+// rebuilt bytes match the manifest CRC — a failed or interrupted repair
+// never leaves a half-written block file behind.
 std::optional<std::vector<size_t>> repair_archive(
     const std::filesystem::path& dir, size_t block, size_t threads = 1);
 
@@ -69,7 +129,11 @@ std::string describe_archive(const std::filesystem::path& dir);
 // of the ORIGINAL file inside the archive: only the block files touched by
 // the delta-parity patch are rewritten, and their manifest CRCs refreshed.
 // Requires every block file present (repair first on a degraded archive).
-// Returns the blocks rewritten.
+// Returns the blocks rewritten. Segment-aware: only the segment pieces
+// overlapping the range are loaded and patched in place, so an update
+// against a huge v2 archive reads O(affected segments), not whole blocks.
+// The range must be chunk-aligned within each segment it touches (segment
+// boundaries themselves are always aligned).
 std::vector<size_t> update_archive(const std::filesystem::path& dir,
                                    size_t offset, ConstByteSpan data,
                                    size_t threads = 1);
@@ -84,10 +148,10 @@ struct VerifyReport {
 };
 VerifyReport verify_archive(const std::filesystem::path& dir);
 
-// Human-readable snapshot of the process-wide plan-cache counters and the
-// per-path plan-vs-execute timing — what the CLI prints under --stats.
-// Covers the work done so far in THIS process (hit rate, evictions, mean
-// plan and execute times per data path).
+// Human-readable snapshot of the process-wide plan-cache counters, the
+// per-path plan-vs-execute timing, the batched-executor dispatch counters,
+// and the buffer-pool hit rate — what the CLI prints under --stats.
+// Covers the work done so far in THIS process.
 std::string format_plan_stats();
 
 }  // namespace galloper::cli

@@ -49,7 +49,9 @@ class ExecTimer {
 // row is one unit (no intra-row split needed); otherwise every row splits
 // into enough slices to feed all runners. threads == 1 degrades to a plain
 // nested loop over the same units, so serial and parallel results are
-// byte-identical by construction.
+// byte-identical by construction. Only read_range still uses this (its rows
+// are clipped to the request); the whole-row paths run through
+// CodecPlan::execute_batch.
 void for_rows_sliced(size_t rows, size_t chunk, size_t threads,
                      const std::function<void(size_t, size_t, size_t)>& body) {
   if (rows == 0 || chunk == 0) return;
@@ -360,13 +362,10 @@ std::vector<Buffer> CodecEngine::encode_impl(ConstByteSpan file,
   const CodecPlan& plan = *encode_plan_;
   const uint8_t* const bases[1] = {file.data()};
   const ExecTimer timer(PlanOp::kEncode);
-  for_rows_sliced(
-      plan.num_rows(), chunk, threads, [&](size_t r, size_t lo, size_t hi) {
-        const CodecPlan::Row& row = plan.row(r);
-        uint8_t* dst = blocks[row.out / stripes_per_block_].data() +
-                       (row.out % stripes_per_block_) * chunk + lo;
-        plan.run_row(row, dst, bases, chunk, lo, hi - lo);
-      });
+  plan.execute_batch(bases, chunk, threads, [&](const CodecPlan::Row& row) {
+    return blocks[row.out / stripes_per_block_].data() +
+           (row.out % stripes_per_block_) * chunk;
+  });
   return blocks;
 }
 
@@ -394,12 +393,10 @@ std::optional<Buffer> CodecEngine::decode_impl(
   const auto bases = bases_of(*plan, blocks);
   Buffer file(num_chunks() * chunk);  // every row written below
   const ExecTimer timer(PlanOp::kDecode);
-  for_rows_sliced(
-      plan->num_rows(), chunk, threads, [&](size_t r, size_t lo, size_t hi) {
-        const CodecPlan::Row& row = plan->row(r);
-        plan->run_row(row, file.data() + row.out * chunk + lo, bases.data(),
-                      chunk, lo, hi - lo);
-      });
+  plan->execute_batch(bases.data(), chunk, threads,
+                      [&](const CodecPlan::Row& row) {
+                        return file.data() + row.out * chunk;
+                      });
   return file;
 }
 
@@ -431,12 +428,10 @@ std::optional<Buffer> CodecEngine::decode_fast_impl(
   const auto bases = bases_of(*plan, blocks);
   Buffer file(num_chunks() * chunk);
   const ExecTimer timer(PlanOp::kDecodeFast);
-  for_rows_sliced(
-      plan->num_rows(), chunk, threads, [&](size_t r, size_t lo, size_t hi) {
-        const CodecPlan::Row& row = plan->row(r);
-        plan->run_row(row, file.data() + row.out * chunk + lo, bases.data(),
-                      chunk, lo, hi - lo);
-      });
+  plan->execute_batch(bases.data(), chunk, threads,
+                      [&](const CodecPlan::Row& row) {
+                        return file.data() + row.out * chunk;
+                      });
   return file;
 }
 
@@ -460,12 +455,10 @@ std::optional<Buffer> CodecEngine::repair_execute(
   const auto bases = bases_of(plan, helpers);
   Buffer out(stripes_per_block_ * chunk);  // every stripe written below
   const ExecTimer timer(PlanOp::kRepair);
-  for_rows_sliced(
-      plan.num_rows(), chunk, threads, [&](size_t r, size_t lo, size_t hi) {
-        const CodecPlan::Row& row = plan.row(r);
-        plan.run_row(row, out.data() + row.out * chunk + lo, bases.data(),
-                     chunk, lo, hi - lo);
-      });
+  plan.execute_batch(bases.data(), chunk, threads,
+                     [&](const CodecPlan::Row& row) {
+                       return out.data() + row.out * chunk;
+                     });
   return out;
 }
 
@@ -502,6 +495,73 @@ std::optional<Buffer> CodecEngine::repair_block_with_plan(
   size_t chunk = 0;
   (void)validate_blocks(helpers, &chunk);
   return repair_execute(plan, helpers, chunk, threads);
+}
+
+// ---- Batched forms --------------------------------------------------------
+//
+// The per-stripe implementations are already cell-size-agnostic: a batch of
+// B stripes in position-major layout IS a single "stripe" whose chunk is
+// B·c, and the bytewise GF kernels make the two readings coincide. The
+// wrappers therefore only validate the batch geometry (so a size mismatch
+// fails here, with a batch-aware message, instead of producing a misaligned
+// interleave) and delegate.
+
+std::vector<Buffer> CodecEngine::encode_batch(ConstByteSpan file, size_t batch,
+                                              size_t threads) const {
+  GALLOPER_CHECK_MSG(batch >= 1 && threads >= 1,
+                     "batch and threads must be >= 1");
+  GALLOPER_CHECK_MSG(
+      !file.empty() && file.size() % (num_chunks() * batch) == 0,
+      "batched file size " << file.size()
+                           << " must be a positive multiple of num_chunks·"
+                              "batch = "
+                           << num_chunks() * batch);
+  return encode_impl(file, threads);
+}
+
+std::optional<Buffer> CodecEngine::decode_batch(
+    const std::map<size_t, ConstByteSpan>& blocks, size_t batch,
+    size_t threads) const {
+  GALLOPER_CHECK_MSG(batch >= 1 && threads >= 1,
+                     "batch and threads must be >= 1");
+  if (blocks.empty()) return std::nullopt;
+  GALLOPER_CHECK_MSG(
+      blocks.begin()->second.size() % (stripes_per_block_ * batch) == 0,
+      "batched block size " << blocks.begin()->second.size()
+                            << " must be a multiple of stripes_per_block·"
+                               "batch = "
+                            << stripes_per_block_ * batch);
+  return decode_impl(blocks, threads);
+}
+
+std::optional<Buffer> CodecEngine::decode_fast_batch(
+    const std::map<size_t, ConstByteSpan>& blocks, size_t batch,
+    size_t threads) const {
+  GALLOPER_CHECK_MSG(batch >= 1 && threads >= 1,
+                     "batch and threads must be >= 1");
+  if (blocks.empty()) return std::nullopt;
+  GALLOPER_CHECK_MSG(
+      blocks.begin()->second.size() % (stripes_per_block_ * batch) == 0,
+      "batched block size " << blocks.begin()->second.size()
+                            << " must be a multiple of stripes_per_block·"
+                               "batch = "
+                            << stripes_per_block_ * batch);
+  return decode_fast_impl(blocks, threads);
+}
+
+std::optional<Buffer> CodecEngine::repair_block_batch(
+    size_t failed, const std::map<size_t, ConstByteSpan>& helpers,
+    size_t batch, size_t threads) const {
+  GALLOPER_CHECK_MSG(batch >= 1 && threads >= 1,
+                     "batch and threads must be >= 1");
+  if (helpers.empty()) return std::nullopt;
+  GALLOPER_CHECK_MSG(
+      helpers.begin()->second.size() % (stripes_per_block_ * batch) == 0,
+      "batched helper size " << helpers.begin()->second.size()
+                             << " must be a multiple of stripes_per_block·"
+                                "batch = "
+                             << stripes_per_block_ * batch);
+  return repair_block_impl(failed, helpers, threads);
 }
 
 // ---- Ranged read ----------------------------------------------------------

@@ -119,6 +119,38 @@ class CodecEngine {
                                             ConstByteSpan new_data,
                                             size_t threads) const;
 
+  // ---- Batched (multi-stripe) forms ---------------------------------------
+
+  // Each *_batch form runs ONE compiled plan over `batch` logically
+  // independent stripes at once. Inputs and outputs use the position-major
+  // layout of util/bytes.h interleave_stripes: the file (for encode/decode)
+  // holds, per chunk index, the chunk of stripe 0 then stripe 1 … then
+  // stripe B-1 contiguously; blocks likewise per stripe position. Because
+  // the GF region kernels are bytewise, the results are BIT-IDENTICAL to
+  // calling the per-stripe form `batch` times on the deinterleaved data —
+  // but every fused kernel call covers batch·chunk contiguous bytes, so at
+  // small chunk sizes the per-call fixed costs (validation, plan lookup,
+  // span setup, dispatch) amortize over the whole batch and the kernels run
+  // in their wide-region sweet spot. batch == 1 is exactly the plain form.
+
+  // `file` holds num_chunks()·batch·c bytes (position-major); returns
+  // blocks of stripes_per_block()·batch·c bytes each (position-major).
+  std::vector<Buffer> encode_batch(ConstByteSpan file, size_t batch,
+                                   size_t threads = 1) const;
+  // Blocks are position-major with cell = batch·c; the returned file is
+  // position-major (deinterleave with cell_bytes = c to recover stripes).
+  std::optional<Buffer> decode_batch(
+      const std::map<size_t, ConstByteSpan>& blocks, size_t batch,
+      size_t threads = 1) const;
+  std::optional<Buffer> decode_fast_batch(
+      const std::map<size_t, ConstByteSpan>& blocks, size_t batch,
+      size_t threads = 1) const;
+  // Rebuilds `failed` for all `batch` stripes at once from position-major
+  // helper blocks; the result is the failed block in position-major layout.
+  std::optional<Buffer> repair_block_batch(
+      size_t failed, const std::map<size_t, ConstByteSpan>& helpers,
+      size_t batch, size_t threads = 1) const;
+
   // ---- Plans (pattern-compiled schedules) -------------------------------
 
   // Every data path above runs in two phases: PLAN (Gaussian elimination +
@@ -183,8 +215,8 @@ class CodecEngine {
   // sorted ids + chunk size.
   std::vector<size_t> validate_blocks(
       const std::map<size_t, ConstByteSpan>& blocks, size_t* chunk) const;
-  // Executes plan rows r in [0, plan.num_rows()) with for_rows_sliced;
-  // dst_of(row) gives the output base pointer for a row's chunk.
+  // Executes plan rows r in [0, plan.num_rows()) via
+  // CodecPlan::execute_batch into a freshly allocated block buffer.
   std::optional<Buffer> repair_execute(
       const CodecPlan& plan, const std::map<size_t, ConstByteSpan>& helpers,
       size_t chunk, size_t threads) const;

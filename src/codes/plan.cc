@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstdlib>
 
 #include "gf/region.h"
+#include "rt/pool.h"
+#include "rt/slicer.h"
 #include "util/check.h"
 
 namespace galloper::codes {
@@ -64,6 +67,76 @@ void CodecPlan::run_row(const Row& row, uint8_t* dst,
       ByteSpan(dst, len),
       std::span<const gf::Elem>(coeffs_.data() + row.begin, nterms),
       srcs.data(), nterms);
+}
+
+namespace {
+
+struct BatchCounters {
+  std::atomic<uint64_t> calls{0};
+  std::atomic<uint64_t> rows{0};
+  std::atomic<uint64_t> bytes{0};
+  std::atomic<uint64_t> ns{0};
+};
+
+BatchCounters& batch_counters() {
+  static BatchCounters counters;
+  return counters;
+}
+
+}  // namespace
+
+void CodecPlan::execute_batch(
+    const uint8_t* const* bases, size_t cell, size_t threads,
+    const std::function<uint8_t*(const Row&)>& dst_of) const {
+  if (rows_.empty() || cell == 0) return;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const size_t nrows = rows_.size();
+  // Tiles per row: enough to keep every runner busy when there are fewer
+  // rows than runners, never a kernel call wider than kExecTile, and —
+  // the locality bound — small enough that one tile's worth of EVERY
+  // source fits in L2 together. Units run slice-major (all rows of tile 0,
+  // then all rows of tile 1, …): rows of a combo-heavy plan largely read
+  // the same source cells, so each tile's sources are pulled from memory
+  // once and served from cache for the remaining rows, instead of every
+  // row re-streaming the whole cell. A whole-cell tile stays one fused
+  // kernel call — the common case for per-stripe chunks.
+  size_t max_srcs = 1;
+  for (const Row& r : rows_)
+    if (r.copy_slot < 0)
+      max_srcs = std::max(max_srcs, static_cast<size_t>(r.end - r.begin));
+  const size_t tile =
+      std::min(kExecTile, std::max(kExecSourceBudget / (max_srcs + 1),
+                                   size_t{4} << 10));
+  size_t per_row = (cell + tile - 1) / tile;
+  if (threads > nrows)
+    per_row = std::max(per_row, (threads + nrows - 1) / nrows);
+  const std::vector<rt::SliceRange> slices =
+      rt::slice_ranges(cell, per_row, rt::kCacheLine);
+  const size_t nslices = slices.size();
+
+  const auto run_unit = [&](size_t u) {
+    const Row& row = rows_[u % nrows];
+    const rt::SliceRange s = slices[u / nrows];
+    run_row(row, dst_of(row) + s.lo, bases, cell, s.lo, s.hi - s.lo);
+  };
+  const size_t units = nrows * nslices;
+  if (threads <= 1 || units <= 1) {
+    for (size_t u = 0; u < units; ++u) run_unit(u);
+  } else {
+    rt::parallel_for(rt::ThreadPool::global(), units, threads, run_unit);
+  }
+
+  BatchCounters& c = batch_counters();
+  c.calls.fetch_add(1, std::memory_order_relaxed);
+  c.rows.fetch_add(nrows, std::memory_order_relaxed);
+  c.bytes.fetch_add(static_cast<uint64_t>(nrows) * cell,
+                    std::memory_order_relaxed);
+  c.ns.fetch_add(static_cast<uint64_t>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count()),
+                 std::memory_order_relaxed);
 }
 
 // ---- PlanCache ------------------------------------------------------------
@@ -222,6 +295,24 @@ void reset_plan_op_stats() {
     c.exec_ns.store(0, std::memory_order_relaxed);
     c.execs.store(0, std::memory_order_relaxed);
   }
+}
+
+BatchExecStats batch_exec_stats() {
+  const BatchCounters& c = batch_counters();
+  BatchExecStats st;
+  st.calls = c.calls.load(std::memory_order_relaxed);
+  st.rows = c.rows.load(std::memory_order_relaxed);
+  st.bytes = c.bytes.load(std::memory_order_relaxed);
+  st.ns = c.ns.load(std::memory_order_relaxed);
+  return st;
+}
+
+void reset_batch_exec_stats() {
+  BatchCounters& c = batch_counters();
+  c.calls.store(0, std::memory_order_relaxed);
+  c.rows.store(0, std::memory_order_relaxed);
+  c.bytes.store(0, std::memory_order_relaxed);
+  c.ns.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace galloper::codes

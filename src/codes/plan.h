@@ -23,6 +23,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -109,6 +110,34 @@ class CodecPlan {
   void run_row(const Row& row, uint8_t* dst, const uint8_t* const* bases,
                size_t chunk, size_t src_off, size_t len) const;
 
+  // Work-unit byte cap for execute_batch: rows split into tiles of at most
+  // this many bytes, so a huge cell still load-balances across pool
+  // runners.
+  static constexpr size_t kExecTile = 256 * 1024;
+  // Cache budget for one tile's source working set: the tile shrinks below
+  // kExecTile until (max sources per row + 1) · tile fits this budget, and
+  // units run slice-major, so a tile's sources are fetched once and reused
+  // by every row instead of each row streaming the whole cell from memory.
+  static constexpr size_t kExecSourceBudget = size_t{512} << 10;
+
+  // Executes EVERY row of the plan over cells of `cell` bytes, fanning
+  // rows × cache-line-aligned tiles (≤ kExecTile bytes each) over the
+  // rt:: work-stealing pool. dst_of(row) returns the base pointer of that
+  // row's output cell; sources address as bases[slot] + pos·cell + offset.
+  //
+  // This is THE batched execution layer: a batch of B stripes of chunk c
+  // is one execute_batch call with cell = B·c over position-major buffers
+  // (util/bytes.h interleave_stripes) — each fused mul_region_multi call
+  // then covers up to kExecTile contiguous bytes of B stripes instead of
+  // B per-stripe calls of c bytes, which is where the SIMD kernels' 64 KiB
+  // sweet spot lives. Because the GF kernels are bytewise, the result is
+  // bit-identical to executing each stripe alone, for any cell/batch/
+  // thread count. All engine data paths (batch of 1 included) route
+  // through here; threads == 1 degrades to a plain serial loop over the
+  // same tiles. Rows must all be solvable (checked by callers).
+  void execute_batch(const uint8_t* const* bases, size_t cell, size_t threads,
+                     const std::function<uint8_t*(const Row&)>& dst_of) const;
+
  private:
   friend class CodecEngine;  // sole builder
 
@@ -194,5 +223,20 @@ PlanOpStats plan_op_stats(PlanOp op);
 void record_plan_time(PlanOp op, uint64_t ns);
 void record_exec_time(PlanOp op, uint64_t ns);
 void reset_plan_op_stats();
+
+// Batched-execution accounting (process-wide, monotone): every
+// execute_batch call records how many plan rows it dispatched and how many
+// output bytes it wrote. calls vs rows shows the fan-in (rows per kernel
+// dispatch round); bytes/ns is the executor's aggregate throughput. The
+// CLI prints these under --stats.
+struct BatchExecStats {
+  uint64_t calls = 0;  // execute_batch invocations
+  uint64_t rows = 0;   // plan rows executed
+  uint64_t bytes = 0;  // output bytes written
+  uint64_t ns = 0;     // wall time inside execute_batch
+};
+
+BatchExecStats batch_exec_stats();
+void reset_batch_exec_stats();
 
 }  // namespace galloper::codes

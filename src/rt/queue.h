@@ -1,0 +1,84 @@
+// Bounded producer/consumer queue for the streaming archive pipeline.
+//
+// The CLI's encode/decode/repair paths run as read → codec → write stages
+// connected by these queues, so a multi-GB file flows through in O(queue
+// capacity) segments of memory instead of being slurped whole. The I/O
+// stages run on DEDICATED std::threads, never as ThreadPool tasks: the
+// codec stage fans its byte work out on the pool, and on a small (or
+// one-worker) pool a reader and writer parked in pool deques would occupy
+// every worker while blocked on a full/empty queue — a deadlock the
+// dedicated threads make structurally impossible. Blocking on a condition
+// variable is exactly right for these stages anyway: they are I/O-bound
+// and should sleep, not spin or steal.
+//
+// close() is the shutdown/error signal in both directions: producers see
+// push() return false, consumers drain the remaining items and then get
+// nullopt. A failing stage closes every queue it touches so its peers
+// unblock, records its exception, and the pipeline driver rethrows after
+// joining.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+
+namespace galloper::rt {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    GALLOPER_CHECK(capacity_ > 0);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks while the queue is full. Returns false — dropping `item` — once
+  // the queue is closed; producers use this to stop early when the
+  // consumer side aborts.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while the queue is empty. After close(), remaining items still
+  // drain in FIFO order; then nullopt signals end-of-stream.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Idempotent; wakes every blocked producer and consumer.
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace galloper::rt

@@ -96,7 +96,9 @@ class FileStore {
   };
   // Recomputes every stored block's CRC-32C against the checksum recorded
   // at write time. Mismatching blocks are reported and (when `quarantine`)
-  // dropped, so a subsequent RecoveryManager pass rebuilds them.
+  // dropped, so a subsequent RecoveryManager pass rebuilds them. The CRC
+  // pass fans out over the rt pool (one job per stored block); the report
+  // order and quarantine effect are identical to a serial scan.
   std::vector<CorruptBlock> scrub(bool quarantine = true);
 
  private:

@@ -1,0 +1,219 @@
+#include "util/buffer_pool.h"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <new>
+#include <string>
+#include <vector>
+
+namespace galloper::util {
+
+namespace {
+
+constexpr size_t kMinShift = 12;  // log2(kMinPooled)
+constexpr size_t kMaxShift = 26;  // log2(kMaxPooled)
+constexpr size_t kClasses = kMaxShift - kMinShift + 1;
+
+// Freelist depth per class: small for the thread-local layer (a pipeline
+// stage reuses at most a couple of buffers per class), larger for the
+// shared layer (it absorbs the cross-thread producer/consumer flow).
+constexpr size_t kThreadSlots = 4;
+constexpr size_t kSharedSlots = 16;
+
+void* heap_alloc(size_t bytes, bool aligned) {
+  return aligned ? ::operator new(bytes, std::align_val_t{64})
+                 : ::operator new(bytes);
+}
+
+void heap_free(void* p, bool aligned) noexcept {
+  if (aligned)
+    ::operator delete(p, std::align_val_t{64});
+  else
+    ::operator delete(p);
+}
+
+// Relaxed-CAS high-water update; allocation rate is low (pooled buffers
+// are KiB-to-MiB sized), so the loop never spins in practice.
+void update_peak(std::atomic<uint64_t>& peak, uint64_t value) {
+  uint64_t seen = peak.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !peak.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+// Set by ThreadCache's destructor. A trivially-destructible thread_local is
+// never torn down, so this stays readable after the cache is gone — late
+// deallocations (static-lifetime Buffers) then go straight to the shared
+// layer instead of touching a dead cache.
+thread_local bool tls_cache_dead = false;
+
+}  // namespace
+
+size_t BufferPool::class_of(size_t bytes) {
+  if (bytes < kMinPooled || bytes > kMaxPooled) return SIZE_MAX;
+  const size_t width = std::bit_width(bytes - 1);
+  return (width < kMinShift ? kMinShift : width) - kMinShift;
+}
+
+size_t BufferPool::class_bytes(size_t cls) {
+  return size_t{1} << (kMinShift + cls);
+}
+
+struct BufferPool::Shared {
+  struct Class {
+    std::mutex mu;
+    std::vector<void*> free;
+  };
+  Class classes[kClasses];
+};
+
+struct BufferPool::ThreadCache {
+  explicit ThreadCache(BufferPool& p) : pool(p) {}
+  ~ThreadCache() {
+    for (size_t c = 0; c < kClasses; ++c)
+      for (size_t i = 0; i < count[c]; ++i) pool.to_shared(c, slots[c][i]);
+    tls_cache_dead = true;
+  }
+
+  BufferPool& pool;
+  void* slots[kClasses][kThreadSlots];
+  size_t count[kClasses] = {};
+};
+
+BufferPool::BufferPool(bool enabled)
+    : enabled_(enabled), shared_(new Shared) {}
+
+BufferPool& BufferPool::global() {
+  static BufferPool* pool = [] {
+    bool enabled = true;
+    if (const char* env = std::getenv("GALLOPER_BUFFER_POOL")) {
+      const std::string v(env);
+      enabled = !(v == "off" || v == "OFF" || v == "0");
+    }
+    return new BufferPool(enabled);  // leaked: lives for the process
+  }();
+  return *pool;
+}
+
+BufferPool::ThreadCache* BufferPool::thread_cache() {
+  if (tls_cache_dead) return nullptr;
+  thread_local ThreadCache cache(*this);
+  return &cache;
+}
+
+void* BufferPool::from_shared(size_t cls) {
+  Shared::Class& sc = shared_->classes[cls];
+  std::lock_guard<std::mutex> lock(sc.mu);
+  if (sc.free.empty()) return nullptr;
+  void* p = sc.free.back();
+  sc.free.pop_back();
+  return p;
+}
+
+void BufferPool::to_shared(size_t cls, void* p) noexcept {
+  {
+    Shared::Class& sc = shared_->classes[cls];
+    std::lock_guard<std::mutex> lock(sc.mu);
+    if (sc.free.size() < kSharedSlots) {
+      sc.free.push_back(p);
+      return;
+    }
+  }
+  cached_.fetch_sub(class_bytes(cls), std::memory_order_relaxed);
+  heap_free(p, true);
+}
+
+void* BufferPool::allocate(size_t bytes) {
+  const size_t cls = class_of(bytes);
+  if (cls == SIZE_MAX) {
+    bypass_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t out =
+        outstanding_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    update_peak(peak_outstanding_, out);
+    return heap_alloc(bytes, bytes > kMaxPooled);
+  }
+
+  const size_t sz = class_bytes(cls);
+  const uint64_t out =
+      outstanding_.fetch_add(sz, std::memory_order_relaxed) + sz;
+  update_peak(peak_outstanding_, out);
+
+  if (enabled_) {
+    if (ThreadCache* tc = thread_cache(); tc && tc->count[cls] > 0) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      cached_.fetch_sub(sz, std::memory_order_relaxed);
+      return tc->slots[cls][--tc->count[cls]];
+    }
+    if (void* p = from_shared(cls)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      cached_.fetch_sub(sz, std::memory_order_relaxed);
+      return p;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return heap_alloc(sz, true);
+}
+
+void BufferPool::deallocate(void* p, size_t bytes) noexcept {
+  if (p == nullptr) return;
+  const size_t cls = class_of(bytes);
+  if (cls == SIZE_MAX) {
+    outstanding_.fetch_sub(bytes, std::memory_order_relaxed);
+    heap_free(p, bytes > kMaxPooled);
+    return;
+  }
+
+  const size_t sz = class_bytes(cls);
+  outstanding_.fetch_sub(sz, std::memory_order_relaxed);
+  if (!enabled_) {
+    heap_free(p, true);
+    return;
+  }
+  cached_.fetch_add(sz, std::memory_order_relaxed);
+  if (ThreadCache* tc = thread_cache(); tc && tc->count[cls] < kThreadSlots) {
+    tc->slots[cls][tc->count[cls]++] = p;
+    return;
+  }
+  to_shared(cls, p);
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats st;
+  st.hits = hits_.load(std::memory_order_relaxed);
+  st.misses = misses_.load(std::memory_order_relaxed);
+  st.bypass = bypass_.load(std::memory_order_relaxed);
+  st.outstanding_bytes = outstanding_.load(std::memory_order_relaxed);
+  st.peak_outstanding_bytes = peak_outstanding_.load(std::memory_order_relaxed);
+  st.cached_bytes = cached_.load(std::memory_order_relaxed);
+  return st;
+}
+
+void BufferPool::trim() {
+  if (ThreadCache* tc = thread_cache()) {
+    for (size_t c = 0; c < kClasses; ++c) {
+      for (size_t i = 0; i < tc->count[c]; ++i) {
+        cached_.fetch_sub(class_bytes(c), std::memory_order_relaxed);
+        heap_free(tc->slots[c][i], true);
+      }
+      tc->count[c] = 0;
+    }
+  }
+  for (size_t c = 0; c < kClasses; ++c) {
+    Shared::Class& sc = shared_->classes[c];
+    std::lock_guard<std::mutex> lock(sc.mu);
+    for (void* p : sc.free) {
+      cached_.fetch_sub(class_bytes(c), std::memory_order_relaxed);
+      heap_free(p, true);
+    }
+    sc.free.clear();
+  }
+}
+
+void BufferPool::reset_peak() {
+  peak_outstanding_.store(outstanding_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+}
+
+}  // namespace galloper::util

@@ -1,0 +1,140 @@
+// BufferPool: a size-class-binned recycling allocator for the codec's
+// bulk byte buffers.
+//
+// Every data path allocates output buffers per call (encode: n blocks,
+// decode: one file, the streaming archive pipeline: one segment + n block
+// pieces per queue slot). At small chunk sizes those allocations are the
+// same handful of sizes over and over, and the general-purpose heap both
+// charges its bookkeeping on every call and hands back cold, arbitrarily
+// aligned pages. The pool keeps freed buffers binned by power-of-two size
+// class — first in a small thread-local freelist (no lock, LIFO so the
+// hottest buffer comes back first), then in a mutex-guarded shared list
+// per class (so a pipeline whose producer allocates on one thread and
+// whose consumer frees on another still recycles instead of churning the
+// heap). All pooled memory is 64-byte aligned, matching the SIMD kernels'
+// cache-line slicing.
+//
+// Integration is by allocator, not by handle type: `Buffer` (util/bytes.h)
+// routes its allocations here, so CodecEngine, FileStore, the plan
+// executor, and the CLI pipeline are pool-backed without any call-site
+// changes. Allocations outside [kMinPooled, kMaxPooled] bypass the pool
+// (tiny test buffers, giant whole-file slurps).
+//
+// GALLOPER_BUFFER_POOL=off|0 disables recycling (every allocation goes to
+// the heap — the pre-pool behavior, kept reachable for benchmarking);
+// accounting stays on either way so the memory-bound tests and CLI --stats
+// can always read outstanding/peak bytes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace galloper::util {
+
+struct BufferPoolStats {
+  uint64_t hits = 0;          // pooled allocations served from a freelist
+  uint64_t misses = 0;        // pooled allocations that went to the heap
+  uint64_t bypass = 0;        // out-of-range allocations (never pooled)
+  uint64_t outstanding_bytes = 0;       // live (allocated, not yet freed)
+  uint64_t peak_outstanding_bytes = 0;  // high-water mark of the above
+  uint64_t cached_bytes = 0;  // freed bytes resident in freelists
+
+  double hit_rate() const {
+    const uint64_t lookups = hits + misses;
+    return lookups ? static_cast<double>(hits) / static_cast<double>(lookups)
+                   : 0.0;
+  }
+};
+
+class BufferPool {
+ public:
+  // Alignment of every pooled allocation (cache line: the rt slicer hands
+  // out 64-byte-granular ranges, so aligned bases keep slice boundaries on
+  // line boundaries).
+  static constexpr size_t kAlignment = 64;
+  // Pooled size-class range: [4 KiB, 64 MiB], powers of two. Below, the
+  // heap is already cheap; above, caching would pin too much memory.
+  static constexpr size_t kMinPooled = size_t{4} << 10;
+  static constexpr size_t kMaxPooled = size_t{64} << 20;
+
+  // The process-wide pool every Buffer allocates through. First use reads
+  // GALLOPER_BUFFER_POOL ("off"/"0" disables recycling).
+  static BufferPool& global();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Uninitialized storage for `bytes` bytes (rounded up to the size class;
+  // 64-byte aligned when bytes >= kMinPooled). Never returns nullptr
+  // (throws std::bad_alloc like operator new).
+  void* allocate(size_t bytes);
+  // Returns storage from allocate(). `bytes` must be the requested size.
+  void deallocate(void* p, size_t bytes) noexcept;
+
+  bool enabled() const { return enabled_; }
+  BufferPoolStats stats() const;
+
+  // Frees every buffer cached in the shared freelists and the CALLING
+  // thread's local freelist (other threads' caches are untouchable without
+  // stopping them). Outstanding buffers are unaffected.
+  void trim();
+
+  // Resets the peak-outstanding high-water mark to the current outstanding
+  // level, so a caller can measure the peak of one operation.
+  void reset_peak();
+
+  // The size class an allocation of `bytes` lands in (bytes rounded up to
+  // the next power of two), or SIZE_MAX when out of pooled range. Exposed
+  // for tests.
+  static size_t class_of(size_t bytes);
+  static size_t class_bytes(size_t cls);
+
+ private:
+  explicit BufferPool(bool enabled);
+  ~BufferPool() = delete;  // global() leaks it: lives for the process
+
+  struct Shared;
+  struct ThreadCache;
+  ThreadCache* thread_cache();
+
+  void* from_shared(size_t cls);
+  // Takes ownership of `p` (class `cls`); frees it if the list is full.
+  void to_shared(size_t cls, void* p) noexcept;
+
+  const bool enabled_;
+  Shared* shared_;  // per-class mutex-guarded freelists
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> bypass_{0};
+  std::atomic<uint64_t> outstanding_{0};
+  std::atomic<uint64_t> peak_outstanding_{0};
+  std::atomic<uint64_t> cached_{0};
+};
+
+// Minimal allocator adapter: routes std::vector storage through the global
+// BufferPool. Stateless — all instances are interchangeable.
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  PoolAllocator() = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(BufferPool::global().allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t n) noexcept {
+    BufferPool::global().deallocate(p, n * sizeof(T));
+  }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace galloper::util

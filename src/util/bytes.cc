@@ -1,5 +1,7 @@
 #include "util/bytes.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace galloper {
@@ -42,6 +44,45 @@ Buffer concat(const std::vector<ConstByteSpan>& pieces) {
   Buffer out;
   out.reserve(total);
   for (const auto& p : pieces) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+Buffer interleave_stripes(const std::vector<ConstByteSpan>& stripes,
+                          size_t cell_bytes) {
+  GALLOPER_CHECK(!stripes.empty() && cell_bytes > 0);
+  const size_t stripe_size = stripes[0].size();
+  GALLOPER_CHECK_MSG(stripe_size % cell_bytes == 0,
+                     "stripe size " << stripe_size
+                                    << " not a whole number of cells");
+  const size_t cells = stripe_size / cell_bytes;
+  const size_t batch = stripes.size();
+  for (const auto& s : stripes)
+    GALLOPER_CHECK_MSG(s.size() == stripe_size, "stripes of unequal size");
+  Buffer out(batch * stripe_size);
+  for (size_t j = 0; j < cells; ++j)
+    for (size_t i = 0; i < batch; ++i)
+      std::copy_n(stripes[i].data() + j * cell_bytes, cell_bytes,
+                  out.data() + (j * batch + i) * cell_bytes);
+  return out;
+}
+
+std::vector<Buffer> deinterleave_stripes(ConstByteSpan batched, size_t batch,
+                                         size_t cell_bytes) {
+  GALLOPER_CHECK(batch > 0 && cell_bytes > 0);
+  GALLOPER_CHECK_MSG(batched.size() % (batch * cell_bytes) == 0,
+                     "batched size " << batched.size()
+                                     << " not a whole number of "
+                                     << batch << "-stripe cells");
+  const size_t cells = batched.size() / (batch * cell_bytes);
+  std::vector<Buffer> out;
+  out.reserve(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    Buffer stripe(cells * cell_bytes);
+    for (size_t j = 0; j < cells; ++j)
+      std::copy_n(batched.data() + (j * batch + i) * cell_bytes, cell_bytes,
+                  stripe.data() + j * cell_bytes);
+    out.push_back(std::move(stripe));
+  }
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "util/buffer_pool.h"
 #include "util/rng.h"
 
 namespace galloper {
@@ -48,7 +49,14 @@ class DefaultInitAllocator : public A {
 
 // NOTE: Buffer(n) and resize(n) leave the bytes INDETERMINATE (see
 // DefaultInitAllocator above); use Buffer(n, 0) when zeroed contents matter.
-using Buffer = std::vector<uint8_t, detail::DefaultInitAllocator<uint8_t>>;
+// Storage comes from the process-wide util::BufferPool (size-class-binned
+// recycling, 64-byte aligned for pooled sizes), so the per-call output
+// buffers of every codec data path and the streaming archive pipeline's
+// queue slots are recycled instead of heap-churned. GALLOPER_BUFFER_POOL=off
+// restores plain heap allocation.
+using Buffer =
+    std::vector<uint8_t, detail::DefaultInitAllocator<
+                             uint8_t, util::PoolAllocator<uint8_t>>>;
 
 // A non-owning view pair used by coding kernels.
 using ByteSpan = std::span<uint8_t>;
@@ -68,5 +76,25 @@ Buffer concat(const std::vector<ConstByteSpan>& pieces);
 
 // FNV-1a 64-bit hash, used to fingerprint buffers in tests and examples.
 uint64_t fingerprint(ConstByteSpan data);
+
+// ---- Batched (position-major) stripe layout ------------------------------
+//
+// The batched codec paths pack B logical stripes into one buffer whose unit
+// is the CELL: cell j holds stripe 0's j-th piece, then stripe 1's, ...,
+// stripe B-1's, contiguously (B·cell_bytes per cell). Because the GF region
+// kernels are bytewise, executing a plan over cells of B·chunk bytes is
+// bit-identical to executing it B times over the individual stripes — these
+// helpers convert between the two layouts for tests, benches, and callers
+// that hold per-stripe data.
+
+// Interleaves equal-sized stripes (each a whole number of `cell_bytes`
+// pieces) into one batched buffer of stripes.size()·stripe_size bytes.
+Buffer interleave_stripes(const std::vector<ConstByteSpan>& stripes,
+                          size_t cell_bytes);
+
+// Inverse of interleave_stripes: splits a batched buffer back into `batch`
+// per-stripe buffers.
+std::vector<Buffer> deinterleave_stripes(ConstByteSpan batched, size_t batch,
+                                         size_t cell_bytes);
 
 }  // namespace galloper

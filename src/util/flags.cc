@@ -6,13 +6,19 @@
 
 namespace galloper {
 
-Flags::Flags(int argc, const char* const* argv) {
+Flags::Flags(int argc, const char* const* argv,
+             std::set<std::string> boolean_flags)
+    : boolean_flags_(std::move(boolean_flags)) {
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
   parse(args);
 }
 
-Flags::Flags(const std::vector<std::string>& args) { parse(args); }
+Flags::Flags(const std::vector<std::string>& args,
+             std::set<std::string> boolean_flags)
+    : boolean_flags_(std::move(boolean_flags)) {
+  parse(args);
+}
 
 void Flags::parse(const std::vector<std::string>& args) {
   bool flags_done = false;
@@ -33,7 +39,10 @@ void Flags::parse(const std::vector<std::string>& args) {
       continue;
     }
     // --name value (if the next token isn't a flag), else boolean --name.
-    if (i + 1 < args.size() && args[i + 1].compare(0, 2, "--") != 0) {
+    // Registered boolean flags never consume the next token, so
+    // "--stats <positional>" keeps the positional.
+    if (boolean_flags_.count(body) == 0 && i + 1 < args.size() &&
+        args[i + 1].compare(0, 2, "--") != 0) {
       values_[body] = args[++i];
     } else {
       values_[body] = "true";

@@ -1,11 +1,17 @@
 // Minimal command-line flag parsing for the CLI tool.
 // Supports --name=value, --name value, boolean --name, and positionals;
 // "--" ends flag parsing.
+//
+// The bare "--name value" form is ambiguous for boolean flags whose next
+// token is a positional ("--stats file.bin" would swallow the file), so
+// callers may pass the names of their boolean flags: those never consume
+// the following token.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -13,8 +19,10 @@ namespace galloper {
 
 class Flags {
  public:
-  Flags(int argc, const char* const* argv);  // argv[0] is skipped
-  explicit Flags(const std::vector<std::string>& args);  // no program name
+  Flags(int argc, const char* const* argv,  // argv[0] is skipped
+        std::set<std::string> boolean_flags = {});
+  explicit Flags(const std::vector<std::string>& args,  // no program name
+                 std::set<std::string> boolean_flags = {});
 
   const std::vector<std::string>& positional() const { return positional_; }
 
@@ -31,6 +39,7 @@ class Flags {
  private:
   void parse(const std::vector<std::string>& args);
 
+  std::set<std::string> boolean_flags_;
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
 };

@@ -1,0 +1,129 @@
+// BufferPool tests: size-class mapping, recycling (thread-local LIFO and
+// cross-thread via the shared lists), outstanding/peak accounting, bypass
+// for out-of-range sizes, trim, and alignment. The pool is process-global
+// and its counters monotone, so every assertion is delta-based.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "util/buffer_pool.h"
+#include "util/bytes.h"
+
+namespace galloper::util {
+namespace {
+
+using Pool = BufferPool;
+
+TEST(BufferPoolClasses, BoundariesAndRounding) {
+  EXPECT_EQ(Pool::class_of(0), SIZE_MAX);
+  EXPECT_EQ(Pool::class_of(Pool::kMinPooled - 1), SIZE_MAX);
+  EXPECT_EQ(Pool::class_of(Pool::kMinPooled), 0u);
+  EXPECT_EQ(Pool::class_of(Pool::kMinPooled + 1), 1u);
+  EXPECT_EQ(Pool::class_of(2 * Pool::kMinPooled), 1u);
+  EXPECT_NE(Pool::class_of(Pool::kMaxPooled), SIZE_MAX);
+  EXPECT_EQ(Pool::class_of(Pool::kMaxPooled + 1), SIZE_MAX);
+  // class_bytes is the inverse upper bound: the class holds its own size.
+  const size_t cls = Pool::class_of(Pool::kMinPooled + 1);
+  EXPECT_EQ(Pool::class_bytes(cls), 2 * Pool::kMinPooled);
+  EXPECT_EQ(Pool::class_of(Pool::class_bytes(cls)), cls);
+}
+
+TEST(BufferPool, PooledAllocationsAreAligned) {
+  Pool& pool = Pool::global();
+  void* p = pool.allocate(Pool::kMinPooled + 7);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % Pool::kAlignment, 0u);
+  pool.deallocate(p, Pool::kMinPooled + 7);
+}
+
+TEST(BufferPool, OutstandingAndPeakTrackLiveBytes) {
+  Pool& pool = Pool::global();
+  pool.reset_peak();
+  const BufferPoolStats before = pool.stats();
+  const size_t bytes = 3 * Pool::kMinPooled;  // rounds to 4 · kMinPooled
+  void* p = pool.allocate(bytes);
+  const BufferPoolStats live = pool.stats();
+  EXPECT_GE(live.outstanding_bytes, before.outstanding_bytes + bytes);
+  EXPECT_GE(live.peak_outstanding_bytes,
+            before.outstanding_bytes + bytes);
+  pool.deallocate(p, bytes);
+  const BufferPoolStats after = pool.stats();
+  EXPECT_EQ(after.outstanding_bytes, before.outstanding_bytes);
+  // Peak holds the high-water mark until the next reset.
+  EXPECT_EQ(after.peak_outstanding_bytes, live.peak_outstanding_bytes);
+  pool.reset_peak();
+  EXPECT_LT(pool.stats().peak_outstanding_bytes,
+            live.peak_outstanding_bytes);
+}
+
+TEST(BufferPool, RecyclesSameThreadLifo) {
+  Pool& pool = Pool::global();
+  if (!pool.enabled()) GTEST_SKIP() << "GALLOPER_BUFFER_POOL=off";
+  const size_t bytes = Pool::kMinPooled;
+  void* p = pool.allocate(bytes);
+  std::memset(p, 0xab, bytes);  // recycled storage may be dirty: that's fine
+  pool.deallocate(p, bytes);
+  const uint64_t hits_before = pool.stats().hits;
+  void* q = pool.allocate(bytes);
+  EXPECT_EQ(q, p);  // LIFO: the hottest buffer comes back first
+  EXPECT_EQ(pool.stats().hits, hits_before + 1);
+  pool.deallocate(q, bytes);
+}
+
+TEST(BufferPool, BypassesOutOfRangeSizes) {
+  Pool& pool = Pool::global();
+  const BufferPoolStats before = pool.stats();
+  void* small = pool.allocate(64);
+  pool.deallocate(small, 64);
+  const BufferPoolStats after = pool.stats();
+  EXPECT_EQ(after.bypass, before.bypass + 1);
+  EXPECT_EQ(after.hits + after.misses, before.hits + before.misses);
+}
+
+TEST(BufferPool, TrimDrainsCachedBytes) {
+  Pool& pool = Pool::global();
+  if (!pool.enabled()) GTEST_SKIP() << "GALLOPER_BUFFER_POOL=off";
+  // Overflow the 4-slot thread cache so some buffers land in the shared
+  // list too; trim must drain both for the calling thread.
+  constexpr size_t kN = 8;
+  const size_t bytes = 2 * Pool::kMinPooled;
+  void* ps[kN];
+  for (size_t i = 0; i < kN; ++i) ps[i] = pool.allocate(bytes);
+  for (size_t i = 0; i < kN; ++i) pool.deallocate(ps[i], bytes);
+  EXPECT_GE(pool.stats().cached_bytes, kN * 2 * Pool::kMinPooled);
+  pool.trim();
+  EXPECT_EQ(pool.stats().cached_bytes, 0u);
+}
+
+TEST(BufferPool, CrossThreadFreeRecyclesThroughSharedList) {
+  Pool& pool = Pool::global();
+  if (!pool.enabled()) GTEST_SKIP() << "GALLOPER_BUFFER_POOL=off";
+  pool.trim();
+  const size_t bytes = 4 * Pool::kMinPooled;
+  // Allocate here, free on another thread: the buffer must flow back via
+  // the shared per-class list when this thread allocates again.
+  void* p = pool.allocate(bytes);
+  std::thread([&] { pool.deallocate(p, bytes); }).join();
+  const uint64_t hits_before = pool.stats().hits;
+  void* q = pool.allocate(bytes);
+  EXPECT_EQ(pool.stats().hits, hits_before + 1);
+  pool.deallocate(q, bytes);
+  pool.trim();
+}
+
+TEST(BufferPool, BacksBufferAllocations) {
+  Pool& pool = Pool::global();
+  const BufferPoolStats before = pool.stats();
+  {
+    Buffer b(8 * Pool::kMinPooled);
+    const BufferPoolStats live = pool.stats();
+    EXPECT_GE(live.outstanding_bytes,
+              before.outstanding_bytes + 8 * Pool::kMinPooled);
+  }
+  EXPECT_EQ(pool.stats().outstanding_bytes, before.outstanding_bytes);
+}
+
+}  // namespace
+}  // namespace galloper::util

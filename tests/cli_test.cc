@@ -4,6 +4,8 @@
 #include <fstream>
 
 #include "cli/archive.h"
+#include "core/galloper.h"
+#include "util/buffer_pool.h"
 #include "util/check.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -33,6 +35,14 @@ TEST(Flags, BooleanFlag) {
   Flags f({"--verbose", "--k=2"});
   EXPECT_TRUE(f.has("verbose"));
   EXPECT_EQ(*f.get("verbose"), "true");
+}
+
+TEST(Flags, RegisteredBooleanNeverConsumesPositional) {
+  Flags f({"--stats", "input.bin", "outdir"}, /*boolean_flags=*/{"stats"});
+  EXPECT_TRUE(f.has("stats"));
+  EXPECT_EQ(*f.get("stats"), "true");
+  EXPECT_EQ(f.positional(),
+            (std::vector<std::string>{"input.bin", "outdir"}));
 }
 
 TEST(Flags, DoubleDashEndsFlags) {
@@ -301,6 +311,143 @@ TEST_F(ArchiveTest, EmptyInputRejected) {
   const fs::path p = dir_ / "empty.bin";
   std::ofstream(p).close();
   EXPECT_THROW(cli::encode_archive(p, dir_ / "arch", 4, 2, 1), CheckError);
+}
+
+// ---------- v2 segmented / streaming archives ----------
+
+TEST_F(ArchiveTest, V2MultiSegmentRoundTrip) {
+  const fs::path in = write_input(100000);
+  const auto m =
+      cli::encode_archive(in, dir_ / "arch", 4, 2, 1, {}, 12,
+                          /*threads=*/1, /*chunk_bytes=*/512);
+  EXPECT_EQ(m.chunk_bytes, 512u);
+  EXPECT_NE(m.serialize().find("galloper-archive-v2"), std::string::npos);
+  const auto code = m.make_code();
+  const auto segs = cli::archive_segments(m, code.engine().num_chunks(),
+                                          code.engine().stripes_per_block());
+  EXPECT_GT(segs.size(), 1u);
+  EXPECT_NE(cli::describe_archive(dir_ / "arch").find("segments"),
+            std::string::npos);
+
+  const auto buf = cli::decode_archive(dir_ / "arch");
+  ASSERT_TRUE(buf.has_value());
+  EXPECT_EQ(*buf, input_);
+  const fs::path out = dir_ / "out.bin";
+  ASSERT_TRUE(cli::decode_archive_to(dir_ / "arch", out));
+  EXPECT_EQ(read_back(out), input_);
+}
+
+TEST_F(ArchiveTest, V2DegradedDecodeAndRepair) {
+  const fs::path in = write_input(60000, 9);
+  cli::encode_archive(in, dir_ / "arch", 4, 2, 1, {}, 12, 1, 512);
+  fs::remove(cli::block_path(dir_ / "arch", 2));
+
+  const fs::path out = dir_ / "out.bin";
+  ASSERT_TRUE(cli::decode_archive_to(dir_ / "arch", out));
+  EXPECT_EQ(read_back(out), input_);
+
+  const auto helpers = cli::repair_archive(dir_ / "arch", 2);
+  ASSERT_TRUE(helpers.has_value());
+  EXPECT_TRUE(cli::verify_archive(dir_ / "arch").clean());
+}
+
+TEST_F(ArchiveTest, SingleSegmentFilesKeepV1Layout) {
+  const fs::path in = write_input(2800);
+  const auto m = cli::encode_archive(in, dir_ / "arch", 4, 2, 1);
+  EXPECT_EQ(m.chunk_bytes, 0u);  // fits the default segment: v1
+  EXPECT_NE(m.serialize().find("galloper-archive-v1"), std::string::npos);
+  const auto code = m.make_code();
+  EXPECT_EQ(cli::archive_segments(m, code.engine().num_chunks(),
+                                  code.engine().stripes_per_block())
+                .size(),
+            1u);
+}
+
+TEST_F(ArchiveTest, TruncatedBlockFileFailsLoudly) {
+  const fs::path in = write_input(60000, 11);
+  const auto m = cli::encode_archive(in, dir_ / "arch", 4, 2, 1, {}, 12, 1, 512);
+  fs::resize_file(cli::block_path(dir_ / "arch", 1), m.block_bytes / 2);
+  // Decoders refuse a wrong-size block outright instead of feeding the
+  // codec short reads; verify reports it as corrupt without throwing.
+  EXPECT_THROW(cli::decode_archive(dir_ / "arch"), CheckError);
+  EXPECT_THROW(cli::decode_archive_to(dir_ / "arch", dir_ / "out.bin"),
+               CheckError);
+  const auto report = cli::verify_archive(dir_ / "arch");
+  EXPECT_EQ(report.corrupt, std::vector<size_t>{1});
+  EXPECT_TRUE(report.decodable);
+}
+
+TEST_F(ArchiveTest, RepairRefusesCrcMismatchedRebuild) {
+  const fs::path in = write_input(60000, 13);
+  cli::encode_archive(in, dir_ / "arch", 4, 2, 1, {}, 12, 1, 512);
+  fs::remove(cli::block_path(dir_ / "arch", 2));
+  // Corrupt one of block 2's local helpers: the streamed rebuild completes
+  // but its CRC cannot match the manifest, so the repair must throw and
+  // leave NO block file behind (tmp cleaned up, target still missing).
+  const auto helpers = core::GalloperCode(4, 2, 1).repair_helpers(2);
+  ASSERT_FALSE(helpers.empty());
+  const fs::path hp = cli::block_path(dir_ / "arch", helpers[0]);
+  {
+    std::fstream f(hp, std::ios::in | std::ios::out | std::ios::binary);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte ^= 0x01;
+    f.seekp(0);
+    f.write(&byte, 1);
+  }
+  EXPECT_THROW(cli::repair_archive(dir_ / "arch", 2), CheckError);
+  EXPECT_FALSE(fs::exists(cli::block_path(dir_ / "arch", 2)));
+  fs::path tmp = cli::block_path(dir_ / "arch", 2);
+  tmp += ".tmp";
+  EXPECT_FALSE(fs::exists(tmp));
+}
+
+TEST_F(ArchiveTest, UpdateAcrossSegmentBoundary) {
+  const fs::path in = write_input(100000, 17);
+  const auto m = cli::encode_archive(in, dir_ / "arch", 4, 2, 1, {}, 12, 1, 512);
+  const auto code = m.make_code();
+  const size_t seg_data = code.engine().num_chunks() * m.chunk_bytes;
+  ASSERT_GT(input_.size(), seg_data + 512);
+
+  // Patch the last chunk of segment 0 plus the first chunk of segment 1.
+  Rng rng(18);
+  const Buffer fresh = random_buffer(1024, rng);
+  cli::update_archive(dir_ / "arch", seg_data - 512, fresh);
+  EXPECT_TRUE(cli::verify_archive(dir_ / "arch").clean());
+
+  Buffer expect = input_;
+  std::copy(fresh.begin(), fresh.end(),
+            expect.begin() + static_cast<ptrdiff_t>(seg_data - 512));
+  const auto decoded = cli::decode_archive(dir_ / "arch");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, expect);
+}
+
+TEST_F(ArchiveTest, StreamingEncodeMemoryStaysBounded) {
+  // A file 96 segments long: if the pipeline really streams, the pool's
+  // peak-outstanding delta during the encode is a few segments' worth of
+  // buffers — nowhere near the whole file. (The input Buffer held by the
+  // fixture sits in the baseline; reset_peak makes the measurement a
+  // delta on top of it.)
+  core::GalloperCode code(4, 2, 1);
+  const size_t chunk = 1024;
+  const size_t seg_data = code.engine().num_chunks() * chunk;
+  const fs::path in = write_input(96 * seg_data + 37, 19);
+
+  auto& pool = util::BufferPool::global();
+  pool.reset_peak();
+  const auto before = pool.stats();
+  const auto m =
+      cli::encode_archive(in, dir_ / "arch", 4, 2, 1, {}, 12, 1, chunk);
+  const auto after = pool.stats();
+  EXPECT_EQ(m.chunk_bytes, chunk);
+  EXPECT_LE(after.peak_outstanding_bytes - before.peak_outstanding_bytes,
+            24 * seg_data)
+      << "streaming encode held too many segments in memory";
+
+  const fs::path out = dir_ / "out.bin";
+  ASSERT_TRUE(cli::decode_archive_to(dir_ / "arch", out));
+  EXPECT_EQ(read_back(out), input_);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 
 #include "core/galloper.h"
 #include "rt/pool.h"
+#include "rt/queue.h"
 #include "rt/slicer.h"
 #include "util/bytes.h"
 
@@ -181,6 +182,59 @@ TEST(ThreadPoolStress, ConcurrentEnginesShareGlobalPool) {
   std::vector<std::thread> threads;
   for (uint32_t t = 0; t < 4; ++t) threads.emplace_back(worker, 1234 + t);
   for (auto& t : threads) t.join();
+}
+
+// ---- BoundedQueue (the streaming pipeline's stage connector) ------------
+
+TEST(BoundedQueue, FifoAndDrainAfterClose) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_FALSE(q.push(3));  // closed: dropped
+  EXPECT_EQ(q.pop(), std::optional<int>(1));
+  EXPECT_EQ(q.pop(), std::optional<int>(2));
+  EXPECT_FALSE(q.pop().has_value());  // end-of-stream
+  EXPECT_FALSE(q.pop().has_value());  // and stays that way
+}
+
+TEST(BoundedQueue, ProducerBlocksAtCapacityUntilConsumed) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(10));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(20));  // blocks until the consumer pops
+    second_pushed = true;
+  });
+  EXPECT_EQ(q.pop(), std::optional<int>(10));
+  EXPECT_EQ(q.pop(), std::optional<int>(20));
+  producer.join();
+  EXPECT_TRUE(second_pushed);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducerAndConsumer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::thread producer([&] { EXPECT_FALSE(q.push(2)); });   // full → parked
+  BoundedQueue<int> empty(1);
+  std::thread consumer([&] { EXPECT_FALSE(empty.pop()); });  // empty → parked
+  q.close();
+  empty.close();
+  producer.join();
+  consumer.join();
+}
+
+TEST(BoundedQueue, ThreadedFifoOrderPreserved) {
+  BoundedQueue<size_t> q(2);
+  constexpr size_t kN = 500;
+  std::thread producer([&] {
+    for (size_t i = 0; i < kN; ++i) ASSERT_TRUE(q.push(i));
+    q.close();
+  });
+  size_t expect = 0;
+  while (auto v = q.pop()) EXPECT_EQ(*v, expect++);
+  EXPECT_EQ(expect, kN);
+  producer.join();
 }
 
 }  // namespace

@@ -21,7 +21,8 @@ int usage() {
       stderr,
       "usage:\n"
       "  galloper encode --k=K --l=L --g=G [--perf=p0,p1,...]\n"
-      "                  [--resolution=R] <input-file> <archive-dir>\n"
+      "                  [--resolution=R] [--chunk=BYTES]\n"
+      "                  <input-file> <archive-dir>\n"
       "  galloper decode <archive-dir> <output-file>\n"
       "  galloper repair <archive-dir> --block=N\n"
       "  galloper inspect <archive-dir>\n"
@@ -29,11 +30,16 @@ int usage() {
       "  galloper update <archive-dir> <bytes-file> --offset=N\n"
       "          (offset and size must be chunk-aligned; see inspect)\n"
       "\n"
+      "  encode/decode/repair stream segment by segment through bounded\n"
+      "  read/codec/write queues, so memory stays O(segment) for any file\n"
+      "  size. --chunk sets the per-stripe segment chunk on encode\n"
+      "  (default 256 KiB; files fitting one segment use the v1 layout).\n"
       "  encode/decode/repair/update accept --threads=N (default: CPU\n"
       "  count, or GALLOPER_THREADS); results are identical for any N.\n"
-      "  any command accepts --stats to print plan-cache and plan-vs-\n"
-      "  execute timing counters on exit (cache sized/disabled via\n"
-      "  GALLOPER_PLAN_CACHE=off|<entries>, default 1024).\n");
+      "  any command accepts --stats to print plan-cache, batched-executor,\n"
+      "  buffer-pool, and plan-vs-execute timing counters on exit (cache\n"
+      "  sized/disabled via GALLOPER_PLAN_CACHE=off|<entries>, default\n"
+      "  1024; pool disabled via GALLOPER_BUFFER_POOL=off).\n");
   return 2;
 }
 
@@ -55,7 +61,7 @@ int main(int argc, char** argv) {
   using galloper::Flags;
   namespace cli = galloper::cli;
   try {
-    Flags flags(argc, argv);
+    Flags flags(argc, argv, /*boolean_flags=*/{"stats"});
     const int rc = run(flags);
     // --stats: plan-cache hit rate + per-path plan/execute timing, after
     // the command's own output so scripts can keep parsing stdout.
@@ -79,11 +85,14 @@ int run(const galloper::Flags& flags) {
 
     if (command == "encode") {
       if (pos.size() != 3) return usage();
+      const int64_t chunk = flags.get_int("chunk", 0);
+      GALLOPER_CHECK_MSG(chunk >= 0, "--chunk must be >= 0");
       const auto m = cli::encode_archive(
           pos[1], pos[2], static_cast<size_t>(flags.get_int("k", 4)),
           static_cast<size_t>(flags.get_int("l", 2)),
           static_cast<size_t>(flags.get_int("g", 1)), flags.get_doubles("perf"),
-          flags.get_int("resolution", 12), threads_flag(flags));
+          flags.get_int("resolution", 12), threads_flag(flags),
+          static_cast<size_t>(chunk));
       std::printf("encoded %zu bytes into %zu blocks of %zu bytes in %s\n",
                   m.original_bytes, m.k + m.l + m.g, m.block_bytes,
                   pos[2].c_str());
@@ -91,16 +100,14 @@ int run(const galloper::Flags& flags) {
     }
     if (command == "decode") {
       if (pos.size() != 3) return usage();
-      const auto file = cli::decode_archive(pos[1], threads_flag(flags));
-      if (!file) {
+      // Streaming: decoded segments flow straight to the output file, so
+      // the decode never holds the whole file in memory.
+      if (!cli::decode_archive_to(pos[1], pos[2], threads_flag(flags))) {
         std::fprintf(stderr, "decode failed: not enough blocks present\n");
         return 1;
       }
-      std::ofstream out(pos[2], std::ios::binary | std::ios::trunc);
-      out.write(reinterpret_cast<const char*>(file->data()),
-                static_cast<std::streamsize>(file->size()));
-      GALLOPER_CHECK_MSG(out.good(), "cannot write " << pos[2]);
-      std::printf("decoded %zu bytes to %s\n", file->size(), pos[2].c_str());
+      std::printf("decoded %zu bytes to %s\n",
+                  cli::read_manifest(pos[1]).original_bytes, pos[2].c_str());
       return 0;
     }
     if (command == "repair") {
