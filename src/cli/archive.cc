@@ -1,6 +1,10 @@
 #include "cli/archive.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <fstream>
 #include <functional>
@@ -13,6 +17,7 @@
 #include "codes/plan.h"
 #include "core/input_format.h"
 #include "core/weights.h"
+#include "fault/fault.h"
 #include "rt/queue.h"
 #include "util/buffer_pool.h"
 #include "util/check.h"
@@ -43,6 +48,65 @@ void read_exact(std::istream& in, const fs::path& path, uint8_t* dst,
                                         << ")");
 }
 
+// ---- Fault hooks ----------------------------------------------------------
+//
+// The archive pipelines consult the process-global fault injector (there is
+// no per-call handle threading through the CLI): crash points simulate the
+// process dying at a named program point, and helper/segment reads retry
+// injected transient faults with exponential backoff. A stall drawn above
+// the per-read timeout budget counts as a failed attempt — the caller does
+// not wait out a hung helper.
+
+void maybe_crash(const char* point) {
+  if (fault::FaultInjector* inj = fault::global()) inj->crash_point(point);
+}
+
+constexpr size_t kReadAttempts = 4;
+constexpr double kReadTimeoutSeconds = 0.010;  // per-attempt stall budget
+
+void read_exact_retry(std::istream& in, const fs::path& path, uint8_t* dst,
+                      size_t n) {
+  fault::FaultInjector* inj = fault::global();
+  for (size_t attempt = 1;; ++attempt) {
+    bool failed = false;
+    if (inj) {
+      const double stall = inj->read_latency();
+      if (stall > kReadTimeoutSeconds) {
+        failed = true;  // timed out — do not wait out the spike
+      } else if (stall > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(stall));
+      }
+      if (inj->read_fails()) failed = true;
+    }
+    if (!failed) {
+      read_exact(in, path, dst, n);
+      return;
+    }
+    if (attempt >= kReadAttempts)
+      throw fault::TransientError("read of " + path.string() +
+                                  " kept failing transiently (" +
+                                  std::to_string(attempt) + " attempts)");
+    std::this_thread::sleep_for(std::chrono::microseconds(50u << attempt));
+  }
+}
+
+// fsync for the write-tmp → fsync → rename → fsync-dir publish sequence:
+// without the file sync the rename can land before the data, and without
+// the directory sync the rename itself can vanish in a crash.
+void sync_path(const fs::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  GALLOPER_CHECK_MSG(fd >= 0, "cannot open " << path.string() << " to fsync");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  GALLOPER_CHECK_MSG(rc == 0, "fsync failed on " << path.string());
+}
+
+fs::path tmp_path_of(const fs::path& final_path) {
+  fs::path tmp = final_path;
+  tmp += ".tmp";
+  return tmp;
+}
+
 void write_exact(std::ostream& out, const fs::path& path, ConstByteSpan data) {
   out.write(reinterpret_cast<const char*>(data.data()),
             static_cast<std::streamsize>(data.size()));
@@ -67,6 +131,17 @@ void write_file(const fs::path& path, ConstByteSpan data) {
   write_exact(out, path, data);
   out.flush();
   GALLOPER_CHECK_MSG(out.good(), "write error on " << path.string());
+}
+
+// Atomic publish: readers see the old contents or the new, never a torn
+// write. Used for the MANIFEST (the archive's commit record).
+void write_file_atomic(const fs::path& path, ConstByteSpan data) {
+  const fs::path tmp = tmp_path_of(path);
+  write_file(tmp, data);
+  sync_path(tmp);
+  maybe_crash("archive.manifest.pre_rename");
+  fs::rename(tmp, path);
+  sync_path(path.parent_path());
 }
 
 // Streaming CRC of a whole file in kIoPiece pieces — verify and the
@@ -100,18 +175,19 @@ Rational parse_rational(const std::string& s) {
 
 // One pipeline stage on a dedicated thread (see rt/queue.h for why stages
 // never run as pool tasks). A throwing stage records its exception and
-// runs `abort` — which closes the pipeline's queues so every peer
-// unblocks — and the driver rethrows after joining.
+// runs `abort(error)` — which POISONS the pipeline's queues, so every peer
+// unblocks immediately and queued items behind the error are discarded
+// instead of processed — and the driver rethrows after joining.
 class StageThread {
  public:
   template <typename Fn>
-  StageThread(Fn fn, std::function<void()> abort)
+  StageThread(Fn fn, std::function<void(std::exception_ptr)> abort)
       : thread_([this, fn = std::move(fn), abort = std::move(abort)] {
           try {
             fn();
           } catch (...) {
             error_ = std::current_exception();
-            abort();
+            abort(error_);
           }
         }) {}
 
@@ -319,80 +395,127 @@ Manifest encode_archive(const fs::path& input, const fs::path& dir, size_t k,
   };
   rt::BoundedQueue<SegData> in_q(2);
   rt::BoundedQueue<SegBlocks> out_q(2);
-  const auto abort_all = [&] {
-    in_q.close();
-    out_q.close();
+  const auto abort_all = [&](std::exception_ptr e) {
+    in_q.poison(e);
+    out_q.poison(e);
   };
 
   // Outputs open before any stage thread starts: a failed open must throw
-  // while no stage can be parked on a queue.
+  // while no stage can be parked on a queue. Blocks stream into .tmp
+  // staging files; the publish below renames them into place only after
+  // every byte landed, so an aborted or crashed encode never tears an
+  // existing archive in `dir`.
   fs::create_directories(dir);
   std::vector<std::ofstream> outs;
   outs.reserve(nblocks);
   for (size_t b = 0; b < nblocks; ++b) {
-    outs.emplace_back(block_path(dir, b), std::ios::binary | std::ios::trunc);
+    outs.emplace_back(tmp_path_of(block_path(dir, b)),
+                      std::ios::binary | std::ios::trunc);
     GALLOPER_CHECK_MSG(outs.back().good(),
-                       "cannot write " << block_path(dir, b).string());
+                       "cannot write "
+                           << tmp_path_of(block_path(dir, b)).string());
   }
   std::vector<uint32_t> crcs(nblocks, kCrc32cInit);
 
-  StageThread reader(
-      [&] {
-        for (const Segment& seg : segments) {
-          Buffer data(seg.data_len);
-          const size_t want =
-              std::min(seg.data_len, original - seg.file_offset);
-          read_exact(in, input, data.data(), want);
-          std::fill(data.begin() + static_cast<std::ptrdiff_t>(want),
-                    data.end(), 0);
-          if (!in_q.push({seg.index, std::move(data)})) return;
-        }
-        in_q.close();
-      },
-      abort_all);
-  StageThread writer(
-      [&] {
-        size_t expect = 0;
-        while (auto item = out_q.pop()) {
-          GALLOPER_CHECK(item->index == expect++ &&
-                         item->blocks.size() == nblocks);
-          for (size_t b = 0; b < nblocks; ++b) {
-            write_exact(outs[b], block_path(dir, b), item->blocks[b]);
-            crcs[b] = crc32c_extend(crcs[b], item->blocks[b]);
-          }
-        }
-      },
-      abort_all);
-
-  std::exception_ptr codec_error;
   try {
-    while (auto item = in_q.pop()) {
-      auto blocks = engine.encode_parallel(item->data, threads);
-      if (!out_q.push({item->index, std::move(blocks)})) break;
-    }
-  } catch (...) {
-    codec_error = std::current_exception();
-    abort_all();
-  }
-  out_q.close();
-  reader.join();
-  writer.join();
-  if (codec_error) std::rethrow_exception(codec_error);
-  reader.rethrow();
-  writer.rethrow();
+    StageThread reader(
+        [&] {
+          for (const Segment& seg : segments) {
+            maybe_crash("archive.encode.reader");
+            Buffer data(seg.data_len);
+            const size_t want =
+                std::min(seg.data_len, original - seg.file_offset);
+            read_exact(in, input, data.data(), want);
+            std::fill(data.begin() + static_cast<std::ptrdiff_t>(want),
+                      data.end(), 0);
+            if (!in_q.push({seg.index, std::move(data)})) return;
+          }
+          in_q.close();
+        },
+        abort_all);
+    StageThread writer(
+        [&] {
+          size_t expect = 0;
+          while (auto item = out_q.pop()) {
+            maybe_crash("archive.encode.writer");
+            GALLOPER_CHECK(item->index == expect++ &&
+                           item->blocks.size() == nblocks);
+            for (size_t b = 0; b < nblocks; ++b) {
+              write_exact(outs[b], tmp_path_of(block_path(dir, b)),
+                          item->blocks[b]);
+              crcs[b] = crc32c_extend(crcs[b], item->blocks[b]);
+            }
+          }
+        },
+        abort_all);
 
-  for (size_t b = 0; b < nblocks; ++b) {
-    outs[b].flush();
-    GALLOPER_CHECK_MSG(outs[b].good(),
-                       "write error on " << block_path(dir, b).string());
-    m.block_crcs.push_back(crc32c_finish(crcs[b]));
+    std::exception_ptr codec_error;
+    try {
+      while (auto item = in_q.pop()) {
+        maybe_crash("archive.encode.codec");
+        auto blocks = engine.encode_parallel(item->data, threads);
+        if (!out_q.push({item->index, std::move(blocks)})) break;
+      }
+    } catch (...) {
+      codec_error = std::current_exception();
+      abort_all(codec_error);
+    }
+    out_q.close();
+    reader.join();
+    writer.join();
+    if (codec_error) std::rethrow_exception(codec_error);
+    reader.rethrow();
+    writer.rethrow();
+
+    // Publish: flush + fsync every staging file, then rename the whole set
+    // into place and commit with an atomic MANIFEST write. A crash before
+    // the first rename leaves only .tmp debris; between renames, block
+    // files with no (new) manifest — both states the startup sweep /
+    // re-encode handle.
+    for (size_t b = 0; b < nblocks; ++b) {
+      outs[b].flush();
+      GALLOPER_CHECK_MSG(
+          outs[b].good(),
+          "write error on " << tmp_path_of(block_path(dir, b)).string());
+      outs[b].close();
+      sync_path(tmp_path_of(block_path(dir, b)));
+      m.block_crcs.push_back(crc32c_finish(crcs[b]));
+    }
+    maybe_crash("archive.encode.pre_publish");
+    for (size_t b = 0; b < nblocks; ++b)
+      fs::rename(tmp_path_of(block_path(dir, b)), block_path(dir, b));
+    sync_path(dir);
+  } catch (const fault::CrashError&) {
+    throw;  // a crash runs no cleanup — recover_archive_dir sweeps the .tmp
+  } catch (...) {
+    for (size_t b = 0; b < nblocks; ++b) {
+      if (outs[b].is_open()) outs[b].close();
+      std::error_code ec;
+      fs::remove(tmp_path_of(block_path(dir, b)), ec);
+    }
+    throw;
   }
+
   const std::string serialized = m.serialize();
-  write_file(dir / "MANIFEST",
-             ConstByteSpan(
-                 reinterpret_cast<const uint8_t*>(serialized.data()),
-                 serialized.size()));
+  write_file_atomic(dir / "MANIFEST",
+                    ConstByteSpan(
+                        reinterpret_cast<const uint8_t*>(serialized.data()),
+                        serialized.size()));
   return m;
+}
+
+std::vector<fs::path> recover_archive_dir(const fs::path& dir) {
+  std::vector<fs::path> removed;
+  if (!fs::is_directory(dir)) return removed;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".tmp")
+      continue;
+    std::error_code ec;
+    fs::remove(entry.path(), ec);
+    if (!ec) removed.push_back(entry.path());
+  }
+  std::sort(removed.begin(), removed.end());
+  return removed;
 }
 
 Manifest read_manifest(const fs::path& dir) {
@@ -441,23 +564,28 @@ bool decode_archive_stream(const fs::path& dir, size_t threads,
   StageThread reader(
       [&] {
         for (const Segment& seg : segments) {
+          maybe_crash("archive.decode.reader");
           std::vector<Buffer> pieces;
           pieces.reserve(ids.size());
           for (size_t i = 0; i < ids.size(); ++i) {
             Buffer piece(seg.block_len);
-            read_exact(*ins[i], block_path(dir, ids[i]), piece.data(),
-                       piece.size());
+            // Retry-with-backoff: an injected transient fault or an
+            // over-budget latency spike on one block read must not kill
+            // the decode outright.
+            read_exact_retry(*ins[i], block_path(dir, ids[i]), piece.data(),
+                             piece.size());
             pieces.push_back(std::move(piece));
           }
           if (!q.push({seg.index, std::move(pieces)})) return;
         }
         q.close();
       },
-      [&] { q.close(); });
+      [&](std::exception_ptr e) { q.poison(e); });
 
   std::exception_ptr codec_error;
   try {
     while (auto item = q.pop()) {
+      maybe_crash("archive.decode.codec");
       const Segment& seg = segments[item->index];
       std::map<size_t, ConstByteSpan> view;
       for (size_t i = 0; i < ids.size(); ++i)
@@ -471,7 +599,7 @@ bool decode_archive_stream(const fs::path& dir, size_t threads,
     }
   } catch (...) {
     codec_error = std::current_exception();
-    q.close();
+    q.poison(codec_error);
   }
   reader.join();
   if (codec_error) std::rethrow_exception(codec_error);
@@ -502,28 +630,57 @@ bool decode_archive_to(const fs::path& dir, const fs::path& output,
   rt::BoundedQueue<Buffer> q(2);
   StageThread writer(
       [&] {
-        while (auto data = q.pop()) write_exact(out, output, *data);
+        while (auto data = q.pop()) {
+          maybe_crash("archive.decode.writer");
+          write_exact(out, output, *data);
+        }
       },
-      [&] { q.close(); });
+      [&](std::exception_ptr e) { q.poison(e); });
 
   bool ok = false;
   std::exception_ptr err;
   try {
-    // Emits arrive in file order, so appending preserves offsets.
+    // Emits arrive in file order, so appending preserves offsets. A push
+    // that returns false means the writer poisoned the queue; surface ITS
+    // error (the root cause) rather than a generic push failure.
     ok = decode_archive_stream(dir, threads, [&](size_t, Buffer&& data) {
-      GALLOPER_CHECK_MSG(q.push(std::move(data)),
-                         "write stage failed for " << output.string());
+      if (!q.push(std::move(data))) {
+        q.rethrow_if_poisoned();
+        GALLOPER_CHECK_MSG(false,
+                           "write stage failed for " << output.string());
+      }
     });
   } catch (...) {
     err = std::current_exception();
   }
   q.close();
   writer.join();
-  if (err) std::rethrow_exception(err);
-  writer.rethrow();
-
-  out.flush();
-  GALLOPER_CHECK_MSG(out.good(), "write error on " << output.string());
+  if (!err) {
+    try {
+      writer.rethrow();
+      if (ok) {
+        out.flush();
+        GALLOPER_CHECK_MSG(out.good(), "write error on " << output.string());
+      }
+    } catch (...) {
+      err = std::current_exception();
+    }
+  }
+  if (err) {
+    // A failed decode must not leave a partial output lying around looking
+    // valid — EXCEPT for an injected crash, which by definition runs no
+    // cleanup (tests assert the debris, startup recovery handles it).
+    out.close();
+    try {
+      std::rethrow_exception(err);
+    } catch (const fault::CrashError&) {
+      throw;
+    } catch (...) {
+      std::error_code ec;
+      fs::remove(output, ec);
+      throw;
+    }
+  }
   if (!ok) {
     out.close();
     fs::remove(output);
@@ -568,11 +725,14 @@ std::optional<std::vector<size_t>> repair_archive(const fs::path& dir,
     }
 
     // Rebuild into block_NNN.bin.tmp and rename over the target only once
-    // every segment landed and the CRC matches — an interrupted or
-    // corrupt-helper repair never leaves a half-written block behind.
+    // every segment landed and the CRC matches — a failed repair unlinks
+    // its staging file on the way out (CRC mismatch and mid-stream I/O
+    // errors included), so retrying never trips over stale debris. The one
+    // deliberate exception is an injected CrashError: a crash runs no
+    // cleanup, and the orphaned .tmp is what recover_archive_dir exists
+    // to sweep.
     const fs::path final_path = block_path(dir, block);
-    fs::path tmp_path = final_path;
-    tmp_path += ".tmp";
+    const fs::path tmp_path = tmp_path_of(final_path);
     try {
       std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
       GALLOPER_CHECK_MSG(out.good(), "cannot write " << tmp_path.string());
@@ -583,19 +743,22 @@ std::optional<std::vector<size_t>> repair_archive(const fs::path& dir,
       };
       rt::BoundedQueue<SegPieces> in_q(2);
       rt::BoundedQueue<Buffer> out_q(2);
-      const auto abort_all = [&] {
-        in_q.close();
-        out_q.close();
+      const auto abort_all = [&](std::exception_ptr e) {
+        in_q.poison(e);
+        out_q.poison(e);
       };
       StageThread reader(
           [&] {
             for (const Segment& seg : segments) {
+              maybe_crash("archive.repair.reader");
               std::vector<Buffer> pieces;
               pieces.reserve(helpers.size());
               for (size_t i = 0; i < helpers.size(); ++i) {
                 Buffer piece(seg.block_len);
-                read_exact(*ins[i], block_path(dir, helpers[i]), piece.data(),
-                           piece.size());
+                // Per-helper retry-with-backoff; a stall above the timeout
+                // budget counts as a failed attempt rather than a hang.
+                read_exact_retry(*ins[i], block_path(dir, helpers[i]),
+                                 piece.data(), piece.size());
                 pieces.push_back(std::move(piece));
               }
               if (!in_q.push({seg.index, std::move(pieces)})) return;
@@ -607,6 +770,7 @@ std::optional<std::vector<size_t>> repair_archive(const fs::path& dir,
       StageThread writer(
           [&] {
             while (auto data = out_q.pop()) {
+              maybe_crash("archive.repair.writer");
               write_exact(out, tmp_path, *data);
               crc = crc32c_extend(crc, *data);
             }
@@ -616,6 +780,7 @@ std::optional<std::vector<size_t>> repair_archive(const fs::path& dir,
       std::exception_ptr codec_error;
       try {
         while (auto item = in_q.pop()) {
+          maybe_crash("archive.repair.codec");
           std::map<size_t, ConstByteSpan> view;
           for (size_t i = 0; i < helpers.size(); ++i)
             view.emplace(helpers[i], item->pieces[i]);
@@ -625,7 +790,7 @@ std::optional<std::vector<size_t>> repair_archive(const fs::path& dir,
         }
       } catch (...) {
         codec_error = std::current_exception();
-        abort_all();
+        abort_all(codec_error);
       }
       out_q.close();
       reader.join();
@@ -637,13 +802,18 @@ std::optional<std::vector<size_t>> repair_archive(const fs::path& dir,
       out.flush();
       GALLOPER_CHECK_MSG(out.good(), "write error on " << tmp_path.string());
       out.close();
-      if (m.block_crcs.size() > block)
-        GALLOPER_CHECK_MSG(
-            crc32c_finish(crc) == m.block_crcs[block],
-            "repaired block " << block
-                              << " fails its manifest CRC — helper data is "
-                                 "corrupt");
+      if (m.block_crcs.size() > block && crc32c_finish(crc) != m.block_crcs[block]) {
+        std::ostringstream os;
+        os << "repaired block " << block
+           << " fails its manifest CRC — helper data is corrupt";
+        throw CrcMismatchError(os.str());
+      }
+      sync_path(tmp_path);
+      maybe_crash("archive.repair.pre_rename");
       fs::rename(tmp_path, final_path);
+      sync_path(dir);
+    } catch (const fault::CrashError&) {
+      throw;  // no cleanup: the crash leaves its .tmp for startup recovery
     } catch (...) {
       std::error_code ec;
       fs::remove(tmp_path, ec);  // best effort; the original is untouched
@@ -714,12 +884,23 @@ std::vector<size_t> update_archive(const fs::path& dir, size_t offset,
     const size_t hi =
         std::min(offset + data.size(), seg.file_offset + seg.data_len);
     if (lo >= hi) continue;
+    // Chunk alignment, with one carve-out: an update may END mid-chunk at
+    // exactly original_bytes (the real end of the data). The tail segment's
+    // chunk is ⌈remainder / num_chunks⌉, so unless chunk_bytes divides the
+    // file size the last real byte sits mid-chunk and a strict alignment
+    // rule would make the file's own tail un-updatable. The partial final
+    // chunk is clamped to the real data length and zero-padded — bytes past
+    // original_bytes are zero by construction (encode pads with zeros and
+    // no update can have written past original_bytes), so the padding
+    // rewrites them with the values they already hold.
+    const bool eof_clamped =
+        (hi - seg.file_offset) % seg.chunk != 0 && hi == m.original_bytes;
     GALLOPER_CHECK_MSG(
         (lo - seg.file_offset) % seg.chunk == 0 &&
-            (hi - seg.file_offset) % seg.chunk == 0,
-        "updates must be chunk-aligned (chunk = " << seg.chunk
-                                                  << " bytes in segment "
-                                                  << seg.index << ")");
+            ((hi - seg.file_offset) % seg.chunk == 0 || eof_clamped),
+        "updates must be chunk-aligned (chunk = "
+            << seg.chunk << " bytes in segment " << seg.index
+            << ") or end at the file's last byte");
 
     std::vector<Buffer> pieces;
     pieces.reserve(code.num_blocks());
@@ -739,9 +920,17 @@ std::vector<size_t> update_archive(const fs::path& dir, size_t offset,
     const size_t first_chunk = (lo - seg.file_offset) / seg.chunk;
     for (size_t c = 0; first_chunk * seg.chunk + c * seg.chunk < hi - seg.file_offset;
          ++c) {
-      const auto t = engine.update_chunk_parallel(
-          pieces, first_chunk + c,
-          data.subspan(lo - offset + c * seg.chunk, seg.chunk), threads);
+      const size_t src = lo - offset + c * seg.chunk;
+      const size_t avail = std::min(seg.chunk, hi - offset - src);
+      Buffer padded;
+      ConstByteSpan chunk_data = data.subspan(src, avail);
+      if (avail < seg.chunk) {  // EOF-clamped final partial chunk
+        padded.assign(seg.chunk, 0);
+        std::copy(chunk_data.begin(), chunk_data.end(), padded.begin());
+        chunk_data = padded;
+      }
+      const auto t = engine.update_chunk_parallel(pieces, first_chunk + c,
+                                                  chunk_data, threads);
       seg_touched.insert(seg_touched.end(), t.begin(), t.end());
     }
     std::sort(seg_touched.begin(), seg_touched.end());
@@ -771,10 +960,10 @@ std::vector<size_t> update_archive(const fs::path& dir, size_t offset,
   // recorded size monotone.
   m.original_bytes = std::max(m.original_bytes, offset + data.size());
   const std::string serialized = m.serialize();
-  write_file(dir / "MANIFEST",
-             ConstByteSpan(
-                 reinterpret_cast<const uint8_t*>(serialized.data()),
-                 serialized.size()));
+  write_file_atomic(dir / "MANIFEST",
+                    ConstByteSpan(
+                        reinterpret_cast<const uint8_t*>(serialized.data()),
+                        serialized.size()));
   return touched;
 }
 

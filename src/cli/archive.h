@@ -31,9 +31,19 @@
 
 #include "core/galloper.h"
 #include "util/bytes.h"
+#include "util/check.h"
 #include "util/rational.h"
 
 namespace galloper::cli {
+
+// Thrown when rebuilt or decoded bytes fail the manifest CRC — the inputs
+// themselves are corrupt, so retrying cannot help (unlike a transient I/O
+// fault). The CLI maps this to its own exit code so scripts can tell
+// "helpers are rotten, re-verify the archive" from "repair impossible".
+class CrcMismatchError : public CheckError {
+ public:
+  explicit CrcMismatchError(const std::string& what) : CheckError(what) {}
+};
 
 struct Manifest {
   size_t k = 0;
@@ -86,6 +96,12 @@ inline constexpr size_t kDefaultChunkBytes = size_t{256} << 10;
 // memory stays O(segment) for any file size. `chunk_bytes` sets the v2
 // segment chunk (0 → kDefaultChunkBytes); files that fit one segment are
 // written in the v1 monolithic layout.
+//
+// Crash-safe: blocks stream into `block_NNN.bin.tmp` staging files that are
+// fsynced and renamed into place only after every byte landed, and the
+// manifest is published last (atomically) — a crash at ANY point leaves
+// either a complete archive or removable `.tmp` debris plus whatever was
+// there before (see recover_archive_dir), never a torn archive.
 Manifest encode_archive(const std::filesystem::path& input,
                         const std::filesystem::path& dir, size_t k, size_t l,
                         size_t g, const std::vector<double>& perf = {},
@@ -94,6 +110,16 @@ Manifest encode_archive(const std::filesystem::path& input,
 
 // Reads the manifest of an archive directory.
 Manifest read_manifest(const std::filesystem::path& dir);
+
+// Startup recovery sweep: removes orphaned `*.tmp` staging files left
+// behind by a crash mid-encode / mid-repair. All archive writers stage
+// into `.tmp` and fsync+rename only on success, so any `.tmp` that
+// survives into a fresh process is garbage by construction — the matching
+// final file is either the intact pre-crash version or legitimately
+// absent (repair it again). Returns the paths removed. Safe on a
+// directory that is not an archive (no-op).
+std::vector<std::filesystem::path> recover_archive_dir(
+    const std::filesystem::path& dir);
 
 // Block file path; exists() tells whether the block is present.
 std::filesystem::path block_path(const std::filesystem::path& dir,
@@ -117,8 +143,13 @@ bool decode_archive_to(const std::filesystem::path& dir,
 // if impossible. Streams segment by segment (pinning the repair plan once,
 // after checking solvability but before reading any helper bytes), writes
 // into block_NNN.bin.tmp, and renames over the target only after the
-// rebuilt bytes match the manifest CRC — a failed or interrupted repair
-// never leaves a half-written block file behind.
+// rebuilt bytes match the manifest CRC — a failed repair unlinks its .tmp,
+// so it never leaves a half-written staging file behind. Throws
+// CrcMismatchError when the rebuilt bytes fail the manifest CRC (helper
+// data is corrupt) and fault::TransientError when helper reads keep
+// failing past the retry budget. A fault::CrashError is the one exception
+// that DOES leave the .tmp behind (a crash runs no cleanup); the next
+// process's recover_archive_dir sweep removes it.
 std::optional<std::vector<size_t>> repair_archive(
     const std::filesystem::path& dir, size_t block, size_t threads = 1);
 

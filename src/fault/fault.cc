@@ -1,0 +1,153 @@
+#include "fault/fault.h"
+
+#include <atomic>
+
+#include "util/check.h"
+
+namespace galloper::fault {
+
+namespace {
+
+void check_rate(double p) {
+  GALLOPER_CHECK_MSG(p >= 0 && p <= 1, "fault rate must be in [0, 1]: " << p);
+}
+
+std::atomic<FaultInjector*> g_injector{nullptr};
+
+}  // namespace
+
+FaultInjector::FaultInjector(uint64_t seed) : rng_(seed) {}
+
+void FaultInjector::set_bit_flip_rate(double p) {
+  check_rate(p);
+  std::lock_guard<std::mutex> lock(mu_);
+  bit_flip_rate_ = p;
+}
+
+void FaultInjector::set_torn_write_rate(double p) {
+  check_rate(p);
+  std::lock_guard<std::mutex> lock(mu_);
+  torn_write_rate_ = p;
+}
+
+void FaultInjector::set_read_failure_rate(double p) {
+  check_rate(p);
+  std::lock_guard<std::mutex> lock(mu_);
+  read_failure_rate_ = p;
+}
+
+void FaultInjector::set_read_latency(double p, double seconds) {
+  check_rate(p);
+  GALLOPER_CHECK_MSG(seconds >= 0, "latency must be >= 0");
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_rate_ = p;
+  latency_seconds_ = seconds;
+}
+
+void FaultInjector::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  bit_flip_rate_ = torn_write_rate_ = read_failure_rate_ = latency_rate_ = 0;
+  latency_seconds_ = 0;
+  forced_read_failures_ = 0;
+  armed_.clear();
+}
+
+void FaultInjector::fail_next_reads(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  forced_read_failures_ = n;
+}
+
+void FaultInjector::arm_crash(const std::string& point, size_t nth) {
+  GALLOPER_CHECK_MSG(nth >= 1, "crash points are armed on the nth hit");
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_[point] = nth;
+}
+
+void FaultInjector::set_write_gate(WriteGate gate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  write_gate_ = std::move(gate);
+}
+
+void FaultInjector::on_write(size_t file, size_t block, std::span<uint8_t> data) {
+  if (data.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.decisions;
+  // At most one write fault per block: a torn write dominates a bit flip
+  // (the zeroed suffix already breaks the checksum). All schedule draws
+  // happen BEFORE the gate is consulted, so a veto consumes the same rng
+  // sequence as an applied fault.
+  if (rng_.next_double() < torn_write_rate_) {
+    const size_t keep = static_cast<size_t>(rng_.next_below(data.size()));
+    if (write_gate_ && !write_gate_(file, block)) {
+      ++stats_.write_vetoes;
+      return;
+    }
+    std::fill(data.begin() + static_cast<ptrdiff_t>(keep), data.end(), 0);
+    // A torn write that kept everything (or tore to identical zeros) would
+    // be invisible; force at least one damaged byte so every injected
+    // fault is observable by the CRC paths.
+    data[keep == data.size() ? data.size() - 1 : keep] ^= 0xFF;
+    ++stats_.torn_writes;
+    return;
+  }
+  if (rng_.next_double() < bit_flip_rate_) {
+    const size_t at = static_cast<size_t>(rng_.next_below(data.size()));
+    const uint8_t bit =
+        static_cast<uint8_t>(1u << rng_.next_below(8));
+    if (write_gate_ && !write_gate_(file, block)) {
+      ++stats_.write_vetoes;
+      return;
+    }
+    data[at] ^= bit;
+    ++stats_.bit_flips;
+  }
+}
+
+bool FaultInjector::read_fails() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.decisions;
+  if (forced_read_failures_ > 0) {
+    --forced_read_failures_;
+    ++stats_.read_failures;
+    return true;
+  }
+  if (rng_.next_double() < read_failure_rate_) {
+    ++stats_.read_failures;
+    return true;
+  }
+  return false;
+}
+
+double FaultInjector::read_latency() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.decisions;
+  if (latency_rate_ > 0 && rng_.next_double() < latency_rate_) {
+    ++stats_.latency_spikes;
+    return latency_seconds_;
+  }
+  return 0;
+}
+
+void FaultInjector::crash_point(const std::string& point) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = armed_.find(point);
+  if (it == armed_.end()) return;
+  if (--it->second > 0) return;
+  armed_.erase(it);
+  ++stats_.crashes;
+  lock.unlock();
+  throw CrashError(point);
+}
+
+FaultStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+FaultInjector* global() { return g_injector.load(std::memory_order_acquire); }
+
+void set_global(FaultInjector* injector) {
+  g_injector.store(injector, std::memory_order_release);
+}
+
+}  // namespace galloper::fault

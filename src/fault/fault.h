@@ -1,0 +1,146 @@
+// Deterministic fault injection for the storage and archive layers.
+//
+// The paper's whole value proposition is cheap recovery from failures, yet
+// until this subsystem the repo could only simulate CLEAN failures (whole
+// servers dropping via FileStore::fail_server). A FaultInjector adds the
+// messy ones that dominate real recovery storms:
+//
+//   * silent bit rot        — a stored block's bytes flip after the CRC was
+//                             recorded (detected by scrub / verified reads)
+//   * torn writes           — a write persists only a prefix; the tail is
+//                             zeroed (CRC mismatch, same detection path)
+//   * transient read faults — a helper read fails and must be retried or
+//                             routed around
+//   * latency spikes        — a helper read stalls; callers with a timeout
+//                             budget treat a long stall as a failure
+//   * crash points          — named program points that throw CrashError on
+//                             their nth hit, simulating the process dying
+//                             mid-repair / mid-encode (the caller's cleanup
+//                             does NOT run for a crash — debris like .tmp
+//                             files is left behind for startup recovery)
+//
+// Every decision is drawn from one seeded Rng under a mutex, so a given
+// (seed, call sequence) replays exactly — the soak harness prints its seed
+// and any failure reproduces from it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.h"
+
+namespace galloper::fault {
+
+// Simulated process death at an armed crash point. Deliberately NOT a
+// CheckError: cleanup handlers rethrow it without running (a real crash
+// would not unwind), so tests observe the debris a crash leaves.
+class CrashError : public std::runtime_error {
+ public:
+  explicit CrashError(const std::string& point)
+      : std::runtime_error("injected crash at " + point), point_(point) {}
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+// A transient read fault that persisted through every retry. Callers either
+// route around the failing source (repair falls back to other helpers) or
+// surface it; it never means "data unrecoverable".
+class TransientError : public std::runtime_error {
+ public:
+  explicit TransientError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct FaultStats {
+  uint64_t bit_flips = 0;       // silent corruptions applied to writes
+  uint64_t torn_writes = 0;     // writes persisted only as a prefix
+  uint64_t write_vetoes = 0;    // write faults refused by the gate
+  uint64_t read_failures = 0;   // transient read faults injected
+  uint64_t latency_spikes = 0;  // reads that drew a latency spike
+  uint64_t crashes = 0;         // crash points fired
+  uint64_t decisions = 0;       // total schedule draws (determinism probe)
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed);
+
+  // ---- Schedule configuration (probabilities in [0, 1]) -----------------
+  void set_bit_flip_rate(double p);
+  void set_torn_write_rate(double p);
+  void set_read_failure_rate(double p);
+  // With probability `p`, a read stalls for `seconds` before completing.
+  void set_read_latency(double p, double seconds);
+  // Zeroes every rate and disarms crash points (the soak harness calls this
+  // before its final heal-and-verify phase).
+  void clear();
+
+  // Forces the next `n` read_fails() calls to return true, regardless of
+  // the configured rate — deterministic retry tests.
+  void fail_next_reads(size_t n);
+
+  // Harness veto over write faults. When set, a write fault the schedule
+  // has drawn for block `block` of file `file` is applied only if the gate
+  // returns true. The system under test stays blind — the gate lets the
+  // TEST DRIVER (which owns the injector) refuse fault patterns the code
+  // could never absorb, e.g. the soak harness vetoes a silent corruption
+  // that would push a file past the erasure code's tolerance, because data
+  // that is legitimately lost would fail its bit-identity checks by
+  // design. Vetoes consume the same schedule draws, so enabling a gate
+  // does not perturb the decision sequence. Null (default) disables.
+  using WriteGate = std::function<bool(size_t file, size_t block)>;
+  void set_write_gate(WriteGate gate);
+
+  // Arms `point` to crash on its nth upcoming hit (1-based). Re-arming
+  // replaces the previous count.
+  void arm_crash(const std::string& point, size_t nth = 1);
+
+  // ---- Hooks (thread-safe; deterministic given seed + call order) -------
+
+  // Applies the write-fault schedule to block `block` of file `file`
+  // about to be stored: may flip one byte (silent bit rot) or zero a
+  // suffix (torn write), subject to the write gate. The caller records the
+  // TRUE checksum before calling, so an injected fault is exactly a silent
+  // corruption the CRC paths must catch.
+  void on_write(size_t file, size_t block, std::span<uint8_t> data);
+
+  // True if this read should fail transiently (caller retries or reroutes).
+  bool read_fails();
+
+  // Injected stall for this read, in seconds (0 = none). Callers with a
+  // timeout budget treat a stall above it as a failed read.
+  double read_latency();
+
+  // Throws CrashError if `point` is armed and this is the armed hit.
+  void crash_point(const std::string& point);
+
+  FaultStats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  Rng rng_;
+  double bit_flip_rate_ = 0;
+  double torn_write_rate_ = 0;
+  double read_failure_rate_ = 0;
+  double latency_rate_ = 0;
+  double latency_seconds_ = 0;
+  size_t forced_read_failures_ = 0;
+  WriteGate write_gate_;
+  std::map<std::string, size_t> armed_;  // point → hits until crash
+  FaultStats stats_;
+};
+
+// Process-global injector consulted by layers that have no per-call handle
+// (the CLI archive pipeline's file I/O). Null by default; the soak harness
+// and tests install one. Not owned.
+FaultInjector* global();
+void set_global(FaultInjector* injector);
+
+}  // namespace galloper::fault

@@ -1,0 +1,64 @@
+// Soak harness: a seeded, randomized kill–corrupt–read–update–repair loop
+// against a fault-injected FileStore, asserting bit-identity throughout.
+//
+// Every stochastic choice (which op, which server, which block, which byte)
+// comes from one Rng seeded by SoakOptions::seed, and the store's
+// FaultInjector shares determinism the same way — so any failure replays
+// exactly from the seed the harness prints. The CLI (`galloper soak`) and
+// tests/soak_test both drive this entry point; CI runs it as a smoke.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace galloper::fault {
+
+struct SoakOptions {
+  uint64_t seed = 1;
+  size_t ops = 200;       // randomized operations to run
+  size_t files = 4;       // files written up front (reference copies kept)
+  size_t chunk_bytes = 512;
+  // Code parameters (Galloper (k, l, g)). Every scheduled fault — kills,
+  // explicit corruptions, AND injected silent write faults (via the
+  // injector's write gate) — is admitted only if the affected files stay
+  // decodable, so any (k, l, g) is sound; the default g = 2 admits richer
+  // concurrent-failure patterns than g = 1 would.
+  size_t k = 4;
+  size_t l = 2;
+  size_t g = 2;
+  // Injected fault schedule.
+  double bit_flip_rate = 0.05;
+  double torn_write_rate = 0.02;
+  double read_failure_rate = 0.05;
+  // Arm the "store.repair" crash point once mid-run (the harness catches
+  // the CrashError and verifies the interrupted repair is re-runnable).
+  bool arm_crash = true;
+  bool verbose = false;  // print per-phase progress to stdout
+};
+
+struct SoakReport {
+  size_t ops = 0;               // operations executed
+  size_t kills = 0;             // servers killed
+  size_t revives = 0;           // servers revived (blocks repaired after)
+  size_t corruptions = 0;       // bytes flipped in stored blocks
+  size_t reads = 0;             // verified read_range calls
+  size_t degraded_reads = 0;    // reads that decoded around corruption
+  size_t auto_repairs = 0;      // corrupt blocks self-healed by reads
+  size_t updates = 0;           // in-place range updates applied
+  size_t updates_refused = 0;   // updates refused on a corrupt stripe
+  size_t scrubs = 0;            // scrub_and_repair passes
+  size_t scrub_repairs = 0;     // blocks rebuilt by those passes
+  size_t repairs = 0;           // lost blocks rebuilt after revives
+  size_t crashes_survived = 0;  // injected crashes caught and recovered
+  size_t transient_faults = 0;  // injected read faults retried in place
+};
+
+// Runs the soak loop. Throws CheckError (with the seed in the message) if
+// any read or the final heal-and-verify pass is not bit-identical to the
+// reference copies — determinism means the seed reproduces the failure.
+SoakReport run_soak(const SoakOptions& options);
+
+// One-line summary ("ops=200 kills=3 ..." ) for CLI / log output.
+std::string format_report(const SoakReport& report);
+
+}  // namespace galloper::fault

@@ -11,16 +11,22 @@
 // variable is exactly right for these stages anyway: they are I/O-bound
 // and should sleep, not spin or steal.
 //
-// close() is the shutdown/error signal in both directions: producers see
-// push() return false, consumers drain the remaining items and then get
-// nullopt. A failing stage closes every queue it touches so its peers
-// unblock, records its exception, and the pipeline driver rethrows after
-// joining.
+// close() is the clean end-of-stream signal: producers see push() return
+// false, consumers drain the remaining items and then get nullopt.
+//
+// poison() is the ERROR signal: it additionally records the failing stage's
+// exception and DISCARDS queued items, so consumers unblock immediately
+// instead of processing work downstream of an I/O error. A failing stage
+// poisons every queue it touches so its peers drain cleanly (no deadlock,
+// no half-consumed stream), and the pipeline driver rethrows the recorded
+// error after joining — either from the stage's own record or via
+// rethrow_if_poisoned().
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <mutex>
 #include <optional>
 #include <utility>
@@ -72,12 +78,43 @@ class BoundedQueue {
     not_empty_.notify_all();
   }
 
+  // Error-path close: records why the stream died and drops everything
+  // still queued — after an I/O error the items behind it must not be
+  // consumed as if the stream were healthy. The first poison wins;
+  // subsequent calls only close. `error` may be null (acts like close()
+  // plus the item drop).
+  void poison(std::exception_ptr error) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!error_ && error) error_ = error;
+    items_.clear();
+    closed_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool poisoned() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return error_ != nullptr;
+  }
+
+  // Rethrows the first recorded poison error, if any. Call after joining
+  // the pipeline's stages.
+  void rethrow_if_poisoned() const {
+    std::exception_ptr error;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      error = error_;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
  private:
   const size_t capacity_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<T> items_;
+  std::exception_ptr error_;
   bool closed_ = false;
 };
 

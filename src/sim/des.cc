@@ -56,6 +56,18 @@ Time Resource::submit(double amount, std::function<void()> done) {
   return finish;
 }
 
+void Resource::submit_delayed(double amount, Time delay,
+                              std::function<void()> done) {
+  GALLOPER_CHECK_MSG(delay >= 0, "negative delay");
+  if (delay == 0) {
+    submit(amount, std::move(done));
+    return;
+  }
+  sim_.schedule_after(delay, [this, amount, done = std::move(done)]() mutable {
+    submit(amount, std::move(done));
+  });
+}
+
 double Resource::utilization() const {
   const Time elapsed = sim_.now();
   if (elapsed <= 0) return 0;

@@ -74,6 +74,13 @@ class Resource {
   // Returns the completion time.
   Time submit(double amount, std::function<void()> done = {});
 
+  // Fault-injection variant: the work reaches the device only after
+  // `delay` simulated seconds (a latency spike on a slow/flaky helper).
+  // The device stays free for other work during the stall — a spike delays
+  // THIS request, it does not busy the disk.
+  void submit_delayed(double amount, Time delay,
+                      std::function<void()> done = {});
+
   // Time at which the device becomes idle given current queue.
   Time available_at() const { return available_at_; }
 

@@ -20,8 +20,15 @@ FileId FileStore::write(ConstByteSpan file) {
   std::vector<uint32_t> crcs;
   stored.reserve(blocks.size());
   crcs.reserve(blocks.size());
-  for (auto& b : blocks) {
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    auto& b = blocks[i];
+    // TRUE checksum first, then the injector's write faults: an injected
+    // bit flip / torn write is a silent corruption the CRC paths catch.
+    // The file id passed to the injector is the one this write is creating.
     crcs.push_back(crc32c(b));
+    if (injector_)
+      injector_->on_write(files_.size(), i,
+                          std::span<uint8_t>(b.data(), b.size()));
     stored.emplace_back(std::move(b));
   }
   file_block_bytes_.push_back(stored[0]->size());
@@ -30,9 +37,22 @@ FileId FileStore::write(ConstByteSpan file) {
   return files_.size() - 1;
 }
 
+void FileStore::store_block(FileId id, size_t b, Buffer data) {
+  if (injector_)
+    injector_->on_write(id, b, std::span<uint8_t>(data.data(), data.size()));
+  files_[id][b] = std::move(data);
+}
+
 size_t FileStore::block_bytes(FileId id) const {
   GALLOPER_CHECK(id < files_.size());
   return file_block_bytes_[id];
+}
+
+size_t FileStore::file_bytes(FileId id) const {
+  GALLOPER_CHECK(id < files_.size());
+  const size_t chunk =
+      file_block_bytes_[id] / code_.engine().stripes_per_block();
+  return code_.engine().num_chunks() * chunk;
 }
 
 std::optional<ConstByteSpan> FileStore::block(FileId id, size_t b) const {
@@ -120,6 +140,18 @@ std::vector<size_t> FileStore::update_range(FileId id, size_t offset,
     GALLOPER_CHECK_MSG(block_available(id, b),
                        "in-place update on a degraded stripe: repair block "
                            << b << " first");
+  // CRC-verify before patching: a delta update against a silently corrupt
+  // block would recompute its checksum over the corrupt bytes, laundering
+  // the damage into a "valid" state no scrub could ever catch. Quarantine
+  // the block and refuse instead — the caller repairs, then retries.
+  for (size_t b = 0; b < code_.num_blocks(); ++b) {
+    if (crc32c(*files_[id][b]) == checksums_[id][b]) continue;
+    files_[id][b].reset();
+    GALLOPER_CHECK_MSG(false, "update found block "
+                                  << b
+                                  << " silently corrupt (quarantined): "
+                                     "repair before updating");
+  }
 
   // Materialize the blocks vector for the engine, update, write back.
   std::vector<Buffer> blocks;
@@ -136,7 +168,12 @@ std::vector<size_t> FileStore::update_range(FileId id, size_t offset,
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
   for (size_t b = 0; b < code_.num_blocks(); ++b) {
     checksums_[id][b] = crc32c(blocks[b]);
-    files_[id][b] = std::move(blocks[b]);
+    // Only the touched blocks hit "disk" — they alone ride the injector's
+    // write-fault schedule.
+    if (std::binary_search(touched.begin(), touched.end(), b))
+      store_block(id, b, std::move(blocks[b]));
+    else
+      files_[id][b] = std::move(blocks[b]);
   }
   return touched;
 }
@@ -179,6 +216,103 @@ std::vector<FileStore::CorruptBlock> FileStore::scrub(bool quarantine) {
   return corrupt;
 }
 
+FileStore::ScrubReport FileStore::scrub_and_repair() {
+  ScrubReport report;
+  // Parallel CRC pass + single-threaded quarantine, exactly like scrub();
+  // then the rebuild loop below runs strictly after it, because a repair
+  // READS peer blocks — rebuilding under the parallel scan would race it.
+  report.corrupt = scrub(/*quarantine=*/true);
+
+  // Multi-pass healing: when several blocks of one file were quarantined,
+  // block A may be unrepairable until block B is rebuilt (every quarantined
+  // block is an erasure while it is down). Sweep until a full pass makes no
+  // progress; transient injected read faults count as progress-still-
+  // possible, with a pass cap so a pathological schedule cannot spin
+  // forever.
+  std::vector<CorruptBlock> pending = report.corrupt;
+  constexpr size_t kMaxPasses = 8;
+  for (size_t pass = 0; pass < kMaxPasses && !pending.empty(); ++pass) {
+    bool progress = false;
+    std::vector<CorruptBlock> remaining;
+    for (const CorruptBlock& c : pending) {
+      if (!cluster_.server(c.block).alive()) {
+        remaining.push_back(c);  // nowhere to store the rebuilt bytes (yet)
+        continue;
+      }
+      try {
+        if (repair(c.file, c.block)) {
+          ++report.repaired;
+          progress = true;
+        } else {
+          remaining.push_back(c);
+        }
+      } catch (const fault::TransientError&) {
+        remaining.push_back(c);
+        progress = true;  // a retry redraws the fault schedule
+      }
+    }
+    pending = std::move(remaining);
+    if (!progress) break;
+  }
+  report.unrecoverable = pending.size();
+  return report;
+}
+
+std::optional<Buffer> FileStore::read_range(FileId id, size_t offset,
+                                            size_t length) {
+  GALLOPER_CHECK(id < files_.size());
+  GALLOPER_CHECK_MSG(offset + length <= file_bytes(id),
+                     "range [" << offset << ", " << offset + length
+                               << ") beyond file size " << file_bytes(id));
+  ++read_stats_.verified_reads;
+
+  // Verify-on-read: every available block must match its write-time CRC
+  // before its bytes feed the decoder. A mismatch quarantines the block so
+  // no later caller trusts it either.
+  std::map<size_t, ConstByteSpan> view;
+  std::vector<size_t> corrupt;
+  for (size_t b = 0; b < code_.num_blocks(); ++b) {
+    if (!block_available(id, b)) continue;
+    // Transient (injected) read faults are retried in place; a block whose
+    // reads keep failing is simply left out of this read's view.
+    constexpr size_t kReadAttempts = 3;
+    bool readable = true;
+    for (size_t tries = 0; injector_ && injector_->read_fails();) {
+      ++read_stats_.transient_faults;
+      if (++tries >= kReadAttempts) {
+        readable = false;
+        break;
+      }
+    }
+    if (!readable) continue;
+    if (crc32c(*files_[id][b]) != checksums_[id][b]) {
+      ++read_stats_.crc_failures;
+      corrupt.push_back(b);
+      files_[id][b].reset();  // quarantine
+      continue;
+    }
+    view.emplace(b, ConstByteSpan(*files_[id][b]));
+  }
+  if (!corrupt.empty()) ++read_stats_.degraded_reads;
+
+  // The degraded read itself: the shared decode_fast/read_range plan
+  // reconstructs only the chunks overlapping the request from the healthy
+  // blocks.
+  auto out = code_.engine().read_range(view, offset, length);
+
+  // Self-heal: rebuild what the read quarantined, so the NEXT read is
+  // clean. Plans come from the store's pinned pattern map.
+  for (size_t b : corrupt) {
+    if (!cluster_.server(b).alive()) continue;
+    try {
+      if (repair(id, b)) ++read_stats_.auto_repairs;
+    } catch (const fault::TransientError&) {
+      // Helpers kept failing transiently; scrub/recovery will retry later.
+    }
+  }
+  return out;
+}
+
 std::optional<std::vector<size_t>> FileStore::repair(FileId id,
                                                      size_t block_id) {
   GALLOPER_CHECK(id < files_.size());
@@ -187,26 +321,68 @@ std::optional<std::vector<size_t>> FileStore::repair(FileId id,
                      "revive the target server before repairing onto it");
   if (files_[id][block_id].has_value()) return std::vector<size_t>{};
 
-  // Preferred (local) helpers first; generic fallback to all available.
-  std::vector<size_t> helpers = code_.repair_helpers(block_id);
-  bool helpers_ok = true;
-  for (size_t h : helpers) helpers_ok &= block_available(id, h);
-  if (!helpers_ok) helpers = available_blocks(id);
+  // Transient helper-read faults (injected) are retried with a fresh
+  // helper gather; persistent ones surface as TransientError — distinct
+  // from nullopt, which means structurally unrecoverable.
+  constexpr size_t kRepairReadAttempts = 6;
+  for (size_t attempt = 0; attempt < kRepairReadAttempts; ++attempt) {
+    // Preferred (local) helpers first; generic fallback to all available.
+    std::vector<size_t> helpers = code_.repair_helpers(block_id);
+    bool helpers_ok = true;
+    for (size_t h : helpers) helpers_ok &= block_available(id, h);
+    if (!helpers_ok) helpers = available_blocks(id);
 
-  // One compiled plan per (failed, helper-set) pattern, pinned in the
-  // store: the Gaussian elimination runs once for the whole storm, and the
-  // remaining files' repairs are pure kernel execution.
-  std::vector<size_t> pattern = helpers;
-  std::sort(pattern.begin(), pattern.end());
-  auto& plan = repair_plans_[{block_id, std::move(pattern)}];
-  if (!plan) plan = code_.engine().plan_repair(block_id, helpers);
+    // Verify every helper against its write-time CRC before its bytes feed
+    // the rebuild: a silently rotted helper would otherwise launder its
+    // corruption into a freshly-checksummed "repaired" block — the one
+    // failure mode a verify-on-read store must never allow. A bad helper
+    // is quarantined like any other corrupt block (a later pass rebuilds
+    // it) and the helper selection rolls again without it.
+    bool helper_quarantined = false;
+    for (size_t h : helpers) {
+      if (crc32c(*files_[id][h]) != checksums_[id][h]) {
+        ++read_stats_.crc_failures;
+        files_[id][h].reset();
+        helper_quarantined = true;
+      }
+    }
+    if (helper_quarantined) {
+      --attempt;  // reselection, not a transient retry
+      continue;
+    }
 
-  std::map<size_t, ConstByteSpan> view;
-  for (size_t h : helpers) view.emplace(h, *block(id, h));
-  auto rebuilt = code_.engine().repair_block_with_plan(*plan, view);
-  if (!rebuilt) return std::nullopt;
-  files_[id][block_id] = std::move(*rebuilt);
-  return helpers;
+    // One compiled plan per (failed, helper-set) pattern, pinned in the
+    // store: the Gaussian elimination runs once for the whole storm, and
+    // the remaining files' repairs are pure kernel execution.
+    std::vector<size_t> pattern = helpers;
+    std::sort(pattern.begin(), pattern.end());
+    auto& plan = repair_plans_[{block_id, std::move(pattern)}];
+    if (!plan) plan = code_.engine().plan_repair(block_id, helpers);
+
+    std::map<size_t, ConstByteSpan> view;
+    bool gather_failed = false;
+    for (size_t h : helpers) {
+      if (injector_ && injector_->read_fails()) {
+        ++read_stats_.transient_faults;
+        gather_failed = true;
+        break;
+      }
+      view.emplace(h, *block(id, h));
+    }
+    if (gather_failed) continue;
+
+    auto rebuilt = code_.engine().repair_block_with_plan(*plan, view);
+    if (!rebuilt) return std::nullopt;
+    // Crash window: the rebuild finished but the block is not yet
+    // installed. A crash here must leave the store exactly as before the
+    // repair (minus the pinned plan) — re-running the repair completes it.
+    if (injector_) injector_->crash_point("store.repair");
+    store_block(id, block_id, std::move(*rebuilt));
+    return helpers;
+  }
+  throw fault::TransientError("helper reads for repair of block " +
+                              std::to_string(block_id) +
+                              " kept failing transiently");
 }
 
 }  // namespace galloper::store

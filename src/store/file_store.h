@@ -16,6 +16,7 @@
 
 #include "codes/erasure_code.h"
 #include "core/input_format.h"
+#include "fault/fault.h"
 #include "sim/cluster.h"
 
 namespace galloper::store {
@@ -30,12 +31,24 @@ class FileStore {
   const codes::ErasureCode& code() const { return code_; }
   sim::Cluster& cluster() { return cluster_; }
 
+  // Attaches a fault injector (not owned; null detaches). Injected faults:
+  // silent bit flips / torn writes on every block store (write, update,
+  // repair store-back), transient helper-read failures (retried, then
+  // rerouted), and the "store.repair" crash point fired just before a
+  // rebuilt block is installed.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+  fault::FaultInjector* fault_injector() const { return injector_; }
+
   // Encodes and stores a file. Size must be a positive multiple of the
   // code's chunk count.
   FileId write(ConstByteSpan file);
 
   size_t num_files() const { return files_.size(); }
   size_t block_bytes(FileId id) const;
+  // Size of the original (decoded) file.
+  size_t file_bytes(FileId id) const;
 
   // The block contents as stored (nullopt if its server is dead or the
   // block was lost). Block b of every file lives on server b.
@@ -60,12 +73,35 @@ class FileStore {
   // data-holding block available) — the analytics fast path.
   std::optional<Buffer> read_original_only(FileId id) const;
 
+  // ---- Self-healing degraded reads --------------------------------------
+
+  struct ReadStats {
+    size_t verified_reads = 0;  // read_range calls
+    size_t crc_failures = 0;    // blocks that failed their CRC on read
+    size_t degraded_reads = 0;  // reads that decoded around a corrupt block
+    size_t transient_faults = 0;  // injected read faults retried in place
+    size_t auto_repairs = 0;    // corrupt blocks rebuilt by a read
+  };
+  const ReadStats& read_stats() const { return read_stats_; }
+
+  // CRC-verified read of bytes [offset, offset + length) of the original
+  // file. Every available block is checked against its write-time CRC-32C
+  // first; a block that fails is quarantined and the read transparently
+  // falls back to the shared decode_fast/read_range plan over the healthy
+  // blocks (a DEGRADED read — same bytes, more arithmetic). Quarantined
+  // blocks are then rebuilt in place via the pinned repair plans, so the
+  // next read is clean again. nullopt only if the healthy blocks cannot
+  // reconstruct the range.
+  std::optional<Buffer> read_range(FileId id, size_t offset, size_t length);
+
   // Overwrites the chunk-aligned range [offset, offset + data.size()) of
   // the original file in place, patching parity via deltas and refreshing
-  // the stored checksums. All blocks must be available (in-place update
-  // on a degraded stripe is refused — repair first). Returns the blocks
-  // written. offset and size must be multiples of the chunk size
-  // (block_bytes / stripes_per_block).
+  // the stored checksums. All blocks must be available AND CRC-clean
+  // (in-place update on a degraded stripe is refused — repair first; a
+  // silently corrupt block is quarantined and the update throws, because
+  // patching it would launder the corruption into a "valid" checksum).
+  // Returns the blocks written. offset and size must be multiples of the
+  // chunk size (block_bytes / stripes_per_block).
   std::vector<size_t> update_range(FileId id, size_t offset,
                                    ConstByteSpan data);
 
@@ -97,15 +133,39 @@ class FileStore {
   // Recomputes every stored block's CRC-32C against the checksum recorded
   // at write time. Mismatching blocks are reported and (when `quarantine`)
   // dropped, so a subsequent RecoveryManager pass rebuilds them. The CRC
-  // pass fans out over the rt pool (one job per stored block); the report
-  // order and quarantine effect are identical to a serial scan.
+  // pass fans out over the rt pool (one job per stored block) but ONLY
+  // reads shared state and writes disjoint flag bytes; the corruption list
+  // is taken — and all quarantining/rewriting happens — single-threaded
+  // after the parallel pass, so the pool jobs never race a mutation. The
+  // report order and quarantine effect are identical to a serial scan.
   std::vector<CorruptBlock> scrub(bool quarantine = true);
+
+  struct ScrubReport {
+    std::vector<CorruptBlock> corrupt;  // every CRC mismatch found
+    size_t repaired = 0;                // rebuilt bit-exact via plan cache
+    size_t unrecoverable = 0;           // quarantined but not rebuilt NOW
+  };
+  // scrub() with self-healing: quarantines every corrupt block, then
+  // rebuilds them in place through the pinned repair plans (single-threaded
+  // after the parallel CRC pass — rebuilds read peer blocks, so they must
+  // not overlap the scan). Rebuilding is multi-pass: a block unrepairable
+  // while its peers are also quarantined is retried after those peers heal.
+  // `unrecoverable` counts blocks still down when the passes settle — NOT
+  // necessarily lost forever (a dead server holding helpers may be revived
+  // later; repair() or another scrub then finishes the job).
+  ScrubReport scrub_and_repair();
 
  private:
   std::vector<size_t> available_blocks(FileId id) const;
+  // Stores `data` as block b of file id, applying the injector's write
+  // faults (the recorded checksum keeps the TRUE value, so an injected
+  // fault is exactly a silent corruption).
+  void store_block(FileId id, size_t b, Buffer data);
 
   sim::Cluster& cluster_;
   const codes::ErasureCode& code_;
+  fault::FaultInjector* injector_ = nullptr;
+  ReadStats read_stats_;
   // Pinned repair plans keyed by (failed block, sorted helper set). Held by
   // shared_ptr for the store's lifetime, so storm waves never replan even
   // with GALLOPER_PLAN_CACHE=off or after global-cache eviction.

@@ -33,7 +33,26 @@ RecoveryReport RecoveryManager::recover_all() {
   for (FileId id = 0; id < store_.num_files(); ++id) {
     const size_t bytes = store_.block_bytes(id);
     for (size_t b : store_.lost_blocks(id)) {
-      const auto helpers = store_.repair(id, b);
+      // The store retries transient helper-read faults internally; if a
+      // repair STILL reports transient failure, give it a couple more
+      // storm-level attempts before leaving the block for a later pass
+      // (it is not unrecoverable — the data is structurally intact).
+      constexpr size_t kRepairAttempts = 3;
+      std::optional<std::vector<size_t>> helpers;
+      bool transient = false;
+      for (size_t attempt = 0; attempt < kRepairAttempts; ++attempt) {
+        try {
+          helpers = store_.repair(id, b);
+          transient = false;
+          break;
+        } catch (const fault::TransientError&) {
+          transient = true;
+        }
+      }
+      if (transient) {
+        ++report.transient_failures;
+        continue;
+      }
       if (!helpers) {
         ++report.blocks_unrecoverable;
         continue;
@@ -64,8 +83,17 @@ RecoveryReport RecoveryManager::recover_all() {
         sim::Server* helper = &cluster.server(h);
         const double fb = static_cast<double>(job.bytes) * inflate;
         const size_t n_helpers = job.helpers.size();
-        helper->disk().submit(
-            fb, [helper, target, fb, pending, n_helpers, finish_ptr,
+        // Injected latency spike: the helper's disk read stalls before it
+        // starts, and the whole repair waits on its slowest helper — the
+        // straggler effect local groups are supposed to bound.
+        double spike = 0;
+        if (fault::FaultInjector* inj = store_.fault_injector()) {
+          spike = inj->read_latency();
+          if (spike > 0) ++report.latency_spikes;
+        }
+        helper->disk().submit_delayed(
+            fb, spike,
+            [helper, target, fb, pending, n_helpers, finish_ptr,
                  sim_ptr] {
               helper->nic().submit(fb, [target, fb, pending, n_helpers,
                                         finish_ptr, sim_ptr] {

@@ -23,6 +23,12 @@ struct RecoveryReport {
   // storm reuses a pinned plan. blocks_repaired / plans_compiled is the
   // storm's plan-reuse factor.
   size_t plans_compiled = 0;
+  // Fault-injection telemetry: blocks whose helper reads kept failing
+  // transiently even after the manager's own retries (left lost — a later
+  // pass picks them up), and helper reads that drew an injected latency
+  // spike (the DES charges the stall to the repair's makespan).
+  size_t transient_failures = 0;
+  size_t latency_spikes = 0;
 };
 
 struct RecoveryConfig {

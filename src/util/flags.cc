@@ -50,6 +50,16 @@ void Flags::parse(const std::vector<std::string>& args) {
   }
 }
 
+void Flags::restrict_to(const std::set<std::string>& known) const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    GALLOPER_CHECK_MSG(known.count(name) > 0 || boolean_flags_.count(name) > 0,
+                       "unknown flag --" << name
+                                         << " (run with no arguments for "
+                                            "usage)");
+  }
+}
+
 bool Flags::has(const std::string& name) const {
   return values_.count(name) > 0;
 }

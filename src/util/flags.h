@@ -26,6 +26,12 @@ class Flags {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  // Strict mode: throws CheckError if any parsed flag is not in `known`
+  // (registered boolean flags are implicitly known). A typo like
+  // "--thread=8" must die loudly instead of silently no-opping — the CLI
+  // calls this with its full flag vocabulary right after parsing.
+  void restrict_to(const std::set<std::string>& known) const;
+
   bool has(const std::string& name) const;
   std::optional<std::string> get(const std::string& name) const;
   std::string get_or(const std::string& name,

@@ -18,12 +18,30 @@ int64_t gcd64(int64_t a, int64_t b) {
   return a;
 }
 
+int64_t checked_add64(int64_t a, int64_t b) {
+  int64_t out;
+  GALLOPER_CHECK_MSG(!__builtin_add_overflow(a, b, &out),
+                     "int64 overflow in " << a << " + " << b);
+  return out;
+}
+
+int64_t checked_mul64(int64_t a, int64_t b) {
+  int64_t out;
+  GALLOPER_CHECK_MSG(!__builtin_mul_overflow(a, b, &out),
+                     "int64 overflow in " << a << " * " << b);
+  return out;
+}
+
 int64_t lcm64(int64_t a, int64_t b) {
   if (a == 0 || b == 0) return 0;
+  GALLOPER_CHECK_MSG(a != INT64_MIN && b != INT64_MIN,
+                     "lcm64 of INT64_MIN overflows");
   const int64_t g = gcd64(a, b);
-  const int64_t q = a / g;
-  GALLOPER_CHECK_MSG(q <= INT64_MAX / std::abs(b), "lcm overflow");
-  return std::abs(q * b);
+  // |a/g * b| with the multiply checked: adversarial denominators (e.g.
+  // two large coprime values) must fail loudly, not wrap into a bogus
+  // stripe count.
+  const int64_t q = std::abs(a) / g;
+  return checked_mul64(q, std::abs(b));
 }
 
 Rational::Rational(int64_t num, int64_t den) : num_(num), den_(den) {
@@ -52,26 +70,53 @@ std::string Rational::to_string() const {
   return os.str();
 }
 
+namespace {
+int64_t checked_sub64(int64_t a, int64_t b) {
+  int64_t out;
+  GALLOPER_CHECK_MSG(!__builtin_sub_overflow(a, b, &out),
+                     "int64 overflow in " << a << " - " << b);
+  return out;
+}
+}  // namespace
+
 Rational Rational::operator+(const Rational& o) const {
-  return Rational(num_ * o.den_ + o.num_ * den_, den_ * o.den_);
+  // Add over the LCM of the denominators, not their raw product: exact
+  // weights with large denominators stay representable far longer, and
+  // every multiply/add is overflow-checked so an unrepresentable sum fails
+  // loudly instead of wrapping into a bogus stripe count.
+  const int64_t l = lcm64(den_, o.den_);
+  return Rational(checked_add64(checked_mul64(num_, l / den_),
+                                checked_mul64(o.num_, l / o.den_)),
+                  l);
 }
 
 Rational Rational::operator-(const Rational& o) const {
-  return Rational(num_ * o.den_ - o.num_ * den_, den_ * o.den_);
+  const int64_t l = lcm64(den_, o.den_);
+  return Rational(checked_sub64(checked_mul64(num_, l / den_),
+                                checked_mul64(o.num_, l / o.den_)),
+                  l);
 }
 
 Rational Rational::operator*(const Rational& o) const {
-  return Rational(num_ * o.num_, den_ * o.den_);
+  // Cross-reduce before multiplying so the checked products overflow only
+  // when the RESULT itself is unrepresentable. gcd64 cannot return 0 here:
+  // denominators are positive, so each pair has a nonzero member.
+  const int64_t g1 = gcd64(num_, o.den_);
+  const int64_t g2 = gcd64(o.num_, den_);
+  return Rational(checked_mul64(num_ / g1, o.num_ / g2),
+                  checked_mul64(den_ / g2, o.den_ / g1));
 }
 
 Rational Rational::operator/(const Rational& o) const {
   GALLOPER_CHECK_MSG(o.num_ != 0, "division by zero rational");
-  return Rational(num_ * o.den_, den_ * o.num_);
+  return Rational(checked_mul64(num_, o.den_), checked_mul64(den_, o.num_));
 }
 
 bool Rational::operator<(const Rational& o) const {
-  // Denominators are positive after normalization.
-  return num_ * o.den_ < o.num_ * den_;
+  // Denominators are positive after normalization. 128-bit cross products
+  // cannot overflow, so comparison never throws.
+  return static_cast<__int128>(num_) * o.den_ <
+         static_cast<__int128>(o.num_) * den_;
 }
 
 int64_t common_denominator(const std::vector<Rational>& ws) {

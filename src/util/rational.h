@@ -14,6 +14,13 @@ namespace galloper {
 int64_t gcd64(int64_t a, int64_t b);
 int64_t lcm64(int64_t a, int64_t b);
 
+// Overflow-checked int64 arithmetic. The weight pipeline multiplies
+// denominators, and a silent wrap would make the stripe count N
+// ill-defined — every product/sum in Rational and lcm64 goes through these
+// and throws CheckError instead of wrapping.
+int64_t checked_add64(int64_t a, int64_t b);
+int64_t checked_mul64(int64_t a, int64_t b);
+
 class Rational {
  public:
   Rational() : num_(0), den_(1) {}

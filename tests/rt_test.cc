@@ -224,6 +224,60 @@ TEST(BoundedQueue, CloseWakesBlockedProducerAndConsumer) {
   consumer.join();
 }
 
+TEST(BoundedQueue, PoisonDropsQueuedItemsAndRecordsFirstError) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  EXPECT_FALSE(q.poisoned());
+  q.poison(std::make_exception_ptr(std::runtime_error("disk on fire")));
+  // Unlike close(), the queued items are GONE: after an I/O error the
+  // stream behind it must not be consumed as if it were healthy.
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.push(3));  // behaves closed for producers too
+  EXPECT_TRUE(q.poisoned());
+  try {
+    q.rethrow_if_poisoned();
+    FAIL() << "expected the recorded error to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "disk on fire");
+  }
+}
+
+TEST(BoundedQueue, FirstPoisonWins) {
+  BoundedQueue<int> q(2);
+  q.poison(std::make_exception_ptr(std::runtime_error("first")));
+  q.poison(std::make_exception_ptr(std::runtime_error("second")));
+  try {
+    q.rethrow_if_poisoned();
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(BoundedQueue, NullPoisonActsLikeCloseWithDrop) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.push(7));
+  q.poison(nullptr);
+  EXPECT_FALSE(q.pop().has_value());  // items dropped
+  EXPECT_FALSE(q.poisoned());         // but no error recorded
+  EXPECT_NO_THROW(q.rethrow_if_poisoned());
+}
+
+TEST(BoundedQueue, PoisonWakesBlockedProducerAndConsumer) {
+  BoundedQueue<int> full(1);
+  ASSERT_TRUE(full.push(1));
+  std::thread producer([&] { EXPECT_FALSE(full.push(2)); });  // full → parked
+  BoundedQueue<int> empty(1);
+  std::thread consumer([&] { EXPECT_FALSE(empty.pop()); });   // empty → parked
+  full.poison(std::make_exception_ptr(std::runtime_error("boom")));
+  empty.poison(std::make_exception_ptr(std::runtime_error("boom")));
+  producer.join();
+  consumer.join();
+  EXPECT_TRUE(full.poisoned());
+  EXPECT_TRUE(empty.poisoned());
+}
+
 TEST(BoundedQueue, ThreadedFifoOrderPreserved) {
   BoundedQueue<size_t> q(2);
   constexpr size_t kN = 500;

@@ -322,6 +322,110 @@ TEST(Recovery, RejectsBadConfig) {
   EXPECT_THROW(RecoveryManager(simulation, fs, {1.0, 0}), CheckError);
 }
 
+// ---- Self-healing verified reads ------------------------------------------
+
+TEST_F(FileStoreTest, ReadRangeReturnsCorrectBytesDespiteByteFlip) {
+  const Buffer file = make_file();
+  const FileId id = fs.write(file);
+  fs.corrupt_block(id, 1, 5);
+
+  // The corrupted read: CRC catches the flip, the decode goes degraded,
+  // the returned bytes are still bit-identical, and the block self-heals.
+  const auto got = fs.read_range(id, 0, fs.file_bytes(id));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, file);
+  EXPECT_EQ(fs.read_stats().verified_reads, 1u);
+  EXPECT_EQ(fs.read_stats().crc_failures, 1u);
+  EXPECT_EQ(fs.read_stats().degraded_reads, 1u);
+  EXPECT_EQ(fs.read_stats().auto_repairs, 1u);
+
+  // The next read is clean: same bytes, no new CRC failures.
+  const auto again = fs.read_range(id, 0, fs.file_bytes(id));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, file);
+  EXPECT_EQ(fs.read_stats().verified_reads, 2u);
+  EXPECT_EQ(fs.read_stats().crc_failures, 1u);
+  EXPECT_EQ(fs.read_stats().degraded_reads, 1u);
+  EXPECT_TRUE(fs.scrub(/*quarantine=*/false).empty());
+}
+
+TEST_F(FileStoreTest, ReadRangeSubrangesSurviveCorruption) {
+  const size_t chunk = 96;
+  const Buffer file = make_file(chunk);
+  const FileId id = fs.write(file);
+  Rng offsets(7);
+  for (size_t i = 0; i < 8; ++i) {
+    fs.corrupt_block(id, i % code.num_blocks(),
+                     offsets.next_below(fs.block_bytes(id)));
+    const size_t off = offsets.next_below(file.size());
+    const size_t len = 1 + offsets.next_below(file.size() - off);
+    const auto got = fs.read_range(id, off, len);
+    ASSERT_TRUE(got.has_value()) << "iteration " << i;
+    EXPECT_TRUE(std::equal(got->begin(), got->end(),
+                           file.begin() + static_cast<ptrdiff_t>(off)))
+        << "iteration " << i;
+  }
+}
+
+TEST_F(FileStoreTest, ScrubAndRepairHealsMultipleCorruptions) {
+  const Buffer file = make_file();
+  const FileId id = fs.write(file);
+  fs.corrupt_block(id, 0, 1);
+  fs.corrupt_block(id, 5, 2);
+  const auto report = fs.scrub_and_repair();
+  EXPECT_EQ(report.corrupt.size(), 2u);
+  EXPECT_EQ(report.repaired, 2u);
+  EXPECT_EQ(report.unrecoverable, 0u);
+  EXPECT_EQ(*fs.read(id), file);
+  EXPECT_TRUE(fs.scrub(/*quarantine=*/false).empty());
+}
+
+TEST_F(FileStoreTest, UpdateRefusesSilentlyCorruptStripe) {
+  const Buffer file = make_file();
+  const FileId id = fs.write(file);
+  fs.corrupt_block(id, 2, 9);
+
+  // Patching a stripe whose block is silently rotten would launder the
+  // corruption into fresh parity + a fresh checksum. The update must
+  // refuse AND quarantine the bad block instead of trusting it.
+  const size_t chunk = fs.block_bytes(id) / code.engine().stripes_per_block();
+  const Buffer patch(chunk, 0x5A);
+  EXPECT_THROW(fs.update_range(id, 0, patch), CheckError);
+  EXPECT_EQ(fs.lost_blocks(id), std::vector<size_t>{2});
+
+  // Repair, then the same update goes through and reads verify.
+  ASSERT_TRUE(fs.repair(id, 2).has_value());
+  Buffer want = file;
+  std::copy(patch.begin(), patch.end(), want.begin());
+  fs.update_range(id, 0, patch);
+  const auto got = fs.read_range(id, 0, fs.file_bytes(id));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, want);
+}
+
+TEST_F(FileStoreTest, RepairNeverLaundersACorruptHelper) {
+  const Buffer file = make_file();
+  const FileId id = fs.write(file);
+
+  // Lose block 0, then rot one of its local helpers. The repair must CRC
+  // its helpers, quarantine the rotten one, reselect, and still rebuild
+  // block 0 bit-exact — never feed corrupt bytes into the rebuild.
+  fs.fail_server(0);
+  fs.revive_server(0);
+  const auto helpers = code.repair_helpers(0);
+  ASSERT_FALSE(helpers.empty());
+  fs.corrupt_block(id, helpers[0], 3);
+
+  ASSERT_TRUE(fs.repair(id, 0).has_value());
+  EXPECT_GE(fs.read_stats().crc_failures, 1u);
+  // The rotten helper is quarantined, not trusted; heal it and verify
+  // everything round-trips.
+  EXPECT_EQ(fs.lost_blocks(id), std::vector<size_t>{helpers[0]});
+  ASSERT_TRUE(fs.repair(id, helpers[0]).has_value());
+  EXPECT_EQ(*fs.read(id), file);
+  EXPECT_TRUE(fs.scrub(/*quarantine=*/false).empty());
+}
+
 TEST(Recovery, ReportsUnrecoverableBlocks) {
   sim::Simulation simulation;
   sim::Cluster cluster(simulation, 7, sim::ServerSpec{});

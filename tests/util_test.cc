@@ -7,6 +7,7 @@
 #include "util/bytes.h"
 #include "util/check.h"
 #include "util/crc32c.h"
+#include "util/flags.h"
 #include "util/rational.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -289,6 +290,71 @@ TEST(Rational, GcdLcm) {
   EXPECT_EQ(gcd64(0, 5), 5);
   EXPECT_EQ(lcm64(4, 6), 12);
   EXPECT_EQ(lcm64(7, 13), 91);
+}
+
+TEST(Rational, CheckedArithmeticThrowsInsteadOfWrapping) {
+  EXPECT_EQ(checked_add64(INT64_MAX - 1, 1), INT64_MAX);
+  EXPECT_EQ(checked_mul64(INT64_MAX / 2, 2), INT64_MAX - 1);
+  EXPECT_THROW(checked_add64(INT64_MAX, 1), CheckError);
+  EXPECT_THROW(checked_add64(INT64_MIN, -1), CheckError);
+  EXPECT_THROW(checked_mul64(INT64_MAX, 2), CheckError);
+  EXPECT_THROW(checked_mul64(INT64_MIN, -1), CheckError);  // |INT64_MIN| > MAX
+}
+
+TEST(Rational, Lcm64OverflowIsLoud) {
+  // Two large coprime values: lcm is their product, which wraps int64.
+  const int64_t big_prime = 2305843009213693951;  // 2^61 - 1 (Mersenne)
+  EXPECT_THROW(lcm64(big_prime, big_prime - 2), CheckError);
+  // INT64_MIN has no positive absolute value; must refuse, not UB.
+  EXPECT_THROW(lcm64(INT64_MIN, 3), CheckError);
+  EXPECT_THROW(lcm64(3, INT64_MIN), CheckError);
+  // Large but representable lcm still works.
+  EXPECT_EQ(lcm64(1LL << 31, 3), (1LL << 31) * 3);
+  EXPECT_EQ(lcm64(0, big_prime), 0);
+}
+
+TEST(Rational, AdversarialDenominatorsOverflowLoudly) {
+  // Adding 1/p + 1/q for huge coprime p, q needs denominator p*q → throws
+  // instead of normalizing a wrapped (and thus bogus) stripe count.
+  const int64_t p = 2305843009213693951;  // 2^61 - 1
+  const Rational a(1, p), b(1, p - 2);
+  EXPECT_THROW(a + b, CheckError);
+  EXPECT_THROW(a * b, CheckError);
+  EXPECT_THROW(common_denominator({a, b}), CheckError);
+  // Cancellation before any oversized product keeps working.
+  EXPECT_EQ(a * Rational(p), Rational(1));
+}
+
+// ---------- flags ----------
+
+TEST(Flags, ParsesValueBooleanAndPositional) {
+  const Flags f({"--chunk=512", "--verify", "in.bin", "--threads", "4", "--",
+                 "--not-a-flag"},
+                /*boolean_flags=*/{"verify"});
+  EXPECT_EQ(f.get_int("chunk", 0), 512);
+  EXPECT_TRUE(f.has("verify"));
+  EXPECT_EQ(f.get_int("threads", 0), 4);
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "in.bin");
+  EXPECT_EQ(f.positional()[1], "--not-a-flag");  // after "--" all positional
+}
+
+TEST(Flags, RestrictToAcceptsKnownAndBooleanFlags) {
+  const Flags f({"--chunk=512", "--stats"}, /*boolean_flags=*/{"stats"});
+  EXPECT_NO_THROW(f.restrict_to({"chunk", "threads"}));
+}
+
+TEST(Flags, RestrictToRejectsUnknownFlagLoudly) {
+  // The classic typo: --chnk instead of --chunk must die, not no-op.
+  const Flags f({"--chnk=512"});
+  try {
+    f.restrict_to({"chunk", "threads"});
+    FAIL() << "restrict_to accepted an unknown flag";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown flag --chnk"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 // ---------- stats ----------

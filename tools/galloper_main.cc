@@ -5,11 +5,14 @@
 //   galloper decode <dir> <output-file>
 //   galloper repair <dir> --block=N
 //   galloper inspect <dir>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "cli/archive.h"
+#include "fault/fault.h"
+#include "fault/soak.h"
 #include "rt/pool.h"
 #include "util/check.h"
 #include "util/flags.h"
@@ -29,6 +32,11 @@ int usage() {
       "  galloper verify <archive-dir>\n"
       "  galloper update <archive-dir> <bytes-file> --offset=N\n"
       "          (offset and size must be chunk-aligned; see inspect)\n"
+      "  galloper soak [--seed=S] [--ops=N] [--seconds=T] [--files=F]\n"
+      "                [--k=K --l=L --g=G]\n"
+      "          (randomized fault-injection soak: kill/corrupt/read/\n"
+      "          update/repair against an in-memory store, asserting every\n"
+      "          read is bit-identical; deterministic per seed)\n"
       "\n"
       "  encode/decode/repair stream segment by segment through bounded\n"
       "  read/codec/write queues, so memory stays O(segment) for any file\n"
@@ -39,8 +47,32 @@ int usage() {
       "  any command accepts --stats to print plan-cache, batched-executor,\n"
       "  buffer-pool, and plan-vs-execute timing counters on exit (cache\n"
       "  sized/disabled via GALLOPER_PLAN_CACHE=off|<entries>, default\n"
-      "  1024; pool disabled via GALLOPER_BUFFER_POOL=off).\n");
+      "  1024; pool disabled via GALLOPER_BUFFER_POOL=off).\n"
+      "  unknown --flags are an error (exit 2). archive commands sweep\n"
+      "  orphaned *.tmp staging files (crash debris) from the archive dir\n"
+      "  before running.\n"
+      "\n"
+      "exit codes: 0 ok, 1 failure, 2 usage, 3 CRC mismatch (corrupt\n"
+      "data), 4 persistent transient read faults\n");
   return 2;
+}
+
+// The full flag vocabulary across every subcommand: a typo like --thread=8
+// or --Seed=1 dies with exit 2 instead of silently running with defaults.
+const std::set<std::string> kKnownFlags = {
+    "k",     "l",       "g",    "perf",    "resolution", "chunk",
+    "block", "offset",  "threads", "stats", "seed",      "ops",
+    "seconds", "files",
+};
+
+// Removes crash debris (orphaned .tmp staging files) before operating on an
+// archive directory. Quiet when there is nothing to do.
+void sweep_archive_dir(const std::string& dir) {
+  const auto removed = galloper::cli::recover_archive_dir(dir);
+  if (!removed.empty())
+    std::fprintf(stderr,
+                 "recovered %s: removed %zu orphaned .tmp staging file(s)\n",
+                 dir.c_str(), removed.size());
 }
 
 // --threads=N; defaults to the pool's size (GALLOPER_THREADS env or the
@@ -62,12 +94,27 @@ int main(int argc, char** argv) {
   namespace cli = galloper::cli;
   try {
     Flags flags(argc, argv, /*boolean_flags=*/{"stats"});
+    try {
+      flags.restrict_to(kKnownFlags);
+    } catch (const galloper::CheckError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return usage();
+    }
     const int rc = run(flags);
     // --stats: plan-cache hit rate + per-path plan/execute timing, after
     // the command's own output so scripts can keep parsing stdout.
     if (flags.has("stats"))
       std::fputs(cli::format_plan_stats().c_str(), stdout);
     return rc;
+  } catch (const cli::CrcMismatchError& e) {
+    // Distinct exit code: the input data itself is rotten (a repair's
+    // helpers fail the manifest CRC) — retrying cannot help, re-verify.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  } catch (const galloper::fault::TransientError& e) {
+    // Reads kept failing past the retry budget — worth retrying later.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 4;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -98,8 +145,42 @@ int run(const galloper::Flags& flags) {
                   pos[2].c_str());
       return 0;
     }
+    if (command == "soak") {
+      if (pos.size() != 1) return usage();
+      // Flag fallbacks defer to the SoakOptions defaults (notably g = 2:
+      // the harness wants slack beyond the erasures it schedules).
+      galloper::fault::SoakOptions opt;
+      opt.seed = static_cast<uint64_t>(flags.get_int("seed", 1));
+      opt.ops = static_cast<size_t>(
+          flags.get_int("ops", static_cast<int64_t>(opt.ops)));
+      opt.files = static_cast<size_t>(
+          flags.get_int("files", static_cast<int64_t>(opt.files)));
+      opt.k = static_cast<size_t>(
+          flags.get_int("k", static_cast<int64_t>(opt.k)));
+      opt.l = static_cast<size_t>(
+          flags.get_int("l", static_cast<int64_t>(opt.l)));
+      opt.g = static_cast<size_t>(
+          flags.get_int("g", static_cast<int64_t>(opt.g)));
+      opt.verbose = true;
+      const double seconds = flags.get_double("seconds", 0);
+      // --seconds: repeat --ops-sized rounds on derived seeds until the
+      // wall-clock budget is spent. Each round stays deterministic (its
+      // seed is printed); only the number of rounds depends on timing.
+      const auto start = std::chrono::steady_clock::now();
+      size_t round = 0;
+      do {
+        opt.seed = static_cast<uint64_t>(flags.get_int("seed", 1)) + round++;
+        galloper::fault::run_soak(opt);
+      } while (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start)
+                   .count() < seconds);
+      std::printf("soak passed: %zu round(s), every read bit-identical\n",
+                  round);
+      return 0;
+    }
     if (command == "decode") {
       if (pos.size() != 3) return usage();
+      sweep_archive_dir(pos[1]);
       // Streaming: decoded segments flow straight to the output file, so
       // the decode never holds the whole file in memory.
       if (!cli::decode_archive_to(pos[1], pos[2], threads_flag(flags))) {
@@ -112,6 +193,7 @@ int run(const galloper::Flags& flags) {
     }
     if (command == "repair") {
       if (pos.size() != 2 || !flags.has("block")) return usage();
+      sweep_archive_dir(pos[1]);
       const auto helpers = cli::repair_archive(
           pos[1], static_cast<size_t>(flags.get_int("block", 0)),
           threads_flag(flags));
@@ -132,6 +214,7 @@ int run(const galloper::Flags& flags) {
     }
     if (command == "update") {
       if (pos.size() != 3 || !flags.has("offset")) return usage();
+      sweep_archive_dir(pos[1]);
       std::ifstream in(pos[2], std::ios::binary);
       if (!in.good()) {
         std::fprintf(stderr, "cannot open %s\n", pos[2].c_str());
@@ -152,6 +235,7 @@ int run(const galloper::Flags& flags) {
     }
     if (command == "verify") {
       if (pos.size() != 2) return usage();
+      sweep_archive_dir(pos[1]);
       const auto report = cli::verify_archive(pos[1]);
       if (report.clean()) {
         std::printf("all blocks present and CRC-clean\n");
