@@ -1,0 +1,454 @@
+// compare: diff a bench JSON result against a committed baseline, with
+// per-metric tolerance bands. CI runs the bench with GALLOPER_BENCH_JSON,
+// then this tool against the repo's committed BENCH_*.json — a metric that
+// regressed past its band fails the build (exit 1), so a perf PR cannot
+// silently walk back a win the baseline recorded.
+//
+// Usage:
+//   compare --baseline OLD.json --current NEW.json SPEC... [--tolerance F]
+//   compare --regen --baseline OLD.json --current NEW.json
+//   compare --self-test
+//
+// A SPEC names a numeric metric and a direction:
+//   speedup:higher        current may not drop >tol below baseline
+//   batched_s:lower       current may not rise >tol above baseline
+//   speedup:higher:0.25   same, with a per-spec tolerance band
+//   speedup:min=1.3       absolute floor on CURRENT (baseline not consulted
+//   async_s:max=0.5       / absolute ceiling) — machine-independent gates
+//
+// Metrics are matched by flattened path suffix: the files are flattened to
+// "cells[3].speedup"-style paths and a spec key matches every path ending
+// in it, so one spec gates a whole cells[] array. Relative specs pair
+// baseline and current by identical path — both files must come from the
+// same bench binary (same cell order). --tolerance sets the default band
+// (0.15); --regen copies current over baseline (one-command baseline
+// refresh after an intentional perf change). Exit: 0 ok, 1 regression,
+// 2 usage/parse error.
+//
+// Self-contained on purpose: CI's Release job has no JSON library for C++
+// and the python3 step cannot be the thing that parses exit codes away, so
+// the tool carries a minimal recursive-descent JSON reader (numbers,
+// strings, bools, objects, arrays — exactly what JsonWriter emits).
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---- Minimal JSON → flattened {path → number} ---------------------------
+
+struct Parser {
+  const std::string& s;
+  size_t i = 0;
+  std::map<std::string, double> nums;
+  std::string err;
+
+  explicit Parser(const std::string& text) : s(text) {}
+
+  bool fail(const std::string& what) {
+    if (err.empty()) err = what + " at offset " + std::to_string(i);
+    return false;
+  }
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+  bool peek_is(char c) {
+    skip_ws();
+    return i < s.size() && s[i] == c;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\' && i + 1 < s.size()) ++i;  // keep escaped char raw
+      out->push_back(s[i++]);
+    }
+    if (i >= s.size()) return fail("unterminated string");
+    ++i;
+    return true;
+  }
+
+  bool parse_value(const std::string& path) {
+    skip_ws();
+    if (i >= s.size()) return fail("unexpected end");
+    const char c = s[i];
+    if (c == '{') return parse_object(path);
+    if (c == '[') return parse_array(path);
+    if (c == '"') {
+      std::string ignored;
+      return parse_string(&ignored);
+    }
+    if (s.compare(i, 4, "true") == 0) {
+      i += 4;
+      nums[path] = 1;
+      return true;
+    }
+    if (s.compare(i, 5, "false") == 0) {
+      i += 5;
+      nums[path] = 0;
+      return true;
+    }
+    if (s.compare(i, 4, "null") == 0) {
+      i += 4;
+      return true;
+    }
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str() + i, &end);
+    if (end == s.c_str() + i) return fail("bad value");
+    i = static_cast<size_t>(end - s.c_str());
+    nums[path] = v;
+    return true;
+  }
+
+  bool parse_object(const std::string& path) {
+    if (!consume('{')) return false;
+    if (peek_is('}')) return consume('}');
+    while (true) {
+      std::string key;
+      if (!parse_string(&key)) return false;
+      if (!consume(':')) return false;
+      if (!parse_value(path.empty() ? key : path + "." + key)) return false;
+      if (peek_is(',')) {
+        consume(',');
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  bool parse_array(const std::string& path) {
+    if (!consume('[')) return false;
+    if (peek_is(']')) return consume(']');
+    for (size_t index = 0;; ++index) {
+      if (!parse_value(path + "[" + std::to_string(index) + "]")) return false;
+      if (peek_is(',')) {
+        consume(',');
+        continue;
+      }
+      return consume(']');
+    }
+  }
+};
+
+bool flatten_json(const std::string& text, std::map<std::string, double>* out,
+                  std::string* err) {
+  Parser p(text);
+  if (!p.parse_value("")) {
+    *err = p.err;
+    return false;
+  }
+  p.skip_ws();
+  if (p.i != text.size()) {
+    *err = "trailing garbage at offset " + std::to_string(p.i);
+    return false;
+  }
+  *out = std::move(p.nums);
+  return true;
+}
+
+// ---- Specs --------------------------------------------------------------
+
+struct Spec {
+  std::string key;
+  enum Kind { kHigher, kLower, kMin, kMax } kind = kHigher;
+  double tol = -1;    // < 0 → use the default band
+  double bound = 0;   // kMin / kMax
+};
+
+bool parse_spec(const std::string& text, Spec* spec, std::string* err) {
+  const size_t colon = text.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    *err = "spec needs key:direction — got '" + text + "'";
+    return false;
+  }
+  spec->key = text.substr(0, colon);
+  std::string rest = text.substr(colon + 1);
+  if (rest.rfind("min=", 0) == 0 || rest.rfind("max=", 0) == 0) {
+    spec->kind = rest[1] == 'i' ? Spec::kMin : Spec::kMax;
+    char* end = nullptr;
+    spec->bound = std::strtod(rest.c_str() + 4, &end);
+    if (end == rest.c_str() + 4 || *end != '\0') {
+      *err = "bad bound in '" + text + "'";
+      return false;
+    }
+    return true;
+  }
+  std::string dir = rest;
+  const size_t colon2 = rest.find(':');
+  if (colon2 != std::string::npos) {
+    dir = rest.substr(0, colon2);
+    char* end = nullptr;
+    const std::string tol_text = rest.substr(colon2 + 1);
+    spec->tol = std::strtod(tol_text.c_str(), &end);
+    if (end == tol_text.c_str() || *end != '\0' || spec->tol < 0) {
+      *err = "bad tolerance in '" + text + "'";
+      return false;
+    }
+  }
+  if (dir == "higher") {
+    spec->kind = Spec::kHigher;
+  } else if (dir == "lower") {
+    spec->kind = Spec::kLower;
+  } else {
+    *err = "direction must be higher|lower|min=|max= — got '" + text + "'";
+    return false;
+  }
+  return true;
+}
+
+// Flattened-path suffix match: "speedup" gates "cells[3].speedup" but not
+// "warmup_speedup".
+bool path_matches(const std::string& path, const std::string& key) {
+  if (path == key) return true;
+  if (path.size() <= key.size()) return false;
+  if (path.compare(path.size() - key.size(), key.size(), key) != 0)
+    return false;
+  const char before = path[path.size() - key.size() - 1];
+  return before == '.' || before == ']';
+}
+
+struct Report {
+  size_t checked = 0;
+  std::vector<std::string> failures;
+};
+
+void check_specs(const std::vector<Spec>& specs, double default_tol,
+                 const std::map<std::string, double>& baseline,
+                 const std::map<std::string, double>& current,
+                 Report* report) {
+  for (const Spec& spec : specs) {
+    size_t matched = 0;
+    for (const auto& [path, value] : current) {
+      if (!path_matches(path, spec.key)) continue;
+      ++matched;
+      ++report->checked;
+      std::ostringstream why;
+      switch (spec.kind) {
+        case Spec::kMin:
+          if (value < spec.bound) {
+            why << path << " = " << value << " below floor " << spec.bound;
+            report->failures.push_back(why.str());
+          }
+          break;
+        case Spec::kMax:
+          if (value > spec.bound) {
+            why << path << " = " << value << " above ceiling " << spec.bound;
+            report->failures.push_back(why.str());
+          }
+          break;
+        case Spec::kHigher:
+        case Spec::kLower: {
+          const auto it = baseline.find(path);
+          if (it == baseline.end()) {
+            report->failures.push_back(path + " missing from baseline");
+            break;
+          }
+          const double tol = spec.tol >= 0 ? spec.tol : default_tol;
+          const double old_value = it->second;
+          if (spec.kind == Spec::kHigher
+                  ? value < old_value * (1 - tol)
+                  : value > old_value * (1 + tol)) {
+            why << path << " regressed: " << old_value << " -> " << value
+                << " (band " << tol * 100 << "%)";
+            report->failures.push_back(why.str());
+          }
+          break;
+        }
+      }
+    }
+    if (matched == 0)
+      report->failures.push_back("spec '" + spec.key +
+                                 "' matched no metric in current");
+  }
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// ---- Self-test ----------------------------------------------------------
+
+int self_test() {
+  const std::string baseline =
+      R"({"bench":"t","cells":[{"path":"encode","speedup":2.0,"mbps":100},)"
+      R"({"path":"repair","speedup":3.0,"mbps":50}],"bit_identical":true})";
+  const std::string clean =
+      R"({"bench":"t","cells":[{"path":"encode","speedup":1.9,"mbps":104},)"
+      R"({"path":"repair","speedup":3.1,"mbps":48}],"bit_identical":true})";
+  const std::string regressed =
+      R"({"bench":"t","cells":[{"path":"encode","speedup":0.4,"mbps":104},)"
+      R"({"path":"repair","speedup":3.1,"mbps":48}],"bit_identical":true})";
+
+  std::map<std::string, double> base, cur, bad;
+  std::string err;
+  if (!flatten_json(baseline, &base, &err) ||
+      !flatten_json(clean, &cur, &err) ||
+      !flatten_json(regressed, &bad, &err)) {
+    std::fprintf(stderr, "self-test: parse failed: %s\n", err.c_str());
+    return 2;
+  }
+  if (base.find("cells[1].speedup") == base.end() ||
+      base.at("cells[1].speedup") != 3.0 ||
+      base.at("bit_identical") != 1) {
+    std::fprintf(stderr, "self-test: flattening wrong\n");
+    return 2;
+  }
+
+  Spec spec;
+  std::vector<std::pair<std::string, bool>> spec_cases = {
+      {"speedup:higher", true},      {"speedup:lower:0.5", true},
+      {"speedup:min=1.3", true},     {"mbps:max=200", true},
+      {"speedup", false},            {"speedup:sideways", false},
+      {"speedup:min=zebra", false},  {":higher", false},
+  };
+  for (const auto& [text, want_ok] : spec_cases) {
+    if (parse_spec(text, &spec, &err) != want_ok) {
+      std::fprintf(stderr, "self-test: parse_spec('%s') expected %s\n",
+                   text.c_str(), want_ok ? "ok" : "error");
+      return 2;
+    }
+  }
+
+  const auto run = [&](const std::map<std::string, double>& current,
+                       const std::string& spec_text, double tol) {
+    Spec s;
+    std::string e;
+    if (!parse_spec(spec_text, &s, &e)) return size_t{99};
+    Report report;
+    check_specs({s}, tol, base, current, &report);
+    return report.failures.size();
+  };
+
+  struct Case {
+    const char* name;
+    size_t got, want;
+  } cases[] = {
+      {"clean passes", run(cur, "speedup:higher", 0.15), 0},
+      {"regression caught", run(bad, "speedup:higher", 0.15), 1},
+      {"wide band forgives", run(bad, "speedup:higher:0.9", 0.15), 0},
+      {"floor caught", run(bad, "speedup:min=1.3", 0.15), 1},
+      {"floor passes", run(cur, "speedup:min=1.3", 0.15), 0},
+      {"ceiling caught", run(cur, "mbps:max=60", 0.15), 1},
+      {"unknown key flagged", run(cur, "nonesuch:higher", 0.15), 1},
+      {"suffix no overmatch", run(cur, "peedup:higher", 0.15), 1},
+  };
+  for (const Case& c : cases) {
+    if (c.got != c.want) {
+      std::fprintf(stderr, "self-test: %s — got %zu failures, want %zu\n",
+                   c.name, c.got, c.want);
+      return 2;
+    }
+  }
+  std::printf("compare self-test: all cases pass\n");
+  return 0;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --baseline OLD.json --current NEW.json SPEC...\n"
+      "         [--tolerance F]     default relative band (0.15)\n"
+      "       %s --regen --baseline OLD.json --current NEW.json\n"
+      "       %s --self-test\n"
+      "  SPEC: key:higher[:tol] | key:lower[:tol] | key:min=X | key:max=X\n",
+      argv0, argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, current_path;
+  std::vector<Spec> specs;
+  double default_tol = 0.15;
+  bool regen = false;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--self-test") return self_test();
+    if (arg == "--regen") {
+      regen = true;
+    } else if (arg == "--baseline" && a + 1 < argc) {
+      baseline_path = argv[++a];
+    } else if (arg == "--current" && a + 1 < argc) {
+      current_path = argv[++a];
+    } else if (arg == "--tolerance" && a + 1 < argc) {
+      char* end = nullptr;
+      default_tol = std::strtod(argv[++a], &end);
+      if (end == argv[a] || *end != '\0' || default_tol < 0)
+        return usage(argv[0]);
+    } else {
+      Spec spec;
+      std::string err;
+      if (!parse_spec(arg, &spec, &err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return usage(argv[0]);
+      }
+      specs.push_back(spec);
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) return usage(argv[0]);
+
+  std::string current_text;
+  if (!read_file(current_path, &current_text)) {
+    std::fprintf(stderr, "cannot read %s\n", current_path.c_str());
+    return 2;
+  }
+
+  if (regen) {
+    std::ofstream out(baseline_path, std::ios::binary | std::ios::trunc);
+    out << current_text;
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", baseline_path.c_str());
+      return 2;
+    }
+    std::printf("baseline %s regenerated from %s\n", baseline_path.c_str(),
+                current_path.c_str());
+    return 0;
+  }
+  if (specs.empty()) return usage(argv[0]);
+
+  std::string baseline_text, err;
+  if (!read_file(baseline_path, &baseline_text)) {
+    std::fprintf(stderr, "cannot read %s\n", baseline_path.c_str());
+    return 2;
+  }
+  std::map<std::string, double> base, cur;
+  if (!flatten_json(baseline_text, &base, &err)) {
+    std::fprintf(stderr, "%s: %s\n", baseline_path.c_str(), err.c_str());
+    return 2;
+  }
+  if (!flatten_json(current_text, &cur, &err)) {
+    std::fprintf(stderr, "%s: %s\n", current_path.c_str(), err.c_str());
+    return 2;
+  }
+
+  Report report;
+  check_specs(specs, default_tol, base, cur, &report);
+  for (const std::string& failure : report.failures)
+    std::fprintf(stderr, "REGRESSION: %s\n", failure.c_str());
+  std::printf("compare: %zu metrics checked, %zu regressions (%s vs %s)\n",
+              report.checked, report.failures.size(), current_path.c_str(),
+              baseline_path.c_str());
+  return report.failures.empty() ? 0 : 1;
+}

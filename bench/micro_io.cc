@@ -1,0 +1,279 @@
+// micro_io: what the async I/O layer buys the store's gather paths.
+//
+// A degraded read must fetch a decodable subset of block files before it
+// can decode. The serial loop pays (read + disk latency) per block, one
+// after another; the async path keeps every fetch in flight on the I/O
+// pool and starts decoding as soon as a decodable subset is clean, so the
+// wall clock is ~one latency plus the decode, not the sum. This bench
+// builds a real block directory on disk (usually tmpfs in CI), injects a
+// synthetic per-read stall to stand in for disk/network latency, and times
+// three cells:
+//
+//   gather          every block fetched, then decoded — serial loop vs
+//                   one scatter-gather submit_many batch
+//   overlap_decode  degraded read: serial fetch-all-then-decode vs
+//                   FetchSet await(decodable) with the decode overlapping
+//                   the straggler fetches
+//   hedged_tail     one helper stalls hard; the unhedged gather waits the
+//                   full stall, the hedged one re-issues the key at the
+//                   fixed deadline and the loser is cancelled mid-stall
+//
+// Every cell checks the async result is bit-identical to the serial one;
+// the binary exits nonzero otherwise. Speedups are ratio-based so the CI
+// floor assertion is machine-independent (the stall dominates both sides).
+//
+//   GALLOPER_BENCH_MB    ≈ MiB of file data per measurement (default 16)
+//   GALLOPER_BENCH_REPS  timing rounds, best-of (default 3)
+//   GALLOPER_BENCH_JSON  write machine-readable results there
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/galloper.h"
+#include "io/async.h"
+#include "io/fetch.h"
+#include "io/io.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace galloper;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Cell {
+  std::string mode;
+  size_t stall_us = 0;
+  double serial_s = 0;
+  double async_s = 0;
+  bool identical = false;
+
+  double speedup() const { return serial_s / async_s; }
+};
+
+void sleep_for_us(size_t us) {
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+template <typename Fn>
+double best_of(size_t rounds, Fn&& fn) {
+  double best = 1e300;
+  for (size_t r = 0; r < rounds; ++r) best = std::min(best, bench::timed(fn));
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  core::GalloperCode code(4, 2, 1);
+  const codes::CodecEngine& e = code.engine();
+  const size_t rounds = std::max<size_t>(1, bench::reps());
+  const size_t nblocks = e.num_blocks();
+  Rng rng(20260808);
+
+  std::printf("==== micro_io — async block fetch vs the serial gather "
+              "loop ====\n");
+  std::printf("(%s, best of %zu rounds, ~%zu MiB per file, %zu I/O threads; "
+              "stalls are synthetic per-read disk latency both sides pay)\n\n",
+              code.name().c_str(), rounds, bench::block_mib(),
+              io::AsyncIo::default_threads());
+
+  // A real block directory: encode one file, one block file per block.
+  const size_t file_bytes = bench::file_bytes_for_block(
+      code, std::max<size_t>(1, bench::block_mib()) * (size_t{1} << 20) /
+                nblocks);
+  const Buffer file = random_buffer(file_bytes, rng);
+  const std::vector<Buffer> blocks = e.encode(file);
+  const size_t block_bytes = blocks[0].size();
+
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("galloper_micro_io_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::vector<io::File> files;
+  files.reserve(nblocks);
+  for (size_t b = 0; b < nblocks; ++b) {
+    const fs::path p = dir / ("block_" + std::to_string(b) + ".bin");
+    {
+      io::File out = io::File::create(p.string());
+      out.pwrite_full(blocks[b].data(), blocks[b].size(), 0);
+      out.sync();
+    }
+    files.push_back(io::File::open_read(p.string()));
+  }
+
+  // Private pool: stats and hedge policy isolated from any other user.
+  io::AsyncIo pool(0);
+
+  // Degraded view for the decode cells: block 0 lost, gather the rest.
+  std::vector<size_t> present;
+  for (size_t b = 1; b < nblocks; ++b) present.push_back(b);
+
+  std::vector<Buffer> scratch(nblocks);
+  for (size_t b = 0; b < nblocks; ++b) scratch[b] = Buffer(block_bytes);
+  const auto view_of = [&](const std::vector<size_t>& ids) {
+    std::map<size_t, ConstByteSpan> v;
+    for (size_t b : ids) v.emplace(b, scratch[b]);
+    return v;
+  };
+
+  std::vector<Cell> cells;
+
+  // -- gather: every present block, serial loop vs one submit_many --------
+  for (size_t stall_us : {size_t{0}, size_t{2000}}) {
+    Cell c{"gather", stall_us};
+    c.serial_s = best_of(rounds, [&] {
+      for (size_t b : present) {
+        sleep_for_us(stall_us);
+        files[b].pread_full(scratch[b].data(), block_bytes, 0);
+      }
+    });
+    bool ok = true;
+    for (size_t b : present) ok &= scratch[b] == blocks[b];
+    c.async_s = best_of(rounds, [&] {
+      std::vector<std::tuple<io::OpKind, size_t, io::Op::Body>> batch;
+      for (size_t b : present)
+        batch.emplace_back(io::OpKind::kFetch, block_bytes, [&, b](io::Op&) {
+          sleep_for_us(stall_us);
+          files[b].pread_full(scratch[b].data(), block_bytes, 0);
+        });
+      io::AsyncIo::wait_all(pool.submit_many(std::move(batch)));
+    });
+    for (size_t b : present) ok &= scratch[b] == blocks[b];
+    c.identical = ok;
+    cells.push_back(c);
+  }
+
+  // -- overlap_decode: degraded read, decode starts at first decodable ----
+  // subset while the stragglers are still stalling.
+  {
+    const size_t stall_us = 2000;
+    Cell c{"overlap_decode", stall_us};
+    Buffer serial_out, async_out;
+    c.serial_s = best_of(rounds, [&] {
+      for (size_t b : present) {
+        sleep_for_us(stall_us);
+        files[b].pread_full(scratch[b].data(), block_bytes, 0);
+      }
+      serial_out = *e.decode_fast(view_of(present));
+    });
+    c.async_s = best_of(rounds, [&] {
+      io::FetchSet fetches(pool);
+      for (size_t b : present)
+        fetches.fetch(b, 1e-6 * static_cast<double>(stall_us), [&, b] {
+          files[b].pread_full(scratch[b].data(), block_bytes, 0);
+          return true;
+        });
+      fetches.await([&](const std::vector<size_t>& clean) {
+        return e.decodable(clean);
+      }, nullptr);
+      async_out = *e.decode_fast(view_of(fetches.clean_keys()));
+      fetches.join();
+    });
+    c.identical = serial_out == file && async_out == file;
+    cells.push_back(c);
+  }
+
+  // -- hedged_tail: one helper stalls 40 ms; the hedge re-issues the key --
+  // at a 3 ms fixed deadline and cancels the loser mid-stall.
+  {
+    const size_t stall_us = 40000;
+    const size_t slow = present.back();
+    Cell c{"hedged_tail", stall_us};
+    const auto gather = [&](io::AsyncIo& io, bool hedged) {
+      io::FetchSet fetches(io);
+      for (size_t b : present)
+        fetches.fetch(b, b == slow ? 1e-6 * static_cast<double>(stall_us) : 0,
+                      [&, b] {
+                        files[b].pread_full(scratch[b].data(), block_bytes, 0);
+                        return true;
+                      });
+      const auto all_present = [&](const std::vector<size_t>& clean) {
+        return clean.size() == present.size();
+      };
+      if (!hedged) {
+        fetches.await(all_present, nullptr);
+        fetches.join();
+        return;
+      }
+      fetches.await(all_present, [&](const std::vector<size_t>& pending) {
+        for (size_t b : pending) {
+          fetches.fetch(b, 0, [&, b] {
+            files[b].pread_full(scratch[b].data(), block_bytes, 0);
+            return true;
+          }, /*hedge=*/true);
+        }
+      });
+      fetches.cancel_and_join();
+    };
+    io::AsyncIo unhedged_pool(0);
+    io::HedgePolicy off;
+    off.enabled = false;
+    unhedged_pool.set_hedge_policy(off);
+    c.serial_s = best_of(rounds, [&] { gather(unhedged_pool, false); });
+    bool ok = true;
+    for (size_t b : present) ok &= scratch[b] == blocks[b];
+    io::AsyncIo hedged_pool(0);
+    io::HedgePolicy fixed;
+    fixed.fixed_deadline_s = 0.003;
+    hedged_pool.set_hedge_policy(fixed);
+    c.async_s = best_of(rounds, [&] { gather(hedged_pool, true); });
+    for (size_t b : present) ok &= scratch[b] == blocks[b];
+    c.identical = ok;
+    const io::IoStats st = hedged_pool.stats();
+    std::printf("hedged_tail pool: %llu hedges issued, %llu won, %llu "
+                "cancelled\n\n",
+                static_cast<unsigned long long>(st.hedges_issued),
+                static_cast<unsigned long long>(st.hedges_won),
+                static_cast<unsigned long long>(st.cancelled));
+    cells.push_back(c);
+  }
+
+  Table table({"mode", "stall (us)", "serial (ms)", "async (ms)", "speedup",
+               "bit-exact"});
+  for (const Cell& c : cells)
+    table.add_row({c.mode, std::to_string(c.stall_us),
+                   Table::num(c.serial_s * 1e3), Table::num(c.async_s * 1e3),
+                   Table::num(c.speedup()), c.identical ? "yes" : "NO"});
+  table.print();
+
+  if (const char* path = bench::bench_json_path()) {
+    bench::JsonWriter json;
+    json.begin_object();
+    json.key("bench").value("micro_io");
+    json.key("code").value(code.name());
+    bench::write_context(json);
+    json.key("io_threads").value(pool.threads());
+    json.key("cells").begin_array();
+    for (const Cell& c : cells) {
+      json.begin_object();
+      json.key("mode").value(c.mode);
+      json.key("stall_us").value(c.stall_us);
+      json.key("serial_s").value(c.serial_s);
+      json.key("async_s").value(c.async_s);
+      json.key("speedup").value(c.speedup());
+      json.key("bit_identical").value(c.identical ? 1 : 0);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    bench::write_json_file(path, json);
+    std::printf("wrote %s\n", path);
+  }
+
+  files.clear();
+  fs::remove_all(dir);
+
+  bool ok = true;
+  for (const Cell& c : cells) ok &= c.identical;
+  return ok ? 0 : 1;
+}

@@ -18,6 +18,8 @@
 #include "core/input_format.h"
 #include "core/weights.h"
 #include "fault/fault.h"
+#include "io/async.h"
+#include "io/io.h"
 #include "rt/queue.h"
 #include "util/buffer_pool.h"
 #include "util/check.h"
@@ -35,18 +37,13 @@ constexpr size_t kIoPiece = size_t{4} << 20;
 
 // ---- Hardened file I/O ----------------------------------------------------
 //
-// Every read checks the stream state AND the byte count, every write checks
-// the stream state; a truncated block file or a full disk fails loudly with
-// the path and the counts instead of silently coding over garbage.
-
-void read_exact(std::istream& in, const fs::path& path, uint8_t* dst,
-                size_t n) {
-  in.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
-  GALLOPER_CHECK_MSG(!in.fail() && static_cast<size_t>(in.gcount()) == n,
-                     "short read from " << path.string() << " (wanted " << n
-                                        << " bytes, got " << in.gcount()
-                                        << ")");
-}
+// All archive I/O is positional (io::File over pread/pwrite): EINTR and
+// short transfers retry in ONE place (io::read_full / io::write_full), and
+// positional ops need no stream state — which is what lets the pipeline
+// stages below scatter-gather many reads/writes of one file concurrently
+// on the async I/O pool. A truncated block file or a full disk still fails
+// loudly with the path and the counts instead of silently coding over
+// garbage.
 
 // ---- Fault hooks ----------------------------------------------------------
 //
@@ -64,8 +61,11 @@ void maybe_crash(const char* point) {
 constexpr size_t kReadAttempts = 4;
 constexpr double kReadTimeoutSeconds = 0.010;  // per-attempt stall budget
 
-void read_exact_retry(std::istream& in, const fs::path& path, uint8_t* dst,
-                      size_t n) {
+// Positional read of [off, off + n) with the injector's transient-fault
+// retry schedule. Safe to run concurrently from async ops: each call draws
+// its own schedule (the CLI fault tests are rate-based, not sequence-
+// based, so concurrent draw order is free to vary).
+void pread_retry(const io::File& file, uint8_t* dst, size_t n, uint64_t off) {
   fault::FaultInjector* inj = fault::global();
   for (size_t attempt = 1;; ++attempt) {
     bool failed = false;
@@ -79,11 +79,11 @@ void read_exact_retry(std::istream& in, const fs::path& path, uint8_t* dst,
       if (inj->read_fails()) failed = true;
     }
     if (!failed) {
-      read_exact(in, path, dst, n);
+      file.pread_full(dst, n, off);
       return;
     }
     if (attempt >= kReadAttempts)
-      throw fault::TransientError("read of " + path.string() +
+      throw fault::TransientError("read of " + file.path() +
                                   " kept failing transiently (" +
                                   std::to_string(attempt) + " attempts)");
     std::this_thread::sleep_for(std::chrono::microseconds(50u << attempt));
@@ -107,30 +107,16 @@ fs::path tmp_path_of(const fs::path& final_path) {
   return tmp;
 }
 
-void write_exact(std::ostream& out, const fs::path& path, ConstByteSpan data) {
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size()));
-  GALLOPER_CHECK_MSG(out.good(), "write error on " << path.string());
-}
-
 Buffer read_file(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  GALLOPER_CHECK_MSG(in.good(), "cannot open " << path.string());
-  in.seekg(0, std::ios::end);
-  const std::streamoff size = in.tellg();
-  GALLOPER_CHECK_MSG(size >= 0 && in.good(), "cannot stat " << path.string());
-  in.seekg(0, std::ios::beg);
-  Buffer data(static_cast<size_t>(size));
-  if (size > 0) read_exact(in, path, data.data(), data.size());
+  const io::File in = io::File::open_read(path);
+  Buffer data(in.size());
+  if (!data.empty()) in.pread_full(data.data(), data.size(), 0);
   return data;
 }
 
 void write_file(const fs::path& path, ConstByteSpan data) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  GALLOPER_CHECK_MSG(out.good(), "cannot write " << path.string());
-  write_exact(out, path, data);
-  out.flush();
-  GALLOPER_CHECK_MSG(out.good(), "write error on " << path.string());
+  io::File out = io::File::create(path);
+  if (!data.empty()) out.pwrite_full(data.data(), data.size(), 0);
 }
 
 // Atomic publish: readers see the old contents or the new, never a torn
@@ -147,19 +133,15 @@ void write_file_atomic(const fs::path& path, ConstByteSpan data) {
 // Streaming CRC of a whole file in kIoPiece pieces — verify and the
 // update-path CRC refresh never hold more than one piece in memory.
 uint32_t file_crc32c(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  GALLOPER_CHECK_MSG(in.good(), "cannot open " << path.string());
+  const io::File in = io::File::open_read(path);
   uint32_t state = kCrc32cInit;
   Buffer piece(kIoPiece);
+  uint64_t off = 0;
   while (true) {
-    in.read(reinterpret_cast<char*>(piece.data()),
-            static_cast<std::streamsize>(piece.size()));
-    const size_t got = static_cast<size_t>(in.gcount());
-    if (got > 0) state = crc32c_extend(state, ConstByteSpan(piece.data(), got));
-    if (!in) {
-      GALLOPER_CHECK_MSG(in.eof(), "read error on " << path.string());
-      break;
-    }
+    const size_t got = in.pread_some(piece.data(), piece.size(), off);
+    if (got == 0) break;
+    state = crc32c_extend(state, ConstByteSpan(piece.data(), got));
+    off += got;
   }
   return crc32c_finish(state);
 }
@@ -342,13 +324,8 @@ Manifest encode_archive(const fs::path& input, const fs::path& dir, size_t k,
                         int64_t resolution, size_t threads,
                         size_t chunk_bytes) {
   GALLOPER_CHECK_MSG(threads >= 1, "need at least one thread");
-  std::ifstream in(input, std::ios::binary);
-  GALLOPER_CHECK_MSG(in.good(), "cannot open " << input.string());
-  in.seekg(0, std::ios::end);
-  const std::streamoff end = in.tellg();
-  GALLOPER_CHECK_MSG(end >= 0 && in.good(), "cannot stat " << input.string());
-  in.seekg(0, std::ios::beg);
-  const size_t original = static_cast<size_t>(end);
+  const io::File in = io::File::open_read(input);
+  const size_t original = in.size();
   GALLOPER_CHECK_MSG(original > 0, "refusing to encode an empty file");
 
   Manifest m;
@@ -406,15 +383,10 @@ Manifest encode_archive(const fs::path& input, const fs::path& dir, size_t k,
   // every byte landed, so an aborted or crashed encode never tears an
   // existing archive in `dir`.
   fs::create_directories(dir);
-  std::vector<std::ofstream> outs;
+  std::vector<io::File> outs;
   outs.reserve(nblocks);
-  for (size_t b = 0; b < nblocks; ++b) {
-    outs.emplace_back(tmp_path_of(block_path(dir, b)),
-                      std::ios::binary | std::ios::trunc);
-    GALLOPER_CHECK_MSG(outs.back().good(),
-                       "cannot write "
-                           << tmp_path_of(block_path(dir, b)).string());
-  }
+  for (size_t b = 0; b < nblocks; ++b)
+    outs.push_back(io::File::create(tmp_path_of(block_path(dir, b))));
   std::vector<uint32_t> crcs(nblocks, kCrc32cInit);
 
   try {
@@ -425,7 +397,7 @@ Manifest encode_archive(const fs::path& input, const fs::path& dir, size_t k,
             Buffer data(seg.data_len);
             const size_t want =
                 std::min(seg.data_len, original - seg.file_offset);
-            read_exact(in, input, data.data(), want);
+            in.pread_full(data.data(), want, seg.file_offset);
             std::fill(data.begin() + static_cast<std::ptrdiff_t>(want),
                       data.end(), 0);
             if (!in_q.push({seg.index, std::move(data)})) return;
@@ -440,11 +412,19 @@ Manifest encode_archive(const fs::path& input, const fs::path& dir, size_t k,
             maybe_crash("archive.encode.writer");
             GALLOPER_CHECK(item->index == expect++ &&
                            item->blocks.size() == nblocks);
-            for (size_t b = 0; b < nblocks; ++b) {
-              write_exact(outs[b], tmp_path_of(block_path(dir, b)),
-                          item->blocks[b]);
+            // Scatter-gather: all nblocks per-segment pieces land on the
+            // async pool concurrently (positional writes, one op per
+            // block file); the CRC fold stays serial and in block order.
+            const uint64_t off = segments[item->index].block_offset;
+            std::vector<io::OpRef> ops;
+            ops.reserve(nblocks);
+            for (size_t b = 0; b < nblocks; ++b)
+              ops.push_back(io::AsyncIo::global().submit_write(
+                  outs[b], item->blocks[b].data(), item->blocks[b].size(),
+                  off));
+            io::AsyncIo::wait_all(ops);
+            for (size_t b = 0; b < nblocks; ++b)
               crcs[b] = crc32c_extend(crcs[b], item->blocks[b]);
-            }
           }
         },
         abort_all);
@@ -473,12 +453,8 @@ Manifest encode_archive(const fs::path& input, const fs::path& dir, size_t k,
     // files with no (new) manifest — both states the startup sweep /
     // re-encode handle.
     for (size_t b = 0; b < nblocks; ++b) {
-      outs[b].flush();
-      GALLOPER_CHECK_MSG(
-          outs[b].good(),
-          "write error on " << tmp_path_of(block_path(dir, b)).string());
+      outs[b].sync();
       outs[b].close();
-      sync_path(tmp_path_of(block_path(dir, b)));
       m.block_crcs.push_back(crc32c_finish(crcs[b]));
     }
     maybe_crash("archive.encode.pre_publish");
@@ -540,16 +516,14 @@ bool decode_archive_stream(const fs::path& dir, size_t threads,
       m, engine.num_chunks(), engine.stripes_per_block());
 
   std::vector<size_t> ids;
-  std::vector<std::unique_ptr<std::ifstream>> ins;  // parallel to ids
+  std::vector<io::File> ins;  // parallel to ids
   for (size_t b = 0; b < code.num_blocks(); ++b) {
     const fs::path p = block_path(dir, b);
     if (!fs::exists(p)) continue;
     GALLOPER_CHECK_MSG(fs::file_size(p) == m.block_bytes,
                        "block file " << p.string() << " has wrong size");
-    auto in = std::make_unique<std::ifstream>(p, std::ios::binary);
-    GALLOPER_CHECK_MSG(in->good(), "cannot open " << p.string());
     ids.push_back(b);
-    ins.push_back(std::move(in));
+    ins.push_back(io::File::open_read(p));
   }
   if (ids.empty()) return false;
   // Solvability is a property of the erasure pattern, not the bytes: gate
@@ -565,17 +539,25 @@ bool decode_archive_stream(const fs::path& dir, size_t threads,
       [&] {
         for (const Segment& seg : segments) {
           maybe_crash("archive.decode.reader");
-          std::vector<Buffer> pieces;
-          pieces.reserve(ids.size());
+          // Scatter-gather: every present block's piece of this segment is
+          // fetched concurrently on the async pool. Each op runs its own
+          // retry-with-backoff, so an injected transient fault or an
+          // over-budget latency spike on one block read must not kill the
+          // decode outright; a persistent fault surfaces from wait_all as
+          // TransientError and poisons the pipeline.
+          std::vector<Buffer> pieces(ids.size());
+          std::vector<io::OpRef> ops;
+          ops.reserve(ids.size());
           for (size_t i = 0; i < ids.size(); ++i) {
-            Buffer piece(seg.block_len);
-            // Retry-with-backoff: an injected transient fault or an
-            // over-budget latency spike on one block read must not kill
-            // the decode outright.
-            read_exact_retry(*ins[i], block_path(dir, ids[i]), piece.data(),
-                             piece.size());
-            pieces.push_back(std::move(piece));
+            pieces[i] = Buffer(seg.block_len);
+            ops.push_back(io::AsyncIo::global().submit(
+                io::OpKind::kRead, seg.block_len,
+                [&file = ins[i], dst = pieces[i].data(), n = seg.block_len,
+                 off = seg.block_offset](io::Op&) {
+                  pread_retry(file, dst, n, off);
+                }));
           }
+          io::AsyncIo::wait_all(ops);
           if (!q.push({seg.index, std::move(pieces)})) return;
         }
         q.close();
@@ -622,17 +604,20 @@ std::optional<Buffer> decode_archive(const fs::path& dir, size_t threads) {
 
 bool decode_archive_to(const fs::path& dir, const fs::path& output,
                        size_t threads) {
-  std::ofstream out(output, std::ios::binary | std::ios::trunc);
-  GALLOPER_CHECK_MSG(out.good(), "cannot write " << output.string());
+  io::File out = io::File::create(output);
 
-  // Third stage: decoded segments append on a writer thread, so disk writes
-  // overlap the next segment's decode.
-  rt::BoundedQueue<Buffer> q(2);
+  // Third stage: decoded segments land via positional writes on a writer
+  // thread, so disk writes overlap the next segment's decode.
+  struct OutPiece {
+    size_t offset;
+    Buffer data;
+  };
+  rt::BoundedQueue<OutPiece> q(2);
   StageThread writer(
       [&] {
-        while (auto data = q.pop()) {
+        while (auto item = q.pop()) {
           maybe_crash("archive.decode.writer");
-          write_exact(out, output, *data);
+          out.pwrite_full(item->data.data(), item->data.size(), item->offset);
         }
       },
       [&](std::exception_ptr e) { q.poison(e); });
@@ -640,11 +625,12 @@ bool decode_archive_to(const fs::path& dir, const fs::path& output,
   bool ok = false;
   std::exception_ptr err;
   try {
-    // Emits arrive in file order, so appending preserves offsets. A push
-    // that returns false means the writer poisoned the queue; surface ITS
-    // error (the root cause) rather than a generic push failure.
-    ok = decode_archive_stream(dir, threads, [&](size_t, Buffer&& data) {
-      if (!q.push(std::move(data))) {
+    // Emits carry their file offset, so the positional writes land exactly
+    // where the segment belongs. A push that returns false means the
+    // writer poisoned the queue; surface ITS error (the root cause) rather
+    // than a generic push failure.
+    ok = decode_archive_stream(dir, threads, [&](size_t off, Buffer&& data) {
+      if (!q.push({off, std::move(data)})) {
         q.rethrow_if_poisoned();
         GALLOPER_CHECK_MSG(false,
                            "write stage failed for " << output.string());
@@ -658,10 +644,6 @@ bool decode_archive_to(const fs::path& dir, const fs::path& output,
   if (!err) {
     try {
       writer.rethrow();
-      if (ok) {
-        out.flush();
-        GALLOPER_CHECK_MSG(out.good(), "write error on " << output.string());
-      }
     } catch (...) {
       err = std::current_exception();
     }
@@ -714,15 +696,10 @@ std::optional<std::vector<size_t>> repair_archive(const fs::path& dir,
     const auto plan = engine.plan_repair(block, helpers);
     if (!plan->fully_solvable()) return std::nullopt;
 
-    std::vector<std::unique_ptr<std::ifstream>> ins;
+    std::vector<io::File> ins;
     ins.reserve(helpers.size());
-    for (size_t h : helpers) {
-      auto in = std::make_unique<std::ifstream>(block_path(dir, h),
-                                                std::ios::binary);
-      GALLOPER_CHECK_MSG(in->good(),
-                         "cannot open " << block_path(dir, h).string());
-      ins.push_back(std::move(in));
-    }
+    for (size_t h : helpers)
+      ins.push_back(io::File::open_read(block_path(dir, h)));
 
     // Rebuild into block_NNN.bin.tmp and rename over the target only once
     // every segment landed and the CRC matches — a failed repair unlinks
@@ -734,15 +711,18 @@ std::optional<std::vector<size_t>> repair_archive(const fs::path& dir,
     const fs::path final_path = block_path(dir, block);
     const fs::path tmp_path = tmp_path_of(final_path);
     try {
-      std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-      GALLOPER_CHECK_MSG(out.good(), "cannot write " << tmp_path.string());
+      io::File out = io::File::create(tmp_path);
 
       struct SegPieces {
         size_t index;
         std::vector<Buffer> pieces;  // parallel to helpers
       };
+      struct OutPiece {
+        size_t offset;  // block_offset of the segment
+        Buffer data;
+      };
       rt::BoundedQueue<SegPieces> in_q(2);
-      rt::BoundedQueue<Buffer> out_q(2);
+      rt::BoundedQueue<OutPiece> out_q(2);
       const auto abort_all = [&](std::exception_ptr e) {
         in_q.poison(e);
         out_q.poison(e);
@@ -751,16 +731,23 @@ std::optional<std::vector<size_t>> repair_archive(const fs::path& dir,
           [&] {
             for (const Segment& seg : segments) {
               maybe_crash("archive.repair.reader");
-              std::vector<Buffer> pieces;
-              pieces.reserve(helpers.size());
+              // Scatter-gather all helper pieces of this segment on the
+              // async pool; each op keeps the per-helper retry-with-
+              // backoff (a stall above the timeout budget counts as a
+              // failed attempt rather than a hang).
+              std::vector<Buffer> pieces(helpers.size());
+              std::vector<io::OpRef> ops;
+              ops.reserve(helpers.size());
               for (size_t i = 0; i < helpers.size(); ++i) {
-                Buffer piece(seg.block_len);
-                // Per-helper retry-with-backoff; a stall above the timeout
-                // budget counts as a failed attempt rather than a hang.
-                read_exact_retry(*ins[i], block_path(dir, helpers[i]),
-                                 piece.data(), piece.size());
-                pieces.push_back(std::move(piece));
+                pieces[i] = Buffer(seg.block_len);
+                ops.push_back(io::AsyncIo::global().submit(
+                    io::OpKind::kRead, seg.block_len,
+                    [&file = ins[i], dst = pieces[i].data(),
+                     n = seg.block_len, off = seg.block_offset](io::Op&) {
+                      pread_retry(file, dst, n, off);
+                    }));
               }
+              io::AsyncIo::wait_all(ops);
               if (!in_q.push({seg.index, std::move(pieces)})) return;
             }
             in_q.close();
@@ -769,10 +756,11 @@ std::optional<std::vector<size_t>> repair_archive(const fs::path& dir,
       uint32_t crc = kCrc32cInit;
       StageThread writer(
           [&] {
-            while (auto data = out_q.pop()) {
+            while (auto item = out_q.pop()) {
               maybe_crash("archive.repair.writer");
-              write_exact(out, tmp_path, *data);
-              crc = crc32c_extend(crc, *data);
+              out.pwrite_full(item->data.data(), item->data.size(),
+                              item->offset);
+              crc = crc32c_extend(crc, item->data);
             }
           },
           abort_all);
@@ -781,12 +769,13 @@ std::optional<std::vector<size_t>> repair_archive(const fs::path& dir,
       try {
         while (auto item = in_q.pop()) {
           maybe_crash("archive.repair.codec");
+          const Segment& seg = segments[item->index];
           std::map<size_t, ConstByteSpan> view;
           for (size_t i = 0; i < helpers.size(); ++i)
             view.emplace(helpers[i], item->pieces[i]);
           auto rebuilt = engine.repair_block_with_plan(*plan, view, threads);
           GALLOPER_CHECK(rebuilt.has_value());  // solvability gated above
-          if (!out_q.push(std::move(*rebuilt))) break;
+          if (!out_q.push({seg.block_offset, std::move(*rebuilt)})) break;
         }
       } catch (...) {
         codec_error = std::current_exception();
@@ -799,16 +788,14 @@ std::optional<std::vector<size_t>> repair_archive(const fs::path& dir,
       reader.rethrow();
       writer.rethrow();
 
-      out.flush();
-      GALLOPER_CHECK_MSG(out.good(), "write error on " << tmp_path.string());
-      out.close();
       if (m.block_crcs.size() > block && crc32c_finish(crc) != m.block_crcs[block]) {
         std::ostringstream os;
         os << "repaired block " << block
            << " fails its manifest CRC — helper data is corrupt";
         throw CrcMismatchError(os.str());
       }
-      sync_path(tmp_path);
+      out.sync();
+      out.close();
       maybe_crash("archive.repair.pre_rename");
       fs::rename(tmp_path, final_path);
       sync_path(dir);
@@ -902,18 +889,23 @@ std::vector<size_t> update_archive(const fs::path& dir, size_t offset,
             << seg.chunk << " bytes in segment " << seg.index
             << ") or end at the file's last byte");
 
-    std::vector<Buffer> pieces;
-    pieces.reserve(code.num_blocks());
-    for (size_t b = 0; b < code.num_blocks(); ++b) {
-      const fs::path p = block_path(dir, b);
-      GALLOPER_CHECK_MSG(fs::file_size(p) == m.block_bytes,
-                         "block file " << p.string() << " has wrong size");
-      std::ifstream in(p, std::ios::binary);
-      GALLOPER_CHECK_MSG(in.good(), "cannot open " << p.string());
-      in.seekg(static_cast<std::streamoff>(seg.block_offset));
-      Buffer piece(seg.block_len);
-      read_exact(in, p, piece.data(), piece.size());
-      pieces.push_back(std::move(piece));
+    // Scatter-gather the affected piece of every block concurrently.
+    std::vector<Buffer> pieces(code.num_blocks());
+    {
+      std::vector<io::File> ins;
+      std::vector<io::OpRef> ops;
+      ins.reserve(code.num_blocks());
+      ops.reserve(code.num_blocks());
+      for (size_t b = 0; b < code.num_blocks(); ++b) {
+        const fs::path p = block_path(dir, b);
+        GALLOPER_CHECK_MSG(fs::file_size(p) == m.block_bytes,
+                           "block file " << p.string() << " has wrong size");
+        ins.push_back(io::File::open_read(p));
+        pieces[b] = Buffer(seg.block_len);
+        ops.push_back(io::AsyncIo::global().submit_read(
+            ins.back(), pieces[b].data(), seg.block_len, seg.block_offset));
+      }
+      io::AsyncIo::wait_all(ops);
     }
 
     std::vector<size_t> seg_touched;
@@ -937,14 +929,19 @@ std::vector<size_t> update_archive(const fs::path& dir, size_t offset,
     seg_touched.erase(std::unique(seg_touched.begin(), seg_touched.end()),
                       seg_touched.end());
 
-    for (size_t b : seg_touched) {
-      const fs::path p = block_path(dir, b);
-      std::fstream out(p, std::ios::binary | std::ios::in | std::ios::out);
-      GALLOPER_CHECK_MSG(out.good(), "cannot write " << p.string());
-      out.seekp(static_cast<std::streamoff>(seg.block_offset));
-      write_exact(out, p, pieces[b]);
-      out.flush();
-      GALLOPER_CHECK_MSG(out.good(), "write error on " << p.string());
+    // Write back the patched pieces concurrently (positional, in place).
+    {
+      std::vector<io::File> outs;
+      std::vector<io::OpRef> ops;
+      outs.reserve(seg_touched.size());
+      ops.reserve(seg_touched.size());
+      for (size_t b : seg_touched) {
+        outs.push_back(io::File::open_rw(block_path(dir, b)));
+        ops.push_back(io::AsyncIo::global().submit_write(
+            outs.back(), pieces[b].data(), pieces[b].size(),
+            seg.block_offset));
+      }
+      io::AsyncIo::wait_all(ops);
     }
     touched.insert(touched.end(), seg_touched.begin(), seg_touched.end());
   }
@@ -1049,6 +1046,18 @@ std::string format_plan_stats() {
       << static_cast<double>(ps.peak_outstanding_bytes) * 1e-6
       << " MB outstanding, "
       << static_cast<double>(ps.cached_bytes) * 1e-6 << " MB cached\n";
+  const io::IoStats is = io::AsyncIo::global().stats();
+  out << "async io: " << is.ops << " ops (" << is.reads << " reads, "
+      << is.writes << " writes, " << is.fetches << " fetches), "
+      << static_cast<double>(is.bytes_read) * 1e-6 << " MB read, "
+      << static_cast<double>(is.bytes_written) * 1e-6 << " MB written, "
+      << is.threads << " threads, queue peak " << is.queue_peak
+      << ", O_DIRECT " << (is.odirect ? "on" : "off") << "\n";
+  if (is.ops > 0)
+    out << "  op latency p50 " << is.p50_s * 1e3 << " ms, p99 "
+        << is.p99_s * 1e3 << " ms, " << is.hedges_issued
+        << " hedges issued / " << is.hedges_won << " won, " << is.cancelled
+        << " cancelled\n";
   return out.str();
 }
 

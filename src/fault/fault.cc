@@ -49,12 +49,21 @@ void FaultInjector::clear() {
   bit_flip_rate_ = torn_write_rate_ = read_failure_rate_ = latency_rate_ = 0;
   latency_seconds_ = 0;
   forced_read_failures_ = 0;
+  forced_stalls_ = 0;
+  forced_stall_seconds_ = 0;
   armed_.clear();
 }
 
 void FaultInjector::fail_next_reads(size_t n) {
   std::lock_guard<std::mutex> lock(mu_);
   forced_read_failures_ = n;
+}
+
+void FaultInjector::stall_next_reads(size_t n, double seconds) {
+  GALLOPER_CHECK_MSG(seconds >= 0, "latency must be >= 0");
+  std::lock_guard<std::mutex> lock(mu_);
+  forced_stalls_ = n;
+  forced_stall_seconds_ = seconds;
 }
 
 void FaultInjector::arm_crash(const std::string& point, size_t nth) {
@@ -121,6 +130,13 @@ bool FaultInjector::read_fails() {
 double FaultInjector::read_latency() {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.decisions;
+  // Forced stalls come first and draw no rng, so a scheduled stall leaves
+  // every other fault decision in the run exactly where it was.
+  if (forced_stalls_ > 0) {
+    --forced_stalls_;
+    ++stats_.latency_spikes;
+    return forced_stall_seconds_;
+  }
   if (latency_rate_ > 0 && rng_.next_double() < latency_rate_) {
     ++stats_.latency_spikes;
     return latency_seconds_;

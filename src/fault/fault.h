@@ -86,6 +86,12 @@ class FaultInjector {
   // the configured rate — deterministic retry tests.
   void fail_next_reads(size_t n);
 
+  // Forces the next `n` read_latency() calls to return `seconds`, ahead of
+  // the rate draw and WITHOUT consuming rng state — deterministic hedging
+  // tests schedule exactly one slow helper without perturbing the rest of
+  // the fault sequence.
+  void stall_next_reads(size_t n, double seconds);
+
   // Harness veto over write faults. When set, a write fault the schedule
   // has drawn for block `block` of file `file` is applied only if the gate
   // returns true. The system under test stays blind — the gate lets the
@@ -132,6 +138,8 @@ class FaultInjector {
   double latency_rate_ = 0;
   double latency_seconds_ = 0;
   size_t forced_read_failures_ = 0;
+  size_t forced_stalls_ = 0;
+  double forced_stall_seconds_ = 0;
   WriteGate write_gate_;
   std::map<std::string, size_t> armed_;  // point → hits until crash
   FaultStats stats_;

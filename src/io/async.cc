@@ -1,0 +1,308 @@
+#include "io/async.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "util/check.h"
+
+namespace galloper::io {
+
+// ---- Op ------------------------------------------------------------------
+
+void Op::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return state_ == State::kDone || state_ == State::kCancelled;
+  });
+  if (error_) std::rethrow_exception(error_);
+}
+
+void Op::wait_nothrow() noexcept {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return state_ == State::kDone || state_ == State::kCancelled;
+  });
+}
+
+bool Op::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_ == State::kDone || state_ == State::kCancelled;
+}
+
+void Op::cancel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kQueued) {
+    state_ = State::kCancelled;
+    if (cancel_counter_)
+      cancel_counter_->fetch_add(1, std::memory_order_relaxed);
+    cv_.notify_all();
+    return;
+  }
+  cancel_requested_ = true;
+  cv_.notify_all();  // wakes a body parked in stall()
+}
+
+bool Op::cancelled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_ == State::kCancelled;
+}
+
+bool Op::cancel_requested() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cancel_requested_;
+}
+
+bool Op::stall(double seconds) {
+  if (seconds <= 0) return !cancel_requested();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+               [&] { return cancel_requested_; });
+  return !cancel_requested_;
+}
+
+bool Op::try_start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != State::kQueued) return false;
+  state_ = State::kRunning;
+  return true;
+}
+
+void Op::finish(std::exception_ptr error, uint64_t latency_ns) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state_ = State::kDone;
+    error_ = std::move(error);
+  }
+  latency_ns_.store(latency_ns, std::memory_order_release);
+  cv_.notify_all();
+}
+
+// ---- AsyncIo -------------------------------------------------------------
+
+AsyncIo& AsyncIo::global() {
+  static AsyncIo* pool = new AsyncIo();  // leaked: outlives static dtors
+  return *pool;
+}
+
+size_t AsyncIo::default_threads() {
+  if (const char* env = std::getenv("GALLOPER_IO_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n >= 1) return std::min<size_t>(static_cast<size_t>(n), 64);
+  }
+  return 4;
+}
+
+AsyncIo::AsyncIo(size_t threads) {
+  if (const char* env = std::getenv("GALLOPER_HEDGE")) {
+    const std::string v(env);
+    if (v == "off" || v == "0") {
+      hedge_.enabled = false;
+    } else {
+      const double q = std::strtod(env, nullptr);
+      if (q > 0 && q < 1) hedge_.quantile = q;
+    }
+  }
+  const size_t n = threads > 0 ? threads : default_threads();
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+AsyncIo::~AsyncIo() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  // Ops still queued after the drain race are cancelled so waiters unblock.
+  for (auto& op : queue_) op->cancel();
+}
+
+OpRef AsyncIo::submit(OpKind kind, size_t bytes, Op::Body body) {
+  OpRef op(new Op(kind, bytes, std::move(body)));
+  op->cancel_counter_ = &cancelled_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GALLOPER_CHECK_MSG(!stop_, "submit on a stopped AsyncIo");
+    queue_.push_back(op);
+    queue_peak_ = std::max(queue_peak_, queue_.size() + running_);
+  }
+  cv_.notify_one();
+  return op;
+}
+
+std::vector<OpRef> AsyncIo::submit_many(
+    std::vector<std::tuple<OpKind, size_t, Op::Body>> batch) {
+  std::vector<OpRef> ops;
+  ops.reserve(batch.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GALLOPER_CHECK_MSG(!stop_, "submit on a stopped AsyncIo");
+    for (auto& [kind, bytes, body] : batch) {
+      ops.emplace_back(new Op(kind, bytes, std::move(body)));
+      ops.back()->cancel_counter_ = &cancelled_;
+      queue_.push_back(ops.back());
+    }
+    queue_peak_ = std::max(queue_peak_, queue_.size() + running_);
+  }
+  cv_.notify_all();
+  return ops;
+}
+
+OpRef AsyncIo::submit_read(const File& file, uint8_t* dst, size_t n,
+                           uint64_t off) {
+  return submit(OpKind::kRead, n,
+                [&file, dst, n, off](Op&) { file.pread_full(dst, n, off); });
+}
+
+OpRef AsyncIo::submit_write(File& file, const uint8_t* src, size_t n,
+                            uint64_t off) {
+  return submit(OpKind::kWrite, n,
+                [&file, src, n, off](Op&) { file.pwrite_full(src, n, off); });
+}
+
+void AsyncIo::wait_all(const std::vector<OpRef>& ops) {
+  // Join everything FIRST: an op's buffer must not be freed (by the
+  // rethrow unwinding the caller) while a sibling op still writes into its
+  // own buffer.
+  for (const auto& op : ops) op->wait_nothrow();
+  for (const auto& op : ops) op->wait();  // now instant; rethrows first error
+}
+
+void AsyncIo::worker_loop() {
+  for (;;) {
+    OpRef op;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      op = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    if (op->try_start()) {
+      const auto start = std::chrono::steady_clock::now();
+      std::exception_ptr error;
+      try {
+        op->body_(*op);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      const auto ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      op->body_ = nullptr;  // release captured resources before waiters run
+      // Account BEFORE finish(): finish wakes waiters, and a caller must be
+      // able to read stats() right after wait_all() without racing us.
+      ops_.fetch_add(1, std::memory_order_relaxed);
+      switch (op->kind()) {
+        case OpKind::kRead:
+          reads_.fetch_add(1, std::memory_order_relaxed);
+          bytes_read_.fetch_add(op->bytes(), std::memory_order_relaxed);
+          break;
+        case OpKind::kFetch:
+          fetches_.fetch_add(1, std::memory_order_relaxed);
+          bytes_read_.fetch_add(op->bytes(), std::memory_order_relaxed);
+          break;
+        case OpKind::kWrite:
+          writes_.fetch_add(1, std::memory_order_relaxed);
+          bytes_written_.fetch_add(op->bytes(), std::memory_order_relaxed);
+          break;
+      }
+      bucket_latency(ns);
+      op->finish(std::move(error), ns);
+    } else {
+      // Cancelled while queued: cancel() already counted it.
+      op->body_ = nullptr;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+    }
+  }
+}
+
+void AsyncIo::bucket_latency(uint64_t ns) {
+  const unsigned b = ns == 0 ? 0 : std::bit_width(ns) - 1;
+  latency_hist_[std::min<unsigned>(b, 63)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+double AsyncIo::latency_quantile_s(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t total = 0;
+  std::array<uint64_t, 64> hist;
+  for (size_t i = 0; i < hist.size(); ++i) {
+    hist[i] = latency_hist_[i].load(std::memory_order_relaxed);
+    total += hist[i];
+  }
+  if (total == 0) return 0;
+  // Smallest bucket whose cumulative count covers rank q·total; report the
+  // bucket's upper bound so the quantile never understates.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(total) + 0.5));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < hist.size(); ++i) {
+    seen += hist[i];
+    if (seen >= rank) return static_cast<double>(uint64_t{1} << (i + 1)) * 1e-9;
+  }
+  return static_cast<double>(std::numeric_limits<uint64_t>::max()) * 1e-9;
+}
+
+IoStats AsyncIo::stats() const {
+  IoStats s;
+  s.ops = ops_.load(std::memory_order_relaxed);
+  s.reads = reads_.load(std::memory_order_relaxed);
+  s.writes = writes_.load(std::memory_order_relaxed);
+  s.fetches = fetches_.load(std::memory_order_relaxed);
+  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.hedges_issued = hedges_issued_.load(std::memory_order_relaxed);
+  s.hedges_won = hedges_won_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.queue_peak = queue_peak_;
+  }
+  s.p50_s = latency_quantile_s(0.50);
+  s.p99_s = latency_quantile_s(0.99);
+  s.threads = threads_.size();
+  s.odirect = direct_requested();
+  return s;
+}
+
+HedgePolicy AsyncIo::hedge_policy() const {
+  std::lock_guard<std::mutex> lock(hedge_mu_);
+  return hedge_;
+}
+
+void AsyncIo::set_hedge_policy(const HedgePolicy& policy) {
+  std::lock_guard<std::mutex> lock(hedge_mu_);
+  hedge_ = policy;
+}
+
+double AsyncIo::hedge_deadline_s() const {
+  const HedgePolicy policy = hedge_policy();
+  if (!policy.enabled) return std::numeric_limits<double>::infinity();
+  if (policy.fixed_deadline_s > 0) return policy.fixed_deadline_s;
+  // Cold histogram: too few samples for a meaningful tail quantile, so use
+  // a generous stand-in — hedging exists for multi-ms stalls, not warmup.
+  if (ops_.load(std::memory_order_relaxed) < 64) return 0.25;
+  return std::max(0.010, 3.0 * latency_quantile_s(policy.quantile));
+}
+
+void AsyncIo::note_hedge_issued() {
+  hedges_issued_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AsyncIo::note_hedge_won() {
+  hedges_won_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace galloper::io

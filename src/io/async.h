@@ -1,0 +1,211 @@
+// Asynchronous I/O: a submission/completion API over a dedicated I/O
+// thread pool.
+//
+// The codec pool (rt::ThreadPool) is sized for CPU work — parking a worker
+// on a blocking pread would starve the encode. This pool is the opposite:
+// its threads are EXPECTED to block (positional syscalls, injected fault
+// stalls), so the store and archive paths can keep k+l+g block fetches in
+// flight while the codec overlaps decode with the stragglers.
+//
+//   AsyncIo::submit(kind, bytes, body) → Op handle. The body runs on an
+//   I/O thread; wait() blocks for completion and rethrows anything the
+//   body threw (fault::CrashError from an async crash point propagates to
+//   the submitter this way). submit_many hands a whole scatter-gather
+//   batch to the pool under one lock.
+//
+//   Cancellation: cancel() on a queued op means it never runs; on a
+//   running op it sets a flag and wakes Op::stall(), the cancellable
+//   sleep op bodies use for injected latency — so a hedged read's loser,
+//   parked in a 10s fault stall, unparks immediately instead of holding
+//   its buffer hostage. Bodies observe cancel_requested() and bail.
+//
+//   Accounting: per-op latency lands in a log2-ns histogram
+//   (latency_quantile_s gives p50/p99 for --stats and for the hedge
+//   deadline), plus ops/bytes/cancelled/queue-peak counters.
+//
+//   Hedging policy: GALLOPER_HEDGE=off disables; a float in (0,1) sets the
+//   deadline quantile (default 0.99). hedge_deadline_s() is the time a
+//   fetch may stay pending before the caller issues a duplicate to a spare
+//   helper; tests pin it with set_hedge_policy({.fixed_deadline_s=...}).
+//
+// Determinism contract: this layer only APPLIES fault decisions — callers
+// pre-draw every injector decision on the submitting thread in block
+// order, so the injector's rng sequence never depends on I/O timing.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "io/io.h"
+
+namespace galloper::io {
+
+// What an op moves, for the stats breakdown. kFetch marks store block
+// fetches (CRC probe + read) as opposed to raw archive reads.
+enum class OpKind { kRead, kWrite, kFetch };
+
+class AsyncIo;
+
+// Shared completion handle for one submitted operation.
+class Op {
+ public:
+  using Body = std::function<void(Op&)>;
+
+  // Blocks until the op completes (or is cancelled before running), then
+  // rethrows anything the body threw.
+  void wait();
+  // wait() that swallows the body's exception (teardown paths that must
+  // join every op before buffers die, error or not).
+  void wait_nothrow() noexcept;
+  bool done() const;
+
+  // Queued op: never runs. Running op: sets cancel_requested() and wakes
+  // any stall(). Completion still happens (wait() returns) either way.
+  void cancel();
+  bool cancelled() const;
+  bool cancel_requested() const;
+
+  // Cancellable sleep for op bodies (injected fault latency). Returns
+  // false when woken by cancel() — the body should bail without touching
+  // its buffers further.
+  bool stall(double seconds);
+
+  // Wall time the body took, 0 until done.
+  uint64_t latency_ns() const { return latency_ns_.load(std::memory_order_acquire); }
+  OpKind kind() const { return kind_; }
+  size_t bytes() const { return bytes_; }
+
+ private:
+  friend class AsyncIo;
+  Op(OpKind kind, size_t bytes, Body body)
+      : kind_(kind), bytes_(bytes), body_(std::move(body)) {}
+
+  enum class State { kQueued, kRunning, kDone, kCancelled };
+
+  // Pool-side transitions. try_start loses to a prior cancel().
+  bool try_start();
+  void finish(std::exception_ptr error, uint64_t latency_ns);
+
+  const OpKind kind_;
+  const size_t bytes_;
+  Body body_;
+  // Pool's cancelled-before-run counter, bumped at the kQueued→kCancelled
+  // transition so stats() is coherent the moment wait() returns.
+  std::atomic<uint64_t>* cancel_counter_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  State state_ = State::kQueued;
+  bool cancel_requested_ = false;
+  std::exception_ptr error_;
+  std::atomic<uint64_t> latency_ns_{0};
+};
+
+using OpRef = std::shared_ptr<Op>;
+
+// Completion-side counters, snapshotted by stats().
+struct IoStats {
+  uint64_t ops = 0;            // completed (cancelled-before-run excluded)
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t fetches = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t cancelled = 0;      // cancelled before the body ran
+  uint64_t hedges_issued = 0;
+  uint64_t hedges_won = 0;
+  size_t queue_peak = 0;       // max in-flight (queued + running) seen
+  double p50_s = 0;            // op latency quantiles over all completions
+  double p99_s = 0;
+  size_t threads = 0;
+  bool odirect = false;        // direct_requested() — echoed for --stats
+};
+
+// When to duplicate a slow fetch to a spare helper.
+struct HedgePolicy {
+  bool enabled = true;
+  double quantile = 0.99;      // deadline = max(floor, 3 × p(quantile))
+  double fixed_deadline_s = 0; // > 0 overrides the quantile rule (tests)
+};
+
+class AsyncIo {
+ public:
+  // 0 → default_threads().
+  explicit AsyncIo(size_t threads = 0);
+  // Joins the workers; every queued op is completed or cancelled first.
+  ~AsyncIo();
+
+  AsyncIo(const AsyncIo&) = delete;
+  AsyncIo& operator=(const AsyncIo&) = delete;
+
+  // Process-wide pool the store and archive paths share (so --stats sees
+  // one coherent ledger). Tests build private instances for isolation.
+  static AsyncIo& global();
+  // GALLOPER_IO_THREADS when set to a positive integer (clamped to 64),
+  // else 4: enough in-flight syscalls to overlap a stripe's fetches
+  // without oversubscribing the 1-CPU CI container.
+  static size_t default_threads();
+
+  size_t threads() const { return threads_.size(); }
+
+  OpRef submit(OpKind kind, size_t bytes, Op::Body body);
+  // Scatter-gather: the whole batch is enqueued under one lock, in order.
+  std::vector<OpRef> submit_many(
+      std::vector<std::tuple<OpKind, size_t, Op::Body>> batch);
+
+  // Positional conveniences over io::File.
+  OpRef submit_read(const File& file, uint8_t* dst, size_t n, uint64_t off);
+  OpRef submit_write(File& file, const uint8_t* src, size_t n, uint64_t off);
+
+  // Waits for every op, then rethrows the FIRST error in submission order
+  // (all ops are joined first so no buffer outlives its op).
+  static void wait_all(const std::vector<OpRef>& ops);
+
+  IoStats stats() const;
+  // Latency quantile over completed ops, in seconds (log2-bucket upper
+  // bound). 0 when nothing has completed.
+  double latency_quantile_s(double q) const;
+
+  // ---- Hedging ----------------------------------------------------------
+  HedgePolicy hedge_policy() const;
+  void set_hedge_policy(const HedgePolicy& policy);
+  // Seconds a fetch may stay pending before a hedge: fixed_deadline_s when
+  // set; otherwise max(10 ms, 3 × latency_quantile_s(quantile)), with a
+  // 250 ms stand-in until 64 ops have completed (cold histogram). +inf
+  // when hedging is off.
+  double hedge_deadline_s() const;
+  void note_hedge_issued();
+  void note_hedge_won();
+
+ private:
+  void worker_loop();
+  void bucket_latency(uint64_t ns);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<OpRef> queue_;
+  bool stop_ = false;
+  size_t running_ = 0;
+  size_t queue_peak_ = 0;
+  std::vector<std::thread> threads_;
+
+  mutable std::mutex hedge_mu_;
+  HedgePolicy hedge_;
+
+  std::atomic<uint64_t> ops_{0}, reads_{0}, writes_{0}, fetches_{0};
+  std::atomic<uint64_t> bytes_read_{0}, bytes_written_{0}, cancelled_{0};
+  std::atomic<uint64_t> hedges_issued_{0}, hedges_won_{0};
+  // latency_hist_[b] counts ops with bit_width(latency_ns) == b.
+  std::array<std::atomic<uint64_t>, 64> latency_hist_{};
+};
+
+}  // namespace galloper::io

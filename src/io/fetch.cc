@@ -1,0 +1,169 @@
+#include "io/fetch.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+namespace galloper::io {
+
+void FetchSet::fetch(size_t key, double stall_s, std::function<bool()> probe,
+                     bool hedge) {
+  size_t index;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    index = entries_.size();
+    entries_.push_back(Entry{key, hedge, nullptr, false});
+    keys_.try_emplace(key);  // registers the key as pending
+  }
+  auto body = [this, index, stall_s, probe = std::move(probe)](Op& op) {
+    if (!op.stall(stall_s)) {  // cancelled while parked in injected latency
+      record(index, /*ran=*/false, false, nullptr);
+      return;
+    }
+    bool clean = false;
+    std::exception_ptr err;
+    try {
+      clean = probe();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    record(index, /*ran=*/true, clean, err);
+  };
+  OpRef op = io_.submit(OpKind::kFetch, 0, std::move(body));
+  if (hedge) io_.note_hedge_issued();
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[index].op = std::move(op);
+}
+
+void FetchSet::record(size_t index, bool ran, bool clean,
+                      std::exception_ptr err) {
+  std::vector<OpRef> losers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& entry = entries_[index];
+    entry.completed = true;
+    ++completed_;
+    if (ran) {
+      KeyState& ks = keys_[entry.key];
+      if (ks.state == Outcome::kPending) {  // first result per key wins
+        ks.state = err ? Outcome::kFailed
+                       : (clean ? Outcome::kClean : Outcome::kCorrupt);
+        ks.error = std::move(err);
+        // The key is resolved: siblings (hedge loser or hedged original)
+        // have nothing left to contribute — wake their stalls.
+        bool primary_was_pending = false;
+        for (Entry& other : entries_) {
+          if (other.key != entry.key || other.completed || !other.op) continue;
+          if (!other.hedge) primary_was_pending = true;
+          losers.push_back(other.op);
+        }
+        if (entry.hedge && ks.state == Outcome::kClean && primary_was_pending)
+          io_.note_hedge_won();
+      }
+    }
+    cv_.notify_all();
+  }
+  // Cancel outside mu_ — losers' bodies re-enter record() on this mutex.
+  for (const auto& op : losers) op->cancel();
+}
+
+std::vector<size_t> FetchSet::clean_keys_locked() const {
+  std::vector<size_t> keys;
+  for (const auto& [key, ks] : keys_)
+    if (ks.state == Outcome::kClean) keys.push_back(key);
+  return keys;  // std::map iteration → already sorted
+}
+
+std::vector<size_t> FetchSet::pending_keys_locked() const {
+  std::vector<size_t> keys;
+  for (const auto& [key, ks] : keys_)
+    if (ks.state == Outcome::kPending) keys.push_back(key);
+  return keys;
+}
+
+void FetchSet::await(
+    const std::function<bool(const std::vector<size_t>&)>& ready,
+    const std::function<void(const std::vector<size_t>&)>& on_slow) {
+  const double deadline_s = io_.hedge_deadline_s();
+  const bool can_hedge = on_slow && std::isfinite(deadline_s);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(
+                            can_hedge ? deadline_s : 0.0);
+  bool hedged = false;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (ready(clean_keys_locked())) return;
+    if (completed_ == entries_.size()) return;
+    if (can_hedge && !hedged) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+          std::chrono::steady_clock::now() >= deadline) {
+        hedged = true;
+        const auto pending = pending_keys_locked();
+        lock.unlock();
+        // On the CALLING thread by design: on_slow may consult the fault
+        // injector and call fetch() to hedge the slow keys.
+        on_slow(pending);
+        lock.lock();
+      }
+    } else {
+      cv_.wait(lock);
+    }
+  }
+}
+
+void FetchSet::join() {
+  std::vector<OpRef> ops;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Entry& entry : entries_)
+      if (entry.op) ops.push_back(entry.op);
+  }
+  for (const auto& op : ops) op->wait_nothrow();
+}
+
+void FetchSet::cancel_and_join() {
+  std::vector<OpRef> ops;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Entry& entry : entries_)
+      if (entry.op) ops.push_back(entry.op);
+  }
+  for (const auto& op : ops) op->cancel();
+  for (const auto& op : ops) op->wait_nothrow();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, ks] : keys_)
+    if (ks.state == Outcome::kPending) ks.state = Outcome::kCancelled;
+}
+
+FetchSet::Outcome FetchSet::outcome(size_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = keys_.find(key);
+  return it == keys_.end() ? Outcome::kPending : it->second.state;
+}
+
+std::exception_ptr FetchSet::error(size_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = keys_.find(key);
+  return it == keys_.end() ? nullptr : it->second.error;
+}
+
+std::vector<size_t> FetchSet::clean_keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clean_keys_locked();
+}
+
+void FetchSet::rethrow_any_failure() const {
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, ks] : keys_)
+      if (ks.state == Outcome::kFailed && ks.error) {
+        err = ks.error;
+        break;
+      }
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace galloper::io

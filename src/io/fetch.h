@@ -1,0 +1,103 @@
+// FetchSet: a completion coordinator for one logical "gather these blocks"
+// operation, with quantile-deadline hedging.
+//
+// The store paths submit one CRC-probe fetch per candidate block and then
+// block in await() until a caller-supplied readiness predicate holds over
+// the CLEAN keys (e.g. "the erasure pattern is decodable"), not until every
+// fetch finishes — decode starts while stragglers are still in flight.
+//
+// Hedging: if the set is neither ready nor finished by the pool's
+// hedge_deadline_s(), await() invokes on_slow(pending keys) ONCE, on the
+// CALLING thread. The callback typically verifies a spare helper there
+// (keeping injector draws on the submitting thread — see the determinism
+// contract in io/async.h) and re-issues the slow keys via
+// fetch(..., hedge = true). The first result per key wins; when a result
+// lands, sibling fetches for the same key are cancelled (the hedged
+// loser, parked in an injected stall, wakes and bails). A hedge that
+// resolves its key while the primary is still pending counts as a win
+// (hedges_won in the pool stats).
+//
+// Teardown is explicit and MUST happen before the fetched-into buffers or
+// the probed state can be mutated:
+//   join()            waits for every fetch (un-won stalls run to term)
+//   cancel_and_join() cancels everything still pending, then waits
+// Only after one of these may the caller quarantine blocks or write
+// repaired data — a probe may still be reading until the join returns.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "io/async.h"
+
+namespace galloper::io {
+
+class FetchSet {
+ public:
+  enum class Outcome { kPending, kClean, kCorrupt, kFailed, kCancelled };
+
+  explicit FetchSet(AsyncIo& io = AsyncIo::global()) : io_(io) {}
+  ~FetchSet() { cancel_and_join(); }
+
+  FetchSet(const FetchSet&) = delete;
+  FetchSet& operator=(const FetchSet&) = delete;
+
+  // Submits one fetch for `key`. The body stalls for `stall_s` seconds
+  // (cancellable — pre-drawn injected latency goes here), then runs
+  // `probe` on the I/O thread: return true for a clean block, false for a
+  // corrupt one; a throw records kFailed and keeps the exception (the
+  // async crash-point path). Duplicate keys are allowed; the first result
+  // recorded wins and the losers are cancelled.
+  void fetch(size_t key, double stall_s, std::function<bool()> probe,
+             bool hedge = false);
+
+  // Blocks until ready(sorted clean keys) returns true or every fetch has
+  // completed. Fires on_slow(sorted pending keys) once if the pool's hedge
+  // deadline passes first; pass nullptr to disable hedging for this await.
+  void await(const std::function<bool(const std::vector<size_t>&)>& ready,
+             const std::function<void(const std::vector<size_t>&)>& on_slow);
+
+  // Waits for every fetch to complete. Keys can keep resolving during the
+  // join (a straggler probe finding a corrupt block still records it).
+  void join();
+  // Cancels every pending fetch, waits for all of them, then marks still
+  // unresolved keys kCancelled.
+  void cancel_and_join();
+
+  Outcome outcome(size_t key) const;
+  // The exception a kFailed key's probe threw (null otherwise).
+  std::exception_ptr error(size_t key) const;
+  // Sorted keys currently kClean.
+  std::vector<size_t> clean_keys() const;
+  // Rethrows the first kFailed key's exception, if any (key order).
+  void rethrow_any_failure() const;
+
+ private:
+  struct KeyState {
+    Outcome state = Outcome::kPending;
+    std::exception_ptr error;
+  };
+  struct Entry {
+    size_t key;
+    bool hedge;
+    OpRef op;
+    bool completed = false;
+  };
+
+  void record(size_t index, bool ran, bool clean, std::exception_ptr err);
+  std::vector<size_t> clean_keys_locked() const;
+  std::vector<size_t> pending_keys_locked() const;
+
+  AsyncIo& io_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;
+  std::map<size_t, KeyState> keys_;
+  size_t completed_ = 0;
+};
+
+}  // namespace galloper::io

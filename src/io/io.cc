@@ -1,0 +1,178 @@
+#include "io/io.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <utility>
+
+#include "util/check.h"
+
+namespace galloper::io {
+
+namespace {
+
+bool env_truthy(const char* name) {
+  const char* v = std::getenv(name);
+  if (!v) return false;
+  const std::string s(v);
+  return s == "1" || s == "on" || s == "ON" || s == "true";
+}
+
+}  // namespace
+
+bool direct_requested() {
+  static const bool requested = env_truthy("GALLOPER_ODIRECT");
+  return requested;
+}
+
+void read_full(int fd, uint8_t* dst, size_t n, uint64_t off,
+               const std::string& path) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::pread(fd, dst + done, n - done,
+                                static_cast<off_t>(off + done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      GALLOPER_CHECK_MSG(false, "pread of " << path << " failed at offset "
+                                            << off + done << ": "
+                                            << strerror(errno));
+    }
+    GALLOPER_CHECK_MSG(got > 0, "short read from "
+                                    << path << " (wanted " << n
+                                    << " bytes at offset " << off << ", got "
+                                    << done << ")");
+    done += static_cast<size_t>(got);
+  }
+}
+
+size_t read_some(int fd, uint8_t* dst, size_t n, uint64_t off,
+                 const std::string& path) {
+  for (;;) {
+    const ssize_t got = ::pread(fd, dst, n, static_cast<off_t>(off));
+    if (got >= 0) return static_cast<size_t>(got);
+    if (errno == EINTR) continue;
+    GALLOPER_CHECK_MSG(false, "pread of " << path << " failed at offset "
+                                          << off << ": " << strerror(errno));
+  }
+}
+
+void write_full(int fd, const uint8_t* src, size_t n, uint64_t off,
+                const std::string& path) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t put = ::pwrite(fd, src + done, n - done,
+                                 static_cast<off_t>(off + done));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      GALLOPER_CHECK_MSG(false, "pwrite of " << path << " failed at offset "
+                                             << off + done << ": "
+                                             << strerror(errno));
+    }
+    // pwrite returning 0 for n > 0 would loop forever; treat as an error.
+    GALLOPER_CHECK_MSG(put > 0, "short write on " << path << " at offset "
+                                                  << off + done);
+    done += static_cast<size_t>(put);
+  }
+}
+
+File::~File() { close(); }
+
+File::File(File&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      direct_fd_(std::exchange(other.direct_fd_, -1)),
+      path_(std::move(other.path_)) {}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    direct_fd_ = std::exchange(other.direct_fd_, -1);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+File File::open_impl(const std::filesystem::path& path, int flags,
+                     Direct direct) {
+  const bool want_direct =
+      direct == Direct::kTry ||
+      (direct == Direct::kAuto && direct_requested());
+  // The buffered descriptor is opened unconditionally: it is the fallback
+  // for unaligned operations and for filesystems that refuse O_DIRECT.
+  const int fd = ::open(path.c_str(), flags, 0644);
+  GALLOPER_CHECK_MSG(fd >= 0, "cannot open " << path.string() << ": "
+                                             << strerror(errno));
+  int direct_fd = -1;
+  if (want_direct) {
+#ifdef O_DIRECT
+    // A refused O_DIRECT (tmpfs and friends fail the open with EINVAL) is
+    // the documented fallback, not an error. When creating, the buffered
+    // open above already made the file, so drop O_CREAT|O_TRUNC here —
+    // truncating twice would race a concurrent writer and is pointless.
+    direct_fd = ::open(path.c_str(), (flags & ~(O_CREAT | O_TRUNC)) | O_DIRECT,
+                       0644);
+#endif
+  }
+  return File(fd, direct_fd, path.string());
+}
+
+File File::open_read(const std::filesystem::path& path, Direct direct) {
+  return open_impl(path, O_RDONLY, direct);
+}
+
+File File::create(const std::filesystem::path& path, Direct direct) {
+  return open_impl(path, O_WRONLY | O_CREAT | O_TRUNC, direct);
+}
+
+File File::open_rw(const std::filesystem::path& path, Direct direct) {
+  return open_impl(path, O_RDWR, direct);
+}
+
+uint64_t File::size() const {
+  struct stat st;
+  GALLOPER_CHECK_MSG(::fstat(fd_ >= 0 ? fd_ : direct_fd_, &st) == 0,
+                     "cannot stat " << path_ << ": " << strerror(errno));
+  return static_cast<uint64_t>(st.st_size);
+}
+
+int File::fd_for(const void* buf, size_t n, uint64_t off) const {
+  if (direct_fd_ >= 0 &&
+      reinterpret_cast<uintptr_t>(buf) % kDirectAlign == 0 &&
+      n % kDirectAlign == 0 && off % kDirectAlign == 0)
+    return direct_fd_;
+  return fd_;
+}
+
+void File::pread_full(uint8_t* dst, size_t n, uint64_t off) const {
+  GALLOPER_CHECK_MSG(is_open(), "read on a closed handle for " << path_);
+  read_full(fd_for(dst, n, off), dst, n, off, path_);
+}
+
+size_t File::pread_some(uint8_t* dst, size_t n, uint64_t off) const {
+  GALLOPER_CHECK_MSG(is_open(), "read on a closed handle for " << path_);
+  // Sizing is unknown here (EOF expected), so always use the buffered
+  // descriptor: a direct read must not fail on a short unaligned tail.
+  return read_some(fd_, dst, n, off, path_);
+}
+
+void File::pwrite_full(const uint8_t* src, size_t n, uint64_t off) {
+  GALLOPER_CHECK_MSG(is_open(), "write on a closed handle for " << path_);
+  write_full(fd_for(src, n, off), src, n, off, path_);
+}
+
+void File::sync() {
+  GALLOPER_CHECK_MSG(is_open(), "fsync on a closed handle for " << path_);
+  GALLOPER_CHECK_MSG(::fsync(fd_ >= 0 ? fd_ : direct_fd_) == 0,
+                     "fsync failed on " << path_ << ": " << strerror(errno));
+}
+
+void File::close() {
+  if (fd_ >= 0) ::close(std::exchange(fd_, -1));
+  if (direct_fd_ >= 0) ::close(std::exchange(direct_fd_, -1));
+}
+
+}  // namespace galloper::io

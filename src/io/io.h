@@ -1,0 +1,117 @@
+// Low-level file I/O for the store and archive data paths: positional
+// pread/pwrite with EINTR/short-transfer retry in ONE place, and an RAII
+// file handle with optional O_DIRECT.
+//
+// Every byte the archive pipelines move used to go through per-call-site
+// iostream loops, each with its own notion of "short read" and none of them
+// EINTR-safe. This header is the single home for that logic:
+//
+//   read_full / write_full — positional syscall loops. A transfer split
+//     across several pread/pwrite calls (signal, pipe-sized kernel buffers,
+//     RLIMIT) is retried until the count is satisfied; EINTR restarts the
+//     call; a genuine short read (EOF inside the requested range) or an
+//     errno fails loudly with the path and the counts.
+//
+//   File — RAII fd. Opens optionally with O_DIRECT (GALLOPER_ODIRECT=1|on
+//     requests it archive-wide): when the filesystem refuses O_DIRECT
+//     outright (tmpfs → EINVAL at open) the handle transparently falls
+//     back to buffered I/O, and an individual operation whose offset,
+//     length, or buffer address misses the 4096-byte alignment O_DIRECT
+//     demands is routed to a plain fallback descriptor on the same file —
+//     callers never see alignment as an error. direct_active() reports
+//     what actually happened (the --stats I/O section prints it).
+//
+// All operations here are positional (no shared file-offset state), which
+// is what lets the async layer (io/async.h) issue many reads/writes against
+// one File from many threads with no coordination.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+namespace galloper::io {
+
+// Positional read of exactly [off, off + n) from `fd` into dst. Retries
+// EINTR and short transfers; throws CheckError (tagged with `path`) on a
+// syscall error or when EOF truncates the range.
+void read_full(int fd, uint8_t* dst, size_t n, uint64_t off,
+               const std::string& path);
+
+// Positional read of AT MOST n bytes; returns the count actually read
+// (0 at EOF). Retries EINTR; only a syscall error throws. The streaming
+// CRC loops use this to walk a file of unknown remaining length.
+size_t read_some(int fd, uint8_t* dst, size_t n, uint64_t off,
+                 const std::string& path);
+
+// Positional write of exactly [off, off + n). Retries EINTR and short
+// transfers; throws CheckError on error (ENOSPC included).
+void write_full(int fd, const uint8_t* src, size_t n, uint64_t off,
+                const std::string& path);
+
+// Whether GALLOPER_ODIRECT requests O_DIRECT block-file I/O ("1"/"on",
+// default off). Read once per process.
+bool direct_requested();
+
+class File {
+ public:
+  // O_DIRECT selection per handle. kAuto follows direct_requested().
+  enum class Direct { kAuto, kNever, kTry };
+
+  File() = default;
+  ~File();
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  static File open_read(const std::filesystem::path& path,
+                        Direct direct = Direct::kAuto);
+  // Create-or-truncate for writing (mode 0644).
+  static File create(const std::filesystem::path& path,
+                     Direct direct = Direct::kAuto);
+  // Read-write on an existing file (in-place archive updates).
+  static File open_rw(const std::filesystem::path& path,
+                      Direct direct = Direct::kAuto);
+
+  bool is_open() const { return fd_ >= 0 || direct_fd_ >= 0; }
+  // True when the handle holds an O_DIRECT descriptor (aligned operations
+  // bypass the page cache; unaligned ones still use the fallback fd).
+  bool direct_active() const { return direct_fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  uint64_t size() const;
+
+  // Positional full-range ops (see the free functions). Thread-safe: no
+  // handle state is mutated, so concurrent calls from the async pool are
+  // fine.
+  void pread_full(uint8_t* dst, size_t n, uint64_t off) const;
+  size_t pread_some(uint8_t* dst, size_t n, uint64_t off) const;
+  void pwrite_full(const uint8_t* src, size_t n, uint64_t off);
+
+  // fsync (throws CheckError on failure).
+  void sync();
+
+  // Closes both descriptors (idempotent). The destructor closes too;
+  // explicit close lets callers sequence close-before-rename.
+  void close();
+
+  // O_DIRECT alignment contract (offset, length, and buffer address must
+  // all be multiples of this for an op to use the direct descriptor).
+  static constexpr size_t kDirectAlign = 4096;
+
+ private:
+  File(int fd, int direct_fd, std::string path)
+      : fd_(fd), direct_fd_(direct_fd), path_(std::move(path)) {}
+  static File open_impl(const std::filesystem::path& path, int flags,
+                        Direct direct);
+  // The descriptor an op with this alignment should use.
+  int fd_for(const void* buf, size_t n, uint64_t off) const;
+
+  int fd_ = -1;         // buffered descriptor (always present when open)
+  int direct_fd_ = -1;  // O_DIRECT descriptor when granted
+  std::string path_;
+};
+
+}  // namespace galloper::io

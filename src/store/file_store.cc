@@ -1,12 +1,25 @@
 #include "store/file_store.h"
 
 #include <algorithm>
+#include <tuple>
 
-#include "rt/pool.h"
+#include "io/async.h"
+#include "io/fetch.h"
 #include "util/check.h"
 #include "util/crc32c.h"
 
 namespace galloper::store {
+
+// Every store data path that touches more than one block goes through the
+// async I/O pool (io::AsyncIo): read_range and repair gather their blocks
+// as concurrent CRC-probe fetches and start decoding as soon as a
+// decodable subset is clean; scrub scatter-gathers one CRC op per stored
+// block. Determinism contract: ALL fault-injector decisions (latency,
+// transient failures) are pre-drawn on the calling thread in block order
+// before anything is submitted, so the injector's rng sequence is
+// identical to the serial form's no matter how the I/O threads interleave.
+// Probes only read shared state; every mutation (quarantine, store-back)
+// happens after the fetch set is joined.
 
 FileStore::FileStore(sim::Cluster& cluster, const codes::ErasureCode& code)
     : cluster_(cluster), code_(code) {
@@ -189,23 +202,29 @@ void FileStore::corrupt_block(FileId id, size_t block, size_t offset) {
 }
 
 std::vector<FileStore::CorruptBlock> FileStore::scrub(bool quarantine) {
-  // CRC every stored block on the pool: the jobs are independent
-  // (disjoint reads, one flag byte each), and a full-store scrub is pure
-  // checksum bandwidth — the one store operation that scales with TOTAL
-  // stored bytes, not one stripe. The gather below keeps the report (and
-  // quarantine order) identical to the serial scan.
+  // CRC every stored block as one scatter-gather batch on the async I/O
+  // pool: the ops are independent (disjoint reads, one flag byte each),
+  // and a full-store scrub is pure checksum bandwidth — the one store
+  // operation that scales with TOTAL stored bytes, not one stripe. The
+  // gather below keeps the report (and quarantine order) identical to the
+  // serial scan.
   std::vector<CorruptBlock> jobs;
   for (FileId id = 0; id < files_.size(); ++id)
     for (size_t b = 0; b < code_.num_blocks(); ++b)
       if (files_[id][b].has_value()) jobs.push_back({id, b});
   std::vector<uint8_t> bad(jobs.size(), 0);
-  rt::parallel_for(rt::ThreadPool::global(), jobs.size(),
-                   rt::ThreadPool::default_threads(), [&](size_t j) {
-                     const CorruptBlock& job = jobs[j];
-                     if (crc32c(*files_[job.file][job.block]) !=
-                         checksums_[job.file][job.block])
-                       bad[j] = 1;
-                   });
+  std::vector<std::tuple<io::OpKind, size_t, io::Op::Body>> batch;
+  batch.reserve(jobs.size());
+  for (size_t j = 0; j < jobs.size(); ++j)
+    batch.emplace_back(io::OpKind::kFetch,
+                       files_[jobs[j].file][jobs[j].block]->size(),
+                       [this, &jobs, &bad, j](io::Op&) {
+                         const CorruptBlock& job = jobs[j];
+                         if (crc32c(*files_[job.file][job.block]) !=
+                             checksums_[job.file][job.block])
+                           bad[j] = 1;
+                       });
+  io::AsyncIo::wait_all(io::AsyncIo::global().submit_many(std::move(batch)));
 
   std::vector<CorruptBlock> corrupt;
   for (size_t j = 0; j < jobs.size(); ++j) {
@@ -266,15 +285,18 @@ std::optional<Buffer> FileStore::read_range(FileId id, size_t offset,
                                << ") beyond file size " << file_bytes(id));
   ++read_stats_.verified_reads;
 
-  // Verify-on-read: every available block must match its write-time CRC
-  // before its bytes feed the decoder. A mismatch quarantines the block so
-  // no later caller trusts it either.
-  std::map<size_t, ConstByteSpan> view;
-  std::vector<size_t> corrupt;
+  // Pre-draw the fault schedule on this thread, in block order — identical
+  // draws to the old serial scan, so counters and rng state never depend
+  // on I/O timing. Transient (injected) read faults are retried in place;
+  // a block whose reads keep failing is simply left out of this read.
+  struct Candidate {
+    size_t block;
+    double stall_s;  // injected latency, applied on the I/O thread
+  };
+  std::vector<Candidate> candidates;
   for (size_t b = 0; b < code_.num_blocks(); ++b) {
     if (!block_available(id, b)) continue;
-    // Transient (injected) read faults are retried in place; a block whose
-    // reads keep failing is simply left out of this read's view.
+    const double stall_s = injector_ ? injector_->read_latency() : 0;
     constexpr size_t kReadAttempts = 3;
     bool readable = true;
     for (size_t tries = 0; injector_ && injector_->read_fails();) {
@@ -285,20 +307,65 @@ std::optional<Buffer> FileStore::read_range(FileId id, size_t offset,
       }
     }
     if (!readable) continue;
-    if (crc32c(*files_[id][b]) != checksums_[id][b]) {
-      ++read_stats_.crc_failures;
-      corrupt.push_back(b);
-      files_[id][b].reset();  // quarantine
-      continue;
+    candidates.push_back({b, stall_s});
+  }
+
+  // Verify-on-read, concurrently: every candidate block gets a CRC-probe
+  // fetch on the async I/O pool. await() unblocks as soon as a decodable
+  // subset is clean, so the decode below overlaps the straggler probes.
+  // A fetch still slow at the hedge deadline is re-issued without its
+  // injected stall (a second replica path); the loser is cancelled when
+  // the first result lands. Hedges draw NOTHING from the injector.
+  auto probe = [this, id](size_t b) {
+    return [this, id, b] {
+      if (injector_) injector_->crash_point("store.fetch");
+      return crc32c(*files_[id][b]) == checksums_[id][b];
+    };
+  };
+  io::FetchSet fetches;
+  std::vector<bool> hedged(code_.num_blocks(), false);
+  const auto hedge_pending = [&](const std::vector<size_t>& pending) {
+    for (size_t b : pending) {
+      if (hedged[b]) continue;  // one hedge per key across both awaits
+      hedged[b] = true;
+      fetches.fetch(b, 0.0, probe(b), /*hedge=*/true);
     }
+  };
+  for (const Candidate& c : candidates)
+    fetches.fetch(c.block, c.stall_s, probe(c.block));
+  fetches.await(
+      [&](const std::vector<size_t>& clean) { return code_.decodable(clean); },
+      hedge_pending);
+
+  // The (possibly degraded) read itself: the shared decode_fast/read_range
+  // plan reconstructs only the chunks overlapping the request from the
+  // clean blocks gathered so far.
+  std::map<size_t, ConstByteSpan> view;
+  for (size_t b : fetches.clean_keys())
     view.emplace(b, ConstByteSpan(*files_[id][b]));
+  auto out = code_.engine().read_range(view, offset, length);
+
+  // Every probe must still resolve before ANY mutation — a straggler
+  // finding corruption counts, and the quarantine below resets buffers a
+  // probe may be reading. But "resolve" need not mean "wait out an
+  // injected stall": a probe still parked past the hedge deadline is
+  // re-issued stall-free here too (the hedge runs the same CRC check, so
+  // nothing goes uncounted), and the loser is cancelled when the key
+  // lands. The read's tail is then the hedge deadline, not the stall.
+  fetches.await([](const std::vector<size_t>&) { return false; },
+                hedge_pending);
+  fetches.join();
+  fetches.rethrow_any_failure();
+
+  // A mismatch quarantines the block so no later caller trusts it either.
+  std::vector<size_t> corrupt;
+  for (const Candidate& c : candidates) {
+    if (fetches.outcome(c.block) != io::FetchSet::Outcome::kCorrupt) continue;
+    ++read_stats_.crc_failures;
+    corrupt.push_back(c.block);
+    files_[id][c.block].reset();  // quarantine
   }
   if (!corrupt.empty()) ++read_stats_.degraded_reads;
-
-  // The degraded read itself: the shared decode_fast/read_range plan
-  // reconstructs only the chunks overlapping the request from the healthy
-  // blocks.
-  auto out = code_.engine().read_range(view, offset, length);
 
   // Self-heal: rebuild what the read quarantined, so the NEXT read is
   // clean. Plans come from the store's pinned pattern map.
@@ -354,31 +421,98 @@ std::optional<std::vector<size_t>> FileStore::repair(FileId id,
     // One compiled plan per (failed, helper-set) pattern, pinned in the
     // store: the Gaussian elimination runs once for the whole storm, and
     // the remaining files' repairs are pure kernel execution.
-    std::vector<size_t> pattern = helpers;
-    std::sort(pattern.begin(), pattern.end());
-    auto& plan = repair_plans_[{block_id, std::move(pattern)}];
+    std::vector<size_t> want = helpers;
+    std::sort(want.begin(), want.end());
+    auto& plan = repair_plans_[{block_id, want}];
     if (!plan) plan = code_.engine().plan_repair(block_id, helpers);
 
-    std::map<size_t, ConstByteSpan> view;
+    // Pre-draw the gather's fault schedule in helper order, breaking at
+    // the first failure exactly like the old serial gather loop (the
+    // forced-failure tests count on one draw per failed attempt).
+    struct HelperFetch {
+      size_t helper;
+      double stall_s;
+    };
+    std::vector<HelperFetch> fetch_plan;
     bool gather_failed = false;
     for (size_t h : helpers) {
+      const double stall_s = injector_ ? injector_->read_latency() : 0;
       if (injector_ && injector_->read_fails()) {
         ++read_stats_.transient_faults;
         gather_failed = true;
         break;
       }
-      view.emplace(h, *block(id, h));
+      fetch_plan.push_back({h, stall_s});
     }
     if (gather_failed) continue;
 
-    auto rebuilt = code_.engine().repair_block_with_plan(*plan, view);
+    // Gather the helpers concurrently. Ready means every planned helper
+    // answered — or, once the hedge deadline has fired, any clean set the
+    // code can rebuild from (drafted spares). The `hedged` gate keeps
+    // no-stall repairs on the pinned plan: a partial subset must never
+    // grab a fresh pattern just because its probes finished first.
+    io::FetchSet fetches;
+    bool hedged = false;
+    auto fetch_probe = [this] {
+      return [this] {
+        if (injector_) injector_->crash_point("store.fetch");
+        return true;
+      };
+    };
+    for (const HelperFetch& f : fetch_plan)
+      fetches.fetch(f.helper, f.stall_s, fetch_probe());
+    fetches.await(
+        [&](const std::vector<size_t>& clean) {
+          if (std::includes(clean.begin(), clean.end(), want.begin(),
+                            want.end()))
+            return true;
+          return hedged && code_.decodable(clean);
+        },
+        [&](const std::vector<size_t>& pending) {
+          hedged = true;
+          // Hedge the slow helpers on a second replica path, and draft
+          // CRC-clean spare helpers as an alternate decodable route. No
+          // injector draws here: hedges must not perturb the schedule.
+          for (size_t h : pending)
+            fetches.fetch(h, 0.0, fetch_probe(), /*hedge=*/true);
+          for (size_t s : available_blocks(id)) {
+            if (s == block_id) continue;
+            if (std::find(helpers.begin(), helpers.end(), s) != helpers.end())
+              continue;
+            if (crc32c(*files_[id][s]) != checksums_[id][s]) continue;
+            fetches.fetch(s, 0.0, fetch_probe(), /*hedge=*/true);
+          }
+        });
+    // Losers (hedged-over stalls) are cancelled before anything proceeds;
+    // an async crash point surfaces here, with the store unmutated.
+    fetches.cancel_and_join();
+    fetches.rethrow_any_failure();
+
+    const std::vector<size_t> clean = fetches.clean_keys();
+    std::vector<size_t> use_helpers;
+    std::shared_ptr<const codes::CodecPlan> use_plan;
+    if (std::includes(clean.begin(), clean.end(), want.begin(), want.end())) {
+      use_helpers = helpers;  // the planned gather completed — pinned plan
+      use_plan = plan;
+    } else if (code_.decodable(clean)) {
+      use_helpers = clean;  // hedged route: rebuild from whoever answered
+      auto& alt = repair_plans_[{block_id, clean}];
+      if (!alt) alt = code_.engine().plan_repair(block_id, clean);
+      use_plan = alt;
+    } else {
+      continue;  // cancelled mid-gather with no decodable subset: retry
+    }
+
+    std::map<size_t, ConstByteSpan> view;
+    for (size_t h : use_helpers) view.emplace(h, *block(id, h));
+    auto rebuilt = code_.engine().repair_block_with_plan(*use_plan, view);
     if (!rebuilt) return std::nullopt;
     // Crash window: the rebuild finished but the block is not yet
     // installed. A crash here must leave the store exactly as before the
     // repair (minus the pinned plan) — re-running the repair completes it.
     if (injector_) injector_->crash_point("store.repair");
     store_block(id, block_id, std::move(*rebuilt));
-    return helpers;
+    return use_helpers;
   }
   throw fault::TransientError("helper reads for repair of block " +
                               std::to_string(block_id) +

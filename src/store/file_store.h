@@ -34,8 +34,10 @@ class FileStore {
   // Attaches a fault injector (not owned; null detaches). Injected faults:
   // silent bit flips / torn writes on every block store (write, update,
   // repair store-back), transient helper-read failures (retried, then
-  // rerouted), and the "store.repair" crash point fired just before a
-  // rebuilt block is installed.
+  // rerouted), latency stalls on block fetches (absorbed by hedged
+  // re-reads — see read_range/repair), the "store.fetch" crash point fired
+  // inside the async CRC-probe fetches, and the "store.repair" crash point
+  // fired just before a rebuilt block is installed.
   void set_fault_injector(fault::FaultInjector* injector) {
     injector_ = injector;
   }
@@ -86,12 +88,15 @@ class FileStore {
 
   // CRC-verified read of bytes [offset, offset + length) of the original
   // file. Every available block is checked against its write-time CRC-32C
-  // first; a block that fails is quarantined and the read transparently
-  // falls back to the shared decode_fast/read_range plan over the healthy
-  // blocks (a DEGRADED read — same bytes, more arithmetic). Quarantined
-  // blocks are then rebuilt in place via the pinned repair plans, so the
-  // next read is clean again. nullopt only if the healthy blocks cannot
-  // reconstruct the range.
+  // via concurrent async CRC-probe fetches — the decode starts as soon as
+  // a decodable subset is clean, overlapping the straggler probes, and a
+  // fetch still pending at the hedge deadline is re-issued on a second
+  // path (io::AsyncIo hedging). A block that fails its CRC is quarantined
+  // and the read transparently falls back to the shared
+  // decode_fast/read_range plan over the healthy blocks (a DEGRADED read —
+  // same bytes, more arithmetic). Quarantined blocks are then rebuilt in
+  // place via the pinned repair plans, so the next read is clean again.
+  // nullopt only if the healthy blocks cannot reconstruct the range.
   std::optional<Buffer> read_range(FileId id, size_t offset, size_t length);
 
   // Overwrites the chunk-aligned range [offset, offset + data.size()) of
@@ -106,10 +111,14 @@ class FileStore {
                                    ConstByteSpan data);
 
   // Restores one lost block from the available blocks (preferred helpers
-  // when alive, any sufficient subset otherwise). Returns the blocks read
-  // (the disk I/O set); nullopt if unrecoverable. The rebuilt bytes are
-  // stored back (the server must be alive again, or a spare —
-  // block-to-server mapping stays identity, so revive first).
+  // when alive, any sufficient subset otherwise). Helper blocks are
+  // gathered concurrently through the async I/O pool; a helper still slow
+  // at the hedge deadline is re-read on a second path and CRC-clean spare
+  // helpers are drafted as an alternate decodable route (the stalled
+  // loser is cancelled). Returns the blocks read (the disk I/O set);
+  // nullopt if unrecoverable. The rebuilt bytes are stored back (the
+  // server must be alive again, or a spare — block-to-server mapping
+  // stays identity, so revive first).
   std::optional<std::vector<size_t>> repair(FileId id, size_t block);
 
   // Distinct (failed block, helper set) repair patterns this store has
@@ -133,8 +142,8 @@ class FileStore {
   // Recomputes every stored block's CRC-32C against the checksum recorded
   // at write time. Mismatching blocks are reported and (when `quarantine`)
   // dropped, so a subsequent RecoveryManager pass rebuilds them. The CRC
-  // pass fans out over the rt pool (one job per stored block) but ONLY
-  // reads shared state and writes disjoint flag bytes; the corruption list
+  // pass scatter-gathers over the async I/O pool (one op per stored block)
+  // but ONLY reads shared state and writes disjoint flag bytes; the list
   // is taken — and all quarantining/rewriting happens — single-threaded
   // after the parallel pass, so the pool jobs never race a mutation. The
   // report order and quarantine effect are identical to a serial scan.

@@ -3,10 +3,12 @@
 // retries, latency-spike accounting, and crash-point idempotence.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <span>
 
 #include "core/galloper.h"
 #include "fault/fault.h"
+#include "io/async.h"
 #include "store/file_store.h"
 #include "store/recovery.h"
 #include "util/bytes.h"
@@ -298,6 +300,119 @@ TEST_F(FaultedStoreTest, LatencySpikesStretchRecoveryMakespan) {
   EXPECT_GT(spiky.latency_spikes, 0u);
   EXPECT_GE(spiky.makespan, clean.makespan + 0.25);
   EXPECT_EQ(*fs.read(0), file);
+}
+
+// ---------- Hedged async fetches --------------------------------------------
+
+// Pins the global pool's hedge deadline for one test and restores it after.
+class ScopedHedgeDeadline {
+ public:
+  explicit ScopedHedgeDeadline(double seconds)
+      : saved_(io::AsyncIo::global().hedge_policy()) {
+    io::HedgePolicy fixed;
+    fixed.fixed_deadline_s = seconds;
+    io::AsyncIo::global().set_hedge_policy(fixed);
+  }
+  ~ScopedHedgeDeadline() { io::AsyncIo::global().set_hedge_policy(saved_); }
+
+ private:
+  io::HedgePolicy saved_;
+};
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+TEST_F(FaultedStoreTest, HedgedRepairAbsorbsAStalledHelper) {
+  const Buffer file = make_file();
+  const FileId id = fs.write(file);
+  fs.set_fault_injector(&injector);
+  fs.fail_server(2);
+  fs.revive_server(2);
+
+  // The first helper read parks for 10 s; a 20 ms hedge deadline re-reads
+  // it on a second path and the repair completes without waiting the stall
+  // out. Way-too-generous wall bound: CI containers wobble, 10 s does not.
+  ScopedHedgeDeadline deadline(0.02);
+  const io::IoStats before = io::AsyncIo::global().stats();
+  injector.stall_next_reads(1, 10.0);
+  std::optional<std::vector<size_t>> helpers;
+  const double took = wall_seconds([&] { helpers = fs.repair(id, 2); });
+
+  ASSERT_TRUE(helpers.has_value());
+  EXPECT_LT(took, 5.0);
+  const io::IoStats after = io::AsyncIo::global().stats();
+  EXPECT_GE(after.hedges_issued - before.hedges_issued, 1u);
+  EXPECT_GE(after.hedges_won - before.hedges_won, 1u);
+  EXPECT_EQ(injector.stats().latency_spikes, 1u);
+  EXPECT_EQ(*fs.read(id), file);
+}
+
+TEST_F(FaultedStoreTest, HedgedReadRangeAbsorbsAStalledProbe) {
+  const Buffer file = make_file();
+  const FileId id = fs.write(file);
+  fs.set_fault_injector(&injector);
+
+  // One CRC probe stalls 10 s. The decode proceeds from the other blocks
+  // immediately, and the straggler probe itself is hedged stall-free — the
+  // read's tail is the 20 ms deadline, and the block still gets counted
+  // (zero crc_failures here; the data is fine, only slow).
+  ScopedHedgeDeadline deadline(0.02);
+  injector.stall_next_reads(1, 10.0);
+  std::optional<Buffer> out;
+  const double took =
+      wall_seconds([&] { out = fs.read_range(id, 0, fs.file_bytes(id)); });
+
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, file);
+  EXPECT_LT(took, 5.0);
+  EXPECT_EQ(fs.read_stats().crc_failures, 0u);
+  EXPECT_EQ(fs.read_stats().degraded_reads, 0u);
+}
+
+TEST_F(FaultedStoreTest, HedgingDrawsNothingFromTheSchedule) {
+  const Buffer file = make_file();
+  const FileId id = fs.write(file);
+  fs.set_fault_injector(&injector);
+  ScopedHedgeDeadline deadline(0.01);
+
+  // Two identical stalled repairs must consume identical injector decision
+  // counts: hedges and spare drafts are schedule-neutral, so the rng
+  // stream stays where a serial gather would have left it.
+  const auto stalled_repair = [&] {
+    fs.fail_server(2);
+    fs.revive_server(2);
+    injector.stall_next_reads(1, 0.05);
+    const uint64_t before = injector.stats().decisions;
+    EXPECT_TRUE(fs.repair(id, 2).has_value());
+    EXPECT_EQ(*fs.read(id), file);
+    return injector.stats().decisions - before;
+  };
+  const uint64_t first = stalled_repair();
+  const uint64_t second = stalled_repair();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(injector.stats().latency_spikes, 2u);
+}
+
+TEST_F(FaultedStoreTest, AsyncFetchCrashPointPropagates) {
+  const Buffer file = make_file();
+  const FileId id = fs.write(file);
+  fs.set_fault_injector(&injector);
+
+  // The crash fires inside an async CRC probe on an I/O thread; the
+  // exception must propagate to the caller, before any quarantine.
+  injector.arm_crash("store.fetch");
+  EXPECT_THROW(fs.read_range(id, 0, fs.file_bytes(id)), CrashError);
+  EXPECT_EQ(injector.stats().crashes, 1u);
+  EXPECT_TRUE(fs.lost_blocks(id).empty());
+
+  // Nothing half-done: the next read is clean and bit-identical.
+  const auto back = fs.read_range(id, 0, fs.file_bytes(id));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, file);
 }
 
 }  // namespace
