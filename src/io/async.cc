@@ -118,21 +118,31 @@ AsyncIo::~AsyncIo() {
     stop_ = true;
   }
   cv_.notify_all();
+  // Workers only exit once the queue is empty (see worker_loop), so the
+  // join doubles as a drain: everything submitted before the destructor
+  // has completed — or been discarded as cancelled — when it returns.
   for (auto& t : threads_) t.join();
-  // Ops still queued after the drain race are cancelled so waiters unblock.
-  for (auto& op : queue_) op->cancel();
 }
 
-OpRef AsyncIo::submit(OpKind kind, size_t bytes, Op::Body body) {
+OpRef AsyncIo::prepare(OpKind kind, size_t bytes, Op::Body body) {
   OpRef op(new Op(kind, bytes, std::move(body)));
   op->cancel_counter_ = &cancelled_;
+  return op;
+}
+
+void AsyncIo::enqueue(OpRef op) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     GALLOPER_CHECK_MSG(!stop_, "submit on a stopped AsyncIo");
-    queue_.push_back(op);
+    queue_.push_back(std::move(op));
     queue_peak_ = std::max(queue_peak_, queue_.size() + running_);
   }
   cv_.notify_one();
+}
+
+OpRef AsyncIo::submit(OpKind kind, size_t bytes, Op::Body body) {
+  OpRef op = prepare(kind, bytes, std::move(body));
+  enqueue(op);
   return op;
 }
 

@@ -141,7 +141,9 @@ class AsyncIo {
  public:
   // 0 → default_threads().
   explicit AsyncIo(size_t threads = 0);
-  // Joins the workers; every queued op is completed or cancelled first.
+  // Drains the queue and joins the workers: every op submitted before the
+  // destructor has completed (or, if cancelled while queued, been
+  // discarded by a worker) when this returns.
   ~AsyncIo();
 
   AsyncIo(const AsyncIo&) = delete;
@@ -158,6 +160,14 @@ class AsyncIo {
   size_t threads() const { return threads_.size(); }
 
   OpRef submit(OpKind kind, size_t bytes, Op::Body body);
+  // Two-phase submission (submit = prepare + enqueue): prepare() builds
+  // the Op handle without making it runnable, so a caller can publish the
+  // handle (e.g. into a FetchSet entry) BEFORE enqueue() lets workers pick
+  // it up — a completion racing the submission then cannot miss the op.
+  // Cancelling a prepared-but-unenqueued op is fine; the worker discards
+  // it at try_start.
+  OpRef prepare(OpKind kind, size_t bytes, Op::Body body);
+  void enqueue(OpRef op);
   // Scatter-gather: the whole batch is enqueued under one lock, in order.
   std::vector<OpRef> submit_many(
       std::vector<std::tuple<OpKind, size_t, Op::Body>> batch);

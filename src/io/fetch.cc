@@ -9,36 +9,39 @@ namespace galloper::io {
 
 void FetchSet::fetch(size_t key, double stall_s, std::function<bool()> probe,
                      bool hedge) {
-  size_t index;
+  OpRef op;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    index = entries_.size();
-    entries_.push_back(Entry{key, hedge, nullptr, false});
+    const size_t index = entries_.size();
+    auto body = [this, index, stall_s, probe = std::move(probe)](Op& op) {
+      if (!op.stall(stall_s)) {  // cancelled while parked in injected latency
+        record(index, /*ran=*/false, false, nullptr);
+        return;
+      }
+      bool clean = false;
+      std::exception_ptr err;
+      try {
+        clean = probe();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      record(index, /*ran=*/true, clean, err);
+    };
+    // prepare-then-enqueue: the op handle must be visible in the entry
+    // before the op can run, so a sibling resolving this key mid-submission
+    // finds it in record()'s loser scan instead of letting the duplicate
+    // park for its full stall.
+    op = io_.prepare(OpKind::kFetch, 0, std::move(body));
+    entries_.push_back(Entry{key, hedge, op, false});
     keys_.try_emplace(key);  // registers the key as pending
   }
-  auto body = [this, index, stall_s, probe = std::move(probe)](Op& op) {
-    if (!op.stall(stall_s)) {  // cancelled while parked in injected latency
-      record(index, /*ran=*/false, false, nullptr);
-      return;
-    }
-    bool clean = false;
-    std::exception_ptr err;
-    try {
-      clean = probe();
-    } catch (...) {
-      err = std::current_exception();
-    }
-    record(index, /*ran=*/true, clean, err);
-  };
-  OpRef op = io_.submit(OpKind::kFetch, 0, std::move(body));
   if (hedge) io_.note_hedge_issued();
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_[index].op = std::move(op);
+  io_.enqueue(std::move(op));
 }
 
 void FetchSet::record(size_t index, bool ran, bool clean,
                       std::exception_ptr err) {
-  std::vector<OpRef> losers;
+  std::vector<std::pair<size_t, OpRef>> losers;
   {
     std::lock_guard<std::mutex> lock(mu_);
     Entry& entry = entries_[index];
@@ -53,10 +56,11 @@ void FetchSet::record(size_t index, bool ran, bool clean,
         // The key is resolved: siblings (hedge loser or hedged original)
         // have nothing left to contribute — wake their stalls.
         bool primary_was_pending = false;
-        for (Entry& other : entries_) {
-          if (other.key != entry.key || other.completed || !other.op) continue;
+        for (size_t i = 0; i < entries_.size(); ++i) {
+          const Entry& other = entries_[i];
+          if (other.key != entry.key || other.completed) continue;
           if (!other.hedge) primary_was_pending = true;
-          losers.push_back(other.op);
+          losers.emplace_back(i, other.op);
         }
         if (entry.hedge && ks.state == Outcome::kClean && primary_was_pending)
           io_.note_hedge_won();
@@ -64,8 +68,27 @@ void FetchSet::record(size_t index, bool ran, bool clean,
     }
     cv_.notify_all();
   }
-  // Cancel outside mu_ — losers' bodies re-enter record() on this mutex.
-  for (const auto& op : losers) op->cancel();
+  // Cancel outside mu_ — a RUNNING loser's body re-enters record() on this
+  // mutex. A loser cancelled while still QUEUED never runs its body, so its
+  // record() never fires: account its completion here, or an exhaustive
+  // await (termination on completed_ == entries_.size()) would hang
+  // forever. cancelled() is true exactly when the kQueued→kCancelled
+  // transition beat try_start, so the two completion paths are mutually
+  // exclusive and complete_unran's completed-flag check closes the
+  // remaining double-account window.
+  for (const auto& [i, op] : losers) {
+    op->cancel();
+    if (op->cancelled()) complete_unran(i);
+  }
+}
+
+void FetchSet::complete_unran(size_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[index];
+  if (entry.completed) return;
+  entry.completed = true;
+  ++completed_;
+  cv_.notify_all();
 }
 
 std::vector<size_t> FetchSet::clean_keys_locked() const {
@@ -123,14 +146,20 @@ void FetchSet::join() {
 }
 
 void FetchSet::cancel_and_join() {
-  std::vector<OpRef> ops;
+  std::vector<std::pair<size_t, OpRef>> ops;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (const Entry& entry : entries_)
-      if (entry.op) ops.push_back(entry.op);
+    for (size_t i = 0; i < entries_.size(); ++i)
+      if (entries_[i].op) ops.emplace_back(i, entries_[i].op);
   }
-  for (const auto& op : ops) op->cancel();
-  for (const auto& op : ops) op->wait_nothrow();
+  // Same queued-cancel accounting as record()'s loser path: an op whose
+  // body never runs must still count toward completed_, so a later (or
+  // concurrent) exhaustive await terminates.
+  for (const auto& [i, op] : ops) {
+    op->cancel();
+    if (op->cancelled()) complete_unran(i);
+  }
+  for (const auto& [i, op] : ops) op->wait_nothrow();
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, ks] : keys_)
     if (ks.state == Outcome::kPending) ks.state = Outcome::kCancelled;

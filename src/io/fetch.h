@@ -13,7 +13,9 @@
 // contract in io/async.h) and re-issues the slow keys via
 // fetch(..., hedge = true). The first result per key wins; when a result
 // lands, sibling fetches for the same key are cancelled (the hedged
-// loser, parked in an injected stall, wakes and bails). A hedge that
+// loser, parked in an injected stall, wakes and bails; a loser still
+// QUEUED never runs and is accounted completed by the canceller, so
+// exhaustive awaits terminate even under a saturated pool). A hedge that
 // resolves its key while the primary is still pending counts as a win
 // (hedges_won in the pool stats).
 //
@@ -89,6 +91,9 @@ class FetchSet {
   };
 
   void record(size_t index, bool ran, bool clean, std::exception_ptr err);
+  // Completion accounting for an entry whose op was cancelled while still
+  // queued — its body never runs, so record() never fires for it.
+  void complete_unran(size_t index);
   std::vector<size_t> clean_keys_locked() const;
   std::vector<size_t> pending_keys_locked() const;
 

@@ -3,18 +3,21 @@
 #include <algorithm>
 #include <tuple>
 
-#include "io/async.h"
 #include "io/fetch.h"
+#include "rt/pool.h"
 #include "util/check.h"
 #include "util/crc32c.h"
 
 namespace galloper::store {
 
-// Every store data path that touches more than one block goes through the
-// async I/O pool (io::AsyncIo): read_range and repair gather their blocks
-// as concurrent CRC-probe fetches and start decoding as soon as a
-// decodable subset is clean; scrub scatter-gathers one CRC op per stored
-// block. Determinism contract: ALL fault-injector decisions (latency,
+// Every store data path that touches more than one block runs in parallel:
+// read_range and repair gather their blocks as concurrent CRC-probe
+// fetches on the async I/O pool (io::AsyncIo) and start decoding as soon
+// as a decodable subset is clean; scrub's pure-CPU checksum sweep stays on
+// the compute pool (rt::parallel_for) — it scales with cores, not with
+// in-flight syscalls, and its in-memory latencies must not pollute the
+// kFetch histogram that feeds the hedge deadline.
+// Determinism contract: ALL fault-injector decisions (latency,
 // transient failures) are pre-drawn on the calling thread in block order
 // before anything is submitted, so the injector's rng sequence is
 // identical to the serial form's no matter how the I/O threads interleave.
@@ -202,29 +205,26 @@ void FileStore::corrupt_block(FileId id, size_t block, size_t offset) {
 }
 
 std::vector<FileStore::CorruptBlock> FileStore::scrub(bool quarantine) {
-  // CRC every stored block as one scatter-gather batch on the async I/O
-  // pool: the ops are independent (disjoint reads, one flag byte each),
-  // and a full-store scrub is pure checksum bandwidth — the one store
-  // operation that scales with TOTAL stored bytes, not one stripe. The
-  // gather below keeps the report (and quarantine order) identical to the
-  // serial scan.
+  // CRC every stored block on the CPU pool: the jobs are independent
+  // (disjoint reads, one flag byte each), and a full-store scrub is pure
+  // checksum bandwidth — the one store operation that scales with TOTAL
+  // stored bytes, not one stripe, so it wants every core, not the (narrow,
+  // blocking-sized) I/O pool. Keeping it off AsyncIo also keeps the kFetch
+  // latency histogram — which sets the hedge deadline — describing real
+  // block fetches only. The gather below keeps the report (and quarantine
+  // order) identical to the serial scan.
   std::vector<CorruptBlock> jobs;
   for (FileId id = 0; id < files_.size(); ++id)
     for (size_t b = 0; b < code_.num_blocks(); ++b)
       if (files_[id][b].has_value()) jobs.push_back({id, b});
   std::vector<uint8_t> bad(jobs.size(), 0);
-  std::vector<std::tuple<io::OpKind, size_t, io::Op::Body>> batch;
-  batch.reserve(jobs.size());
-  for (size_t j = 0; j < jobs.size(); ++j)
-    batch.emplace_back(io::OpKind::kFetch,
-                       files_[jobs[j].file][jobs[j].block]->size(),
-                       [this, &jobs, &bad, j](io::Op&) {
-                         const CorruptBlock& job = jobs[j];
-                         if (crc32c(*files_[job.file][job.block]) !=
-                             checksums_[job.file][job.block])
-                           bad[j] = 1;
-                       });
-  io::AsyncIo::wait_all(io::AsyncIo::global().submit_many(std::move(batch)));
+  rt::parallel_for(rt::ThreadPool::global(), jobs.size(),
+                   rt::ThreadPool::default_threads(), [&](size_t j) {
+                     const CorruptBlock& job = jobs[j];
+                     if (crc32c(*files_[job.file][job.block]) !=
+                         checksums_[job.file][job.block])
+                       bad[j] = 1;
+                   });
 
   std::vector<CorruptBlock> corrupt;
   for (size_t j = 0; j < jobs.size(); ++j) {

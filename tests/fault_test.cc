@@ -373,6 +373,28 @@ TEST_F(FaultedStoreTest, HedgedReadRangeAbsorbsAStalledProbe) {
   EXPECT_EQ(fs.read_stats().degraded_reads, 0u);
 }
 
+// Regression: with EVERY candidate probe stalled there are more in-flight
+// fetches than I/O threads, so the hedges issued at the deadline queue
+// behind stalled primaries and get cancelled while still queued when the
+// primaries land. Those never-ran hedges must still count as completed —
+// read_range's final exhaustive await used to deadlock here.
+TEST_F(FaultedStoreTest, ReadRangeCompletesWhenStallsSaturateTheIoPool) {
+  const Buffer file = make_file();
+  const FileId id = fs.write(file);
+  fs.set_fault_injector(&injector);
+
+  ScopedHedgeDeadline deadline(0.02);
+  injector.stall_next_reads(code.num_blocks(), 0.25);
+  std::optional<Buffer> out;
+  const double took =
+      wall_seconds([&] { out = fs.read_range(id, 0, fs.file_bytes(id)); });
+
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, file);
+  EXPECT_LT(took, 10.0);  // two stall generations at most, never a hang
+  EXPECT_EQ(fs.read_stats().crc_failures, 0u);
+}
+
 TEST_F(FaultedStoreTest, HedgingDrawsNothingFromTheSchedule) {
   const Buffer file = make_file();
   const FileId id = fs.write(file);

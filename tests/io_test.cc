@@ -341,6 +341,46 @@ TEST_F(IoTest, FirstResultPerKeyWinsAndLoserIsCancelled) {
   EXPECT_LT(took, 5.0);
 }
 
+// Regression: a loser cancelled while still QUEUED (saturated pool) never
+// runs its body, so record() never fires for it — its completion must be
+// accounted by the canceller, or an exhaustive await (the always-false
+// predicate read_range uses before its final join) deadlocks.
+TEST_F(IoTest, QueuedLoserStillCountsTowardCompletion) {
+  io::AsyncIo pool(1);  // one worker → the duplicate waits in the queue
+  io::FetchSet fetches(pool);
+  std::atomic<bool> dup_submitted{false};
+  // The primary's probe parks until the duplicate is in the queue, so its
+  // record() is GUARANTEED to cancel the duplicate pre-run.
+  fetches.fetch(7, 0, [&] {
+    while (!dup_submitted.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    return true;
+  });
+  fetches.fetch(7, 30.0, [] { return false; }, /*hedge=*/true);
+  dup_submitted.store(true, std::memory_order_release);
+  const double took = seconds_of([&] {
+    fetches.await([](const std::vector<size_t>&) { return false; }, nullptr);
+  });
+  EXPECT_EQ(fetches.outcome(7), io::FetchSet::Outcome::kClean);
+  EXPECT_LT(took, 5.0);  // neither the 30 s stall nor a completion deadlock
+}
+
+// Regression companion: cancel_and_join must account queued-cancelled ops
+// the same way, so an await AFTER teardown still terminates.
+TEST_F(IoTest, CancelAndJoinAccountsQueuedOps) {
+  io::AsyncIo pool(1);
+  io::FetchSet fetches(pool);
+  fetches.fetch(0, 30.0, [] { return true; });  // running (or about to)
+  fetches.fetch(1, 30.0, [] { return true; });  // queued behind it
+  fetches.cancel_and_join();
+  EXPECT_EQ(fetches.outcome(0), io::FetchSet::Outcome::kCancelled);
+  EXPECT_EQ(fetches.outcome(1), io::FetchSet::Outcome::kCancelled);
+  const double took = seconds_of([&] {
+    fetches.await([](const std::vector<size_t>&) { return false; }, nullptr);
+  });
+  EXPECT_LT(took, 5.0);  // completed_ covers the never-ran op
+}
+
 TEST_F(IoTest, DestructorCancelsOutstandingFetches) {
   io::AsyncIo pool(1);
   const double took = seconds_of([&] {
