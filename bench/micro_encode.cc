@@ -161,29 +161,43 @@ int run_json_sweep(const char* path) {
     std::map<size_t, ConstByteSpan> helpers;
     for (size_t h : code().repair_helpers(0)) helpers.emplace(h, blocks[h]);
 
+    // Serial (threads = 1) seconds per path, for the per-cell speedup
+    // ratio — thread_grid starts at 1, so the entry is always there first.
+    std::map<std::string, double> serial_s;
     for (size_t threads : thread_grid) {
+      // Identity check: every thread count must reproduce the serial
+      // bytes exactly (the GF kernels are bytewise; see engine.h).
+      const bool encode_ok = engine.encode_parallel(file, threads) == blocks;
+      const auto dec = engine.decode_parallel(degraded, threads);
+      const bool decode_ok = dec.has_value() && *dec == file;
+      const auto rep = engine.repair_block_parallel(0, helpers, threads);
+      const bool repair_ok = rep.has_value() && *rep == blocks[0];
       struct Cell {
         const char* path;
         double seconds;
         size_t bytes;
+        bool identical;
       };
       const Cell cells[] = {
           {"encode", best_seconds([&] {
              benchmark::DoNotOptimize(engine.encode_parallel(file, threads));
            }),
-           file.size()},
+           file.size(), encode_ok},
           {"decode", best_seconds([&] {
              benchmark::DoNotOptimize(
                  engine.decode_parallel(degraded, threads));
            }),
-           file.size()},
+           file.size(), decode_ok},
           {"repair", best_seconds([&] {
              benchmark::DoNotOptimize(
                  engine.repair_block_parallel(0, helpers, threads));
            }),
-           blocks[0].size()},
+           blocks[0].size(), repair_ok},
       };
       for (const Cell& c : cells) {
+        if (threads == 1) serial_s[c.path] = c.seconds;
+        const double speedup =
+            c.seconds > 0 ? serial_s[c.path] / c.seconds : 0;
         json.begin_object();
         json.key("path").value(c.path);
         json.key("chunk_bytes").value(chunk);
@@ -191,10 +205,13 @@ int run_json_sweep(const char* path) {
         json.key("seconds").value(c.seconds);
         json.key("mib_per_s").value(
             static_cast<double>(c.bytes) / (1 << 20) / c.seconds);
+        json.key("speedup").value(speedup);
+        json.key("bit_identical").value(c.identical ? 1 : 0);
         json.end_object();
-        std::printf("%-6s chunk=%7zu threads=%zu  %8.1f MiB/s\n", c.path,
-                    chunk, threads,
-                    static_cast<double>(c.bytes) / (1 << 20) / c.seconds);
+        std::printf("%-6s chunk=%7zu threads=%zu  %8.1f MiB/s  %5.2fx %s\n",
+                    c.path, chunk, threads,
+                    static_cast<double>(c.bytes) / (1 << 20) / c.seconds,
+                    speedup, c.identical ? "" : "NOT-BIT-IDENTICAL");
       }
     }
   }

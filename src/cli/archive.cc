@@ -14,6 +14,7 @@
 #include <thread>
 #include <utility>
 
+#include "client/striped.h"
 #include "codes/plan.h"
 #include "core/input_format.h"
 #include "core/weights.h"
@@ -155,37 +156,10 @@ Rational parse_rational(const std::string& s) {
 
 // ---- Pipeline stages ------------------------------------------------------
 
-// One pipeline stage on a dedicated thread (see rt/queue.h for why stages
-// never run as pool tasks). A throwing stage records its exception and
-// runs `abort(error)` — which POISONS the pipeline's queues, so every peer
-// unblocks immediately and queued items behind the error are discarded
-// instead of processed — and the driver rethrows after joining.
-class StageThread {
- public:
-  template <typename Fn>
-  StageThread(Fn fn, std::function<void(std::exception_ptr)> abort)
-      : thread_([this, fn = std::move(fn), abort = std::move(abort)] {
-          try {
-            fn();
-          } catch (...) {
-            error_ = std::current_exception();
-            abort(error_);
-          }
-        }) {}
-
-  ~StageThread() { join(); }
-
-  void join() {
-    if (thread_.joinable()) thread_.join();
-  }
-  void rethrow() {
-    if (error_) std::rethrow_exception(error_);
-  }
-
- private:
-  std::exception_ptr error_;
-  std::thread thread_;
-};
+// Stages run as rt::StageThread (dedicated threads, poison-on-throw); the
+// queues between them take their capacity from rt::queue_depth()
+// (GALLOPER_QUEUE_DEPTH, default 2).
+using rt::StageThread;
 
 }  // namespace
 
@@ -370,8 +344,8 @@ Manifest encode_archive(const fs::path& input, const fs::path& dir, size_t k,
     size_t index;
     std::vector<Buffer> blocks;
   };
-  rt::BoundedQueue<SegData> in_q(2);
-  rt::BoundedQueue<SegBlocks> out_q(2);
+  rt::BoundedQueue<SegData> in_q(rt::queue_depth());
+  rt::BoundedQueue<SegBlocks> out_q(rt::queue_depth());
   const auto abort_all = [&](std::exception_ptr e) {
     in_q.poison(e);
     out_q.poison(e);
@@ -534,7 +508,7 @@ bool decode_archive_stream(const fs::path& dir, size_t threads,
     size_t index;
     std::vector<Buffer> pieces;  // parallel to ids
   };
-  rt::BoundedQueue<SegPieces> q(2);
+  rt::BoundedQueue<SegPieces> q(rt::queue_depth());
   StageThread reader(
       [&] {
         for (const Segment& seg : segments) {
@@ -612,7 +586,7 @@ bool decode_archive_to(const fs::path& dir, const fs::path& output,
     size_t offset;
     Buffer data;
   };
-  rt::BoundedQueue<OutPiece> q(2);
+  rt::BoundedQueue<OutPiece> q(rt::queue_depth());
   StageThread writer(
       [&] {
         while (auto item = q.pop()) {
@@ -721,8 +695,8 @@ std::optional<std::vector<size_t>> repair_archive(const fs::path& dir,
         size_t offset;  // block_offset of the segment
         Buffer data;
       };
-      rt::BoundedQueue<SegPieces> in_q(2);
-      rt::BoundedQueue<OutPiece> out_q(2);
+      rt::BoundedQueue<SegPieces> in_q(rt::queue_depth());
+      rt::BoundedQueue<OutPiece> out_q(rt::queue_depth());
       const auto abort_all = [&](std::exception_ptr e) {
         in_q.poison(e);
         out_q.poison(e);
@@ -1058,6 +1032,21 @@ std::string format_plan_stats() {
         << is.p99_s * 1e3 << " ms, " << is.hedges_issued
         << " hedges issued / " << is.hedges_won << " won, " << is.cancelled
         << " cancelled\n";
+  const client::ClientStats cl = client::client_stats();
+  if (cl.reads + cl.writes > 0) {
+    const client::AdmissionControl::Stats as =
+        client::AdmissionControl::global().stats();
+    const util::LatencyHistogram& hist = client::client_latency_histogram();
+    out << "client: " << cl.reads << " reads / " << cl.writes << " writes, "
+        << static_cast<double>(cl.bytes_read) * 1e-6 << " MB read, "
+        << static_cast<double>(cl.bytes_written) * 1e-6 << " MB written, "
+        << cl.batches << " batches, " << cl.fallbacks << " fallbacks\n"
+        << "  admission " << as.admitted << " admitted / " << as.waited
+        << " waited, peak " << as.peak << "/" << as.limit << "\n"
+        << "  call latency p50 " << hist.quantile_s(0.50) * 1e3
+        << " ms, p99 " << hist.quantile_s(0.99) * 1e3 << " ms, p99.9 "
+        << hist.quantile_s(0.999) * 1e3 << " ms\n";
+  }
   return out.str();
 }
 

@@ -101,6 +101,15 @@ class CodecPlan {
   // Block ids whose bytes execution reads, in bases-table order. For the
   // engine-owned encode plan this is empty (the single source is the file).
   const std::vector<size_t>& source_blocks() const { return src_blocks_; }
+  // The combo terms one row reads (empty for verbatim-copy rows, whose only
+  // source is (copy_slot, copy_pos)). Lets a caller that stages blocks
+  // itself — the striped client — fetch exactly the (slot, pos) ranges a
+  // row will touch before handing run_row a bases table.
+  std::span<const Source> row_sources(const Row& row) const {
+    if (row.copy_slot >= 0) return {};
+    return std::span<const Source>(srcs_.data() + row.begin,
+                                   row.end - row.begin);
+  }
   // Wall-clock seconds spent compiling (solve + layout), for the counters.
   double plan_seconds() const { return plan_seconds_; }
 

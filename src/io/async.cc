@@ -1,7 +1,6 @@
 #include "io/async.h"
 
 #include <algorithm>
-#include <bit>
 #include <chrono>
 #include <cstdlib>
 #include <limits>
@@ -225,7 +224,7 @@ void AsyncIo::worker_loop() {
           bytes_written_.fetch_add(op->bytes(), std::memory_order_relaxed);
           break;
       }
-      bucket_latency(ns);
+      latency_hist_.record_ns(ns);
       op->finish(std::move(error), ns);
     } else {
       // Cancelled while queued: cancel() already counted it.
@@ -238,31 +237,8 @@ void AsyncIo::worker_loop() {
   }
 }
 
-void AsyncIo::bucket_latency(uint64_t ns) {
-  const unsigned b = ns == 0 ? 0 : std::bit_width(ns) - 1;
-  latency_hist_[std::min<unsigned>(b, 63)].fetch_add(
-      1, std::memory_order_relaxed);
-}
-
 double AsyncIo::latency_quantile_s(double q) const {
-  q = std::clamp(q, 0.0, 1.0);
-  uint64_t total = 0;
-  std::array<uint64_t, 64> hist;
-  for (size_t i = 0; i < hist.size(); ++i) {
-    hist[i] = latency_hist_[i].load(std::memory_order_relaxed);
-    total += hist[i];
-  }
-  if (total == 0) return 0;
-  // Smallest bucket whose cumulative count covers rank q·total; report the
-  // bucket's upper bound so the quantile never understates.
-  const uint64_t rank = std::max<uint64_t>(
-      1, static_cast<uint64_t>(q * static_cast<double>(total) + 0.5));
-  uint64_t seen = 0;
-  for (size_t i = 0; i < hist.size(); ++i) {
-    seen += hist[i];
-    if (seen >= rank) return static_cast<double>(uint64_t{1} << (i + 1)) * 1e-9;
-  }
-  return static_cast<double>(std::numeric_limits<uint64_t>::max()) * 1e-9;
+  return latency_hist_.quantile_s(q);
 }
 
 IoStats AsyncIo::stats() const {

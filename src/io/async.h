@@ -33,7 +33,6 @@
 // order, so the injector's rng sequence never depends on I/O timing.
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -46,6 +45,7 @@
 #include <vector>
 
 #include "io/io.h"
+#include "util/stats.h"
 
 namespace galloper::io {
 
@@ -198,7 +198,6 @@ class AsyncIo {
 
  private:
   void worker_loop();
-  void bucket_latency(uint64_t ns);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -214,8 +213,9 @@ class AsyncIo {
   std::atomic<uint64_t> ops_{0}, reads_{0}, writes_{0}, fetches_{0};
   std::atomic<uint64_t> bytes_read_{0}, bytes_written_{0}, cancelled_{0};
   std::atomic<uint64_t> hedges_issued_{0}, hedges_won_{0};
-  // latency_hist_[b] counts ops with bit_width(latency_ns) == b.
-  std::array<std::atomic<uint64_t>, 64> latency_hist_{};
+  // Per-op latency in log2-ns buckets (util::LatencyHistogram holds the
+  // math; latency_quantile_s delegates to it).
+  util::LatencyHistogram latency_hist_;
 };
 
 }  // namespace galloper::io

@@ -23,17 +23,34 @@
 // rethrow_if_poisoned().
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdlib>
 #include <deque>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "util/check.h"
 
 namespace galloper::rt {
+
+// Capacity for pipeline stage queues: GALLOPER_QUEUE_DEPTH when set to a
+// positive integer (clamped to [1, 64]), else 2 — one segment in flight
+// per direction keeps memory O(segment) while still overlapping read,
+// codec, and write. Re-read on every call so tests (and long-lived
+// processes changing the env between pipelines) see updates.
+inline size_t queue_depth() {
+  if (const char* env = std::getenv("GALLOPER_QUEUE_DEPTH")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n >= 1) return std::min<size_t>(static_cast<size_t>(n), 64);
+  }
+  return 2;
+}
 
 template <typename T>
 class BoundedQueue {
@@ -116,6 +133,41 @@ class BoundedQueue {
   std::deque<T> items_;
   std::exception_ptr error_;
   bool closed_ = false;
+};
+
+// One pipeline stage on a dedicated thread (see the header comment for why
+// stages never run as pool tasks). A throwing stage records its exception
+// and runs `abort(error)` — which POISONS the pipeline's queues, so every
+// peer unblocks immediately and queued items behind the error are discarded
+// instead of processed — and the driver rethrows after joining.
+class StageThread {
+ public:
+  template <typename Fn>
+  StageThread(Fn fn, std::function<void(std::exception_ptr)> abort)
+      : thread_([this, fn = std::move(fn), abort = std::move(abort)] {
+          try {
+            fn();
+          } catch (...) {
+            error_ = std::current_exception();
+            abort(error_);
+          }
+        }) {}
+
+  StageThread(const StageThread&) = delete;
+  StageThread& operator=(const StageThread&) = delete;
+
+  ~StageThread() { join(); }
+
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+  void rethrow() {
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  std::exception_ptr error_;
+  std::thread thread_;
 };
 
 }  // namespace galloper::rt

@@ -1,6 +1,7 @@
 #include "store/file_store.h"
 
 #include <algorithm>
+#include <cstring>
 #include <tuple>
 
 #include "io/fetch.h"
@@ -23,6 +24,16 @@ namespace galloper::store {
 // identical to the serial form's no matter how the I/O threads interleave.
 // Probes only read shared state; every mutation (quarantine, store-back)
 // happens after the fetch set is joined.
+//
+// Locking discipline (mu_ is the block-state reader/writer lock):
+//  - probes/decodes take mu_ SHARED, re-checking residency inside (a
+//    concurrent reader may have quarantined the block since submission);
+//  - quarantine/install/update take mu_ EXCLUSIVE;
+//  - mu_ is never held across a FetchSet await/join, so a probe parked in
+//    an injected stall cannot wedge writers (the stall runs BEFORE the
+//    probe body via FetchSet's stall_s, outside any lock);
+//  - repair_plans_ has its own plans_mu_ (plan compilation never touches
+//    block state).
 
 FileStore::FileStore(sim::Cluster& cluster, const codes::ErasureCode& code)
     : cluster_(cluster), code_(code) {
@@ -31,7 +42,27 @@ FileStore::FileStore(sim::Cluster& cluster, const codes::ErasureCode& code)
 }
 
 FileId FileStore::write(ConstByteSpan file) {
-  auto blocks = code_.encode(file);
+  // Encode outside the lock (pure CPU); the checksum-then-write-fault
+  // sequence in write_encoded is identical to the historical inline form.
+  return write_encoded(code_.encode(file));
+}
+
+FileId FileStore::write_encoded(std::vector<Buffer> blocks) {
+  GALLOPER_CHECK_MSG(blocks.size() == code_.num_blocks(),
+                     "write_encoded wants one buffer per code block");
+  for (const auto& b : blocks)
+    GALLOPER_CHECK_MSG(!b.empty() && b.size() == blocks[0].size(),
+                       "write_encoded blocks must be equal-sized, non-empty");
+  // Writers serialize on write_mu_ — only write_encoded ever appends to
+  // files_, so the id guessed here is the id the append gets. mu_ is NOT
+  // held across the injector callbacks: a write gate (the soak harness's)
+  // calls back into the store's locked accessors.
+  std::lock_guard<std::mutex> write_lock(write_mu_);
+  FileId id;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    id = files_.size();
+  }
   std::vector<std::optional<Buffer>> stored;
   std::vector<uint32_t> crcs;
   stored.reserve(blocks.size());
@@ -43,35 +74,37 @@ FileId FileStore::write(ConstByteSpan file) {
     // The file id passed to the injector is the one this write is creating.
     crcs.push_back(crc32c(b));
     if (injector_)
-      injector_->on_write(files_.size(), i,
-                          std::span<uint8_t>(b.data(), b.size()));
+      injector_->on_write(id, i, std::span<uint8_t>(b.data(), b.size()));
     stored.emplace_back(std::move(b));
   }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   file_block_bytes_.push_back(stored[0]->size());
   files_.push_back(std::move(stored));
   checksums_.push_back(std::move(crcs));
-  return files_.size() - 1;
+  return id;
 }
 
-void FileStore::store_block(FileId id, size_t b, Buffer data) {
-  if (injector_)
-    injector_->on_write(id, b, std::span<uint8_t>(data.data(), data.size()));
-  files_[id][b] = std::move(data);
+size_t FileStore::num_files() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return files_.size();
 }
 
 size_t FileStore::block_bytes(FileId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   GALLOPER_CHECK(id < files_.size());
   return file_block_bytes_[id];
 }
 
 size_t FileStore::file_bytes(FileId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   GALLOPER_CHECK(id < files_.size());
   const size_t chunk =
       file_block_bytes_[id] / code_.engine().stripes_per_block();
   return code_.engine().num_chunks() * chunk;
 }
 
-std::optional<ConstByteSpan> FileStore::block(FileId id, size_t b) const {
+std::optional<ConstByteSpan> FileStore::block_locked(FileId id,
+                                                     size_t b) const {
   GALLOPER_CHECK(id < files_.size());
   GALLOPER_CHECK(b < code_.num_blocks());
   if (!cluster_.server(b).alive() || !files_[id][b].has_value())
@@ -79,14 +112,25 @@ std::optional<ConstByteSpan> FileStore::block(FileId id, size_t b) const {
   return ConstByteSpan(*files_[id][b]);
 }
 
+bool FileStore::block_available_locked(FileId id, size_t b) const {
+  return block_locked(id, b).has_value();
+}
+
+std::optional<ConstByteSpan> FileStore::block(FileId id, size_t b) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return block_locked(id, b);
+}
+
 bool FileStore::block_available(FileId id, size_t b) const {
-  return block(id, b).has_value();
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return block_available_locked(id, b);
 }
 
 void FileStore::fail_server(size_t server) {
   GALLOPER_CHECK(server < cluster_.size());
   cluster_.server(server).fail();
   if (server >= code_.num_blocks()) return;
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (auto& file : files_) file[server].reset();
 }
 
@@ -95,14 +139,15 @@ void FileStore::revive_server(size_t server) {
   cluster_.server(server).recover();
 }
 
-std::vector<size_t> FileStore::available_blocks(FileId id) const {
+std::vector<size_t> FileStore::available_blocks_locked(FileId id) const {
   std::vector<size_t> out;
   for (size_t b = 0; b < code_.num_blocks(); ++b)
-    if (block_available(id, b)) out.push_back(b);
+    if (block_available_locked(id, b)) out.push_back(b);
   return out;
 }
 
 std::vector<size_t> FileStore::lost_blocks(FileId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   GALLOPER_CHECK(id < files_.size());
   std::vector<size_t> out;
   for (size_t b = 0; b < code_.num_blocks(); ++b)
@@ -111,19 +156,23 @@ std::vector<size_t> FileStore::lost_blocks(FileId id) const {
 }
 
 bool FileStore::all_recoverable() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   for (FileId id = 0; id < files_.size(); ++id)
-    if (!code_.decodable(available_blocks(id))) return false;
+    if (!code_.decodable(available_blocks_locked(id))) return false;
   return true;
 }
 
 std::optional<Buffer> FileStore::read(FileId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   GALLOPER_CHECK(id < files_.size());
   std::map<size_t, ConstByteSpan> view;
-  for (size_t b : available_blocks(id)) view.emplace(b, *block(id, b));
+  for (size_t b : available_blocks_locked(id))
+    view.emplace(b, *block_locked(id, b));
   return code_.decode(view);
 }
 
 std::optional<Buffer> FileStore::read_original_only(FileId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   GALLOPER_CHECK(id < files_.size());
   core::InputFormat fmt(code_, file_block_bytes_[id]);
   // gather() wants one span per block; an unavailable block is fine only
@@ -131,7 +180,7 @@ std::optional<Buffer> FileStore::read_original_only(FileId id) const {
   const Buffer dummy(file_block_bytes_[id], 0);
   std::vector<ConstByteSpan> blocks;
   for (size_t b = 0; b < code_.num_blocks(); ++b) {
-    const auto data = block(id, b);
+    const auto data = block_locked(id, b);
     if (data) {
       blocks.push_back(*data);
       continue;
@@ -144,57 +193,80 @@ std::optional<Buffer> FileStore::read_original_only(FileId id) const {
 
 std::vector<size_t> FileStore::update_range(FileId id, size_t offset,
                                             ConstByteSpan data) {
-  GALLOPER_CHECK(id < files_.size());
-  const size_t chunk = file_block_bytes_[id] / code_.engine().stripes_per_block();
-  GALLOPER_CHECK_MSG(offset % chunk == 0 && data.size() % chunk == 0,
-                     "updates must be chunk-aligned (chunk = " << chunk
-                                                               << " bytes)");
-  const size_t first = offset / chunk;
-  const size_t count = data.size() / chunk;
-  GALLOPER_CHECK(first + count <= code_.engine().num_chunks());
-  for (size_t b = 0; b < code_.num_blocks(); ++b)
-    GALLOPER_CHECK_MSG(block_available(id, b),
-                       "in-place update on a degraded stripe: repair block "
-                           << b << " first");
-  // CRC-verify before patching: a delta update against a silently corrupt
-  // block would recompute its checksum over the corrupt bytes, laundering
-  // the damage into a "valid" state no scrub could ever catch. Quarantine
-  // the block and refuse instead — the caller repairs, then retries.
-  for (size_t b = 0; b < code_.num_blocks(); ++b) {
-    if (crc32c(*files_[id][b]) == checksums_[id][b]) continue;
-    files_[id][b].reset();
-    GALLOPER_CHECK_MSG(false, "update found block "
-                                  << b
-                                  << " silently corrupt (quarantined): "
-                                     "repair before updating");
+  // Phase 1 (exclusive): verify the stripe and compute the patched blocks
+  // into LOCAL copies — files_ itself is untouched, so a throw (degraded
+  // stripe, quarantined corruption) leaves the store exactly as it was.
+  std::vector<Buffer> blocks;
+  std::vector<size_t> touched;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    GALLOPER_CHECK(id < files_.size());
+    const size_t chunk =
+        file_block_bytes_[id] / code_.engine().stripes_per_block();
+    GALLOPER_CHECK_MSG(offset % chunk == 0 && data.size() % chunk == 0,
+                       "updates must be chunk-aligned (chunk = " << chunk
+                                                                 << " bytes)");
+    const size_t first = offset / chunk;
+    const size_t count = data.size() / chunk;
+    GALLOPER_CHECK(first + count <= code_.engine().num_chunks());
+    for (size_t b = 0; b < code_.num_blocks(); ++b)
+      GALLOPER_CHECK_MSG(block_available_locked(id, b),
+                         "in-place update on a degraded stripe: repair block "
+                             << b << " first");
+    // CRC-verify before patching: a delta update against a silently corrupt
+    // block would recompute its checksum over the corrupt bytes, laundering
+    // the damage into a "valid" state no scrub could ever catch. Quarantine
+    // the block and refuse instead — the caller repairs, then retries.
+    for (size_t b = 0; b < code_.num_blocks(); ++b) {
+      if (crc32c(*files_[id][b]) == checksums_[id][b]) continue;
+      files_[id][b].reset();
+      GALLOPER_CHECK_MSG(false, "update found block "
+                                    << b
+                                    << " silently corrupt (quarantined): "
+                                       "repair before updating");
+    }
+    blocks.reserve(code_.num_blocks());
+    for (size_t b = 0; b < code_.num_blocks(); ++b)
+      blocks.emplace_back(files_[id][b]->size());
+    for (size_t b = 0; b < code_.num_blocks(); ++b)
+      std::copy(files_[id][b]->begin(), files_[id][b]->end(),
+                blocks[b].begin());
+    for (size_t c = 0; c < count; ++c) {
+      const auto t = code_.engine().update_chunk(
+          blocks, first + c, data.subspan(c * chunk, chunk));
+      touched.insert(touched.end(), t.begin(), t.end());
+    }
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
   }
 
-  // Materialize the blocks vector for the engine, update, write back.
-  std::vector<Buffer> blocks;
-  blocks.reserve(code_.num_blocks());
-  for (size_t b = 0; b < code_.num_blocks(); ++b)
-    blocks.push_back(std::move(*files_[id][b]));
-  std::vector<size_t> touched;
-  for (size_t c = 0; c < count; ++c) {
-    const auto t = code_.engine().update_chunk(
-        blocks, first + c, data.subspan(c * chunk, chunk));
-    touched.insert(touched.end(), t.begin(), t.end());
+  // Phase 2 (no lock): the touched blocks hit "disk" — they alone ride the
+  // injector's write-fault schedule. The callbacks run UNLOCKED because a
+  // write gate may call back into the store (soak harness). The checksum
+  // recorded below keeps the TRUE value, so a fault is a silent corruption.
+  std::vector<uint32_t> new_crcs(touched.size());
+  for (size_t i = 0; i < touched.size(); ++i) {
+    const size_t b = touched[i];
+    new_crcs[i] = crc32c(blocks[b]);
+    if (injector_)
+      injector_->on_write(
+          id, b, std::span<uint8_t>(blocks[b].data(), blocks[b].size()));
   }
-  std::sort(touched.begin(), touched.end());
-  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
-  for (size_t b = 0; b < code_.num_blocks(); ++b) {
-    checksums_[id][b] = crc32c(blocks[b]);
-    // Only the touched blocks hit "disk" — they alone ride the injector's
-    // write-fault schedule.
-    if (std::binary_search(touched.begin(), touched.end(), b))
-      store_block(id, b, std::move(blocks[b]));
-    else
-      files_[id][b] = std::move(blocks[b]);
+
+  // Phase 3 (exclusive): install. Callers serialize updates against reads
+  // and chaos on the same file (the load-gen harness locks), so nothing
+  // mutated the stripe between the phases.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (size_t i = 0; i < touched.size(); ++i) {
+    const size_t b = touched[i];
+    files_[id][b] = std::move(blocks[b]);
+    checksums_[id][b] = new_crcs[i];
   }
   return touched;
 }
 
 void FileStore::corrupt_block(FileId id, size_t block, size_t offset) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   GALLOPER_CHECK(id < files_.size());
   GALLOPER_CHECK(block < code_.num_blocks());
   GALLOPER_CHECK_MSG(files_[id][block].has_value(),
@@ -211,35 +283,49 @@ std::vector<FileStore::CorruptBlock> FileStore::scrub(bool quarantine) {
   // stored bytes, not one stripe, so it wants every core, not the (narrow,
   // blocking-sized) I/O pool. Keeping it off AsyncIo also keeps the kFetch
   // latency histogram — which sets the hedge deadline — describing real
-  // block fetches only. The gather below keeps the report (and quarantine
-  // order) identical to the serial scan.
+  // block fetches only. The calling thread holds mu_ shared for the whole
+  // scan (pool workers read block bytes without taking the lock — the
+  // shared hold is what keeps mutators out).
   std::vector<CorruptBlock> jobs;
-  for (FileId id = 0; id < files_.size(); ++id)
-    for (size_t b = 0; b < code_.num_blocks(); ++b)
-      if (files_[id][b].has_value()) jobs.push_back({id, b});
-  std::vector<uint8_t> bad(jobs.size(), 0);
-  rt::parallel_for(rt::ThreadPool::global(), jobs.size(),
-                   rt::ThreadPool::default_threads(), [&](size_t j) {
-                     const CorruptBlock& job = jobs[j];
-                     if (crc32c(*files_[job.file][job.block]) !=
-                         checksums_[job.file][job.block])
-                       bad[j] = 1;
-                   });
+  std::vector<uint8_t> bad;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (FileId id = 0; id < files_.size(); ++id)
+      for (size_t b = 0; b < code_.num_blocks(); ++b)
+        if (files_[id][b].has_value()) jobs.push_back({id, b});
+    bad.assign(jobs.size(), 0);
+    rt::parallel_for(rt::ThreadPool::global(), jobs.size(),
+                     rt::ThreadPool::default_threads(), [&](size_t j) {
+                       const CorruptBlock& job = jobs[j];
+                       if (crc32c(*files_[job.file][job.block]) !=
+                           checksums_[job.file][job.block])
+                         bad[j] = 1;
+                     });
+  }
 
+  // Re-verify each hit under the exclusive lock before quarantining: a
+  // concurrent reader may have quarantined-and-healed the block since the
+  // scan, and resetting the healed copy would turn a repaired block back
+  // into an erasure. Serial callers see the identical report.
   std::vector<CorruptBlock> corrupt;
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (size_t j = 0; j < jobs.size(); ++j) {
     if (!bad[j]) continue;
-    corrupt.push_back(jobs[j]);
-    if (quarantine) files_[jobs[j].file][jobs[j].block].reset();
+    const CorruptBlock& c = jobs[j];
+    if (!files_[c.file][c.block].has_value()) continue;
+    if (crc32c(*files_[c.file][c.block]) == checksums_[c.file][c.block])
+      continue;
+    corrupt.push_back(c);
+    if (quarantine) files_[c.file][c.block].reset();
   }
   return corrupt;
 }
 
 FileStore::ScrubReport FileStore::scrub_and_repair() {
   ScrubReport report;
-  // Parallel CRC pass + single-threaded quarantine, exactly like scrub();
-  // then the rebuild loop below runs strictly after it, because a repair
-  // READS peer blocks — rebuilding under the parallel scan would race it.
+  // Parallel CRC pass + quarantine, exactly like scrub(); then the rebuild
+  // loop below runs strictly after it, because a repair READS peer blocks —
+  // rebuilding under the parallel scan would race it.
   report.corrupt = scrub(/*quarantine=*/true);
 
   // Multi-pass healing: when several blocks of one file were quarantined,
@@ -277,37 +363,58 @@ FileStore::ScrubReport FileStore::scrub_and_repair() {
   return report;
 }
 
+FileStore::ReadStats FileStore::read_stats() const {
+  ReadStats s;
+  s.verified_reads = counters_.verified_reads.load(std::memory_order_relaxed);
+  s.crc_failures = counters_.crc_failures.load(std::memory_order_relaxed);
+  s.degraded_reads = counters_.degraded_reads.load(std::memory_order_relaxed);
+  s.transient_faults =
+      counters_.transient_faults.load(std::memory_order_relaxed);
+  s.auto_repairs = counters_.auto_repairs.load(std::memory_order_relaxed);
+  return s;
+}
+
+namespace {
+// Pre-drawn per-block fetch schedule (see the determinism contract above).
+struct Candidate {
+  size_t block;
+  double stall_s;  // injected latency, applied on the I/O thread
+};
+}  // namespace
+
 std::optional<Buffer> FileStore::read_range(FileId id, size_t offset,
                                             size_t length) {
-  GALLOPER_CHECK(id < files_.size());
-  GALLOPER_CHECK_MSG(offset + length <= file_bytes(id),
-                     "range [" << offset << ", " << offset + length
-                               << ") beyond file size " << file_bytes(id));
-  ++read_stats_.verified_reads;
+  counters_.verified_reads.fetch_add(1, std::memory_order_relaxed);
 
   // Pre-draw the fault schedule on this thread, in block order — identical
   // draws to the old serial scan, so counters and rng state never depend
   // on I/O timing. Transient (injected) read faults are retried in place;
   // a block whose reads keep failing is simply left out of this read.
-  struct Candidate {
-    size_t block;
-    double stall_s;  // injected latency, applied on the I/O thread
-  };
   std::vector<Candidate> candidates;
-  for (size_t b = 0; b < code_.num_blocks(); ++b) {
-    if (!block_available(id, b)) continue;
-    const double stall_s = injector_ ? injector_->read_latency() : 0;
-    constexpr size_t kReadAttempts = 3;
-    bool readable = true;
-    for (size_t tries = 0; injector_ && injector_->read_fails();) {
-      ++read_stats_.transient_faults;
-      if (++tries >= kReadAttempts) {
-        readable = false;
-        break;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    GALLOPER_CHECK(id < files_.size());
+    const size_t chunk =
+        file_block_bytes_[id] / code_.engine().stripes_per_block();
+    const size_t fbytes = code_.engine().num_chunks() * chunk;
+    GALLOPER_CHECK_MSG(offset + length <= fbytes,
+                       "range [" << offset << ", " << offset + length
+                                 << ") beyond file size " << fbytes);
+    for (size_t b = 0; b < code_.num_blocks(); ++b) {
+      if (!block_available_locked(id, b)) continue;
+      const double stall_s = injector_ ? injector_->read_latency() : 0;
+      constexpr size_t kReadAttempts = 3;
+      bool readable = true;
+      for (size_t tries = 0; injector_ && injector_->read_fails();) {
+        counters_.transient_faults.fetch_add(1, std::memory_order_relaxed);
+        if (++tries >= kReadAttempts) {
+          readable = false;
+          break;
+        }
       }
+      if (!readable) continue;
+      candidates.push_back({b, stall_s});
     }
-    if (!readable) continue;
-    candidates.push_back({b, stall_s});
   }
 
   // Verify-on-read, concurrently: every candidate block gets a CRC-probe
@@ -316,10 +423,15 @@ std::optional<Buffer> FileStore::read_range(FileId id, size_t offset,
   // A fetch still slow at the hedge deadline is re-issued without its
   // injected stall (a second replica path); the loser is cancelled when
   // the first result lands. Hedges draw NOTHING from the injector.
+  // Probe bodies take mu_ shared and re-check residency: a sibling reader
+  // may have quarantined the block between submission and the probe run.
   auto probe = [this, id](size_t b) {
     return [this, id, b] {
       if (injector_) injector_->crash_point("store.fetch");
-      return crc32c(*files_[id][b]) == checksums_[id][b];
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      const auto& blk = files_[id][b];
+      if (!blk.has_value()) return false;
+      return crc32c(*blk) == checksums_[id][b];
     };
   };
   io::FetchSet fetches;
@@ -339,11 +451,23 @@ std::optional<Buffer> FileStore::read_range(FileId id, size_t offset,
 
   // The (possibly degraded) read itself: the shared decode_fast/read_range
   // plan reconstructs only the chunks overlapping the request from the
-  // clean blocks gathered so far.
-  std::map<size_t, ConstByteSpan> view;
-  for (size_t b : fetches.clean_keys())
-    view.emplace(b, ConstByteSpan(*files_[id][b]));
-  auto out = code_.engine().read_range(view, offset, length);
+  // clean blocks gathered so far. The view re-checks residency under the
+  // shared lock; if a clean block vanished (concurrent quarantine) and the
+  // decode came up empty, we retry once after the exhaustive await below,
+  // when the final clean set is known.
+  const auto decode_view = [&]() -> std::pair<std::optional<Buffer>, bool> {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    std::map<size_t, ConstByteSpan> view;
+    bool all_present = true;
+    for (size_t b : fetches.clean_keys()) {
+      if (files_[id][b].has_value())
+        view.emplace(b, ConstByteSpan(*files_[id][b]));
+      else
+        all_present = false;
+    }
+    return {code_.engine().read_range(view, offset, length), all_present};
+  };
+  auto [out, decode_authoritative] = decode_view();
 
   // Every probe must still resolve before ANY mutation — a straggler
   // finding corruption counts, and the quarantine below resets buffers a
@@ -356,23 +480,31 @@ std::optional<Buffer> FileStore::read_range(FileId id, size_t offset,
                 hedge_pending);
   fetches.join();
   fetches.rethrow_any_failure();
+  if (!decode_authoritative && !out.has_value())
+    out = decode_view().first;  // final clean set, post-join
 
   // A mismatch quarantines the block so no later caller trusts it either.
   std::vector<size_t> corrupt;
-  for (const Candidate& c : candidates) {
-    if (fetches.outcome(c.block) != io::FetchSet::Outcome::kCorrupt) continue;
-    ++read_stats_.crc_failures;
-    corrupt.push_back(c.block);
-    files_[id][c.block].reset();  // quarantine
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    for (const Candidate& c : candidates) {
+      if (fetches.outcome(c.block) != io::FetchSet::Outcome::kCorrupt)
+        continue;
+      counters_.crc_failures.fetch_add(1, std::memory_order_relaxed);
+      corrupt.push_back(c.block);
+      files_[id][c.block].reset();  // quarantine
+    }
   }
-  if (!corrupt.empty()) ++read_stats_.degraded_reads;
+  if (!corrupt.empty())
+    counters_.degraded_reads.fetch_add(1, std::memory_order_relaxed);
 
   // Self-heal: rebuild what the read quarantined, so the NEXT read is
   // clean. Plans come from the store's pinned pattern map.
   for (size_t b : corrupt) {
     if (!cluster_.server(b).alive()) continue;
     try {
-      if (repair(id, b)) ++read_stats_.auto_repairs;
+      if (repair(id, b))
+        counters_.auto_repairs.fetch_add(1, std::memory_order_relaxed);
     } catch (const fault::TransientError&) {
       // Helpers kept failing transiently; scrub/recovery will retry later.
     }
@@ -380,39 +512,163 @@ std::optional<Buffer> FileStore::read_range(FileId id, size_t offset,
   return out;
 }
 
+FileStore::ReadSession FileStore::begin_verified_read(FileId id) {
+  counters_.verified_reads.fetch_add(1, std::memory_order_relaxed);
+
+  // Identical pre-draw + probe machinery to read_range — one session
+  // replaces a whole stream of per-call verifications, which is exactly
+  // where the pipelined client's advantage comes from.
+  std::vector<Candidate> candidates;
+  size_t bbytes = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    GALLOPER_CHECK(id < files_.size());
+    bbytes = file_block_bytes_[id];
+    for (size_t b = 0; b < code_.num_blocks(); ++b) {
+      if (!block_available_locked(id, b)) continue;
+      const double stall_s = injector_ ? injector_->read_latency() : 0;
+      constexpr size_t kReadAttempts = 3;
+      bool readable = true;
+      for (size_t tries = 0; injector_ && injector_->read_fails();) {
+        counters_.transient_faults.fetch_add(1, std::memory_order_relaxed);
+        if (++tries >= kReadAttempts) {
+          readable = false;
+          break;
+        }
+      }
+      if (!readable) continue;
+      candidates.push_back({b, stall_s});
+    }
+  }
+
+  auto probe = [this, id](size_t b) {
+    return [this, id, b] {
+      if (injector_) injector_->crash_point("store.fetch");
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      const auto& blk = files_[id][b];
+      if (!blk.has_value()) return false;
+      return crc32c(*blk) == checksums_[id][b];
+    };
+  };
+  io::FetchSet fetches;
+  std::vector<bool> hedged(code_.num_blocks(), false);
+  const auto hedge_pending = [&](const std::vector<size_t>& pending) {
+    for (size_t b : pending) {
+      if (hedged[b]) continue;
+      hedged[b] = true;
+      fetches.fetch(b, 0.0, probe(b), /*hedge=*/true);
+    }
+  };
+  for (const Candidate& c : candidates)
+    fetches.fetch(c.block, c.stall_s, probe(c.block));
+  // One EXHAUSTIVE await: the session publishes its clean set to a
+  // pipelined reader that will plan its decode from it, so every probe
+  // must resolve first. Hedging keeps the wait bounded by the deadline
+  // rather than the worst injected stall.
+  fetches.await([](const std::vector<size_t>&) { return false; },
+                hedge_pending);
+  fetches.join();
+  fetches.rethrow_any_failure();
+
+  std::vector<size_t> corrupt;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    for (const Candidate& c : candidates) {
+      if (fetches.outcome(c.block) != io::FetchSet::Outcome::kCorrupt)
+        continue;
+      counters_.crc_failures.fetch_add(1, std::memory_order_relaxed);
+      corrupt.push_back(c.block);
+      files_[id][c.block].reset();  // quarantine
+    }
+  }
+  if (!corrupt.empty())
+    counters_.degraded_reads.fetch_add(1, std::memory_order_relaxed);
+  for (size_t b : corrupt) {
+    if (!cluster_.server(b).alive()) continue;
+    try {
+      if (repair(id, b))
+        counters_.auto_repairs.fetch_add(1, std::memory_order_relaxed);
+    } catch (const fault::TransientError&) {
+    }
+  }
+
+  ReadSession session;
+  session.clean = fetches.clean_keys();
+  session.block_bytes = bbytes;
+  return session;
+}
+
+bool FileStore::fetch_block_pieces(
+    FileId id, size_t b, const std::vector<std::pair<size_t, size_t>>& pieces,
+    ByteSpan dst) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  GALLOPER_CHECK(id < files_.size());
+  GALLOPER_CHECK(b < code_.num_blocks());
+  const auto& blk = files_[id][b];
+  if (!blk.has_value() || !cluster_.server(b).alive()) return false;
+  GALLOPER_CHECK_MSG(dst.size() >= blk->size(),
+                     "fetch_block_pieces dst smaller than the block");
+  for (const auto& [lo, hi] : pieces) {
+    GALLOPER_CHECK(lo <= hi && hi <= blk->size());
+    if (hi > lo) std::memcpy(dst.data() + lo, blk->data() + lo, hi - lo);
+  }
+  return true;
+}
+
+std::shared_ptr<const codes::CodecPlan> FileStore::pinned_repair_plan(
+    size_t block_id, const std::vector<size_t>& sorted_helpers,
+    const std::vector<size_t>& helpers) {
+  std::lock_guard<std::mutex> lock(plans_mu_);
+  auto& plan = repair_plans_[{block_id, sorted_helpers}];
+  if (!plan) plan = code_.engine().plan_repair(block_id, helpers);
+  return plan;
+}
+
 std::optional<std::vector<size_t>> FileStore::repair(FileId id,
                                                      size_t block_id) {
-  GALLOPER_CHECK(id < files_.size());
   GALLOPER_CHECK(block_id < code_.num_blocks());
   GALLOPER_CHECK_MSG(cluster_.server(block_id).alive(),
                      "revive the target server before repairing onto it");
-  if (files_[id][block_id].has_value()) return std::vector<size_t>{};
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    GALLOPER_CHECK(id < files_.size());
+    if (files_[id][block_id].has_value()) return std::vector<size_t>{};
+  }
 
   // Transient helper-read faults (injected) are retried with a fresh
   // helper gather; persistent ones surface as TransientError — distinct
   // from nullopt, which means structurally unrecoverable.
   constexpr size_t kRepairReadAttempts = 6;
   for (size_t attempt = 0; attempt < kRepairReadAttempts; ++attempt) {
-    // Preferred (local) helpers first; generic fallback to all available.
-    std::vector<size_t> helpers = code_.repair_helpers(block_id);
-    bool helpers_ok = true;
-    for (size_t h : helpers) helpers_ok &= block_available(id, h);
-    if (!helpers_ok) helpers = available_blocks(id);
-
-    // Verify every helper against its write-time CRC before its bytes feed
-    // the rebuild: a silently rotted helper would otherwise launder its
-    // corruption into a freshly-checksummed "repaired" block — the one
-    // failure mode a verify-on-read store must never allow. A bad helper
-    // is quarantined like any other corrupt block (a later pass rebuilds
-    // it) and the helper selection rolls again without it.
+    // Helper selection + CRC verification happen atomically under the
+    // exclusive lock: a bad helper is quarantined like any other corrupt
+    // block (a later pass rebuilds it) and the selection rolls again
+    // without it — a silently rotted helper must never launder its
+    // corruption into a freshly-checksummed "repaired" block.
+    std::vector<size_t> helpers;
     bool helper_quarantined = false;
-    for (size_t h : helpers) {
-      if (crc32c(*files_[id][h]) != checksums_[id][h]) {
-        ++read_stats_.crc_failures;
-        files_[id][h].reset();
-        helper_quarantined = true;
+    bool already_repaired = false;
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      if (files_[id][block_id].has_value()) {
+        already_repaired = true;  // a concurrent reader healed it first
+      } else {
+        // Preferred (local) helpers first; generic fallback to all
+        // available.
+        helpers = code_.repair_helpers(block_id);
+        bool helpers_ok = true;
+        for (size_t h : helpers)
+          helpers_ok &= block_available_locked(id, h);
+        if (!helpers_ok) helpers = available_blocks_locked(id);
+        for (size_t h : helpers) {
+          if (crc32c(*files_[id][h]) == checksums_[id][h]) continue;
+          counters_.crc_failures.fetch_add(1, std::memory_order_relaxed);
+          files_[id][h].reset();
+          helper_quarantined = true;
+        }
       }
     }
+    if (already_repaired) return std::vector<size_t>{};
     if (helper_quarantined) {
       --attempt;  // reselection, not a transient retry
       continue;
@@ -423,8 +679,8 @@ std::optional<std::vector<size_t>> FileStore::repair(FileId id,
     // the remaining files' repairs are pure kernel execution.
     std::vector<size_t> want = helpers;
     std::sort(want.begin(), want.end());
-    auto& plan = repair_plans_[{block_id, want}];
-    if (!plan) plan = code_.engine().plan_repair(block_id, helpers);
+    std::shared_ptr<const codes::CodecPlan> plan =
+        pinned_repair_plan(block_id, want, helpers);
 
     // Pre-draw the gather's fault schedule in helper order, breaking at
     // the first failure exactly like the old serial gather loop (the
@@ -438,7 +694,7 @@ std::optional<std::vector<size_t>> FileStore::repair(FileId id,
     for (size_t h : helpers) {
       const double stall_s = injector_ ? injector_->read_latency() : 0;
       if (injector_ && injector_->read_fails()) {
-        ++read_stats_.transient_faults;
+        counters_.transient_faults.fetch_add(1, std::memory_order_relaxed);
         gather_failed = true;
         break;
       }
@@ -475,13 +731,20 @@ std::optional<std::vector<size_t>> FileStore::repair(FileId id,
           // injector draws here: hedges must not perturb the schedule.
           for (size_t h : pending)
             fetches.fetch(h, 0.0, fetch_probe(), /*hedge=*/true);
-          for (size_t s : available_blocks(id)) {
-            if (s == block_id) continue;
-            if (std::find(helpers.begin(), helpers.end(), s) != helpers.end())
-              continue;
-            if (crc32c(*files_[id][s]) != checksums_[id][s]) continue;
-            fetches.fetch(s, 0.0, fetch_probe(), /*hedge=*/true);
+          std::vector<size_t> spares;
+          {
+            std::shared_lock<std::shared_mutex> lock(mu_);
+            for (size_t s : available_blocks_locked(id)) {
+              if (s == block_id) continue;
+              if (std::find(helpers.begin(), helpers.end(), s) !=
+                  helpers.end())
+                continue;
+              if (crc32c(*files_[id][s]) != checksums_[id][s]) continue;
+              spares.push_back(s);
+            }
           }
+          for (size_t s : spares)
+            fetches.fetch(s, 0.0, fetch_probe(), /*hedge=*/true);
         });
     // Losers (hedged-over stalls) are cancelled before anything proceeds;
     // an async crash point surfaces here, with the store unmutated.
@@ -496,22 +759,49 @@ std::optional<std::vector<size_t>> FileStore::repair(FileId id,
       use_plan = plan;
     } else if (code_.decodable(clean)) {
       use_helpers = clean;  // hedged route: rebuild from whoever answered
-      auto& alt = repair_plans_[{block_id, clean}];
-      if (!alt) alt = code_.engine().plan_repair(block_id, clean);
-      use_plan = alt;
+      use_plan = pinned_repair_plan(block_id, clean, clean);
     } else {
       continue;  // cancelled mid-gather with no decodable subset: retry
     }
 
-    std::map<size_t, ConstByteSpan> view;
-    for (size_t h : use_helpers) view.emplace(h, *block(id, h));
-    auto rebuilt = code_.engine().repair_block_with_plan(*use_plan, view);
+    // Rebuild under the shared lock (helpers must stay resident through
+    // the kernel run); a helper a concurrent reader quarantined since the
+    // gather forces a fresh selection.
+    std::optional<Buffer> rebuilt;
+    bool helpers_vanished = false;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      std::map<size_t, ConstByteSpan> view;
+      for (size_t h : use_helpers) {
+        const auto data = block_locked(id, h);
+        if (!data) {
+          helpers_vanished = true;
+          break;
+        }
+        view.emplace(h, *data);
+      }
+      if (!helpers_vanished)
+        rebuilt = code_.engine().repair_block_with_plan(*use_plan, view);
+    }
+    if (helpers_vanished) continue;
     if (!rebuilt) return std::nullopt;
     // Crash window: the rebuild finished but the block is not yet
     // installed. A crash here must leave the store exactly as before the
     // repair (minus the pinned plan) — re-running the repair completes it.
     if (injector_) injector_->crash_point("store.repair");
-    store_block(id, block_id, std::move(*rebuilt));
+    // The store-back rides the injector's write-fault schedule, UNLOCKED
+    // (a write gate may call back into the store's locked accessors).
+    if (injector_)
+      injector_->on_write(
+          id, block_id,
+          std::span<uint8_t>(rebuilt->data(), rebuilt->size()));
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      // A concurrent repair may have won the race; its bytes are as good
+      // as ours (both CRC-verified rebuilds of the same block).
+      if (!files_[id][block_id].has_value())
+        files_[id][block_id] = std::move(*rebuilt);
+    }
     return use_helpers;
   }
   throw fault::TransientError("helper reads for repair of block " +

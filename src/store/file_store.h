@@ -6,11 +6,25 @@
 //
 // Placement: file blocks go on servers [0, num_blocks); extra cluster
 // servers act as replacement targets for recovery.
+//
+// Thread safety: the data paths (write/read/read_range/update_range/repair/
+// scrub and the client-session API) may run concurrently from many client
+// threads. Block state lives under one reader/writer lock — reads, probes,
+// and decodes take it shared; quarantine, store-back, and updates take it
+// exclusive — and the lock is NEVER held while blocked in a FetchSet await,
+// so a parked probe cannot wedge a writer. The pinned repair-plan map has
+// its own mutex, and the read counters are atomics snapshotted by value.
+// Topology mutation (fail_server/revive_server/set_fault_injector) is NOT
+// synchronized against in-flight operations; callers coordinate those
+// externally (the soak and load-gen harnesses do).
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <utility>
 #include <vector>
 
@@ -47,13 +61,24 @@ class FileStore {
   // code's chunk count.
   FileId write(ConstByteSpan file);
 
-  size_t num_files() const { return files_.size(); }
+  // Stores already-encoded blocks (one per code block, equal sizes) with
+  // the exact checksum-then-write-fault sequence of write(). This is the
+  // StripedWriter's landing point: the client encodes slice-by-slice on
+  // pipeline stages, assembles full blocks, and commits them here — the
+  // injector sees the same one-draw-per-block schedule as write(), so a
+  // pipelined write is bit-identical to the direct one.
+  FileId write_encoded(std::vector<Buffer> blocks);
+
+  size_t num_files() const;
   size_t block_bytes(FileId id) const;
   // Size of the original (decoded) file.
   size_t file_bytes(FileId id) const;
 
   // The block contents as stored (nullopt if its server is dead or the
-  // block was lost). Block b of every file lives on server b.
+  // block was lost). Block b of every file lives on server b. The returned
+  // span is only stable while no concurrent operation quarantines or
+  // rewrites the block — concurrent callers use fetch_block_pieces, which
+  // copies under the lock.
   std::optional<ConstByteSpan> block(FileId id, size_t block) const;
 
   // Whether the server holding `block` is alive and still has the bytes.
@@ -78,13 +103,14 @@ class FileStore {
   // ---- Self-healing degraded reads --------------------------------------
 
   struct ReadStats {
-    size_t verified_reads = 0;  // read_range calls
+    size_t verified_reads = 0;  // read_range calls + client read sessions
     size_t crc_failures = 0;    // blocks that failed their CRC on read
     size_t degraded_reads = 0;  // reads that decoded around a corrupt block
     size_t transient_faults = 0;  // injected read faults retried in place
     size_t auto_repairs = 0;    // corrupt blocks rebuilt by a read
   };
-  const ReadStats& read_stats() const { return read_stats_; }
+  // Snapshot by value — safe to call while reads are in flight.
+  ReadStats read_stats() const;
 
   // CRC-verified read of bytes [offset, offset + length) of the original
   // file. Every available block is checked against its write-time CRC-32C
@@ -98,6 +124,31 @@ class FileStore {
   // place via the pinned repair plans, so the next read is clean again.
   // nullopt only if the healthy blocks cannot reconstruct the range.
   std::optional<Buffer> read_range(FileId id, size_t offset, size_t length);
+
+  // ---- Client read sessions ----------------------------------------------
+  //
+  // A pipelined client amortizes read_range's per-call verification: ONE
+  // probe phase CRC-checks every available block up front (hedged, stall-
+  // bounded, quarantining + auto-repairing exactly like read_range), and
+  // the returned clean set then keys the decode plan for the whole
+  // streamed read. Batch stages fetch only the byte ranges the plan
+  // actually reads via fetch_block_pieces; a false return there means the
+  // session went stale (a concurrent reader quarantined a block) and the
+  // client re-verifies or falls back to read_range.
+
+  struct ReadSession {
+    std::vector<size_t> clean;  // sorted CRC-verified block ids
+    size_t block_bytes = 0;
+  };
+  ReadSession begin_verified_read(FileId id);
+
+  // Copies the block-coordinate ranges [lo, hi) of block b into the same
+  // offsets of dst (sized >= the block), under the shared lock. Returns
+  // false if the block is no longer resident or its server died — the
+  // session-invalidation signal.
+  bool fetch_block_pieces(FileId id, size_t b,
+                          const std::vector<std::pair<size_t, size_t>>& pieces,
+                          ByteSpan dst) const;
 
   // Overwrites the chunk-aligned range [offset, offset + data.size()) of
   // the original file in place, patching parity via deltas and refreshing
@@ -125,7 +176,10 @@ class FileStore {
   // compiled so far. Every file of the store shares one code, so a storm
   // that loses a server repairs the same pattern once per file — plan
   // count stays flat while repair count grows.
-  size_t repair_plan_count() const { return repair_plans_.size(); }
+  size_t repair_plan_count() const {
+    std::lock_guard<std::mutex> lock(plans_mu_);
+    return repair_plans_.size();
+  }
 
   // Blocks of `id` that are currently lost.
   std::vector<size_t> lost_blocks(FileId id) const;
@@ -142,11 +196,11 @@ class FileStore {
   // Recomputes every stored block's CRC-32C against the checksum recorded
   // at write time. Mismatching blocks are reported and (when `quarantine`)
   // dropped, so a subsequent RecoveryManager pass rebuilds them. The CRC
-  // pass scatter-gathers over the async I/O pool (one op per stored block)
-  // but ONLY reads shared state and writes disjoint flag bytes; the list
-  // is taken — and all quarantining/rewriting happens — single-threaded
-  // after the parallel pass, so the pool jobs never race a mutation. The
-  // report order and quarantine effect are identical to a serial scan.
+  // pass scatter-gathers over the compute pool under the shared lock (the
+  // jobs only read disjoint blocks); quarantining then re-verifies each
+  // hit under the exclusive lock — a block a concurrent reader healed in
+  // the window is left alone — so the serial report is unchanged and the
+  // concurrent one never drops a good block.
   std::vector<CorruptBlock> scrub(bool quarantine = true);
 
   struct ScrubReport {
@@ -165,22 +219,46 @@ class FileStore {
   ScrubReport scrub_and_repair();
 
  private:
-  std::vector<size_t> available_blocks(FileId id) const;
-  // Stores `data` as block b of file id, applying the injector's write
-  // faults (the recorded checksum keeps the TRUE value, so an injected
-  // fault is exactly a silent corruption).
-  void store_block(FileId id, size_t b, Buffer data);
+  // _locked helpers assume the caller holds mu_ (shared suffices).
+  std::optional<ConstByteSpan> block_locked(FileId id, size_t b) const;
+  bool block_available_locked(FileId id, size_t b) const;
+  std::vector<size_t> available_blocks_locked(FileId id) const;
+  // Looks up / compiles-and-pins the repair plan for (block, sorted
+  // helpers) under plans_mu_.
+  std::shared_ptr<const codes::CodecPlan> pinned_repair_plan(
+      size_t block_id, const std::vector<size_t>& sorted_helpers,
+      const std::vector<size_t>& helpers);
 
   sim::Cluster& cluster_;
   const codes::ErasureCode& code_;
   fault::FaultInjector* injector_ = nullptr;
-  ReadStats read_stats_;
+
+  struct ReadCounters {
+    std::atomic<size_t> verified_reads{0};
+    std::atomic<size_t> crc_failures{0};
+    std::atomic<size_t> degraded_reads{0};
+    std::atomic<size_t> transient_faults{0};
+    std::atomic<size_t> auto_repairs{0};
+  };
+  mutable ReadCounters counters_;
+
   // Pinned repair plans keyed by (failed block, sorted helper set). Held by
   // shared_ptr for the store's lifetime, so storm waves never replan even
   // with GALLOPER_PLAN_CACHE=off or after global-cache eviction.
+  mutable std::mutex plans_mu_;
   std::map<std::pair<size_t, std::vector<size_t>>,
            std::shared_ptr<const codes::CodecPlan>>
       repair_plans_;
+
+  // Serializes write_encoded callers, so the file id chosen before the
+  // (unlocked) injector write-fault callbacks is the id the append gets.
+  // Injector callbacks may call back into the store (the soak harness's
+  // write gate does), so they must NEVER run under mu_.
+  std::mutex write_mu_;
+
+  // Guards files_/checksums_/file_block_bytes_ (see the thread-safety note
+  // in the class comment).
+  mutable std::shared_mutex mu_;
   // files_[id][block] — nullopt once lost.
   std::vector<std::vector<std::optional<Buffer>>> files_;
   std::vector<std::vector<uint32_t>> checksums_;  // CRC-32C at write time

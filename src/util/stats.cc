@@ -1,7 +1,9 @@
 #include "util/stats.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "util/check.h"
@@ -70,5 +72,54 @@ std::string Stats::summary() const {
      << values_.size() << ")";
   return os.str();
 }
+
+namespace util {
+
+void LatencyHistogram::record_ns(uint64_t ns) {
+  const unsigned b = ns == 0 ? 0 : std::bit_width(ns) - 1;
+  buckets_[std::min<unsigned>(b, 63)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::record_s(double seconds) {
+  if (seconds <= 0) {
+    record_ns(0);
+    return;
+  }
+  constexpr double kMaxNs = 1.8e19;  // < 2^64, avoids UB in the cast
+  record_ns(static_cast<uint64_t>(std::min(seconds * 1e9, kMaxNs)));
+}
+
+uint64_t LatencyHistogram::count() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::quantile_s(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t total = 0;
+  std::array<uint64_t, 64> hist;
+  for (size_t i = 0; i < hist.size(); ++i) {
+    hist[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += hist[i];
+  }
+  if (total == 0) return 0;
+  // Smallest bucket whose cumulative count covers rank q·total; report the
+  // bucket's upper bound so the quantile never understates.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(total) + 0.5));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < hist.size(); ++i) {
+    seen += hist[i];
+    if (seen >= rank) return static_cast<double>(uint64_t{1} << (i + 1)) * 1e-9;
+  }
+  return static_cast<double>(std::numeric_limits<uint64_t>::max()) * 1e-9;
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace util
 
 }  // namespace galloper

@@ -1,7 +1,10 @@
 // Small summary-statistics helper used by benches and the simulators.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -30,5 +33,45 @@ class Stats {
   mutable bool sorted_ = true;
   void ensure_sorted() const;
 };
+
+namespace util {
+
+// Lock-free log2-bucketed latency histogram, shared by io::AsyncIo (whose
+// quantiles set the hedge deadline) and the client load generator (whose
+// p50/p99/p999 land in BENCH_load.json). Bucket b counts samples with
+// bit_width(latency_ns) == b, so record is one relaxed atomic increment and
+// the whole histogram is 64 counters — cheap enough to sit on every I/O
+// completion. quantile_s reports the covering bucket's UPPER bound (the
+// quantile never understates), which is the exact semantics AsyncIo's
+// hedge-deadline rule was built on.
+//
+// Concurrent record_ns/quantile_s are safe; a quantile taken mid-storm is a
+// consistent-enough snapshot (each bucket read once, relaxed).
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void record_ns(uint64_t ns);
+  // Convenience for callers timing with double seconds; negative clamps to 0.
+  void record_s(double seconds);
+
+  // Samples recorded so far.
+  uint64_t count() const;
+
+  // Smallest bucket whose cumulative count covers rank q·count (q clamped
+  // to [0, 1]), reported as the bucket's upper bound in seconds. 0 when
+  // empty.
+  double quantile_s(double q) const;
+
+  // Zeroes every bucket (benches reuse one histogram across scenarios).
+  void reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, 64> buckets_{};
+};
+
+}  // namespace util
 
 }  // namespace galloper

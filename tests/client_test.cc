@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "client/load_gen.h"
+#include "client/striped.h"
+#include "core/galloper.h"
+#include "fault/fault.h"
+#include "store/file_store.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace galloper::client {
+namespace {
+
+using galloper::Buffer;
+using galloper::Rng;
+using galloper::random_buffer;
+
+struct Shape {
+  size_t k, l, g;
+};
+
+// Pipelined reads must be byte-for-byte the direct FileStore::read_range
+// bytes across code shapes, batch granularities, and unaligned ranges.
+TEST(StripedReaderTest, BitIdenticalToDirectReads) {
+  const Shape shapes[] = {{2, 1, 1}, {4, 2, 2}, {6, 3, 2}};
+  for (const Shape& s : shapes) {
+    core::GalloperCode code(s.k, s.l, s.g);
+    sim::Simulation sim;
+    sim::Cluster cluster(sim, code.num_blocks() + 2, sim::ServerSpec{});
+    store::FileStore fs(cluster, code);
+    Rng rng(7 + s.k);
+    const size_t chunk = 96;
+    const Buffer file =
+        random_buffer(code.engine().num_chunks() * chunk, rng);
+    const store::FileId id = fs.write(file);
+
+    for (size_t batch_chunks : {size_t{1}, size_t{3}, size_t{64}}) {
+      ReaderOptions opt;
+      opt.batch_chunks = batch_chunks;
+      StripedReader reader(fs, opt);
+      const size_t ranges[][2] = {
+          {0, file.size()},            // whole file
+          {0, 0},                      // empty
+          {1, file.size() - 2},        // off-by-one both ends
+          {chunk - 1, 2},              // straddles a chunk boundary
+          {chunk / 2, 3 * chunk},      // unaligned multi-chunk
+          {file.size() - 7, 7},        // tail
+      };
+      for (const auto& r : ranges) {
+        const auto piped = reader.read_range(id, r[0], r[1]);
+        const auto direct = fs.read_range(id, r[0], r[1]);
+        ASSERT_TRUE(piped.has_value());
+        ASSERT_TRUE(direct.has_value());
+        EXPECT_EQ(*piped, *direct)
+            << "shape (" << s.k << "," << s.l << "," << s.g << ") batch="
+            << batch_chunks << " off=" << r[0] << " len=" << r[1];
+        EXPECT_EQ(*piped,
+                  Buffer(file.begin() + r[0], file.begin() + r[0] + r[1]));
+      }
+    }
+  }
+}
+
+// A corrupt block must not change the delivered bytes: the verified-read
+// session quarantines it and the session plan decodes around the hole.
+TEST(StripedReaderTest, DegradedReadIsBitIdentical) {
+  core::GalloperCode code(4, 2, 2);
+  sim::Simulation sim;
+  sim::Cluster cluster(sim, code.num_blocks() + 2, sim::ServerSpec{});
+  store::FileStore fs(cluster, code);
+  Rng rng(11);
+  const size_t chunk = 128;
+  const Buffer file = random_buffer(code.engine().num_chunks() * chunk, rng);
+  const store::FileId id = fs.write(file);
+  fs.corrupt_block(id, 1, 5);
+
+  StripedReader reader(fs);
+  const auto piped = reader.read_range(id, 0, file.size());
+  ASSERT_TRUE(piped.has_value());
+  EXPECT_EQ(*piped, file);
+  EXPECT_GE(fs.read_stats().crc_failures, 1u);
+}
+
+// Hedged fetches under injected stalls still deliver the direct bytes.
+TEST(StripedReaderTest, StalledHelpersStillBitIdentical) {
+  core::GalloperCode code(4, 2, 1);
+  sim::Simulation sim;
+  sim::Cluster cluster(sim, code.num_blocks() + 2, sim::ServerSpec{});
+  store::FileStore fs(cluster, code);
+  fault::FaultInjector inj(99);
+  inj.set_read_latency(0.5, 0.001);
+  fs.set_fault_injector(&inj);
+  Rng rng(12);
+  const size_t chunk = 64;
+  const Buffer file = random_buffer(code.engine().num_chunks() * chunk, rng);
+  const store::FileId id = fs.write(file);
+
+  ReaderOptions opt;
+  opt.batch_chunks = 2;
+  StripedReader reader(fs, opt);
+  for (int i = 0; i < 4; ++i) {
+    const auto piped = reader.read_range(id, 0, file.size());
+    ASSERT_TRUE(piped.has_value());
+    EXPECT_EQ(*piped, file);
+  }
+}
+
+// The pipelined writer commits through write_encoded, which replays the
+// exact checksum-then-write-fault sequence of write(): two stores driven
+// by same-seed injectors must end up with identical raw blocks, whatever
+// the slice size (including degenerate 1-byte and non-divisor slices).
+TEST(StripedWriterTest, BitIdenticalToDirectWrites) {
+  core::GalloperCode code(4, 2, 2);
+  Rng rng(21);
+  const size_t chunk = 4096;
+  const Buffer file = random_buffer(code.engine().num_chunks() * chunk, rng);
+
+  for (size_t slice : {size_t{1}, size_t{1000}, size_t{1024}, chunk,
+                       3 * chunk}) {
+    sim::Simulation sim_a, sim_b;
+    sim::Cluster cluster_a(sim_a, code.num_blocks() + 2, sim::ServerSpec{});
+    sim::Cluster cluster_b(sim_b, code.num_blocks() + 2, sim::ServerSpec{});
+    store::FileStore direct(cluster_a, code);
+    store::FileStore piped(cluster_b, code);
+    fault::FaultInjector inj_a(4242), inj_b(4242);
+    inj_a.set_torn_write_rate(0.2);
+    inj_b.set_torn_write_rate(0.2);
+    direct.set_fault_injector(&inj_a);
+    piped.set_fault_injector(&inj_b);
+
+    const store::FileId id_a = direct.write(file);
+    WriterOptions opt;
+    opt.slice_bytes = slice;
+    StripedWriter writer(piped, opt);
+    const store::FileId id_b = writer.write(file);
+    ASSERT_EQ(id_a, id_b);
+
+    for (size_t b = 0; b < code.num_blocks(); ++b) {
+      const auto span_a = direct.block(id_a, b);
+      const auto span_b = piped.block(id_b, b);
+      ASSERT_TRUE(span_a.has_value());
+      ASSERT_TRUE(span_b.has_value());
+      ASSERT_EQ(span_a->size(), span_b->size());
+      EXPECT_TRUE(std::equal(span_a->begin(), span_a->end(),
+                             span_b->begin()))
+          << "slice=" << slice << " block=" << b;
+    }
+  }
+}
+
+// Concurrent pipelined readers over a faulty store: every delivered byte
+// must match the written file even while another thread corrupts blocks
+// (stale sessions fall back to direct reads; see striped.h).
+TEST(StripedReaderTest, ConcurrentReadersUnderCorruption) {
+  core::GalloperCode code(4, 2, 1);
+  sim::Simulation sim;
+  sim::Cluster cluster(sim, code.num_blocks() + 2, sim::ServerSpec{});
+  store::FileStore fs(cluster, code);
+  fault::FaultInjector inj(5);
+  inj.set_read_latency(0.1, 0.0005);
+  fs.set_fault_injector(&inj);
+  Rng rng(31);
+  const size_t chunk = 256;
+  const Buffer file = random_buffer(code.engine().num_chunks() * chunk, rng);
+  const store::FileId id = fs.write(file);
+
+  // Same discipline as the load generator's chaos thread: in-place
+  // corruption is serialized against reads of the same file (readers take
+  // the harness lock shared, chaos exclusive) — the store guarantees
+  // bit-identity for reads concurrent with OTHER reads and repairs, not
+  // with a mutation racing the same file's bytes.
+  std::shared_mutex harness;
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      StripedReader reader(fs, ReaderOptions{.batch_chunks = 2});
+      Rng local(100 + t);
+      for (int i = 0; i < 12; ++i) {
+        const size_t off = local.next_below(file.size());
+        const size_t len = 1 + local.next_below(file.size() - off);
+        std::shared_lock<std::shared_mutex> lock(harness);
+        const auto got = reader.read_range(id, off, len);
+        if (!got.has_value() ||
+            !std::equal(got->begin(), got->end(), file.begin() + off))
+          mismatches.fetch_add(1);
+      }
+    });
+  }
+  std::thread chaos([&] {
+    Rng local(77);
+    while (!stop.load()) {
+      {
+        std::unique_lock<std::shared_mutex> lock(harness);
+        // Heal first so at most one block is ever bad — always within the
+        // code's tolerance.
+        fs.scrub_and_repair();
+        fs.corrupt_block(id, local.next_below(code.num_blocks()),
+                         local.next_below(chunk));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (auto& th : readers) th.join();
+  stop.store(true);
+  chaos.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(AdmissionControlTest, LimitBoundsConcurrency) {
+  AdmissionControl gate(2);
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      auto ticket = gate.admit();
+      const int now = inside.fetch_add(1) + 1;
+      int prev = max_inside.load();
+      while (now > prev && !max_inside.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      inside.fetch_sub(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto stats = gate.stats();
+  EXPECT_LE(max_inside.load(), 2);
+  EXPECT_LE(stats.peak, 2u);
+  EXPECT_EQ(stats.admitted, 8u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_GE(stats.waited, 1u);  // 8 streams through 2 slots must queue
+}
+
+// End-to-end smoke through the load generator: clean and degraded runs
+// must verify bit-identical against the mirror and account every op.
+TEST(LoadGenTest, CleanRunVerifies) {
+  LoadGenOptions opt;
+  opt.seed = 3;
+  opt.clients = 2;
+  opt.ops_per_client = 6;
+  opt.files = 3;
+  opt.chunk_bytes = 2048;
+  opt.update_fraction = 0.2;
+  const LoadGenResult r = run_load(opt);
+  EXPECT_TRUE(r.bit_identical);
+  EXPECT_EQ(r.ops, opt.clients * opt.ops_per_client);
+  EXPECT_EQ(r.ops, r.reads + r.updates);
+  EXPECT_GT(r.bytes_read, 0u);
+  EXPECT_GT(r.ops_per_s, 0.0);
+  EXPECT_GE(r.p99_s, r.p50_s);
+  EXPECT_GE(r.p999_s, r.p99_s);
+}
+
+TEST(LoadGenTest, DegradedRunVerifies) {
+  LoadGenOptions opt;
+  opt.seed = 9;
+  opt.clients = 2;
+  opt.ops_per_client = 6;
+  opt.files = 3;
+  opt.chunk_bytes = 2048;
+  opt.degraded = true;
+  opt.stall_s = 0.0005;
+  opt.corruptions = 2;
+  const LoadGenResult r = run_load(opt);
+  EXPECT_TRUE(r.bit_identical);
+  EXPECT_EQ(r.ops, opt.clients * opt.ops_per_client);
+  EXPECT_GE(r.crc_failures + r.auto_repairs + r.degraded_reads, 1u);
+}
+
+// Same seed, same options → same offered traffic (the Zipf picker and
+// per-client RNG forks are deterministic; wall-clock numbers may differ).
+TEST(LoadGenTest, SameSeedSameTraffic) {
+  LoadGenOptions opt;
+  opt.seed = 17;
+  opt.clients = 2;
+  opt.ops_per_client = 8;
+  opt.files = 4;
+  opt.chunk_bytes = 1024;
+  opt.zipf_theta = 0.9;
+  opt.update_fraction = 0.25;
+  const LoadGenResult a = run_load(opt);
+  const LoadGenResult b = run_load(opt);
+  EXPECT_TRUE(a.bit_identical);
+  EXPECT_TRUE(b.bit_identical);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.updates, b.updates);
+  EXPECT_EQ(a.bytes_read, b.bytes_read);
+  EXPECT_EQ(a.bytes_written, b.bytes_written);
+}
+
+}  // namespace
+}  // namespace galloper::client

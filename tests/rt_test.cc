@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <map>
 #include <numeric>
 #include <random>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -289,6 +291,57 @@ TEST(BoundedQueue, ThreadedFifoOrderPreserved) {
   while (auto v = q.pop()) EXPECT_EQ(*v, expect++);
   EXPECT_EQ(expect, kN);
   producer.join();
+}
+
+// queue_depth() re-reads GALLOPER_QUEUE_DEPTH on every call: positive
+// values clamp to [1, 64]; everything else falls back to the default 2.
+TEST(QueueDepth, EnvParsingAndClamping) {
+  const char* saved = std::getenv("GALLOPER_QUEUE_DEPTH");
+  const std::string saved_value = saved ? saved : "";
+
+  unsetenv("GALLOPER_QUEUE_DEPTH");
+  EXPECT_EQ(queue_depth(), 2u);
+  setenv("GALLOPER_QUEUE_DEPTH", "5", 1);
+  EXPECT_EQ(queue_depth(), 5u);
+  setenv("GALLOPER_QUEUE_DEPTH", "1", 1);
+  EXPECT_EQ(queue_depth(), 1u);
+  setenv("GALLOPER_QUEUE_DEPTH", "64", 1);
+  EXPECT_EQ(queue_depth(), 64u);
+  setenv("GALLOPER_QUEUE_DEPTH", "100", 1);
+  EXPECT_EQ(queue_depth(), 64u);
+  setenv("GALLOPER_QUEUE_DEPTH", "0", 1);
+  EXPECT_EQ(queue_depth(), 2u);
+  setenv("GALLOPER_QUEUE_DEPTH", "-3", 1);
+  EXPECT_EQ(queue_depth(), 2u);
+  setenv("GALLOPER_QUEUE_DEPTH", "abc", 1);
+  EXPECT_EQ(queue_depth(), 2u);
+
+  if (saved)
+    setenv("GALLOPER_QUEUE_DEPTH", saved_value.c_str(), 1);
+  else
+    unsetenv("GALLOPER_QUEUE_DEPTH");
+}
+
+TEST(StageThread, RunsBodyAndRethrowsNothingOnSuccess) {
+  std::atomic<bool> ran{false};
+  std::atomic<bool> aborted{false};
+  {
+    StageThread stage([&] { ran = true; },
+                      [&](std::exception_ptr) { aborted = true; });
+    stage.join();
+    stage.rethrow();
+  }
+  EXPECT_TRUE(ran.load());
+  EXPECT_FALSE(aborted.load());
+}
+
+TEST(StageThread, AbortCallbackSeesTheExceptionAndRethrowDelivers) {
+  std::atomic<bool> aborted{false};
+  StageThread stage([] { throw std::runtime_error("stage boom"); },
+                    [&](std::exception_ptr e) { aborted = e != nullptr; });
+  stage.join();
+  EXPECT_TRUE(aborted.load());
+  EXPECT_THROW(stage.rethrow(), std::runtime_error);
 }
 
 }  // namespace

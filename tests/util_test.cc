@@ -420,5 +420,55 @@ TEST(Table, NumFormatting) {
   EXPECT_EQ(Table::num(42.0), "42");
 }
 
+TEST(LatencyHistogram, EmptyReportsZero) {
+  util::LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile_s(0.5), 0.0);
+  EXPECT_EQ(h.quantile_s(0.99), 0.0);
+}
+
+TEST(LatencyHistogram, SingleSampleReportsBucketUpperBound) {
+  util::LatencyHistogram h;
+  h.record_ns(1000);  // bucket 9 ([512, 1024) ns) → upper bound 1024 ns
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.quantile_s(0.0), 1024e-9);
+  EXPECT_DOUBLE_EQ(h.quantile_s(0.5), 1024e-9);
+  EXPECT_DOUBLE_EQ(h.quantile_s(1.0), 1024e-9);
+}
+
+TEST(LatencyHistogram, RecordSecondsMatchesRecordNs) {
+  util::LatencyHistogram a, b;
+  a.record_s(1e-6);  // 1000 ns
+  b.record_ns(1000);
+  EXPECT_DOUBLE_EQ(a.quantile_s(0.5), b.quantile_s(0.5));
+}
+
+TEST(LatencyHistogram, NonPositiveSecondsClampToSmallestBucket) {
+  util::LatencyHistogram h;
+  h.record_s(-1.0);
+  h.record_s(0.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.quantile_s(1.0), 2e-9);  // bucket 0's upper bound
+}
+
+TEST(LatencyHistogram, TailQuantileLandsInTailBucket) {
+  util::LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.record_ns(100);  // bucket 6, upper 128 ns
+  h.record_ns(1u << 30);                          // ~1.07 s outlier
+  EXPECT_DOUBLE_EQ(h.quantile_s(0.5), 128e-9);
+  EXPECT_DOUBLE_EQ(h.quantile_s(0.99), 128e-9);
+  EXPECT_DOUBLE_EQ(h.quantile_s(0.999),
+                   static_cast<double>(uint64_t{1} << 31) * 1e-9);
+}
+
+TEST(LatencyHistogram, ResetZeroesEverything) {
+  util::LatencyHistogram h;
+  h.record_ns(12345);
+  ASSERT_GT(h.count(), 0u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile_s(0.99), 0.0);
+}
+
 }  // namespace
 }  // namespace galloper

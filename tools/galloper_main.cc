@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "cli/archive.h"
+#include "client/load_gen.h"
 #include "fault/fault.h"
 #include "fault/soak.h"
 #include "rt/pool.h"
@@ -37,6 +38,16 @@ int usage() {
       "          (randomized fault-injection soak: kill/corrupt/read/\n"
       "          update/repair against an in-memory store, asserting every\n"
       "          read is bit-identical; deterministic per seed)\n"
+      "  galloper loadgen [--clients=N] [--ops=N] [--files=F] [--seed=S]\n"
+      "                   [--k=K --l=L --g=G] [--chunk=BYTES] [--batch=C]\n"
+      "                   [--zipf=THETA] [--updates=FRAC] [--degraded]\n"
+      "                   [--corruptions=N] [--serial]\n"
+      "          (closed-loop multi-client load over the pipelined striped\n"
+      "          client against an in-memory store: every read verified\n"
+      "          against a mirror; reports throughput and p50/p99/p99.9;\n"
+      "          --serial uses direct per-batch reads for comparison,\n"
+      "          --degraded adds injected stalls, --corruptions flips\n"
+      "          bytes mid-run to exercise fallback + auto-repair)\n"
       "\n"
       "  encode/decode/repair stream segment by segment through bounded\n"
       "  read/codec/write queues, so memory stays O(segment) for any file\n"
@@ -62,7 +73,8 @@ int usage() {
 const std::set<std::string> kKnownFlags = {
     "k",     "l",       "g",    "perf",    "resolution", "chunk",
     "block", "offset",  "threads", "stats", "seed",      "ops",
-    "seconds", "files",
+    "seconds", "files", "clients", "zipf",  "updates",   "degraded",
+    "serial", "batch",  "corruptions",
 };
 
 // Removes crash debris (orphaned .tmp staging files) before operating on an
@@ -93,7 +105,7 @@ int main(int argc, char** argv) {
   using galloper::Flags;
   namespace cli = galloper::cli;
   try {
-    Flags flags(argc, argv, /*boolean_flags=*/{"stats"});
+    Flags flags(argc, argv, /*boolean_flags=*/{"stats", "degraded", "serial"});
     try {
       flags.restrict_to(kKnownFlags);
     } catch (const galloper::CheckError& e) {
@@ -177,6 +189,33 @@ int run(const galloper::Flags& flags) {
       std::printf("soak passed: %zu round(s), every read bit-identical\n",
                   round);
       return 0;
+    }
+    if (command == "loadgen") {
+      if (pos.size() != 1) return usage();
+      galloper::client::LoadGenOptions opt;
+      opt.seed = static_cast<uint64_t>(flags.get_int("seed", 1));
+      opt.clients = static_cast<size_t>(
+          flags.get_int("clients", static_cast<int64_t>(opt.clients)));
+      opt.ops_per_client = static_cast<size_t>(
+          flags.get_int("ops", static_cast<int64_t>(opt.ops_per_client)));
+      opt.files = static_cast<size_t>(
+          flags.get_int("files", static_cast<int64_t>(opt.files)));
+      opt.k = static_cast<size_t>(flags.get_int("k", static_cast<int64_t>(opt.k)));
+      opt.l = static_cast<size_t>(flags.get_int("l", static_cast<int64_t>(opt.l)));
+      opt.g = static_cast<size_t>(flags.get_int("g", static_cast<int64_t>(opt.g)));
+      opt.chunk_bytes = static_cast<size_t>(
+          flags.get_int("chunk", static_cast<int64_t>(opt.chunk_bytes)));
+      opt.batch_chunks = static_cast<size_t>(
+          flags.get_int("batch", static_cast<int64_t>(opt.batch_chunks)));
+      opt.zipf_theta = flags.get_double("zipf", 0);
+      opt.update_fraction = flags.get_double("updates", 0);
+      opt.degraded = flags.has("degraded");
+      opt.corruptions =
+          static_cast<size_t>(flags.get_int("corruptions", 0));
+      opt.pipelined = !flags.has("serial");
+      const auto result = galloper::client::run_load(opt);
+      std::printf("%s\n", galloper::client::format_result(result).c_str());
+      return result.bit_identical ? 0 : 3;
     }
     if (command == "decode") {
       if (pos.size() != 3) return usage();
