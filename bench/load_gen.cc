@@ -21,7 +21,13 @@
 //
 //   GALLOPER_BENCH_REPS  ops per client scale (default 3 → 24 ops/client)
 //   GALLOPER_BENCH_JSON  write machine-readable results there
+//
+// --sweep-admit additionally sweeps the AdmissionControl limit over
+// {1, 2, 4, 8, 16} on the zipf-clean scenario (private gate per run) and
+// emits per-limit throughput/p99 cells — the knob's throughput-vs-tail
+// trade-off, machine-readable in BENCH_load.json's "admit_sweep" array.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -57,7 +63,11 @@ struct Cell {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool sweep_admit = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--sweep-admit") == 0) sweep_admit = true;
+
   const std::vector<Scenario> scenarios = {
       {"uniform_clean", 0.0, false},
       {"zipf_clean", 0.9, false},
@@ -88,6 +98,22 @@ int main() {
     cells.push_back(c);
   }
 
+  // Admission sweep: zipf-clean, a private gate per limit (the global gate
+  // would cap every limit > GALLOPER_CLIENT_ADMIT at the env value).
+  struct AdmitCell {
+    size_t limit;
+    client::LoadGenResult r;
+  };
+  std::vector<AdmitCell> admit_cells;
+  if (sweep_admit) {
+    for (size_t limit : {1, 2, 4, 8, 16}) {
+      client::LoadGenOptions opt = base;
+      opt.zipf_theta = 0.9;
+      opt.admit_limit = limit;
+      admit_cells.push_back({limit, client::run_load(opt)});
+    }
+  }
+
   Table table({"scenario", "serial MiB/s", "piped MiB/s", "ops/s", "speedup",
                "p50 (ms)", "p99 (ms)", "p99.9 (ms)", "bit-exact"});
   for (const Cell& c : cells)
@@ -100,6 +126,19 @@ int main() {
                    Table::num(c.pipelined.p999_s * 1e3),
                    c.bit_identical() ? "yes" : "NO"});
   table.print();
+
+  if (sweep_admit) {
+    Table sweep({"admit limit", "ops/s", "MiB/s", "p99 (ms)", "cache hit %",
+                 "bit-exact"});
+    for (const AdmitCell& a : admit_cells)
+      sweep.add_row({Table::num(static_cast<double>(a.limit)),
+                     Table::num(a.r.ops_per_s), Table::num(a.r.mib_per_s),
+                     Table::num(a.r.p99_s * 1e3),
+                     Table::num(a.r.cache_hit_rate * 100),
+                     a.r.bit_identical ? "yes" : "NO"});
+    std::printf("\nadmission sweep (zipf 0.9, clean):\n");
+    sweep.print();
+  }
 
   if (const char* path = bench::bench_json_path()) {
     bench::JsonWriter json;
@@ -124,11 +163,27 @@ int main() {
       json.key("degraded_reads").value(c.pipelined.degraded_reads);
       json.key("auto_repairs").value(c.pipelined.auto_repairs);
       json.key("client_fallbacks").value(c.pipelined.client_fallbacks);
+      json.key("cache_hit_rate").value(c.pipelined.cache_hit_rate);
+      json.key("mirror_mismatches").value(c.pipelined.mirror_mismatches);
       json.key("pipelined_speedup").value(c.speedup());
       json.key("bit_identical").value(c.bit_identical() ? 1 : 0);
       json.end_object();
     }
     json.end_array();
+    if (sweep_admit) {
+      json.key("admit_sweep").begin_array();
+      for (const AdmitCell& a : admit_cells) {
+        json.begin_object();
+        json.key("limit").value(a.limit);
+        json.key("ops_per_s").value(a.r.ops_per_s);
+        json.key("mib_per_s").value(a.r.mib_per_s);
+        json.key("p99_s").value(a.r.p99_s);
+        json.key("cache_hit_rate").value(a.r.cache_hit_rate);
+        json.key("bit_identical").value(a.r.bit_identical ? 1 : 0);
+        json.end_object();
+      }
+      json.end_array();
+    }
     json.end_object();
     bench::write_json_file(path, json);
   }

@@ -14,6 +14,7 @@
 #include <thread>
 #include <utility>
 
+#include "client/cache.h"
 #include "client/striped.h"
 #include "codes/plan.h"
 #include "core/input_format.h"
@@ -1032,6 +1033,32 @@ std::string format_plan_stats() {
         << is.p99_s * 1e3 << " ms, " << is.hedges_issued
         << " hedges issued / " << is.hedges_won << " won, " << is.cancelled
         << " cancelled\n";
+  if (is.hedges_issued + is.hedge_denied > 0)
+    out << "  hedge budget "
+        << static_cast<double>(is.hedge_bytes_granted) * 1e-6
+        << " MB granted, " << is.hedge_denied << " denied ("
+        << static_cast<double>(is.hedge_bytes_denied) * 1e-6 << " MB), "
+        << (is.hedge_budget_pct < 0
+                ? std::string("unlimited")
+                : std::to_string(static_cast<int>(is.hedge_budget_pct)) +
+                      "% of fetched bytes")
+        << "\n";
+  const client::BlockCache& bc = client::BlockCache::global();
+  const client::BlockCacheStats bcs = bc.stats();
+  out << "block cache: ";
+  if (!bc.enabled()) {
+    out << "off (GALLOPER_CLIENT_CACHE=off)\n";
+  } else {
+    out << bcs.hits << " hits / " << bcs.misses << " misses";
+    if (bcs.hits + bcs.misses > 0)
+      out << " (" << static_cast<int>(100.0 * bcs.hit_rate()) << "% hit rate)";
+    out << ", " << static_cast<double>(bcs.hit_bytes) * 1e-6
+        << " MB served, " << bcs.evictions << " evictions, "
+        << bcs.invalidations << " invalidations, "
+        << static_cast<double>(bcs.resident_bytes) * 1e-6 << "/"
+        << static_cast<double>(bcs.capacity_bytes) * 1e-6
+        << " MB resident (" << bcs.shards << " shards)\n";
+  }
   const client::ClientStats cl = client::client_stats();
   if (cl.reads + cl.writes > 0) {
     const client::AdmissionControl::Stats as =

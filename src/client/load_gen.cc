@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "client/cache.h"
 #include "client/striped.h"
 #include "core/galloper.h"
 #include "fault/fault.h"
@@ -79,9 +80,23 @@ LoadGenResult run_load(const LoadGenOptions& opt) {
   const size_t file_bytes = num_chunks * opt.chunk_bytes;
   const size_t batch_bytes = opt.batch_chunks * opt.chunk_bytes;
 
+  // Cache and admission plumbing: by default the run shares the process
+  // globals (so the bench measures the shipped configuration); tests and
+  // sweeps pin private instances for isolation. Declared BEFORE the store —
+  // an attached cache must outlive it (~FileStore drops its entries).
+  std::unique_ptr<BlockCache> private_cache;
+  if (opt.cache_mib >= 0)
+    private_cache = std::make_unique<BlockCache>(
+        static_cast<size_t>(opt.cache_mib) << 20);
+  std::unique_ptr<AdmissionControl> private_gate;
+  if (opt.admit_limit > 0)
+    private_gate = std::make_unique<AdmissionControl>(opt.admit_limit);
+
   sim::Simulation sim;
   sim::Cluster cluster(sim, code.num_blocks() + 2, sim::ServerSpec{});
   store::FileStore store(cluster, code);
+  if (private_cache) store.set_block_cache(private_cache.get());
+  BlockCache* cache = store.block_cache();
 
   fault::FaultInjector injector(opt.seed ^ 0x10adul);
   if (opt.degraded) {
@@ -92,7 +107,9 @@ LoadGenResult run_load(const LoadGenOptions& opt) {
   // Data set + in-memory mirror (ground truth for bit-identity checks).
   Rng setup_rng(opt.seed);
   std::vector<Buffer> mirror;
-  StripedWriter writer(store);
+  WriterOptions wopt;
+  wopt.admission = private_gate.get();
+  StripedWriter writer(store, wopt);
   LoadGenResult result;
   for (size_t f = 0; f < opt.files; ++f) {
     Buffer file(file_bytes, 0);
@@ -116,15 +133,19 @@ LoadGenResult run_load(const LoadGenOptions& opt) {
   const ZipfPicker picker(opt.files, opt.zipf_theta);
   const store::FileStore::ReadStats stats0 = store.read_stats();
   const ClientStats client0 = client_stats();
+  const BlockCacheStats cache0 = cache->stats();
 
   util::LatencyHistogram latency;
   std::atomic<uint64_t> reads{0}, updates{0}, errors{0}, bytes_read{0},
       bytes_updated{0};
-  std::atomic<bool> bit_identical{true};
+  std::atomic<uint64_t> mirror_mismatches{0};
   std::atomic<bool> done{false};
 
   const auto client_loop = [&](Rng rng) {
-    StripedReader reader(store, ReaderOptions{opt.batch_chunks});
+    ReaderOptions ropt;
+    ropt.batch_chunks = opt.batch_chunks;
+    ropt.admission = private_gate.get();
+    StripedReader reader(store, ropt);
     for (size_t op = 0; op < opt.ops_per_client; ++op) {
       const size_t f = picker.pick(rng);
       const bool do_update =
@@ -158,7 +179,7 @@ LoadGenResult run_load(const LoadGenOptions& opt) {
                            "load-gen read lost data: file " << f);
         if (opt.verify &&
             !std::equal(got->begin(), got->end(), mirror[f].begin() + off))
-          bit_identical.store(false, std::memory_order_relaxed);
+          mirror_mismatches.fetch_add(1, std::memory_order_relaxed);
         reads.fetch_add(1, std::memory_order_relaxed);
         bytes_read.fetch_add(len, std::memory_order_relaxed);
       }
@@ -230,7 +251,17 @@ LoadGenResult run_load(const LoadGenOptions& opt) {
   result.crc_failures = stats1.crc_failures - stats0.crc_failures;
   result.auto_repairs = stats1.auto_repairs - stats0.auto_repairs;
   result.client_fallbacks = client1.fallbacks - client0.fallbacks;
-  result.bit_identical = bit_identical.load();
+  const BlockCacheStats cache1 = cache->stats();
+  result.cache_hits = cache1.hits - cache0.hits;
+  result.cache_misses = cache1.misses - cache0.misses;
+  result.cache_hit_bytes = cache1.hit_bytes - cache0.hit_bytes;
+  const uint64_t lookups = result.cache_hits + result.cache_misses;
+  result.cache_hit_rate =
+      lookups > 0 ? static_cast<double>(result.cache_hits) /
+                        static_cast<double>(lookups)
+                  : 0;
+  result.mirror_mismatches = mirror_mismatches.load();
+  result.bit_identical = result.mirror_mismatches == 0;
   return result;
 }
 
@@ -245,7 +276,11 @@ std::string format_result(const LoadGenResult& r) {
      << "faults: degraded reads " << r.degraded_reads << ", crc failures "
      << r.crc_failures << ", auto repairs " << r.auto_repairs
      << ", client fallbacks " << r.client_fallbacks << "\n"
-     << "bit identical: " << (r.bit_identical ? "yes" : "NO");
+     << "cache: hits " << r.cache_hits << ", misses " << r.cache_misses
+     << " (" << r.cache_hit_rate * 100 << "% hit rate, "
+     << static_cast<double>(r.cache_hit_bytes) / (1 << 20) << " MiB served)\n"
+     << "bit identical: " << (r.bit_identical ? "yes" : "NO")
+     << " (mismatches " << r.mirror_mismatches << ")";
   return os.str();
 }
 

@@ -44,6 +44,14 @@ struct LoadGenOptions {
   bool pipelined = true;    // false = direct FileStore::read_range per batch
   size_t batch_chunks = 4;
   bool verify = true;       // check every read against the mirror
+  // Client block cache for the run's store: -1 = the process-wide cache
+  // (GALLOPER_CLIENT_CACHE), 0 = off (a private disabled cache — fault
+  // accounting tests use this so corruptions are actually probed), > 0 = a
+  // private cache of that many MiB.
+  int cache_mib = -1;
+  // Admission gate: 0 = the process-wide gate (GALLOPER_CLIENT_ADMIT),
+  // > 0 = a private gate with this limit (the --sweep-admit bench).
+  size_t admit_limit = 0;
 };
 
 struct LoadGenResult {
@@ -72,7 +80,14 @@ struct LoadGenResult {
   uint64_t auto_repairs = 0;
   uint64_t client_fallbacks = 0;
 
-  bool bit_identical = true;  // every verified read matched the mirror
+  // Block-cache accounting (deltas of the cache in effect over the run).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_hit_bytes = 0;
+  double cache_hit_rate = 0;
+
+  uint64_t mirror_mismatches = 0;     // verified reads that differed
+  bool bit_identical = true;          // mirror_mismatches == 0
 };
 
 LoadGenResult run_load(const LoadGenOptions& opt);

@@ -8,12 +8,14 @@
 #include <deque>
 #include <utility>
 
+#include "client/cache.h"
 #include "codes/engine.h"
 #include "codes/plan.h"
 #include "fault/fault.h"
 #include "io/fetch.h"
 #include "rt/queue.h"
 #include "util/check.h"
+#include "util/crc32c.h"
 
 namespace galloper::client {
 
@@ -30,6 +32,7 @@ struct ClientCounters {
   std::atomic<uint64_t> reads{0}, writes{0};
   std::atomic<uint64_t> bytes_read{0}, bytes_written{0};
   std::atomic<uint64_t> batches{0}, fallbacks{0};
+  std::atomic<uint64_t> cache_reads{0};
 };
 
 ClientCounters& counters() {
@@ -103,6 +106,7 @@ ClientStats client_stats() {
   s.bytes_written = c.bytes_written.load(std::memory_order_relaxed);
   s.batches = c.batches.load(std::memory_order_relaxed);
   s.fallbacks = c.fallbacks.load(std::memory_order_relaxed);
+  s.cache_reads = c.cache_reads.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -120,11 +124,6 @@ StripedReader::StripedReader(store::FileStore& store, ReaderOptions opt)
 
 std::optional<Buffer> StripedReader::read_range(store::FileId id,
                                                 size_t offset, size_t length) {
-  AdmissionControl& gate =
-      opt_.admission ? *opt_.admission : AdmissionControl::global();
-  const AdmissionControl::Ticket ticket = gate.admit();
-  counters().reads.fetch_add(1, std::memory_order_relaxed);
-  counters().bytes_read.fetch_add(length, std::memory_order_relaxed);
   const auto t0 = std::chrono::steady_clock::now();
   const auto record = [&] {
     client_latency_histogram().record_ns(static_cast<uint64_t>(
@@ -132,6 +131,22 @@ std::optional<Buffer> StripedReader::read_range(store::FileId id,
             std::chrono::steady_clock::now() - t0)
             .count()));
   };
+  // Cache-first: a range fully covered by current-generation verified
+  // entries skips the admission gate too — a hot-head hit does no I/O, so
+  // making it queue for a pool ticket would throttle exactly the traffic
+  // the cache exists to absorb.
+  if (auto cached = store_.read_range_cached(id, offset, length)) {
+    counters().reads.fetch_add(1, std::memory_order_relaxed);
+    counters().cache_reads.fetch_add(1, std::memory_order_relaxed);
+    counters().bytes_read.fetch_add(length, std::memory_order_relaxed);
+    record();
+    return cached;
+  }
+  AdmissionControl& gate =
+      opt_.admission ? *opt_.admission : AdmissionControl::global();
+  const AdmissionControl::Ticket ticket = gate.admit();
+  counters().reads.fetch_add(1, std::memory_order_relaxed);
+  counters().bytes_read.fetch_add(length, std::memory_order_relaxed);
   try {
     auto out = read_pipelined(id, offset, length);
     record();
@@ -159,19 +174,26 @@ struct BatchDesc {
 // First-wins landing slot for one plan source block. A hedged re-fetch may
 // still be copying into its own scratch when the primary publishes; the
 // per-slot mutex makes publication atomic and the loser's buffer dies with
-// the loser — no writer ever touches a published buffer.
+// the loser — no writer ever touches a published buffer. With the block
+// cache on, the fetch publishes a shared cache entry instead of a private
+// scratch; base() serves either form.
 struct SlotStage {
   std::mutex mu;
   bool filled = false;
   Buffer data;
+  BlockCache::EntryRef entry;
+  const uint8_t* base() const { return entry ? entry->data() : data.data(); }
 };
 
 // A batch's fetch in flight: one FetchSet keyed by plan slot, plus the
 // per-slot byte ranges ([lo, hi) block coordinates) the decode will read.
+// cached[s] holds a slot served straight from the block cache — no fetch
+// op was submitted for it.
 struct InFlightBatch {
   BatchDesc desc;
   std::vector<std::vector<std::pair<size_t, size_t>>> pieces;  // per slot
   std::vector<std::unique_ptr<SlotStage>> slots;               // per slot
+  std::vector<BlockCache::EntryRef> cached;                    // per slot
   std::unique_ptr<io::FetchSet> fetches;
 };
 
@@ -179,6 +201,7 @@ struct InFlightBatch {
 struct FetchedBatch {
   BatchDesc desc;
   std::vector<std::unique_ptr<SlotStage>> slots;
+  std::vector<BlockCache::EntryRef> cached;
 };
 
 }  // namespace
@@ -204,6 +227,15 @@ std::optional<Buffer> StripedReader::read_pipelined(store::FileId id,
   const size_t last_chunk = (offset + length - 1) / chunk;
   for (size_t c = first_chunk; c <= last_chunk; ++c)
     if (!plan->row(c).solvable) return std::nullopt;  // matches direct
+
+  BlockCache* cache = store_.block_cache();
+  const bool use_cache = cache != nullptr && cache->enabled();
+  const uint64_t cache_uid = store_.cache_uid();
+  // Generation snapshot, taken once per stream: entries are served only at
+  // the generation this stream saw, so a concurrent update/repair can never
+  // slip refreshed bytes into a range the session verified differently.
+  const std::vector<uint64_t> gens =
+      use_cache ? store_.block_generations(id) : std::vector<uint64_t>{};
 
   // Batch descriptors over the covered chunks.
   std::vector<BatchDesc> batches;
@@ -252,44 +284,103 @@ std::optional<Buffer> StripedReader::read_pipelined(store::FileId id,
     return pieces;
   };
 
+  // Probe bodies shared by the primary fetch and its hedged re-fetch.
+  //
+  // Pieces mode (cache off): copy exactly the byte ranges the decode plan
+  // touches into a private scratch block.
+  //
+  // Cache mode: fetch the WHOLE block as an atomic {bytes, crc, generation}
+  // copy, verify the CRC here on the client (so a future hit is as
+  // trustworthy as a verified read), publish it to the cache at the copy's
+  // own generation, and stage the shared entry for this batch's decode.
+  // A CRC mismatch means silently corrupted stored bytes — report kCorrupt
+  // so the stream falls back to direct read_range, which quarantines and
+  // repairs; nothing is ever cached unverified.
+  const auto make_piece_probe = [&](size_t block_id,
+                                    const std::vector<std::pair<size_t,
+                                                                size_t>>*
+                                        piece_list,
+                                    SlotStage* slot) {
+    const size_t block_bytes = session.block_bytes;
+    auto& store = store_;
+    return [&store, id, block_id, piece_list, slot, block_bytes] {
+      Buffer scratch(block_bytes);  // pooled, indeterminate
+      if (!store.fetch_block_pieces(id, block_id, *piece_list,
+                                    ByteSpan(scratch.data(), scratch.size())))
+        return false;  // block vanished → stale session
+      std::lock_guard<std::mutex> lk(slot->mu);
+      if (!slot->filled) {
+        slot->data = std::move(scratch);
+        slot->filled = true;
+      }
+      return true;
+    };
+  };
+  const auto make_cache_probe = [&](size_t block_id, SlotStage* slot) {
+    auto& store = store_;
+    BlockCache* c = cache;
+    const uint64_t uid = cache_uid;
+    return [&store, c, uid, id, block_id, slot] {
+      auto copy = store.read_block_for_cache(id, block_id);
+      if (!copy) return false;  // block vanished → stale session
+      if (crc32c(ConstByteSpan(copy->bytes)) != copy->crc)
+        throw SessionInvalid();  // corrupt → direct read quarantines+repairs
+      auto entry = std::make_shared<const Buffer>(std::move(copy->bytes));
+      c->put(uid, id, block_id, copy->generation, entry);
+      std::lock_guard<std::mutex> lk(slot->mu);
+      if (!slot->filled) {
+        slot->entry = std::move(entry);
+        slot->filled = true;
+      }
+      return true;
+    };
+  };
+  const auto piece_bytes =
+      [](const std::vector<std::pair<size_t, size_t>>& pieces) {
+        size_t total = 0;
+        for (const auto& [lo, hi] : pieces) total += hi - lo;
+        return total;
+      };
+
   // Fetch stage: keeps up to `depth` batches' FetchSets in flight, so one
   // batch's injected stalls overlap its neighbors' (and the decode of
-  // whatever already landed). Per batch, ONE fetch op per needed slot
-  // copies that slot's ranges into a scratch block under the store's
-  // shared lock; hedged re-fetches run the same copy stall-free into their
-  // OWN scratch (first-wins publication, see SlotStage). Injector latency
-  // is pre-drawn on this stage thread in slot order — one draw per block
-  // actually fetched, the client analogue of the store's per-block draws.
+  // whatever already landed). With the cache on, each needed slot is first
+  // looked up at the stream's generation snapshot — a hit stages the shared
+  // entry with NO fetch op (a fully-hot batch never touches the I/O pool),
+  // a miss fetches the whole block and caches it. Per batch, ONE fetch op
+  // per missing slot; hedged re-fetches run the same probe stall-free with
+  // first-wins publication (see SlotStage). Injector latency is pre-drawn
+  // on this stage thread in slot order — one draw per block actually
+  // fetched (cache hits draw nothing, like any elided I/O).
   const auto start_batch = [&](const BatchDesc& d) {
     InFlightBatch f;
     f.desc = d;
     f.pieces = batch_pieces(d);
     f.slots.resize(num_slots);
+    f.cached.resize(num_slots);
     f.fetches = std::make_unique<io::FetchSet>();
     fault::FaultInjector* inj = store_.fault_injector();
     for (size_t s = 0; s < num_slots; ++s) {
       if (f.pieces[s].empty()) continue;
+      const size_t block_id = plan->source_blocks()[s];
+      if (use_cache) {
+        if (auto hit = cache->get(cache_uid, id, block_id, gens[block_id]);
+            hit != nullptr && hit->size() == session.block_bytes) {
+          f.cached[s] = std::move(hit);
+          continue;
+        }
+      }
       f.slots[s] = std::make_unique<SlotStage>();
       const double stall_s = inj ? inj->read_latency() : 0;
-      const size_t block_id = plan->source_blocks()[s];
       SlotStage* slot = f.slots[s].get();
-      const auto* piece_list = &f.pieces[s];
-      const size_t block_bytes = session.block_bytes;
-      auto& store = store_;
-      f.fetches->fetch(s, stall_s,
-                       [&store, id, block_id, piece_list, slot, block_bytes] {
-                         Buffer scratch(block_bytes);  // pooled, indeterminate
-                         if (!store.fetch_block_pieces(
-                                 id, block_id, *piece_list,
-                                 ByteSpan(scratch.data(), scratch.size())))
-                           return false;  // block vanished → stale session
-                         std::lock_guard<std::mutex> lk(slot->mu);
-                         if (!slot->filled) {
-                           slot->data = std::move(scratch);
-                           slot->filled = true;
-                         }
-                         return true;
-                       });
+      if (use_cache) {
+        f.fetches->fetch(s, stall_s, make_cache_probe(block_id, slot),
+                         /*hedge=*/false, session.block_bytes);
+      } else {
+        f.fetches->fetch(s, stall_s,
+                         make_piece_probe(block_id, &f.pieces[s], slot),
+                         /*hedge=*/false, piece_bytes(f.pieces[s]));
+      }
     }
     return f;
   };
@@ -297,46 +388,34 @@ std::optional<Buffer> StripedReader::read_pipelined(store::FileId id,
   const auto finish_batch = [&](InFlightBatch f) {
     // Exhaustive await (every slot op resolves); a slot still parked in
     // its injected stall past the hedge deadline is re-fetched stall-free,
-    // so the batch's tail is the deadline, not the stall.
+    // so the batch's tail is the deadline, not the stall. A budget-denied
+    // hedge leaves hedged[s] unset, exactly as if it never fired.
     std::vector<bool> hedged(num_slots, false);
     f.fetches->await(
         [](const std::vector<size_t>&) { return false; },
         [&](const std::vector<size_t>& pending) {
           for (size_t s : pending) {
             if (hedged[s]) continue;
-            hedged[s] = true;
             SlotStage* slot = f.slots[s].get();
             const size_t block_id = plan->source_blocks()[s];
-            const auto* piece_list = &f.pieces[s];
-            const size_t block_bytes = session.block_bytes;
-            auto& store = store_;
-            f.fetches->fetch(
-                s, 0.0,
-                [&store, id, block_id, piece_list, slot, block_bytes] {
-                  Buffer scratch(block_bytes);
-                  if (!store.fetch_block_pieces(
-                          id, block_id, *piece_list,
-                          ByteSpan(scratch.data(), scratch.size())))
-                    return false;
-                  std::lock_guard<std::mutex> lk(slot->mu);
-                  if (!slot->filled) {
-                    slot->data = std::move(scratch);
-                    slot->filled = true;
-                  }
-                  return true;
-                },
-                /*hedge=*/true);
+            hedged[s] =
+                use_cache
+                    ? f.fetches->fetch(s, 0.0, make_cache_probe(block_id, slot),
+                                       /*hedge=*/true, session.block_bytes)
+                    : f.fetches->fetch(
+                          s, 0.0, make_piece_probe(block_id, &f.pieces[s], slot),
+                          /*hedge=*/true, piece_bytes(f.pieces[s]));
           }
         });
     f.fetches->join();
     f.fetches->rethrow_any_failure();
     for (size_t s = 0; s < num_slots; ++s) {
-      if (f.pieces[s].empty()) continue;
+      if (f.pieces[s].empty() || f.cached[s]) continue;
       if (f.fetches->outcome(s) != io::FetchSet::Outcome::kClean)
         throw SessionInvalid();
     }
     counters().batches.fetch_add(1, std::memory_order_relaxed);
-    return FetchedBatch{f.desc, std::move(f.slots)};
+    return FetchedBatch{f.desc, std::move(f.slots), std::move(f.cached)};
   };
 
   // Decode one fetched batch: executes the session plan's rows over the
@@ -349,8 +428,13 @@ std::optional<Buffer> StripedReader::read_pipelined(store::FileId id,
   const auto decode_batch = [&](const FetchedBatch& item) {
     const BatchDesc& d = item.desc;
     std::vector<const uint8_t*> bases(num_slots, nullptr);
-    for (size_t s = 0; s < num_slots; ++s)
-      if (item.slots[s]) bases[s] = item.slots[s]->data.data();
+    for (size_t s = 0; s < num_slots; ++s) {
+      if (item.cached[s]) {
+        bases[s] = item.cached[s]->data();
+      } else if (item.slots[s]) {
+        bases[s] = item.slots[s]->base();
+      }
+    }
     for (size_t c = d.cstart; c < d.cend; ++c) {
       const size_t clo = std::max(d.lo, c * chunk);
       const size_t chi = std::min(d.hi, (c + 1) * chunk);

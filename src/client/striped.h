@@ -22,6 +22,14 @@
 // quarantines a block mid-stream, fetch_block_pieces reports it and the
 // reader falls back to plain FileStore::read_range for that call (counted
 // in ClientStats::fallbacks) — correctness never depends on the snapshot.
+//
+// Caching: when the store has a client::BlockCache attached (the default
+// process-wide one), read_range tries FileStore::read_range_cached FIRST —
+// a range fully covered by current-generation verified entries is served
+// with no session, no admission ticket, and no I/O pool — and each
+// pipeline batch consults the cache per plan slot, fetching only the
+// missing blocks (whole blocks, CRC-verified against the stored checksum
+// before insertion, so future hits are as trustworthy as verified reads).
 #pragma once
 
 #include <condition_variable>
@@ -103,6 +111,7 @@ struct ClientStats {
   uint64_t bytes_written = 0;
   uint64_t batches = 0;        // fetch→decode batches processed
   uint64_t fallbacks = 0;      // stale sessions retried via direct read
+  uint64_t cache_reads = 0;    // reads served entirely from the block cache
 };
 ClientStats client_stats();
 

@@ -105,6 +105,16 @@ AsyncIo::AsyncIo(size_t threads) {
       if (q > 0 && q < 1) hedge_.quantile = q;
     }
   }
+  if (const char* env = std::getenv("GALLOPER_HEDGE_BUDGET")) {
+    const std::string v(env);
+    if (v == "off" || v == "OFF") {
+      hedge_.budget_pct = -1;  // unlimited
+    } else {
+      const double pct = std::strtod(env, nullptr);
+      if (pct >= 0) hedge_.budget_pct = pct;
+    }
+  }
+  hedge_tokens_ = static_cast<double>(hedge_.budget_burst_bytes);
   const size_t n = threads > 0 ? threads : default_threads();
   threads_.reserve(n);
   for (size_t i = 0; i < n; ++i)
@@ -252,6 +262,11 @@ IoStats AsyncIo::stats() const {
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.hedges_issued = hedges_issued_.load(std::memory_order_relaxed);
   s.hedges_won = hedges_won_.load(std::memory_order_relaxed);
+  s.hedge_bytes_granted =
+      hedge_bytes_granted_.load(std::memory_order_relaxed);
+  s.hedge_denied = hedge_denied_.load(std::memory_order_relaxed);
+  s.hedge_bytes_denied = hedge_bytes_denied_.load(std::memory_order_relaxed);
+  s.hedge_budget_pct = hedge_policy().budget_pct;
   {
     std::lock_guard<std::mutex> lock(mu_);
     s.queue_peak = queue_peak_;
@@ -271,6 +286,9 @@ HedgePolicy AsyncIo::hedge_policy() const {
 void AsyncIo::set_hedge_policy(const HedgePolicy& policy) {
   std::lock_guard<std::mutex> lock(hedge_mu_);
   hedge_ = policy;
+  // Re-seed the bucket at the new burst: tests that pin a policy want the
+  // budget in a known state, and a shrinking burst must clamp immediately.
+  hedge_tokens_ = static_cast<double>(hedge_.budget_burst_bytes);
 }
 
 double AsyncIo::hedge_deadline_s() const {
@@ -289,6 +307,31 @@ void AsyncIo::note_hedge_issued() {
 
 void AsyncIo::note_hedge_won() {
   hedges_won_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AsyncIo::note_fetched(size_t bytes) {
+  if (bytes == 0) return;
+  std::lock_guard<std::mutex> lock(hedge_mu_);
+  if (hedge_.budget_pct < 0) return;  // unlimited — no accounting needed
+  hedge_tokens_ = std::min(
+      hedge_tokens_ + static_cast<double>(bytes) * hedge_.budget_pct / 100.0,
+      static_cast<double>(hedge_.budget_burst_bytes));
+}
+
+bool AsyncIo::try_charge_hedge(size_t bytes) {
+  if (bytes > 0) {
+    std::lock_guard<std::mutex> lock(hedge_mu_);
+    if (hedge_.budget_pct >= 0) {
+      if (hedge_tokens_ < static_cast<double>(bytes)) {
+        hedge_denied_.fetch_add(1, std::memory_order_relaxed);
+        hedge_bytes_denied_.fetch_add(bytes, std::memory_order_relaxed);
+        return false;
+      }
+      hedge_tokens_ -= static_cast<double>(bytes);
+    }
+  }
+  hedge_bytes_granted_.fetch_add(bytes, std::memory_order_relaxed);
+  return true;
 }
 
 }  // namespace galloper::io

@@ -27,6 +27,8 @@
 //   deadline quantile (default 0.99). hedge_deadline_s() is the time a
 //   fetch may stay pending before the caller issues a duplicate to a spare
 //   helper; tests pin it with set_hedge_policy({.fixed_deadline_s=...}).
+//   GALLOPER_HEDGE_BUDGET caps hedged bytes at N% of fetched bytes
+//   (default 10, "off" = unlimited) — see HedgePolicy below.
 //
 // Determinism contract: this layer only APPLIES fault decisions — callers
 // pre-draw every injector decision on the submitting thread in block
@@ -123,6 +125,10 @@ struct IoStats {
   uint64_t cancelled = 0;      // cancelled before the body ran
   uint64_t hedges_issued = 0;
   uint64_t hedges_won = 0;
+  uint64_t hedge_bytes_granted = 0;  // hedged bytes the budget admitted
+  uint64_t hedge_denied = 0;         // hedge submissions the budget refused
+  uint64_t hedge_bytes_denied = 0;
+  double hedge_budget_pct = 0;       // echoed policy (< 0 = unlimited)
   size_t queue_peak = 0;       // max in-flight (queued + running) seen
   double p50_s = 0;            // op latency quantiles over all completions
   double p99_s = 0;
@@ -130,11 +136,20 @@ struct IoStats {
   bool odirect = false;        // direct_requested() — echoed for --stats
 };
 
-// When to duplicate a slow fetch to a spare helper.
+// When to duplicate a slow fetch to a spare helper, and how much duplicate
+// traffic the tail-chase may add. The budget is a token bucket: every
+// PRIMARY fetched byte refills budget_pct% of a token, hedged bytes spend
+// them, and the bucket is capped (and seeded) at budget_burst_bytes — so
+// over any window, hedge bytes ≤ burst + budget_pct% of fetched bytes.
+// The burst keeps small-block hedging (tests, KB-sized stripes) free while
+// still capping a sustained tail-chase under load; budget_pct < 0 lifts
+// the cap entirely (GALLOPER_HEDGE_BUDGET=off).
 struct HedgePolicy {
   bool enabled = true;
   double quantile = 0.99;      // deadline = max(floor, 3 × p(quantile))
   double fixed_deadline_s = 0; // > 0 overrides the quantile rule (tests)
+  double budget_pct = 10.0;    // max hedged bytes as % of fetched bytes
+  uint64_t budget_burst_bytes = uint64_t{8} << 20;
 };
 
 class AsyncIo {
@@ -195,6 +210,12 @@ class AsyncIo {
   double hedge_deadline_s() const;
   void note_hedge_issued();
   void note_hedge_won();
+  // SLO hedge budget (see HedgePolicy). note_fetched(bytes) credits the
+  // bucket for a primary fetch; try_charge_hedge(bytes) debits it for a
+  // hedge, returning false — and counting a denial — when the bucket can't
+  // cover the bytes. Zero-byte charges are always granted.
+  void note_fetched(size_t bytes);
+  bool try_charge_hedge(size_t bytes);
 
  private:
   void worker_loop();
@@ -209,10 +230,13 @@ class AsyncIo {
 
   mutable std::mutex hedge_mu_;
   HedgePolicy hedge_;
+  double hedge_tokens_ = 0;  // budget bucket, guarded by hedge_mu_
 
   std::atomic<uint64_t> ops_{0}, reads_{0}, writes_{0}, fetches_{0};
   std::atomic<uint64_t> bytes_read_{0}, bytes_written_{0}, cancelled_{0};
   std::atomic<uint64_t> hedges_issued_{0}, hedges_won_{0};
+  std::atomic<uint64_t> hedge_bytes_granted_{0}, hedge_denied_{0};
+  std::atomic<uint64_t> hedge_bytes_denied_{0};
   // Per-op latency in log2-ns buckets (util::LatencyHistogram holds the
   // math; latency_quantile_s delegates to it).
   util::LatencyHistogram latency_hist_;

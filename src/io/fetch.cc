@@ -7,8 +7,15 @@
 
 namespace galloper::io {
 
-void FetchSet::fetch(size_t key, double stall_s, std::function<bool()> probe,
-                     bool hedge) {
+bool FetchSet::fetch(size_t key, double stall_s, std::function<bool()> probe,
+                     bool hedge, size_t bytes) {
+  // Budget gate BEFORE any state is created: a denied hedge leaves the set
+  // exactly as if the caller had never tried (no entry, no pending key).
+  if (hedge) {
+    if (!io_.try_charge_hedge(bytes)) return false;
+  } else {
+    io_.note_fetched(bytes);
+  }
   OpRef op;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -31,12 +38,13 @@ void FetchSet::fetch(size_t key, double stall_s, std::function<bool()> probe,
     // before the op can run, so a sibling resolving this key mid-submission
     // finds it in record()'s loser scan instead of letting the duplicate
     // park for its full stall.
-    op = io_.prepare(OpKind::kFetch, 0, std::move(body));
+    op = io_.prepare(OpKind::kFetch, bytes, std::move(body));
     entries_.push_back(Entry{key, hedge, op, false});
     keys_.try_emplace(key);  // registers the key as pending
   }
   if (hedge) io_.note_hedge_issued();
   io_.enqueue(std::move(op));
+  return true;
 }
 
 void FetchSet::record(size_t index, bool ran, bool clean,

@@ -54,8 +54,17 @@ class FetchSet {
   // corrupt one; a throw records kFailed and keeps the exception (the
   // async crash-point path). Duplicate keys are allowed; the first result
   // recorded wins and the losers are cancelled.
-  void fetch(size_t key, double stall_s, std::function<bool()> probe,
-             bool hedge = false);
+  //
+  // `bytes` is what the fetch moves (a block, the planned pieces). A
+  // primary fetch credits the pool's hedge budget with it; a hedge CHARGES
+  // it, and may be DENIED — returns false WITHOUT submitting — when the
+  // sliding budget (HedgePolicy::budget_pct of fetched bytes) is spent.
+  // Callers treat a denied hedge like one that never fired: the primary
+  // still completes (or is cancelled) normally, so tail latency degrades
+  // to the stall instead of hedge traffic doubling under load. Primaries
+  // always submit (returns true).
+  bool fetch(size_t key, double stall_s, std::function<bool()> probe,
+             bool hedge = false, size_t bytes = 0);
 
   // Blocks until ready(sorted clean keys) returns true or every fetch has
   // completed. Fires on_slow(sorted pending keys) once if the pool's hedge

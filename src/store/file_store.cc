@@ -4,6 +4,7 @@
 #include <cstring>
 #include <tuple>
 
+#include "client/cache.h"
 #include "io/fetch.h"
 #include "rt/pool.h"
 #include "util/check.h"
@@ -36,9 +37,108 @@ namespace galloper::store {
 //    block state).
 
 FileStore::FileStore(sim::Cluster& cluster, const codes::ErasureCode& code)
-    : cluster_(cluster), code_(code) {
+    : cluster_(cluster),
+      code_(code),
+      cache_uid_(client::next_cache_uid()),
+      cache_(&client::BlockCache::global()) {
   GALLOPER_CHECK_MSG(cluster.size() >= code.num_blocks(),
                      "cluster smaller than the code's block count");
+}
+
+FileStore::~FileStore() {
+  if (!cache_) return;
+  for (FileId id = 0; id < files_.size(); ++id)
+    for (size_t b = 0; b < code_.num_blocks(); ++b)
+      cache_->invalidate(cache_uid_, id, b);
+}
+
+void FileStore::bump_generation_locked(FileId id, size_t b) {
+  ++block_gens_[id][b];
+  // Drop eagerly (get() would also catch the mismatch) so a hot entry's
+  // memory is reclaimed the moment it goes stale.
+  if (cache_) cache_->invalidate(cache_uid_, id, b);
+}
+
+uint64_t FileStore::block_generation(FileId id, size_t b) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  GALLOPER_CHECK(id < files_.size());
+  GALLOPER_CHECK(b < code_.num_blocks());
+  return block_gens_[id][b];
+}
+
+std::vector<uint64_t> FileStore::block_generations(FileId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  GALLOPER_CHECK(id < files_.size());
+  return block_gens_[id];
+}
+
+std::optional<FileStore::VerifiedBlockCopy> FileStore::read_block_for_cache(
+    FileId id, size_t b) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  GALLOPER_CHECK(id < files_.size());
+  GALLOPER_CHECK(b < code_.num_blocks());
+  const auto& blk = files_[id][b];
+  if (!blk.has_value() || !cluster_.server(b).alive()) return std::nullopt;
+  // One lock hold covers all three fields: the generation returned here is
+  // provably the one these exact bytes were stored under, so an entry the
+  // caller verifies and inserts under it can never be a stale snapshot.
+  VerifiedBlockCopy copy;
+  copy.bytes.resize(blk->size());
+  std::copy(blk->begin(), blk->end(), copy.bytes.begin());
+  copy.crc = checksums_[id][b];
+  copy.generation = block_gens_[id][b];
+  return copy;
+}
+
+std::optional<Buffer> FileStore::read_range_cached(FileId id, size_t offset,
+                                                   size_t length) {
+  client::BlockCache* cache = cache_;
+  if (cache == nullptr || !cache->enabled() || length == 0)
+    return std::nullopt;
+  // Gather every current-generation entry for this file under one shared
+  // hold — the generations read here are current while we hold the lock,
+  // and a mutation after release bumps them, which only means we serve
+  // bytes that were valid at lookup time (same guarantee any read has).
+  std::vector<client::BlockCache::EntryRef> entries(code_.num_blocks());
+  std::vector<size_t> cached_blocks;
+  size_t chunk = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    GALLOPER_CHECK(id < files_.size());
+    chunk = file_block_bytes_[id] / code_.engine().stripes_per_block();
+    const size_t fbytes = code_.engine().num_chunks() * chunk;
+    GALLOPER_CHECK_MSG(offset + length <= fbytes,
+                       "range [" << offset << ", " << offset + length
+                                 << ") beyond file size " << fbytes);
+    for (size_t b = 0; b < code_.num_blocks(); ++b) {
+      auto e = cache->get(cache_uid_, id, b, block_gens_[id][b]);
+      if (e != nullptr && e->size() == file_block_bytes_[id]) {
+        entries[b] = std::move(e);
+        cached_blocks.push_back(b);
+      }
+    }
+  }
+  if (cached_blocks.empty()) return std::nullopt;
+
+  // Same per-chunk schedule a degraded read runs, keyed by the cached set;
+  // with the data blocks cached the covered rows are verbatim copies —
+  // pure memcpy. Unsolvable coverage → the real read path takes over.
+  const auto plan = code_.engine().plan_decode_fast(cached_blocks);
+  const size_t first = offset / chunk;
+  const size_t last = (offset + length - 1) / chunk;
+  for (size_t c = first; c <= last; ++c)
+    if (!plan->row(c).solvable) return std::nullopt;
+  std::vector<const uint8_t*> bases(plan->source_blocks().size());
+  for (size_t s = 0; s < bases.size(); ++s)
+    bases[s] = entries[plan->source_blocks()[s]]->data();
+  Buffer out(length);
+  for (size_t c = first; c <= last; ++c) {
+    const size_t lo = std::max(offset, c * chunk);
+    const size_t hi = std::min(offset + length, (c + 1) * chunk);
+    plan->run_row(plan->row(c), out.data() + (lo - offset), bases.data(),
+                  chunk, lo - c * chunk, hi - lo);
+  }
+  return out;
 }
 
 FileId FileStore::write(ConstByteSpan file) {
@@ -81,6 +181,7 @@ FileId FileStore::write_encoded(std::vector<Buffer> blocks) {
   file_block_bytes_.push_back(stored[0]->size());
   files_.push_back(std::move(stored));
   checksums_.push_back(std::move(crcs));
+  block_gens_.emplace_back(code_.num_blocks(), 0);
   return id;
 }
 
@@ -131,7 +232,10 @@ void FileStore::fail_server(size_t server) {
   cluster_.server(server).fail();
   if (server >= code_.num_blocks()) return;
   std::unique_lock<std::shared_mutex> lock(mu_);
-  for (auto& file : files_) file[server].reset();
+  for (FileId id = 0; id < files_.size(); ++id) {
+    if (files_[id][server].has_value()) bump_generation_locked(id, server);
+    files_[id][server].reset();
+  }
 }
 
 void FileStore::revive_server(size_t server) {
@@ -219,6 +323,7 @@ std::vector<size_t> FileStore::update_range(FileId id, size_t offset,
     // the block and refuse instead — the caller repairs, then retries.
     for (size_t b = 0; b < code_.num_blocks(); ++b) {
       if (crc32c(*files_[id][b]) == checksums_[id][b]) continue;
+      bump_generation_locked(id, b);
       files_[id][b].reset();
       GALLOPER_CHECK_MSG(false, "update found block "
                                     << b
@@ -259,6 +364,9 @@ std::vector<size_t> FileStore::update_range(FileId id, size_t offset,
   std::unique_lock<std::shared_mutex> lock(mu_);
   for (size_t i = 0; i < touched.size(); ++i) {
     const size_t b = touched[i];
+    // Bump-then-install under one exclusive hold: any cache entry holding
+    // the pre-update bytes is stale the instant the new content is visible.
+    bump_generation_locked(id, b);
     files_[id][b] = std::move(blocks[b]);
     checksums_[id][b] = new_crcs[i];
   }
@@ -316,7 +424,10 @@ std::vector<FileStore::CorruptBlock> FileStore::scrub(bool quarantine) {
     if (crc32c(*files_[c.file][c.block]) == checksums_[c.file][c.block])
       continue;
     corrupt.push_back(c);
-    if (quarantine) files_[c.file][c.block].reset();
+    if (quarantine) {
+      bump_generation_locked(c.file, c.block);
+      files_[c.file][c.block].reset();
+    }
   }
   return corrupt;
 }
@@ -384,6 +495,12 @@ struct Candidate {
 
 std::optional<Buffer> FileStore::read_range(FileId id, size_t offset,
                                             size_t length) {
+  // Hot-head fast path: a range fully covered by current-generation cached
+  // entries is served with no probe fetches, no injector draws, and no
+  // trip through the I/O pool (not counted as a verified read — nothing
+  // was re-verified; the entries were CRC-checked when inserted).
+  if (auto cached = read_range_cached(id, offset, length)) return cached;
+
   counters_.verified_reads.fetch_add(1, std::memory_order_relaxed);
 
   // Pre-draw the fault schedule on this thread, in block order — identical
@@ -391,9 +508,11 @@ std::optional<Buffer> FileStore::read_range(FileId id, size_t offset,
   // on I/O timing. Transient (injected) read faults are retried in place;
   // a block whose reads keep failing is simply left out of this read.
   std::vector<Candidate> candidates;
+  size_t bbytes = 0;  // block size — what each CRC-probe fetch reads
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     GALLOPER_CHECK(id < files_.size());
+    bbytes = file_block_bytes_[id];
     const size_t chunk =
         file_block_bytes_[id] / code_.engine().stripes_per_block();
     const size_t fbytes = code_.engine().num_chunks() * chunk;
@@ -439,12 +558,13 @@ std::optional<Buffer> FileStore::read_range(FileId id, size_t offset,
   const auto hedge_pending = [&](const std::vector<size_t>& pending) {
     for (size_t b : pending) {
       if (hedged[b]) continue;  // one hedge per key across both awaits
-      hedged[b] = true;
-      fetches.fetch(b, 0.0, probe(b), /*hedge=*/true);
+      // A budget denial (false) leaves hedged[b] unset so a later await may
+      // retry once the bucket refills; the primary completes either way.
+      hedged[b] = fetches.fetch(b, 0.0, probe(b), /*hedge=*/true, bbytes);
     }
   };
   for (const Candidate& c : candidates)
-    fetches.fetch(c.block, c.stall_s, probe(c.block));
+    fetches.fetch(c.block, c.stall_s, probe(c.block), /*hedge=*/false, bbytes);
   fetches.await(
       [&](const std::vector<size_t>& clean) { return code_.decodable(clean); },
       hedge_pending);
@@ -492,6 +612,7 @@ std::optional<Buffer> FileStore::read_range(FileId id, size_t offset,
         continue;
       counters_.crc_failures.fetch_add(1, std::memory_order_relaxed);
       corrupt.push_back(c.block);
+      bump_generation_locked(id, c.block);
       files_[id][c.block].reset();  // quarantine
     }
   }
@@ -555,12 +676,11 @@ FileStore::ReadSession FileStore::begin_verified_read(FileId id) {
   const auto hedge_pending = [&](const std::vector<size_t>& pending) {
     for (size_t b : pending) {
       if (hedged[b]) continue;
-      hedged[b] = true;
-      fetches.fetch(b, 0.0, probe(b), /*hedge=*/true);
+      hedged[b] = fetches.fetch(b, 0.0, probe(b), /*hedge=*/true, bbytes);
     }
   };
   for (const Candidate& c : candidates)
-    fetches.fetch(c.block, c.stall_s, probe(c.block));
+    fetches.fetch(c.block, c.stall_s, probe(c.block), /*hedge=*/false, bbytes);
   // One EXHAUSTIVE await: the session publishes its clean set to a
   // pipelined reader that will plan its decode from it, so every probe
   // must resolve first. Hedging keeps the wait bounded by the deadline
@@ -578,6 +698,7 @@ FileStore::ReadSession FileStore::begin_verified_read(FileId id) {
         continue;
       counters_.crc_failures.fetch_add(1, std::memory_order_relaxed);
       corrupt.push_back(c.block);
+      bump_generation_locked(id, c.block);
       files_[id][c.block].reset();  // quarantine
     }
   }
@@ -646,10 +767,12 @@ std::optional<std::vector<size_t>> FileStore::repair(FileId id,
     // without it — a silently rotted helper must never launder its
     // corruption into a freshly-checksummed "repaired" block.
     std::vector<size_t> helpers;
+    size_t bbytes = 0;  // block size, for the gather's budget accounting
     bool helper_quarantined = false;
     bool already_repaired = false;
     {
       std::unique_lock<std::shared_mutex> lock(mu_);
+      bbytes = file_block_bytes_[id];
       if (files_[id][block_id].has_value()) {
         already_repaired = true;  // a concurrent reader healed it first
       } else {
@@ -663,6 +786,7 @@ std::optional<std::vector<size_t>> FileStore::repair(FileId id,
         for (size_t h : helpers) {
           if (crc32c(*files_[id][h]) == checksums_[id][h]) continue;
           counters_.crc_failures.fetch_add(1, std::memory_order_relaxed);
+          bump_generation_locked(id, h);
           files_[id][h].reset();
           helper_quarantined = true;
         }
@@ -716,7 +840,8 @@ std::optional<std::vector<size_t>> FileStore::repair(FileId id,
       };
     };
     for (const HelperFetch& f : fetch_plan)
-      fetches.fetch(f.helper, f.stall_s, fetch_probe());
+      fetches.fetch(f.helper, f.stall_s, fetch_probe(), /*hedge=*/false,
+                    bbytes);
     fetches.await(
         [&](const std::vector<size_t>& clean) {
           if (std::includes(clean.begin(), clean.end(), want.begin(),
@@ -730,7 +855,7 @@ std::optional<std::vector<size_t>> FileStore::repair(FileId id,
           // CRC-clean spare helpers as an alternate decodable route. No
           // injector draws here: hedges must not perturb the schedule.
           for (size_t h : pending)
-            fetches.fetch(h, 0.0, fetch_probe(), /*hedge=*/true);
+            fetches.fetch(h, 0.0, fetch_probe(), /*hedge=*/true, bbytes);
           std::vector<size_t> spares;
           {
             std::shared_lock<std::shared_mutex> lock(mu_);
@@ -744,7 +869,7 @@ std::optional<std::vector<size_t>> FileStore::repair(FileId id,
             }
           }
           for (size_t s : spares)
-            fetches.fetch(s, 0.0, fetch_probe(), /*hedge=*/true);
+            fetches.fetch(s, 0.0, fetch_probe(), /*hedge=*/true, bbytes);
         });
     // Losers (hedged-over stalls) are cancelled before anything proceeds;
     // an async crash point surfaces here, with the store unmutated.
@@ -799,8 +924,10 @@ std::optional<std::vector<size_t>> FileStore::repair(FileId id,
       std::unique_lock<std::shared_mutex> lock(mu_);
       // A concurrent repair may have won the race; its bytes are as good
       // as ours (both CRC-verified rebuilds of the same block).
-      if (!files_[id][block_id].has_value())
+      if (!files_[id][block_id].has_value()) {
+        bump_generation_locked(id, block_id);
         files_[id][block_id] = std::move(*rebuilt);
+      }
     }
     return use_helpers;
   }

@@ -33,6 +33,10 @@
 #include "fault/fault.h"
 #include "sim/cluster.h"
 
+namespace galloper::client {
+class BlockCache;
+}  // namespace galloper::client
+
 namespace galloper::store {
 
 using FileId = size_t;
@@ -41,6 +45,10 @@ class FileStore {
  public:
   // `code` must outlive the store.
   FileStore(sim::Cluster& cluster, const codes::ErasureCode& code);
+  // Drops this store's entries from the attached cache — the uid is never
+  // reused, so they could never be SERVED again, but dead residents would
+  // still squeeze live stores out of the shared capacity.
+  ~FileStore();
 
   const codes::ErasureCode& code() const { return code_; }
   sim::Cluster& cluster() { return cluster_; }
@@ -56,6 +64,53 @@ class FileStore {
     injector_ = injector;
   }
   fault::FaultInjector* fault_injector() const { return injector_; }
+
+  // ---- Verified client-side block cache ----------------------------------
+  //
+  // The store participates in client::BlockCache (default: the process-wide
+  // instance) through three invariants:
+  //  - every block carries a GENERATION, bumped under the exclusive lock by
+  //    every mutation or quarantine (update install, repair install, CRC
+  //    quarantine, fail_server) — and each bump also drops the cache entry;
+  //  - cache fills go through read_block_for_cache(), which copies
+  //    {bytes, stored checksum, generation} under ONE shared-lock hold, so
+  //    the caller can CRC-verify the copy and key it by a generation that
+  //    was provably current when the bytes were read;
+  //  - read_range probes the cache first (read_range_cached) and serves
+  //    entirely from current-generation verified entries when they cover
+  //    the range — no probe fetches, no I/O pool, memcpy for clean rows.
+  // corrupt_block() deliberately does NOT bump: silent corruption doesn't
+  // change the block's logical content, and the cached bytes are exactly
+  // what a verified read would reconstruct.
+  //
+  // set_block_cache is like set_fault_injector: not synchronized against
+  // in-flight operations (attach at setup; null detaches). The attached
+  // cache must OUTLIVE the store — ~FileStore drops its entries from it.
+  void set_block_cache(client::BlockCache* cache) { cache_ = cache; }
+  client::BlockCache* block_cache() const { return cache_; }
+  // Process-unique id this store keys its cache entries with.
+  uint64_t cache_uid() const { return cache_uid_; }
+
+  // Current generation of one block / of every block of a file.
+  uint64_t block_generation(FileId id, size_t block) const;
+  std::vector<uint64_t> block_generations(FileId id) const;
+
+  struct VerifiedBlockCopy {
+    Buffer bytes;
+    uint32_t crc = 0;         // write-time CRC-32C recorded for the block
+    uint64_t generation = 0;  // generation current when bytes were copied
+  };
+  // Atomic {bytes, checksum, generation} snapshot of a resident block.
+  // nullopt if the block is lost or its server is dead.
+  std::optional<VerifiedBlockCopy> read_block_for_cache(FileId id,
+                                                        size_t block) const;
+
+  // Serves [offset, offset + length) purely from current-generation cached
+  // blocks when they form a decodable plan for the covered chunks. nullopt
+  // when the cache cannot fully serve (caller falls through to the real
+  // read path). Never touches the I/O pool or the fault injector.
+  std::optional<Buffer> read_range_cached(FileId id, size_t offset,
+                                          size_t length);
 
   // Encodes and stores a file. Size must be a positive multiple of the
   // code's chunk count.
@@ -228,10 +283,16 @@ class FileStore {
   std::shared_ptr<const codes::CodecPlan> pinned_repair_plan(
       size_t block_id, const std::vector<size_t>& sorted_helpers,
       const std::vector<size_t>& helpers);
+  // Bumps block (id, b)'s generation and drops its cache entry. Caller
+  // holds mu_ EXCLUSIVE (the bump must be ordered with the mutation it
+  // describes).
+  void bump_generation_locked(FileId id, size_t b);
 
   sim::Cluster& cluster_;
   const codes::ErasureCode& code_;
   fault::FaultInjector* injector_ = nullptr;
+  const uint64_t cache_uid_;
+  client::BlockCache* cache_;  // attached block cache (never owned)
 
   struct ReadCounters {
     std::atomic<size_t> verified_reads{0};
@@ -262,6 +323,8 @@ class FileStore {
   // files_[id][block] — nullopt once lost.
   std::vector<std::vector<std::optional<Buffer>>> files_;
   std::vector<std::vector<uint32_t>> checksums_;  // CRC-32C at write time
+  // Per-block cache generation (see the block-cache section above).
+  std::vector<std::vector<uint64_t>> block_gens_;
   std::vector<size_t> file_block_bytes_;
 };
 

@@ -104,14 +104,30 @@ double LatencyHistogram::quantile_s(double q) const {
     total += hist[i];
   }
   if (total == 0) return 0;
-  // Smallest bucket whose cumulative count covers rank q·total; report the
-  // bucket's upper bound so the quantile never understates.
+  // Smallest bucket whose cumulative count covers rank q·total, with the
+  // rank's position WITHIN that bucket linearly interpolated across the
+  // bucket's [2^i, 2^(i+1)) ns span (bucket 0 spans [0, 2)). Interpolation
+  // is what separates tail quantiles that land in the same log2 bucket —
+  // p999 at rank 999/1000 reports deeper into the bucket than p99 at
+  // 990/1000 instead of collapsing to one shared upper bound. The rank's
+  // own sample counts toward the covered fraction, so a bucket's last rank
+  // (and any lone sample) still reports the upper bound — the quantile
+  // never understates the bucket a sample actually landed in.
   const uint64_t rank = std::max<uint64_t>(
       1, static_cast<uint64_t>(q * static_cast<double>(total) + 0.5));
   uint64_t seen = 0;
   for (size_t i = 0; i < hist.size(); ++i) {
+    if (hist[i] == 0) continue;
+    if (seen + hist[i] >= rank) {
+      // ldexp, not 1ull << (i+1): bucket 63's upper bound is 2^64, one past
+      // what a uint64_t shift can express.
+      const double lower = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i));
+      const double upper = std::ldexp(1.0, static_cast<int>(i) + 1);
+      const double frac =
+          static_cast<double>(rank - seen) / static_cast<double>(hist[i]);
+      return (lower + frac * (upper - lower)) * 1e-9;
+    }
     seen += hist[i];
-    if (seen >= rank) return static_cast<double>(uint64_t{1} << (i + 1)) * 1e-9;
   }
   return static_cast<double>(std::numeric_limits<uint64_t>::max()) * 1e-9;
 }

@@ -41,9 +41,11 @@ namespace util {
 // p50/p99/p999 land in BENCH_load.json). Bucket b counts samples with
 // bit_width(latency_ns) == b, so record is one relaxed atomic increment and
 // the whole histogram is 64 counters — cheap enough to sit on every I/O
-// completion. quantile_s reports the covering bucket's UPPER bound (the
-// quantile never understates), which is the exact semantics AsyncIo's
-// hedge-deadline rule was built on.
+// completion. quantile_s linearly interpolates the rank's position within
+// the covering log2 bucket (so p999 and p99 stay distinct even when both
+// land in the same bucket); a bucket's last rank — and any lone sample —
+// still reports the bucket's upper bound, preserving the never-understate
+// property AsyncIo's hedge-deadline rule was built on.
 //
 // Concurrent record_ns/quantile_s are safe; a quantile taken mid-storm is a
 // consistent-enough snapshot (each bucket read once, relaxed).
@@ -60,9 +62,9 @@ class LatencyHistogram {
   // Samples recorded so far.
   uint64_t count() const;
 
-  // Smallest bucket whose cumulative count covers rank q·count (q clamped
-  // to [0, 1]), reported as the bucket's upper bound in seconds. 0 when
-  // empty.
+  // Rank q·count (q clamped to [0, 1]) located in its covering log2
+  // bucket, linearly interpolated across the bucket's span, in seconds.
+  // 0 when empty.
   double quantile_s(double q) const;
 
   // Zeroes every bucket (benches reuse one histogram across scenarios).

@@ -7,8 +7,10 @@
 #include <thread>
 #include <vector>
 
+#include "client/cache.h"
 #include "client/load_gen.h"
 #include "client/striped.h"
+#include "io/async.h"
 #include "core/galloper.h"
 #include "fault/fault.h"
 #include "store/file_store.h"
@@ -270,10 +272,256 @@ TEST(LoadGenTest, DegradedRunVerifies) {
   opt.degraded = true;
   opt.stall_s = 0.0005;
   opt.corruptions = 2;
+  // Cache OFF: this test asserts the fault machinery actually FIRED, and a
+  // warm cache legitimately absorbs reads before they ever probe the
+  // corrupted block (cached bytes are the true pre-corruption content).
+  opt.cache_mib = 0;
   const LoadGenResult r = run_load(opt);
   EXPECT_TRUE(r.bit_identical);
   EXPECT_EQ(r.ops, opt.clients * opt.ops_per_client);
   EXPECT_GE(r.crc_failures + r.auto_repairs + r.degraded_reads, 1u);
+}
+
+// The ISSUE's headline safety claim: degraded load (latency spikes + a
+// chaos thread corrupting live blocks mid-run) with the block cache ON
+// must still verify every read against the mirror — the cache may absorb
+// fault accounting, but it must never serve a wrong or stale byte.
+TEST(LoadGenTest, DegradedCacheOnNeverMismatches) {
+  LoadGenOptions opt;
+  opt.seed = 29;
+  opt.clients = 3;
+  opt.ops_per_client = 10;
+  opt.files = 3;
+  opt.chunk_bytes = 2048;
+  opt.degraded = true;
+  opt.stall_s = 0.0005;
+  opt.corruptions = 3;
+  opt.update_fraction = 0.2;  // updates bump generations under load
+  opt.cache_mib = 8;          // private warm cache
+  const LoadGenResult r = run_load(opt);
+  EXPECT_EQ(r.mirror_mismatches, 0u);
+  EXPECT_TRUE(r.bit_identical);
+  EXPECT_EQ(r.ops, opt.clients * opt.ops_per_client);
+}
+
+// ---- BlockCache unit tests -------------------------------------------------
+
+namespace {
+BlockCache::EntryRef make_entry(size_t size, uint8_t fill) {
+  return std::make_shared<const Buffer>(size, fill);
+}
+}  // namespace
+
+TEST(BlockCacheTest, GenerationMismatchNeverServes) {
+  BlockCache cache(1 << 20, /*shards=*/1);
+  cache.put(1, 0, 0, /*generation=*/3, make_entry(64, 0xAA));
+  // Exact generation serves.
+  ASSERT_NE(cache.get(1, 0, 0, 3), nullptr);
+  // A STALE entry (caller knows a newer generation) is dropped, not served.
+  EXPECT_EQ(cache.get(1, 0, 0, 4), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.stats().resident_entries, 0u);
+  // A NEWER entry than the caller's snapshot misses WITHOUT eviction (the
+  // entry is the fresher one; the reader's snapshot is behind).
+  cache.put(1, 0, 0, /*generation=*/7, make_entry(64, 0xBB));
+  EXPECT_EQ(cache.get(1, 0, 0, 5), nullptr);
+  EXPECT_EQ(cache.stats().resident_entries, 1u);
+  ASSERT_NE(cache.get(1, 0, 0, 7), nullptr);
+}
+
+TEST(BlockCacheTest, SegmentedLruSurvivesScan) {
+  // Capacity for ~8 entries of 1 KiB in one shard. Hit a hot pair until
+  // they're protected, then scan 64 cold one-shot keys through — the scan
+  // must churn probation without evicting the protected head.
+  BlockCache cache(8 << 10, /*shards=*/1);
+  cache.put(1, 0, 0, 0, make_entry(1 << 10, 1));
+  cache.put(1, 0, 1, 0, make_entry(1 << 10, 2));
+  ASSERT_NE(cache.get(1, 0, 0, 0), nullptr);  // promote to protected
+  ASSERT_NE(cache.get(1, 0, 1, 0), nullptr);
+  for (uint64_t k = 100; k < 164; ++k)
+    cache.put(1, 9, k, 0, make_entry(1 << 10, 3));
+  EXPECT_NE(cache.get(1, 0, 0, 0), nullptr) << "scan evicted the hot head";
+  EXPECT_NE(cache.get(1, 0, 1, 0), nullptr);
+  EXPECT_GT(cache.stats().evictions, 0u);  // the scan itself churned
+}
+
+TEST(BlockCacheTest, EvictionBoundsResidentBytes) {
+  const size_t cap = 16 << 10;
+  BlockCache cache(cap, /*shards=*/1);
+  for (uint64_t k = 0; k < 200; ++k)
+    cache.put(1, 0, k, 0, make_entry(1 << 10, static_cast<uint8_t>(k)));
+  const BlockCacheStats s = cache.stats();
+  EXPECT_LE(s.resident_bytes, cap);
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_GT(s.resident_entries, 0u);
+  // An entry bigger than a shard is uncacheable, never partially inserted.
+  cache.put(1, 1, 0, 0, make_entry(cap + 1, 9));
+  EXPECT_LE(cache.stats().resident_bytes, cap);
+}
+
+TEST(BlockCacheTest, DisabledCacheNoOps) {
+  BlockCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.put(1, 0, 0, 0, make_entry(64, 1));
+  EXPECT_EQ(cache.get(1, 0, 0, 0), nullptr);
+  cache.invalidate(1, 0, 0);
+  cache.clear();
+  const BlockCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 0u);  // disabled lookups aren't even counted
+  EXPECT_EQ(s.resident_entries, 0u);
+}
+
+TEST(BlockCacheTest, StoresWithDistinctUidsNeverAlias) {
+  BlockCache cache(1 << 20, /*shards=*/1);
+  cache.put(1, 0, 0, 0, make_entry(64, 0x11));
+  cache.put(2, 0, 0, 0, make_entry(64, 0x22));
+  const auto a = cache.get(1, 0, 0, 0);
+  const auto b = cache.get(2, 0, 0, 0);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ((*a)[0], 0x11);
+  EXPECT_EQ((*b)[0], 0x22);
+}
+
+// ---- Cache ↔ store integration --------------------------------------------
+
+// Cold and warm cached reads must be byte-for-byte the cache-off bytes
+// across code shapes and unaligned ranges (tentpole acceptance: bit
+// identity cache on vs off).
+TEST(BlockCacheTest, CachedReadsBitIdenticalToUncached) {
+  const Shape shapes[] = {{2, 1, 1}, {4, 2, 2}, {6, 3, 2}};
+  for (const Shape& s : shapes) {
+    core::GalloperCode code(s.k, s.l, s.g);
+    BlockCache cache(16 << 20, /*shards=*/2);  // outlives both stores
+    sim::Simulation sim;
+    sim::Cluster cluster(sim, code.num_blocks() + 2, sim::ServerSpec{});
+    store::FileStore cached_fs(cluster, code);
+    store::FileStore plain_fs(cluster, code);
+    cached_fs.set_block_cache(&cache);
+    plain_fs.set_block_cache(nullptr);
+    Rng rng(41 + s.k);
+    const size_t chunk = 96;
+    const Buffer file =
+        random_buffer(code.engine().num_chunks() * chunk, rng);
+    const store::FileId id = cached_fs.write(file);
+    ASSERT_EQ(plain_fs.write(file), id);
+
+    ReaderOptions opt;
+    opt.batch_chunks = 2;
+    StripedReader reader(cached_fs, opt);
+    const size_t ranges[][2] = {
+        {0, file.size()},        {1, file.size() - 2},
+        {chunk - 1, 2},          {chunk / 2, 3 * chunk},
+        {file.size() - 7, 7},
+    };
+    for (int pass = 0; pass < 2; ++pass) {  // pass 0 fills, pass 1 hits
+      for (const auto& r : ranges) {
+        const auto got = reader.read_range(id, r[0], r[1]);
+        const auto want = plain_fs.read_range(id, r[0], r[1]);
+        ASSERT_TRUE(got.has_value());
+        ASSERT_TRUE(want.has_value());
+        EXPECT_EQ(*got, *want)
+            << "shape (" << s.k << "," << s.l << "," << s.g << ") pass="
+            << pass << " off=" << r[0] << " len=" << r[1];
+      }
+    }
+    EXPECT_GT(cache.stats().hits, 0u);
+  }
+}
+
+// After update_range, repair, and corruption + auto-repair, cached reads
+// must serve the CURRENT bytes — generation bumps make stale entries
+// unreachable.
+TEST(BlockCacheTest, NoStaleBytesAfterMutations) {
+  core::GalloperCode code(4, 2, 2);
+  BlockCache cache(16 << 20, /*shards=*/2);
+  sim::Simulation sim;
+  sim::Cluster cluster(sim, code.num_blocks() + 2, sim::ServerSpec{});
+  store::FileStore fs(cluster, code);
+  fs.set_block_cache(&cache);
+  Rng rng(53);
+  const size_t chunk = 128;
+  Buffer file = random_buffer(code.engine().num_chunks() * chunk, rng);
+  const store::FileId id = fs.write(file);
+  StripedReader reader(fs);
+
+  const auto expect_current = [&](const char* when) {
+    const auto direct = fs.read_range(id, 0, file.size());
+    const auto piped = reader.read_range(id, 0, file.size());
+    ASSERT_TRUE(direct.has_value()) << when;
+    ASSERT_TRUE(piped.has_value()) << when;
+    EXPECT_EQ(*direct, file) << when;
+    EXPECT_EQ(*piped, file) << when;
+  };
+
+  expect_current("initial read (fills cache)");
+
+  // In-place update: both the mirror and the store change; a stale cache
+  // would keep returning the old chunk.
+  Buffer patch = random_buffer(chunk, rng);
+  fs.update_range(id, 2 * chunk, ConstByteSpan(patch));
+  std::copy(patch.begin(), patch.end(), file.begin() + 2 * chunk);
+  expect_current("after update_range");
+
+  // Corruption + read-triggered auto-repair: the repair INSTALL bumps the
+  // generation, so the pre-repair entry (same logical bytes) can't mask a
+  // bad install.
+  fs.corrupt_block(id, 1, 7);
+  expect_current("after corruption (auto-repair in flight)");
+  expect_current("after auto-repair");
+
+  // Lost block + explicit repair. Repairing block 0 reads helpers, which
+  // CRC-quarantines the still-corrupt block 1 (cached reads above never
+  // probed it — the cache holds its true logical bytes); heal that too so
+  // the stripe is fully clean again.
+  fs.fail_server(0);
+  fs.revive_server(0);
+  ASSERT_TRUE(fs.repair(id, 0).has_value());
+  expect_current("after fail + repair");
+  for (size_t b : fs.lost_blocks(id))
+    ASSERT_TRUE(fs.repair(id, b).has_value());
+  expect_current("after healing quarantined helpers");
+
+  // Another update AFTER repair (fresh generations all around).
+  Buffer patch2 = random_buffer(chunk, rng);
+  fs.update_range(id, 0, ConstByteSpan(patch2));
+  std::copy(patch2.begin(), patch2.end(), file.begin());
+  expect_current("after post-repair update");
+}
+
+// A fully-hot read touches neither the I/O pool nor the probe machinery:
+// fetch count and verified-read sessions stay flat.
+TEST(BlockCacheTest, FullyHotReadSkipsIoPool) {
+  core::GalloperCode code(4, 2, 2);
+  BlockCache cache(16 << 20, /*shards=*/2);
+  sim::Simulation sim;
+  sim::Cluster cluster(sim, code.num_blocks() + 2, sim::ServerSpec{});
+  store::FileStore fs(cluster, code);
+  fs.set_block_cache(&cache);
+  Rng rng(67);
+  const size_t chunk = 256;
+  const Buffer file = random_buffer(code.engine().num_chunks() * chunk, rng);
+  const store::FileId id = fs.write(file);
+
+  StripedReader reader(fs);
+  const auto cold = reader.read_range(id, 0, file.size());  // fills cache
+  ASSERT_TRUE(cold.has_value());
+  ASSERT_EQ(*cold, file);
+
+  const uint64_t fetches0 = io::AsyncIo::global().stats().fetches;
+  const size_t sessions0 = fs.read_stats().verified_reads;
+  const ClientStats c0 = client_stats();
+  for (size_t off : {size_t{0}, chunk / 2, 3 * chunk}) {
+    const auto warm = reader.read_range(id, off, chunk);
+    ASSERT_TRUE(warm.has_value());
+    EXPECT_TRUE(std::equal(warm->begin(), warm->end(), file.begin() + off));
+  }
+  EXPECT_EQ(io::AsyncIo::global().stats().fetches, fetches0)
+      << "warm reads must not touch the I/O pool";
+  EXPECT_EQ(fs.read_stats().verified_reads, sessions0)
+      << "warm reads must not open probe sessions";
+  EXPECT_EQ(client_stats().cache_reads - c0.cache_reads, 3u);
 }
 
 // Same seed, same options → same offered traffic (the Zipf picker and

@@ -264,6 +264,77 @@ TEST_F(IoTest, HedgeEnvControlsPolicy) {
   EXPECT_DOUBLE_EQ(pool.hedge_deadline_s(), 0.125);
 }
 
+TEST_F(IoTest, HedgeBudgetEnvControlsPolicy) {
+  ::setenv("GALLOPER_HEDGE_BUDGET", "off", 1);
+  {
+    io::AsyncIo pool(1);
+    EXPECT_LT(pool.hedge_policy().budget_pct, 0.0);  // unlimited
+    EXPECT_TRUE(pool.try_charge_hedge(uint64_t{1} << 40));
+  }
+  ::setenv("GALLOPER_HEDGE_BUDGET", "25", 1);
+  {
+    io::AsyncIo pool(1);
+    EXPECT_DOUBLE_EQ(pool.hedge_policy().budget_pct, 25.0);
+  }
+  ::unsetenv("GALLOPER_HEDGE_BUDGET");
+  io::AsyncIo pool(1);
+  EXPECT_DOUBLE_EQ(pool.hedge_policy().budget_pct, 10.0);  // default
+}
+
+TEST_F(IoTest, HedgeBudgetTokenBucket) {
+  io::AsyncIo pool(1);
+  io::HedgePolicy policy;
+  policy.budget_pct = 10.0;
+  policy.budget_burst_bytes = 1000;
+  pool.set_hedge_policy(policy);  // re-seeds the bucket to the burst
+
+  EXPECT_TRUE(pool.try_charge_hedge(0));     // zero-byte always granted
+  EXPECT_TRUE(pool.try_charge_hedge(600));   // 1000 → 400
+  EXPECT_FALSE(pool.try_charge_hedge(600));  // 400 can't cover 600
+  pool.note_fetched(3000);                   // +10% of 3000 → 700
+  EXPECT_TRUE(pool.try_charge_hedge(600));   // 700 → 100
+  pool.note_fetched(1u << 30);               // refill is CAPPED at the burst
+  EXPECT_FALSE(pool.try_charge_hedge(1001));
+  EXPECT_TRUE(pool.try_charge_hedge(1000));
+
+  const io::IoStats st = pool.stats();
+  EXPECT_EQ(st.hedge_bytes_granted, 600u + 600u + 1000u);
+  EXPECT_EQ(st.hedge_denied, 2u);
+  EXPECT_EQ(st.hedge_bytes_denied, 600u + 1001u);
+  EXPECT_DOUBLE_EQ(st.hedge_budget_pct, 10.0);
+}
+
+TEST_F(IoTest, DeniedHedgeLeavesFetchSetUntouched) {
+  io::AsyncIo pool(2);
+  io::HedgePolicy policy;
+  policy.fixed_deadline_s = 0.005;
+  policy.budget_pct = 10.0;
+  policy.budget_burst_bytes = 0;  // empty bucket: every sized hedge denied
+  pool.set_hedge_policy(policy);
+
+  io::FetchSet fetches(pool);
+  EXPECT_TRUE(fetches.fetch(0, 0, [] { return true; },
+                            /*hedge=*/false, /*bytes=*/512));
+  // The denied hedge returns false and creates NO entry and NO pending
+  // key: an exhaustive await must terminate on the primary alone.
+  EXPECT_FALSE(fetches.fetch(7, 0, [] { return true; },
+                             /*hedge=*/true, /*bytes=*/256));
+  fetches.await([](const std::vector<size_t>&) { return false; }, nullptr);
+  fetches.join();
+  EXPECT_EQ(fetches.outcome(0), io::FetchSet::Outcome::kClean);
+  EXPECT_EQ(fetches.outcome(7), io::FetchSet::Outcome::kPending);  // no key
+
+  const io::IoStats st = pool.stats();
+  EXPECT_EQ(st.hedge_denied, 1u);
+  EXPECT_EQ(st.hedge_bytes_denied, 256u);
+  EXPECT_EQ(st.hedges_issued, 0u);
+  // Zero-byte hedges (legacy call sites) stay exempt from the budget.
+  io::FetchSet more(pool);
+  EXPECT_TRUE(more.fetch(1, 0, [] { return true; }, /*hedge=*/true));
+  more.join();
+  EXPECT_EQ(more.outcome(1), io::FetchSet::Outcome::kClean);
+}
+
 // ---------- FetchSet -------------------------------------------------------
 
 TEST_F(IoTest, FetchSetResolvesCleanCorruptAndFailed) {

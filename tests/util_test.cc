@@ -453,12 +453,31 @@ TEST(LatencyHistogram, NonPositiveSecondsClampToSmallestBucket) {
 
 TEST(LatencyHistogram, TailQuantileLandsInTailBucket) {
   util::LatencyHistogram h;
-  for (int i = 0; i < 99; ++i) h.record_ns(100);  // bucket 6, upper 128 ns
+  for (int i = 0; i < 99; ++i) h.record_ns(100);  // bucket 6, [64, 128) ns
   h.record_ns(1u << 30);                          // ~1.07 s outlier
-  EXPECT_DOUBLE_EQ(h.quantile_s(0.5), 128e-9);
+  // p50 is rank 50 of the 99 bucket-6 samples: 50/99 of [64, 128).
+  EXPECT_DOUBLE_EQ(h.quantile_s(0.5), (64.0 + 64.0 * (50.0 / 99.0)) * 1e-9);
+  // p99 is the bucket's LAST rank (99/99) → its upper bound exactly.
   EXPECT_DOUBLE_EQ(h.quantile_s(0.99), 128e-9);
+  // p999 is the outlier, alone in its bucket → that bucket's upper bound.
   EXPECT_DOUBLE_EQ(h.quantile_s(0.999),
                    static_cast<double>(uint64_t{1} << 31) * 1e-9);
+}
+
+TEST(LatencyHistogram, InterpolationSeparatesQuantilesWithinOneBucket) {
+  util::LatencyHistogram h;
+  // 1000 identical samples in bucket 10 ([1024, 2048) ns). Without
+  // interpolation every quantile collapses to 2048 ns; with it the ranks
+  // spread across the bucket span.
+  for (int i = 0; i < 1000; ++i) h.record_ns(1500);
+  const double p50 = h.quantile_s(0.50);    // rank 500 → 50.0% of the span
+  const double p99 = h.quantile_s(0.99);    // rank 990 → 99.0%
+  const double p999 = h.quantile_s(0.999);  // rank 999 → 99.9%
+  EXPECT_LT(p50, p99);
+  EXPECT_LT(p99, p999);
+  EXPECT_LT(p999, 2048e-9);  // strictly inside the bucket (rank 999 < 1000)
+  EXPECT_GE(p50, 1024e-9);   // never below the bucket's lower bound
+  EXPECT_DOUBLE_EQ(h.quantile_s(1.0), 2048e-9);  // last rank → upper bound
 }
 
 TEST(LatencyHistogram, ResetZeroesEverything) {

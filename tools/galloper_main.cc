@@ -41,13 +41,16 @@ int usage() {
       "  galloper loadgen [--clients=N] [--ops=N] [--files=F] [--seed=S]\n"
       "                   [--k=K --l=L --g=G] [--chunk=BYTES] [--batch=C]\n"
       "                   [--zipf=THETA] [--updates=FRAC] [--degraded]\n"
-      "                   [--corruptions=N] [--serial]\n"
+      "                   [--corruptions=N] [--serial] [--cache=MiB]\n"
+      "                   [--admit=N]\n"
       "          (closed-loop multi-client load over the pipelined striped\n"
       "          client against an in-memory store: every read verified\n"
       "          against a mirror; reports throughput and p50/p99/p99.9;\n"
       "          --serial uses direct per-batch reads for comparison,\n"
       "          --degraded adds injected stalls, --corruptions flips\n"
-      "          bytes mid-run to exercise fallback + auto-repair)\n"
+      "          bytes mid-run to exercise fallback + auto-repair;\n"
+      "          --cache pins a private block cache in MiB (0 = off),\n"
+      "          --admit pins a private admission-gate limit)\n"
       "\n"
       "  encode/decode/repair stream segment by segment through bounded\n"
       "  read/codec/write queues, so memory stays O(segment) for any file\n"
@@ -74,7 +77,7 @@ const std::set<std::string> kKnownFlags = {
     "k",     "l",       "g",    "perf",    "resolution", "chunk",
     "block", "offset",  "threads", "stats", "seed",      "ops",
     "seconds", "files", "clients", "zipf",  "updates",   "degraded",
-    "serial", "batch",  "corruptions",
+    "serial", "batch",  "corruptions", "cache", "admit",
 };
 
 // Removes crash debris (orphaned .tmp staging files) before operating on an
@@ -213,6 +216,11 @@ int run(const galloper::Flags& flags) {
       opt.corruptions =
           static_cast<size_t>(flags.get_int("corruptions", 0));
       opt.pipelined = !flags.has("serial");
+      // --cache=MiB pins a private block cache (0 = off); default -1
+      // shares the process-wide GALLOPER_CLIENT_CACHE one. --admit=N pins
+      // a private admission gate.
+      opt.cache_mib = static_cast<int>(flags.get_int("cache", -1));
+      opt.admit_limit = static_cast<size_t>(flags.get_int("admit", 0));
       const auto result = galloper::client::run_load(opt);
       std::printf("%s\n", galloper::client::format_result(result).c_str());
       return result.bit_identical ? 0 : 3;
