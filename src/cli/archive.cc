@@ -22,6 +22,7 @@
 #include "fault/fault.h"
 #include "io/async.h"
 #include "io/io.h"
+#include "mr/store_runner.h"
 #include "rt/queue.h"
 #include "util/buffer_pool.h"
 #include "util/check.h"
@@ -1073,6 +1074,18 @@ std::string format_plan_stats() {
         << "  call latency p50 " << hist.quantile_s(0.50) * 1e3
         << " ms, p99 " << hist.quantile_s(0.99) * 1e3 << " ms, p99.9 "
         << hist.quantile_s(0.999) * 1e3 << " ms\n";
+  }
+  const mr::MrStats ms = mr::mr_stats();
+  if (ms.jobs > 0) {
+    out << "mr: " << ms.jobs << " jobs, " << ms.splits_mapped
+        << " splits mapped (" << ms.degraded_splits << " degraded), "
+        << static_cast<double>(ms.bytes_original) * 1e-6
+        << " MB read original, "
+        << static_cast<double>(ms.bytes_decoded) * 1e-6 << " MB decoded\n"
+        << "  phase walls: map " << static_cast<double>(ms.map_ns) * 1e-6
+        << " ms, shuffle " << static_cast<double>(ms.shuffle_ns) * 1e-6
+        << " ms, reduce " << static_cast<double>(ms.reduce_ns) * 1e-6
+        << " ms\n";
   }
   return out.str();
 }

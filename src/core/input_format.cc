@@ -7,7 +7,7 @@
 namespace galloper::core {
 
 InputFormat::InputFormat(const codes::ErasureCode& code, size_t block_bytes)
-    : num_blocks_(code.num_blocks()), block_bytes_(block_bytes) {
+    : code_(&code), num_blocks_(code.num_blocks()), block_bytes_(block_bytes) {
   const auto& e = code.engine();
   GALLOPER_CHECK_MSG(
       block_bytes % e.stripes_per_block() == 0,
@@ -35,6 +35,20 @@ InputFormat::InputFormat(const codes::ErasureCode& code, size_t block_bytes)
   }
 }
 
+std::vector<InputFormat::Split> InputFormat::splits(
+    size_t max_split_bytes) const {
+  GALLOPER_CHECK_MSG(max_split_bytes > 0, "max_split_bytes must be positive");
+  std::vector<Split> out;
+  for (const auto& run : splits_) {
+    for (size_t off = 0; off < run.length; off += max_split_bytes) {
+      const size_t len = std::min(max_split_bytes, run.length - off);
+      out.push_back({run.block, run.block_offset + off, run.file_offset + off,
+                     len});
+    }
+  }
+  return out;
+}
+
 size_t InputFormat::total_original_bytes() const {
   size_t total = 0;
   for (const auto& s : splits_) total += s.length;
@@ -60,6 +74,18 @@ Buffer InputFormat::gather(const std::vector<ConstByteSpan>& blocks) const {
                 file.data() + s.file_offset);
   }
   return file;
+}
+
+std::optional<Buffer> InputFormat::gather(
+    const std::map<size_t, ConstByteSpan>& blocks) const {
+  for (const auto& [b, bytes] : blocks) {
+    GALLOPER_CHECK_MSG(b < num_blocks_, "unknown block " << b);
+    GALLOPER_CHECK_MSG(bytes.size() == block_bytes_, "wrong block size");
+  }
+  // The engine's ranged read IS the degraded gather: chunks present in
+  // `blocks` are copied verbatim (identical bytes to the all-blocks
+  // overload), absent ones are solved via the cached decode plan.
+  return code_->engine().read_range(blocks, 0, total_original_bytes());
 }
 
 }  // namespace galloper::core

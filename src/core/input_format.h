@@ -4,6 +4,8 @@
 // and read only original bytes (never parity).
 #pragma once
 
+#include <map>
+#include <optional>
 #include <vector>
 
 #include "codes/erasure_code.h"
@@ -29,6 +31,16 @@ class InputFormat {
 
   const std::vector<Split>& splits() const { return splits_; }
 
+  // The maximal runs above, subdivided so no split exceeds max_split_bytes
+  // (the last piece of a run keeps the remainder). This is what a real job
+  // scheduler consumes: with runs up to a whole block long, one-task-per-run
+  // quantizes map parallelism to the run count; capping the split size
+  // yields enough tasks to keep every map slot busy. max_split_bytes must
+  // be positive; callers that want record-aligned splits pass a multiple of
+  // their record size (runs start chunk-aligned, and every workload here
+  // sizes chunks as a record multiple).
+  std::vector<Split> splits(size_t max_split_bytes) const;
+
   size_t block_bytes() const { return block_bytes_; }
   size_t chunk_bytes() const { return chunk_bytes_; }
 
@@ -43,7 +55,16 @@ class InputFormat {
   // holds original data (blocks[i] must be block i's contents).
   Buffer gather(const std::vector<ConstByteSpan>& blocks) const;
 
+  // Degraded gather: reassembles the original file from whichever blocks
+  // are still around, decoding the missing chunks through the plan cache
+  // (codes::CodecEngine::read_range). Available chunks are copied verbatim,
+  // so with every block present this is bit-identical to gather() above.
+  // nullopt when the surviving blocks cannot reconstruct the file.
+  std::optional<Buffer> gather(
+      const std::map<size_t, ConstByteSpan>& blocks) const;
+
  private:
+  const codes::ErasureCode* code_;
   size_t num_blocks_;
   size_t block_bytes_;
   size_t chunk_bytes_;

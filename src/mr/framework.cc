@@ -1,28 +1,46 @@
 #include "mr/framework.h"
 
 #include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
 
 #include "util/check.h"
 
 namespace galloper::mr {
 
-std::vector<KeyValue> LocalRunner::reduce_all(
-    std::vector<KeyValue> intermediate) const {
-  // Group by key (the shuffle), then reduce each group.
-  std::sort(intermediate.begin(), intermediate.end());
+std::vector<KeyValue> shuffle_reduce(const Reducer& reducer,
+                                     std::vector<KeyValue> intermediate) {
+  // Group by key without sorting the whole intermediate. Keys and values
+  // are moved out of the pairs — the intermediate is consumed.
+  std::unordered_map<std::string, std::vector<std::string>> groups;
+  groups.reserve(intermediate.size());
+  for (auto& kv : intermediate)
+    groups[std::move(kv.key)].push_back(std::move(kv.value));
+  intermediate.clear();
+
+  // Reduce in ascending key order with each key's values sorted — exactly
+  // what a (key, value) sort of the whole intermediate would have fed the
+  // reducer, so results are bit-identical to the historical form.
+  std::vector<const std::string*> keys;
+  keys.reserve(groups.size());
+  for (const auto& [key, values] : groups) keys.push_back(&key);
+  std::sort(keys.begin(), keys.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+
   std::vector<KeyValue> out;
-  size_t i = 0;
-  while (i < intermediate.size()) {
-    size_t j = i;
-    std::vector<std::string> values;
-    while (j < intermediate.size() &&
-           intermediate[j].key == intermediate[i].key)
-      values.push_back(intermediate[j++].value);
-    reducer_.reduce(intermediate[i].key, values, out);
-    i = j;
+  for (const std::string* key : keys) {
+    auto& values = groups[*key];
+    std::sort(values.begin(), values.end());
+    reducer.reduce(*key, values, out);
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+std::vector<KeyValue> LocalRunner::reduce_all(
+    std::vector<KeyValue> intermediate) const {
+  return shuffle_reduce(reducer_, std::move(intermediate));
 }
 
 std::vector<KeyValue> LocalRunner::run(

@@ -58,6 +58,16 @@ struct WorkloadProfile {
   double reduce_bytes_per_cpu_unit = 80e6;
 };
 
+// The shuffle+reduce shared by every runner: groups `intermediate` by key
+// through a hash map (no global sort — wordcount-style jobs with heavy key
+// repetition pay O(n) grouping plus per-key sorts instead of O(n log n)
+// over the whole map output), sorts each key's value list, reduces keys in
+// ascending order, and returns the output sorted by (key, value). The
+// per-key value sort makes this bit-identical to the historical
+// sort-the-whole-intermediate form for any Reducer.
+std::vector<KeyValue> shuffle_reduce(const Reducer& reducer,
+                                     std::vector<KeyValue> intermediate);
+
 // Deterministic single-process execution over encoded blocks.
 class LocalRunner {
  public:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mr/wordcount.h"
 #include "util/check.h"
 
 namespace galloper::mr {
@@ -42,6 +43,29 @@ size_t count_occurrences(ConstByteSpan haystack, std::string_view needle) {
     ++it;
   }
   return count;
+}
+
+Buffer generate_grep_corpus(size_t bytes, size_t align,
+                            const std::string& needle, Rng& rng) {
+  GALLOPER_CHECK(!needle.empty());
+  GALLOPER_CHECK_MSG(align >= needle.size(),
+                     "alignment smaller than the needle");
+  Buffer corpus = generate_text(bytes, rng);
+  // Plant at a stride coprime-ish to typical aligns so occurrences spread
+  // over every block.
+  for (size_t i = 10; i + needle.size() < corpus.size(); i += 977)
+    std::copy(needle.begin(), needle.end(),
+              corpus.begin() + static_cast<ptrdiff_t>(i));
+  // Re-blank any occurrence straddling an align boundary, so no split cut
+  // on such a boundary can hide or reveal a match.
+  for (size_t edge = align; edge < corpus.size(); edge += align) {
+    for (size_t s = edge - needle.size() + 1; s < edge; ++s)
+      if (s + needle.size() <= corpus.size() &&
+          std::equal(needle.begin(), needle.end(),
+                     corpus.begin() + static_cast<ptrdiff_t>(s)))
+        corpus[s] = ' ';
+  }
+  return corpus;
 }
 
 WorkloadProfile grep_profile() {

@@ -1,0 +1,96 @@
+// StoreRunner: the store-backed parallel MapReduce runtime — the paper's
+// headline measured live (Sec. VI/VII, Figs. 8–10).
+//
+// LocalRunner proves correctness single-threaded over in-memory block
+// spans; StoreRunner runs the same job definition as a real parallel data
+// path over FileStore:
+//  * core::InputFormat splits (capped at max_split_bytes, so parallelism
+//    is not quantized to one task per block) become map tasks scheduled
+//    over the rt:: work-stealing pool — on a Galloper layout that is
+//    original data on ALL k+l+g servers, vs only the k data servers of
+//    Pyramid/RS;
+//  * each map task streams ONLY its split's original-data byte range via
+//    FileStore::read_original_split — verified (CRC), cache-integrated,
+//    admission-gated, and never decoding or touching parity bytes on the
+//    clean path;
+//  * a split whose block is lost / quarantined mid-job falls back to a
+//    degraded ranged read of the same bytes through the pipelined client
+//    (client::StripedReader → plan-cached decode of just the missing
+//    chunks), so jobs complete bit-identically to LocalRunner::run_plain
+//    under fault injection;
+//  * map output is hash-partitioned into reduce_tasks partitions as it is
+//    emitted; shuffle and reduce then run one task per partition (each the
+//    shared shuffle_reduce group-by), and the sorted per-reducer outputs
+//    are merged — replacing LocalRunner's global sort of the whole
+//    intermediate with per-partition work that scales with threads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "client/striped.h"
+#include "mr/framework.h"
+#include "store/file_store.h"
+
+namespace galloper::mr {
+
+// Process-wide counters across every StoreRunner job, snapshotted by the
+// CLI's --stats "mr:" section (same pattern as async-io / block-cache
+// stats).
+struct MrStats {
+  uint64_t jobs = 0;
+  uint64_t splits_mapped = 0;    // map tasks executed
+  uint64_t degraded_splits = 0;  // splits served by degraded fallback
+  uint64_t bytes_original = 0;   // split bytes read clean (no decode)
+  uint64_t bytes_decoded = 0;    // split bytes served via degraded reads
+  uint64_t map_ns = 0;           // summed per-job phase walls
+  uint64_t shuffle_ns = 0;
+  uint64_t reduce_ns = 0;
+};
+MrStats mr_stats();
+void reset_mr_stats();
+
+struct StoreRunnerOptions {
+  // Map/shuffle/reduce parallelism (the job's "slots"). 0 →
+  // rt::ThreadPool::default_threads() (GALLOPER_THREADS).
+  size_t threads = 0;
+  // Split-size cap handed to InputFormat::splits(max). 0 → one map task
+  // per maximal original-data run.
+  size_t max_split_bytes = 0;
+  // Hash partitions = shuffle/reduce tasks. 0 → threads.
+  size_t reduce_tasks = 0;
+  // Gate for the per-split store reads. null → AdmissionControl::global().
+  client::AdmissionControl* admission = nullptr;
+};
+
+// Per-job result + instrumentation (the same numbers MrStats accumulates).
+struct StoreJobReport {
+  std::vector<KeyValue> output;
+  size_t splits = 0;
+  size_t degraded_splits = 0;
+  uint64_t bytes_original = 0;
+  uint64_t bytes_decoded = 0;
+  uint64_t map_ns = 0;
+  uint64_t shuffle_ns = 0;
+  uint64_t reduce_ns = 0;
+};
+
+class StoreRunner {
+ public:
+  StoreRunner(const Mapper& mapper, const Reducer& reducer,
+              StoreRunnerOptions opt = {})
+      : mapper_(mapper), reducer_(reducer), opt_(opt) {}
+
+  // Runs the job over file `id` of `fs`. Output is sorted by (key, value)
+  // — bit-identical to LocalRunner::run_plain over the original file.
+  // Throws CheckError if a split is unrecoverable even degraded.
+  std::vector<KeyValue> run(store::FileStore& fs, store::FileId id) const;
+  StoreJobReport run_report(store::FileStore& fs, store::FileId id) const;
+
+ private:
+  const Mapper& mapper_;
+  const Reducer& reducer_;
+  StoreRunnerOptions opt_;
+};
+
+}  // namespace galloper::mr

@@ -2,6 +2,7 @@
 // fleets (c4.4xlarge for coding experiments, 30 × r3.large for Hadoop).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -38,9 +39,12 @@ class Server {
   const Resource& nic() const { return nic_; }
   const Resource& cpu() const { return cpu_; }
 
-  bool alive() const { return alive_; }
-  void fail() { alive_ = false; }
-  void recover() { alive_ = true; }
+  // The liveness flag is atomic so chaos actors (fail_server mid-job) may
+  // flip it while concurrent readers poll it; the FileStore's block state
+  // stays under its own lock — this only covers the flag itself.
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
+  void fail() { alive_.store(false, std::memory_order_release); }
+  void recover() { alive_.store(true, std::memory_order_release); }
 
  private:
   size_t id_;
@@ -48,7 +52,7 @@ class Server {
   Resource disk_;
   Resource nic_;
   Resource cpu_;
-  bool alive_ = true;
+  std::atomic<bool> alive_{true};
 };
 
 class Cluster {

@@ -14,9 +14,11 @@
 // exclusive — and the lock is NEVER held while blocked in a FetchSet await,
 // so a parked probe cannot wedge a writer. The pinned repair-plan map has
 // its own mutex, and the read counters are atomics snapshotted by value.
-// Topology mutation (fail_server/revive_server/set_fault_injector) is NOT
-// synchronized against in-flight operations; callers coordinate those
-// externally (the soak and load-gen harnesses do).
+// fail_server/revive_server may race in-flight operations: server liveness
+// is an atomic flag and the block-state sweep runs under the exclusive
+// lock, so a concurrent read either sees the block before the kill (and
+// serves it) or after (and degrades) — chaos actors and mid-job kills rely
+// on this. set_fault_injector/set_block_cache remain attach-at-setup only.
 #pragma once
 
 #include <atomic>
@@ -154,6 +156,22 @@ class FileStore {
   // Reads one file's original bytes without decoding (requires every
   // data-holding block available) — the analytics fast path.
   std::optional<Buffer> read_original_only(FileId id) const;
+
+  // Data-local map-task read: bytes [block_offset, block_offset + length)
+  // of block `b` — one split of core::InputFormat, i.e. original data only,
+  // never parity, never a decode. The read is verified (whole-block CRC
+  // against the write-time checksum) and cache-integrated: a
+  // current-generation BlockCache entry serves the range with no injector
+  // draws, and a verified miss fills the cache so sibling splits of the
+  // same block hit. Injected latency stalls are absorbed by the calling
+  // map slot (a split read has one replica — there is nothing to hedge
+  // to); transient read faults retry in place like read_range. A CRC
+  // mismatch quarantines + self-heals the block exactly like read_range
+  // and returns nullopt — as does a lost block / dead server — and the
+  // caller falls back to a degraded ranged read of the same bytes.
+  std::optional<Buffer> read_original_split(FileId id, size_t b,
+                                            size_t block_offset,
+                                            size_t length);
 
   // ---- Self-healing degraded reads --------------------------------------
 

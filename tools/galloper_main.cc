@@ -10,13 +10,23 @@
 #include <fstream>
 #include <sstream>
 
+#include <memory>
+
 #include "cli/archive.h"
 #include "client/load_gen.h"
+#include "codes/pyramid.h"
+#include "core/galloper.h"
 #include "fault/fault.h"
 #include "fault/soak.h"
+#include "mr/grep.h"
+#include "mr/store_runner.h"
+#include "mr/terasort.h"
+#include "mr/wordcount.h"
 #include "rt/pool.h"
+#include "sim/cluster.h"
 #include "util/check.h"
 #include "util/flags.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -51,6 +61,18 @@ int usage() {
       "          bytes mid-run to exercise fallback + auto-repair;\n"
       "          --cache pins a private block cache in MiB (0 = off),\n"
       "          --admit pins a private admission-gate limit)\n"
+      "  galloper mr --job=wordcount|terasort|grep [--mb=MB]\n"
+      "              [--k=K --l=L --g=G] [--split=BYTES] [--threads=N]\n"
+      "              [--reducers=R] [--seed=S] [--pyramid] [--degraded]\n"
+      "              [--needle=STR]\n"
+      "          (store-backed parallel MapReduce: generates ~MB of input,\n"
+      "          encodes it into an in-memory store, runs the job with map\n"
+      "          tasks reading original-data splits from all k+l+g blocks\n"
+      "          — only the k data blocks with --pyramid — and checks the\n"
+      "          output bit-identical to a plain single-split run; --split\n"
+      "          caps the map split size (rounded down to whole chunks),\n"
+      "          --degraded fails server 0 first so its splits fall back\n"
+      "          to degraded decode)\n"
       "\n"
       "  encode/decode/repair stream segment by segment through bounded\n"
       "  read/codec/write queues, so memory stays O(segment) for any file\n"
@@ -78,6 +100,7 @@ const std::set<std::string> kKnownFlags = {
     "block", "offset",  "threads", "stats", "seed",      "ops",
     "seconds", "files", "clients", "zipf",  "updates",   "degraded",
     "serial", "batch",  "corruptions", "cache", "admit",
+    "job",   "mb",      "split", "reducers", "pyramid",  "needle",
 };
 
 // Removes crash debris (orphaned .tmp staging files) before operating on an
@@ -108,7 +131,8 @@ int main(int argc, char** argv) {
   using galloper::Flags;
   namespace cli = galloper::cli;
   try {
-    Flags flags(argc, argv, /*boolean_flags=*/{"stats", "degraded", "serial"});
+    Flags flags(argc, argv,
+                /*boolean_flags=*/{"stats", "degraded", "serial", "pyramid"});
     try {
       flags.restrict_to(kKnownFlags);
     } catch (const galloper::CheckError& e) {
@@ -224,6 +248,94 @@ int run(const galloper::Flags& flags) {
       const auto result = galloper::client::run_load(opt);
       std::printf("%s\n", galloper::client::format_result(result).c_str());
       return result.bit_identical ? 0 : 3;
+    }
+    if (command == "mr") {
+      if (pos.size() != 1) return usage();
+      namespace mr = galloper::mr;
+      const std::string job = flags.get_or("job", "wordcount");
+      const size_t k = static_cast<size_t>(flags.get_int("k", 4));
+      const size_t l = static_cast<size_t>(flags.get_int("l", 2));
+      const size_t g = static_cast<size_t>(flags.get_int("g", 1));
+      const double mb = flags.get_double("mb", 8);
+      GALLOPER_CHECK_MSG(mb > 0, "--mb must be positive");
+
+      std::unique_ptr<galloper::codes::ErasureCode> code;
+      if (flags.has("pyramid"))
+        code = std::make_unique<galloper::codes::PyramidCode>(k, l, g);
+      else
+        code = std::make_unique<galloper::core::GalloperCode>(k, l, g);
+
+      // Chunk = a whole number of 200-byte record groups (200 divides into
+      // both the 50-byte wordcount and 100-byte terasort records), so no
+      // split boundary ever tears a record.
+      const size_t chunks = code->engine().num_chunks();
+      constexpr size_t kRecordLcm = 200;
+      const size_t per_chunk = std::max<size_t>(
+          1, static_cast<size_t>(mb * 1e6) / chunks / kRecordLcm);
+      const size_t chunk_bytes = per_chunk * kRecordLcm;
+      const size_t file_bytes = chunks * chunk_bytes;
+
+      galloper::Rng rng(static_cast<uint64_t>(flags.get_int("seed", 1)));
+      const std::string needle = flags.get_or("needle", "zqzq");
+      galloper::Buffer file;
+      std::unique_ptr<mr::Mapper> mapper;
+      std::unique_ptr<mr::Reducer> reducer;
+      if (job == "wordcount") {
+        file = mr::generate_text(file_bytes, rng);
+        mapper = std::make_unique<mr::WordCountMapper>();
+        reducer = std::make_unique<mr::WordCountReducer>();
+      } else if (job == "terasort") {
+        file = mr::generate_records(file_bytes, rng);
+        mapper = std::make_unique<mr::TeraSortMapper>();
+        reducer = std::make_unique<mr::TeraSortReducer>();
+      } else if (job == "grep") {
+        file = mr::generate_grep_corpus(file_bytes, chunk_bytes, needle, rng);
+        mapper = std::make_unique<mr::GrepMapper>(needle);
+        reducer = std::make_unique<mr::GrepReducer>();
+      } else {
+        return usage();
+      }
+
+      galloper::sim::Simulation sim;
+      galloper::sim::Cluster cluster(sim, code->num_blocks() + 2,
+                                     galloper::sim::ServerSpec{});
+      galloper::store::FileStore fs(cluster, *code);
+      const galloper::store::FileId id = fs.write(file);
+      if (flags.has("degraded")) fs.fail_server(0);
+
+      mr::StoreRunnerOptions opt;
+      opt.threads = threads_flag(flags);
+      opt.reduce_tasks = static_cast<size_t>(flags.get_int("reducers", 0));
+      // Split cap rounded down to whole chunks, so every map boundary
+      // stays chunk- (hence record-) aligned. Default: ~4 tasks per block
+      // — several tasks per map slot without tiny splits.
+      const int64_t split = flags.get_int(
+          "split",
+          static_cast<int64_t>(std::max<size_t>(
+              chunk_bytes, file_bytes / (4 * code->num_blocks()))));
+      GALLOPER_CHECK_MSG(split >= 1, "--split must be >= 1");
+      opt.max_split_bytes =
+          std::max(chunk_bytes,
+                   static_cast<size_t>(split) / chunk_bytes * chunk_bytes);
+      mr::StoreRunner runner(*mapper, *reducer, opt);
+      const mr::StoreJobReport report = runner.run_report(fs, id);
+
+      const mr::LocalRunner oracle(*mapper, *reducer);
+      const bool identical = report.output == oracle.run_plain(file);
+      std::printf(
+          "%s over %zu bytes (%s %zu+%zu+%zu, %zu map slots): %zu splits "
+          "(%zu degraded), %.1f MB original / %.1f MB decoded\n"
+          "  map %.1f ms, shuffle %.1f ms, reduce %.1f ms, %zu output "
+          "records, %s\n",
+          job.c_str(), file_bytes, flags.has("pyramid") ? "pyramid" : "galloper",
+          k, l, g, opt.threads, report.splits, report.degraded_splits,
+          static_cast<double>(report.bytes_original) * 1e-6,
+          static_cast<double>(report.bytes_decoded) * 1e-6,
+          static_cast<double>(report.map_ns) * 1e-6,
+          static_cast<double>(report.shuffle_ns) * 1e-6,
+          static_cast<double>(report.reduce_ns) * 1e-6, report.output.size(),
+          identical ? "bit-identical to plain run" : "OUTPUT MISMATCH");
+      return identical ? 0 : 3;
     }
     if (command == "decode") {
       if (pos.size() != 3) return usage();

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Regenerates every committed bench baseline (BENCH_*.json) with the exact
+# incantations CI's smoke step uses — same env knobs, same composite
+# wrapping — but at full default scale (MB=16, REPS=3) so the committed
+# numbers are stable. Run from the repo root after a Release build:
+#
+#   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
+#   tools/regen_baselines.sh
+#
+# Then eyeball `git diff BENCH_*.json` before committing: ratios should
+# move only if you meant them to. CI gates are relative/floor-based, so a
+# different machine is fine; a different STORY (cache stops winning,
+# pipeline stops overlapping, MR stops being bit-identical) is not.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH=build/bench
+for bin in micro_plan micro_batch micro_io micro_encode load_gen \
+           micro_cache macro_mr compare; do
+  [[ -x "$BENCH/$bin" ]] || {
+    echo "missing $BENCH/$bin — build Release first" >&2; exit 1; }
+done
+
+echo "== BENCH_plan.json"
+GALLOPER_BENCH_JSON=BENCH_plan.json "$BENCH/micro_plan"
+echo "== BENCH_batch.json"
+GALLOPER_BENCH_JSON=BENCH_batch.json "$BENCH/micro_batch"
+echo "== BENCH_io.json"
+GALLOPER_BENCH_JSON=BENCH_io.json "$BENCH/micro_io"
+
+echo "== BENCH_parallel.json"
+# micro_encode emits a raw sweep; the committed baseline nests it under
+# "micro_encode_sweep" (see ci.yml's smoke step, which wraps the same way).
+GALLOPER_BENCH_JSON=BENCH_parallel_raw.json "$BENCH/micro_encode"
+printf '{"micro_encode_sweep":%s}\n' "$(cat BENCH_parallel_raw.json)" \
+  > BENCH_parallel.json
+rm -f BENCH_parallel_raw.json
+
+echo "== BENCH_load.json"
+# Recorded cache-off so the serial/pipelined cells stay distinct; the
+# cache's own win is the micro_cache baseline.
+GALLOPER_CLIENT_CACHE=off GALLOPER_BENCH_JSON=BENCH_load.json \
+  "$BENCH/load_gen" --sweep-admit
+echo "== BENCH_cache.json"
+GALLOPER_BENCH_JSON=BENCH_cache.json "$BENCH/micro_cache"
+echo "== BENCH_mr.json"
+GALLOPER_BENCH_JSON=BENCH_mr.json "$BENCH/macro_mr"
+
+echo
+echo "Sanity: every regenerated baseline must pass its own CI gate"
+"$BENCH/compare" --baseline BENCH_batch.json --current BENCH_batch.json \
+  "speedup:higher:0.6" "bit_identical:min=1"
+"$BENCH/compare" --baseline BENCH_io.json --current BENCH_io.json \
+  "bit_identical:min=1" "cells[1].speedup:min=1.3" \
+  "cells[2].speedup:min=1.3" "cells[3].speedup:min=2"
+"$BENCH/compare" --baseline BENCH_plan.json --current BENCH_plan.json \
+  "speedup:higher:0.6" "speedup:min=0.8" "bit_identical:min=1"
+"$BENCH/compare" --baseline BENCH_parallel.json \
+  --current BENCH_parallel.json "bit_identical:min=1" "speedup:min=0.5"
+"$BENCH/compare" --baseline BENCH_load.json --current BENCH_load.json \
+  "bit_identical:min=1" "pipelined_speedup:min=0.4" \
+  "cells[2].pipelined_speedup:min=0.9" "cells[3].pipelined_speedup:min=0.9"
+"$BENCH/compare" --baseline BENCH_cache.json --current BENCH_cache.json \
+  "bit_identical:min=1" "speedup:min=3" "mirror_mismatches:max=0"
+"$BENCH/compare" --baseline BENCH_mr.json --current BENCH_mr.json \
+  "bit_identical:min=1" "clean_decode_execs:max=0" \
+  "degraded_completed:min=1" "degraded_fallback_splits:min=1" \
+  "map_speedup:min=0.35"
+
+echo
+echo "All baselines regenerated and self-consistent."
+git --no-pager diff --stat -- 'BENCH_*.json' || true
