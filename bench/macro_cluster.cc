@@ -1,0 +1,281 @@
+// macro_cluster: the multi-node control plane measured end to end, in the
+// two shapes the CI gate cares about.
+//
+// Cell 1 — prioritized repair under a throttled node. Several files lose
+// the same block slot when its node is killed; for half of them a
+// preferred repair helper was ALSO lost beforehand, so their rebuild pops
+// at surviving-helper deficit 1 (one more failure from an expensive global
+// decode) while the rest pop at deficit 0. The restarted node's repair
+// bandwidth is throttled to a few blocks per second, so the backlog sits
+// in the queue where the live priority ordering decides pop order — the
+// gated claim is that EVERY deficit-1 repair completes before ANY
+// deficit-0 one (`multi_loss_first`), i.e. the queue repairs the most
+// endangered stripes first exactly when repair capacity is scarce.
+//
+// Cell 2 — rolling restart under concurrent reads. Every hosting node is
+// killed and restarted in sequence (waiting for the repair queue to drain
+// between steps, the rolling-upgrade discipline) while reader threads
+// stream ranges through the pipelined client; every delivered byte is
+// compared against the original file (`mirror_mismatches`), and at exit
+// every block must be back and the queue fully drained (`queue_drained`).
+//
+//   GALLOPER_BENCH_MB    ≈ per-file size in MiB (default 16)
+//   GALLOPER_BENCH_JSON  write machine-readable results there
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "client/striped.h"
+#include "cluster/coordinator.h"
+#include "cluster/node.h"
+#include "cluster/repair_queue.h"
+#include "core/galloper.h"
+#include "sim/cluster.h"
+#include "store/file_store.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace galloper;
+
+namespace {
+
+struct PriorityResult {
+  size_t files = 0;
+  size_t endangered = 0;
+  size_t repairs = 0;          // completed repairs of the victim slot
+  bool multi_loss_first = false;
+  bool drained = false;
+  double elapsed_s = 0;
+  double throttle_bytes_per_s = 0;
+  size_t node_repair_bytes = 0;
+};
+
+PriorityResult run_priority_cell(size_t file_bytes_target) {
+  PriorityResult r;
+  core::GalloperCode code(4, 2, 1);
+  sim::Simulation sim;
+  sim::Cluster cluster(sim, code.num_blocks() + 2, sim::ServerSpec{});
+  store::FileStore fs(cluster, code);
+  cluster::CoordinatorOptions opt;
+  opt.repair_workers = 1;  // sequential completions: pop order is the data
+  cluster::Coordinator coord(fs, opt);
+
+  const size_t chunks = code.engine().num_chunks();
+  const size_t chunk_bytes = std::max<size_t>(64, file_bytes_target / chunks);
+
+  Rng rng(0xc1u);
+  r.files = 10;
+  std::vector<store::FileId> ids;
+  for (size_t i = 0; i < r.files; ++i)
+    ids.push_back(
+        fs.write(ConstByteSpan(random_buffer(chunks * chunk_bytes, rng))));
+
+  // Half the files lose a preferred helper of the victim slot first:
+  // their victim repairs are the endangered (deficit-1) half.
+  const size_t victim = 0;
+  const size_t helper = fs.code().repair_helpers(victim).at(0);
+  r.endangered = r.files / 2;
+  std::set<store::FileId> endangered;
+  for (size_t i = 0; i < r.endangered; ++i) {
+    endangered.insert(ids[i]);
+    fs.corrupt_block(ids[i], helper, 0);
+  }
+  fs.scrub(/*quarantine=*/true);
+
+  const size_t srv = fs.server_of(victim);
+  const size_t block_bytes = fs.block_bytes(ids[0]);
+  // A few blocks per second: after the 1-second burst allowance the
+  // backlog is admission-paced, which is when priority ordering matters.
+  r.throttle_bytes_per_s = 4.0 * static_cast<double>(block_bytes);
+  coord.node(srv).set_repair_bandwidth(r.throttle_bytes_per_s);
+
+  coord.fail_node(srv);
+  coord.restart_node(srv);  // enqueues the victim slot for every file
+  const double elapsed = bench::timed([&] {
+    r.drained = coord.repair_queue().drain(300.0);
+  });
+  r.elapsed_s = elapsed;
+  r.node_repair_bytes = coord.node(srv).repair_bytes();
+
+  // Pop order, read off the completion log: all deficit-1 victims first.
+  bool saw_routine = false;
+  r.multi_loss_first = true;
+  for (const auto& c : coord.repair_queue().completions()) {
+    if (c.block != victim) continue;
+    ++r.repairs;
+    const bool is_endangered = endangered.count(c.file) > 0;
+    if (!is_endangered) saw_routine = true;
+    if (is_endangered && saw_routine) r.multi_loss_first = false;
+  }
+  if (r.repairs != r.files) r.multi_loss_first = false;
+  return r;
+}
+
+struct RollingResult {
+  size_t nodes_rolled = 0;
+  uint64_t reads = 0;
+  uint64_t mismatches = 0;
+  uint64_t unavailable = 0;
+  bool drained = false;
+  bool all_blocks_back = false;
+  bool bit_identical = false;
+  double elapsed_s = 0;
+};
+
+RollingResult run_rolling_cell(size_t file_bytes_target) {
+  RollingResult r;
+  core::GalloperCode code(4, 2, 1);
+  sim::Simulation sim;
+  sim::Cluster cluster(sim, code.num_blocks() + 2, sim::ServerSpec{});
+  store::FileStore fs(cluster, code);
+  cluster::CoordinatorOptions opt;
+  opt.repair_workers = 2;
+  cluster::Coordinator coord(fs, opt);
+
+  const size_t chunks = code.engine().num_chunks();
+  const size_t chunk_bytes = std::max<size_t>(64, file_bytes_target / chunks);
+
+  Rng rng(0xc2u);
+  const size_t num_files = 3;
+  std::vector<Buffer> files;
+  std::vector<store::FileId> ids;
+  for (size_t i = 0; i < num_files; ++i) {
+    files.push_back(random_buffer(chunks * chunk_bytes, rng));
+    ids.push_back(fs.write(ConstByteSpan(files.back())));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0}, mismatches{0}, unavailable{0};
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      client::StripedReader reader(fs);
+      Rng trng(0x51 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t i = trng.next_below(num_files);
+        const size_t len = files[i].size();
+        const size_t off = trng.next_below(len / 2);
+        const size_t n = 1 + trng.next_below(len - off);
+        const auto out = reader.read_range(ids[i], off, n);
+        reads.fetch_add(1, std::memory_order_relaxed);
+        if (!out.has_value()) {
+          unavailable.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (!std::equal(out->begin(), out->end(), files[i].begin() + off))
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  const auto placement = fs.placement();
+  bool drained = true;
+  const double elapsed = bench::timed([&] {
+    for (size_t srv : placement) {
+      coord.fail_node(srv);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      coord.restart_node(srv);
+      drained = coord.repair_queue().drain(300.0) && drained;
+    }
+  });
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  r.nodes_rolled = placement.size();
+  r.reads = reads.load();
+  r.mismatches = mismatches.load();
+  r.unavailable = unavailable.load();
+  r.drained = drained;
+  r.elapsed_s = elapsed;
+
+  r.all_blocks_back = true;
+  bool final_reads_ok = true;
+  for (size_t i = 0; i < num_files; ++i) {
+    for (size_t b = 0; b < code.num_blocks(); ++b)
+      if (!fs.block_available(ids[i], b)) r.all_blocks_back = false;
+    const auto back = fs.read(ids[i]);
+    if (!back.has_value() || *back != files[i]) final_reads_ok = false;
+  }
+  r.bit_identical = r.mismatches == 0 && final_reads_ok;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("macro_cluster",
+                      "multi-node cluster: prioritized repair under a "
+                      "throttled node + rolling restart under reads");
+
+  // Priority cell runs at a fraction of the configured size: its wall is
+  // dominated by the deliberate throttle, not by bytes moved.
+  const size_t file_bytes = bench::block_mib() << 20;
+  const PriorityResult prio = run_priority_cell(file_bytes / 4);
+  const RollingResult roll = run_rolling_cell(file_bytes);
+
+  Table table({"cell", "metric", "value"});
+  table.add_row({"priority", "files (victim-slot repairs)",
+                 Table::num(prio.files)});
+  table.add_row({"priority", "endangered (deficit-1)",
+                 Table::num(prio.endangered)});
+  table.add_row({"priority", "repairs completed", Table::num(prio.repairs)});
+  table.add_row({"priority", "multi-loss repaired first",
+                 prio.multi_loss_first ? "yes" : "NO"});
+  table.add_row({"priority", "queue drained", prio.drained ? "yes" : "NO"});
+  table.add_row({"priority", "throttle (MB/s)",
+                 Table::num(prio.throttle_bytes_per_s / 1e6, 2)});
+  table.add_row({"priority", "elapsed (s)", Table::num(prio.elapsed_s, 3)});
+  table.add_row({"rolling", "nodes rolled", Table::num(roll.nodes_rolled)});
+  table.add_row({"rolling", "concurrent reads", Table::num(roll.reads)});
+  table.add_row({"rolling", "mirror mismatches",
+                 Table::num(roll.mismatches)});
+  table.add_row({"rolling", "transient unavailable",
+                 Table::num(roll.unavailable)});
+  table.add_row({"rolling", "bit-identical", roll.bit_identical ? "yes"
+                                                                : "NO"});
+  table.add_row({"rolling", "queue drained", roll.drained ? "yes" : "NO"});
+  table.add_row({"rolling", "elapsed (s)", Table::num(roll.elapsed_s, 3)});
+  table.print();
+
+  const bool queue_drained = prio.drained && roll.drained;
+  if (const char* path = bench::bench_json_path()) {
+    bench::JsonWriter json;
+    json.begin_object();
+    json.key("bench").value("macro_cluster");
+    bench::write_context(json);
+    json.key("priority").begin_object();
+    json.key("files").value(prio.files);
+    json.key("endangered").value(prio.endangered);
+    json.key("repairs").value(prio.repairs);
+    json.key("multi_loss_first").value(prio.multi_loss_first ? 1 : 0);
+    json.key("throttle_bytes_per_s").value(prio.throttle_bytes_per_s);
+    json.key("node_repair_bytes").value(prio.node_repair_bytes);
+    json.key("elapsed_s").value(prio.elapsed_s);
+    json.end_object();
+    json.key("rolling").begin_object();
+    json.key("nodes_rolled").value(roll.nodes_rolled);
+    json.key("reads").value(roll.reads);
+    json.key("mismatches").value(roll.mismatches);
+    json.key("unavailable").value(roll.unavailable);
+    json.key("elapsed_s").value(roll.elapsed_s);
+    json.end_object();
+    // Gate keys, hoisted to the top level for the compare specs.
+    json.key("bit_identical").value(roll.bit_identical ? 1 : 0);
+    json.key("mirror_mismatches").value(roll.mismatches);
+    json.key("queue_drained").value(queue_drained ? 1 : 0);
+    json.key("multi_loss_first").value(prio.multi_loss_first ? 1 : 0);
+    json.key("repairs").value(prio.repairs);
+    json.end_object();
+    bench::write_json_file(path, json);
+  }
+
+  const bool ok = prio.multi_loss_first && prio.repairs == prio.files &&
+                  roll.bit_identical && roll.all_blocks_back && queue_drained;
+  if (!ok) std::printf("FAIL: see table above\n");
+  return ok ? 0 : 1;
+}

@@ -152,10 +152,15 @@ std::optional<Buffer> StripedReader::read_range(store::FileId id,
     record();
     return out;
   } catch (const SessionInvalid&) {
-    // The snapshot went stale (concurrent quarantine). Direct read_range
-    // re-verifies everything from scratch — strictly slower, always right.
+    // The snapshot went stale (concurrent quarantine). The nofault direct
+    // read re-verifies everything from scratch — strictly slower, always
+    // right — with the fault schedule PINNED: this call already drew (and
+    // served) its schedule through the session + batch fetches above, and
+    // re-drawing for the retry would make the process-wide seeded fault
+    // sequence depend on whether the race hit, so degraded chaos runs
+    // would stop replaying deterministically.
     counters().fallbacks.fetch_add(1, std::memory_order_relaxed);
-    auto out = store_.read_range(id, offset, length);
+    auto out = store_.read_range_nofault(id, offset, length);
     record();
     return out;
   }

@@ -1,0 +1,95 @@
+// DataNode: one member of the multi-node cluster — the promotion of "a
+// server" from a liveness flag inside FileStore to a real node with its
+// own identity, I/O pool, lifecycle state, and repair-bandwidth budget.
+//
+// A node wraps exactly one sim::Server (node id == server id). Its block
+// directory — which slots it currently hosts — is the Coordinator's
+// placement restricted to this server; the node itself owns the two things
+// that are per-node RESOURCES rather than per-node metadata:
+//
+//  * an io::AsyncIo pool: repairs targeting this node gather their helpers
+//    through the node's own pool (FileStore::repair's `io` parameter), so
+//    a repair storm on one node queues behind that node's disks instead of
+//    occupying the process-wide client pool;
+//  * a repair-bandwidth throttle: a token bucket over real wall time.
+//    Production repair schedulers cap per-node rebuild traffic so repairs
+//    do not starve foreground reads (cf. the ytsaurus chunk_replicator's
+//    per-node replication budgets); acquire_repair_bandwidth(bytes) blocks
+//    the repair worker until the budget allows the transfer.
+//
+// Thread safety: state() transitions and throttle acquisitions may race
+// chaos actors and repair workers; both are internally synchronized.
+// Liveness itself stays on the sim::Server epoch (see sim/cluster.h) —
+// the node adds no second liveness flag to get out of sync with it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "io/async.h"
+#include "sim/cluster.h"
+
+namespace galloper::cluster {
+
+enum class NodeState {
+  kActive,          // serving + repair target
+  kDraining,        // decommission in progress: no NEW blocks placed here
+  kDecommissioned,  // drained: hosts no slots, receives nothing
+};
+
+class DataNode {
+ public:
+  // `server` must outlive the node. io_threads sizes the node's private
+  // async pool (0 = the pool's own default). repair_bytes_per_s caps
+  // repair traffic INTO this node; 0 = unthrottled.
+  DataNode(sim::Server& server, size_t io_threads, double repair_bytes_per_s);
+
+  size_t id() const { return server_.id(); }
+  sim::Server& server() { return server_; }
+  const sim::Server& server() const { return server_; }
+  io::AsyncIo& io() { return io_; }
+
+  bool alive() const { return server_.alive(); }
+  uint64_t epoch() const { return server_.epoch(); }
+
+  NodeState state() const { return state_.load(std::memory_order_acquire); }
+  void set_state(NodeState s) { state_.store(s, std::memory_order_release); }
+
+  // Blocks the caller until `bytes` of repair bandwidth are available,
+  // then charges them. Token bucket: refills at repair_bytes_per_s, burst
+  // capped at one second of budget, so a long-idle node cannot dump an
+  // unbounded backlog in one instant. No-op when unthrottled.
+  void acquire_repair_bandwidth(size_t bytes);
+  void set_repair_bandwidth(double bytes_per_s);
+  double repair_bandwidth() const;
+
+  // Repair traffic accounting (completed installs targeting this node).
+  void record_repair(size_t bytes) {
+    repairs_completed_.fetch_add(1, std::memory_order_relaxed);
+    repair_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  size_t repairs_completed() const {
+    return repairs_completed_.load(std::memory_order_relaxed);
+  }
+  size_t repair_bytes() const {
+    return repair_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  sim::Server& server_;
+  io::AsyncIo io_;
+  std::atomic<NodeState> state_{NodeState::kActive};
+
+  mutable std::mutex throttle_mu_;
+  double rate_ = 0;    // bytes/s; 0 = unthrottled
+  double tokens_ = 0;  // available bytes
+  std::chrono::steady_clock::time_point last_refill_;
+
+  std::atomic<size_t> repairs_completed_{0};
+  std::atomic<size_t> repair_bytes_{0};
+};
+
+}  // namespace galloper::cluster

@@ -1,0 +1,210 @@
+#include "cluster/repair_queue.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "fault/fault.h"
+#include "util/check.h"
+
+namespace galloper::cluster {
+
+RepairQueue::RepairQueue(store::FileStore& store,
+                         const std::vector<std::unique_ptr<DataNode>>& nodes,
+                         RepairQueueOptions opt)
+    : store_(store), nodes_(nodes), opt_(opt) {
+  GALLOPER_CHECK(opt_.workers >= 1);
+  workers_.reserve(opt_.workers);
+  for (size_t w = 0; w < opt_.workers; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+RepairQueue::~RepairQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void RepairQueue::enqueue(store::FileId file, size_t block) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!queued_.insert({file, block}).second) return;  // already scheduled
+    pending_.push_back(Task{file, block, next_seq_++});
+  }
+  cv_.notify_one();
+}
+
+size_t RepairQueue::enqueue_lost() {
+  size_t scheduled = 0;
+  const size_t files = store_.num_files();
+  for (store::FileId id = 0; id < files; ++id) {
+    for (size_t b : store_.lost_blocks(id)) {
+      if (!store_.cluster().server(store_.server_of(b)).alive()) continue;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (unrecoverable_.count({id, b})) continue;
+        if (!queued_.insert({id, b}).second) continue;
+        pending_.push_back(Task{id, b, next_seq_++});
+      }
+      ++scheduled;
+      cv_.notify_one();
+    }
+  }
+  return scheduled;
+}
+
+void RepairQueue::clear_unrecoverable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.unrecoverable = 0;
+  unrecoverable_.clear();
+}
+
+size_t RepairQueue::deficit(store::FileId file, size_t block) const {
+  size_t d = 0;
+  for (size_t h : store_.code().repair_helpers(block))
+    if (!store_.block_available(file, h)) ++d;
+  return d;
+}
+
+size_t RepairQueue::pick_locked() const {
+  // Live priority: (helper deficit desc, file's total lost blocks desc,
+  // seq asc). Recomputed per pop because repairs and kills since enqueue
+  // change both components. O(pending) scan — the queue is maintenance
+  // traffic, not a data path.
+  size_t best = SIZE_MAX;
+  size_t best_deficit = 0, best_lost = 0;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    const Task& t = pending_[i];
+    const size_t d = deficit(t.file, t.block);
+    const size_t lost = store_.lost_blocks(t.file).size();
+    if (best == SIZE_MAX || d > best_deficit ||
+        (d == best_deficit && lost > best_lost) ||
+        (d == best_deficit && lost == best_lost &&
+         t.seq < pending_[best].seq)) {
+      best = i;
+      best_deficit = d;
+      best_lost = lost;
+    }
+  }
+  return best;
+}
+
+void RepairQueue::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+    if (stop_) return;
+    const size_t i = pick_locked();
+    if (i == SIZE_MAX) continue;
+    Task task = pending_[i];
+    pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));
+    const size_t deficit_at_pop = deficit(task.file, task.block);
+    ++in_flight_;
+    lock.unlock();
+
+    enum class Outcome { kDone, kStale, kDead, kRequeue, kUnrecoverable };
+    Outcome outcome;
+    ++task.attempts;
+    const size_t server = store_.server_of(task.block);
+    if (store_.block_available(task.file, task.block)) {
+      outcome = Outcome::kStale;  // healed since enqueue (reader self-heal)
+    } else if (!store_.cluster().server(server).alive()) {
+      // Target died while queued: drop — the node's restart re-enqueues
+      // its slots, and drain()'s closing scan self-corrects any race.
+      outcome = Outcome::kDead;
+    } else {
+      DataNode* node = server < nodes_.size() ? nodes_[server].get() : nullptr;
+      const size_t bytes = store_.block_bytes(task.file);
+      // Charge the throttle BEFORE the repair: the bucket paces admission
+      // into the rebuild, so a backlog on a throttled node stays IN the
+      // queue, where priority keeps reordering it.
+      if (node != nullptr) node->acquire_repair_bandwidth(bytes);
+      try {
+        const auto helpers =
+            store_.repair(task.file, task.block,
+                          node != nullptr ? &node->io() : nullptr);
+        if (helpers.has_value()) {
+          if (node != nullptr) node->record_repair(bytes);
+          outcome = Outcome::kDone;
+        } else if (!store_.cluster().server(server).alive()) {
+          outcome = Outcome::kDead;  // killed mid-repair; epoch check held
+        } else if (task.attempts < opt_.max_attempts) {
+          // Structurally unrecoverable NOW — but a concurrent revive or a
+          // peer's repair can change that; retry within the budget.
+          outcome = Outcome::kRequeue;
+        } else {
+          outcome = Outcome::kUnrecoverable;
+        }
+      } catch (const fault::TransientError&) {
+        outcome = task.attempts < opt_.max_attempts ? Outcome::kRequeue
+                                                    : Outcome::kUnrecoverable;
+      }
+    }
+
+    lock.lock();
+    --in_flight_;
+    switch (outcome) {
+      case Outcome::kDone:
+        ++stats_.completed;
+        completions_.push_back(
+            Completion{task.file, task.block, deficit_at_pop, task.attempts});
+        queued_.erase({task.file, task.block});
+        break;
+      case Outcome::kStale:
+        ++stats_.dropped_stale;
+        queued_.erase({task.file, task.block});
+        break;
+      case Outcome::kDead:
+        ++stats_.dropped_dead;
+        queued_.erase({task.file, task.block});
+        break;
+      case Outcome::kRequeue:
+        ++stats_.requeued;
+        pending_.push_back(Task{task.file, task.block, next_seq_++,
+                                task.attempts});
+        break;
+      case Outcome::kUnrecoverable:
+        ++stats_.unrecoverable;
+        unrecoverable_.insert({task.file, task.block});
+        queued_.erase({task.file, task.block});
+        break;
+    }
+    if (outcome == Outcome::kRequeue) cv_.notify_one();
+    idle_cv_.notify_all();
+  }
+}
+
+bool RepairQueue::drain(double timeout_s) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      const bool idle = idle_cv_.wait_until(lock, deadline, [this] {
+        return pending_.empty() && in_flight_ == 0;
+      });
+      if (!idle) return false;
+    }
+    // Closing scan: anything still lost with an alive target is work the
+    // queue owes (a dropped-task race, or a revive since the last pass).
+    if (enqueue_lost() == 0) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+  }
+}
+
+RepairQueue::Stats RepairQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.pending = pending_.size();
+  s.in_flight = in_flight_;
+  return s;
+}
+
+std::vector<RepairQueue::Completion> RepairQueue::completions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completions_;
+}
+
+}  // namespace galloper::cluster

@@ -34,7 +34,7 @@ size_t heal_lost(store::FileStore& fs, SoakOptions const& opt, bool strict) {
       for (size_t b : fs.lost_blocks(id)) {
         // A block on a still-dead server has nowhere to be stored back;
         // it is healed by the revive op (or the final pass) later.
-        if (!fs.cluster().server(b).alive()) {
+        if (!fs.cluster().server(fs.server_of(b)).alive()) {
           remaining = true;
           continue;
         }
@@ -115,8 +115,9 @@ SoakReport run_soak(const SoakOptions& options) {
     std::vector<size_t> avail;
     for (size_t x = 0; x < num_blocks; ++x) {
       if (x == b || known_bad[id].count(x)) continue;
-      const bool present = id < fs.num_files() ? fs.block_available(id, x)
-                                               : cluster.server(x).alive();
+      const bool present = id < fs.num_files()
+                               ? fs.block_available(id, x)
+                               : cluster.server(fs.server_of(x)).alive();
       if (present) avail.push_back(x);
     }
     return code.decodable(avail);

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,12 +40,38 @@ class Server {
   const Resource& nic() const { return nic_; }
   const Resource& cpu() const { return cpu_; }
 
-  // The liveness flag is atomic so chaos actors (fail_server mid-job) may
-  // flip it while concurrent readers poll it; the FileStore's block state
-  // stays under its own lock — this only covers the flag itself.
-  bool alive() const { return alive_.load(std::memory_order_acquire); }
-  void fail() { alive_.store(false, std::memory_order_release); }
-  void recover() { alive_.store(true, std::memory_order_release); }
+  // Liveness is a monotonic *epoch*, not a flag: even = alive, odd = dead,
+  // and every fail()/recover() transition bumps it by one. Chaos actors
+  // (fail_server mid-job) flip it while concurrent readers poll it; the
+  // FileStore's block state stays under its own lock — this only covers
+  // liveness itself. The epoch is what lets long operations detect that a
+  // server they started against has been through a kill (or a full
+  // kill/revive cycle) since: capture epoch() up front, re-check before
+  // committing. A raw bool cannot express that — after kill+revive it
+  // compares equal again, which is exactly the resurrection race
+  // (install-onto-a-revived-empty-server) documented in file_store.h.
+  bool alive() const {
+    return (epoch_.load(std::memory_order_acquire) & 1) == 0;
+  }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  // Idempotent transitions: a racing double-fail (two chaos actors killing
+  // the same server) bumps the epoch once, not twice — the CAS only
+  // advances from the matching parity.
+  void fail() {
+    uint64_t e = epoch_.load(std::memory_order_relaxed);
+    while ((e & 1) == 0 &&
+           !epoch_.compare_exchange_weak(e, e + 1, std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  void recover() {
+    uint64_t e = epoch_.load(std::memory_order_relaxed);
+    while ((e & 1) == 1 &&
+           !epoch_.compare_exchange_weak(e, e + 1, std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+    }
+  }
 
  private:
   size_t id_;
@@ -52,7 +79,7 @@ class Server {
   Resource disk_;
   Resource nic_;
   Resource cpu_;
-  std::atomic<bool> alive_{true};
+  std::atomic<uint64_t> epoch_{0};
 };
 
 class Cluster {

@@ -45,6 +45,44 @@ FileStore::FileStore(sim::Cluster& cluster, const codes::ErasureCode& code)
       cache_(&client::BlockCache::global()) {
   GALLOPER_CHECK_MSG(cluster.size() >= code.num_blocks(),
                      "cluster smaller than the code's block count");
+  placement_.resize(code.num_blocks());
+  for (size_t b = 0; b < placement_.size(); ++b) placement_[b] = b;
+}
+
+size_t FileStore::server_of(size_t b) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  GALLOPER_CHECK(b < placement_.size());
+  return placement_[b];
+}
+
+std::vector<size_t> FileStore::placement() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return placement_;
+}
+
+void FileStore::set_placement(std::vector<size_t> placement) {
+  GALLOPER_CHECK_MSG(placement.size() == code_.num_blocks(),
+                     "placement wants one server per block slot");
+  std::vector<bool> used(cluster_.size(), false);
+  for (size_t s : placement) {
+    GALLOPER_CHECK_MSG(s < cluster_.size(), "placement beyond the cluster");
+    GALLOPER_CHECK_MSG(!used[s], "placement maps two slots to one server");
+    used[s] = true;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  placement_ = std::move(placement);
+}
+
+void FileStore::reassign_block(size_t b, size_t server) {
+  GALLOPER_CHECK(server < cluster_.size());
+  GALLOPER_CHECK_MSG(cluster_.server(server).alive(),
+                     "cannot reassign a block onto a dead server");
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  GALLOPER_CHECK(b < placement_.size());
+  for (size_t o = 0; o < placement_.size(); ++o)
+    GALLOPER_CHECK_MSG(o == b || placement_[o] != server,
+                       "server " << server << " already hosts slot " << o);
+  placement_[b] = server;
 }
 
 FileStore::~FileStore() {
@@ -80,7 +118,8 @@ std::optional<FileStore::VerifiedBlockCopy> FileStore::read_block_for_cache(
   GALLOPER_CHECK(id < files_.size());
   GALLOPER_CHECK(b < code_.num_blocks());
   const auto& blk = files_[id][b];
-  if (!blk.has_value() || !cluster_.server(b).alive()) return std::nullopt;
+  if (!blk.has_value() || !cluster_.server(placement_[b]).alive())
+    return std::nullopt;
   // One lock hold covers all three fields: the generation returned here is
   // provably the one these exact bytes were stored under, so an entry the
   // caller verifies and inserts under it can never be a stale snapshot.
@@ -210,7 +249,7 @@ std::optional<ConstByteSpan> FileStore::block_locked(FileId id,
                                                      size_t b) const {
   GALLOPER_CHECK(id < files_.size());
   GALLOPER_CHECK(b < code_.num_blocks());
-  if (!cluster_.server(b).alive() || !files_[id][b].has_value())
+  if (!cluster_.server(placement_[b]).alive() || !files_[id][b].has_value())
     return std::nullopt;
   return ConstByteSpan(*files_[id][b]);
 }
@@ -231,12 +270,18 @@ bool FileStore::block_available(FileId id, size_t b) const {
 
 void FileStore::fail_server(size_t server) {
   GALLOPER_CHECK(server < cluster_.size());
+  // Epoch bump FIRST, sweep second: a concurrent repair install holds the
+  // exclusive lock and re-checks the epoch under it, so it either installs
+  // before this sweep (and the sweep resets it — lost, consistent) or sees
+  // the bumped epoch and aborts. Either order leaves the block lost.
   cluster_.server(server).fail();
-  if (server >= code_.num_blocks()) return;
   std::unique_lock<std::shared_mutex> lock(mu_);
-  for (FileId id = 0; id < files_.size(); ++id) {
-    if (files_[id][server].has_value()) bump_generation_locked(id, server);
-    files_[id][server].reset();
+  for (size_t b = 0; b < placement_.size(); ++b) {
+    if (placement_[b] != server) continue;
+    for (FileId id = 0; id < files_.size(); ++id) {
+      if (files_[id][b].has_value()) bump_generation_locked(id, b);
+      files_[id][b].reset();
+    }
   }
 }
 
@@ -361,7 +406,8 @@ std::optional<Buffer> FileStore::read_original_split(FileId id, size_t b,
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     const auto& blk = files_[id][b];
-    if (!blk.has_value() || !cluster_.server(b).alive()) return std::nullopt;
+    if (!blk.has_value() || !cluster_.server(placement_[b]).alive())
+      return std::nullopt;
     if (crc32c(*blk) == checksums_[id][b]) {
       out.emplace(length);
       std::copy_n(blk->data() + block_offset, length, out->data());
@@ -396,7 +442,7 @@ std::optional<Buffer> FileStore::read_original_split(FileId id, size_t b,
   }
   if (quarantined) {
     counters_.degraded_reads.fetch_add(1, std::memory_order_relaxed);
-    if (cluster_.server(b).alive()) {
+    if (cluster_.server(server_of(b)).alive()) {
       try {
         if (repair(id, b))
           counters_.auto_repairs.fetch_add(1, std::memory_order_relaxed);
@@ -566,7 +612,7 @@ FileStore::ScrubReport FileStore::scrub_and_repair() {
     bool progress = false;
     std::vector<CorruptBlock> remaining;
     for (const CorruptBlock& c : pending) {
-      if (!cluster_.server(c.block).alive()) {
+      if (!cluster_.server(server_of(c.block)).alive()) {
         remaining.push_back(c);  // nowhere to store the rebuilt bytes (yet)
         continue;
       }
@@ -610,6 +656,17 @@ struct Candidate {
 
 std::optional<Buffer> FileStore::read_range(FileId id, size_t offset,
                                             size_t length) {
+  return read_range_impl(id, offset, length, /*draw_faults=*/true);
+}
+
+std::optional<Buffer> FileStore::read_range_nofault(FileId id, size_t offset,
+                                                    size_t length) {
+  return read_range_impl(id, offset, length, /*draw_faults=*/false);
+}
+
+std::optional<Buffer> FileStore::read_range_impl(FileId id, size_t offset,
+                                                 size_t length,
+                                                 bool draw_faults) {
   // Hot-head fast path: a range fully covered by current-generation cached
   // entries is served with no probe fetches, no injector draws, and no
   // trip through the I/O pool (not counted as a verified read — nothing
@@ -636,10 +693,14 @@ std::optional<Buffer> FileStore::read_range(FileId id, size_t offset,
                                  << ") beyond file size " << fbytes);
     for (size_t b = 0; b < code_.num_blocks(); ++b) {
       if (!block_available_locked(id, b)) continue;
-      const double stall_s = injector_ ? injector_->read_latency() : 0;
+      // The nofault form draws NOTHING: the caller (a stale-session
+      // fallback) already paid this read's schedule — see the header.
+      const double stall_s =
+          (draw_faults && injector_) ? injector_->read_latency() : 0;
       constexpr size_t kReadAttempts = 3;
       bool readable = true;
-      for (size_t tries = 0; injector_ && injector_->read_fails();) {
+      for (size_t tries = 0;
+           draw_faults && injector_ && injector_->read_fails();) {
         counters_.transient_faults.fetch_add(1, std::memory_order_relaxed);
         if (++tries >= kReadAttempts) {
           readable = false;
@@ -735,9 +796,12 @@ std::optional<Buffer> FileStore::read_range(FileId id, size_t offset,
     counters_.degraded_reads.fetch_add(1, std::memory_order_relaxed);
 
   // Self-heal: rebuild what the read quarantined, so the NEXT read is
-  // clean. Plans come from the store's pinned pattern map.
+  // clean. Plans come from the store's pinned pattern map. The nofault
+  // form skips this (repair draws a gather + write-fault schedule); its
+  // quarantines heal on the next scrub or drawing read.
   for (size_t b : corrupt) {
-    if (!cluster_.server(b).alive()) continue;
+    if (!draw_faults) break;
+    if (!cluster_.server(server_of(b)).alive()) continue;
     try {
       if (repair(id, b))
         counters_.auto_repairs.fetch_add(1, std::memory_order_relaxed);
@@ -820,7 +884,7 @@ FileStore::ReadSession FileStore::begin_verified_read(FileId id) {
   if (!corrupt.empty())
     counters_.degraded_reads.fetch_add(1, std::memory_order_relaxed);
   for (size_t b : corrupt) {
-    if (!cluster_.server(b).alive()) continue;
+    if (!cluster_.server(server_of(b)).alive()) continue;
     try {
       if (repair(id, b))
         counters_.auto_repairs.fetch_add(1, std::memory_order_relaxed);
@@ -841,7 +905,8 @@ bool FileStore::fetch_block_pieces(
   GALLOPER_CHECK(id < files_.size());
   GALLOPER_CHECK(b < code_.num_blocks());
   const auto& blk = files_[id][b];
-  if (!blk.has_value() || !cluster_.server(b).alive()) return false;
+  if (!blk.has_value() || !cluster_.server(placement_[b]).alive())
+    return false;
   GALLOPER_CHECK_MSG(dst.size() >= blk->size(),
                      "fetch_block_pieces dst smaller than the block");
   for (const auto& [lo, hi] : pieces) {
@@ -861,10 +926,11 @@ std::shared_ptr<const codes::CodecPlan> FileStore::pinned_repair_plan(
 }
 
 std::optional<std::vector<size_t>> FileStore::repair(FileId id,
-                                                     size_t block_id) {
+                                                     size_t block_id,
+                                                     io::AsyncIo* io) {
   GALLOPER_CHECK(block_id < code_.num_blocks());
-  GALLOPER_CHECK_MSG(cluster_.server(block_id).alive(),
-                     "revive the target server before repairing onto it");
+  if (!cluster_.server(server_of(block_id)).alive())
+    return std::nullopt;  // dead target: revive (or reassign) first
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     GALLOPER_CHECK(id < files_.size());
@@ -873,8 +939,14 @@ std::optional<std::vector<size_t>> FileStore::repair(FileId id,
 
   // Transient helper-read faults (injected) are retried with a fresh
   // helper gather; persistent ones surface as TransientError — distinct
-  // from nullopt, which means structurally unrecoverable.
+  // from nullopt, which means structurally unrecoverable (or the target
+  // server died mid-repair — see the install re-check below).
   constexpr size_t kRepairReadAttempts = 6;
+  // Stale-install retries (kill/revive cycle or slot reassignment raced
+  // the attempt) don't consume transient-fault attempts, but a chaos actor
+  // hammering the target must not pin this call forever.
+  constexpr size_t kMaxIncarnationRetries = 8;
+  size_t incarnation_retries = 0;
   for (size_t attempt = 0; attempt < kRepairReadAttempts; ++attempt) {
     // Helper selection + CRC verification happen atomically under the
     // exclusive lock: a bad helper is quarantined like any other corrupt
@@ -885,9 +957,21 @@ std::optional<std::vector<size_t>> FileStore::repair(FileId id,
     size_t bbytes = 0;  // block size, for the gather's budget accounting
     bool helper_quarantined = false;
     bool already_repaired = false;
+    // The attempt's view of the TARGET: which server hosts the slot, and
+    // that server's liveness epoch. Everything this attempt rebuilds is
+    // only valid for this exact incarnation — the install below re-checks
+    // both under the exclusive lock and aborts on any change, because a
+    // kill/revive cycle in between means the revive declared the block
+    // lost and installing a pre-cycle rebuild would silently resurrect it
+    // (the race file_store.h used to merely document).
+    size_t target_server = 0;
+    uint64_t target_epoch = 0;
     {
       std::unique_lock<std::shared_mutex> lock(mu_);
       bbytes = file_block_bytes_[id];
+      target_server = placement_[block_id];
+      target_epoch = cluster_.server(target_server).epoch();
+      if ((target_epoch & 1) != 0) return std::nullopt;  // died since entry
       if (files_[id][block_id].has_value()) {
         already_repaired = true;  // a concurrent reader healed it first
       } else {
@@ -946,7 +1030,7 @@ std::optional<std::vector<size_t>> FileStore::repair(FileId id,
     // code can rebuild from (drafted spares). The `hedged` gate keeps
     // no-stall repairs on the pinned plan: a partial subset must never
     // grab a fresh pattern just because its probes finished first.
-    io::FetchSet fetches;
+    io::FetchSet fetches(io ? *io : io::AsyncIo::global());
     bool hedged = false;
     auto fetch_probe = [this] {
       return [this] {
@@ -1037,6 +1121,25 @@ std::optional<std::vector<size_t>> FileStore::repair(FileId id,
           std::span<uint8_t>(rebuilt->data(), rebuilt->size()));
     {
       std::unique_lock<std::shared_mutex> lock(mu_);
+      // Liveness-epoch re-check (the revive-vs-in-flight-repair fix): the
+      // rebuilt bytes belong to the incarnation captured at attempt start.
+      // fail_server bumps the epoch BEFORE its exclusive-lock sweep, so
+      // under this lock any kill (or kill/revive cycle, or reassign_block
+      // cutover) that raced this attempt is visible here.
+      const uint64_t now_epoch = cluster_.server(target_server).epoch();
+      if (placement_[block_id] != target_server || now_epoch != target_epoch) {
+        if (placement_[block_id] == target_server && (now_epoch & 1) != 0)
+          return std::nullopt;  // target is dead NOW: the block stays lost
+        // Kill/revive cycle or slot reassignment, target usable again:
+        // discard the stale rebuild and run a fresh attempt against the
+        // new incarnation (helpers re-read, epoch re-captured).
+        if (++incarnation_retries > kMaxIncarnationRetries)
+          throw fault::TransientError(
+              "target of repair of block " + std::to_string(block_id) +
+              " kept changing incarnation");
+        --attempt;
+        continue;
+      }
       // A concurrent repair may have won the race; its bytes are as good
       // as ours (both CRC-verified rebuilds of the same block).
       if (!files_[id][block_id].has_value()) {

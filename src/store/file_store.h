@@ -4,8 +4,13 @@
 // account simulated time and disk/network I/O — the same split the paper
 // has between its C++ coding library and the Hadoop/HDFS deployment.
 //
-// Placement: file blocks go on servers [0, num_blocks); extra cluster
-// servers act as replacement targets for recovery.
+// Placement: block slot b of every file lives on server placement()[b]
+// (identity by default — the single-node degenerate case where blocks go
+// on servers [0, num_blocks)); extra cluster servers act as replacement
+// targets for recovery and as drain destinations. cluster::Coordinator
+// installs a topology-aware placement (src/store/placement) and moves
+// slots between servers with reassign_block, so every data path below
+// runs unchanged against a real multi-node layout.
 //
 // Thread safety: the data paths (write/read/read_range/update_range/repair/
 // scrub and the client-session API) may run concurrently from many client
@@ -15,10 +20,17 @@
 // so a parked probe cannot wedge a writer. The pinned repair-plan map has
 // its own mutex, and the read counters are atomics snapshotted by value.
 // fail_server/revive_server may race in-flight operations: server liveness
-// is an atomic flag and the block-state sweep runs under the exclusive
-// lock, so a concurrent read either sees the block before the kill (and
-// serves it) or after (and degrades) — chaos actors and mid-job kills rely
-// on this. set_fault_injector/set_block_cache remain attach-at-setup only.
+// is a monotonic atomic EPOCH (even = alive, odd = dead; every transition
+// bumps it — see sim::Server) and the block-state sweep runs under the
+// exclusive lock, so a concurrent read either sees the block before the
+// kill (and serves it) or after (and degrades) — chaos actors and mid-job
+// kills rely on this. repair() captures the target's {server, epoch} when
+// an attempt starts and re-checks both under the exclusive lock before
+// installing, so a repair that began before a kill (or a full kill/revive
+// cycle, which a raw alive flag cannot distinguish from "never died") can
+// never resurrect a block the revive declared lost, and a rebuilt block
+// can never land on a server the slot was reassigned away from.
+// set_fault_injector/set_block_cache remain attach-at-setup only.
 #pragma once
 
 #include <atomic>
@@ -39,6 +51,10 @@ namespace galloper::client {
 class BlockCache;
 }  // namespace galloper::client
 
+namespace galloper::io {
+class AsyncIo;
+}  // namespace galloper::io
+
 namespace galloper::store {
 
 using FileId = size_t;
@@ -54,6 +70,20 @@ class FileStore {
 
   const codes::ErasureCode& code() const { return code_; }
   sim::Cluster& cluster() { return cluster_; }
+
+  // ---- Block→server placement -------------------------------------------
+  //
+  // Identity by default. set_placement installs a full mapping at setup
+  // time (one distinct alive server per block slot); reassign_block is the
+  // drain/decommission cutover and IS safe under load: it flips one slot's
+  // home under the exclusive lock, and because the block's bytes stay
+  // resident across the flip, concurrent reads never degrade — they see
+  // the slot on the old (alive) server before the flip and on the new
+  // (alive) server after.
+  size_t server_of(size_t block) const;
+  std::vector<size_t> placement() const;
+  void set_placement(std::vector<size_t> placement);
+  void reassign_block(size_t block, size_t server);
 
   // Attaches a fault injector (not owned; null detaches). Injected faults:
   // silent bit flips / torn writes on every block store (write, update,
@@ -132,7 +162,7 @@ class FileStore {
   size_t file_bytes(FileId id) const;
 
   // The block contents as stored (nullopt if its server is dead or the
-  // block was lost). Block b of every file lives on server b. The returned
+  // block was lost). Block b of every file lives on server_of(b). The returned
   // span is only stable while no concurrent operation quarantines or
   // rewrites the block — concurrent callers use fetch_block_pieces, which
   // copies under the lock.
@@ -198,6 +228,18 @@ class FileStore {
   // nullopt only if the healthy blocks cannot reconstruct the range.
   std::optional<Buffer> read_range(FileId id, size_t offset, size_t length);
 
+  // read_range with the fault schedule PINNED: consumes zero injector
+  // draws (no latency, no transient-fault rolls, no self-heal repair) while
+  // keeping the verified-read semantics — CRC probes, quarantine, degraded
+  // decode. This is the stale-session retry path: a pipelined client that
+  // falls back here already drew (and served) this read's schedule through
+  // its session + batch fetches, and drawing a SECOND schedule for the
+  // retry would make the process-wide seeded fault sequence depend on race
+  // timing. A block this path quarantines is healed by the next scrub or
+  // drawing read, exactly like a hedge-discovered failure.
+  std::optional<Buffer> read_range_nofault(FileId id, size_t offset,
+                                           size_t length);
+
   // ---- Client read sessions ----------------------------------------------
   //
   // A pipelined client amortizes read_range's per-call verification: ONE
@@ -240,10 +282,18 @@ class FileStore {
   // at the hedge deadline is re-read on a second path and CRC-clean spare
   // helpers are drafted as an alternate decodable route (the stalled
   // loser is cancelled). Returns the blocks read (the disk I/O set);
-  // nullopt if unrecoverable. The rebuilt bytes are stored back (the
-  // server must be alive again, or a spare — block-to-server mapping
-  // stays identity, so revive first).
-  std::optional<std::vector<size_t>> repair(FileId id, size_t block);
+  // nullopt if unrecoverable — structurally, OR because the target server
+  // died mid-repair (the block stays lost; retry after a revive). The
+  // install re-checks the target's {server, liveness epoch} captured when
+  // the attempt started, so a kill (or kill/revive cycle, or slot
+  // reassignment) that lands between rebuild and install aborts the stale
+  // install instead of resurrecting bytes the revive declared lost.
+  // `io` routes the helper gather through a specific async pool (a data
+  // node's own — cluster::RepairQueue passes the target node's pool so a
+  // repair storm doesn't occupy the global client pool); null = the
+  // process-wide pool.
+  std::optional<std::vector<size_t>> repair(FileId id, size_t block,
+                                            io::AsyncIo* io = nullptr);
 
   // Distinct (failed block, helper set) repair patterns this store has
   // compiled so far. Every file of the store shares one code, so a storm
@@ -305,6 +355,10 @@ class FileStore {
   // holds mu_ EXCLUSIVE (the bump must be ordered with the mutation it
   // describes).
   void bump_generation_locked(FileId id, size_t b);
+  // Shared body of read_range/read_range_nofault: `draw_faults` gates
+  // every injector draw (latency, transient faults, self-heal repair).
+  std::optional<Buffer> read_range_impl(FileId id, size_t offset,
+                                        size_t length, bool draw_faults);
 
   sim::Cluster& cluster_;
   const codes::ErasureCode& code_;
@@ -335,9 +389,12 @@ class FileStore {
   // write gate does), so they must NEVER run under mu_.
   std::mutex write_mu_;
 
-  // Guards files_/checksums_/file_block_bytes_ (see the thread-safety note
-  // in the class comment).
+  // Guards files_/checksums_/file_block_bytes_/placement_ (see the
+  // thread-safety note in the class comment).
   mutable std::shared_mutex mu_;
+  // placement_[block slot] → server id (identity unless set_placement /
+  // reassign_block changed it). Liveness of slot b is its server's.
+  std::vector<size_t> placement_;
   // files_[id][block] — nullopt once lost.
   std::vector<std::vector<std::optional<Buffer>>> files_;
   std::vector<std::vector<uint32_t>> checksums_;  // CRC-32C at write time

@@ -75,12 +75,12 @@ RecoveryReport RecoveryManager::recover_all() {
         jobs.size(), wave_start + config_.max_parallel_repairs);
     for (size_t j = wave_start; j < wave_end; ++j) {
       const RepairJob& job = jobs[j];
-      sim::Server* target = &cluster.server(job.block);
+      sim::Server* target = &cluster.server(store_.server_of(job.block));
       auto pending = std::make_shared<size_t>(job.helpers.size());
       for (size_t h : job.helpers) {
         report.disk_bytes_read += job.bytes;
         report.network_bytes += job.bytes;
-        sim::Server* helper = &cluster.server(h);
+        sim::Server* helper = &cluster.server(store_.server_of(h));
         const double fb = static_cast<double>(job.bytes) * inflate;
         const size_t n_helpers = job.helpers.size();
         // Injected latency spike: the helper's disk read stalls before it

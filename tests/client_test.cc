@@ -114,6 +114,82 @@ TEST(StripedReaderTest, StalledHelpersStillBitIdentical) {
   }
 }
 
+// The stale-session fallback must keep the fault schedule PINNED: the
+// pipelined attempt already drew (and served) its injector decisions, and
+// the fallback direct read must not re-draw a fresh schedule — if it did,
+// the process-wide seeded fault sequence would depend on whether the
+// quarantine race hit, and degraded chaos runs would stop replaying
+// deterministically. Regression for the bug where the fallback went
+// through the fault-drawing read_range.
+//
+// Shape of the race: a single-batch read takes a clean verified-read
+// session, then every batch fetch parks in an injected stall; a chaos
+// thread quarantines a block inside that window, the parked probe sees the
+// block gone, and the session goes stale → fallback. A clean read and a
+// clean-session-then-stale read draw IDENTICAL decision counts (session +
+// one draw per fetched slot, all spent before staleness is detected), so
+// on a fallback iteration the delta must equal the clean baseline exactly
+// — any extra draw is the fallback re-drawing.
+TEST(StripedReaderTest, StaleSessionFallbackPinsFaultSchedule) {
+  core::GalloperCode code(4, 2, 1);
+  sim::Simulation sim;
+  sim::Cluster cluster(sim, code.num_blocks() + 2, sim::ServerSpec{});
+  store::FileStore fs(cluster, code);
+  fs.set_block_cache(nullptr);  // cache hits elide draws; keep counts exact
+  fault::FaultInjector inj(99);
+  inj.set_read_latency(1.0, 0.002);  // every fetch parks 2 ms: a wide window
+  fs.set_fault_injector(&inj);
+  Rng rng(13);
+  const size_t chunk = 96;
+  const Buffer file = random_buffer(code.engine().num_chunks() * chunk, rng);
+  const store::FileId id = fs.write(file);
+
+  ReaderOptions opt;
+  opt.batch_chunks = code.engine().num_chunks();  // one batch: fixed draws
+  StripedReader reader(fs, opt);
+
+  // Baseline: decisions one clean read consumes.
+  const uint64_t d0 = inj.stats().decisions;
+  {
+    const auto out = reader.read_range(id, 0, file.size());
+    ASSERT_TRUE(out.has_value());
+    ASSERT_EQ(*out, file);
+  }
+  const uint64_t clean_draws = inj.stats().decisions - d0;
+
+  const size_t victim = 1;  // a data block: always fetched by the batch
+  bool hit = false;
+  for (int iter = 0; iter < 400 && !hit; ++iter) {
+    const uint64_t fallbacks_before = client_stats().fallbacks;
+    const uint64_t before = inj.stats().decisions;
+    std::thread chaos([&, iter] {
+      // Sweep the quarantine across the read's timeline so some iteration
+      // lands it between the session probe and the parked batch fetch.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(100 * (iter % 60)));
+      fs.corrupt_block(id, victim, 0);
+      fs.scrub(/*quarantine=*/true);
+    });
+    const auto out = reader.read_range(id, 0, file.size());
+    chaos.join();
+    const uint64_t delta = inj.stats().decisions - before;
+    ASSERT_TRUE(out.has_value());
+    ASSERT_EQ(*out, file) << "iter " << iter;
+    if (client_stats().fallbacks > fallbacks_before) {
+      hit = true;
+      EXPECT_EQ(delta, clean_draws)
+          << "the fallback re-drew injector decisions instead of keeping "
+             "the already-served schedule pinned (iter "
+          << iter << ")";
+    }
+    if (!fs.block_available(id, victim)) {
+      ASSERT_TRUE(fs.repair(id, victim).has_value());
+    }
+  }
+  EXPECT_TRUE(hit) << "quarantine race never produced a stale session";
+  fs.set_fault_injector(nullptr);
+}
+
 // The pipelined writer commits through write_encoded, which replays the
 // exact checksum-then-write-fault sequence of write(): two stores driven
 // by same-seed injectors must end up with identical raw blocks, whatever

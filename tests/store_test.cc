@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "codes/reed_solomon.h"
 #include "core/galloper.h"
 #include "store/file_store.h"
@@ -112,11 +116,170 @@ TEST_F(FileStoreTest, UnrecoverableAfterTooManyFailures) {
   EXPECT_FALSE(fs.repair(id, 0).has_value());
 }
 
-TEST_F(FileStoreTest, RepairOntoDeadServerThrows) {
+TEST_F(FileStoreTest, RepairOntoDeadServerReturnsNullopt) {
+  // Not a CHECK: the cluster repair queue races chaos kills, so a target
+  // that died between scheduling and execution must be a recoverable
+  // "retry after revive", not a contract violation.
   const Buffer file = make_file();
   const FileId id = fs.write(file);
   fs.fail_server(1);
-  EXPECT_THROW(fs.repair(id, 1), CheckError);
+  EXPECT_FALSE(fs.repair(id, 1).has_value());
+  fs.revive_server(1);
+  EXPECT_TRUE(fs.repair(id, 1).has_value());
+  EXPECT_EQ(*fs.read(id), file);
+}
+
+// The revive-vs-in-flight-repair race, pinned deterministically: a repair
+// rebuilds block 2, and the write-fault gate — which fires between the
+// rebuild and the install, exactly the race window — kills the target
+// server. Pre-fix (raw alive flag, no install re-check) the install landed
+// on the DEAD server, so the subsequent revive_server "brought back" a
+// block that revive's contract declares lost: silent resurrection. The
+// liveness-epoch re-check makes the install abort instead.
+TEST_F(FileStoreTest, KillDuringRepairInstallCannotResurrectAcrossRevive) {
+  const Buffer file = make_file();
+  const FileId id = fs.write(file);
+  fs.corrupt_block(id, 2, 0);
+  fs.scrub(/*quarantine=*/true);
+  ASSERT_FALSE(fs.block_available(id, 2));
+
+  fault::FaultInjector inj(7);
+  inj.set_bit_flip_rate(1.0);  // every store-back consults the gate
+  bool killed = false;
+  inj.set_write_gate([&](size_t, size_t b) {
+    if (b == 2 && !killed) {
+      killed = true;
+      fs.fail_server(2);  // the kill lands mid-repair, pre-install
+    }
+    return false;  // veto the flip itself: only the timing matters
+  });
+  fs.set_fault_injector(&inj);
+  EXPECT_FALSE(fs.repair(id, 2).has_value())
+      << "target died mid-repair: the stale install must be aborted";
+  fs.set_fault_injector(nullptr);
+  ASSERT_TRUE(killed);
+
+  fs.revive_server(2);
+  EXPECT_FALSE(fs.block_available(id, 2))
+      << "revive brings a server back EMPTY — a repair that started before "
+         "the kill must not have resurrected the block onto it";
+  EXPECT_TRUE(fs.repair(id, 2).has_value());
+  EXPECT_EQ(*fs.read(id), file);
+}
+
+// Same window, but a full kill/REVIVE cycle: to a raw alive flag the
+// target looks untouched at install time, which is precisely why the flag
+// was insufficient. The epoch (bumped twice by the cycle) forces the
+// repair to discard the pre-cycle rebuild and run a fresh attempt against
+// the new incarnation — observable as a second store-back (second vetoed
+// write draw).
+TEST_F(FileStoreTest, KillReviveCycleDuringRepairForcesFreshAttempt) {
+  const Buffer file = make_file();
+  const FileId id = fs.write(file);
+  fs.corrupt_block(id, 2, 0);
+  fs.scrub(/*quarantine=*/true);
+
+  fault::FaultInjector inj(7);
+  inj.set_bit_flip_rate(1.0);
+  bool cycled = false;
+  inj.set_write_gate([&](size_t, size_t b) {
+    if (b == 2 && !cycled) {
+      cycled = true;
+      fs.fail_server(2);
+      fs.revive_server(2);  // alive again — but a NEW incarnation
+    }
+    return false;
+  });
+  fs.set_fault_injector(&inj);
+  const auto helpers = fs.repair(id, 2);
+  fs.set_fault_injector(nullptr);
+  ASSERT_TRUE(cycled);
+  ASSERT_TRUE(helpers.has_value()) << "target is alive: the repair retries";
+  EXPECT_EQ(inj.stats().write_vetoes, 2u)
+      << "the post-cycle attempt must re-gather and re-install — installing "
+         "the pre-cycle rebuild would resurrect bytes the revive declared "
+         "lost";
+  EXPECT_EQ(*fs.read(id), file);
+}
+
+// Concurrency hammer for the same race (the TSan matrix runs this with a
+// 2-thread pool): one thread cycles kill/revive on the target while
+// another keeps repairing the block. No interleaving may corrupt state,
+// and once the chaos stops the block must heal bit-exact.
+TEST_F(FileStoreTest, RepairRacesKillReviveHammer) {
+  const Buffer file = make_file();
+  const FileId id = fs.write(file);
+  fs.corrupt_block(id, 2, 0);
+  fs.scrub(/*quarantine=*/true);
+
+  std::atomic<bool> stop{false};
+  std::thread chaos([&] {
+    for (size_t i = 0; i < 200 && !stop.load(); ++i) {
+      fs.fail_server(2);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      fs.revive_server(2);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    stop.store(true);
+  });
+  std::thread repairer([&] {
+    while (!stop.load()) {
+      try {
+        fs.repair(id, 2);
+      } catch (const fault::TransientError&) {
+        // Incarnation churn exhausted one call's retries; call again.
+      }
+    }
+  });
+  chaos.join();
+  repairer.join();
+
+  // Chaos is over: whatever state the races left, one clean repair pass
+  // must converge to the exact original bytes.
+  fs.revive_server(2);
+  if (!fs.block_available(id, 2)) {
+    ASSERT_TRUE(fs.repair(id, 2).has_value());
+  }
+  EXPECT_EQ(*fs.read(id), file);
+}
+
+// read_range_nofault is the pinned-schedule fallback path: it must return
+// exactly the bytes read_range would, while consuming ZERO injector
+// decisions — the caller (StripedReader's stale-session fallback) already
+// drew its fault schedule and must not re-draw a fresh one.
+TEST_F(FileStoreTest, ReadRangeNofaultDrawsNoInjectorDecisions) {
+  const Buffer file = make_file();
+  const FileId id = fs.write(file);
+
+  fault::FaultInjector inj(11);
+  inj.set_read_failure_rate(0.3);
+  inj.set_read_latency(0.5, 0.0001);
+  fs.set_fault_injector(&inj);
+  fs.set_block_cache(nullptr);
+
+  // Clean path: identical bytes, zero draws.
+  const auto before = inj.stats().decisions;
+  const auto out = fs.read_range_nofault(id, 3, file.size() - 10);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, Buffer(file.begin() + 3, file.end() - 7));
+  EXPECT_EQ(inj.stats().decisions, before);
+
+  // Degraded path (quarantined block decoded around): still zero draws,
+  // and no opportunistic self-heal repair (that would draw write faults).
+  fs.corrupt_block(id, 1, 0);
+  fs.scrub(/*quarantine=*/true);
+  const auto repairs_before = fs.read_stats().auto_repairs;
+  const auto out2 = fs.read_range_nofault(id, 0, file.size());
+  ASSERT_TRUE(out2.has_value());
+  EXPECT_EQ(*out2, file);
+  EXPECT_EQ(inj.stats().decisions, before);
+  EXPECT_EQ(fs.read_stats().auto_repairs, repairs_before);
+  EXPECT_FALSE(fs.block_available(id, 1));
+
+  // Contrast: the regular faulted read_range consumes decisions.
+  ASSERT_TRUE(fs.read_range(id, 0, file.size()).has_value());
+  EXPECT_GT(inj.stats().decisions, before);
+  fs.set_fault_injector(nullptr);
 }
 
 TEST_F(FileStoreTest, RepairOfHealthyBlockIsNoop) {

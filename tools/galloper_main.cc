@@ -5,15 +5,22 @@
 //   galloper decode <dir> <output-file>
 //   galloper repair <dir> --block=N
 //   galloper inspect <dir>
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include <memory>
 
 #include "cli/archive.h"
 #include "client/load_gen.h"
+#include "client/striped.h"
+#include "cluster/coordinator.h"
+#include "cluster/node.h"
+#include "cluster/repair_queue.h"
 #include "codes/pyramid.h"
 #include "core/galloper.h"
 #include "fault/fault.h"
@@ -61,6 +68,18 @@ int usage() {
       "          bytes mid-run to exercise fallback + auto-repair;\n"
       "          --cache pins a private block cache in MiB (0 = off),\n"
       "          --admit pins a private admission-gate limit)\n"
+      "  galloper cluster [--rolls=N] [--files=F] [--readers=R] [--seed=S]\n"
+      "                   [--k=K --l=L --g=G] [--chunk=BYTES] [--workers=W]\n"
+      "                   [--throttle=MBps]\n"
+      "          (multi-node rolling-restart soak: a coordinator places\n"
+      "          blocks one-per-node, then kills and restarts every hosting\n"
+      "          node N times in sequence — waiting for the prioritized\n"
+      "          background repair queue to drain between steps — while R\n"
+      "          reader threads stream ranges through the pipelined client\n"
+      "          and verify every byte against a mirror; --throttle caps\n"
+      "          each node's repair bandwidth, --workers sizes the repair\n"
+      "          worker pool; exits non-zero on any wrong byte or a queue\n"
+      "          that fails to drain)\n"
       "  galloper mr --job=wordcount|terasort|grep [--mb=MB]\n"
       "              [--k=K --l=L --g=G] [--split=BYTES] [--threads=N]\n"
       "              [--reducers=R] [--seed=S] [--pyramid] [--degraded]\n"
@@ -101,6 +120,7 @@ const std::set<std::string> kKnownFlags = {
     "seconds", "files", "clients", "zipf",  "updates",   "degraded",
     "serial", "batch",  "corruptions", "cache", "admit",
     "job",   "mb",      "split", "reducers", "pyramid",  "needle",
+    "rolls", "readers", "throttle", "workers",
 };
 
 // Removes crash debris (orphaned .tmp staging files) before operating on an
@@ -248,6 +268,105 @@ int run(const galloper::Flags& flags) {
       const auto result = galloper::client::run_load(opt);
       std::printf("%s\n", galloper::client::format_result(result).c_str());
       return result.bit_identical ? 0 : 3;
+    }
+    if (command == "cluster") {
+      if (pos.size() != 1) return usage();
+      namespace cluster = galloper::cluster;
+      const size_t k = static_cast<size_t>(flags.get_int("k", 4));
+      const size_t l = static_cast<size_t>(flags.get_int("l", 2));
+      const size_t g = static_cast<size_t>(flags.get_int("g", 1));
+      const size_t rolls = static_cast<size_t>(flags.get_int("rolls", 1));
+      const size_t num_files =
+          static_cast<size_t>(flags.get_int("files", 3));
+      const size_t num_readers =
+          static_cast<size_t>(flags.get_int("readers", 3));
+      const size_t chunk_bytes =
+          static_cast<size_t>(flags.get_int("chunk", 4096));
+      const double throttle_mbps = flags.get_double("throttle", 0);
+      GALLOPER_CHECK_MSG(rolls >= 1 && num_files >= 1 && chunk_bytes >= 1,
+                         "--rolls/--files/--chunk must be >= 1");
+
+      galloper::core::GalloperCode code(k, l, g);
+      galloper::sim::Simulation sim;
+      galloper::sim::Cluster sim_cluster(sim, code.num_blocks() + 2,
+                                         galloper::sim::ServerSpec{});
+      galloper::store::FileStore fs(sim_cluster, code);
+      cluster::CoordinatorOptions copt;
+      copt.repair_workers =
+          static_cast<size_t>(flags.get_int("workers", 2));
+      copt.repair_bytes_per_s = throttle_mbps * 1e6;
+      cluster::Coordinator coord(fs, copt);
+
+      galloper::Rng rng(static_cast<uint64_t>(flags.get_int("seed", 1)));
+      std::vector<galloper::Buffer> files;
+      std::vector<galloper::store::FileId> ids;
+      for (size_t i = 0; i < num_files; ++i) {
+        files.push_back(galloper::random_buffer(
+            code.engine().num_chunks() * chunk_bytes, rng));
+        ids.push_back(fs.write(galloper::ConstByteSpan(files.back())));
+      }
+
+      std::atomic<bool> stop{false};
+      std::atomic<uint64_t> reads{0}, mismatches{0}, unavailable{0};
+      std::vector<std::thread> readers;
+      for (size_t t = 0; t < num_readers; ++t) {
+        readers.emplace_back([&, t] {
+          galloper::client::StripedReader reader(fs);
+          galloper::Rng trng(0x600d + t);
+          while (!stop.load(std::memory_order_relaxed)) {
+            const size_t i = trng.next_below(num_files);
+            const size_t len = files[i].size();
+            const size_t off = trng.next_below(len / 2);
+            const size_t n = 1 + trng.next_below(len - off);
+            const auto out = reader.read_range(ids[i], off, n);
+            reads.fetch_add(1, std::memory_order_relaxed);
+            if (!out.has_value()) {
+              unavailable.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            if (!std::equal(out->begin(), out->end(),
+                            files[i].begin() + off))
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+
+      bool drained = true;
+      const auto placement = fs.placement();
+      for (size_t round = 0; round < rolls; ++round) {
+        for (size_t srv : placement) {
+          coord.fail_node(srv);
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          coord.restart_node(srv);
+          drained = coord.repair_queue().drain(300.0) && drained;
+        }
+      }
+      stop.store(true);
+      for (auto& t : readers) t.join();
+
+      bool final_ok = true;
+      for (size_t i = 0; i < num_files; ++i) {
+        const auto back = fs.read(ids[i]);
+        if (!back.has_value() || *back != files[i]) final_ok = false;
+      }
+      const auto qstats = coord.repair_queue().stats();
+      std::printf(
+          "rolled %zu node(s) x %zu round(s) over %zu file(s) "
+          "(%zu+%zu+%zu, chunk %zu):\n"
+          "  %llu concurrent reads (%llu transient-unavailable), "
+          "%llu mismatches\n"
+          "  repair queue: %zu completed, %zu requeued, %zu dropped-stale, "
+          "%zu dropped-dead, drained %s\n"
+          "  final reads %s\n",
+          placement.size(), rolls, num_files, k, l, g, chunk_bytes,
+          static_cast<unsigned long long>(reads.load()),
+          static_cast<unsigned long long>(unavailable.load()),
+          static_cast<unsigned long long>(mismatches.load()),
+          qstats.completed, qstats.requeued, qstats.dropped_stale,
+          qstats.dropped_dead, drained ? "yes" : "NO",
+          final_ok ? "bit-identical" : "MISMATCH");
+      if (mismatches.load() != 0 || !final_ok) return 3;
+      return drained ? 0 : 1;
     }
     if (command == "mr") {
       if (pos.size() != 1) return usage();

@@ -11,61 +11,93 @@
 # move only if you meant them to. CI gates are relative/floor-based, so a
 # different machine is fine; a different STORY (cache stops winning,
 # pipeline stops overlapping, MR stops being bit-identical) is not.
+#
+# Atomicity: every baseline is generated into BENCH_<name>.json.tmp and
+# only renamed over the committed file after EVERY bench ran and EVERY
+# self-gate passed. A bench that crashes or a gate that trips therefore
+# leaves all committed baselines byte-identical — no half-regenerated set
+# can be committed by accident. CI keeps this honest with a must-fail run
+# against a sabotaged bench dir (see "Regen script must not launder" in
+# ci.yml), which is why BENCH is overridable.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH=build/bench
+BENCH=${GALLOPER_BENCH_DIR:-build/bench}
 for bin in micro_plan micro_batch micro_io micro_encode load_gen \
-           micro_cache macro_mr compare; do
+           micro_cache macro_mr macro_cluster compare; do
   [[ -x "$BENCH/$bin" ]] || {
     echo "missing $BENCH/$bin — build Release first" >&2; exit 1; }
 done
 
-echo "== BENCH_plan.json"
-GALLOPER_BENCH_JSON=BENCH_plan.json "$BENCH/micro_plan"
-echo "== BENCH_batch.json"
-GALLOPER_BENCH_JSON=BENCH_batch.json "$BENCH/micro_batch"
-echo "== BENCH_io.json"
-GALLOPER_BENCH_JSON=BENCH_io.json "$BENCH/micro_io"
+TMPS=()
+cleanup() { if ((${#TMPS[@]})); then rm -f "${TMPS[@]}"; fi; }
+trap cleanup EXIT
 
-echo "== BENCH_parallel.json"
+# regen <name> [env VAR=...] <bench> [args...]: run the bench with
+# GALLOPER_BENCH_JSON pointed at BENCH_<name>.json.tmp. Nothing touches
+# the committed BENCH_<name>.json until the final publish step.
+regen() {
+  local name=$1; shift
+  local tmp="BENCH_$name.json.tmp"
+  TMPS+=("$tmp")
+  echo "== BENCH_$name.json"
+  GALLOPER_BENCH_JSON="$tmp" "$@"
+}
+
+regen plan "$BENCH/micro_plan"
+regen batch "$BENCH/micro_batch"
+regen io "$BENCH/micro_io"
+
 # micro_encode emits a raw sweep; the committed baseline nests it under
 # "micro_encode_sweep" (see ci.yml's smoke step, which wraps the same way).
-GALLOPER_BENCH_JSON=BENCH_parallel_raw.json "$BENCH/micro_encode"
-printf '{"micro_encode_sweep":%s}\n' "$(cat BENCH_parallel_raw.json)" \
-  > BENCH_parallel.json
-rm -f BENCH_parallel_raw.json
+regen parallel_raw "$BENCH/micro_encode"
+TMPS+=(BENCH_parallel.json.tmp)
+printf '{"micro_encode_sweep":%s}\n' "$(cat BENCH_parallel_raw.json.tmp)" \
+  > BENCH_parallel.json.tmp
+rm -f BENCH_parallel_raw.json.tmp
 
-echo "== BENCH_load.json"
 # Recorded cache-off so the serial/pipelined cells stay distinct; the
 # cache's own win is the micro_cache baseline.
-GALLOPER_CLIENT_CACHE=off GALLOPER_BENCH_JSON=BENCH_load.json \
-  "$BENCH/load_gen" --sweep-admit
-echo "== BENCH_cache.json"
-GALLOPER_BENCH_JSON=BENCH_cache.json "$BENCH/micro_cache"
-echo "== BENCH_mr.json"
-GALLOPER_BENCH_JSON=BENCH_mr.json "$BENCH/macro_mr"
+GALLOPER_CLIENT_CACHE=off regen load "$BENCH/load_gen" --sweep-admit
+regen cache "$BENCH/micro_cache"
+regen mr "$BENCH/macro_mr"
+regen cluster "$BENCH/macro_cluster"
 
 echo
 echo "Sanity: every regenerated baseline must pass its own CI gate"
-"$BENCH/compare" --baseline BENCH_batch.json --current BENCH_batch.json \
+"$BENCH/compare" --baseline BENCH_batch.json.tmp \
+  --current BENCH_batch.json.tmp \
   "speedup:higher:0.6" "bit_identical:min=1"
-"$BENCH/compare" --baseline BENCH_io.json --current BENCH_io.json \
+"$BENCH/compare" --baseline BENCH_io.json.tmp --current BENCH_io.json.tmp \
   "bit_identical:min=1" "cells[1].speedup:min=1.3" \
   "cells[2].speedup:min=1.3" "cells[3].speedup:min=2"
-"$BENCH/compare" --baseline BENCH_plan.json --current BENCH_plan.json \
+"$BENCH/compare" --baseline BENCH_plan.json.tmp \
+  --current BENCH_plan.json.tmp \
   "speedup:higher:0.6" "speedup:min=0.8" "bit_identical:min=1"
-"$BENCH/compare" --baseline BENCH_parallel.json \
-  --current BENCH_parallel.json "bit_identical:min=1" "speedup:min=0.5"
-"$BENCH/compare" --baseline BENCH_load.json --current BENCH_load.json \
+"$BENCH/compare" --baseline BENCH_parallel.json.tmp \
+  --current BENCH_parallel.json.tmp "bit_identical:min=1" "speedup:min=0.5"
+"$BENCH/compare" --baseline BENCH_load.json.tmp \
+  --current BENCH_load.json.tmp \
   "bit_identical:min=1" "pipelined_speedup:min=0.4" \
   "cells[2].pipelined_speedup:min=0.9" "cells[3].pipelined_speedup:min=0.9"
-"$BENCH/compare" --baseline BENCH_cache.json --current BENCH_cache.json \
+"$BENCH/compare" --baseline BENCH_cache.json.tmp \
+  --current BENCH_cache.json.tmp \
   "bit_identical:min=1" "speedup:min=3" "mirror_mismatches:max=0"
-"$BENCH/compare" --baseline BENCH_mr.json --current BENCH_mr.json \
+"$BENCH/compare" --baseline BENCH_mr.json.tmp --current BENCH_mr.json.tmp \
   "bit_identical:min=1" "clean_decode_execs:max=0" \
   "degraded_completed:min=1" "degraded_fallback_splits:min=1" \
   "map_speedup:min=0.35"
+"$BENCH/compare" --baseline BENCH_cluster.json.tmp \
+  --current BENCH_cluster.json.tmp \
+  "bit_identical:min=1" "mirror_mismatches:max=0" "queue_drained:min=1" \
+  "multi_loss_first:min=1" "repairs:min=1"
+
+# Publish: every bench ran and every gate passed, so the renames below are
+# the only writes to committed files the whole script performs.
+for tmp in "${TMPS[@]}"; do
+  [[ -f "$tmp" ]] && mv "$tmp" "${tmp%.tmp}"
+done
+TMPS=()
 
 echo
 echo "All baselines regenerated and self-consistent."
